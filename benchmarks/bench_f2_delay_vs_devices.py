@@ -1,0 +1,28 @@
+"""F2 — total delay vs number of IoT devices (see DESIGN.md)."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import f2_devices
+
+
+def test_f2_delay_vs_devices(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        f2_devices.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "f2_delay_vs_devices")
+    # shape checks: monotone growth in N for TACC, and TACC <= random everywhere
+    tacc = sorted(
+        (r["n_devices"], r["total_delay_ms_mean"])
+        for r in table.rows
+        if r["solver"] == "tacc"
+    )
+    assert all(a[1] <= b[1] for a, b in zip(tacc, tacc[1:]))
+    for n_devices, tacc_delay in tacc:
+        rand = next(
+            r["total_delay_ms_mean"]
+            for r in table.rows
+            if r["solver"] == "random" and r["n_devices"] == n_devices
+        )
+        assert math.isnan(rand) or tacc_delay <= rand

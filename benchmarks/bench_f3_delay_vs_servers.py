@@ -1,0 +1,19 @@
+"""F3 — total delay vs number of edge servers (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import f3_servers
+
+
+def test_f3_delay_vs_servers(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        f3_servers.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "f3_delay_vs_servers")
+    # shape check: TACC's delay falls (or holds) as the cluster grows
+    tacc = sorted(
+        (r["n_servers"], r["total_delay_ms_mean"])
+        for r in table.rows
+        if r["solver"] == "tacc"
+    )
+    assert tacc[-1][1] <= tacc[0][1] * 1.05

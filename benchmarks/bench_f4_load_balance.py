@@ -1,0 +1,18 @@
+"""F4 — load distribution and overload safety (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import f4_load
+
+
+def test_f4_load_balance(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        f4_load.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "f4_load_balance")
+    rows = {r["solver"]: r for r in table.rows}
+    # the paper's guarantee: TACC never overloads...
+    assert rows["tacc"]["max_utilization_mean"] <= 1.0 + 1e-9
+    assert rows["tacc"]["overloaded_servers_mean"] == 0.0
+    # ...while the capacity-blind strawman does on tight instances
+    assert rows["nearest"]["max_utilization_mean"] >= rows["tacc"]["max_utilization_mean"]

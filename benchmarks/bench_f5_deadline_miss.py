@@ -1,0 +1,31 @@
+"""F5 — measured latency and deadline misses vs arrival rate (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import f5_deadline
+
+
+def test_f5_deadline_miss(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        f5_deadline.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "f5_deadline_miss")
+    # shape check: at every arrival rate the TACC assignment's measured
+    # mean network latency is at most the random assignment's
+    rates = sorted({r["rate_scale"] for r in table.rows})
+    for rate in rates:
+        by_solver = {
+            r["solver"]: r for r in table.rows if r["rate_scale"] == rate
+        }
+        assert (
+            by_solver["tacc"]["mean_network_latency_ms_mean"]
+            <= by_solver["random"]["mean_network_latency_ms_mean"] * 1.05
+        )
+    # latency grows with offered load for every solver
+    for solver in {r["solver"] for r in table.rows}:
+        series = sorted(
+            (r["rate_scale"], r["p99_total_latency_ms_mean"])
+            for r in table.rows
+            if r["solver"] == solver
+        )
+        assert series[-1][1] >= series[0][1] * 0.8

@@ -1,0 +1,28 @@
+"""F6 — RL training convergence (see DESIGN.md)."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import f6_convergence
+
+
+def test_f6_rl_convergence(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        f6_convergence.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "f6_rl_convergence")
+    # shape checks: best-so-far curves are monotone non-increasing, and
+    # every learner's final cost is at or above the exact optimum
+    optimum = min(
+        r["best_cost_ms_mean"] for r in table.rows if r["solver"] == "optimum"
+    )
+    for solver in ("tacc", "qlearning", "bandit"):
+        series = sorted(
+            (r["episode"], r["best_cost_ms_mean"])
+            for r in table.rows
+            if r["solver"] == solver and not math.isnan(r["best_cost_ms_mean"])
+        )
+        assert len(series) > 2
+        assert all(a[1] >= b[1] - 1e-9 for a, b in zip(series, series[1:]))
+        assert series[-1][1] >= optimum - 1e-6

@@ -1,0 +1,24 @@
+"""F7 — sensitivity to the topology family (see DESIGN.md)."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import f7_topology
+
+
+def test_f7_topology_sensitivity(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        f7_topology.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "f7_topology_sensitivity")
+    # shape check: on every family TACC stays close to the LP bound and
+    # below random
+    families = {r["family"] for r in table.rows}
+    for family in families:
+        rows = {r["solver"]: r for r in table.rows if r["family"] == family}
+        tacc = rows["tacc"]["cost_over_lp_mean"]
+        rand = rows["random"]["cost_over_lp_mean"]
+        assert not math.isnan(tacc)
+        assert tacc <= rand
+        assert tacc < 1.5  # within 50% of the fractional bound everywhere

@@ -1,0 +1,25 @@
+"""F8 — dynamic reconfiguration under mobility (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import f8_dynamic
+
+
+def test_f8_dynamic(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        f8_dynamic.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "f8_dynamic")
+    last_epoch = max(r["epoch"] for r in table.rows)
+    final = {
+        r["strategy"]: r for r in table.rows if r["epoch"] == last_epoch
+    }
+    # shape checks: reconfiguring beats static at the end of the run, and
+    # static migrates nothing while the active strategies migrate something
+    assert final["always"]["cost_ms_mean"] <= final["static"]["cost_ms_mean"]
+    assert final["static"]["cumulative_moves_mean"] == 0.0
+    assert final["always"]["cumulative_moves_mean"] > 0.0
+    assert (
+        final["hysteresis"]["cumulative_moves_mean"]
+        <= final["always"]["cumulative_moves_mean"] + 1e-9
+    )

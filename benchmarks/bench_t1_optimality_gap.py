@@ -1,0 +1,16 @@
+"""T1 — optimality gap on small instances (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import t1_optimality
+
+
+def test_t1_optimality_gap(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        t1_optimality.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "t1_optimality_gap")
+    # shape check: TACC's mean gap must be far below random's
+    tacc = [r["gap_pct_mean"] for r in table.rows if r["solver"] == "tacc"]
+    random_ = [r["gap_pct_mean"] for r in table.rows if r["solver"] == "random"]
+    assert sum(tacc) / len(tacc) < sum(random_) / len(random_)

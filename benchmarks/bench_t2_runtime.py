@@ -1,0 +1,18 @@
+"""T2 — solver runtime scalability (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import t2_runtime
+
+
+def test_t2_runtime(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        t2_runtime.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "t2_runtime")
+    # shape check: constructive greedy is orders of magnitude faster than
+    # the RL and exact solvers at every size
+    sizes = {r["size"] for r in table.rows}
+    for size in sizes:
+        rows = {r["solver"]: r for r in table.rows if r["size"] == size}
+        assert rows["greedy"]["runtime_s_mean"] < rows["tacc"]["runtime_s_mean"]

@@ -1,0 +1,20 @@
+"""T3 — ablation of TACC design choices (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import t3_ablation
+
+
+def test_t3_ablation(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        t3_ablation.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "t3_ablation")
+    rows = {r["variant"]: r for r in table.rows}
+    full = rows["tacc_full"]["true_delay_ms_mean"]
+    # topology awareness is the titular claim: solving against hop-count or
+    # euclidean matrices must not beat the full delay model
+    assert rows["delay_hop_count"]["true_delay_ms_mean"] >= full * 0.98
+    assert rows["delay_euclidean"]["true_delay_ms_mean"] >= full * 0.98
+    # masking guarantees zero overloads in the full configuration
+    assert rows["tacc_full"]["overloaded_servers_mean"] == 0.0

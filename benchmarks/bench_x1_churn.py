@@ -1,0 +1,27 @@
+"""X1 (extension) — membership under device churn (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import x1_churn
+
+
+def test_x1_churn(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        x1_churn.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "x1_churn")
+    last = max(r["epoch"] for r in table.rows)
+    final = {r["policy"]: r for r in table.rows if r["epoch"] == last}
+    # rebalancing must recover incremental-join drift: compare per active
+    # device, since admission decisions (rejections) make the active sets
+    # diverge slightly between policies under capacity pressure
+    def per_device(row):
+        return row["cost_ms_mean"] / row["active_mean"]
+
+    assert per_device(final["reserve+rebalance"]) <= per_device(
+        final["greedy_join"]
+    ) * 1.02
+    # all policies kept a live membership and admission control engaged
+    for row in final.values():
+        assert row["active_mean"] > 0
+        assert row["rejected_total_mean"] >= 0

@@ -1,0 +1,19 @@
+"""X2 (extension) — placement sensitivity (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import x2_placement
+
+
+def test_x2_placement(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        x2_placement.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "x2_placement")
+    tacc = {
+        r["placement"]: r["total_delay_ms_mean"]
+        for r in table.rows
+        if r["solver"] == "tacc"
+    }
+    # delay-aware placement must beat random placement even under TACC
+    assert min(tacc["spread"], tacc["medoid"]) <= tacc["random"]

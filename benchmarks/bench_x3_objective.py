@@ -1,0 +1,20 @@
+"""X3 (extension) — objective trade-off (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import x3_objective
+
+
+def test_x3_objective(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        x3_objective.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "x3_objective")
+    rows = {r["solver"]: r for r in table.rows}
+    # the trade-off must be visible: bottleneck wins max delay,
+    # tacc wins (or ties) total delay
+    assert rows["bottleneck"]["max_delay_ms_mean"] <= rows["tacc"]["max_delay_ms_mean"]
+    assert (
+        rows["tacc"]["total_delay_ms_mean"]
+        <= rows["bottleneck"]["total_delay_ms_mean"] * 1.02
+    )

@@ -1,0 +1,32 @@
+"""X4 (extension) — measurement-noise robustness (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import x4_noise
+
+
+def test_x4_noise(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        x4_noise.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "x4_noise")
+    sigmas = sorted({r["jitter_sigma"] for r in table.rows})
+    probe_counts = sorted({r["probes"] for r in table.rows})
+    # regret grows with jitter (compare the extremes at the lowest probe count)
+    low_probe = probe_counts[0]
+
+    def tacc_regret(sigma, probes):
+        return next(
+            r["regret_pct_mean"]
+            for r in table.rows
+            if r["solver"] == "tacc"
+            and r["jitter_sigma"] == sigma
+            and r["probes"] == probes
+        )
+
+    assert tacc_regret(sigmas[-1], low_probe) >= tacc_regret(sigmas[0], low_probe)
+    # more probes help at the heaviest jitter
+    if len(probe_counts) > 1:
+        assert tacc_regret(sigmas[-1], probe_counts[-1]) <= tacc_regret(
+            sigmas[-1], low_probe
+        ) * 1.05

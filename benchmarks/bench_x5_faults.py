@@ -1,0 +1,24 @@
+"""X5 (extension) — availability under server failures (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import x5_faults
+
+
+def test_x5_faults(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        x5_faults.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "x5_faults")
+
+    def availability(policy):
+        rows = [r for r in table.rows if r["policy"] == policy and r["epoch"] > 0]
+        return sum(r["serving_fraction_mean"] for r in rows) / len(rows)
+
+    # reacting to failures must never serve fewer devices than doing nothing
+    assert availability("reactive") >= availability("static") - 1e-9
+    # and it must actually migrate to achieve that
+    last = max(r["epoch"] for r in table.rows)
+    final = {r["policy"]: r for r in table.rows if r["epoch"] == last}
+    assert final["reactive"]["cumulative_moves_mean"] > 0
+    assert final["static"]["cumulative_moves_mean"] == 0

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one of the paper's tables/figures, prints it
+(visible with ``-s``) and writes the data to ``benchmarks/results/``
+as JSON for EXPERIMENTS.md.
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+``quick`` (default, seconds per figure) or ``full`` (paper-scale).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    assert value in ("quick", "full"), f"REPRO_BENCH_SCALE must be quick|full, got {value}"
+    return value
+
+
+@pytest.fixture(scope="session")
+def results_dir(scale) -> Path:
+    """Scale-specific artifact directory.
+
+    Quick and full runs write to separate subdirectories so a CI quick
+    run can never clobber the shipped full-scale data behind
+    EXPERIMENTS.md.
+    """
+    path = Path(__file__).parent / "results" / scale
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def emit(table, results_dir: Path, name: str) -> None:
+    """Print the paper-style table and persist its data."""
+    table.save_json(results_dir / f"{name}.json")
+    print()
+    print(table.to_text())

@@ -1,0 +1,83 @@
+"""A/B-testing cluster configurations with paired trace replay.
+
+Scenario: an operator wants to know whether switching the production
+configuration from the incumbent greedy plan to TACC's plan is worth a
+maintenance window.  Independent simulations would answer with noise
+bars; replaying *one recorded workload trace* through both plans gives
+an exactly-paired answer — identical packets at identical instants,
+so every microsecond of difference is attributable to the plan.
+
+Also demonstrates the instance diagnostics: the report explains *why*
+the gap is what it is (capacity pressure, delay/demand correlation).
+
+Run:  python examples/ab_comparison.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.model.analysis import classify_difficulty, difficulty_report
+from repro.sim.trace_runner import paired_comparison, replay_trace
+from repro.utils.tables import format_table
+from repro.workload.traces import generate_trace
+
+
+def main() -> None:
+    problem = repro.topology_instance(
+        family="barabasi_albert",
+        n_routers=40,
+        n_devices=45,
+        n_servers=5,
+        tightness=0.85,
+        seed=314,
+        deadline_s=0.06,
+    )
+
+    # why should we expect a gap at all?  Ask the diagnostics.
+    print(f"instance difficulty: {classify_difficulty(problem)}")
+    diagnostics = difficulty_report(problem)
+    print(
+        format_table(
+            ["diagnostic", "value"],
+            [[k, v] for k, v in diagnostics.items()],
+        )
+    )
+
+    incumbent = repro.get_solver("greedy", seed=1).solve(problem)
+    candidate = repro.get_solver("tacc", seed=1).solve(problem)
+
+    # record one hour-scale workload once; replay it through both plans
+    trace = generate_trace(problem.devices, horizon_s=60.0, seed=7)
+    print(f"\nrecorded trace: {trace.n_entries} tasks over {trace.horizon_s:.0f} s")
+
+    outcome = paired_comparison(
+        baseline=incumbent.assignment,
+        candidate=candidate.assignment,
+        trace=trace,
+    )
+    rows = [
+        ["static total delay (ms)",
+         incumbent.objective_value * 1e3, candidate.objective_value * 1e3],
+        ["measured mean network latency (ms)",
+         outcome["baseline_mean_network_ms"], outcome["candidate_mean_network_ms"]],
+        ["measured p99 end-to-end (ms)",
+         outcome["baseline_p99_total_ms"], outcome["candidate_p99_total_ms"]],
+    ]
+    print(format_table(["metric", "greedy (incumbent)", "tacc (candidate)"], rows))
+
+    saving = -outcome["delta_mean_network_ms"]
+    base = outcome["baseline_mean_network_ms"]
+    print(
+        f"\nOn identical traffic, the TACC plan shaves "
+        f"{saving:.3f} ms ({saving / base:.1%}) off mean network latency."
+    )
+
+    # sanity: per-plan miss rates on the same trace
+    for label, assignment in (("greedy", incumbent.assignment),
+                              ("tacc", candidate.assignment)):
+        report = replay_trace(assignment, trace)
+        print(f"{label}: deadline miss rate {report.deadline_miss_rate:.2%}")
+
+
+if __name__ == "__main__":
+    main()

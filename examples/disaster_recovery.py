@@ -1,0 +1,87 @@
+"""Riding out server failures: static plans vs reactive reconfiguration.
+
+Scenario: a storm knocks edge sites offline one by one and repairs
+trickle in.  The question an operator actually asks is not "what is my
+average delay" but "how many devices am I serving right now, and what
+did the failover cost me".
+
+This example drives a TACC-configured cluster through a shared failure
+timeline twice — once never touching the plan (devices on a dead
+server are simply down), once re-solving the degraded problem on every
+fault change — and prints the availability timeline plus the migration
+bill.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.cluster.faults import ServerFaultProcess, degraded_problem, serving_fraction
+from repro.utils.tables import format_table
+
+EPOCHS = 12
+
+
+def main() -> None:
+    problem = repro.topology_instance(
+        family="waxman",
+        n_routers=40,
+        n_devices=40,
+        n_servers=5,
+        tightness=0.55,          # headroom: survivors can absorb a failure
+        seed=2077,
+    )
+    initial = repro.get_solver("tacc", seed=1, episodes=150).solve(problem)
+    print(f"initial plan: {initial.objective_value * 1e3:.1f} ms total delay, "
+          f"{problem.n_servers} servers up\n")
+
+    faults = ServerFaultProcess(
+        problem.n_servers, fail_prob=0.18, repair_prob=0.45, seed=9
+    )
+    timeline = [faults.step(epoch) for epoch in range(1, EPOCHS + 1)]
+
+    static_vector = initial.assignment.vector
+    reactive_vector = initial.assignment.vector
+    moves = 0
+    rows = []
+    previous_failed: frozenset[int] = frozenset()
+    for event in timeline:
+        if event.failed != previous_failed:
+            result = repro.get_solver(
+                "tacc", seed=100 + event.epoch, episodes=120
+            ).solve(degraded_problem(problem, event.failed))
+            if result.feasible:
+                new_vector = result.assignment.vector
+                moves += int(np.count_nonzero(new_vector != reactive_vector))
+                reactive_vector = new_vector
+        previous_failed = event.failed
+        rows.append(
+            [
+                event.epoch,
+                len(event.failed),
+                serving_fraction(static_vector, event.failed, problem.n_devices),
+                serving_fraction(reactive_vector, event.failed, problem.n_devices),
+                moves,
+            ]
+        )
+    print(
+        format_table(
+            ["epoch", "servers down", "static availability",
+             "reactive availability", "devices migrated (cum.)"],
+            rows,
+            float_format=".2f",
+        )
+    )
+    static_mean = float(np.mean([r[2] for r in rows]))
+    reactive_mean = float(np.mean([r[3] for r in rows]))
+    print(
+        f"\nMean availability through the storm: static {static_mean:.1%}, "
+        f"reactive {reactive_mean:.1%} — bought with {moves} migrations."
+    )
+
+
+if __name__ == "__main__":
+    main()

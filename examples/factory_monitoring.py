@@ -1,0 +1,92 @@
+"""Industrial monitoring: bursty cameras, hard capacity limits.
+
+Scenario: a factory floor meshes PLCs and inspection cameras over a
+grid network.  Cameras are *bursty* (two-state MMPP: quiet until an
+anomaly, then a spike of frames); servers are heterogeneous (the GAP
+general form: a device costs different load on different servers).
+Capacity is tight, so the interesting question is not only "how low is
+the delay" but "who keeps every server under its limit".
+
+The example contrasts the capacity-blind nearest-server rule (what a
+naive deployment does) with TACC, then stress-tests both in the
+simulator at 3x nominal load.
+
+Run:  python examples/factory_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.sim.runner import simulate_assignment
+from repro.utils.tables import format_table
+from repro.workload.arrivals import MMPPProcess
+
+
+def main() -> None:
+    problem = repro.topology_instance(
+        family="grid",
+        n_routers=36,
+        n_devices=48,
+        n_servers=6,
+        tightness=0.88,          # deliberately tight: near-full cluster
+        heterogeneous_servers=True,
+        seed=77,
+        deadline_s=0.08,
+        mean_rate_hz=1.5,
+    )
+    assert problem.devices is not None
+
+    # every 4th device is an inspection camera: quiet at 0.5 Hz, bursts
+    # at 12 Hz for ~2 s when an anomaly streak hits
+    bursty = {
+        device.device_id: MMPPProcess(
+            base_rate_hz=0.5, burst_rate_hz=12.0, mean_calm_s=8.0, mean_burst_s=2.0
+        )
+        for device in problem.devices
+        if device.device_id % 4 == 0
+    }
+
+    rows = []
+    for name in ("nearest", "greedy", "tacc"):
+        result = repro.get_solver(name, seed=3).solve(problem)
+        assignment = result.assignment
+        utilization = assignment.utilization()
+        overloaded = assignment.overloaded_servers()
+        if overloaded:
+            measured = "refused (would overload)"
+            miss = "-"
+        else:
+            report = simulate_assignment(
+                assignment, duration_s=40.0, seed=11, rate_scale=3.0, arrivals=bursty
+            )
+            measured = f"{report.mean_network_latency_ms:.2f} ms"
+            miss = f"{report.deadline_miss_rate:.1%}"
+        rows.append(
+            [
+                name,
+                assignment.total_delay() * 1e3,
+                float(np.max(utilization)),
+                len(overloaded),
+                measured,
+                miss,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "static delay (ms)", "max utilization",
+             "overloaded servers", "measured latency @3x", "miss rate @3x"],
+            rows,
+        )
+    )
+    print(
+        "\nThe nearest-server rule wins on raw delay by overloading servers "
+        "— an assignment the admission controller must refuse.  TACC gets "
+        "within a few percent of that delay while keeping every server "
+        "under its limit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Delivery-fleet tracking: keeping the configuration current under motion.
+
+Scenario: couriers' telematics units roam a metro area; as they move,
+they re-attach to different gateways and their routed delays to the
+edge cluster drift.  A configuration that was optimal at 9am is stale
+by noon.
+
+This example runs the full dynamic loop: random-waypoint mobility
+rewires the topology each epoch, and four reconfiguration strategies
+maintain the assignment — never (static), every epoch (always),
+cost-aware (hysteresis), and incremental local repair (polish).  The
+output is the F8 trade-off: delay held vs devices migrated.
+
+Run:  python examples/fleet_tracking.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.cluster.controller import RECONFIGURE_STRATEGIES, ReconfigurationController
+from repro.utils.tables import format_table
+from repro.workload.mobility import RandomWaypointMobility
+
+EPOCHS = 10
+
+
+def main() -> None:
+    base = repro.topology_instance(
+        family="random_geometric",
+        n_routers=40,
+        n_devices=40,
+        n_servers=5,
+        tightness=0.75,
+        seed=123,
+    )
+    # one shared trajectory so every strategy faces identical motion
+    mobility = RandomWaypointMobility(base, speed=0.1, move_fraction=0.5, seed=9)
+    epochs = list(mobility.epochs(EPOCHS))
+
+    rows = []
+    for strategy in RECONFIGURE_STRATEGIES:
+        solver = repro.get_solver("tacc", seed=1, episodes=150)
+        controller = ReconfigurationController(solver, strategy=strategy)
+        decision = controller.initialize(base)
+        initial_ms = decision.cost * 1e3
+        final_ms = initial_ms
+        worst_ms = initial_ms
+        for epoch_state in epochs:
+            decision = controller.observe(epoch_state.epoch, epoch_state.problem)
+            final_ms = decision.cost * 1e3
+            worst_ms = max(worst_ms, final_ms)
+        rows.append(
+            [
+                strategy,
+                initial_ms,
+                final_ms,
+                worst_ms,
+                controller.total_moves,
+                controller.reconfigurations,
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "epoch-0 delay (ms)", "final delay (ms)",
+             "worst epoch (ms)", "devices migrated", "reconfigs"],
+            rows,
+            float_format=".1f",
+        )
+    )
+    print(
+        "\nStatic drifts as the fleet moves; 'always' holds delay at maximum "
+        "migration churn; hysteresis buys most of that back for a fraction "
+        "of the moves; polish repairs incrementally without ever re-solving."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Smart-city air-quality network: why topology awareness matters.
+
+Scenario: a municipality deploys periodic environmental sensors across
+a *hierarchical* metro network (core → aggregation → street cabinets).
+In a hierarchy, two geometrically adjacent street cabinets can sit
+under different aggregation subtrees — many expensive hops apart — so
+the "assign to the geographically nearest server" rule of thumb is
+exactly wrong.
+
+This example quantifies that: it configures the same deployment with
+(a) the full topology-aware TACC agent and (b) the same agent fed a
+straight-line-distance delay matrix, then scores and simulates both on
+the real network.
+
+Run:  python examples/smart_city_sensors.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.sim.runner import simulate_assignment
+from repro.topology.delay import EuclideanDelayModel
+from repro.utils.tables import format_table
+from repro.workload.arrivals import PeriodicProcess
+
+
+def main() -> None:
+    # a 3-tier fog hierarchy with sensors reporting every ~0.4 s under
+    # a 60 ms municipal latency SLO
+    problem = repro.topology_instance(
+        family="edge_hierarchy",
+        n_routers=40,
+        n_devices=50,
+        n_servers=5,
+        tightness=0.8,
+        seed=2024,
+        deadline_s=0.06,
+        mean_rate_hz=2.5,
+    )
+    assert problem.graph is not None and problem.devices is not None
+    assert problem.servers is not None
+
+    # (b) the proximity-planner's view: straight-line distances
+    blind = AssignmentProblem.from_topology(
+        problem.graph, problem.devices, problem.servers,
+        delay_model=EuclideanDelayModel(), name="euclidean-view",
+    )
+    blind.capacity = problem.capacity.copy()
+
+    aware_result = repro.get_solver("tacc", seed=5).solve(problem)
+    blind_result = repro.get_solver("tacc", seed=5).solve(blind)
+    # score the proximity plan on the *real* delays
+    blind_on_real = Assignment(problem, blind_result.assignment.vector)
+
+    # fixed-period sensor traffic instead of the default Poisson
+    periodic = {
+        device.device_id: PeriodicProcess(1.0 / device.rate_hz, jitter=0.2)
+        for device in problem.devices
+    }
+
+    rows = []
+    for label, assignment in [
+        ("topology-aware", aware_result.assignment),
+        ("proximity (euclidean)", blind_on_real),
+    ]:
+        report = simulate_assignment(
+            assignment, duration_s=40.0, seed=9, arrivals=periodic
+        )
+        rows.append(
+            [
+                label,
+                assignment.total_delay() * 1e3,
+                report.mean_network_latency_ms,
+                report.deadline_miss_rate if report.deadline_miss_rate is not None else 0.0,
+                float(np.max(assignment.utilization())),
+            ]
+        )
+    print(
+        format_table(
+            ["planner", "static delay (ms)", "measured latency (ms)",
+             "SLO miss rate", "max utilization"],
+            rows,
+        )
+    )
+    static_win = rows[1][1] / rows[0][1] - 1.0
+    print(
+        f"\nIgnoring the topology costs the city {static_win:.0%} extra "
+        "communication delay on the same hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — Topology Aware Cluster Configuration for edge computing.
+
+Reproduction of Rajashekar et al., "Topology Aware Cluster
+Configuration for Minimizing Communication Delay in Edge Computing"
+(ICDCS 2022).  The library models IoT-to-edge assignment as a
+generalized assignment problem over a real network topology, solves it
+with RL-based heuristics (the paper's contribution) and a full field
+of classical baselines, and validates solutions with a discrete-event
+simulator.
+
+Quickstart::
+
+    import repro
+
+    problem = repro.topology_instance(
+        family="random_geometric", n_routers=50,
+        n_devices=60, n_servers=6, tightness=0.8, seed=42,
+    )
+    result = repro.get_solver("tacc", seed=1).solve(problem)
+    print(result.objective_value, result.feasible)
+    report = repro.simulate_assignment(result.assignment, duration_s=30.0)
+    print(report.mean_network_latency_ms, report.deadline_miss_rate)
+
+Subpackages: :mod:`repro.topology`, :mod:`repro.model`,
+:mod:`repro.solvers`, :mod:`repro.rl`, :mod:`repro.sim`,
+:mod:`repro.workload`, :mod:`repro.cluster`, :mod:`repro.experiments`.
+"""
+
+from repro import errors
+from repro.model.instances import gap_instance, random_instance, topology_instance
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.rl.agent import TaccSolver
+from repro.sim.runner import simulate_assignment
+from repro.solvers.registry import available_solvers, get_solver, register_solver
+from repro.topology.generators import make_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "gap_instance",
+    "random_instance",
+    "topology_instance",
+    "AssignmentProblem",
+    "Assignment",
+    "TaccSolver",
+    "simulate_assignment",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "make_topology",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Build an assignment instance (topology pipeline or pure-matrix GAP)
+    and write it to JSON.
+``solve``
+    Solve an instance file with any registered solver; prints the
+    summary and optionally writes the assignment to JSON.
+``compare``
+    Run a field of solvers on one instance and print the comparison
+    table.
+``simulate``
+    Replay a solved assignment in the discrete-event simulator.
+``experiment``
+    Run one of the paper's experiments (t1, f2, ..., t3) at quick or
+    full scale and print its table.
+``report``
+    Render EXPERIMENTS.md from benchmark result JSONs.
+``info``
+    Version, registered solvers, topology families, placements.
+
+All commands are deterministic under ``--seed``.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

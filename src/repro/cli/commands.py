@@ -1,0 +1,218 @@
+"""Implementations of the CLI subcommands.
+
+Each handler takes the parsed ``argparse.Namespace`` and returns an
+exit code.  Handlers print human-readable tables; machine-readable
+output goes to the ``--output``/``--json`` paths.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from pathlib import Path
+
+import repro
+from repro.experiments.report import render_report
+from repro.model.instances import gap_instance, random_instance, topology_instance
+from repro.model.problem import AssignmentProblem
+from repro.solvers.registry import available_solvers, get_solver
+from repro.topology.generators import TOPOLOGY_FAMILIES
+from repro.topology.placement import PLACEMENT_STRATEGIES
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_table
+
+
+def _rl_kwargs(args) -> dict:
+    """Optional solver overrides available on the command line."""
+    kwargs = {}
+    episodes = getattr(args, "episodes", None)
+    if episodes is not None:
+        kwargs["episodes"] = episodes
+    return kwargs
+
+
+def cmd_generate(args) -> int:
+    """Build an instance and write its matrix form to JSON."""
+    if args.kind == "topology":
+        problem = topology_instance(
+            family=args.family,
+            n_routers=args.routers,
+            n_devices=args.devices,
+            n_servers=args.servers,
+            tightness=args.tightness,
+            placement=args.placement,
+            seed=args.seed,
+            deadline_s=args.deadline,
+        )
+    elif args.kind == "random":
+        problem = random_instance(
+            args.devices, args.servers, tightness=args.tightness, seed=args.seed
+        )
+    else:
+        problem = gap_instance(
+            args.devices, args.servers, klass=args.gap_class, seed=args.seed
+        )
+    Path(args.output).write_text(problem.to_json(), encoding="utf-8")
+    print(
+        f"wrote {problem.name}: {problem.n_devices} devices x "
+        f"{problem.n_servers} servers (tightness {problem.tightness:.2f}) "
+        f"to {args.output}"
+    )
+    if args.kind == "topology":
+        print(
+            "note: the JSON carries the matrix form only; `repro simulate` "
+            "rebuilds topology instances from parameters instead"
+        )
+    return 0
+
+
+def _load_problem(path: str) -> AssignmentProblem:
+    return AssignmentProblem.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def cmd_solve(args) -> int:
+    """Solve one instance file and report the outcome."""
+    problem = _load_problem(args.instance)
+    solver = get_solver(args.solver, seed=args.seed, **_rl_kwargs(args))
+    result = solver.solve(problem)
+    print(
+        format_table(
+            ["solver", "total delay (ms)", "max delay (ms)", "max utilization",
+             "feasible", "runtime (s)"],
+            [[
+                result.solver,
+                result.objective_value * 1e3,
+                result.assignment.max_delay() * 1e3,
+                float(result.assignment.utilization().max()),
+                result.feasible,
+                result.runtime_s,
+            ]],
+        )
+    )
+    if args.output:
+        Path(args.output).write_text(result.assignment.to_json(), encoding="utf-8")
+        print(f"assignment written to {args.output}")
+    return 0 if result.feasible else 2
+
+
+def cmd_compare(args) -> int:
+    """Run several solvers on one instance and print the comparison."""
+    problem = _load_problem(args.instance)
+    names = [name.strip() for name in args.solvers.split(",") if name.strip()]
+    unknown = sorted(set(names) - set(available_solvers()))
+    if unknown:
+        print(f"error: unknown solvers {unknown}")
+        return 1
+    rows = []
+    for name in names:
+        solver = get_solver(name, seed=derive_seed(args.seed, name))
+        result = solver.solve(problem)
+        rows.append(
+            [name, result.objective_value * 1e3, result.feasible, result.runtime_s]
+        )
+    rows.sort(key=lambda r: r[1])
+    print(format_table(["solver", "total delay (ms)", "feasible", "runtime (s)"], rows))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Build a topology instance, solve it, replay it in the DES."""
+    problem = topology_instance(
+        family=args.family,
+        n_routers=args.routers,
+        n_devices=args.devices,
+        n_servers=args.servers,
+        tightness=args.tightness,
+        seed=args.seed,
+        deadline_s=args.deadline,
+    )
+    solver = get_solver(args.solver, seed=derive_seed(args.seed, "solver"))
+    result = solver.solve(problem)
+    if not result.assignment.is_complete:
+        print("error: solver produced a partial assignment; nothing to simulate")
+        return 2
+    report = repro.simulate_assignment(
+        result.assignment,
+        duration_s=args.duration,
+        seed=derive_seed(args.seed, "sim"),
+        rate_scale=args.rate_scale,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["solver", args.solver],
+                ["static total delay (ms)", result.objective_value * 1e3],
+                ["tasks completed", report.tasks_completed],
+                ["mean network latency (ms)", report.mean_network_latency_ms],
+                ["p99 end-to-end latency (ms)", report.p99_total_latency_ms],
+                ["deadline miss rate", report.deadline_miss_rate
+                 if report.deadline_miss_rate is not None else "n/a"],
+                ["max server utilization", max(report.server_utilization)],
+            ],
+        )
+    )
+    return 0
+
+
+#: experiment short name -> module name
+_EXPERIMENT_MODULES = {
+    "t1": "t1_optimality",
+    "f2": "f2_devices",
+    "f3": "f3_servers",
+    "f4": "f4_load",
+    "f5": "f5_deadline",
+    "f6": "f6_convergence",
+    "t2": "t2_runtime",
+    "f7": "f7_topology",
+    "f8": "f8_dynamic",
+    "t3": "t3_ablation",
+    "x1": "x1_churn",
+    "x2": "x2_placement",
+    "x3": "x3_objective",
+    "x4": "x4_noise",
+    "x5": "x5_faults",
+}
+
+
+def cmd_experiment(args) -> int:
+    """Run one paper experiment and print its table."""
+    module = importlib.import_module(
+        f"repro.experiments.{_EXPERIMENT_MODULES[args.name]}"
+    )
+    table = module.run(args.scale, seed=args.seed)
+    print(table.to_text())
+    if args.json:
+        table.save_json(args.json)
+        print(f"\ndata written to {args.json}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render EXPERIMENTS.md from benchmark results."""
+    body = render_report(args.results, scale_note=args.note)
+    Path(args.output).write_text(body, encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Print the difficulty diagnostics of an instance file."""
+    from repro.model.analysis import classify_difficulty, difficulty_report
+
+    problem = _load_problem(args.instance)
+    print(f"{problem.name}: {problem.n_devices} devices x {problem.n_servers} servers")
+    print(f"difficulty class: {classify_difficulty(problem)}")
+    rows = [[key, value] for key, value in difficulty_report(problem).items()]
+    print(format_table(["diagnostic", "value"], rows))
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Version and registered components."""
+    print(f"repro {repro.__version__}")
+    print(f"solvers ({len(available_solvers())}): " + ", ".join(available_solvers()))
+    print(f"topology families: " + ", ".join(sorted(TOPOLOGY_FAMILIES)))
+    print(f"placement strategies: " + ", ".join(sorted(PLACEMENT_STRATEGIES)))
+    print("experiments: " + ", ".join(sorted(_EXPERIMENT_MODULES)))
+    return 0

@@ -1,0 +1,122 @@
+"""Argument parsing and dispatch for the repro CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.cli import commands
+from repro.solvers.registry import available_solvers
+from repro.topology.generators import TOPOLOGY_FAMILIES
+from repro.topology.placement import PLACEMENT_STRATEGIES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed for tests and shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Topology Aware Cluster Configuration for edge computing "
+            "(ICDCS 2022 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=repro.__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate an instance JSON")
+    generate.add_argument("--output", required=True, help="path for the instance JSON")
+    generate.add_argument(
+        "--kind",
+        choices=["topology", "random", "gap"],
+        default="topology",
+        help="instance pipeline (default: topology)",
+    )
+    generate.add_argument(
+        "--family", choices=sorted(TOPOLOGY_FAMILIES), default="random_geometric"
+    )
+    generate.add_argument("--routers", type=int, default=50)
+    generate.add_argument("--devices", type=int, default=60)
+    generate.add_argument("--servers", type=int, default=6)
+    generate.add_argument("--tightness", type=float, default=0.75)
+    generate.add_argument(
+        "--placement", choices=sorted(PLACEMENT_STRATEGIES), default="spread"
+    )
+    generate.add_argument("--gap-class", choices=["a", "b", "c", "d"], default="c")
+    generate.add_argument("--deadline", type=float, default=None,
+                          help="per-device deadline in seconds")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=commands.cmd_generate)
+
+    solve = sub.add_parser("solve", help="solve an instance file")
+    solve.add_argument("instance", help="instance JSON from `repro generate`")
+    solve.add_argument("--solver", default="tacc", choices=available_solvers())
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--episodes", type=int, default=None,
+                       help="episode budget for RL solvers")
+    solve.add_argument("--output", default=None,
+                       help="write the assignment vector JSON here")
+    solve.set_defaults(handler=commands.cmd_solve)
+
+    compare = sub.add_parser("compare", help="run a solver field on one instance")
+    compare.add_argument("instance")
+    compare.add_argument(
+        "--solvers",
+        default="greedy,regret,local_search,lp_rounding,tacc",
+        help="comma-separated registry names",
+    )
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(handler=commands.cmd_compare)
+
+    simulate = sub.add_parser(
+        "simulate", help="replay a solved assignment in the DES (topology instances only)"
+    )
+    simulate.add_argument("--solver", default="tacc", choices=available_solvers())
+    simulate.add_argument("--family", choices=sorted(TOPOLOGY_FAMILIES),
+                          default="random_geometric")
+    simulate.add_argument("--routers", type=int, default=40)
+    simulate.add_argument("--devices", type=int, default=40)
+    simulate.add_argument("--servers", type=int, default=5)
+    simulate.add_argument("--tightness", type=float, default=0.75)
+    simulate.add_argument("--deadline", type=float, default=0.05)
+    simulate.add_argument("--duration", type=float, default=30.0)
+    simulate.add_argument("--rate-scale", type=float, default=1.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=commands.cmd_simulate)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "name",
+        choices=["t1", "f2", "f3", "f4", "f5", "f6", "t2", "f7", "f8", "t3",
+                 "x1", "x2", "x3", "x4", "x5"],
+    )
+    experiment.add_argument("--scale", choices=["quick", "full"], default="quick")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--json", default=None, help="also save the table here")
+    experiment.set_defaults(handler=commands.cmd_experiment)
+
+    report = sub.add_parser("report", help="render EXPERIMENTS.md from results")
+    report.add_argument("--results", default="benchmarks/results/full")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--note", default="", help="scale note to embed")
+    report.set_defaults(handler=commands.cmd_report)
+
+    inspect = sub.add_parser("inspect", help="difficulty diagnostics of an instance")
+    inspect.add_argument("instance", help="instance JSON from `repro generate`")
+    inspect.set_defaults(handler=commands.cmd_inspect)
+
+    info = sub.add_parser("info", help="version and registered components")
+    info.set_defaults(handler=commands.cmd_info)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    try:
+        return args.handler(args)
+    except repro.errors.ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,44 @@
+"""Cluster configuration as a running control loop.
+
+The title's "cluster configuration" is not a one-shot solve: devices
+move, attach points change, and the delay matrix drifts.  This package
+closes the loop:
+
+* :mod:`repro.cluster.monitor` — load/utilization tracking and
+  overload detection;
+* :mod:`repro.cluster.migration` — reassignment cost model and the
+  hysteresis rule that decides whether moving devices pays;
+* :mod:`repro.cluster.controller` — epoch-driven reconfiguration
+  strategies (static / always / hysteresis / polish) over a mobility
+  stream;
+* :mod:`repro.cluster.online` — streaming arrival of new devices with
+  immediate irrevocable assignment.
+"""
+
+from repro.cluster.churn import ChurnEvent, ChurnProcess, MembershipController
+from repro.cluster.faults import FaultEvent, ServerFaultProcess, degraded_problem, serving_fraction
+from repro.cluster.controller import (
+    ControllerDecision,
+    ReconfigurationController,
+    RECONFIGURE_STRATEGIES,
+)
+from repro.cluster.migration import MigrationPolicy, count_moves
+from repro.cluster.monitor import LoadMonitor
+from repro.cluster.online import OnlineAssigner
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnProcess",
+    "MembershipController",
+    "FaultEvent",
+    "ServerFaultProcess",
+    "degraded_problem",
+    "serving_fraction",
+    "ControllerDecision",
+    "ReconfigurationController",
+    "RECONFIGURE_STRATEGIES",
+    "MigrationPolicy",
+    "count_moves",
+    "LoadMonitor",
+    "OnlineAssigner",
+]

@@ -1,0 +1,244 @@
+"""Device churn: joins and departures over a fixed potential fleet.
+
+Mobility (``repro.workload.mobility``) changes *where* devices are;
+churn changes *whether* they are present at all.  The problem instance
+enumerates the full potential fleet; a :class:`ChurnProcess` evolves
+the active subset, and :class:`MembershipController` maintains a
+feasible assignment of exactly the active devices:
+
+* **join** — the device is placed immediately with an online rule
+  (no global re-solve at member arrival, as a real cluster would);
+* **leave** — its capacity is released;
+* optionally, a periodic **rebalance** re-solves the active subproblem
+  with any registered solver, bounding the drift that incremental
+  joins accumulate.
+
+This is the extension experiment X1 (see ``experiments/x1_churn``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InfeasibleSolutionError, ValidationError
+from repro.model.problem import AssignmentProblem
+from repro.solvers.base import Solver
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_probability, require
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """Membership change at one epoch."""
+
+    epoch: int
+    joined: tuple[int, ...]
+    left: tuple[int, ...]
+    active: frozenset[int]
+
+
+class ChurnProcess:
+    """Per-epoch Bernoulli joins/leaves over the potential fleet."""
+
+    def __init__(
+        self,
+        n_devices: int,
+        join_prob: float = 0.15,
+        leave_prob: float = 0.10,
+        initially_active: float = 0.6,
+        seed: "int | None" = None,
+    ) -> None:
+        require(n_devices >= 1, "n_devices must be >= 1")
+        check_probability(join_prob, "join_prob")
+        check_probability(leave_prob, "leave_prob")
+        check_probability(initially_active, "initially_active")
+        self.n_devices = n_devices
+        self.join_prob = join_prob
+        self.leave_prob = leave_prob
+        self._rng = make_rng(seed)
+        n_start = max(1, int(round(initially_active * n_devices)))
+        start = self._rng.choice(n_devices, size=n_start, replace=False)
+        self._active: set[int] = {int(d) for d in start}
+
+    @property
+    def active(self) -> frozenset[int]:
+        """Currently active device ids."""
+        return frozenset(self._active)
+
+    def step(self, epoch: int) -> ChurnEvent:
+        """Advance one epoch; each inactive device may join, each active
+        device may leave (a device never does both in one epoch)."""
+        joined = []
+        left = []
+        for device in range(self.n_devices):
+            if device in self._active:
+                if self._rng.random() < self.leave_prob and len(self._active) > 1:
+                    self._active.discard(device)
+                    left.append(device)
+            elif self._rng.random() < self.join_prob:
+                self._active.add(device)
+                joined.append(device)
+        return ChurnEvent(
+            epoch=epoch,
+            joined=tuple(joined),
+            left=tuple(left),
+            active=frozenset(self._active),
+        )
+
+
+@dataclass
+class MembershipDecision:
+    """Outcome of applying one churn event."""
+
+    epoch: int
+    cost: float
+    active_count: int
+    rejected: tuple[int, ...]
+    rebalanced: bool
+    moves: int
+
+
+class MembershipController:
+    """Maintains a feasible assignment of the active device subset."""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        join_rule: str = "reserve",
+        headroom: float = 0.85,
+        rebalance_solver: "Solver | None" = None,
+        rebalance_every: int = 0,
+    ) -> None:
+        require(join_rule in ("greedy_delay", "reserve"), f"unknown join rule {join_rule!r}")
+        check_probability(headroom, "headroom")
+        require(rebalance_every >= 0, "rebalance_every must be >= 0")
+        if rebalance_every > 0 and rebalance_solver is None:
+            raise ValidationError("rebalance_every > 0 requires a rebalance_solver")
+        self.problem = problem
+        self.join_rule = join_rule
+        self.headroom = headroom
+        self.rebalance_solver = rebalance_solver
+        self.rebalance_every = rebalance_every
+        self._server_of: dict[int, int] = {}
+        self._loads = np.zeros(problem.n_servers)
+        self.total_rejected = 0
+        self.total_moves = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_devices(self) -> list[int]:
+        """Sorted ids of devices currently assigned."""
+        return sorted(self._server_of)
+
+    def cost(self) -> float:
+        """Total delay of the currently active assignment."""
+        return float(
+            sum(
+                self.problem.delay[device, server]
+                for device, server in self._server_of.items()
+            )
+        )
+
+    def utilization(self) -> np.ndarray:
+        """Per-server load divided by capacity."""
+        return self._loads / self.problem.capacity
+
+    # ------------------------------------------------------------------
+    def _place(self, device: int) -> "int | None":
+        demand = self.problem.demand[device]
+        residual = self.problem.capacity - self._loads
+        fits = np.flatnonzero(demand <= residual + 1e-12)
+        if fits.size == 0:
+            return None
+        if self.join_rule == "reserve":
+            post = (self._loads[fits] + demand[fits]) / self.problem.capacity[fits]
+            safe = fits[post <= self.headroom + 1e-12]
+            pool = safe if safe.size else fits
+        else:
+            pool = fits
+        return int(pool[np.argmin(self.problem.delay[device, pool])])
+
+    def _admit(self, device: int) -> bool:
+        server = self._place(device)
+        if server is None:
+            return False
+        self._server_of[device] = server
+        self._loads[server] += self.problem.demand[device, server]
+        return True
+
+    def _release(self, device: int) -> None:
+        server = self._server_of.pop(device, None)
+        if server is not None:
+            self._loads[server] -= self.problem.demand[device, server]
+
+    def _rebalance(self) -> int:
+        """Re-solve the active subproblem; returns devices moved."""
+        assert self.rebalance_solver is not None
+        active = self.active_devices
+        if not active:
+            return 0
+        sub = AssignmentProblem(
+            delay=self.problem.delay[active],
+            demand=self.problem.demand[active],
+            capacity=self.problem.capacity.copy(),
+            name=f"{self.problem.name}-active{len(active)}",
+        )
+        result = self.rebalance_solver.solve(sub)
+        if not result.feasible:
+            return 0
+        moves = 0
+        new_vector = result.assignment.vector
+        self._loads = np.zeros(self.problem.n_servers)
+        for index, device in enumerate(active):
+            server = int(new_vector[index])
+            if self._server_of[device] != server:
+                moves += 1
+            self._server_of[device] = server
+            self._loads[server] += self.problem.demand[device, server]
+        return moves
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, active: "frozenset[int] | set[int]") -> MembershipDecision:
+        """Admit the initial active set (largest demand first)."""
+        order = sorted(
+            active, key=lambda d: -float(np.mean(self.problem.demand[d]))
+        )
+        rejected = tuple(d for d in order if not self._admit(d))
+        self.total_rejected += len(rejected)
+        return MembershipDecision(
+            epoch=0,
+            cost=self.cost(),
+            active_count=len(self._server_of),
+            rejected=rejected,
+            rebalanced=False,
+            moves=0,
+        )
+
+    def apply(self, event: ChurnEvent) -> MembershipDecision:
+        """Process one epoch's joins/leaves (leaves first: they free room)."""
+        for device in event.left:
+            self._release(device)
+        rejected = tuple(d for d in event.joined if not self._admit(d))
+        self.total_rejected += len(rejected)
+        rebalanced = False
+        moves = 0
+        if (
+            self.rebalance_every > 0
+            and event.epoch % self.rebalance_every == 0
+        ):
+            moves = self._rebalance()
+            self.total_moves += moves
+            rebalanced = True
+        # hard invariant: membership tracking must never overload
+        if np.any(self._loads > self.problem.capacity + 1e-9):
+            raise InfeasibleSolutionError("membership controller overloaded a server")
+        return MembershipDecision(
+            epoch=event.epoch,
+            cost=self.cost(),
+            active_count=len(self._server_of),
+            rejected=rejected,
+            rebalanced=rebalanced,
+            moves=moves,
+        )

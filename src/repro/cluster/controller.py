@@ -1,0 +1,142 @@
+"""Epoch-driven reconfiguration over a mobility stream.
+
+The controller consumes the sequence of refreshed problems produced by
+:class:`~repro.workload.mobility.RandomWaypointMobility` and maintains
+the cluster's assignment under one of four strategies:
+
+* ``static`` — solve once, never touch it again (the baseline that
+  drifts as devices move);
+* ``always`` — re-solve from scratch every epoch (the upper bound on
+  responsiveness, maximum migration churn);
+* ``hysteresis`` — re-solve only when the :class:`MigrationPolicy`
+  says the net benefit clears migration costs, or when mobility made
+  the incumbent infeasible;
+* ``polish`` — never re-solve; run feasibility-preserving local search
+  from the incumbent each epoch (cheap, low-churn incremental repair).
+
+The F8 experiment plots per-epoch delay and cumulative migrations for
+all four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.migration import MigrationPolicy, count_moves
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.rl.agent import polish_assignment
+from repro.solvers.base import Solver
+from repro.utils.validation import require
+
+RECONFIGURE_STRATEGIES = ("static", "always", "hysteresis", "polish")
+
+
+@dataclass
+class ControllerDecision:
+    """What the controller did at one epoch."""
+
+    epoch: int
+    reconfigured: bool
+    moves: int
+    cost: float
+    feasible: bool
+    vector: np.ndarray
+
+
+class ReconfigurationController:
+    """Keeps an assignment current as the delay matrix drifts."""
+
+    def __init__(
+        self,
+        solver: Solver,
+        strategy: str = "hysteresis",
+        policy: "MigrationPolicy | None" = None,
+        polish_passes: int = 20,
+    ) -> None:
+        require(
+            strategy in RECONFIGURE_STRATEGIES,
+            f"unknown strategy {strategy!r}; known: {RECONFIGURE_STRATEGIES}",
+        )
+        self.solver = solver
+        self.strategy = strategy
+        self.policy = policy if policy is not None else MigrationPolicy()
+        self.polish_passes = polish_passes
+        self._vector: "np.ndarray | None" = None
+        self.total_moves = 0
+        self.reconfigurations = 0
+
+    # ------------------------------------------------------------------
+    def initialize(self, problem: AssignmentProblem) -> ControllerDecision:
+        """Epoch 0: solve the initial configuration."""
+        result = self.solver.solve(problem)
+        self._vector = result.assignment.vector
+        return ControllerDecision(
+            epoch=0,
+            reconfigured=True,
+            moves=0,
+            cost=result.assignment.total_delay(),
+            feasible=result.feasible,
+            vector=self._vector.copy(),
+        )
+
+    def observe(self, epoch: int, problem: AssignmentProblem) -> ControllerDecision:
+        """React to the refreshed problem of one mobility epoch."""
+        require(self._vector is not None, "call initialize() before observe()")
+        incumbent = Assignment(problem, self._vector)
+        current_cost = incumbent.total_delay()
+        current_feasible = incumbent.is_feasible()
+
+        if self.strategy == "static":
+            return self._decision(epoch, False, 0, current_cost, current_feasible)
+
+        if self.strategy == "polish":
+            new_vector = polish_assignment(problem, self._vector, self.polish_passes)
+            moves = count_moves(self._vector, new_vector)
+            self._commit(new_vector, moves, reconfigured=moves > 0)
+            polished = Assignment(problem, new_vector)
+            return self._decision(
+                epoch, moves > 0, moves, polished.total_delay(), polished.is_feasible()
+            )
+
+        # strategies that may re-solve
+        candidate = self.solver.solve(problem)
+        candidate_vector = candidate.assignment.vector
+        moves = count_moves(self._vector, candidate_vector)
+        if self.strategy == "always":
+            take = True
+        else:  # hysteresis
+            take = self.policy.should_migrate(
+                current_cost,
+                candidate.assignment.total_delay(),
+                moves,
+                force=not current_feasible,
+            )
+        if take and candidate.feasible:
+            self._commit(candidate_vector, moves, reconfigured=True)
+            return self._decision(
+                epoch, True, moves, candidate.assignment.total_delay(), True
+            )
+        return self._decision(epoch, False, 0, current_cost, current_feasible)
+
+    # ------------------------------------------------------------------
+    def _commit(self, vector: np.ndarray, moves: int, reconfigured: bool) -> None:
+        self._vector = vector.copy()
+        self.total_moves += moves
+        if reconfigured:
+            self.reconfigurations += 1
+
+    def _decision(
+        self, epoch: int, reconfigured: bool, moves: int, cost: float, feasible: bool
+    ) -> ControllerDecision:
+        assert self._vector is not None
+        return ControllerDecision(
+            epoch=epoch,
+            reconfigured=reconfigured,
+            moves=moves,
+            cost=cost,
+            feasible=feasible,
+            vector=self._vector.copy(),
+        )

@@ -1,0 +1,70 @@
+"""Migration cost model and the pays-to-move decision.
+
+Reassigning a device is not free — state handoff, session re-routing,
+a transient latency spike — so the controller charges each move
+``cost_per_move_s`` (expressed in the same delay units as the
+objective) and reconfigures only when the projected delay saving over
+the epoch clears that cost by a ``hysteresis`` margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_probability
+
+
+def count_moves(old_vector: np.ndarray, new_vector: np.ndarray) -> int:
+    """Number of devices whose server changes between two assignments."""
+    old = np.asarray(old_vector)
+    new = np.asarray(new_vector)
+    return int(np.count_nonzero(old != new))
+
+
+def moved_devices(old_vector: np.ndarray, new_vector: np.ndarray) -> list[int]:
+    """Indices of devices that would migrate."""
+    old = np.asarray(old_vector)
+    new = np.asarray(new_vector)
+    return [int(i) for i in np.flatnonzero(old != new)]
+
+
+class MigrationPolicy:
+    """Decides whether a candidate reassignment is worth its migrations.
+
+    Parameters
+    ----------
+    cost_per_move_s:
+        Charge per migrated device, in objective (delay) units.
+    hysteresis:
+        Required relative improvement *after* migration costs; e.g.
+        0.05 demands a 5% net win before reconfiguring.  Suppresses
+        thrashing when mobility jitters the delay matrix.
+    """
+
+    def __init__(self, cost_per_move_s: float = 0.0, hysteresis: float = 0.02) -> None:
+        self.cost_per_move_s = check_nonnegative(cost_per_move_s, "cost_per_move_s")
+        self.hysteresis = check_probability(hysteresis, "hysteresis")
+
+    def net_benefit(self, current_cost: float, candidate_cost: float, moves: int) -> float:
+        """Delay saved minus migration charges (positive = improvement)."""
+        return current_cost - candidate_cost - self.cost_per_move_s * moves
+
+    def should_migrate(
+        self,
+        current_cost: float,
+        candidate_cost: float,
+        moves: int,
+        force: bool = False,
+    ) -> bool:
+        """True when the move clears cost + hysteresis (or is forced).
+
+        ``force`` covers the non-negotiable case: the current
+        assignment became infeasible (a server is overloaded), where
+        staying put violates the hard constraint regardless of cost.
+        """
+        if force:
+            return True
+        if moves == 0:
+            return False
+        benefit = self.net_benefit(current_cost, candidate_cost, moves)
+        return benefit > self.hysteresis * max(current_cost, 1e-12)

@@ -1,0 +1,79 @@
+"""Load monitoring: the controller's eyes.
+
+Tracks per-server utilization over a sliding window of observations
+and answers the two questions the reconfiguration policy asks: is any
+server overloaded (or trending there), and how unbalanced is the
+cluster?
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+
+class LoadMonitor:
+    """Sliding-window utilization tracker for one edge cluster."""
+
+    def __init__(self, n_servers: int, window: int = 8) -> None:
+        require(n_servers >= 1, "n_servers must be >= 1")
+        require(window >= 1, "window must be >= 1")
+        self.n_servers = n_servers
+        self.window = window
+        self._history: deque[np.ndarray] = deque(maxlen=window)
+
+    def observe(self, utilization: "np.ndarray | list[float]") -> None:
+        """Record one snapshot of per-server utilization (load/capacity)."""
+        snapshot = np.asarray(utilization, dtype=np.float64).reshape(-1)
+        require(
+            snapshot.shape[0] == self.n_servers,
+            f"expected {self.n_servers} utilizations, got {snapshot.shape[0]}",
+        )
+        self._history.append(snapshot)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_observations(self) -> int:
+        """Number of snapshots currently in the window."""
+        return len(self._history)
+
+    def latest(self) -> np.ndarray:
+        """Most recent utilization snapshot (a copy)."""
+        require(self._history, "no observations yet")
+        return self._history[-1].copy()
+
+    def mean_utilization(self) -> np.ndarray:
+        """Per-server mean over the window."""
+        require(self._history, "no observations yet")
+        return np.mean(np.stack(self._history), axis=0)
+
+    def overloaded(self, threshold: float = 1.0) -> list[int]:
+        """Servers whose latest utilization exceeds ``threshold``."""
+        check_positive(threshold, "threshold")
+        if not self._history:
+            return []
+        return [int(j) for j in np.flatnonzero(self._history[-1] > threshold)]
+
+    def imbalance(self) -> float:
+        """Spread of the latest snapshot (max - min utilization)."""
+        require(self._history, "no observations yet")
+        latest = self._history[-1]
+        return float(np.max(latest) - np.min(latest))
+
+    def trend(self) -> np.ndarray:
+        """Per-server utilization slope over the window (per observation).
+
+        Least-squares slope; zero with fewer than two observations.
+        Positive trend on a near-full server is the early-warning
+        signal hysteresis strategies act on.
+        """
+        if len(self._history) < 2:
+            return np.zeros(self.n_servers)
+        stack = np.stack(self._history)
+        steps = np.arange(stack.shape[0], dtype=np.float64)
+        steps -= steps.mean()
+        denom = float(np.sum(steps**2))
+        return (steps @ (stack - stack.mean(axis=0))) / denom

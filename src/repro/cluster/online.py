@@ -1,0 +1,93 @@
+"""Online (streaming) assignment: devices arrive one at a time.
+
+A newly provisioned IoT device must be assigned immediately and
+irrevocably — the online restriction of the paper's offline problem.
+:class:`OnlineAssigner` implements the standard rules:
+
+* ``greedy_delay`` — cheapest fitting server;
+* ``balanced`` — cheapest fitting server among those below the mean
+  utilization (delay-aware load spreading);
+* ``reserve`` — cheapest fitting server whose *post-assignment*
+  utilization stays under a headroom threshold, falling back to
+  cheapest-fitting when none qualifies.
+
+The F8/online experiment compares these against the offline optimum on
+the same instance (the competitive-ratio view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfeasibleSolutionError
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.utils.validation import check_probability, require
+
+ONLINE_RULES = ("greedy_delay", "balanced", "reserve")
+
+
+class OnlineAssigner:
+    """Irrevocable one-at-a-time assignment over a fixed cluster."""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        rule: str = "reserve",
+        headroom: float = 0.85,
+    ) -> None:
+        require(rule in ONLINE_RULES, f"unknown rule {rule!r}; known: {ONLINE_RULES}")
+        self.problem = problem
+        self.rule = rule
+        self.headroom = check_probability(headroom, "headroom")
+        self.assignment = Assignment(problem)
+        self._residual = problem.capacity.copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def utilization(self) -> np.ndarray:
+        """Per-server load divided by capacity."""
+        return 1.0 - self._residual / self.problem.capacity
+
+    def assign(self, device: int) -> int:
+        """Place ``device`` now; returns the chosen server.
+
+        Raises :class:`~repro.errors.InfeasibleSolutionError` when no
+        server can take the device — in the online setting there is
+        nothing to undo, so the failure is surfaced to the caller
+        (admission control).
+        """
+        demand = self.problem.demand[device]
+        fits = np.flatnonzero(demand <= self._residual + 1e-12)
+        if fits.size == 0:
+            raise InfeasibleSolutionError(
+                f"device {device} fits on no server (residuals exhausted)"
+            )
+        chosen = self._choose(device, fits)
+        self.assignment.assign(device, chosen)
+        self._residual[chosen] -= demand[chosen]
+        return chosen
+
+    def assign_stream(self, order: "list[int] | np.ndarray") -> Assignment:
+        """Assign every device in arrival ``order``; returns the result."""
+        for device in order:
+            self.assign(int(device))
+        return self.assignment
+
+    # ------------------------------------------------------------------
+    def _choose(self, device: int, fits: np.ndarray) -> int:
+        delays = self.problem.delay[device, fits]
+        if self.rule == "greedy_delay":
+            return int(fits[np.argmin(delays)])
+        utilization = self.utilization
+        if self.rule == "balanced":
+            below_mean = fits[utilization[fits] <= float(np.mean(utilization)) + 1e-12]
+            pool = below_mean if below_mean.size else fits
+            return int(pool[np.argmin(self.problem.delay[device, pool])])
+        # reserve: keep every server under the headroom threshold if possible
+        post = (
+            self.problem.capacity[fits] * utilization[fits] + self.problem.demand[device, fits]
+        ) / self.problem.capacity[fits]
+        safe = fits[post <= self.headroom + 1e-12]
+        pool = safe if safe.size else fits
+        return int(pool[np.argmin(self.problem.delay[device, pool])])

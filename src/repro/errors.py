@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+catching unrelated bugs::
+
+    try:
+        result = solver.solve(problem)
+    except repro.errors.ReproError as exc:
+        log.warning("solver failed: %s", exc)
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or data structure failed validation.
+
+    Also a :class:`ValueError` so that generic callers relying on
+    standard exception types keep working.
+    """
+
+
+class TopologyError(ReproError):
+    """A network topology is malformed or an operation on it is invalid.
+
+    Examples: querying a link that does not exist, generating a graph
+    with contradictory parameters, or routing between disconnected
+    components.
+    """
+
+
+class RoutingError(TopologyError):
+    """No route exists between two nodes that must communicate."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"no route from node {source} to node {target}")
+        self.source = source
+        self.target = target
+
+
+class InfeasibleProblemError(ReproError):
+    """The problem instance admits no feasible assignment at all.
+
+    Raised by exact solvers when they prove infeasibility, and by
+    instance generators when asked for parameters that cannot produce
+    a feasible instance.
+    """
+
+
+class InfeasibleSolutionError(ReproError):
+    """A solution violates a hard constraint (capacity or completeness)."""
+
+
+class SolverError(ReproError):
+    """A solver failed to run (bad configuration, internal failure)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an invalid state."""
+
+
+class SerializationError(ReproError):
+    """A problem/solution/trace could not be (de)serialized."""

@@ -1,0 +1,34 @@
+"""Experiment implementations — one module per paper table/figure.
+
+Each module exposes ``run(scale="quick", seed=0) -> ResultTable`` so
+the same code drives the ``benchmarks/`` suite (``--benchmark-only``),
+the examples, and ad-hoc exploration.  ``scale`` selects the parameter
+grid from :mod:`repro.experiments.configs`: ``"quick"`` finishes in
+seconds for CI, ``"full"`` is the paper-scale sweep.
+
+Index (see DESIGN.md for the reconstruction rationale):
+
+========  =========================================  =======================
+ID        What it reproduces                          Module
+========  =========================================  =======================
+T1        optimality gap on small instances           ``t1_optimality``
+F2        delay vs number of IoT devices              ``f2_devices``
+F3        delay vs number of edge servers             ``f3_servers``
+F4        load distribution / overload safety         ``f4_load``
+F5        measured latency & deadline misses (DES)    ``f5_deadline``
+F6        RL convergence                              ``f6_convergence``
+T2        runtime scalability                         ``t2_runtime``
+F7        sensitivity to topology family              ``f7_topology``
+F8        dynamic reconfiguration under mobility      ``f8_dynamic``
+T3        ablation of TACC design choices             ``t3_ablation``
+X1        extension: membership under churn           ``x1_churn``
+X2        extension: placement sensitivity            ``x2_placement``
+X3        extension: objective trade-off              ``x3_objective``
+X4        extension: measurement-noise robustness     ``x4_noise``
+X5        extension: server-failure availability      ``x5_faults``
+========  =========================================  =======================
+"""
+
+from repro.experiments.harness import ResultTable, run_solver_field, sweep_seeds
+
+__all__ = ["ResultTable", "run_solver_field", "sweep_seeds"]

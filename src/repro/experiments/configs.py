@@ -1,0 +1,294 @@
+"""Parameter grids for every experiment, at two scales.
+
+``quick`` keeps the whole benchmark suite in the minutes range (CI,
+smoke runs); ``full`` is the paper-scale sweep used to fill
+EXPERIMENTS.md.  Both scales exercise identical code paths — only
+sizes, repeats and episode budgets differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require
+
+#: heuristics compared in most figures (exact solvers excluded: they set
+#: the reference, not the comparison)
+FIGURE_SOLVERS = [
+    "random",
+    "greedy",
+    "regret",
+    "local_search",
+    "lp_rounding",
+    "lagrangian",
+    "lns",
+    "annealing",
+    "genetic",
+    "qlearning",
+    "tacc",
+]
+
+#: reduced RL budgets for quick scale so the suite stays fast
+QUICK_SOLVER_KWARGS = {
+    "tacc": {"episodes": 120},
+    "qlearning": {"episodes": 120},
+    "sarsa": {"episodes": 120},
+    "reinforce": {"episodes": 80},
+    "bandit": {"rounds": 80},
+    "annealing": {"steps": 6000},
+    "genetic": {"population": 24, "generations": 50},
+    "lns": {"iterations": 120},
+}
+
+#: full scale still bounds the most repair-heavy solver so the suite
+#: stays tractable on one core; quality is within noise of the default
+FULL_SOLVER_KWARGS: dict[str, dict] = {
+    "lns": {"iterations": 200, "destroy_fraction": 0.15},
+}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment's parameters at one scale."""
+
+    repeats: int
+    params: dict = field(default_factory=dict)
+    solver_kwargs: dict = field(default_factory=dict)
+
+
+_CONFIGS: dict[str, dict[str, Scale]] = {
+    "t1": {
+        "quick": Scale(
+            repeats=3,
+            params={"sizes": [(10, 3), (14, 4)], "klasses": ["c", "d"]},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=5,
+            params={"sizes": [(10, 3), (15, 4), (20, 5)], "klasses": ["a", "b", "c", "d"]},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "f2": {
+        "quick": Scale(
+            repeats=2,
+            params={"n_devices": [20, 40, 60], "n_servers": 5, "n_routers": 40},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=3,
+            params={"n_devices": [25, 50, 100, 150], "n_servers": 8, "n_routers": 60},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "f3": {
+        "quick": Scale(
+            repeats=2,
+            params={"n_servers": [3, 5, 8], "n_devices": 50, "n_routers": 40},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=3,
+            params={"n_servers": [4, 6, 8, 12], "n_devices": 100, "n_routers": 60},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "f4": {
+        "quick": Scale(
+            repeats=3,
+            params={"n_devices": 50, "n_servers": 5, "n_routers": 40, "tightness": 0.85},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=5,
+            params={"n_devices": 100, "n_servers": 8, "n_routers": 60, "tightness": 0.9},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "f5": {
+        "quick": Scale(
+            repeats=2,
+            params={
+                "rate_scales": [0.5, 2.0, 6.0],
+                "n_devices": 30,
+                "n_servers": 4,
+                "n_routers": 30,
+                "duration_s": 20.0,
+                "deadline_s": 0.04,
+            },
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=3,
+            params={
+                "rate_scales": [0.5, 1.0, 2.0, 4.0, 8.0],
+                "n_devices": 60,
+                "n_servers": 6,
+                "n_routers": 50,
+                "duration_s": 40.0,
+                "deadline_s": 0.04,
+            },
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "f6": {
+        "quick": Scale(
+            repeats=3,
+            params={"episodes": 200, "n_devices": 40, "n_servers": 5, "n_routers": 40},
+        ),
+        "full": Scale(
+            repeats=3,
+            params={"episodes": 600, "n_devices": 60, "n_servers": 6, "n_routers": 50},
+        ),
+    },
+    "t2": {
+        "quick": Scale(
+            repeats=2,
+            params={"sizes": [(20, 4), (40, 5)], "include_exact_upto": 20},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=2,
+            params={"sizes": [(20, 4), (50, 6), (100, 8), (200, 10)],
+                    "include_exact_upto": 20},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "f7": {
+        "quick": Scale(
+            repeats=2,
+            params={
+                "families": ["random_geometric", "edge_hierarchy", "fat_tree"],
+                "n_devices": 40,
+                "n_servers": 5,
+                "n_routers": 40,
+            },
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=3,
+            params={
+                "families": [
+                    "random_geometric",
+                    "waxman",
+                    "barabasi_albert",
+                    "watts_strogatz",
+                    "grid",
+                    "edge_hierarchy",
+                    "fat_tree",
+                ],
+                "n_devices": 80,
+                "n_servers": 8,
+                "n_routers": 60,
+            },
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "f8": {
+        "quick": Scale(
+            repeats=2,
+            params={"epochs": 8, "n_devices": 30, "n_servers": 4, "n_routers": 30},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=3,
+            params={"epochs": 20, "n_devices": 60, "n_servers": 6, "n_routers": 50},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "x1": {
+        "quick": Scale(
+            repeats=2,
+            params={"epochs": 10, "n_devices": 40, "n_servers": 4, "n_routers": 30,
+                    "tightness": 0.8, "join_prob": 0.15, "leave_prob": 0.10,
+                    "capacity_scale": 0.55},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=3,
+            params={"epochs": 20, "n_devices": 80, "n_servers": 6, "n_routers": 50,
+                    "tightness": 0.85, "join_prob": 0.15, "leave_prob": 0.10,
+                    "capacity_scale": 0.55},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "x2": {
+        "quick": Scale(
+            repeats=2,
+            params={"n_devices": 40, "n_servers": 5, "n_routers": 40,
+                    "tightness": 0.75},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=4,
+            params={"n_devices": 80, "n_servers": 6, "n_routers": 60,
+                    "tightness": 0.8},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "x3": {
+        "quick": Scale(
+            repeats=3,
+            params={"n_devices": 40, "n_servers": 5, "n_routers": 40,
+                    "tightness": 0.8},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=5,
+            params={"n_devices": 80, "n_servers": 6, "n_routers": 60,
+                    "tightness": 0.85},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "x4": {
+        "quick": Scale(
+            repeats=2,
+            params={"n_devices": 30, "n_servers": 4, "n_routers": 30,
+                    "tightness": 0.8,
+                    "jitter_sigmas": [0.0, 0.3, 0.8],
+                    "probe_counts": [1, 5]},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=4,
+            params={"n_devices": 60, "n_servers": 6, "n_routers": 50,
+                    "tightness": 0.85,
+                    "jitter_sigmas": [0.0, 0.15, 0.3, 0.6, 1.0],
+                    "probe_counts": [1, 3, 9]},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "x5": {
+        "quick": Scale(
+            repeats=2,
+            params={"epochs": 10, "n_devices": 30, "n_servers": 4, "n_routers": 30,
+                    "tightness": 0.6, "fail_prob": 0.2, "repair_prob": 0.5},
+            solver_kwargs=QUICK_SOLVER_KWARGS,
+        ),
+        "full": Scale(
+            repeats=4,
+            params={"epochs": 25, "n_devices": 60, "n_servers": 6, "n_routers": 50,
+                    "tightness": 0.6, "fail_prob": 0.15, "repair_prob": 0.5},
+            solver_kwargs=FULL_SOLVER_KWARGS,
+        ),
+    },
+    "t3": {
+        "quick": Scale(
+            repeats=3,
+            params={"n_devices": 40, "n_servers": 5, "n_routers": 40,
+                    "tightness": 0.85, "episodes": 120},
+        ),
+        "full": Scale(
+            repeats=5,
+            params={"n_devices": 80, "n_servers": 6, "n_routers": 60,
+                    "tightness": 0.9, "episodes": 300},
+        ),
+    },
+}
+
+
+def get_config(experiment: str, scale: str) -> Scale:
+    """Look up the scale parameters of one experiment."""
+    require(experiment in _CONFIGS, f"unknown experiment {experiment!r}")
+    require(scale in ("quick", "full"), f"scale must be 'quick' or 'full', got {scale!r}")
+    return _CONFIGS[experiment][scale]

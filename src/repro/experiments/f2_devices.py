@@ -1,0 +1,68 @@
+"""F2 — total communication delay vs number of IoT devices.
+
+Sweeps the device population over a fixed topology/cluster size and
+plots each algorithm's total delay.  Expected shape: all curves grow
+monotonically; TACC lowest or tied-lowest at every point; the gap to
+delay-blind baselines widens as capacity pressure rises with N.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.configs import FIGURE_SOLVERS, get_config
+from repro.experiments.harness import ResultTable, run_solver_field
+from repro.model.instances import topology_instance
+from repro.utils.rng import derive_seed
+
+
+def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+    """Return the aggregated (n_devices, solver) → delay series."""
+    config = get_config("f2", scale)
+    raw = ResultTable(
+        ["n_devices", "solver", "total_delay_ms", "feasible"],
+        title="F2: total delay vs number of IoT devices",
+    )
+    for n_devices in config.params["n_devices"]:
+        for repeat in range(config.repeats):
+            cell_seed = derive_seed(seed, "f2", n_devices, repeat)
+            problem = topology_instance(
+                n_routers=config.params["n_routers"],
+                n_devices=n_devices,
+                n_servers=config.params["n_servers"],
+                tightness=0.75,
+                seed=cell_seed,
+            )
+            results = run_solver_field(
+                problem, FIGURE_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
+            )
+            for name, result in results.items():
+                value = result.objective_value * 1e3
+                raw.add_row(
+                    n_devices=n_devices,
+                    solver=name,
+                    total_delay_ms=value if math.isfinite(value) else math.nan,
+                    feasible=result.feasible,
+                )
+    return raw.aggregate(["n_devices", "solver"], ["total_delay_ms"])
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print this experiment's table when run as a script."""
+    from repro.utils.ascii_plot import line_chart, series_from_table
+
+    table = run()
+    print(table.to_text())
+    print()
+    print(
+        line_chart(
+            series_from_table(table, "n_devices", "total_delay_ms_mean", "solver"),
+            title="F2: total delay vs devices",
+            x_label="IoT devices",
+            y_label="total delay (ms)",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

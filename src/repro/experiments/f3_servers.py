@@ -1,0 +1,68 @@
+"""F3 — total communication delay vs number of edge servers.
+
+Fixes the device fleet and grows the cluster.  Expected shape: all
+curves fall as servers are added (more close-by options, looser
+capacities); TACC exploits new servers fastest and saturates near the
+capacity-relaxed bound; delay-blind baselines improve more slowly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.configs import FIGURE_SOLVERS, get_config
+from repro.experiments.harness import ResultTable, run_solver_field
+from repro.model.instances import topology_instance
+from repro.utils.rng import derive_seed
+
+
+def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+    """Return the aggregated (n_servers, solver) → delay series."""
+    config = get_config("f3", scale)
+    raw = ResultTable(
+        ["n_servers", "solver", "total_delay_ms", "feasible"],
+        title="F3: total delay vs number of edge servers",
+    )
+    for n_servers in config.params["n_servers"]:
+        for repeat in range(config.repeats):
+            cell_seed = derive_seed(seed, "f3", n_servers, repeat)
+            problem = topology_instance(
+                n_routers=config.params["n_routers"],
+                n_devices=config.params["n_devices"],
+                n_servers=n_servers,
+                tightness=0.75,
+                seed=cell_seed,
+            )
+            results = run_solver_field(
+                problem, FIGURE_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
+            )
+            for name, result in results.items():
+                value = result.objective_value * 1e3
+                raw.add_row(
+                    n_servers=n_servers,
+                    solver=name,
+                    total_delay_ms=value if math.isfinite(value) else math.nan,
+                    feasible=result.feasible,
+                )
+    return raw.aggregate(["n_servers", "solver"], ["total_delay_ms"])
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print this experiment's table when run as a script."""
+    from repro.utils.ascii_plot import line_chart, series_from_table
+
+    table = run()
+    print(table.to_text())
+    print()
+    print(
+        line_chart(
+            series_from_table(table, "n_servers", "total_delay_ms_mean", "solver"),
+            title="F3: total delay vs servers",
+            x_label="edge servers",
+            y_label="total delay (ms)",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""F4 — load distribution and overload safety.
+
+On deliberately tight instances (tightness ≈ 0.85–0.9), measure each
+algorithm's maximum server utilization, overloaded-server count and
+utilization spread.  Expected shape: the capacity-blind nearest-server
+strawman overloads (max utilization > 1); every capacity-aware
+algorithm, TACC included, stays at or under 1.0 — the paper's "none of
+the edge devices are overloaded" guarantee made visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.configs import FIGURE_SOLVERS, get_config
+from repro.experiments.harness import ResultTable, run_solver_field
+from repro.model.instances import topology_instance
+from repro.utils.rng import derive_seed
+
+#: the strawman is the point of this figure, so add it to the field
+F4_SOLVERS = ["nearest"] + FIGURE_SOLVERS
+
+
+def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+    """Return the aggregated per-solver load-safety table."""
+    config = get_config("f4", scale)
+    raw = ResultTable(
+        ["solver", "max_utilization", "overloaded_servers", "utilization_spread", "feasible"],
+        title="F4: load distribution and overload safety",
+    )
+    for repeat in range(config.repeats):
+        cell_seed = derive_seed(seed, "f4", repeat)
+        problem = topology_instance(
+            n_routers=config.params["n_routers"],
+            n_devices=config.params["n_devices"],
+            n_servers=config.params["n_servers"],
+            tightness=config.params["tightness"],
+            seed=cell_seed,
+        )
+        results = run_solver_field(
+            problem, F4_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
+        )
+        for name, result in results.items():
+            utilization = result.assignment.utilization()
+            raw.add_row(
+                solver=name,
+                max_utilization=float(np.max(utilization)),
+                overloaded_servers=float(len(result.assignment.overloaded_servers())),
+                utilization_spread=float(np.max(utilization) - np.min(utilization)),
+                feasible=result.feasible,
+            )
+    return raw.aggregate(
+        ["solver"], ["max_utilization", "overloaded_servers", "utilization_spread"]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print this experiment's table when run as a script."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,84 @@
+"""F5 — measured latency and deadline miss rate vs arrival rate (DES).
+
+The simulation experiment: take the static assignments produced by a
+subset of solvers, replay them as live traffic at increasing arrival
+rates, and record *measured* mean network latency, p99 end-to-end
+latency and deadline miss rate.  Expected shape: at low load the
+ordering matches the static objective (TACC best); as the rate
+approaches service capacity every curve knees upward, with the
+better-placed assignments kneeing later.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.configs import get_config
+from repro.experiments.harness import ResultTable, run_solver_field
+from repro.model.instances import topology_instance
+from repro.sim.runner import simulate_assignment
+from repro.utils.rng import derive_seed
+
+#: simulation is the expensive part, so the field is kept small
+F5_SOLVERS = ["random", "greedy", "lp_rounding", "tacc"]
+
+
+def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+    """Return the aggregated (rate_scale, solver) → measured metrics table."""
+    config = get_config("f5", scale)
+    params = config.params
+    raw = ResultTable(
+        [
+            "rate_scale",
+            "solver",
+            "mean_network_latency_ms",
+            "p99_total_latency_ms",
+            "deadline_miss_rate",
+        ],
+        title="F5: measured latency and deadline misses vs arrival rate",
+    )
+    for repeat in range(config.repeats):
+        cell_seed = derive_seed(seed, "f5", repeat)
+        problem = topology_instance(
+            n_routers=params["n_routers"],
+            n_devices=params["n_devices"],
+            n_servers=params["n_servers"],
+            tightness=0.75,
+            seed=cell_seed,
+            deadline_s=params["deadline_s"],
+        )
+        results = run_solver_field(
+            problem, F5_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
+        )
+        for rate_scale in params["rate_scales"]:
+            for name, result in results.items():
+                if not result.assignment.is_complete:
+                    continue
+                report = simulate_assignment(
+                    result.assignment,
+                    duration_s=params["duration_s"],
+                    seed=derive_seed(cell_seed, "sim", name, str(rate_scale)),
+                    rate_scale=rate_scale,
+                )
+                raw.add_row(
+                    rate_scale=rate_scale,
+                    solver=name,
+                    mean_network_latency_ms=report.mean_network_latency_ms,
+                    p99_total_latency_ms=report.p99_total_latency_ms,
+                    deadline_miss_rate=report.deadline_miss_rate
+                    if report.deadline_miss_rate is not None
+                    else math.nan,
+                )
+    return raw.aggregate(
+        ["rate_scale", "solver"],
+        ["mean_network_latency_ms", "p99_total_latency_ms", "deadline_miss_rate"],
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print this experiment's table when run as a script."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,106 @@
+"""F6 — RL training convergence.
+
+Plots the best-feasible-so-far episode cost of the RL solvers against
+training episodes, with the exact optimum (branch-and-bound) and LP
+bound as reference floors.  Expected shape: monotone non-increasing
+curves; TACC drops faster and lands closer to the optimum than plain
+Q-learning, thanks to the topology-aware exploration prior.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.configs import get_config
+from repro.experiments.harness import ResultTable
+from repro.model.instances import topology_instance
+from repro.solvers.lp import lp_lower_bound
+from repro.solvers.registry import get_solver
+from repro.utils.rng import derive_seed
+
+#: number of sample points taken from each training curve
+CURVE_POINTS = 20
+
+
+def best_so_far(episode_costs: list[float]) -> np.ndarray:
+    """Running minimum over episodes, NaN until the first feasible one."""
+    best = math.inf
+    curve = np.empty(len(episode_costs))
+    for i, cost in enumerate(episode_costs):
+        if not math.isnan(cost):
+            best = min(best, cost)
+        curve[i] = best if math.isfinite(best) else math.nan
+    return curve
+
+
+def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+    """Return the (solver, episode) → best-cost curve table.
+
+    Reference rows use solver names ``"optimum"`` and ``"lp_bound"``
+    with the same value at every sampled episode.
+    """
+    config = get_config("f6", scale)
+    params = config.params
+    episodes = params["episodes"]
+    sample_points = np.unique(
+        np.linspace(1, episodes, CURVE_POINTS).astype(int)
+    )
+    raw = ResultTable(
+        ["solver", "episode", "best_cost_ms"],
+        title="F6: RL convergence (best feasible episode cost)",
+    )
+    for repeat in range(config.repeats):
+        cell_seed = derive_seed(seed, "f6", repeat)
+        problem = topology_instance(
+            n_routers=params["n_routers"],
+            n_devices=params["n_devices"],
+            n_servers=params["n_servers"],
+            tightness=0.8,
+            seed=cell_seed,
+        )
+        references = {"lp_bound": lp_lower_bound(problem)}
+        exact = get_solver("branch_and_bound", node_budget=1_500_000).solve(problem)
+        if exact.feasible and exact.extra.get("optimal"):
+            references["optimum"] = exact.objective_value
+        for name in ("qlearning", "sarsa", "tacc", "bandit"):
+            kwargs = {"episodes": episodes} if name != "bandit" else {"rounds": episodes}
+            solver = get_solver(name, seed=derive_seed(cell_seed, name), **kwargs)
+            result = solver.solve(problem)
+            curve = best_so_far(result.extra.get("episode_costs", []))
+            for episode in sample_points:
+                if episode - 1 < curve.size:
+                    value = curve[episode - 1] * 1e3
+                    raw.add_row(
+                        solver=name,
+                        episode=int(episode),
+                        best_cost_ms=float(value) if math.isfinite(value) else math.nan,
+                    )
+        for ref_name, ref_value in references.items():
+            for episode in sample_points:
+                raw.add_row(
+                    solver=ref_name, episode=int(episode), best_cost_ms=ref_value * 1e3
+                )
+    return raw.aggregate(["solver", "episode"], ["best_cost_ms"])
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print this experiment's table when run as a script."""
+    from repro.utils.ascii_plot import line_chart, series_from_table
+
+    table = run()
+    print(table.to_text())
+    print()
+    print(
+        line_chart(
+            series_from_table(table, "episode", "best_cost_ms_mean", "solver"),
+            title="F6: best feasible episode cost vs training episodes",
+            x_label="episode",
+            y_label="best cost (ms)",
+        )
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

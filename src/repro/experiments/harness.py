@@ -1,0 +1,145 @@
+"""Shared experiment machinery: result tables and solver sweeps."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.solvers.base import SolverResult
+from repro.solvers.registry import get_solver
+from repro.utils.rng import derive_seed
+from repro.utils.stats import mean_confidence_interval
+from repro.utils.tables import format_markdown_table, format_table
+from repro.utils.validation import require
+
+
+class ResultTable:
+    """A list of homogeneous row dicts with rendering and aggregation."""
+
+    def __init__(self, columns: list[str], title: str = "") -> None:
+        require(len(columns) > 0, "columns must be non-empty")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[dict] = []
+
+    def add_row(self, **values) -> None:
+        """Append one row; keys must exactly match the columns."""
+        require(
+            set(values) == set(self.columns),
+            f"row keys {sorted(values)} != columns {sorted(self.columns)}",
+        )
+        self.rows.append(dict(values))
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> list:
+        """Values of one column across all rows."""
+        require(name in self.columns, f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **criteria) -> "ResultTable":
+        """Rows matching all equality criteria, as a new table."""
+        table = ResultTable(self.columns, self.title)
+        table.rows = [
+            row for row in self.rows if all(row[k] == v for k, v in criteria.items())
+        ]
+        return table
+
+    def aggregate(self, group_by: list[str], values: list[str]) -> "ResultTable":
+        """Mean ± 95% CI of ``values`` per distinct ``group_by`` combination.
+
+        NaNs (e.g. infeasible runs) are dropped per group; a group with
+        no finite samples reports NaN.
+        """
+        for name in group_by + values:
+            require(name in self.columns, f"unknown column {name!r}")
+        out_columns = group_by + [f"{v}_mean" for v in values] + [f"{v}_ci" for v in values]
+        out = ResultTable(out_columns, self.title)
+        seen: list[tuple] = []
+        for row in self.rows:
+            key = tuple(row[g] for g in group_by)
+            if key not in seen:
+                seen.append(key)
+        for key in seen:
+            members = [
+                row
+                for row in self.rows
+                if tuple(row[g] for g in group_by) == key
+            ]
+            record = dict(zip(group_by, key))
+            for value in values:
+                samples = [
+                    row[value]
+                    for row in members
+                    if isinstance(row[value], (int, float)) and math.isfinite(row[value])
+                ]
+                if samples:
+                    mean, half = mean_confidence_interval(samples)
+                else:
+                    mean, half = float("nan"), float("nan")
+                record[f"{value}_mean"] = mean
+                record[f"{value}_ci"] = half
+            out.add_row(**record)
+        return out
+
+    # ------------------------------------------------------------------
+    def to_text(self, float_format: str = ".4g") -> str:
+        """Paper-style ASCII table."""
+        rows = [[row[c] for c in self.columns] for row in self.rows]
+        return format_table(self.columns, rows, float_format=float_format, title=self.title)
+
+    def to_markdown(self, float_format: str = ".4g") -> str:
+        """Render the table as GitHub-flavoured Markdown."""
+        rows = [[row[c] for c in self.columns] for row in self.rows]
+        return format_markdown_table(self.columns, rows, float_format=float_format)
+
+    def save_json(self, path: "str | Path") -> None:
+        """Persist the table (title, columns, rows) as JSON."""
+        payload = {"title": self.title, "columns": self.columns, "rows": self.rows}
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load_json(cls, path: "str | Path") -> "ResultTable":
+        """Inverse of :meth:`save_json`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        table = cls(payload["columns"], payload.get("title", ""))
+        table.rows = payload["rows"]
+        return table
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def sweep_seeds(base_seed: int, repeats: int, *labels) -> list[int]:
+    """Independent per-repeat seeds for one experimental cell."""
+    return [derive_seed(base_seed, *labels, r) for r in range(repeats)]
+
+
+def run_solver_field(
+    problem: AssignmentProblem,
+    solver_names: list[str],
+    seed: int = 0,
+    solver_kwargs: "dict[str, dict] | None" = None,
+) -> dict[str, SolverResult]:
+    """Solve one instance with every named solver (seeded per solver).
+
+    ``solver_kwargs`` maps solver name to constructor overrides — the
+    knob experiments use to shrink RL episode budgets at quick scale.
+    """
+    results: dict[str, SolverResult] = {}
+    for name in solver_names:
+        kwargs = dict((solver_kwargs or {}).get(name, {}))
+        kwargs.setdefault("seed", derive_seed(seed, "solver", name))
+        solver = get_solver(name, **kwargs)
+        results[name] = solver.solve(problem)
+    return results
+
+
+def normalized_cost(result: SolverResult, reference: float) -> float:
+    """Objective relative to a reference (e.g. optimum or LP bound)."""
+    if not math.isfinite(result.objective_value) or reference <= 0:
+        return float("nan")
+    return result.objective_value / reference

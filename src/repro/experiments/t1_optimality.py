@@ -1,0 +1,80 @@
+"""T1 — optimality gap on small instances.
+
+For every (size, GAP class, repeat) cell, solve the instance exactly
+with branch-and-bound and measure each heuristic's relative gap to the
+optimum.  Expected shape: B&B gap 0 by construction; TACC single-digit
+percent; plain greedy noticeably worse on the tight/correlated classes
+(c, d); random worst.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.configs import get_config
+from repro.experiments.harness import ResultTable, run_solver_field
+from repro.model.instances import gap_instance
+from repro.solvers.registry import get_solver
+from repro.utils.rng import derive_seed
+
+#: heuristics measured against the optimum
+T1_SOLVERS = [
+    "random",
+    "greedy",
+    "regret",
+    "local_search",
+    "lp_rounding",
+    "lagrangian",
+    "lns",
+    "annealing",
+    "genetic",
+    "qlearning",
+    "sarsa",
+    "tacc",
+]
+
+
+def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+    """Return the aggregated gap table (percent above optimum)."""
+    config = get_config("t1", scale)
+    raw = ResultTable(
+        ["size", "klass", "solver", "gap_pct", "feasible"],
+        title="T1: optimality gap on small instances",
+    )
+    for n_devices, n_servers in config.params["sizes"]:
+        size_label = f"{n_devices}x{n_servers}"
+        for klass in config.params["klasses"]:
+            for repeat in range(config.repeats):
+                cell_seed = derive_seed(seed, "t1", size_label, klass, repeat)
+                problem = gap_instance(n_devices, n_servers, klass, seed=cell_seed)
+                # bounded budget keeps a pathological cell from stalling the
+                # table; cells the search cannot close are skipped below
+                exact = get_solver("branch_and_bound", node_budget=1_500_000).solve(problem)
+                if not exact.feasible or not exact.extra.get("optimal", False):
+                    continue  # skip cells where the optimum is unavailable
+                optimum = exact.objective_value
+                results = run_solver_field(
+                    problem, T1_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
+                )
+                for name, result in results.items():
+                    if result.feasible and math.isfinite(result.objective_value):
+                        gap = 100.0 * (result.objective_value / optimum - 1.0)
+                    else:
+                        gap = math.nan
+                    raw.add_row(
+                        size=size_label,
+                        klass=klass,
+                        solver=name,
+                        gap_pct=gap,
+                        feasible=result.feasible,
+                    )
+    return raw.aggregate(["size", "klass", "solver"], ["gap_pct"])
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print this experiment's table when run as a script."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,58 @@
+"""T2 — runtime scalability.
+
+Wall-clock time of every solver across instance sizes.  Expected
+shape: branch-and-bound blows up combinatorially and is only run up to
+a size cutoff; the constructive heuristics are near-instant at every
+size; metaheuristics and RL scale roughly linearly in devices ×
+budget, with TACC's cost dominated by its episode budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import FIGURE_SOLVERS, get_config
+from repro.experiments.harness import ResultTable, run_solver_field
+from repro.model.instances import topology_instance
+from repro.utils.rng import derive_seed
+
+
+def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+    """Return the aggregated (size, solver) → runtime table."""
+    config = get_config("t2", scale)
+    raw = ResultTable(
+        ["size", "solver", "runtime_s", "total_delay_ms"],
+        title="T2: solver runtime vs instance size",
+    )
+    for n_devices, n_servers in config.params["sizes"]:
+        size_label = f"{n_devices}x{n_servers}"
+        solvers = list(FIGURE_SOLVERS)
+        if n_devices <= config.params["include_exact_upto"]:
+            solvers.append("branch_and_bound")
+        for repeat in range(config.repeats):
+            cell_seed = derive_seed(seed, "t2", size_label, repeat)
+            problem = topology_instance(
+                n_routers=max(30, n_devices // 2),
+                n_devices=n_devices,
+                n_servers=n_servers,
+                tightness=0.75,
+                seed=cell_seed,
+            )
+            results = run_solver_field(
+                problem, solvers, seed=cell_seed, solver_kwargs=config.solver_kwargs
+            )
+            for name, result in results.items():
+                raw.add_row(
+                    size=size_label,
+                    solver=name,
+                    runtime_s=result.runtime_s,
+                    total_delay_ms=result.objective_value * 1e3,
+                )
+    return raw.aggregate(["size", "solver"], ["runtime_s", "total_delay_ms"])
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print this experiment's table when run as a script."""
+    print(run().to_text(float_format=".4f"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

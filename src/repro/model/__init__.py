@@ -1,0 +1,43 @@
+"""Problem model: the generalized assignment problem (GAP) instance.
+
+The paper casts IoT-to-edge cluster configuration as a GAP: minimize
+total communication delay of assigning each IoT device to one edge
+server, subject to server capacities.  This package defines:
+
+* :mod:`repro.model.entities` — devices and servers;
+* :mod:`repro.model.problem` — :class:`AssignmentProblem`;
+* :mod:`repro.model.solution` — :class:`Assignment` and feasibility;
+* :mod:`repro.model.objectives` — pluggable objective functions;
+* :mod:`repro.model.instances` — random and topology-backed instance
+  generators, including the hard correlated (Chu–Beasley style) classes.
+"""
+
+from repro.model.analysis import classify_difficulty, difficulty_report
+from repro.model.entities import EdgeServer, IoTDevice
+from repro.model.instances import gap_instance, random_instance, topology_instance
+from repro.model.objectives import (
+    DeadlineViolations,
+    LoadBalancedDelay,
+    MaxDelay,
+    Objective,
+    TotalDelay,
+)
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+
+__all__ = [
+    "classify_difficulty",
+    "difficulty_report",
+    "EdgeServer",
+    "IoTDevice",
+    "gap_instance",
+    "random_instance",
+    "topology_instance",
+    "DeadlineViolations",
+    "LoadBalancedDelay",
+    "MaxDelay",
+    "Objective",
+    "TotalDelay",
+    "AssignmentProblem",
+    "Assignment",
+]

@@ -1,0 +1,111 @@
+"""Instance diagnostics: how hard is this assignment problem?
+
+The evaluation sweeps instance *generators*; this module measures the
+properties of a concrete *instance* that predict solver behaviour:
+
+* capacity pressure (tightness, per-server headroom under the relaxed
+  optimum);
+* delay structure (spread, correlation with demand — the class-d
+  signature);
+* contention (how many devices share each relaxed-optimal server).
+
+``difficulty_report`` bundles them into one dict; the T1/F2 analyses
+in EXPERIMENTS.md reference these numbers when explaining where greedy
+breaks down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+
+
+def capacity_pressure(problem: AssignmentProblem) -> dict[str, float]:
+    """Capacity-side difficulty measures.
+
+    ``relaxed_overload_fraction`` is the share of servers that would be
+    overloaded if every device took its minimum-delay server — 0 means
+    delay-greedy is trivially feasible, large values mean the capacity
+    constraint actively fights the objective.
+    """
+    n = problem.n_devices
+    nearest = np.argmin(problem.delay, axis=1)
+    relaxed_loads = np.zeros(problem.n_servers)
+    np.add.at(relaxed_loads, nearest, problem.demand[np.arange(n), nearest])
+    overloaded = np.count_nonzero(relaxed_loads > problem.capacity + 1e-12)
+    return {
+        "tightness": problem.tightness,
+        "relaxed_overload_fraction": overloaded / problem.n_servers,
+        "relaxed_max_utilization": float(
+            np.max(relaxed_loads / problem.capacity)
+        ),
+        "mean_devices_per_server": n / problem.n_servers,
+    }
+
+
+def delay_structure(problem: AssignmentProblem) -> dict[str, float]:
+    """Delay-side difficulty measures.
+
+    ``delay_demand_correlation`` near -1 is the hard, class-d-like
+    regime: the cheapest servers are the most expensive to host.
+    ``normalized_regret`` is the mean relative price of a device's
+    second-best server — near 0 means assignment barely matters.
+    """
+    delay = problem.delay
+    flat_delay = delay.reshape(-1)
+    flat_demand = problem.demand.reshape(-1)
+    if np.std(flat_delay) > 0 and np.std(flat_demand) > 0:
+        correlation = float(np.corrcoef(flat_delay, flat_demand)[0, 1])
+    else:
+        correlation = 0.0
+    sorted_delay = np.sort(delay, axis=1)
+    best = sorted_delay[:, 0]
+    second = sorted_delay[:, 1] if problem.n_servers > 1 else best
+    regret = np.where(best > 0, (second - best) / best, 0.0)
+    return {
+        "delay_spread": float(np.max(delay) / max(float(np.min(delay)), 1e-12)),
+        "delay_demand_correlation": correlation,
+        "normalized_regret": float(np.mean(regret)),
+    }
+
+
+def server_contention(problem: AssignmentProblem) -> dict[str, float]:
+    """How concentrated is demand on the attractive servers?
+
+    ``nearest_share_top`` is the fraction of devices whose minimum-delay
+    server is the single most popular one; high values mean one hotspot
+    server decides the instance.
+    """
+    nearest = np.argmin(problem.delay, axis=1)
+    counts = np.bincount(nearest, minlength=problem.n_servers)
+    return {
+        "nearest_share_top": float(np.max(counts)) / problem.n_devices,
+        "nearest_servers_used": float(np.count_nonzero(counts)) / problem.n_servers,
+    }
+
+
+def difficulty_report(problem: AssignmentProblem) -> dict[str, float]:
+    """All diagnostics in one flat dict."""
+    report: dict[str, float] = {}
+    report.update(capacity_pressure(problem))
+    report.update(delay_structure(problem))
+    report.update(server_contention(problem))
+    return report
+
+
+def classify_difficulty(problem: AssignmentProblem) -> str:
+    """Coarse label used by logs and the CLI: easy / moderate / hard.
+
+    * **easy** — delay-greedy is feasible as-is;
+    * **hard** — tight capacities *and* anti-correlated delays (the
+      regime where only capacity-aware search wins);
+    * **moderate** — everything else.
+    """
+    pressure = capacity_pressure(problem)
+    structure = delay_structure(problem)
+    if pressure["relaxed_max_utilization"] <= 1.0:
+        return "easy"
+    if pressure["tightness"] > 0.75 and structure["delay_demand_correlation"] < -0.5:
+        return "hard"
+    return "moderate"

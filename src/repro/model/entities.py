@@ -1,0 +1,75 @@
+"""Domain entities: IoT devices and edge servers.
+
+These carry the physical parameters (demand, capacity, service rate,
+deadline) that the matrix-level :class:`~repro.model.problem.AssignmentProblem`
+abstracts over, and that the discrete-event simulator needs back when
+it replays an assignment as actual traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class IoTDevice:
+    """An IoT traffic source.
+
+    Attributes
+    ----------
+    device_id:
+        Index of the device within the problem (row of the matrices).
+    node_id:
+        Node id in the network topology (where its packets originate).
+    demand:
+        Load the device places on whichever server it is assigned to,
+        in abstract capacity units (e.g. requests/second of work).
+    rate_hz:
+        Mean message rate, used by the simulator's arrival process.
+    deadline_s:
+        End-to-end latency budget of one message; ``None`` means the
+        device has no real-time constraint.
+    """
+
+    device_id: int
+    node_id: int
+    demand: float
+    rate_hz: float = 1.0
+    deadline_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.demand, "demand")
+        check_positive(self.rate_hz, "rate_hz")
+        if self.deadline_s is not None:
+            check_positive(self.deadline_s, "deadline_s")
+
+
+@dataclass(frozen=True)
+class EdgeServer:
+    """An edge-cluster compute node.
+
+    Attributes
+    ----------
+    server_id:
+        Index within the problem (column of the matrices).
+    node_id:
+        Node id in the network topology.
+    capacity:
+        Admission-control capacity in the same units as device demand;
+        the hard "no overload" constraint of the paper.
+    service_rate:
+        Task-processing rate used by the simulator's server queue
+        (tasks/second at unit task size).
+    """
+
+    server_id: int
+    node_id: int
+    capacity: float
+    service_rate: float = 100.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity, "capacity")
+        check_positive(self.service_rate, "service_rate")
+        check_nonnegative(self.server_id, "server_id")

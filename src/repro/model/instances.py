@@ -1,0 +1,254 @@
+"""Instance generators.
+
+Three tiers, matching how the paper-style evaluation builds workloads:
+
+* :func:`random_instance` — pure matrix instances with a controlled
+  capacity *tightness*; fast, used for solver unit tests and the
+  optimality-gap table.
+* :func:`gap_instance` — the classic hard GAP classes (Chu & Beasley
+  style, adapted so delay plays the role of cost).  Class ``d`` makes
+  delay inversely correlated with demand, the regime where greedy
+  delay-chasing overloads servers.
+* :func:`topology_instance` — the full pipeline the paper evaluates:
+  generate a topology family, place the edge cluster, attach devices,
+  and derive the delay matrix from routed paths.
+
+Every generator *certifies feasibility* by finding a feasible
+assignment with first-fit-decreasing and, if none is found, relaxing
+capacities by 5% steps.  Benchmarks may therefore assume instances are
+solvable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfeasibleProblemError
+from repro.model.entities import EdgeServer, IoTDevice
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.topology.delay import DelayModel
+from repro.topology.generators import attach_iot_devices, make_topology
+from repro.topology.placement import place_edge_servers
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.validation import check_in_range, check_positive, require
+
+#: bounds of the uniform per-device demand distribution (capacity units)
+DEMAND_RANGE = (5.0, 25.0)
+
+
+def _first_fit_decreasing(problem: AssignmentProblem) -> "Assignment | None":
+    """Feasibility witness: FFD by mean demand, best-fit by residual capacity.
+
+    Returns a feasible assignment or ``None``.  GAP feasibility is
+    itself NP-hard, so this is a one-sided certificate — which is all
+    the generators need.
+    """
+    order = np.argsort(-np.mean(problem.demand, axis=1))
+    residual = problem.capacity.copy()
+    assignment = Assignment(problem)
+    for device in order:
+        fits = np.flatnonzero(problem.demand[device] <= residual + 1e-12)
+        if fits.size == 0:
+            return None
+        # take the fitting server with most residual capacity (worst-fit
+        # packing keeps options open for later large devices)
+        chosen = int(fits[np.argmax(residual[fits])])
+        assignment.assign(int(device), chosen)
+        residual[chosen] -= problem.demand[device, chosen]
+    return assignment
+
+
+def ensure_feasible_capacity(problem: AssignmentProblem, max_rounds: int = 200) -> None:
+    """Scale capacities up (5% steps) until FFD finds a feasible assignment.
+
+    Mutates ``problem.capacity`` in place (and the server entities'
+    capacities when present).  Raises
+    :class:`~repro.errors.InfeasibleProblemError` if the limit is hit —
+    which indicates a generator bug, not a legitimate instance.
+    """
+    for _ in range(max_rounds):
+        if _first_fit_decreasing(problem) is not None:
+            if problem.servers is not None:
+                problem.servers = [
+                    EdgeServer(
+                        server_id=s.server_id,
+                        node_id=s.node_id,
+                        capacity=float(problem.capacity[j]),
+                        service_rate=s.service_rate,
+                    )
+                    for j, s in enumerate(problem.servers)
+                ]
+            return
+        problem.capacity *= 1.05
+    raise InfeasibleProblemError(
+        f"could not reach feasibility after {max_rounds} capacity relaxations"
+    )
+
+
+def _capacities(
+    demand: np.ndarray,
+    n_servers: int,
+    tightness: float,
+    rng: np.random.Generator,
+    jitter: float = 0.15,
+) -> np.ndarray:
+    """Capacities sized so aggregate utilization is about ``tightness``."""
+    mean_total = float(np.sum(np.mean(demand, axis=1)))
+    base = mean_total / (n_servers * tightness)
+    factors = rng.uniform(1.0 - jitter, 1.0 + jitter, size=n_servers)
+    capacity = base * factors
+    # no single device may exceed the largest capacity, or the instance
+    # can be trivially infeasible regardless of tightness
+    largest_need = float(np.max(np.min(demand, axis=1)))
+    return np.maximum(capacity, largest_need)
+
+
+def random_instance(
+    n_devices: int,
+    n_servers: int,
+    tightness: float = 0.7,
+    seed: "int | np.random.Generator | None" = None,
+    delay_range: tuple[float, float] = (1e-3, 20e-3),
+    demand_range: tuple[float, float] = DEMAND_RANGE,
+    name: "str | None" = None,
+) -> AssignmentProblem:
+    """Uncorrelated random instance in pure matrix form.
+
+    Delays are uniform in ``delay_range`` (seconds), per-device demand
+    uniform in ``demand_range`` (broadcast over servers), capacities
+    tuned to ``tightness`` and then certified feasible.
+    """
+    require(n_devices >= 1, "n_devices must be >= 1")
+    require(n_servers >= 1, "n_servers must be >= 1")
+    check_in_range(tightness, "tightness", 0.05, 1.0, high_inclusive=False)
+    check_positive(delay_range[0], "delay_range[0]")
+    require(delay_range[1] > delay_range[0], "delay_range must be increasing")
+    rng = make_rng(seed)
+    delay = rng.uniform(delay_range[0], delay_range[1], size=(n_devices, n_servers))
+    demand = rng.uniform(demand_range[0], demand_range[1], size=n_devices)
+    problem = AssignmentProblem(
+        delay=delay,
+        demand=demand,
+        capacity=_capacities(np.repeat(demand[:, None], n_servers, axis=1),
+                             n_servers, tightness, rng),
+        name=name or f"random-{n_devices}x{n_servers}-t{tightness:.2f}",
+    )
+    ensure_feasible_capacity(problem)
+    return problem
+
+
+def gap_instance(
+    n_devices: int,
+    n_servers: int,
+    klass: str = "c",
+    seed: "int | np.random.Generator | None" = None,
+    name: "str | None" = None,
+) -> AssignmentProblem:
+    """Hard GAP benchmark classes, delay playing the role of cost.
+
+    * ``a`` — loose capacities (tightness ≈ 0.6), uncorrelated;
+    * ``b`` — moderate (≈ 0.7), uncorrelated;
+    * ``c`` — tight (≈ 0.8), uncorrelated — the standard hard class;
+    * ``d`` — tight *and* inversely correlated: the lowest-delay server
+      choices carry the highest demand, so chasing delay without
+      capacity awareness overloads immediately.
+    """
+    require(klass in ("a", "b", "c", "d"), f"unknown GAP class {klass!r}")
+    require(n_devices >= 1 and n_servers >= 1, "sizes must be >= 1")
+    rng = make_rng(seed)
+    tightness = {"a": 0.6, "b": 0.7, "c": 0.8, "d": 0.8}[klass]
+    if klass == "d":
+        demand = rng.uniform(1.0, 100.0, size=(n_devices, n_servers))
+        # delay decreases as demand rises, plus noise: greedily attractive
+        # servers are exactly the expensive ones to host
+        delay = (111.0 - demand + rng.uniform(-10.0, 10.0, size=demand.shape)) * 1e-4
+        delay = np.maximum(delay, 1e-5)
+    else:
+        demand = rng.uniform(5.0, 25.0, size=(n_devices, n_servers))
+        delay = rng.uniform(1e-3, 20e-3, size=(n_devices, n_servers))
+    problem = AssignmentProblem(
+        delay=delay,
+        demand=demand,
+        capacity=_capacities(demand, n_servers, tightness, rng),
+        name=name or f"gap-{klass}-{n_devices}x{n_servers}",
+    )
+    ensure_feasible_capacity(problem)
+    return problem
+
+
+def topology_instance(
+    family: str = "random_geometric",
+    n_routers: int = 50,
+    n_devices: int = 60,
+    n_servers: int = 6,
+    tightness: float = 0.7,
+    seed: "int | None" = None,
+    placement: str = "spread",
+    attach: str = "nearest",
+    delay_model: "DelayModel | None" = None,
+    heterogeneous_servers: bool = False,
+    deadline_s: "float | None" = None,
+    mean_rate_hz: float = 2.0,
+    name: "str | None" = None,
+) -> AssignmentProblem:
+    """The full paper pipeline: topology → cluster → devices → instance.
+
+    Parameters mirror the evaluation sweeps: topology ``family`` and
+    size, cluster size and ``placement`` strategy, device count and
+    ``attach`` strategy, capacity ``tightness``.  With
+    ``heterogeneous_servers`` the demand matrix becomes genuinely
+    server-dependent (GAP in its general form) via per-server speed
+    factors.  ``deadline_s`` stamps every device with a latency budget
+    for the deadline-miss experiments.
+    """
+    require(n_devices >= 1 and n_servers >= 1, "sizes must be >= 1")
+    check_in_range(tightness, "tightness", 0.05, 1.0, high_inclusive=False)
+    check_positive(mean_rate_hz, "mean_rate_hz")
+    base_seed = seed if seed is not None else 0
+    graph = make_topology(family, n_routers, seed=derive_seed(base_seed, "topology"))
+    server_nodes = place_edge_servers(
+        graph, n_servers, seed=derive_seed(base_seed, "placement"), strategy=placement
+    )
+    device_nodes = attach_iot_devices(
+        graph, n_devices, seed=derive_seed(base_seed, "attach"), strategy=attach
+    )
+    rng = make_rng(derive_seed(base_seed, "workload"))
+    demands = rng.uniform(*DEMAND_RANGE, size=n_devices)
+    rates = rng.uniform(0.5, 1.5, size=n_devices) * mean_rate_hz
+    devices = [
+        IoTDevice(
+            device_id=i,
+            node_id=device_nodes[i],
+            demand=float(demands[i]),
+            rate_hz=float(rates[i]),
+            deadline_s=deadline_s,
+        )
+        for i in range(n_devices)
+    ]
+    if heterogeneous_servers:
+        speed = rng.uniform(0.8, 1.25, size=n_servers)
+        demand_matrix = demands[:, None] * speed[None, :]
+    else:
+        demand_matrix = np.repeat(demands[:, None], n_servers, axis=1)
+    capacity = _capacities(demand_matrix, n_servers, tightness, rng)
+    servers = [
+        EdgeServer(
+            server_id=j,
+            node_id=server_nodes[j],
+            capacity=float(capacity[j]),
+            service_rate=float(rng.uniform(80.0, 120.0)),
+        )
+        for j in range(n_servers)
+    ]
+    problem = AssignmentProblem.from_topology(
+        graph,
+        devices,
+        servers,
+        delay_model=delay_model,
+        name=name or f"{family}-{n_devices}x{n_servers}-t{tightness:.2f}",
+    )
+    if heterogeneous_servers:
+        problem.demand = demand_matrix
+    ensure_feasible_capacity(problem)
+    return problem

@@ -1,0 +1,120 @@
+"""Pluggable objective functions over assignments.
+
+The paper's objective is total communication delay; the library also
+supports the bottleneck (max) delay, deadline-violation count and a
+load-balance-regularized variant, all behind one interface so solvers
+stay objective-agnostic.
+
+Objectives are *minimized*.  They are defined for complete assignments;
+feasibility (the capacity constraint) is enforced separately by the
+solvers, not folded into the objective — except where a solver
+explicitly opts into penalty methods (see simulated annealing).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.model.solution import Assignment
+from repro.utils.validation import check_nonnegative, require
+
+
+class Objective(abc.ABC):
+    """Scalar figure of merit of an assignment (lower is better)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def evaluate(self, assignment: Assignment) -> float:
+        """Objective value of ``assignment``."""
+
+    def __call__(self, assignment: Assignment) -> float:
+        return self.evaluate(assignment)
+
+
+class TotalDelay(Objective):
+    """Sum of device-to-server delays — the paper's objective."""
+
+    name = "total_delay"
+
+    def evaluate(self, assignment: Assignment) -> float:
+        """Objective value of ``assignment`` (lower is better)."""
+        return assignment.total_delay()
+
+
+class MaxDelay(Objective):
+    """Bottleneck delay: the worst device's communication delay."""
+
+    name = "max_delay"
+
+    def evaluate(self, assignment: Assignment) -> float:
+        """Objective value of ``assignment`` (lower is better)."""
+        return assignment.max_delay()
+
+
+class DeadlineViolations(Objective):
+    """Number of devices whose static delay already exceeds their deadline.
+
+    Deadlines come from the device entities when present, else from a
+    uniform default.  A device with no deadline never violates.
+    """
+
+    name = "deadline_violations"
+
+    def __init__(self, default_deadline_s: "float | None" = None) -> None:
+        if default_deadline_s is not None:
+            check_nonnegative(default_deadline_s, "default_deadline_s")
+        self.default_deadline_s = default_deadline_s
+
+    def evaluate(self, assignment: Assignment) -> float:
+        """Objective value of ``assignment`` (lower is better)."""
+        problem = assignment.problem
+        delays = assignment.per_device_delay()
+        violations = 0
+        for i in range(problem.n_devices):
+            deadline = self.default_deadline_s
+            if problem.devices is not None and problem.devices[i].deadline_s is not None:
+                deadline = problem.devices[i].deadline_s
+            if deadline is None or np.isnan(delays[i]):
+                continue
+            if delays[i] > deadline:
+                violations += 1
+        return float(violations)
+
+
+class LoadBalancedDelay(Objective):
+    """Total delay plus a penalty on load imbalance.
+
+    ``objective = total_delay * (1 + weight * std(utilization))`` —
+    used by the ablation that asks whether explicitly balancing load
+    helps once feasibility is already guaranteed.
+    """
+
+    name = "load_balanced_delay"
+
+    def __init__(self, weight: float = 0.5) -> None:
+        self.weight = check_nonnegative(weight, "weight")
+
+    def evaluate(self, assignment: Assignment) -> float:
+        """Objective value of ``assignment`` (lower is better)."""
+        utilization = assignment.utilization()
+        imbalance = float(np.std(utilization))
+        return assignment.total_delay() * (1.0 + self.weight * imbalance)
+
+
+def resolve_objective(objective: "Objective | str | None") -> Objective:
+    """Accept an Objective, a name, or ``None`` (→ total delay)."""
+    if objective is None:
+        return TotalDelay()
+    if isinstance(objective, Objective):
+        return objective
+    registry = {
+        TotalDelay.name: TotalDelay,
+        MaxDelay.name: MaxDelay,
+        DeadlineViolations.name: DeadlineViolations,
+        LoadBalancedDelay.name: LoadBalancedDelay,
+    }
+    require(objective in registry, f"unknown objective {objective!r}; known: {sorted(registry)}")
+    return registry[objective]()

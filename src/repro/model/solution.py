@@ -1,0 +1,178 @@
+"""Assignments and their feasibility/quality metrics.
+
+:class:`Assignment` is a thin, mutable wrapper over an ``(N,)`` vector
+of server indices (``-1`` = unassigned).  All metrics are derived from
+the owning :class:`~repro.model.problem.AssignmentProblem`'s matrices,
+so a solution is always interpreted against exactly one instance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import InfeasibleSolutionError, SerializationError
+from repro.model.problem import AssignmentProblem
+from repro.utils.validation import require
+
+UNASSIGNED = -1
+
+
+class Assignment:
+    """A (possibly partial) assignment of devices to servers."""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        vector: "np.ndarray | list[int] | None" = None,
+    ) -> None:
+        self.problem = problem
+        if vector is None:
+            self._vector = np.full(problem.n_devices, UNASSIGNED, dtype=np.int64)
+        else:
+            arr = np.asarray(vector, dtype=np.int64).reshape(-1)
+            require(
+                arr.shape[0] == problem.n_devices,
+                f"assignment vector must have length {problem.n_devices}, got {arr.shape[0]}",
+            )
+            require(
+                bool(np.all((arr >= UNASSIGNED) & (arr < problem.n_servers))),
+                f"assignment entries must be in [-1, {problem.n_servers - 1}]",
+            )
+            self._vector = arr.copy()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def assign(self, device: int, server: int) -> None:
+        """Assign ``device`` to ``server`` (overwriting any previous choice)."""
+        require(0 <= device < self.problem.n_devices, f"device {device} out of range")
+        require(0 <= server < self.problem.n_servers, f"server {server} out of range")
+        self._vector[device] = server
+
+    def unassign(self, device: int) -> None:
+        """Remove ``device``'s server choice."""
+        require(0 <= device < self.problem.n_devices, f"device {device} out of range")
+        self._vector[device] = UNASSIGNED
+
+    def copy(self) -> "Assignment":
+        """Independent copy sharing the same problem."""
+        return Assignment(self.problem, self._vector)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def vector(self) -> np.ndarray:
+        """The raw assignment vector (a copy; mutate via :meth:`assign`)."""
+        return self._vector.copy()
+
+    def server_of(self, device: int) -> int:
+        """Server index assigned to ``device`` (-1 if unassigned)."""
+        require(0 <= device < self.problem.n_devices, f"device {device} out of range")
+        return int(self._vector[device])
+
+    def devices_on(self, server: int) -> list[int]:
+        """Device indices currently assigned to ``server``."""
+        require(0 <= server < self.problem.n_servers, f"server {server} out of range")
+        return [int(i) for i in np.flatnonzero(self._vector == server)]
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every device has a server."""
+        return bool(np.all(self._vector != UNASSIGNED))
+
+    def loads(self) -> np.ndarray:
+        """Per-server load: sum of ``demand[i, a(i)]`` over assigned devices."""
+        loads = np.zeros(self.problem.n_servers, dtype=np.float64)
+        assigned = np.flatnonzero(self._vector != UNASSIGNED)
+        if assigned.size:
+            np.add.at(loads, self._vector[assigned],
+                      self.problem.demand[assigned, self._vector[assigned]])
+        return loads
+
+    def utilization(self) -> np.ndarray:
+        """Per-server load divided by capacity (1.0 = exactly full)."""
+        return self.loads() / self.problem.capacity
+
+    def overloaded_servers(self, tolerance: float = 1e-9) -> list[int]:
+        """Servers whose load exceeds capacity beyond numerical tolerance."""
+        excess = self.loads() - self.problem.capacity
+        return [int(j) for j in np.flatnonzero(excess > tolerance)]
+
+    def total_violation(self) -> float:
+        """Sum of load in excess of capacity across all servers."""
+        excess = self.loads() - self.problem.capacity
+        return float(np.sum(np.maximum(excess, 0.0)))
+
+    def is_feasible(self, tolerance: float = 1e-9) -> bool:
+        """Complete and no server overloaded — the paper's hard constraint."""
+        return self.is_complete and not self.overloaded_servers(tolerance)
+
+    def validate(self) -> None:
+        """Raise :class:`InfeasibleSolutionError` describing any violation."""
+        if not self.is_complete:
+            missing = [int(i) for i in np.flatnonzero(self._vector == UNASSIGNED)]
+            raise InfeasibleSolutionError(
+                f"{len(missing)} devices unassigned (first few: {missing[:5]})"
+            )
+        overloaded = self.overloaded_servers()
+        if overloaded:
+            util = self.utilization()
+            detail = ", ".join(f"server {j}: {util[j]:.2%}" for j in overloaded[:5])
+            raise InfeasibleSolutionError(f"overloaded servers: {detail}")
+
+    # ------------------------------------------------------------------
+    # objective values
+    # ------------------------------------------------------------------
+    def per_device_delay(self) -> np.ndarray:
+        """Delay of each assigned device; NaN for unassigned devices."""
+        delays = np.full(self.problem.n_devices, np.nan)
+        assigned = np.flatnonzero(self._vector != UNASSIGNED)
+        if assigned.size:
+            delays[assigned] = self.problem.delay[assigned, self._vector[assigned]]
+        return delays
+
+    def total_delay(self) -> float:
+        """Sum of assigned devices' delays (the paper's objective)."""
+        delays = self.per_device_delay()
+        return float(np.nansum(delays))
+
+    def mean_delay(self) -> float:
+        """Mean delay over assigned devices (NaN when none)."""
+        assigned = np.count_nonzero(self._vector != UNASSIGNED)
+        return self.total_delay() / assigned if assigned else float("nan")
+
+    def max_delay(self) -> float:
+        """Largest assigned device delay (NaN when none)."""
+        delays = self.per_device_delay()
+        finite = delays[~np.isnan(delays)]
+        return float(np.max(finite)) if finite.size else float("nan")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps({"vector": self._vector.tolist()})
+
+    @classmethod
+    def from_json(cls, problem: AssignmentProblem, text: str) -> "Assignment":
+        """Parse an instance previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+            return cls(problem, payload["vector"])
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise SerializationError(f"invalid assignment JSON: {exc}") from exc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self.problem is other.problem and bool(np.all(self._vector == other._vector))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "feasible" if self.is_feasible() else (
+            "complete-infeasible" if self.is_complete else "partial"
+        )
+        return f"Assignment({state}, total_delay={self.total_delay():.6f})"

@@ -1,0 +1,48 @@
+"""RL-based assignment heuristics — the paper's contribution.
+
+The abstract proposes "RL based heuristics to obtain a near-optimal
+assignment of IoT devices to the edge cluster while ensuring that none
+of the edge devices are overloaded".  This package implements that
+design space:
+
+* :mod:`repro.rl.env` — the sequential-assignment MDP: one episode
+  assigns all devices, one step assigns one device to one server;
+  feasibility masking makes overload *impossible by construction*;
+* :mod:`repro.rl.qlearning` — tabular Q-learning over an abstracted
+  (device, quantized-residual-loads) state;
+* :mod:`repro.rl.bandit` — per-device UCB bandits (the lightest
+  "RL based heuristic");
+* :mod:`repro.rl.reinforce` — REINFORCE policy gradient with a NumPy
+  MLP over topology-aware features;
+* :mod:`repro.rl.agent` — :class:`~repro.rl.agent.TaccSolver`, the
+  headline algorithm: Q-learning + topology-aware (delay-softmax)
+  exploration + feasibility masking + best-episode memory + local
+  search polish.
+
+All of them implement the common :class:`~repro.solvers.base.Solver`
+interface and are registered as ``"qlearning"``, ``"bandit"``,
+``"reinforce"`` and ``"tacc"``.
+"""
+
+from repro.rl.agent import TaccSolver
+from repro.rl.bandit import BanditSolver
+from repro.rl.double_q import DoubleQLearningSolver
+from repro.rl.env import AssignmentEnv, EpisodeResult
+from repro.rl.qlearning import QLearningSolver
+from repro.rl.reinforce import ReinforceSolver
+from repro.rl.sarsa import SarsaSolver
+from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+
+__all__ = [
+    "TaccSolver",
+    "BanditSolver",
+    "DoubleQLearningSolver",
+    "AssignmentEnv",
+    "EpisodeResult",
+    "QLearningSolver",
+    "ReinforceSolver",
+    "SarsaSolver",
+    "ConstantSchedule",
+    "ExponentialDecay",
+    "LinearDecay",
+]

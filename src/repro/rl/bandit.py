@@ -1,0 +1,96 @@
+"""Per-device UCB bandits — the lightest "RL based heuristic".
+
+Each device owns an independent UCB1 bandit over the servers.  A round
+rolls one episode through the masked environment: each device pulls
+the allowed arm with the highest upper confidence bound and is
+rewarded with its negative normalized delay.  Because arms interact
+only through the shared capacity mask, the bandit view is an
+approximation — which is exactly why it is a useful lower rung of the
+RL ladder to compare TACC against: it captures "learn per-device
+server preferences" without any credit for sequencing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.rl.env import AssignmentEnv
+from repro.solvers.base import Solver
+from repro.solvers.greedy import feasible_start
+from repro.utils.validation import check_nonnegative, require
+
+
+class BanditSolver(Solver):
+    """UCB1 bandit per device, rolled out through the masked env."""
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        rounds: int = 200,
+        exploration: float = 0.5,
+        load_buckets: int = 4,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        require(rounds >= 1, "rounds must be >= 1")
+        check_nonnegative(exploration, "exploration")
+        self.rounds = rounds
+        self.exploration = exploration
+        self.load_buckets = load_buckets
+
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        env = AssignmentEnv(problem, mask_infeasible=True, load_buckets=self.load_buckets)
+        n, m = problem.n_devices, problem.n_servers
+        pulls = np.zeros((n, m))
+        value = np.zeros((n, m))
+        best_cost = math.inf
+        best_vector: "np.ndarray | None" = None
+        episode_costs: list[float] = []
+
+        for round_index in range(self.rounds):
+            env.reset()
+            chosen: list[tuple[int, int, float]] = []
+            while not env.done:
+                device = env.current_device
+                actions = env.feasible_actions()
+                if actions.size == 0:  # pragma: no cover - env ends episodes
+                    break
+                total = pulls[device].sum()
+                scores = np.empty(actions.size)
+                for k, server in enumerate(actions):
+                    if pulls[device, server] == 0:
+                        scores[k] = math.inf  # force one pull per arm
+                    else:
+                        bonus = self.exploration * math.sqrt(
+                            math.log(total + 1.0) / pulls[device, server]
+                        )
+                        scores[k] = value[device, server] + bonus
+                top = scores.max()
+                tied = actions[scores >= top - 1e-15]
+                action = int(tied[rng.integers(tied.size)])
+                _, reward, _, _ = env.step(action)
+                chosen.append((device, action, reward))
+            for device, action, reward in chosen:
+                pulls[device, action] += 1.0
+                value[device, action] += (reward - value[device, action]) / pulls[device, action]
+            result = env.rollout_result()
+            episode_costs.append(result.total_delay if result.feasible else math.nan)
+            if result.feasible and result.total_delay < best_cost:
+                best_cost = result.total_delay
+                best_vector = result.vector
+
+        if best_vector is None:
+            return feasible_start(problem, rng), {
+                "iterations": self.rounds,
+                "episode_costs": episode_costs,
+                "fallback": True,
+            }
+        return Assignment(problem, best_vector), {
+            "iterations": self.rounds,
+            "episode_costs": episode_costs,
+        }

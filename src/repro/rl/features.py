@@ -1,0 +1,39 @@
+"""State featurization for the policy-gradient solver.
+
+The tabular solvers abstract state into buckets; the policy-gradient
+solver instead feeds a dense feature vector to a small MLP:
+
+* normalized routed delays of the current device to every server
+  (the topology-aware signal),
+* residual capacity fraction of every server,
+* the current device's demand relative to mean capacity,
+* episode progress.
+
+Feature dimension is ``2 * n_servers + 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.env import AssignmentEnv
+
+
+def feature_dim(n_servers: int) -> int:
+    """Length of the feature vector for a cluster of ``n_servers``."""
+    return 2 * n_servers + 2
+
+
+def state_features(env: AssignmentEnv) -> np.ndarray:
+    """Dense features of the environment's current step."""
+    problem = env.problem
+    device = env.current_device
+    norm_delay = problem.normalized_delay()[device]
+    residual_fraction = np.clip(env.residual / problem.capacity, 0.0, 1.0)
+    demand_fraction = float(
+        np.mean(problem.demand[device]) / np.mean(problem.capacity)
+    )
+    progress = env.t / env.n_steps
+    return np.concatenate(
+        [norm_delay, residual_fraction, [demand_fraction, progress]]
+    ).astype(np.float64)

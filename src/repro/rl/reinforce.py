@@ -1,0 +1,150 @@
+"""REINFORCE policy gradient with a NumPy MLP.
+
+The function-approximation member of the RL family: a one-hidden-layer
+network maps the dense topology-aware features of each step to masked
+softmax probabilities over servers.  Monte-Carlo policy gradient with
+a moving-average baseline, undiscounted (finite horizon).  Like the
+other RL solvers it is used as an anytime heuristic: the returned
+assignment is the best feasible episode sampled during training.
+
+No autograd: gradients of the two-layer tanh network are written out
+by hand, which keeps the dependency surface at exactly NumPy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.rl.env import AssignmentEnv
+from repro.rl.features import feature_dim, state_features
+from repro.solvers.base import Solver
+from repro.solvers.greedy import feasible_start
+from repro.utils.validation import check_in_range, check_positive, require
+
+_MASKED_LOGIT = -1e9
+
+
+class ReinforceSolver(Solver):
+    """Monte-Carlo policy gradient over the masked assignment MDP."""
+
+    name = "reinforce"
+
+    def __init__(
+        self,
+        episodes: int = 300,
+        hidden: int = 32,
+        learning_rate: float = 0.02,
+        baseline_decay: float = 0.9,
+        grad_clip: float = 5.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        require(episodes >= 1, "episodes must be >= 1")
+        require(hidden >= 1, "hidden must be >= 1")
+        check_positive(learning_rate, "learning_rate")
+        check_in_range(baseline_decay, "baseline_decay", 0.0, 1.0)
+        check_positive(grad_clip, "grad_clip")
+        self.episodes = episodes
+        self.hidden = hidden
+        self.learning_rate = learning_rate
+        self.baseline_decay = baseline_decay
+        self.grad_clip = grad_clip
+
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        env = AssignmentEnv(problem, mask_infeasible=True)
+        n_servers = problem.n_servers
+        dim = feature_dim(n_servers)
+        scale = 1.0 / math.sqrt(dim)
+        w1 = rng.normal(0.0, scale, size=(self.hidden, dim))
+        b1 = np.zeros(self.hidden)
+        w2 = rng.normal(0.0, 1.0 / math.sqrt(self.hidden), size=(n_servers, self.hidden))
+        b2 = np.zeros(n_servers)
+
+        baseline = 0.0
+        baseline_initialized = False
+        best_cost = math.inf
+        best_vector: "np.ndarray | None" = None
+        episode_costs: list[float] = []
+
+        for _ in range(self.episodes):
+            env.reset()
+            trajectory: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]] = []
+            episode_return = 0.0
+            while not env.done:
+                mask = env.action_mask()
+                x = state_features(env)
+                hidden_pre = w1 @ x + b1
+                hidden_act = np.tanh(hidden_pre)
+                logits = w2 @ hidden_act + b2
+                logits = np.where(mask, logits, _MASKED_LOGIT)
+                logits = logits - logits.max()
+                probs = np.exp(logits)
+                probs /= probs.sum()
+                action = int(rng.choice(n_servers, p=probs))
+                _, reward, _, _ = env.step(action)
+                episode_return += reward
+                trajectory.append((x, hidden_act, probs, mask, action))
+
+            result = env.rollout_result()
+            episode_costs.append(result.total_delay if result.feasible else math.nan)
+            if result.feasible and result.total_delay < best_cost:
+                best_cost = result.total_delay
+                best_vector = result.vector
+
+            if not baseline_initialized:
+                baseline = episode_return
+                baseline_initialized = True
+            else:
+                baseline = (
+                    self.baseline_decay * baseline
+                    + (1.0 - self.baseline_decay) * episode_return
+                )
+            advantage = episode_return - baseline
+            if advantage == 0.0:
+                continue
+
+            gw1 = np.zeros_like(w1)
+            gb1 = np.zeros_like(b1)
+            gw2 = np.zeros_like(w2)
+            gb2 = np.zeros_like(b2)
+            for x, hidden_act, probs, mask, action in trajectory:
+                dlogits = -probs
+                dlogits[action] += 1.0
+                dlogits *= advantage
+                dlogits = np.where(mask, dlogits, 0.0)
+                gw2 += np.outer(dlogits, hidden_act)
+                gb2 += dlogits
+                dhidden = (w2.T @ dlogits) * (1.0 - hidden_act**2)
+                gw1 += np.outer(dhidden, x)
+                gb1 += dhidden
+            # gradient ascent with clipping
+            norm = math.sqrt(
+                float(
+                    np.sum(gw1**2) + np.sum(gb1**2) + np.sum(gw2**2) + np.sum(gb2**2)
+                )
+            )
+            if norm > self.grad_clip:
+                factor = self.grad_clip / norm
+                gw1 *= factor
+                gb1 *= factor
+                gw2 *= factor
+                gb2 *= factor
+            w1 += self.learning_rate * gw1
+            b1 += self.learning_rate * gb1
+            w2 += self.learning_rate * gw2
+            b2 += self.learning_rate * gb2
+
+        if best_vector is None:
+            return feasible_start(problem, rng), {
+                "iterations": self.episodes,
+                "episode_costs": episode_costs,
+                "fallback": True,
+            }
+        return Assignment(problem, best_vector), {
+            "iterations": self.episodes,
+            "episode_costs": episode_costs,
+        }

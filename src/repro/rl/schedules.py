@@ -1,0 +1,50 @@
+"""Exploration/learning-rate schedules for the RL heuristics."""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_nonnegative, check_positive, require
+
+
+class ConstantSchedule:
+    """Always returns the same value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = check_nonnegative(value, "value")
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+
+class ExponentialDecay:
+    """``end + (start - end) * exp(-rate * step)``.
+
+    The default exploration schedule: fast early decay, a floor that
+    keeps a trickle of exploration for the whole run.
+    """
+
+    def __init__(self, start: float, end: float, rate: float) -> None:
+        self.start = check_nonnegative(start, "start")
+        self.end = check_nonnegative(end, "end")
+        self.rate = check_positive(rate, "rate")
+        require(start >= end, "start must be >= end")
+
+    def __call__(self, step: int) -> float:
+        return self.end + (self.start - self.end) * math.exp(-self.rate * step)
+
+
+class LinearDecay:
+    """Linear ramp from ``start`` to ``end`` over ``steps`` steps, then flat."""
+
+    def __init__(self, start: float, end: float, steps: int) -> None:
+        self.start = check_nonnegative(start, "start")
+        self.end = check_nonnegative(end, "end")
+        require(steps >= 1, "steps must be >= 1")
+        self.steps = steps
+
+    def __call__(self, step: int) -> float:
+        if step >= self.steps:
+            return self.end
+        fraction = step / self.steps
+        return self.start + (self.end - self.start) * fraction

@@ -1,0 +1,80 @@
+"""IoT traffic sources.
+
+Each device owns an arrival process (from :mod:`repro.workload`), a
+task factory, and its routed path to the assigned server; on each
+arrival it emits a task into the network fabric.  Generation stops at
+the horizon so the run drains cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.model.entities import IoTDevice
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkFabric
+from repro.sim.server import EdgeServerQueue
+from repro.sim.task import Task
+from repro.topology.routing import Path
+from repro.utils.validation import check_positive
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.tasks import TaskFactory
+
+
+class IoTTrafficSource:
+    """Generates this device's tasks and launches them toward its server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: IoTDevice,
+        server_id: int,
+        path: Path,
+        fabric: NetworkFabric,
+        server_queue: EdgeServerQueue,
+        arrivals: ArrivalProcess,
+        task_factory: TaskFactory,
+        rng: np.random.Generator,
+        horizon_s: float,
+        on_created: "Callable[[Task], None] | None" = None,
+    ) -> None:
+        check_positive(horizon_s, "horizon_s")
+        self._sim = sim
+        self.device = device
+        self._server_id = server_id
+        self._path = path
+        self._fabric = fabric
+        self._server_queue = server_queue
+        self._arrivals = arrivals
+        self._task_factory = task_factory
+        self._rng = rng
+        self._horizon_s = horizon_s
+        self._on_created = on_created
+        self.tasks_generated = 0
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._arrivals.next_interval(self._rng)
+        next_time = self._sim.now + gap
+        if next_time > self._horizon_s:
+            return
+        self._sim.schedule(gap, self._emit)
+
+    def _emit(self) -> None:
+        task = self._task_factory.make(
+            device_id=self.device.device_id,
+            server_id=self._server_id,
+            created_at=self._sim.now,
+            deadline_s=self.device.deadline_s,
+            rng=self._rng,
+        )
+        self.tasks_generated += 1
+        if self._on_created is not None:
+            self._on_created(task)
+        self._fabric.forward(task, self._path, self._server_queue.submit)
+        self._schedule_next()

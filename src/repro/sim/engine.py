@@ -1,0 +1,75 @@
+"""The discrete-event simulation core.
+
+Minimal by design: a clock, a future-event list, and a run loop.  All
+domain behaviour (links, servers, sources) lives in components that
+schedule callbacks on the shared :class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.utils.validation import check_nonnegative, require
+
+
+class Simulator:
+    """Event loop with a virtual clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Return events processed."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Fire ``callback`` after ``delay`` seconds of virtual time."""
+        check_nonnegative(delay, "delay")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Fire ``callback`` at absolute virtual ``time`` (not in the past)."""
+        require(time >= self._now, f"cannot schedule at {time} before now={self._now}")
+        return self._queue.push(time, callback)
+
+    def run(self, until: "float | None" = None, max_events: int = 50_000_000) -> None:
+        """Process events in order until the queue drains or ``until``.
+
+        Events scheduled exactly at ``until`` still fire.  The event
+        budget guards against runaway feedback loops (a component that
+        schedules itself at zero delay).
+        """
+        if until is not None:
+            check_nonnegative(until, "until")
+        processed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            if event.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"time went backwards: event at {event.time} < now {self._now}"
+                )
+            self._now = event.time
+            event.callback()
+            processed += 1
+            self._events_processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a zero-delay loop"
+                )
+        if until is not None and self._now < until:
+            self._now = until

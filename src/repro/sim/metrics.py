@@ -1,0 +1,122 @@
+"""Measurement: what the simulated deployment actually experienced.
+
+:class:`MetricsRecorder` hooks task creation and completion;
+:class:`SimReport` is the frozen result the benchmarks tabulate.
+Latency percentiles are computed from the full per-task sample (runs
+are minutes of virtual time, so the sample fits comfortably); rolling
+:class:`~repro.utils.stats.OnlineStats` back the conservation checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.task import Task
+from repro.utils.stats import Summary, summarize
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Aggregated outcome of one simulation run."""
+
+    duration_s: float
+    tasks_created: int
+    tasks_completed: int
+    network_latency: Summary
+    total_latency: Summary
+    deadline_miss_rate: "float | None"
+    server_utilization: "tuple[float, ...]"
+    mean_network_latency_ms: float
+    p99_total_latency_ms: float
+
+    def as_dict(self) -> dict:
+        """Flat dict for tables/JSON."""
+        return {
+            "duration_s": self.duration_s,
+            "tasks_created": self.tasks_created,
+            "tasks_completed": self.tasks_completed,
+            "mean_network_latency_ms": self.mean_network_latency_ms,
+            "p99_total_latency_ms": self.p99_total_latency_ms,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "max_server_utilization": max(self.server_utilization)
+            if self.server_utilization
+            else float("nan"),
+        }
+
+
+class MetricsRecorder:
+    """Collects per-task outcomes during a run.
+
+    ``warmup_s`` implements the standard DES transient cut: tasks
+    *created* before the warm-up boundary are counted for conservation
+    but excluded from every latency/deadline statistic, so measurements
+    reflect steady state rather than the empty-system start.
+    """
+
+    def __init__(self, warmup_s: float = 0.0) -> None:
+        if warmup_s < 0:
+            raise SimulationError(f"warmup_s must be >= 0, got {warmup_s}")
+        self.warmup_s = warmup_s
+        self.tasks_created = 0
+        self.tasks_completed_total = 0
+        self._completed: list[Task] = []
+        self._deadline_tasks = 0
+        self._deadline_misses = 0
+
+    # ------------------------------------------------------------------
+    def on_created(self, task: Task) -> None:
+        """Return on created."""
+        self.tasks_created += 1
+
+    def on_completed(self, task: Task) -> None:
+        """Return on completed."""
+        if task.completed_at is None or task.arrived_at is None:
+            raise SimulationError(f"task {task.task_id} completed without timestamps")
+        self.tasks_completed_total += 1
+        if task.created_at < self.warmup_s:
+            return  # transient: conserved but not measured
+        self._completed.append(task)
+        if task.deadline_s is not None:
+            self._deadline_tasks += 1
+            if task.missed_deadline:
+                self._deadline_misses += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks_completed(self) -> int:
+        """Return tasks completed."""
+        return len(self._completed)
+
+    def network_latencies(self) -> np.ndarray:
+        """Return network latencies."""
+        return np.array([t.network_latency for t in self._completed], dtype=np.float64)
+
+    def total_latencies(self) -> np.ndarray:
+        """Return total latencies."""
+        return np.array([t.total_latency for t in self._completed], dtype=np.float64)
+
+    def report(
+        self,
+        duration_s: float,
+        server_utilization: "list[float] | None" = None,
+    ) -> SimReport:
+        """Freeze the run into a :class:`SimReport`."""
+        network = summarize(self.network_latencies())
+        total = summarize(self.total_latencies())
+        miss_rate = (
+            self._deadline_misses / self._deadline_tasks if self._deadline_tasks else None
+        )
+        return SimReport(
+            duration_s=duration_s,
+            tasks_created=self.tasks_created,
+            tasks_completed=self.tasks_completed,
+            network_latency=network,
+            total_latency=total,
+            deadline_miss_rate=miss_rate,
+            server_utilization=tuple(server_utilization or ()),
+            mean_network_latency_ms=network.mean * 1e3,
+            p99_total_latency_ms=total.p99 * 1e3,
+        )

@@ -1,0 +1,145 @@
+"""One-call replay of a solved assignment as live traffic.
+
+:func:`simulate_assignment` builds the whole simulation — fabric,
+server queues, traffic sources, recorder — from a topology-backed
+problem and a complete assignment, runs it for the requested horizon
+plus a drain period, and returns the :class:`~repro.sim.metrics.SimReport`.
+
+This is the bridge the F5 experiment crosses: solver results computed
+on the static delay matrix are fed back in here, and the *measured*
+latencies and deadline misses are what the figure reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError, ValidationError
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRecorder, SimReport
+from repro.sim.network import NetworkFabric
+from repro.sim.server import EdgeServerQueue
+from repro.sim.device import IoTTrafficSource
+from repro.topology.delay import TransmissionDelayModel
+from repro.topology.routing import routing_paths
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.validation import check_nonnegative, check_positive, require
+from repro.workload.arrivals import ArrivalProcess, PoissonProcess
+from repro.workload.tasks import TaskFactory
+
+
+def simulate_assignment(
+    assignment: Assignment,
+    duration_s: float = 60.0,
+    seed: int = 0,
+    rate_scale: float = 1.0,
+    drain_s: float = 5.0,
+    service: str = "exponential",
+    task_factory: "TaskFactory | None" = None,
+    arrivals: "dict[int, ArrivalProcess] | None" = None,
+    warmup_s: float = 0.0,
+) -> SimReport:
+    """Simulate ``assignment`` for ``duration_s`` of virtual time.
+
+    Parameters
+    ----------
+    assignment:
+        A complete assignment over a topology-backed problem (one built
+        by :func:`~repro.model.instances.topology_instance`).
+    rate_scale:
+        Multiplies every device's arrival rate — the load knob of the
+        deadline-miss sweep.
+    drain_s:
+        Extra virtual time after generation stops so in-flight tasks
+        can finish; their latencies are still recorded.
+    service:
+        ``"exponential"`` (M/M/1-like servers) or ``"deterministic"``.
+    arrivals:
+        Optional per-device arrival-process overrides (device_id →
+        process); other devices default to Poisson at their entity rate.
+    warmup_s:
+        Tasks created before this instant are excluded from the
+        latency/deadline statistics (standard transient removal).
+    """
+    problem = assignment.problem
+    if problem.graph is None or problem.devices is None or problem.servers is None:
+        raise ValidationError(
+            "simulation requires a topology-backed problem (use topology_instance)"
+        )
+    if not assignment.is_complete:
+        raise ValidationError("cannot simulate a partial assignment")
+    check_positive(duration_s, "duration_s")
+    check_positive(rate_scale, "rate_scale")
+    check_nonnegative(drain_s, "drain_s")
+    check_nonnegative(warmup_s, "warmup_s")
+    require(warmup_s < duration_s, "warmup_s must be shorter than duration_s")
+
+    sim = Simulator()
+    recorder = MetricsRecorder(warmup_s=warmup_s)
+    fabric = NetworkFabric(sim, problem.graph)
+    delay_model = TransmissionDelayModel()
+
+    queues: list[EdgeServerQueue] = []
+    for server in problem.servers:
+        queues.append(
+            EdgeServerQueue(
+                sim,
+                server,
+                rng=make_rng(derive_seed(seed, "server", server.server_id)),
+                service=service,
+                on_complete=recorder.on_completed,
+            )
+        )
+
+    # one Dijkstra per server covers every device assigned to it
+    factory = task_factory if task_factory is not None else TaskFactory()
+    sources: list[IoTTrafficSource] = []
+    vector = assignment.vector
+    for server_index, server in enumerate(problem.servers):
+        assigned = np.flatnonzero(vector == server_index)
+        if assigned.size == 0:
+            continue
+        device_nodes = [problem.devices[int(i)].node_id for i in assigned]
+        paths = routing_paths(
+            problem.graph, device_nodes, server.node_id, delay_model.link_weight
+        )
+        for device_index in assigned:
+            device = problem.devices[int(device_index)]
+            process = (arrivals or {}).get(device.device_id) or PoissonProcess(
+                device.rate_hz * rate_scale
+            )
+            if arrivals and device.device_id in arrivals and rate_scale != 1.0:
+                # overridden processes are used as-is; scaling them too
+                # would double-apply the load knob
+                process = arrivals[device.device_id]
+            sources.append(
+                IoTTrafficSource(
+                    sim=sim,
+                    device=device,
+                    server_id=server.server_id,
+                    path=paths[device.node_id],
+                    fabric=fabric,
+                    server_queue=queues[server_index],
+                    arrivals=process,
+                    task_factory=factory,
+                    rng=make_rng(derive_seed(seed, "device", device.device_id)),
+                    horizon_s=duration_s,
+                    on_created=recorder.on_created,
+                )
+            )
+
+    for source in sources:
+        source.start()
+    sim.run(until=duration_s + drain_s)
+
+    if recorder.tasks_completed_total > recorder.tasks_created:
+        raise SimulationError(
+            f"conservation violated: {recorder.tasks_completed_total} completed "
+            f"> {recorder.tasks_created} created"
+        )
+    return recorder.report(
+        duration_s=duration_s,
+        server_utilization=[q.utilization(duration_s) for q in queues],
+    )

@@ -1,0 +1,86 @@
+"""Edge-server processing queues.
+
+A server is a single FIFO service station: tasks arrive from the
+network, wait for the processor, and hold it for
+``compute_units / service_rate`` seconds (optionally exponentially
+distributed around that mean, giving M/M/1-like behaviour per server).
+Server queueing is what turns an *overloaded* assignment into visibly
+unbounded latency in the F5 experiment — the dynamic counterpart of
+the paper's static capacity constraint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.model.entities import EdgeServer
+from repro.sim.engine import Simulator
+from repro.sim.task import Task
+from repro.utils.validation import require
+
+
+class EdgeServerQueue:
+    """FIFO single-processor queue for one edge server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: EdgeServer,
+        rng: np.random.Generator,
+        service: str = "exponential",
+        on_complete: "Callable[[Task], None] | None" = None,
+    ) -> None:
+        require(service in ("exponential", "deterministic"), f"unknown service {service!r}")
+        self._sim = sim
+        self.server = server
+        self._rng = rng
+        self._service = service
+        self._on_complete = on_complete
+        self._queue: deque[Task] = deque()
+        self._busy = False
+        self.tasks_completed = 0
+        self.busy_time = 0.0
+
+    def submit(self, task: Task) -> None:
+        """Task arrived over the network; queue it for processing."""
+        task.arrived_at = self._sim.now
+        self._queue.append(task)
+        if not self._busy:
+            self._serve_next()
+
+    def _service_time(self, task: Task) -> float:
+        mean = task.compute_units / self.server.service_rate
+        if self._service == "deterministic":
+            return mean
+        return float(self._rng.exponential(mean))
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        task = self._queue.popleft()
+        service_time = self._service_time(task)
+        self.busy_time += service_time
+
+        def finish() -> None:
+            """Return finish."""
+            task.completed_at = self._sim.now
+            self.tasks_completed += 1
+            if self._on_complete is not None:
+                self._on_complete(task)
+            self._serve_next()
+
+        self._sim.schedule(service_time, finish)
+
+    @property
+    def queue_length(self) -> int:
+        """Return queue length."""
+        return len(self._queue)
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the processor was busy."""
+        return self.busy_time / duration if duration > 0 else 0.0

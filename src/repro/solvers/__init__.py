@@ -1,0 +1,68 @@
+"""Assignment solvers: exact, baseline heuristics, and market/metaheuristics.
+
+The paper positions its RL heuristic against "the state-of-the-art";
+this package implements that comparison field:
+
+* :mod:`repro.solvers.exact` — brute force and branch-and-bound (the
+  optimum for the gap tables);
+* :mod:`repro.solvers.greedy` — constructive heuristics, from the
+  capacity-blind nearest-server strawman to regret-based greedy;
+* :mod:`repro.solvers.local_search` — shift/swap hill climbing and tabu;
+* :mod:`repro.solvers.annealing` — simulated annealing with penalties;
+* :mod:`repro.solvers.genetic` — GA with repair;
+* :mod:`repro.solvers.lp` — LP relaxation bound and LP rounding;
+* :mod:`repro.solvers.auction` — price-based market heuristic.
+
+The RL solvers (the paper's contribution) live in :mod:`repro.rl` and
+plug into the same :class:`~repro.solvers.base.Solver` interface; the
+registry in :mod:`repro.solvers.registry` knows all of them by name.
+"""
+
+from repro.solvers.annealing import SimulatedAnnealingSolver
+from repro.solvers.auction import AuctionSolver
+from repro.solvers.base import Solver, SolverResult
+from repro.solvers.bottleneck import BottleneckSolver
+from repro.solvers.exact import BranchAndBoundSolver, BruteForceSolver
+from repro.solvers.genetic import GeneticSolver
+from repro.solvers.greedy import (
+    BestFitSolver,
+    GreedyFeasibleSolver,
+    NearestServerSolver,
+    RandomFeasibleSolver,
+    RegretGreedySolver,
+    RoundRobinSolver,
+    WorstFitSolver,
+)
+from repro.solvers.lagrangian import LagrangianSolver
+from repro.solvers.lns import LNSSolver
+from repro.solvers.local_search import LocalSearchSolver, TabuSearchSolver
+from repro.solvers.lp import LPRoundingSolver, lp_lower_bound
+from repro.solvers.portfolio import PortfolioSolver
+from repro.solvers.registry import available_solvers, get_solver
+
+__all__ = [
+    "SimulatedAnnealingSolver",
+    "AuctionSolver",
+    "Solver",
+    "SolverResult",
+    "BottleneckSolver",
+    "BranchAndBoundSolver",
+    "BruteForceSolver",
+    "GeneticSolver",
+    "BestFitSolver",
+    "GreedyFeasibleSolver",
+    "NearestServerSolver",
+    "RandomFeasibleSolver",
+    "RegretGreedySolver",
+    "RoundRobinSolver",
+    "WorstFitSolver",
+    "LagrangianSolver",
+    "LNSSolver",
+    "LocalSearchSolver",
+    "TabuSearchSolver",
+    "LPRoundingSolver",
+    "PortfolioSolver",
+    "lp_lower_bound",
+    "available_solvers",
+    "get_solver",
+]

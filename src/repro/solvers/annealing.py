@@ -1,0 +1,114 @@
+"""Simulated annealing with a capacity-penalty energy.
+
+Unlike the feasibility-invariant neighbourhood solvers, annealing is
+allowed to *pass through* infeasible states: the energy function is
+
+    energy = total_delay + penalty * total_overload
+
+with ``penalty`` auto-scaled so that one unit of overload always costs
+more than the largest possible delay saving — overloaded states can be
+visited but never beat a feasible optimum.  The best *feasible* state
+seen is what is returned, preserving the paper's no-overload guarantee
+at the output.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.solvers.base import Solver
+from repro.solvers.greedy import feasible_start
+from repro.utils.validation import check_in_range, check_positive, require
+
+
+class SimulatedAnnealingSolver(Solver):
+    """Geometric-cooling simulated annealing over shift moves."""
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        steps: int = 20_000,
+        initial_temperature: "float | None" = None,
+        cooling: float = 0.999,
+        penalty_factor: float = 2.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        require(steps >= 1, "steps must be >= 1")
+        check_in_range(cooling, "cooling", 0.0, 1.0, low_inclusive=False, high_inclusive=False)
+        check_positive(penalty_factor, "penalty_factor")
+        if initial_temperature is not None:
+            check_positive(initial_temperature, "initial_temperature")
+        self.steps = steps
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.penalty_factor = penalty_factor
+
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        n, m = problem.n_devices, problem.n_servers
+        start = feasible_start(problem, rng)
+        if not start.is_complete:
+            # fall back to the delay-optimal (possibly infeasible) start;
+            # the penalty drives the walk back into the feasible region
+            start = Assignment(problem, np.argmin(problem.delay, axis=1))
+        vector = start.vector
+        loads = start.loads()
+
+        delay_span = float(np.max(problem.delay) - np.min(problem.delay))
+        min_demand = float(np.min(problem.demand))
+        # one unit of overload outweighs the biggest delay swing
+        penalty = self.penalty_factor * max(delay_span, 1e-12) / max(min_demand, 1e-12)
+
+        def violation() -> float:
+            """Return violation."""
+            return float(np.sum(np.maximum(loads - problem.capacity, 0.0)))
+
+        cost = float(np.sum(problem.delay[np.arange(n), vector]))
+        energy = cost + penalty * violation()
+        temperature = self.initial_temperature
+        if temperature is None:
+            # accept a typical uphill move ~60% of the time initially
+            temperature = max(delay_span, 1e-9)
+
+        best_feasible_vector = start.vector if start.is_feasible() else None
+        best_feasible_cost = cost if start.is_feasible() else math.inf
+        accepted = 0
+        for _ in range(self.steps):
+            device = int(rng.integers(n))
+            server = int(rng.integers(m))
+            current = int(vector[device])
+            if server == current:
+                temperature *= self.cooling
+                continue
+            old_violation = violation()
+            loads[current] -= problem.demand[device, current]
+            loads[server] += problem.demand[device, server]
+            new_violation = violation()
+            delta_cost = problem.delay[device, server] - problem.delay[device, current]
+            delta_energy = delta_cost + penalty * (new_violation - old_violation)
+            if delta_energy <= 0 or rng.random() < math.exp(-delta_energy / temperature):
+                vector[device] = server
+                cost += delta_cost
+                energy += delta_energy
+                accepted += 1
+                if new_violation <= 1e-12 and cost < best_feasible_cost:
+                    best_feasible_cost = cost
+                    best_feasible_vector = vector.copy()
+            else:
+                loads[current] += problem.demand[device, current]
+                loads[server] -= problem.demand[device, server]
+            temperature *= self.cooling
+        if best_feasible_vector is None:
+            return Assignment(problem, vector), {
+                "iterations": self.steps,
+                "accepted": accepted,
+            }
+        return Assignment(problem, best_feasible_vector), {
+            "iterations": self.steps,
+            "accepted": accepted,
+        }

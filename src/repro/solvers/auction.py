@@ -1,0 +1,104 @@
+"""Auction (market-based) assignment heuristic.
+
+A price-adjustment scheme in the spirit of Bertsekas' auction
+algorithm, adapted to capacitated many-to-one assignment — a standard
+distributed comparator in the edge-offloading literature because it
+decomposes naturally across servers:
+
+1. every unplaced device bids for the server minimizing
+   ``delay[i, j] + price[j] * demand[i, j]``;
+2. each server admits bids in bid-value order up to capacity and
+   bounces the rest;
+3. any server that had to bounce raises its unit-load price by ``eps``.
+
+Prices only rise, so crowded low-delay servers price themselves out of
+marginal devices and the system settles.  A final greedy pass places
+any stragglers; the drain-repair from LP rounding guarantees the
+capacity constraint on output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.solvers.base import Solver
+from repro.solvers.greedy import feasible_start
+from repro.solvers.lp import LPRoundingSolver
+from repro.utils.validation import check_positive, require
+
+
+class AuctionSolver(Solver):
+    """Iterative price-based bidding for servers."""
+
+    name = "auction"
+
+    def __init__(self, max_rounds: int = 200, eps: "float | None" = None, **kwargs) -> None:
+        super().__init__(**kwargs)
+        require(max_rounds >= 1, "max_rounds must be >= 1")
+        if eps is not None:
+            check_positive(eps, "eps")
+        self.max_rounds = max_rounds
+        self.eps = eps
+
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        n, m = problem.n_devices, problem.n_servers
+        mean_demand = float(np.mean(problem.demand))
+        # price step sized so a few bumps meaningfully reorder choices
+        eps = self.eps if self.eps is not None else float(
+            0.05 * (np.max(problem.delay) - np.min(problem.delay) + 1e-12) / mean_demand
+        )
+        price = np.zeros(m)
+        placed = np.full(n, -1, dtype=np.int64)
+        rounds = 0
+        for _ in range(self.max_rounds):
+            rounds += 1
+            unplaced = np.flatnonzero(placed < 0)
+            if unplaced.size == 0:
+                break
+            # 1. bids
+            bids: list[list[tuple[float, int]]] = [[] for _ in range(m)]
+            for device in unplaced:
+                value = problem.delay[device] + price * problem.demand[device]
+                server = int(np.argmin(value))
+                bids[server].append((float(value[server]), int(device)))
+            # 2. admission up to residual capacity
+            loads = np.zeros(m)
+            kept = placed >= 0
+            if np.any(kept):
+                kept_idx = np.flatnonzero(kept)
+                np.add.at(loads, placed[kept_idx], problem.demand[kept_idx, placed[kept_idx]])
+            bounced = False
+            for server in range(m):
+                for _, device in sorted(bids[server]):
+                    need = problem.demand[device, server]
+                    if loads[server] + need <= problem.capacity[server] + 1e-12:
+                        placed[device] = server
+                        loads[server] += need
+                    else:
+                        bounced = True
+                        price[server] += eps  # 3. congested server raises price
+            if not bounced and np.all(placed >= 0):
+                break
+        # stragglers (price war ran out of rounds): greedy completion
+        if np.any(placed < 0):
+            residual = problem.capacity.copy()
+            assigned = np.flatnonzero(placed >= 0)
+            np.add.at(residual, placed[assigned], -problem.demand[assigned, placed[assigned]])
+            for device in np.flatnonzero(placed < 0):
+                fits = np.flatnonzero(problem.demand[device] <= residual + 1e-12)
+                if fits.size:
+                    server = int(fits[np.argmin(problem.delay[device, fits])])
+                else:
+                    server = int(np.argmin(problem.delay[device]))
+                placed[device] = server
+                residual[server] -= problem.demand[device, server]
+        LPRoundingSolver._repair(problem, placed)
+        assignment = Assignment(problem, placed)
+        if not assignment.is_feasible():
+            # market failed outright: fall back to the greedy baseline
+            fallback = feasible_start(problem, rng)
+            if fallback.is_feasible():
+                return fallback, {"iterations": rounds, "fallback": True}
+        return assignment, {"iterations": rounds}

@@ -1,0 +1,100 @@
+"""Solver interface shared by every assignment algorithm in the library.
+
+A solver takes an :class:`~repro.model.problem.AssignmentProblem` and
+returns a :class:`SolverResult` carrying the assignment, its objective
+value, feasibility, wall-clock runtime, and algorithm-specific extras
+(node counts, episode curves, bounds).  Keeping this uniform is what
+lets the benchmark harness sweep a dozen algorithms with one loop.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.model.objectives import Objective, resolve_objective
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one ``solve`` call."""
+
+    solver: str
+    assignment: Assignment
+    objective_value: float
+    feasible: bool
+    runtime_s: float
+    iterations: int = 0
+    lower_bound: "float | None" = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def gap(self) -> "float | None":
+        """Relative gap to :attr:`lower_bound` when one is attached."""
+        if self.lower_bound is None or self.lower_bound <= 0:
+            return None
+        if not math.isfinite(self.objective_value):
+            return None
+        return self.objective_value / self.lower_bound - 1.0
+
+    def summary_row(self) -> list:
+        """Row for the harness tables: name, value, feasible, runtime."""
+        return [self.solver, self.objective_value, self.feasible, self.runtime_s]
+
+
+class Solver(abc.ABC):
+    """Base class: timing, objective resolution, deterministic seeding.
+
+    Subclasses implement :meth:`_solve` returning an
+    :class:`~repro.model.solution.Assignment` plus an info dict; the
+    base class measures runtime and evaluates the objective.  Solvers
+    must return *complete* assignments whenever the instance is
+    feasible for them; a solver that cannot complete (e.g. the
+    capacity-blind strawman on a tight instance never fails — it
+    overloads instead) returns what it built and the result is marked
+    infeasible.
+    """
+
+    #: registry name; subclasses override
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        objective: "Objective | str | None" = None,
+        seed: "int | None" = None,
+    ) -> None:
+        self.objective = resolve_objective(objective)
+        self.seed = seed
+
+    def solve(self, problem: AssignmentProblem) -> SolverResult:
+        """Run the algorithm and package the outcome."""
+        start = time.perf_counter()
+        assignment, info = self._solve(problem, make_rng(self.seed))
+        runtime = time.perf_counter() - start
+        feasible = assignment.is_feasible()
+        if assignment.is_complete:
+            value = self.objective.evaluate(assignment)
+        else:
+            value = math.inf
+        return SolverResult(
+            solver=self.name,
+            assignment=assignment,
+            objective_value=value,
+            feasible=feasible,
+            runtime_s=runtime,
+            iterations=int(info.pop("iterations", 0)),
+            lower_bound=info.pop("lower_bound", None),
+            extra=info,
+        )
+
+    @abc.abstractmethod
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        """Algorithm body; returns (assignment, info dict)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(objective={self.objective.name}, seed={self.seed})"

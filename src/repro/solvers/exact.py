@@ -1,0 +1,197 @@
+"""Exact solvers: ground truth for the optimality-gap experiments.
+
+:class:`BruteForceSolver` enumerates all ``M^N`` assignments with
+capacity pruning — only viable for tiny instances, used in tests as an
+oracle for branch-and-bound.
+
+:class:`BranchAndBoundSolver` is the workhorse: depth-first search over
+devices (largest demand first), servers tried in increasing delay,
+pruned by an admissible capacity-relaxed bound (each remaining device
+at its unconstrained best server).  With the greedy incumbent it solves
+the T1 table sizes (tens of devices) in milliseconds to seconds.  A
+node budget turns it into an anytime heuristic on larger instances; the
+result's ``extra["optimal"]`` says whether the search completed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.solvers.base import Solver
+from repro.solvers.greedy import feasible_start
+from repro.utils.validation import require
+
+
+class BruteForceSolver(Solver):
+    """Exhaustive DFS with capacity pruning only.
+
+    Guarded by ``max_nodes`` (default allows about ``5^8`` states) so a
+    mistaken call on a large instance fails fast instead of hanging.
+    """
+
+    name = "brute_force"
+
+    def __init__(self, max_nodes: int = 2_000_000, **kwargs) -> None:
+        super().__init__(**kwargs)
+        require(max_nodes > 0, "max_nodes must be positive")
+        self.max_nodes = max_nodes
+
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        n, m = problem.n_devices, problem.n_servers
+        state_space = m**n
+        require(
+            state_space <= self.max_nodes,
+            f"brute force over {m}^{n} = {state_space} states exceeds "
+            f"max_nodes={self.max_nodes}; use BranchAndBoundSolver",
+        )
+        best_vector: "np.ndarray | None" = None
+        best_cost = math.inf
+        vector = np.full(n, -1, dtype=np.int64)
+        residual = problem.capacity.copy()
+        nodes = 0
+
+        def descend(device: int, cost: float) -> None:
+            """Return descend."""
+            nonlocal best_vector, best_cost, nodes
+            nodes += 1
+            if device == n:
+                if cost < best_cost:
+                    best_cost = cost
+                    best_vector = vector.copy()
+                return
+            for server in range(m):
+                demand = problem.demand[device, server]
+                if demand > residual[server] + 1e-12:
+                    continue
+                step = problem.delay[device, server]
+                if cost + step >= best_cost:
+                    continue
+                vector[device] = server
+                residual[server] -= demand
+                descend(device + 1, cost + step)
+                residual[server] += demand
+                vector[device] = -1
+
+        descend(0, 0.0)
+        info = {"iterations": nodes, "optimal": True}
+        if best_vector is None:
+            info["proved_infeasible"] = True
+            return Assignment(problem), info
+        return Assignment(problem, best_vector), info
+
+
+class BranchAndBoundSolver(Solver):
+    """Depth-first branch-and-bound minimizing total delay under capacities.
+
+    Design notes:
+
+    * Devices are explored in decreasing mean-demand order so capacity
+      conflicts surface high in the tree.
+    * The bound at depth ``k`` is ``cost so far + suffix[k]`` where
+      ``suffix[k]`` is the capacity-relaxed cost of all remaining
+      devices — admissible, O(1) per node.
+    * The greedy-feasible solution primes the incumbent, which makes
+      the bound bite immediately.
+    * ``node_budget`` bounds work; if exhausted the best incumbent is
+      returned with ``extra["optimal"] = False``.
+    """
+
+    name = "branch_and_bound"
+
+    def __init__(self, node_budget: int = 5_000_000, **kwargs) -> None:
+        super().__init__(**kwargs)
+        require(node_budget > 0, "node_budget must be positive")
+        self.node_budget = node_budget
+
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        n, m = problem.n_devices, problem.n_servers
+        order = np.argsort(-np.mean(problem.demand, axis=1)).astype(np.int64)
+        delay = problem.delay[order]
+        demand = problem.demand[order]
+        # suffix[k] = relaxed cost of devices k..n-1 (in search order)
+        row_min = np.min(delay, axis=1)
+        suffix = np.concatenate([np.cumsum(row_min[::-1])[::-1], [0.0]])
+        # server preference per device: increasing delay
+        preference = np.argsort(delay, axis=1)
+
+        incumbent = feasible_start(problem)
+        if incumbent.is_feasible():
+            best_cost = incumbent.total_delay()
+            best_vector = incumbent.vector
+        else:
+            best_cost = math.inf
+            best_vector = None
+
+        vector = np.full(n, -1, dtype=np.int64)  # in search order
+        residual = problem.capacity.copy()
+        nodes = 0
+        exhausted = True
+
+        # iterative DFS: stack of (depth, next preference index to try)
+        depth = 0
+        choice = np.zeros(n + 1, dtype=np.int64)
+        cost = np.zeros(n + 1, dtype=np.float64)
+        while depth >= 0:
+            if nodes >= self.node_budget:
+                exhausted = False
+                break
+            if depth == n:
+                if cost[depth] < best_cost:
+                    best_cost = cost[depth]
+                    best_vector_search = vector.copy()
+                    best_vector = np.empty(n, dtype=np.int64)
+                    best_vector[order] = best_vector_search
+                # backtrack
+                depth -= 1
+                server = int(vector[depth])
+                residual[server] += demand[depth, server]
+                vector[depth] = -1
+                choice[depth] += 1
+                continue
+            advanced = False
+            while choice[depth] < m:
+                server = int(preference[depth, choice[depth]])
+                need = demand[depth, server]
+                if need <= residual[server] + 1e-12:
+                    new_cost = cost[depth] + delay[depth, server]
+                    if new_cost + suffix[depth + 1] < best_cost - 1e-15:
+                        nodes += 1
+                        vector[depth] = server
+                        residual[server] -= need
+                        cost[depth + 1] = new_cost
+                        depth += 1
+                        choice[depth] = 0
+                        advanced = True
+                        break
+                    # preference is delay-sorted and the bound is affine in
+                    # the step delay, so later servers prune identically —
+                    # but only for the *bound* reason, not the fit reason;
+                    # keep scanning for cheaper-to-fit servers is pointless
+                    # since delay only grows: prune the whole level.
+                    choice[depth] = m
+                    break
+                choice[depth] += 1
+            if advanced:
+                continue
+            # level exhausted: backtrack
+            depth -= 1
+            if depth >= 0:
+                server = int(vector[depth])
+                residual[server] += demand[depth, server]
+                vector[depth] = -1
+                choice[depth] += 1
+
+        info = {
+            "iterations": nodes,
+            "optimal": exhausted,
+            "lower_bound": float(suffix[0]),
+        }
+        if best_vector is None:
+            if exhausted:
+                info["proved_infeasible"] = True
+            return Assignment(problem), info
+        return Assignment(problem, best_vector), info

@@ -1,0 +1,150 @@
+"""Genetic algorithm with feasibility repair.
+
+A standard GA comparator for GAP-style problems: tournament selection,
+uniform crossover, point mutation, plus a **repair operator** that
+drains overloaded servers by re-homing their cheapest-to-move devices.
+Fitness is penalized total delay, elitism preserves the best feasible
+individual, and the returned assignment is the best feasible one seen
+across all generations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.solvers.base import Solver
+from repro.solvers.greedy import feasible_start, random_feasible_assignment
+from repro.utils.validation import check_probability, require
+
+
+class GeneticSolver(Solver):
+    """Population-based search over assignment vectors."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        population: int = 40,
+        generations: int = 150,
+        mutation_prob: float = 0.05,
+        tournament: int = 3,
+        penalty_factor: float = 2.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        require(population >= 4, "population must be >= 4")
+        require(generations >= 1, "generations must be >= 1")
+        require(tournament >= 2, "tournament must be >= 2")
+        check_probability(mutation_prob, "mutation_prob")
+        self.population = population
+        self.generations = generations
+        self.mutation_prob = mutation_prob
+        self.tournament = tournament
+        self.penalty_factor = penalty_factor
+
+    # ------------------------------------------------------------------
+    def _repair(self, problem: AssignmentProblem, vector: np.ndarray, rng) -> None:
+        """Re-home devices away from overloaded servers, cheapest move first."""
+        loads = np.zeros(problem.n_servers)
+        np.add.at(loads, vector, problem.demand[np.arange(problem.n_devices), vector])
+        for server in np.argsort(-(loads - problem.capacity)):
+            server = int(server)
+            while loads[server] > problem.capacity[server] + 1e-12:
+                residents = np.flatnonzero(vector == server)
+                if residents.size == 0:
+                    break
+                best = None  # (delay increase, device, target)
+                for device in residents:
+                    room = problem.capacity - loads
+                    fits = np.flatnonzero(problem.demand[device] <= room + 1e-12)
+                    fits = fits[fits != server]
+                    if fits.size == 0:
+                        continue
+                    target = int(fits[np.argmin(problem.delay[device, fits])])
+                    increase = problem.delay[device, target] - problem.delay[device, server]
+                    if best is None or increase < best[0]:
+                        best = (increase, int(device), target)
+                if best is None:
+                    # nobody can leave: evict a random resident to a random
+                    # server and let the penalty handle any new overload
+                    device = int(residents[rng.integers(residents.size)])
+                    target = int(rng.integers(problem.n_servers))
+                    if target == server:
+                        break
+                else:
+                    _, device, target = best
+                loads[server] -= problem.demand[device, server]
+                loads[target] += problem.demand[device, target]
+                vector[device] = target
+
+    def _fitness(self, problem: AssignmentProblem, vector: np.ndarray, penalty: float) -> float:
+        n = problem.n_devices
+        cost = float(np.sum(problem.delay[np.arange(n), vector]))
+        loads = np.zeros(problem.n_servers)
+        np.add.at(loads, vector, problem.demand[np.arange(n), vector])
+        overload = float(np.sum(np.maximum(loads - problem.capacity, 0.0)))
+        return cost + penalty * overload
+
+    # ------------------------------------------------------------------
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        n, m = problem.n_devices, problem.n_servers
+        delay_span = float(np.max(problem.delay) - np.min(problem.delay))
+        penalty = self.penalty_factor * max(delay_span, 1e-12) / max(float(np.min(problem.demand)), 1e-12)
+
+        pool = [random_feasible_assignment(problem, rng).vector for _ in range(self.population - 1)]
+        pool.append(feasible_start(problem, rng).vector)
+        # random_feasible can return partial vectors on pathological
+        # instances; patch holes with the per-device min-delay server
+        fallback = np.argmin(problem.delay, axis=1)
+        for vector in pool:
+            holes = vector < 0
+            vector[holes] = fallback[holes]
+
+        fitness = np.array([self._fitness(problem, v, penalty) for v in pool])
+        best_feasible_cost = math.inf
+        best_feasible_vector = None
+
+        def consider(vector: np.ndarray, fit: float) -> None:
+            """Return consider."""
+            nonlocal best_feasible_cost, best_feasible_vector
+            candidate = Assignment(problem, vector)
+            if candidate.is_feasible():
+                cost = candidate.total_delay()
+                if cost < best_feasible_cost:
+                    best_feasible_cost = cost
+                    best_feasible_vector = vector.copy()
+
+        for vector, fit in zip(pool, fitness):
+            consider(vector, fit)
+
+        generations_run = 0
+        for _ in range(self.generations):
+            generations_run += 1
+            next_pool = [pool[int(np.argmin(fitness))].copy()]  # elitism
+            while len(next_pool) < self.population:
+                contenders = rng.integers(self.population, size=self.tournament)
+                parent_a = pool[int(contenders[np.argmin(fitness[contenders])])]
+                contenders = rng.integers(self.population, size=self.tournament)
+                parent_b = pool[int(contenders[np.argmin(fitness[contenders])])]
+                mask = rng.random(n) < 0.5
+                child = np.where(mask, parent_a, parent_b)
+                mutate = rng.random(n) < self.mutation_prob
+                if np.any(mutate):
+                    child = child.copy()
+                    child[mutate] = rng.integers(m, size=int(np.count_nonzero(mutate)))
+                child = child.astype(np.int64)
+                self._repair(problem, child, rng)
+                next_pool.append(child)
+            pool = next_pool
+            fitness = np.array([self._fitness(problem, v, penalty) for v in pool])
+            champion = int(np.argmin(fitness))
+            consider(pool[champion], float(fitness[champion]))
+
+        if best_feasible_vector is None:
+            champion = int(np.argmin(fitness))
+            return Assignment(problem, pool[champion]), {"iterations": generations_run}
+        return Assignment(problem, best_feasible_vector), {"iterations": generations_run}

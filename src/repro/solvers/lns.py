@@ -1,0 +1,158 @@
+"""Large Neighborhood Search (destroy-and-repair).
+
+The strongest modern metaheuristic family for GAP-like problems: each
+iteration *destroys* part of the incumbent (un-assigns a subset of
+devices) and *repairs* it (re-inserts them with a regret-style greedy
+against residual capacities), accepting improvements and — with a
+small simulated-annealing temperature — occasional sideways moves.
+
+Destroy operators:
+
+* ``random`` — uniform subset (diversification);
+* ``worst`` — the devices paying the highest delay (intensification);
+* ``server`` — every device on one random server (unlocks packing
+  conflicts that single-device moves cannot).
+
+Operators are drawn adaptively: each success grows its selection
+weight (a light-weight ALNS).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.solvers.base import Solver
+from repro.solvers.greedy import feasible_start
+from repro.utils.validation import check_in_range, require
+
+_OPERATORS = ("random", "worst", "server")
+
+
+class LNSSolver(Solver):
+    """Adaptive large neighborhood search over assignments."""
+
+    name = "lns"
+
+    def __init__(
+        self,
+        iterations: int = 300,
+        destroy_fraction: float = 0.25,
+        temperature: float = 0.02,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        require(iterations >= 1, "iterations must be >= 1")
+        check_in_range(destroy_fraction, "destroy_fraction", 0.0, 1.0,
+                       low_inclusive=False)
+        check_in_range(temperature, "temperature", 0.0, 1.0)
+        self.iterations = iterations
+        self.destroy_fraction = destroy_fraction
+        self.temperature = temperature
+
+    # ------------------------------------------------------------------
+    def _destroy(
+        self,
+        problem: AssignmentProblem,
+        vector: np.ndarray,
+        operator: str,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return indices of devices to remove from the incumbent."""
+        n = problem.n_devices
+        k = max(1, int(round(self.destroy_fraction * n)))
+        if operator == "random":
+            return rng.choice(n, size=k, replace=False)
+        if operator == "worst":
+            delays = problem.delay[np.arange(n), vector]
+            order = np.argsort(-delays)
+            # soften pure-worst with a randomized cut so repeats differ
+            take = min(n, k + int(rng.integers(0, max(1, k))))
+            pool = order[:take]
+            return rng.choice(pool, size=min(k, pool.size), replace=False)
+        # operator == "server": clear one random non-empty server
+        occupied = np.unique(vector)
+        server = int(occupied[rng.integers(occupied.size)])
+        members = np.flatnonzero(vector == server)
+        if members.size > k:
+            members = rng.choice(members, size=k, replace=False)
+        return members
+
+    @staticmethod
+    def _repair(
+        problem: AssignmentProblem,
+        vector: np.ndarray,
+        removed: np.ndarray,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Regret-insert ``removed`` devices; returns False on dead end."""
+        residual = problem.capacity.copy()
+        kept = np.setdiff1d(np.arange(problem.n_devices), removed)
+        if kept.size:
+            np.add.at(residual, vector[kept], -problem.demand[kept, vector[kept]])
+        pending = set(int(d) for d in removed)
+        while pending:
+            best_device, best_regret, best_server = -1, -math.inf, -1
+            for device in pending:
+                fits = np.flatnonzero(problem.demand[device] <= residual + 1e-12)
+                if fits.size == 0:
+                    return False
+                delays = problem.delay[device, fits]
+                order = np.argsort(delays)
+                first = float(delays[order[0]])
+                second = float(delays[order[1]]) if fits.size > 1 else math.inf
+                if second - first > best_regret:
+                    best_device = device
+                    best_regret = second - first
+                    best_server = int(fits[order[0]])
+            vector[best_device] = best_server
+            residual[best_server] -= problem.demand[best_device, best_server]
+            pending.remove(best_device)
+        return True
+
+    # ------------------------------------------------------------------
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        start = feasible_start(problem, rng)
+        if not start.is_complete:
+            return start, {"iterations": 0}
+        n = problem.n_devices
+        incumbent = start.vector
+        incumbent_cost = float(np.sum(problem.delay[np.arange(n), incumbent]))
+        best = incumbent.copy()
+        best_cost = incumbent_cost
+        weights = np.ones(len(_OPERATORS))
+        scale = max(float(np.max(problem.delay) - np.min(problem.delay)), 1e-12)
+        accepted = 0
+        operator_uses = dict.fromkeys(_OPERATORS, 0)
+        for _ in range(self.iterations):
+            probabilities = weights / weights.sum()
+            operator = _OPERATORS[int(rng.choice(len(_OPERATORS), p=probabilities))]
+            operator_uses[operator] += 1
+            candidate = incumbent.copy()
+            removed = self._destroy(problem, candidate, operator, rng)
+            if not self._repair(problem, candidate, removed, rng):
+                continue  # repair dead-ended; incumbent unchanged
+            candidate_cost = float(np.sum(problem.delay[np.arange(n), candidate]))
+            delta = candidate_cost - incumbent_cost
+            accept = delta < 0 or (
+                self.temperature > 0
+                and rng.random() < math.exp(-delta / (self.temperature * scale * n))
+            )
+            if accept:
+                incumbent = candidate
+                incumbent_cost = candidate_cost
+                accepted += 1
+                if candidate_cost < best_cost:
+                    best = candidate.copy()
+                    best_cost = candidate_cost
+                    weights[_OPERATORS.index(operator)] += 1.0  # reward the operator
+            weights *= 0.999  # slow decay keeps the mix adaptive
+            weights = np.maximum(weights, 0.1)
+        return Assignment(problem, best), {
+            "iterations": self.iterations,
+            "accepted": accepted,
+            "operator_uses": operator_uses,
+        }

@@ -1,0 +1,133 @@
+"""Solver registry: every algorithm in the comparison, by name.
+
+The benchmark harness sweeps algorithms by registry name, so adding a
+solver here makes it appear in every table.  RL solvers are imported
+lazily to keep ``repro.solvers`` and ``repro.rl`` free of import
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SolverError
+from repro.solvers.annealing import SimulatedAnnealingSolver
+from repro.solvers.auction import AuctionSolver
+from repro.solvers.base import Solver
+from repro.solvers.bottleneck import BottleneckSolver
+from repro.solvers.exact import BranchAndBoundSolver, BruteForceSolver
+from repro.solvers.genetic import GeneticSolver
+from repro.solvers.greedy import (
+    BestFitSolver,
+    GreedyFeasibleSolver,
+    NearestServerSolver,
+    RandomFeasibleSolver,
+    RegretGreedySolver,
+    RoundRobinSolver,
+    WorstFitSolver,
+)
+from repro.solvers.lagrangian import LagrangianSolver
+from repro.solvers.lns import LNSSolver
+from repro.solvers.local_search import LocalSearchSolver, TabuSearchSolver
+from repro.solvers.lp import LPRoundingSolver
+from repro.solvers.portfolio import PortfolioSolver
+
+
+def _tacc_factory(**kwargs) -> Solver:
+    from repro.rl.agent import TaccSolver
+
+    return TaccSolver(**kwargs)
+
+
+def _qlearning_factory(**kwargs) -> Solver:
+    from repro.rl.qlearning import QLearningSolver
+
+    return QLearningSolver(**kwargs)
+
+
+def _bandit_factory(**kwargs) -> Solver:
+    from repro.rl.bandit import BanditSolver
+
+    return BanditSolver(**kwargs)
+
+
+def _reinforce_factory(**kwargs) -> Solver:
+    from repro.rl.reinforce import ReinforceSolver
+
+    return ReinforceSolver(**kwargs)
+
+
+def _sarsa_factory(**kwargs) -> Solver:
+    from repro.rl.sarsa import SarsaSolver
+
+    return SarsaSolver(**kwargs)
+
+
+def _double_q_factory(**kwargs) -> Solver:
+    from repro.rl.double_q import DoubleQLearningSolver
+
+    return DoubleQLearningSolver(**kwargs)
+
+
+_REGISTRY: dict[str, Callable[..., Solver]] = {
+    NearestServerSolver.name: NearestServerSolver,
+    GreedyFeasibleSolver.name: GreedyFeasibleSolver,
+    BestFitSolver.name: BestFitSolver,
+    WorstFitSolver.name: WorstFitSolver,
+    RegretGreedySolver.name: RegretGreedySolver,
+    RoundRobinSolver.name: RoundRobinSolver,
+    RandomFeasibleSolver.name: RandomFeasibleSolver,
+    LocalSearchSolver.name: LocalSearchSolver,
+    TabuSearchSolver.name: TabuSearchSolver,
+    SimulatedAnnealingSolver.name: SimulatedAnnealingSolver,
+    GeneticSolver.name: GeneticSolver,
+    LPRoundingSolver.name: LPRoundingSolver,
+    LNSSolver.name: LNSSolver,
+    LagrangianSolver.name: LagrangianSolver,
+    AuctionSolver.name: AuctionSolver,
+    BottleneckSolver.name: BottleneckSolver,
+    PortfolioSolver.name: PortfolioSolver,
+    BruteForceSolver.name: BruteForceSolver,
+    BranchAndBoundSolver.name: BranchAndBoundSolver,
+    "tacc": _tacc_factory,
+    "qlearning": _qlearning_factory,
+    "bandit": _bandit_factory,
+    "reinforce": _reinforce_factory,
+    "sarsa": _sarsa_factory,
+    "double_q": _double_q_factory,
+}
+
+#: heuristic comparison field used by most figures (no exact solvers,
+#: which would dominate runtime; no capacity-blind strawman, which is
+#: shown separately in the load-balance figure)
+DEFAULT_BASELINES = [
+    "random",
+    "round_robin",
+    "greedy",
+    "regret",
+    "local_search",
+    "tabu",
+    "annealing",
+    "genetic",
+    "lp_rounding",
+    "auction",
+]
+
+
+def available_solvers() -> list[str]:
+    """All registered solver names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_solver(name: str, **kwargs) -> Solver:
+    """Instantiate a solver by registry name, passing ``kwargs`` through."""
+    if name not in _REGISTRY:
+        raise SolverError(f"unknown solver {name!r}; available: {available_solvers()}")
+    return _REGISTRY[name](**kwargs)
+
+
+def register_solver(name: str, factory: Callable[..., Solver]) -> None:
+    """Add a custom solver to the registry (e.g. from user code)."""
+    if name in _REGISTRY:
+        raise SolverError(f"solver {name!r} is already registered")
+    _REGISTRY[name] = factory

@@ -1,0 +1,169 @@
+"""Delay models: how a link, a path and a device/server pair cost time.
+
+The headline "topology aware" claim of the paper is that assignment
+should use the *routed-path* delay, which accounts for propagation,
+transmission and per-hop processing over the actual topology.  This
+module implements that model plus the two strawmen the T3 ablation
+compares against:
+
+* :class:`TransmissionDelayModel` — the full, topology-aware model;
+* :class:`HopCountDelayModel` — topology-aware but delay-blind (all
+  links cost one hop);
+* :class:`EuclideanDelayModel` — topology-blind (straight-line
+  distance between node positions, as a proximity heuristic would use).
+
+All models expose the same interface: :meth:`DelayModel.matrix`
+producing the sources × targets delay matrix the assignment problem is
+built from.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.topology.graph import Link, NetworkGraph
+from repro.topology.routing import all_pairs_delay
+from repro.utils.validation import check_nonnegative, check_positive, require
+
+#: Reference packet size used when building delay matrices: a typical
+#: sensor-reading/telemetry message (1 KiB payload + headers).
+DEFAULT_PACKET_BITS = 8 * 1200
+
+
+class DelayModel(abc.ABC):
+    """Computes communication delay between node sets on a topology."""
+
+    #: short name used in tables and ablation configs
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def matrix(
+        self,
+        graph: NetworkGraph,
+        sources: list[int],
+        targets: list[int],
+    ) -> np.ndarray:
+        """Delay matrix of shape ``(len(sources), len(targets))`` in seconds."""
+
+
+class TransmissionDelayModel(DelayModel):
+    """Routed-path delay: propagation + transmission + per-hop processing.
+
+    The weight of a link for a packet of ``packet_bits`` bits is::
+
+        latency_s + packet_bits / bandwidth_bps + processing_s
+
+    and a pair's delay is the weight of the shortest such path.  This
+    is the model the paper's "topology aware" configuration uses.
+    """
+
+    name = "transmission"
+
+    def __init__(self, packet_bits: float = DEFAULT_PACKET_BITS) -> None:
+        self.packet_bits = check_positive(packet_bits, "packet_bits")
+
+    def link_weight(self, link: Link) -> float:
+        """Delay of one traversal of ``link`` by the reference packet."""
+        return link.latency_s + self.packet_bits / link.bandwidth_bps + link.processing_s
+
+    def matrix(
+        self,
+        graph: NetworkGraph,
+        sources: list[int],
+        targets: list[int],
+    ) -> np.ndarray:
+        """Return matrix."""
+        return all_pairs_delay(graph, sources, targets, self.link_weight)
+
+
+class HopCountDelayModel(DelayModel):
+    """Ablation model: every link costs ``seconds_per_hop``.
+
+    Topology-aware in that it routes over the graph, but blind to the
+    heterogeneous link delays; quantifies how much of the win comes
+    from knowing real link costs rather than just adjacency.
+    """
+
+    name = "hop_count"
+
+    def __init__(self, seconds_per_hop: float = 1e-3) -> None:
+        self.seconds_per_hop = check_positive(seconds_per_hop, "seconds_per_hop")
+
+    def link_weight(self, link: Link) -> float:
+        """Return link weight."""
+        return self.seconds_per_hop
+
+    def matrix(
+        self,
+        graph: NetworkGraph,
+        sources: list[int],
+        targets: list[int],
+    ) -> np.ndarray:
+        """Return matrix."""
+        return all_pairs_delay(graph, sources, targets, self.link_weight)
+
+
+class EuclideanDelayModel(DelayModel):
+    """Ablation model: straight-line distance, ignoring the topology.
+
+    Represents the proximity heuristic ("assign to the geographically
+    nearest server") that topology-aware configuration improves on.
+    ``seconds_per_unit`` converts unit-square distance into a delay so
+    the matrix has comparable magnitude to the transmission model.
+    """
+
+    name = "euclidean"
+
+    def __init__(self, seconds_per_unit: float = 10e-3, floor_s: float = 1e-4) -> None:
+        self.seconds_per_unit = check_positive(seconds_per_unit, "seconds_per_unit")
+        self.floor_s = check_nonnegative(floor_s, "floor_s")
+
+    def matrix(
+        self,
+        graph: NetworkGraph,
+        sources: list[int],
+        targets: list[int],
+    ) -> np.ndarray:
+        """Return matrix."""
+        require(len(sources) > 0, "sources must be non-empty")
+        require(len(targets) > 0, "targets must be non-empty")
+        src_pos = np.array([graph.node(s).position for s in sources], dtype=np.float64)
+        dst_pos = np.array([graph.node(t).position for t in targets], dtype=np.float64)
+        diff = src_pos[:, None, :] - dst_pos[None, :, :]
+        dist = np.sqrt(np.sum(diff * diff, axis=2))
+        return self.floor_s + self.seconds_per_unit * dist
+
+
+def delay_matrix(
+    graph: NetworkGraph,
+    sources: list[int],
+    targets: list[int],
+    model: "DelayModel | None" = None,
+) -> np.ndarray:
+    """Convenience wrapper: delay matrix under ``model``.
+
+    Defaults to the full :class:`TransmissionDelayModel`.
+    """
+    if model is None:
+        model = TransmissionDelayModel()
+    return model.matrix(graph, sources, targets)
+
+
+def path_delay(graph: NetworkGraph, nodes: tuple[int, ...], packet_bits: float) -> float:
+    """Delay of a concrete path for a packet of ``packet_bits`` bits.
+
+    Used by the simulator to sanity-check measured latencies against
+    the analytical unloaded delay.
+    """
+    check_positive(packet_bits, "packet_bits")
+    require(len(nodes) >= 1, "path must contain at least one node")
+    total = 0.0
+    for u, v in zip(nodes, nodes[1:]):
+        link = graph.link(u, v)
+        total += link.latency_s + packet_bits / link.bandwidth_bps + link.processing_s
+    if math.isnan(total):
+        raise ValueError("path delay is NaN")
+    return total

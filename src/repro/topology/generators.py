@@ -1,0 +1,470 @@
+"""Topology generators: the families edge-computing evaluations sweep.
+
+Each generator builds a *router backbone* — only ``ROUTER`` nodes —
+positioned in the unit square, and guarantees the result is connected.
+Edge servers and IoT devices are attached afterwards by
+:func:`repro.topology.placement.place_edge_servers` and
+:func:`attach_iot_devices`, so the same backbone can host many
+experimental configurations.
+
+Families
+--------
+``random_geometric``
+    Nodes linked when within a radius — models dense metro deployments.
+``waxman``
+    Classic random internet-like topology (Waxman, 1988).
+``barabasi_albert``
+    Preferential attachment — heavy-tailed degree, hub-and-spoke ISPs.
+``watts_strogatz``
+    Small-world ring with rewiring.
+``grid``
+    Regular mesh — structured campus/industrial networks.
+``edge_hierarchy``
+    Fog-style tree: core, aggregation, access tiers.
+``fat_tree``
+    k-ary fat tree — data-center style edge cluster interconnect.
+
+Link latencies are distance-based via :class:`LinkProfile`, so the
+graph embedding matters: two nodes that look close may still be many
+expensive hops apart, which is exactly the situation where topology
+awareness beats Euclidean proximity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.graph import NetworkGraph, NodeKind
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_nonnegative, check_positive, check_probability, require
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Parameters from which concrete link attributes are derived.
+
+    The latency of a link of Euclidean length ``d`` is
+    ``base_latency_s + latency_per_unit_s * d``; bandwidth and per-hop
+    processing are constant per profile.
+    """
+
+    base_latency_s: float
+    latency_per_unit_s: float
+    bandwidth_bps: float
+    processing_s: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.base_latency_s, "base_latency_s")
+        check_nonnegative(self.latency_per_unit_s, "latency_per_unit_s")
+        check_positive(self.bandwidth_bps, "bandwidth_bps")
+        check_nonnegative(self.processing_s, "processing_s")
+
+    def latency(self, distance: float) -> float:
+        """Propagation latency of a link spanning ``distance`` units."""
+        return self.base_latency_s + self.latency_per_unit_s * distance
+
+
+#: Wired backbone links between routers (fibre-like).
+BACKBONE = LinkProfile(
+    base_latency_s=0.2e-3,
+    latency_per_unit_s=5e-3,
+    bandwidth_bps=1e9,
+    processing_s=50e-6,
+)
+
+#: Wireless access links from IoT devices to their gateway router.
+ACCESS = LinkProfile(
+    base_latency_s=2e-3,
+    latency_per_unit_s=4e-3,
+    bandwidth_bps=20e6,
+    processing_s=100e-6,
+)
+
+#: Short LAN attachment of an edge server to its host router.
+SERVER_ATTACH = LinkProfile(
+    base_latency_s=0.05e-3,
+    latency_per_unit_s=0.0,
+    bandwidth_bps=10e9,
+    processing_s=10e-6,
+)
+
+
+def _distance(graph: NetworkGraph, u: int, v: int) -> float:
+    ux, uy = graph.node(u).position
+    vx, vy = graph.node(v).position
+    return math.hypot(ux - vx, uy - vy)
+
+
+def _connect(graph: NetworkGraph, u: int, v: int, profile: LinkProfile) -> None:
+    if not graph.has_link(u, v):
+        graph.add_link(
+            u,
+            v,
+            latency_s=profile.latency(_distance(graph, u, v)),
+            bandwidth_bps=profile.bandwidth_bps,
+            processing_s=profile.processing_s,
+        )
+
+
+def ensure_connected(graph: NetworkGraph, profile: LinkProfile = BACKBONE) -> None:
+    """Patch a disconnected graph by linking nearest cross-component pairs.
+
+    Random families (geometric, Waxman) can come out fragmented at
+    sparse parameter settings; routing requires a single component, so
+    every generator finishes with this repair pass.
+    """
+    components = graph.connected_components()
+    while len(components) > 1:
+        main, rest = components[0], components[1:]
+        best: "tuple[float, int, int] | None" = None
+        for component in rest:
+            for u in component:
+                for v in main:
+                    dist = _distance(graph, u, v)
+                    if best is None or dist < best[0]:
+                        best = (dist, u, v)
+        assert best is not None
+        _connect(graph, best[1], best[2], profile)
+        components = graph.connected_components()
+
+
+# ----------------------------------------------------------------------
+# random families
+# ----------------------------------------------------------------------
+def random_geometric(
+    n_routers: int,
+    radius: "float | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    profile: LinkProfile = BACKBONE,
+) -> NetworkGraph:
+    """Random geometric graph: link any two routers within ``radius``.
+
+    The default radius scales as ``sqrt(log n / n)``, the connectivity
+    threshold regime, so the repair pass rarely has to add links.
+    """
+    require(n_routers >= 1, f"n_routers must be >= 1, got {n_routers}")
+    rng = make_rng(seed)
+    if radius is None:
+        radius = 1.6 * math.sqrt(math.log(max(n_routers, 2)) / max(n_routers, 2))
+    check_positive(radius, "radius")
+    graph = NetworkGraph()
+    positions = rng.random((n_routers, 2))
+    ids = [graph.add_node(NodeKind.ROUTER, tuple(pos)) for pos in positions]
+    for i in range(n_routers):
+        for j in range(i + 1, n_routers):
+            if _distance(graph, ids[i], ids[j]) <= radius:
+                _connect(graph, ids[i], ids[j], profile)
+    ensure_connected(graph, profile)
+    return graph
+
+
+def waxman(
+    n_routers: int,
+    alpha: float = 0.4,
+    beta: float = 0.25,
+    seed: "int | np.random.Generator | None" = None,
+    profile: LinkProfile = BACKBONE,
+) -> NetworkGraph:
+    """Waxman random topology: P(u~v) = alpha * exp(-d(u,v) / (beta * L)).
+
+    ``L`` is the diameter of the unit square.  Larger ``alpha`` raises
+    overall density; larger ``beta`` favours long links.
+    """
+    require(n_routers >= 1, f"n_routers must be >= 1, got {n_routers}")
+    check_probability(alpha, "alpha")
+    check_positive(beta, "beta")
+    rng = make_rng(seed)
+    graph = NetworkGraph()
+    positions = rng.random((n_routers, 2))
+    ids = [graph.add_node(NodeKind.ROUTER, tuple(pos)) for pos in positions]
+    max_dist = math.sqrt(2.0)
+    for i in range(n_routers):
+        for j in range(i + 1, n_routers):
+            dist = _distance(graph, ids[i], ids[j])
+            if rng.random() < alpha * math.exp(-dist / (beta * max_dist)):
+                _connect(graph, ids[i], ids[j], profile)
+    ensure_connected(graph, profile)
+    return graph
+
+
+def barabasi_albert(
+    n_routers: int,
+    attach: int = 2,
+    seed: "int | np.random.Generator | None" = None,
+    profile: LinkProfile = BACKBONE,
+) -> NetworkGraph:
+    """Barabási–Albert preferential attachment (hub-dominated ISP-like).
+
+    Starts from a clique of ``attach + 1`` routers; each subsequent
+    router links to ``attach`` distinct existing routers chosen with
+    probability proportional to their degree.
+    """
+    require(n_routers >= 1, f"n_routers must be >= 1, got {n_routers}")
+    require(attach >= 1, f"attach must be >= 1, got {attach}")
+    rng = make_rng(seed)
+    graph = NetworkGraph()
+    positions = rng.random((n_routers, 2))
+    ids = [graph.add_node(NodeKind.ROUTER, tuple(pos)) for pos in positions]
+    core = min(attach + 1, n_routers)
+    for i in range(core):
+        for j in range(i + 1, core):
+            _connect(graph, ids[i], ids[j], profile)
+    # repeated-endpoint list: sampling from it is degree-proportional
+    endpoints: list[int] = []
+    for link in graph.links():
+        endpoints.extend((link.u, link.v))
+    for i in range(core, n_routers):
+        targets: set[int] = set()
+        while len(targets) < min(attach, i):
+            if endpoints:
+                candidate = endpoints[rng.integers(len(endpoints))]
+            else:  # isolated start (attach smaller than clique needs)
+                candidate = ids[rng.integers(i)]
+            if candidate != ids[i]:
+                targets.add(candidate)
+        for target in targets:
+            _connect(graph, ids[i], target, profile)
+            endpoints.extend((ids[i], target))
+    ensure_connected(graph, profile)
+    return graph
+
+
+def watts_strogatz(
+    n_routers: int,
+    ring_neighbors: int = 4,
+    rewire_prob: float = 0.1,
+    seed: "int | np.random.Generator | None" = None,
+    profile: LinkProfile = BACKBONE,
+) -> NetworkGraph:
+    """Watts–Strogatz small world: ring lattice with random rewiring.
+
+    Routers sit on a circle of radius 0.4 centred in the unit square;
+    each connects to its ``ring_neighbors`` nearest ring neighbours
+    (must be even), then each link's far endpoint is rewired with
+    probability ``rewire_prob``.
+    """
+    require(n_routers >= 1, f"n_routers must be >= 1, got {n_routers}")
+    require(ring_neighbors >= 2, f"ring_neighbors must be >= 2, got {ring_neighbors}")
+    require(ring_neighbors % 2 == 0, "ring_neighbors must be even")
+    check_probability(rewire_prob, "rewire_prob")
+    rng = make_rng(seed)
+    graph = NetworkGraph()
+    ids = []
+    for i in range(n_routers):
+        angle = 2.0 * math.pi * i / n_routers
+        pos = (0.5 + 0.4 * math.cos(angle), 0.5 + 0.4 * math.sin(angle))
+        ids.append(graph.add_node(NodeKind.ROUTER, pos))
+    half = min(ring_neighbors // 2, max((n_routers - 1) // 2, 0))
+    for i in range(n_routers):
+        for offset in range(1, half + 1):
+            _connect(graph, ids[i], ids[(i + offset) % n_routers], profile)
+    # rewiring pass
+    for i in range(n_routers):
+        for offset in range(1, half + 1):
+            j = (i + offset) % n_routers
+            if rng.random() >= rewire_prob:
+                continue
+            candidates = [
+                k for k in range(n_routers) if k != i and not graph.has_link(ids[i], ids[k])
+            ]
+            if not candidates:
+                continue
+            new_target = candidates[rng.integers(len(candidates))]
+            if graph.has_link(ids[i], ids[j]) and graph.degree(ids[j]) > 1:
+                graph.remove_link(ids[i], ids[j])
+                _connect(graph, ids[i], ids[new_target], profile)
+    ensure_connected(graph, profile)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# structured families
+# ----------------------------------------------------------------------
+def grid(
+    rows: int,
+    cols: "int | None" = None,
+    profile: LinkProfile = BACKBONE,
+) -> NetworkGraph:
+    """Regular ``rows × cols`` mesh with 4-neighbour links."""
+    require(rows >= 1, f"rows must be >= 1, got {rows}")
+    if cols is None:
+        cols = rows
+    require(cols >= 1, f"cols must be >= 1, got {cols}")
+    graph = NetworkGraph()
+    ids: dict[tuple[int, int], int] = {}
+    for r in range(rows):
+        for c in range(cols):
+            pos = (
+                (c + 0.5) / cols,
+                (r + 0.5) / rows,
+            )
+            ids[(r, c)] = graph.add_node(NodeKind.ROUTER, pos)
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                _connect(graph, ids[(r, c)], ids[(r, c + 1)], profile)
+            if r + 1 < rows:
+                _connect(graph, ids[(r, c)], ids[(r + 1, c)], profile)
+    return graph
+
+
+def edge_hierarchy(
+    depth: int = 3,
+    fanout: int = 3,
+    profile: LinkProfile = BACKBONE,
+) -> NetworkGraph:
+    """Fog-style tree: a core router at the root, ``fanout`` children per tier.
+
+    Leaves model access routers at the network edge; the classic
+    hierarchical deployment where a device near one leaf is many hops
+    from a server under a different aggregation subtree even though the
+    two can be geometrically adjacent.
+    """
+    require(depth >= 1, f"depth must be >= 1, got {depth}")
+    require(fanout >= 1, f"fanout must be >= 1, got {fanout}")
+    graph = NetworkGraph()
+    root = graph.add_node(NodeKind.ROUTER, (0.5, 0.95))
+    frontier = [root]
+    for level in range(1, depth):
+        next_frontier: list[int] = []
+        width = fanout**level
+        y = 0.95 - 0.9 * level / max(depth - 1, 1)
+        slot = 0
+        for parent in frontier:
+            for _ in range(fanout):
+                x = (slot + 0.5) / width
+                child = graph.add_node(NodeKind.ROUTER, (x, y))
+                _connect(graph, parent, child, profile)
+                next_frontier.append(child)
+                slot += 1
+        frontier = next_frontier
+    return graph
+
+
+def fat_tree(k: int = 4, profile: LinkProfile = BACKBONE) -> NetworkGraph:
+    """k-ary fat tree (Al-Fares et al.): (k/2)^2 core, k pods of k switches.
+
+    ``k`` must be even and >= 2.  Edge-tier switches are the leaves
+    devices and servers attach to.
+    """
+    require(k >= 2 and k % 2 == 0, f"k must be an even integer >= 2, got {k}")
+    graph = NetworkGraph()
+    half = k // 2
+    core_ids = []
+    for i in range(half * half):
+        x = (i + 0.5) / (half * half)
+        core_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.95)))
+    for pod in range(k):
+        agg_ids = []
+        edge_ids = []
+        for s in range(half):
+            x = (pod + (s + 0.5) / half) / k
+            agg_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.6)))
+            edge_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.25)))
+        for agg in agg_ids:
+            for edge in edge_ids:
+                _connect(graph, agg, edge, profile)
+        for s, agg in enumerate(agg_ids):
+            for c in range(half):
+                _connect(graph, agg, core_ids[s * half + c], profile)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# attachment of IoT devices
+# ----------------------------------------------------------------------
+def attach_iot_devices(
+    graph: NetworkGraph,
+    n_devices: int,
+    seed: "int | np.random.Generator | None" = None,
+    strategy: str = "nearest",
+    profile: LinkProfile = ACCESS,
+) -> list[int]:
+    """Attach ``n_devices`` IoT nodes to routers; return their node ids.
+
+    ``strategy``:
+
+    * ``"nearest"`` — device gets a uniform position and an access link
+      to the geometrically nearest router (realistic gateway choice);
+    * ``"random"`` — device links to a uniformly random router,
+      producing attachment patterns uncorrelated with geometry.
+    """
+    require(n_devices >= 1, f"n_devices must be >= 1, got {n_devices}")
+    require(strategy in ("nearest", "random"), f"unknown attachment strategy {strategy!r}")
+    routers = graph.node_ids(NodeKind.ROUTER)
+    if not routers:
+        raise TopologyError("graph has no routers to attach devices to")
+    rng = make_rng(seed)
+    device_ids: list[int] = []
+    router_pos = np.array([graph.node(r).position for r in routers])
+    for _ in range(n_devices):
+        position = tuple(rng.random(2))
+        device = graph.add_node(NodeKind.IOT_DEVICE, position)
+        if strategy == "nearest":
+            deltas = router_pos - np.asarray(position)
+            gateway = routers[int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))]
+        else:
+            gateway = routers[int(rng.integers(len(routers)))]
+        _connect(graph, device, gateway, profile)
+        device_ids.append(device)
+    return device_ids
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def _grid_from_n(n_routers: int, seed=None) -> NetworkGraph:
+    side = max(1, round(math.sqrt(n_routers)))
+    return grid(side, max(1, round(n_routers / side)))
+
+
+def _hierarchy_from_n(n_routers: int, seed=None) -> NetworkGraph:
+    fanout = 3
+    depth = 1
+    while (fanout**depth - 1) // (fanout - 1) < n_routers:
+        depth += 1
+    return edge_hierarchy(depth=max(depth, 2), fanout=fanout)
+
+
+def _fat_tree_from_n(n_routers: int, seed=None) -> NetworkGraph:
+    k = 2
+    # a k-ary fat tree has 5k^2/4 switches
+    while 5 * (k + 2) ** 2 // 4 <= n_routers:
+        k += 2
+    return fat_tree(k)
+
+
+#: name -> builder(n_routers, seed) producing a connected router backbone
+TOPOLOGY_FAMILIES = {
+    "random_geometric": lambda n, seed=None: random_geometric(n, seed=seed),
+    "waxman": lambda n, seed=None: waxman(n, seed=seed),
+    "barabasi_albert": lambda n, seed=None: barabasi_albert(n, seed=seed),
+    "watts_strogatz": lambda n, seed=None: watts_strogatz(n, seed=seed),
+    "grid": _grid_from_n,
+    "edge_hierarchy": _hierarchy_from_n,
+    "fat_tree": _fat_tree_from_n,
+}
+
+
+def make_topology(
+    family: str,
+    n_routers: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> NetworkGraph:
+    """Build a router backbone of roughly ``n_routers`` from a named family.
+
+    Structured families (grid, hierarchy, fat tree) round to the
+    nearest realizable size.
+    """
+    if family not in TOPOLOGY_FAMILIES:
+        raise TopologyError(
+            f"unknown topology family {family!r}; known: {sorted(TOPOLOGY_FAMILIES)}"
+        )
+    graph = TOPOLOGY_FAMILIES[family](n_routers, seed=seed)
+    if not graph.is_connected():
+        raise TopologyError(f"{family} generator produced a disconnected graph")
+    return graph

@@ -1,0 +1,154 @@
+"""Shortest-path routing over :class:`~repro.topology.graph.NetworkGraph`.
+
+Assignment quality rests entirely on the device-to-server delay matrix,
+which in turn rests on these routines, so they are written for clarity
+*and* for the instance sizes the benchmarks sweep (thousands of nodes):
+
+* :func:`dijkstra` — single-source shortest paths with a binary heap;
+* :func:`shortest_path` — one source/target pair, with the explicit
+  node sequence (the simulator forwards packets hop by hop along it);
+* :func:`all_pairs_delay` — sources × targets distance matrix, computed
+  by running Dijkstra once per *target* (the edge cluster is small, the
+  device population is large, and the graph is undirected, so rooting
+  at targets is the cheap direction).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.topology.graph import Link, NetworkGraph
+from repro.utils.validation import require
+
+WeightFn = Callable[[Link], float]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A routed path: the node sequence and its total weight."""
+
+    nodes: tuple[int, ...]
+    cost: float
+
+    @property
+    def hops(self) -> int:
+        """Number of links traversed."""
+        return len(self.nodes) - 1
+
+    def links(self, graph: NetworkGraph) -> list[Link]:
+        """Resolve the path's node sequence to its links in ``graph``."""
+        return [graph.link(u, v) for u, v in zip(self.nodes, self.nodes[1:])]
+
+
+def dijkstra(
+    graph: NetworkGraph,
+    source: int,
+    weight_fn: WeightFn,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Single-source shortest paths.
+
+    Returns ``(distance, predecessor)`` dicts covering every node
+    reachable from ``source``.  ``predecessor`` omits the source
+    itself.  Link weights must be non-negative (delay models guarantee
+    this).
+    """
+    graph.node(source)  # validates existence
+    distance: dict[int, float] = {source: 0.0}
+    predecessor: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        dist, current = heapq.heappop(heap)
+        if current in settled:
+            continue
+        settled.add(current)
+        for link in graph.incident_links(current):
+            nbr = link.other(current)
+            if nbr in settled:
+                continue
+            weight = weight_fn(link)
+            require(weight >= 0, f"negative link weight {weight} on ({link.u}, {link.v})")
+            candidate = dist + weight
+            if candidate < distance.get(nbr, float("inf")):
+                distance[nbr] = candidate
+                predecessor[nbr] = current
+                heapq.heappush(heap, (candidate, nbr))
+    return distance, predecessor
+
+
+def shortest_path(
+    graph: NetworkGraph,
+    source: int,
+    target: int,
+    weight_fn: WeightFn,
+) -> Path:
+    """Shortest path from ``source`` to ``target``.
+
+    Raises :class:`~repro.errors.RoutingError` when the nodes are
+    disconnected.
+    """
+    distance, predecessor = dijkstra(graph, source, weight_fn)
+    if target not in distance:
+        raise RoutingError(source, target)
+    nodes = [target]
+    while nodes[-1] != source:
+        nodes.append(predecessor[nodes[-1]])
+    nodes.reverse()
+    return Path(tuple(nodes), distance[target])
+
+
+def all_pairs_delay(
+    graph: NetworkGraph,
+    sources: list[int],
+    targets: list[int],
+    weight_fn: WeightFn,
+) -> np.ndarray:
+    """Distance matrix of shape ``(len(sources), len(targets))``.
+
+    Runs Dijkstra rooted at each *target* and reads off distances to
+    all sources — correct for undirected graphs and far cheaper when
+    there are few targets (edge servers) and many sources (devices).
+
+    Raises :class:`~repro.errors.RoutingError` for any unreachable
+    (source, target) pair: an IoT device that cannot reach some edge
+    server indicates a broken topology, not a valid instance.
+    """
+    require(len(sources) > 0, "sources must be non-empty")
+    require(len(targets) > 0, "targets must be non-empty")
+    matrix = np.empty((len(sources), len(targets)), dtype=np.float64)
+    for col, target in enumerate(targets):
+        distance, _ = dijkstra(graph, target, weight_fn)
+        for row, source in enumerate(sources):
+            if source not in distance:
+                raise RoutingError(source, target)
+            matrix[row, col] = distance[source]
+    return matrix
+
+
+def routing_paths(
+    graph: NetworkGraph,
+    sources: list[int],
+    target: int,
+    weight_fn: WeightFn,
+) -> dict[int, Path]:
+    """Shortest path from each source to one target, sharing one Dijkstra run.
+
+    Used by the simulator to precompute every assigned device's packet
+    route to its server.
+    """
+    distance, predecessor = dijkstra(graph, target, weight_fn)
+    paths: dict[int, Path] = {}
+    for source in sources:
+        if source not in distance:
+            raise RoutingError(source, target)
+        nodes = [source]
+        # predecessor points towards `target` because Dijkstra was rooted there
+        while nodes[-1] != target:
+            nodes.append(predecessor[nodes[-1]])
+        paths[source] = Path(tuple(nodes), distance[source])
+    return paths

@@ -1,0 +1,36 @@
+"""Shared utilities: seeded randomness, validation, statistics, tables.
+
+These helpers are deliberately dependency-light; everything in
+:mod:`repro` builds on them, so they must not import from other repro
+subpackages.
+"""
+
+from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+from repro.utils.stats import OnlineStats, Summary, mean_confidence_interval, summarize
+from repro.utils.tables import format_markdown_table, format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_matrix,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "spawn_rngs",
+    "OnlineStats",
+    "Summary",
+    "mean_confidence_interval",
+    "summarize",
+    "format_markdown_table",
+    "format_table",
+    "check_in_range",
+    "check_matrix",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "require",
+]

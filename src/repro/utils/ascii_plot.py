@@ -1,0 +1,102 @@
+"""Terminal line charts for experiment output.
+
+The environment is plotting-library-free, so the figure experiments
+render their series as Unicode braille-free, column-per-sample charts
+that survive any terminal.  This is presentation only — the data the
+charts draw is exactly what the benchmark JSON files carry.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require
+
+#: glyph cycle for multiple series
+_MARKERS = "ox+*#@%&"
+
+
+def _scaled(value: float, low: float, high: float, height: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(height - 1, max(0, int(round(fraction * (height - 1)))))
+
+
+def line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart with a legend.
+
+    Points are interpolated onto a fixed-width grid; NaN values are
+    skipped.  Series order determines marker assignment.
+    """
+    require(len(series) > 0, "need at least one series")
+    require(width >= 8 and height >= 4, "chart must be at least 8x4")
+    points = [
+        (x, y)
+        for values in series.values()
+        for x, y in values
+        if not (math.isnan(x) or math.isnan(y))
+    ]
+    require(len(points) > 0, "series contain no plottable points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:  # flat data still renders as a midline
+        y_low -= 1.0
+        y_high += 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            if math.isnan(x) or math.isnan(y):
+                continue
+            col = _scaled(x, x_low, x_high, width)
+            row = height - 1 - _scaled(y, y_low, y_high, height)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.4g}"
+    bottom_label = f"{y_low:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_low:.4g}".ljust(width - 8) + f"{x_high:.4g}".rjust(8)
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (label_width + 2) + f"x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def series_from_table(table, x_column: str, y_column: str, label_column: str):
+    """Group a :class:`~repro.experiments.harness.ResultTable` into chart series."""
+    grouped: dict[str, list[tuple[float, float]]] = {}
+    for row in table.rows:
+        label = str(row[label_column])
+        grouped.setdefault(label, []).append(
+            (float(row[x_column]), float(row[y_column]))
+        )
+    for values in grouped.values():
+        values.sort()
+    return grouped

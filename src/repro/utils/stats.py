@@ -1,0 +1,153 @@
+"""Small statistics helpers used by metrics collection and the harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dict (for tables and JSON)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def summarize(values) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    An empty sample yields a zero-count summary with NaN statistics so
+    that tables render "no data" rather than crashing.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        std=float(np.std(data, ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(np.min(data)),
+        maximum=float(np.max(data)),
+        p50=float(np.percentile(data, 50)),
+        p95=float(np.percentile(data, 95)),
+        p99=float(np.percentile(data, 99)),
+    )
+
+
+def mean_confidence_interval(values, confidence: float = 0.95) -> tuple[float, float]:
+    """Return ``(mean, half_width)`` of a normal-approximation CI.
+
+    Uses the t-distribution critical value via scipy when available;
+    a sample of size one has zero half-width.
+    """
+    require(0.0 < confidence < 1.0, "confidence must be in (0, 1)")
+    data = np.asarray(list(values), dtype=np.float64)
+    require(data.size > 0, "cannot compute a confidence interval of an empty sample")
+    mean = float(np.mean(data))
+    if data.size == 1:
+        return mean, 0.0
+    from scipy import stats as scipy_stats
+
+    sem = float(np.std(data, ddof=1)) / math.sqrt(data.size)
+    critical = float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, df=data.size - 1))
+    return mean, critical * sem
+
+
+class OnlineStats:
+    """Numerically stable streaming mean/variance (Welford's algorithm).
+
+    Used by the simulator's metric recorders, where samples arrive one
+    event at a time and storing every value would be wasteful for long
+    runs.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate one sample."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        """Return count."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Return mean."""
+        return self._mean if self._count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1)."""
+        if self._count < 2:
+            return 0.0 if self._count == 1 else float("nan")
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Return std."""
+        return math.sqrt(self.variance) if self._count else float("nan")
+
+    @property
+    def minimum(self) -> float:
+        """Return minimum."""
+        return self._min if self._count else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        """Return maximum."""
+        return self._max if self._count else float("nan")
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equal to seeing both streams (Chan's method)."""
+        merged = OnlineStats()
+        if self._count == 0:
+            merged.__dict__.update(other.__dict__)
+            return merged
+        if other._count == 0:
+            merged.__dict__.update(self.__dict__)
+            return merged
+        count = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = count
+        merged._mean = self._mean + delta * other._count / count
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._count * other._count / count
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged

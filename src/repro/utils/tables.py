@@ -1,0 +1,69 @@
+"""Plain-text and Markdown table rendering.
+
+The benchmark harness prints paper-style tables to stdout; these
+helpers keep the formatting in one place so every experiment's output
+looks the same.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import require
+
+
+def _render_cell(value, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    float_format: str = ".3f",
+    title: "str | None" = None,
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    >>> print(format_table(["algo", "delay"], [["greedy", 1.5]]))
+    algo    delay
+    ------  -----
+    greedy  1.500
+    """
+    require(len(headers) > 0, "table must have at least one column")
+    for row in rows:
+        require(
+            len(row) == len(headers),
+            f"row {row!r} has {len(row)} cells, expected {len(headers)}",
+        )
+    cells = [[_render_cell(v, float_format) for v in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: list[str],
+    rows: list[list],
+    float_format: str = ".3f",
+) -> str:
+    """Render a GitHub-flavoured Markdown table (for EXPERIMENTS.md)."""
+    require(len(headers) > 0, "table must have at least one column")
+    cells = [[_render_cell(v, float_format) for v in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in cells:
+        require(len(row) == len(headers), "row width mismatch")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

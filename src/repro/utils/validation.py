@@ -1,0 +1,85 @@
+"""Argument validation helpers.
+
+These raise :class:`repro.errors.ValidationError` with a descriptive
+message.  They exist so validation reads as one line at the top of a
+function instead of a nest of ``if``/``raise`` blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    require(np.isfinite(value), f"{name} must be finite, got {value!r}")
+    require(value > 0, f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    require(np.isfinite(value), f"{name} must be finite, got {value!r}")
+    require(value >= 0, f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    require(np.isfinite(value), f"{name} must be finite, got {value!r}")
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float = -np.inf,
+    high: float = np.inf,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in the given interval."""
+    require(np.isfinite(value), f"{name} must be finite, got {value!r}")
+    lo_ok = value >= low if low_inclusive else value > low
+    hi_ok = value <= high if high_inclusive else value < high
+    lo_br = "[" if low_inclusive else "("
+    hi_br = "]" if high_inclusive else ")"
+    require(
+        lo_ok and hi_ok,
+        f"{name} must be in {lo_br}{low}, {high}{hi_br}, got {value!r}",
+    )
+    return value
+
+
+def check_matrix(
+    array: np.ndarray,
+    name: str,
+    shape: "tuple[int | None, int | None] | None" = None,
+    nonnegative: bool = False,
+) -> np.ndarray:
+    """Validate a 2-D float array and return it as ``float64``.
+
+    ``shape`` entries of ``None`` mean "any size along this axis".
+    """
+    matrix = np.asarray(array, dtype=np.float64)
+    require(matrix.ndim == 2, f"{name} must be 2-D, got shape {matrix.shape}")
+    require(np.all(np.isfinite(matrix)), f"{name} must contain only finite values")
+    if shape is not None:
+        for axis, expected in enumerate(shape):
+            if expected is not None:
+                require(
+                    matrix.shape[axis] == expected,
+                    f"{name} must have shape {shape}, got {matrix.shape}",
+                )
+    if nonnegative:
+        require(np.all(matrix >= 0), f"{name} must be non-negative everywhere")
+    return matrix

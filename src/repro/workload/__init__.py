@@ -1,0 +1,35 @@
+"""Workload substrate: arrivals, task shapes, traces, and mobility.
+
+* :mod:`repro.workload.arrivals` — Poisson, periodic-with-jitter and
+  two-state MMPP (bursty) inter-arrival processes;
+* :mod:`repro.workload.tasks` — task size / compute / deadline
+  distributions behind a single :class:`~repro.workload.tasks.TaskFactory`;
+* :mod:`repro.workload.traces` — pre-generated (time, device, task)
+  traces with JSON-lines persistence, for replaying the exact same
+  workload against different assignments;
+* :mod:`repro.workload.mobility` — random-waypoint device motion and
+  churn, driving the dynamic reconfiguration experiments.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    MMPPProcess,
+    PeriodicProcess,
+    PoissonProcess,
+)
+from repro.workload.mobility import MobilityEpoch, RandomWaypointMobility
+from repro.workload.tasks import TaskFactory
+from repro.workload.traces import Trace, TraceEntry, generate_trace
+
+__all__ = [
+    "ArrivalProcess",
+    "MMPPProcess",
+    "PeriodicProcess",
+    "PoissonProcess",
+    "MobilityEpoch",
+    "RandomWaypointMobility",
+    "TaskFactory",
+    "Trace",
+    "TraceEntry",
+    "generate_trace",
+]

@@ -1,0 +1,156 @@
+"""Device mobility: the driver of the dynamic reconfiguration experiment.
+
+A simplified random-waypoint model evolved in *epochs*: each epoch a
+fraction of devices advance toward their waypoints, re-attach to the
+now-nearest gateway router, and the device-to-server delay matrix is
+recomputed from the rewired topology.  Each
+:class:`MobilityEpoch` carries a fresh
+:class:`~repro.model.problem.AssignmentProblem` (same devices, demands
+and capacities; new delays) — precisely the input stream the
+:mod:`repro.cluster` controller consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.problem import AssignmentProblem
+from repro.topology.delay import DelayModel, TransmissionDelayModel
+from repro.topology.generators import ACCESS, LinkProfile
+from repro.topology.graph import NodeKind
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class MobilityEpoch:
+    """State of the deployment after one mobility step."""
+
+    epoch: int
+    problem: AssignmentProblem
+    moved_devices: list[int]
+    reattached_devices: list[int]
+
+
+class RandomWaypointMobility:
+    """Epoch-based random waypoint motion over a topology-backed problem."""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        speed: float = 0.08,
+        move_fraction: float = 0.4,
+        seed: "int | None" = None,
+        delay_model: "DelayModel | None" = None,
+        access_profile: LinkProfile = ACCESS,
+    ) -> None:
+        if problem.graph is None or problem.devices is None or problem.servers is None:
+            raise ValidationError(
+                "mobility requires a topology-backed problem "
+                "(build it with topology_instance)"
+            )
+        self.problem = problem
+        self.speed = check_positive(speed, "speed")
+        self.move_fraction = check_probability(move_fraction, "move_fraction")
+        self._rng = make_rng(seed)
+        self._delay_model = delay_model if delay_model is not None else TransmissionDelayModel()
+        self._access_profile = access_profile
+        self._graph = problem.graph.copy()
+        self._routers = self._graph.node_ids(NodeKind.ROUTER)
+        self._router_pos = np.array(
+            [self._graph.node(r).position for r in self._routers]
+        )
+        self._waypoints = {
+            device.device_id: tuple(self._rng.random(2)) for device in problem.devices
+        }
+
+    # ------------------------------------------------------------------
+    def _gateway_of(self, node_id: int) -> int:
+        """A device's current (unique) gateway router."""
+        for neighbor in self._graph.neighbors(node_id):
+            if self._graph.node(neighbor).kind == NodeKind.ROUTER:
+                return neighbor
+        raise ValidationError(f"device node {node_id} has no router gateway")
+
+    def _nearest_router(self, position: tuple[float, float]) -> int:
+        deltas = self._router_pos - np.asarray(position)
+        return self._routers[int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))]
+
+    def _step_device(self, device_id: int, node_id: int) -> bool:
+        """Advance one device toward its waypoint; True if it re-attached."""
+        x, y = self._graph.node(node_id).position
+        wx, wy = self._waypoints[device_id]
+        dist = math.hypot(wx - x, wy - y)
+        if dist <= self.speed:
+            new_pos = (wx, wy)
+            self._waypoints[device_id] = tuple(self._rng.random(2))
+        else:
+            new_pos = (
+                x + self.speed * (wx - x) / dist,
+                y + self.speed * (wy - y) / dist,
+            )
+        self._graph.move_node(node_id, new_pos)
+        old_gateway = self._gateway_of(node_id)
+        new_gateway = self._nearest_router(new_pos)
+        if new_gateway == old_gateway:
+            # still refresh the access-link latency for the new distance
+            self._graph.remove_link(node_id, old_gateway)
+            self._attach(node_id, old_gateway)
+            return False
+        self._graph.remove_link(node_id, old_gateway)
+        self._attach(node_id, new_gateway)
+        return True
+
+    def _attach(self, node_id: int, gateway: int) -> None:
+        gx, gy = self._graph.node(gateway).position
+        nx_, ny_ = self._graph.node(node_id).position
+        distance = math.hypot(gx - nx_, gy - ny_)
+        self._graph.add_link(
+            node_id,
+            gateway,
+            latency_s=self._access_profile.latency(distance),
+            bandwidth_bps=self._access_profile.bandwidth_bps,
+            processing_s=self._access_profile.processing_s,
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, epoch: int) -> MobilityEpoch:
+        """Advance one epoch and return the refreshed problem."""
+        devices = self.problem.devices
+        assert devices is not None and self.problem.servers is not None
+        n_moving = max(1, int(round(self.move_fraction * len(devices))))
+        movers = self._rng.choice(len(devices), size=n_moving, replace=False)
+        moved: list[int] = []
+        reattached: list[int] = []
+        for index in movers:
+            device = devices[int(index)]
+            moved.append(device.device_id)
+            if self._step_device(device.device_id, device.node_id):
+                reattached.append(device.device_id)
+        refreshed = AssignmentProblem.from_topology(
+            self._graph.copy(),
+            devices,
+            self.problem.servers,
+            delay_model=self._delay_model,
+            name=f"{self.problem.name}@epoch{epoch}",
+        )
+        # demands/capacities must not drift: carry the originals over
+        # (covers the heterogeneous-server demand matrix too)
+        refreshed.demand = self.problem.demand.copy()
+        refreshed.capacity = self.problem.capacity.copy()
+        return MobilityEpoch(
+            epoch=epoch,
+            problem=refreshed,
+            moved_devices=moved,
+            reattached_devices=reattached,
+        )
+
+    def epochs(self, n_epochs: int) -> Iterator[MobilityEpoch]:
+        """Generate ``n_epochs`` successive epochs."""
+        for epoch in range(1, n_epochs + 1):
+            yield self.step(epoch)

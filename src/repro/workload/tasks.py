@@ -1,0 +1,64 @@
+"""Task shape distributions.
+
+:class:`TaskFactory` stamps out :class:`~repro.sim.task.Task` objects
+with lognormal message sizes (telemetry is small, occasional frames
+are big) and exponential compute demand around configurable means.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.sim.task import Task
+from repro.utils.validation import check_positive
+
+
+class TaskFactory:
+    """Produces simulated tasks with randomized size and compute cost.
+
+    Parameters
+    ----------
+    mean_size_bits:
+        Mean message size on the wire; sizes are lognormal with
+        ``size_sigma`` log-space spread.
+    mean_compute_units:
+        Mean processing demand; exponential.  A server with
+        ``service_rate = r`` spends ``units / r`` seconds per task.
+    """
+
+    def __init__(
+        self,
+        mean_size_bits: float = 8.0 * 1200,
+        size_sigma: float = 0.5,
+        mean_compute_units: float = 1.0,
+    ) -> None:
+        self.mean_size_bits = check_positive(mean_size_bits, "mean_size_bits")
+        self.size_sigma = check_positive(size_sigma, "size_sigma")
+        self.mean_compute_units = check_positive(mean_compute_units, "mean_compute_units")
+        # lognormal mu such that the distribution mean equals mean_size_bits
+        self._mu = math.log(self.mean_size_bits) - 0.5 * self.size_sigma**2
+        self._ids = itertools.count()
+
+    def make(
+        self,
+        device_id: int,
+        server_id: int,
+        created_at: float,
+        rng: np.random.Generator,
+        deadline_s: "float | None" = None,
+    ) -> Task:
+        """One task, timestamps initialized, ids unique per factory."""
+        size = float(rng.lognormal(self._mu, self.size_sigma))
+        compute = float(rng.exponential(self.mean_compute_units))
+        return Task(
+            task_id=next(self._ids),
+            device_id=device_id,
+            server_id=server_id,
+            size_bits=max(size, 1.0),
+            compute_units=max(compute, 1e-6),
+            created_at=created_at,
+            deadline_s=deadline_s,
+        )

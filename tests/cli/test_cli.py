@@ -1,0 +1,193 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_solver_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "x.json", "--solver", "oracle"])
+
+
+class TestInfo:
+    def test_lists_components(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "tacc" in out
+        assert "random_geometric" in out
+        assert "experiments" in out
+
+
+class TestGenerateSolveCompare:
+    def test_generate_gap_instance(self, tmp_path, capsys):
+        path = tmp_path / "inst.json"
+        code = main([
+            "generate", "--output", str(path), "--kind", "gap",
+            "--devices", "12", "--servers", "3", "--gap-class", "c", "--seed", "1",
+        ])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["delay"]) == 12
+
+    def test_generate_topology_instance(self, tmp_path):
+        path = tmp_path / "topo.json"
+        code = main([
+            "generate", "--output", str(path), "--kind", "topology",
+            "--routers", "12", "--devices", "8", "--servers", "2", "--seed", "2",
+        ])
+        assert code == 0
+        assert path.exists()
+
+    def test_solve_writes_assignment(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        assignment = tmp_path / "assign.json"
+        main([
+            "generate", "--output", str(instance), "--kind", "random",
+            "--devices", "10", "--servers", "3", "--seed", "3",
+        ])
+        code = main([
+            "solve", str(instance), "--solver", "greedy",
+            "--output", str(assignment),
+        ])
+        assert code == 0
+        vector = json.loads(assignment.read_text())["vector"]
+        assert len(vector) == 10
+        out = capsys.readouterr().out
+        assert "greedy" in out
+        assert "yes" in out
+
+    def test_solve_rl_episode_override(self, tmp_path):
+        instance = tmp_path / "inst.json"
+        main([
+            "generate", "--output", str(instance), "--kind", "random",
+            "--devices", "8", "--servers", "2", "--seed", "4",
+        ])
+        assert main([
+            "solve", str(instance), "--solver", "tacc", "--episodes", "10",
+        ]) == 0
+
+    def test_compare_prints_sorted_table(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        main([
+            "generate", "--output", str(instance), "--kind", "random",
+            "--devices", "10", "--servers", "3", "--seed", "5",
+        ])
+        code = main(["compare", str(instance), "--solvers", "greedy,random"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "random" in out
+        # output rows are sorted by objective: greedy above random
+        assert out.index("greedy") < out.rindex("random")
+
+    def test_compare_unknown_solver_errors(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        main([
+            "generate", "--output", str(instance), "--kind", "random",
+            "--devices", "6", "--servers", "2", "--seed", "6",
+        ])
+        assert main(["compare", str(instance), "--solvers", "greedy,psychic"]) == 1
+
+    def test_solve_corrupt_instance_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["solve", str(bad), "--solver", "greedy"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_reports_difficulty(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        main([
+            "generate", "--output", str(instance), "--kind", "gap",
+            "--devices", "30", "--servers", "4", "--gap-class", "d", "--seed", "1",
+        ])
+        capsys.readouterr()
+        assert main(["inspect", str(instance)]) == 0
+        out = capsys.readouterr().out
+        assert "difficulty class:" in out
+        assert "delay_demand_correlation" in out
+
+
+class TestSimulateExperimentReport:
+    def test_simulate_small(self, capsys):
+        code = main([
+            "simulate", "--solver", "greedy", "--routers", "10", "--devices", "6",
+            "--servers", "2", "--duration", "3", "--seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean network latency" in out
+
+    def test_experiment_runs_and_saves(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import configs
+        from repro.experiments.configs import Scale
+
+        monkeypatch.setitem(
+            configs._CONFIGS,
+            "f4",
+            {
+                "quick": Scale(
+                    repeats=1,
+                    params={"n_devices": 8, "n_servers": 2, "n_routers": 8,
+                            "tightness": 0.8},
+                    solver_kwargs={
+                        "tacc": {"episodes": 10},
+                        "qlearning": {"episodes": 10},
+                        "annealing": {"steps": 300},
+                        "genetic": {"population": 8, "generations": 5},
+                    },
+                ),
+            },
+        )
+        out_json = tmp_path / "f4.json"
+        code = main(["experiment", "f4", "--scale", "quick", "--json", str(out_json)])
+        assert code == 0
+        assert out_json.exists()
+        assert "F4" in capsys.readouterr().out
+
+    def test_report_renders_from_results(self, tmp_path, capsys):
+        from repro.experiments.harness import ResultTable
+
+        results = tmp_path / "results"
+        results.mkdir()
+        table = ResultTable(
+            ["solver", "max_utilization_mean", "overloaded_servers_mean",
+             "utilization_spread_mean", "max_utilization_ci",
+             "overloaded_servers_ci", "utilization_spread_ci"],
+            title="F4",
+        )
+        table.add_row(
+            solver="tacc", max_utilization_mean=0.9, overloaded_servers_mean=0.0,
+            utilization_spread_mean=0.2, max_utilization_ci=0.0,
+            overloaded_servers_ci=0.0, utilization_spread_ci=0.0,
+        )
+        table.add_row(
+            solver="nearest", max_utilization_mean=1.4, overloaded_servers_mean=1.5,
+            utilization_spread_mean=0.8, max_utilization_ci=0.0,
+            overloaded_servers_ci=0.0, utilization_spread_ci=0.0,
+        )
+        table.save_json(results / "f4_load_balance.json")
+        output = tmp_path / "EXPERIMENTS.md"
+        code = main([
+            "report", "--results", str(results), "--output", str(output),
+        ])
+        assert code == 0
+        body = output.read_text()
+        assert "F4" in body
+        assert "guarantee holds" in body
+        assert "Missing results" in body  # the other nine are absent

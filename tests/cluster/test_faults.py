@@ -1,0 +1,104 @@
+"""Tests for the server fault process and degraded problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import (
+    FAILED_CAPACITY,
+    ServerFaultProcess,
+    degraded_problem,
+    serving_fraction,
+)
+from repro.errors import ValidationError
+from repro.model.instances import random_instance
+from repro.solvers.greedy import feasible_start
+
+
+class TestServerFaultProcess:
+    def test_starts_healthy(self):
+        process = ServerFaultProcess(4, seed=1)
+        assert process.failed == frozenset()
+
+    def test_events_track_state(self):
+        process = ServerFaultProcess(5, fail_prob=0.5, repair_prob=0.3, seed=2)
+        previous: frozenset[int] = frozenset()
+        for epoch in range(1, 20):
+            event = process.step(epoch)
+            # repairs run first, so a server may repair and re-fail within
+            # one epoch; new failures must only avoid the still-down set
+            assert set(event.newly_failed).isdisjoint(
+                previous - set(event.repaired)
+            )
+            assert set(event.repaired) <= previous
+            expected = (previous - set(event.repaired)) | set(event.newly_failed)
+            assert event.failed == expected
+            previous = event.failed
+
+    def test_one_server_always_survives(self):
+        process = ServerFaultProcess(3, fail_prob=1.0, repair_prob=0.0, seed=3)
+        for epoch in range(1, 10):
+            event = process.step(epoch)
+            assert len(event.failed) <= 2
+
+    def test_repairs_happen(self):
+        process = ServerFaultProcess(4, fail_prob=0.9, repair_prob=0.9, seed=4)
+        repaired_any = False
+        for epoch in range(1, 30):
+            if process.step(epoch).repaired:
+                repaired_any = True
+        assert repaired_any
+
+    def test_deterministic(self):
+        a = ServerFaultProcess(4, seed=5)
+        b = ServerFaultProcess(4, seed=5)
+        for epoch in range(1, 8):
+            assert a.step(epoch) == b.step(epoch)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            ServerFaultProcess(0)
+        with pytest.raises(ValidationError):
+            ServerFaultProcess(3, fail_prob=1.5)
+
+
+class TestDegradedProblem:
+    def test_failed_servers_collapse(self, small_problem):
+        degraded = degraded_problem(small_problem, {1})
+        assert degraded.capacity[1] == FAILED_CAPACITY
+        assert degraded.capacity[0] == small_problem.capacity[0]
+
+    def test_original_untouched(self, small_problem):
+        before = small_problem.capacity.copy()
+        degraded_problem(small_problem, {0})
+        assert np.array_equal(small_problem.capacity, before)
+
+    def test_solvers_route_around_failures(self):
+        problem = random_instance(20, 4, tightness=0.5, seed=6)
+        degraded = degraded_problem(problem, {2})
+        assignment = feasible_start(degraded)
+        assert assignment.is_complete
+        assert 2 not in set(assignment.vector.tolist())
+
+    def test_out_of_range_server_rejected(self, small_problem):
+        with pytest.raises(ValidationError):
+            degraded_problem(small_problem, {99})
+
+    def test_no_failures_is_equivalent(self, small_problem):
+        degraded = degraded_problem(small_problem, frozenset())
+        assert np.array_equal(degraded.capacity, small_problem.capacity)
+
+
+class TestServingFraction:
+    def test_all_healthy(self):
+        assert serving_fraction(np.array([0, 1, 2]), frozenset(), 3) == 1.0
+
+    def test_partial_failure(self):
+        assert serving_fraction(np.array([0, 1, 0, 1]), {1}, 4) == 0.5
+
+    def test_unassigned_devices_not_served(self):
+        assert serving_fraction(np.array([-1, 0]), frozenset(), 2) == 0.5
+
+    def test_zero_devices(self):
+        assert serving_fraction(np.array([]), frozenset(), 0) == 1.0

@@ -1,0 +1,104 @@
+"""Tests for load monitoring and the migration policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.migration import MigrationPolicy, count_moves, moved_devices
+from repro.cluster.monitor import LoadMonitor
+from repro.errors import ValidationError
+
+
+class TestLoadMonitor:
+    def test_observe_and_latest(self):
+        monitor = LoadMonitor(n_servers=3)
+        monitor.observe([0.5, 0.6, 0.7])
+        assert np.allclose(monitor.latest(), [0.5, 0.6, 0.7])
+
+    def test_window_bounded(self):
+        monitor = LoadMonitor(n_servers=1, window=3)
+        for i in range(10):
+            monitor.observe([float(i)])
+        assert monitor.n_observations == 3
+        assert monitor.mean_utilization()[0] == pytest.approx(8.0)
+
+    def test_overloaded_detection(self):
+        monitor = LoadMonitor(n_servers=3)
+        monitor.observe([0.5, 1.2, 0.99])
+        assert monitor.overloaded() == [1]
+        assert monitor.overloaded(threshold=0.9) == [1, 2]
+
+    def test_overloaded_empty_without_observations(self):
+        assert LoadMonitor(n_servers=2).overloaded() == []
+
+    def test_imbalance(self):
+        monitor = LoadMonitor(n_servers=3)
+        monitor.observe([0.2, 0.5, 0.9])
+        assert monitor.imbalance() == pytest.approx(0.7)
+
+    def test_trend_detects_rising_load(self):
+        monitor = LoadMonitor(n_servers=2, window=5)
+        for i in range(5):
+            monitor.observe([0.1 * i, 0.5])
+        trend = monitor.trend()
+        assert trend[0] == pytest.approx(0.1, abs=1e-9)
+        assert trend[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_trend_zero_with_single_observation(self):
+        monitor = LoadMonitor(n_servers=2)
+        monitor.observe([0.5, 0.5])
+        assert np.allclose(monitor.trend(), 0.0)
+
+    def test_wrong_width_rejected(self):
+        monitor = LoadMonitor(n_servers=3)
+        with pytest.raises(ValidationError):
+            monitor.observe([0.5, 0.6])
+
+    def test_latest_without_observations_raises(self):
+        with pytest.raises(ValidationError):
+            LoadMonitor(n_servers=1).latest()
+
+
+class TestCountMoves:
+    def test_counts_differences(self):
+        assert count_moves([0, 1, 2], [0, 2, 2]) == 1
+        assert count_moves([0, 1], [0, 1]) == 0
+
+    def test_moved_devices_indices(self):
+        assert moved_devices([0, 1, 2], [1, 1, 0]) == [0, 2]
+
+
+class TestMigrationPolicy:
+    def test_migrates_on_clear_win(self):
+        policy = MigrationPolicy(cost_per_move_s=0.001, hysteresis=0.05)
+        assert policy.should_migrate(current_cost=1.0, candidate_cost=0.5, moves=10)
+
+    def test_blocks_marginal_win(self):
+        policy = MigrationPolicy(cost_per_move_s=0.0, hysteresis=0.10)
+        assert not policy.should_migrate(current_cost=1.0, candidate_cost=0.95, moves=5)
+
+    def test_migration_cost_charged_per_move(self):
+        policy = MigrationPolicy(cost_per_move_s=0.02, hysteresis=0.0)
+        # saving of 0.1 but 10 moves x 0.02 = 0.2 cost: refuse
+        assert not policy.should_migrate(current_cost=1.0, candidate_cost=0.9, moves=10)
+        # same saving with 2 moves: accept
+        assert policy.should_migrate(current_cost=1.0, candidate_cost=0.9, moves=2)
+
+    def test_zero_moves_never_migrates(self):
+        policy = MigrationPolicy()
+        assert not policy.should_migrate(1.0, 0.5, moves=0)
+
+    def test_force_overrides_everything(self):
+        policy = MigrationPolicy(cost_per_move_s=100.0, hysteresis=0.9)
+        assert policy.should_migrate(1.0, 2.0, moves=50, force=True)
+
+    def test_net_benefit(self):
+        policy = MigrationPolicy(cost_per_move_s=0.01)
+        assert policy.net_benefit(1.0, 0.8, moves=5) == pytest.approx(0.15)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            MigrationPolicy(cost_per_move_s=-1.0)
+        with pytest.raises(ValidationError):
+            MigrationPolicy(hysteresis=1.5)

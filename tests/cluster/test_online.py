@@ -1,0 +1,111 @@
+"""Tests for online (streaming) assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.online import ONLINE_RULES, OnlineAssigner
+from repro.errors import InfeasibleSolutionError, ValidationError
+from repro.model.instances import random_instance
+from repro.model.problem import AssignmentProblem
+from repro.solvers.exact import BranchAndBoundSolver
+
+
+@pytest.mark.parametrize("rule", ONLINE_RULES)
+class TestAllRules:
+    def test_stream_assignment_feasible(self, rule):
+        problem = random_instance(25, 4, tightness=0.7, seed=1)
+        assigner = OnlineAssigner(problem, rule=rule)
+        assignment = assigner.assign_stream(range(problem.n_devices))
+        assert assignment.is_feasible()
+
+    def test_never_overloads_midstream(self, rule):
+        problem = random_instance(30, 4, tightness=0.85, seed=2)
+        assigner = OnlineAssigner(problem, rule=rule)
+        for device in range(problem.n_devices):
+            try:
+                assigner.assign(device)
+            except InfeasibleSolutionError:
+                break
+            assert np.all(assigner.utilization <= 1.0 + 1e-9)
+
+    def test_deterministic(self, rule):
+        problem = random_instance(20, 3, tightness=0.7, seed=3)
+        a = OnlineAssigner(problem, rule=rule).assign_stream(range(20))
+        b = OnlineAssigner(problem, rule=rule).assign_stream(range(20))
+        assert a == b
+
+
+class TestRuleSemantics:
+    def test_greedy_delay_takes_argmin_when_room(self):
+        problem = random_instance(10, 3, tightness=0.3, seed=4)
+        problem.capacity[:] = 1e9
+        assignment = OnlineAssigner(problem, rule="greedy_delay").assign_stream(range(10))
+        expected = np.argmin(problem.delay, axis=1)
+        assert np.all(assignment.vector == expected)
+
+    def test_reserve_avoids_filling_past_headroom(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 5.0], [1.0, 5.0]],
+            demand=[50.0, 50.0],
+            capacity=[100.0, 100.0],
+        )
+        assigner = OnlineAssigner(problem, rule="reserve", headroom=0.6)
+        assigner.assign(0)  # server 0 at 50%
+        assigner.assign(1)  # filling server 0 would hit 100% > 60%: go to 1
+        assert assigner.assignment.server_of(0) == 0
+        assert assigner.assignment.server_of(1) == 1
+
+    def test_reserve_falls_back_when_everyone_above_headroom(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 5.0]],
+            demand=[90.0],
+            capacity=[100.0, 100.0],
+        )
+        assigner = OnlineAssigner(problem, rule="reserve", headroom=0.5)
+        # no server can stay under 50%: falls back to cheapest fitting
+        assert assigner.assign(0) == 0
+
+    def test_balanced_spreads_load(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 1.1]] * 4,
+            demand=[25.0] * 4,
+            capacity=[100.0, 100.0],
+        )
+        assigner = OnlineAssigner(problem, rule="balanced")
+        assigner.assign_stream(range(4))
+        loads = assigner.assignment.loads()
+        assert loads[0] == loads[1]
+
+
+class TestAdmissionControl:
+    def test_raises_when_no_server_fits(self):
+        problem = AssignmentProblem(
+            delay=[[1.0], [1.0]],
+            demand=[60.0, 60.0],
+            capacity=[100.0],
+        )
+        assigner = OnlineAssigner(problem)
+        assigner.assign(0)
+        with pytest.raises(InfeasibleSolutionError):
+            assigner.assign(1)
+
+    def test_unknown_rule_rejected(self, small_problem):
+        with pytest.raises(ValidationError):
+            OnlineAssigner(small_problem, rule="oracle")
+
+
+class TestCompetitiveness:
+    def test_online_within_factor_of_offline(self):
+        """Online delay-aware rules should land within 2x of the offline
+        optimum on loose instances."""
+        ratios = []
+        for seed in range(4):
+            problem = random_instance(12, 3, tightness=0.6, seed=seed)
+            offline = BranchAndBoundSolver().solve(problem).objective_value
+            online = OnlineAssigner(problem, rule="reserve").assign_stream(
+                range(problem.n_devices)
+            )
+            ratios.append(online.total_delay() / offline)
+        assert np.mean(ratios) < 2.0

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.instances import gap_instance, random_instance, topology_instance
+
+
+@pytest.fixture
+def tiny_problem():
+    """6 devices x 3 servers, loose capacity — brute-forceable."""
+    return random_instance(6, 3, tightness=0.6, seed=101)
+
+
+@pytest.fixture
+def small_problem():
+    """12 devices x 3 servers, moderate tightness."""
+    return random_instance(12, 3, tightness=0.75, seed=202)
+
+
+@pytest.fixture
+def tight_problem():
+    """20 devices x 4 servers at 0.9 tightness — stresses feasibility logic."""
+    return gap_instance(20, 4, klass="d", seed=303)
+
+
+@pytest.fixture(scope="session")
+def topo_problem():
+    """A topology-backed instance shared across tests (session-scoped:
+    building topology + routing is the slow part, and tests only read it)."""
+    return topology_instance(
+        family="random_geometric",
+        n_routers=25,
+        n_devices=20,
+        n_servers=4,
+        tightness=0.7,
+        seed=404,
+        deadline_s=0.05,
+    )

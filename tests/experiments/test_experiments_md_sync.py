@@ -1,0 +1,55 @@
+"""Guard: the committed EXPERIMENTS.md matches the shipped result data.
+
+EXPERIMENTS.md is generated from ``benchmarks/results/full``; if either
+side is regenerated without the other, the document silently lies.
+These tests re-render each experiment's measured table from the shipped
+JSON and require it to appear verbatim in the committed document.
+
+Skipped when either artifact is absent (fresh checkouts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ResultTable
+from repro.experiments.report import EXPERIMENTS
+
+ROOT = Path(__file__).resolve().parents[2]
+RESULTS_DIR = ROOT / "benchmarks" / "results" / "full"
+EXPERIMENTS_MD = ROOT / "EXPERIMENTS.md"
+
+requires_artifacts = pytest.mark.skipif(
+    not EXPERIMENTS_MD.exists()
+    or not RESULTS_DIR.exists()
+    or not any(RESULTS_DIR.glob("*.json")),
+    reason="EXPERIMENTS.md or full results not generated yet",
+)
+
+
+@requires_artifacts
+class TestExperimentsMdSync:
+    def test_every_section_present(self):
+        body = EXPERIMENTS_MD.read_text(encoding="utf-8")
+        for meta in EXPERIMENTS.values():
+            assert f"## {meta.experiment_id} — {meta.title}" in body
+
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_measured_table_matches_shipped_json(self, name):
+        path = RESULTS_DIR / f"{name}.json"
+        if not path.exists():
+            pytest.skip(f"{name} not generated")
+        body = EXPERIMENTS_MD.read_text(encoding="utf-8")
+        table = ResultTable.load_json(path)
+        rendered = table.to_markdown()
+        assert rendered in body, (
+            f"EXPERIMENTS.md is stale for {name}: regenerate with "
+            "`python -m repro report`"
+        )
+
+    def test_expected_shapes_present(self):
+        body = EXPERIMENTS_MD.read_text(encoding="utf-8")
+        assert body.count("**Expected shape (reconstruction):**") == len(EXPERIMENTS)
+        assert body.count("**Observations:**") == len(EXPERIMENTS)

@@ -1,0 +1,50 @@
+"""Tests for device/server entities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.entities import EdgeServer, IoTDevice
+
+
+class TestIoTDevice:
+    def test_valid_device(self):
+        device = IoTDevice(device_id=0, node_id=5, demand=10.0, rate_hz=2.0)
+        assert device.deadline_s is None
+
+    def test_deadline_optional_but_positive(self):
+        IoTDevice(device_id=0, node_id=5, demand=1.0, deadline_s=0.05)
+        with pytest.raises(ValidationError):
+            IoTDevice(device_id=0, node_id=5, demand=1.0, deadline_s=0.0)
+
+    def test_demand_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            IoTDevice(device_id=0, node_id=5, demand=0.0)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            IoTDevice(device_id=0, node_id=5, demand=1.0, rate_hz=-1.0)
+
+    def test_frozen(self):
+        device = IoTDevice(device_id=0, node_id=5, demand=1.0)
+        with pytest.raises(AttributeError):
+            device.demand = 2.0
+
+
+class TestEdgeServer:
+    def test_valid_server(self):
+        server = EdgeServer(server_id=0, node_id=3, capacity=100.0)
+        assert server.service_rate == 100.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            EdgeServer(server_id=0, node_id=3, capacity=0.0)
+
+    def test_service_rate_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            EdgeServer(server_id=0, node_id=3, capacity=1.0, service_rate=0.0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeServer(server_id=-1, node_id=3, capacity=1.0)

@@ -1,0 +1,171 @@
+"""Tests for instance generators — especially the feasibility certificate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.model.instances import (
+    _first_fit_decreasing,
+    ensure_feasible_capacity,
+    gap_instance,
+    random_instance,
+    topology_instance,
+)
+from repro.model.problem import AssignmentProblem
+from repro.topology.delay import HopCountDelayModel
+
+
+class TestRandomInstance:
+    def test_shapes_and_ranges(self):
+        problem = random_instance(20, 4, seed=1)
+        assert problem.n_devices == 20
+        assert problem.n_servers == 4
+        assert np.all(problem.delay >= 1e-3)
+        assert np.all(problem.delay <= 20e-3)
+
+    def test_feasible_by_construction(self):
+        for seed in range(10):
+            problem = random_instance(25, 4, tightness=0.9, seed=seed)
+            witness = _first_fit_decreasing(problem)
+            assert witness is not None
+            assert witness.is_feasible()
+
+    def test_tightness_close_to_requested(self):
+        problem = random_instance(200, 8, tightness=0.7, seed=3)
+        assert problem.tightness == pytest.approx(0.7, abs=0.12)
+
+    def test_deterministic(self):
+        a = random_instance(10, 3, seed=5)
+        b = random_instance(10, 3, seed=5)
+        assert np.allclose(a.delay, b.delay)
+        assert np.allclose(a.capacity, b.capacity)
+
+    def test_invalid_tightness_rejected(self):
+        with pytest.raises(ValidationError):
+            random_instance(10, 3, tightness=1.0)
+        with pytest.raises(ValidationError):
+            random_instance(10, 3, tightness=0.0)
+
+
+class TestGapInstance:
+    @pytest.mark.parametrize("klass", ["a", "b", "c", "d"])
+    def test_all_classes_feasible(self, klass):
+        problem = gap_instance(30, 5, klass, seed=7)
+        assert _first_fit_decreasing(problem) is not None
+
+    def test_class_d_is_inversely_correlated(self):
+        problem = gap_instance(200, 5, "d", seed=11)
+        correlation = np.corrcoef(
+            problem.demand.reshape(-1), problem.delay.reshape(-1)
+        )[0, 1]
+        assert correlation < -0.8
+
+    def test_uncorrelated_classes(self):
+        problem = gap_instance(200, 5, "c", seed=11)
+        correlation = np.corrcoef(
+            problem.demand.reshape(-1), problem.delay.reshape(-1)
+        )[0, 1]
+        assert abs(correlation) < 0.2
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValidationError):
+            gap_instance(10, 3, "z")
+
+    def test_class_a_looser_than_c(self):
+        loose = gap_instance(100, 5, "a", seed=13)
+        tight = gap_instance(100, 5, "c", seed=13)
+        assert loose.tightness < tight.tightness
+
+
+class TestEnsureFeasibleCapacity:
+    def test_relaxes_until_feasible(self):
+        # an instance that is clearly infeasible as stated
+        problem = AssignmentProblem(
+            delay=[[1.0], [1.0], [1.0]],
+            demand=[10.0, 10.0, 10.0],
+            capacity=[12.0],
+        )
+        ensure_feasible_capacity(problem)
+        assert _first_fit_decreasing(problem) is not None
+        assert problem.capacity[0] >= 30.0
+
+    def test_noop_when_already_feasible(self):
+        problem = AssignmentProblem(
+            delay=[[1.0]], demand=[5.0], capacity=[100.0]
+        )
+        before = problem.capacity.copy()
+        ensure_feasible_capacity(problem)
+        assert np.allclose(problem.capacity, before)
+
+
+class TestTopologyInstance:
+    def test_graph_and_entities_attached(self):
+        problem = topology_instance(n_routers=15, n_devices=10, n_servers=3, seed=1)
+        assert problem.graph is not None
+        assert len(problem.devices) == 10
+        assert len(problem.servers) == 3
+
+    def test_feasible_by_construction(self):
+        for seed in range(5):
+            problem = topology_instance(
+                n_routers=15, n_devices=20, n_servers=3, tightness=0.9, seed=seed
+            )
+            assert _first_fit_decreasing(problem) is not None
+
+    def test_deadline_stamped(self):
+        problem = topology_instance(
+            n_routers=10, n_devices=5, n_servers=2, seed=2, deadline_s=0.1
+        )
+        assert all(d.deadline_s == 0.1 for d in problem.devices)
+
+    def test_heterogeneous_servers_vary_demand(self):
+        problem = topology_instance(
+            n_routers=15, n_devices=10, n_servers=4, seed=3, heterogeneous_servers=True
+        )
+        # at least one device must cost different load on different servers
+        assert np.any(np.ptp(problem.demand, axis=1) > 1e-9)
+
+    def test_homogeneous_demand_constant_per_device(self):
+        problem = topology_instance(n_routers=15, n_devices=10, n_servers=4, seed=3)
+        assert np.allclose(np.ptp(problem.demand, axis=1), 0.0)
+
+    def test_delay_model_respected(self):
+        hop = topology_instance(
+            n_routers=15, n_devices=8, n_servers=3, seed=4,
+            delay_model=HopCountDelayModel(seconds_per_hop=1.0),
+        )
+        # hop counts are small integers (in seconds with 1 s/hop)
+        assert np.allclose(hop.delay, np.round(hop.delay))
+        assert np.all(hop.delay >= 1.0)
+
+    def test_deterministic(self):
+        a = topology_instance(n_routers=12, n_devices=8, n_servers=2, seed=9)
+        b = topology_instance(n_routers=12, n_devices=8, n_servers=2, seed=9)
+        assert np.allclose(a.delay, b.delay)
+        assert np.allclose(a.capacity, b.capacity)
+
+    def test_server_capacity_entities_synced_after_relaxation(self):
+        problem = topology_instance(
+            n_routers=12, n_devices=30, n_servers=2, tightness=0.95, seed=10
+        )
+        for j, server in enumerate(problem.servers):
+            assert server.capacity == pytest.approx(problem.capacity[j])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(3, 25),
+    m=st.integers(2, 5),
+    tightness=st.floats(0.3, 0.95),
+    seed=st.integers(0, 10_000),
+)
+def test_property_generators_always_feasible(n, m, tightness, seed):
+    """Every generated instance must carry a feasibility witness."""
+    problem = random_instance(n, m, tightness=tightness, seed=seed)
+    witness = _first_fit_decreasing(problem)
+    assert witness is not None
+    witness.validate()

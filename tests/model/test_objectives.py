@@ -1,0 +1,101 @@
+"""Tests for objective functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.entities import EdgeServer, IoTDevice
+from repro.model.objectives import (
+    DeadlineViolations,
+    LoadBalancedDelay,
+    MaxDelay,
+    TotalDelay,
+    resolve_objective,
+)
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+
+
+@pytest.fixture
+def problem():
+    return AssignmentProblem(
+        delay=[[0.010, 0.060], [0.030, 0.040]],
+        demand=[10.0, 10.0],
+        capacity=[20.0, 20.0],
+    )
+
+
+class TestTotalAndMax:
+    def test_total(self, problem):
+        assignment = Assignment(problem, [0, 1])
+        assert TotalDelay().evaluate(assignment) == pytest.approx(0.05)
+
+    def test_max(self, problem):
+        assignment = Assignment(problem, [0, 1])
+        assert MaxDelay().evaluate(assignment) == pytest.approx(0.04)
+
+    def test_callable_protocol(self, problem):
+        assignment = Assignment(problem, [0, 0])
+        assert TotalDelay()(assignment) == assignment.total_delay()
+
+
+class TestDeadlineViolations:
+    def test_default_deadline(self, problem):
+        assignment = Assignment(problem, [1, 1])  # delays 0.06 and 0.04
+        objective = DeadlineViolations(default_deadline_s=0.05)
+        assert objective.evaluate(assignment) == 1.0
+
+    def test_no_deadline_never_violates(self, problem):
+        assignment = Assignment(problem, [1, 1])
+        assert DeadlineViolations().evaluate(assignment) == 0.0
+
+    def test_entity_deadlines_override_default(self):
+        devices = [
+            IoTDevice(device_id=0, node_id=0, demand=10.0, deadline_s=0.005),
+            IoTDevice(device_id=1, node_id=1, demand=10.0, deadline_s=1.0),
+        ]
+        servers = [EdgeServer(server_id=0, node_id=2, capacity=50.0)]
+        problem = AssignmentProblem(
+            delay=[[0.010], [0.010]],
+            demand=[10.0, 10.0],
+            capacity=[50.0],
+            devices=devices,
+            servers=servers,
+        )
+        assignment = Assignment(problem, [0, 0])
+        # device 0's tight 5 ms deadline is violated, device 1's is not,
+        # even with a permissive default
+        assert DeadlineViolations(default_deadline_s=10.0).evaluate(assignment) == 1.0
+
+
+class TestLoadBalancedDelay:
+    def test_balanced_assignment_scores_lower(self, problem):
+        balanced = Assignment(problem, [0, 1])
+        skewed = Assignment(problem, [0, 0])
+        objective = LoadBalancedDelay(weight=10.0)
+        # same or worse delay but zero imbalance: relative ordering should
+        # favour the balanced one once weight dominates
+        assert objective.evaluate(balanced) < objective.evaluate(skewed) * 2
+
+    def test_zero_weight_equals_total_delay(self, problem):
+        assignment = Assignment(problem, [0, 1])
+        assert LoadBalancedDelay(weight=0.0).evaluate(assignment) == pytest.approx(
+            assignment.total_delay()
+        )
+
+
+class TestResolveObjective:
+    def test_none_defaults_to_total(self):
+        assert isinstance(resolve_objective(None), TotalDelay)
+
+    def test_by_name(self):
+        assert isinstance(resolve_objective("max_delay"), MaxDelay)
+
+    def test_instance_passthrough(self):
+        objective = MaxDelay()
+        assert resolve_objective(objective) is objective
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError):
+            resolve_objective("fastest_vibe")

@@ -1,0 +1,93 @@
+"""Tests for the bandit and REINFORCE solvers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.instances import random_instance
+from repro.rl.bandit import BanditSolver
+from repro.rl.reinforce import ReinforceSolver
+from repro.solvers.greedy import RandomFeasibleSolver
+
+
+class TestBandit:
+    def test_feasible_output(self, small_problem):
+        result = BanditSolver(rounds=60, seed=1).solve(small_problem)
+        assert result.feasible
+
+    def test_feasible_on_tight(self, tight_problem):
+        result = BanditSolver(rounds=80, seed=2).solve(tight_problem)
+        assert result.feasible
+
+    def test_beats_random_search(self):
+        bandit_total, rand_total = 0.0, 0.0
+        for seed in range(4):
+            problem = random_instance(25, 4, tightness=0.8, seed=seed)
+            bandit_total += BanditSolver(rounds=100, seed=seed).solve(
+                problem
+            ).objective_value
+            rand_total += RandomFeasibleSolver(seed=seed).solve(problem).objective_value
+        assert bandit_total < rand_total
+
+    def test_episode_costs_recorded(self, small_problem):
+        result = BanditSolver(rounds=30, seed=3).solve(small_problem)
+        assert len(result.extra["episode_costs"]) == 30
+
+    def test_deterministic(self, small_problem):
+        a = BanditSolver(rounds=40, seed=4).solve(small_problem)
+        b = BanditSolver(rounds=40, seed=4).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            BanditSolver(rounds=0)
+        with pytest.raises(ValidationError):
+            BanditSolver(exploration=-1.0)
+
+
+class TestReinforce:
+    def test_feasible_output(self, small_problem):
+        result = ReinforceSolver(episodes=50, seed=1).solve(small_problem)
+        assert result.feasible
+
+    def test_feasible_on_tight(self, tight_problem):
+        result = ReinforceSolver(episodes=60, seed=2).solve(tight_problem)
+        assert result.feasible
+
+    def test_episode_costs_recorded(self, small_problem):
+        result = ReinforceSolver(episodes=25, seed=3).solve(small_problem)
+        assert len(result.extra["episode_costs"]) == 25
+
+    def test_best_episode_is_min_of_curve(self, small_problem):
+        result = ReinforceSolver(episodes=60, seed=4).solve(small_problem)
+        curve = [c for c in result.extra["episode_costs"] if not math.isnan(c)]
+        assert result.objective_value == pytest.approx(min(curve))
+
+    def test_learning_improves_over_random_policy(self):
+        """Average episode cost in the last quarter of training should be
+        no worse than the first quarter (the policy is learning, or at
+        minimum not collapsing)."""
+        problem = random_instance(20, 4, tightness=0.7, seed=5)
+        result = ReinforceSolver(episodes=200, seed=5).solve(problem)
+        curve = [c for c in result.extra["episode_costs"] if not math.isnan(c)]
+        quarter = len(curve) // 4
+        assert quarter > 2
+        early = sum(curve[:quarter]) / quarter
+        late = sum(curve[-quarter:]) / quarter
+        assert late <= early * 1.05
+
+    def test_deterministic(self, small_problem):
+        a = ReinforceSolver(episodes=30, seed=6).solve(small_problem)
+        b = ReinforceSolver(episodes=30, seed=6).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            ReinforceSolver(episodes=0)
+        with pytest.raises(ValidationError):
+            ReinforceSolver(learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            ReinforceSolver(baseline_decay=2.0)

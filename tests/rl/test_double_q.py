@@ -1,0 +1,57 @@
+"""Tests for Double Q-learning."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.model.instances import random_instance
+from repro.rl.double_q import DoubleQLearningSolver
+from repro.rl.qlearning import QLearningSolver
+from repro.solvers.greedy import RandomFeasibleSolver
+
+
+class TestDoubleQ:
+    def test_feasible_output(self, small_problem):
+        result = DoubleQLearningSolver(episodes=60, seed=1).solve(small_problem)
+        assert result.feasible
+
+    def test_feasible_on_tight(self, tight_problem):
+        result = DoubleQLearningSolver(episodes=80, seed=2).solve(tight_problem)
+        assert result.feasible
+
+    def test_best_episode_is_min_of_curve(self, small_problem):
+        result = DoubleQLearningSolver(episodes=60, seed=3).solve(small_problem)
+        curve = [c for c in result.extra["episode_costs"] if not math.isnan(c)]
+        assert result.objective_value == pytest.approx(min(curve))
+
+    def test_beats_random_search(self):
+        dq_total, rand_total = 0.0, 0.0
+        for seed in range(4):
+            problem = random_instance(25, 4, tightness=0.8, seed=seed)
+            dq_total += DoubleQLearningSolver(episodes=120, seed=seed).solve(
+                problem
+            ).objective_value
+            rand_total += RandomFeasibleSolver(seed=seed).solve(problem).objective_value
+        assert dq_total < rand_total
+
+    def test_comparable_to_single_q(self, small_problem):
+        double = DoubleQLearningSolver(episodes=100, seed=4).solve(small_problem)
+        single = QLearningSolver(episodes=100, seed=4).solve(small_problem)
+        ratio = double.objective_value / single.objective_value
+        assert 0.75 <= ratio <= 1.25
+
+    def test_two_tables_populated(self, small_problem):
+        result = DoubleQLearningSolver(episodes=60, seed=5).solve(small_problem)
+        assert result.extra["q_states"] > 0
+
+    def test_deterministic(self, small_problem):
+        a = DoubleQLearningSolver(episodes=40, seed=6).solve(small_problem)
+        b = DoubleQLearningSolver(episodes=40, seed=6).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_registered(self):
+        from repro.solvers.registry import get_solver
+
+        assert isinstance(get_solver("double_q", episodes=10), DoubleQLearningSolver)

@@ -1,0 +1,61 @@
+"""Tests for the on-policy SARSA solver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.model.instances import random_instance
+from repro.rl.sarsa import SarsaSolver
+from repro.solvers.greedy import RandomFeasibleSolver
+
+
+class TestSarsa:
+    def test_feasible_output(self, small_problem):
+        result = SarsaSolver(episodes=60, seed=1).solve(small_problem)
+        assert result.feasible
+
+    def test_feasible_on_tight(self, tight_problem):
+        result = SarsaSolver(episodes=80, seed=2).solve(tight_problem)
+        assert result.feasible
+
+    def test_best_episode_is_min_of_curve(self, small_problem):
+        result = SarsaSolver(episodes=60, seed=3).solve(small_problem)
+        curve = [c for c in result.extra["episode_costs"] if not math.isnan(c)]
+        assert result.objective_value == pytest.approx(min(curve))
+
+    def test_beats_random_search(self):
+        sarsa_total, rand_total = 0.0, 0.0
+        for seed in range(4):
+            problem = random_instance(25, 4, tightness=0.8, seed=seed)
+            sarsa_total += SarsaSolver(episodes=120, seed=seed).solve(
+                problem
+            ).objective_value
+            rand_total += RandomFeasibleSolver(seed=seed).solve(problem).objective_value
+        assert sarsa_total < rand_total
+
+    def test_deterministic(self, small_problem):
+        a = SarsaSolver(episodes=40, seed=4).solve(small_problem)
+        b = SarsaSolver(episodes=40, seed=4).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_registered(self):
+        from repro.solvers.registry import get_solver
+
+        solver = get_solver("sarsa", episodes=10)
+        assert isinstance(solver, SarsaSolver)
+
+    def test_q_table_populated(self, small_problem):
+        result = SarsaSolver(episodes=40, seed=5).solve(small_problem)
+        assert result.extra["q_states"] > 0
+
+    def test_comparable_to_qlearning(self, small_problem):
+        """On-policy vs off-policy should land in the same quality band on
+        easy instances (within 25% of each other)."""
+        from repro.rl.qlearning import QLearningSolver
+
+        sarsa = SarsaSolver(episodes=100, seed=6).solve(small_problem)
+        qlearn = QLearningSolver(episodes=100, seed=6).solve(small_problem)
+        ratio = sarsa.objective_value / qlearn.objective_value
+        assert 0.75 <= ratio <= 1.25

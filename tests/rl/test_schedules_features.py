@@ -1,0 +1,78 @@
+"""Tests for schedules and feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.rl.env import AssignmentEnv
+from repro.rl.features import feature_dim, state_features
+from repro.rl.schedules import ConstantSchedule, ExponentialDecay, LinearDecay
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.3)
+        assert schedule(0) == schedule(1000) == 0.3
+
+    def test_exponential_decay_monotone_to_floor(self):
+        schedule = ExponentialDecay(1.0, 0.05, rate=0.1)
+        values = [schedule(step) for step in range(0, 200, 10)]
+        assert values[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] >= 0.05
+
+    def test_exponential_start_below_end_rejected(self):
+        with pytest.raises(ValidationError):
+            ExponentialDecay(0.01, 0.5, rate=1.0)
+
+    def test_linear_decay_endpoints(self):
+        schedule = LinearDecay(1.0, 0.0, steps=10)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(5) == pytest.approx(0.5)
+        assert schedule(10) == 0.0
+        assert schedule(999) == 0.0
+
+    def test_linear_zero_steps_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearDecay(1.0, 0.0, steps=0)
+
+
+class TestFeatures:
+    def test_dimension(self, small_problem):
+        env = AssignmentEnv(small_problem)
+        env.reset()
+        features = state_features(env)
+        assert features.shape == (feature_dim(small_problem.n_servers),)
+
+    def test_all_finite_and_bounded(self, small_problem):
+        env = AssignmentEnv(small_problem)
+        env.reset()
+        while not env.done:
+            features = state_features(env)
+            assert np.all(np.isfinite(features))
+            # delays and residual fractions are normalized
+            m = small_problem.n_servers
+            assert np.all(features[: 2 * m] >= 0.0)
+            assert np.all(features[: 2 * m] <= 1.0)
+            env.step(int(env.feasible_actions()[0]))
+
+    def test_progress_feature_increases(self, small_problem):
+        env = AssignmentEnv(small_problem)
+        env.reset()
+        first = state_features(env)[-1]
+        env.step(int(env.feasible_actions()[0]))
+        if not env.done:
+            second = state_features(env)[-1]
+            assert second > first
+
+    def test_residual_features_shrink_after_assignment(self, small_problem):
+        env = AssignmentEnv(small_problem)
+        env.reset()
+        m = small_problem.n_servers
+        before = state_features(env)[m : 2 * m].sum()
+        env.step(int(env.feasible_actions()[0]))
+        if not env.done:
+            after = state_features(env)[m : 2 * m].sum()
+            assert after < before

@@ -1,0 +1,90 @@
+"""Additional engine/event edge cases: cancellation mid-run, re-runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestCancellationMidRun:
+    def test_callback_can_cancel_future_event(self):
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, lambda: fired.append("victim"))
+        sim.schedule(1.0, victim.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_already_fired_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.run()
+        event.cancel()  # no error
+        assert fired == ["x"]
+
+    def test_cancelled_events_do_not_advance_clock(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda: None)
+        event.cancel()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+
+
+class TestRunResumption:
+    def test_run_can_continue_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 3]
+
+    def test_scheduling_between_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.run()
+        sim.schedule(0.5, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 1.5
+
+    def test_empty_run_with_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_negative_until_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            Simulator().run(until=-1.0)
+
+
+class TestZeroDelayOrdering:
+    def test_zero_delay_fires_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.schedule(0.0, lambda l=label: fired.append(l))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_chained_zero_delay_preserves_causality(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(0.0, lambda: fired.append("child"))
+
+        sim.schedule(0.0, first)
+        sim.schedule(0.0, lambda: fired.append("second"))
+        sim.run()
+        # the child was scheduled after `second` already sat in the queue
+        assert fired == ["first", "second", "child"]

@@ -1,0 +1,129 @@
+"""Tests for metrics recording and reports."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.task import Task
+
+
+def finished_task(task_id=0, created=0.0, arrived=0.01, completed=0.02, deadline=None):
+    task = Task(
+        task_id=task_id,
+        device_id=0,
+        server_id=0,
+        size_bits=1000.0,
+        compute_units=1.0,
+        created_at=created,
+        deadline_s=deadline,
+    )
+    task.arrived_at = arrived
+    task.completed_at = completed
+    return task
+
+
+class TestTask:
+    def test_latencies(self):
+        task = finished_task()
+        assert task.network_latency == pytest.approx(0.01)
+        assert task.total_latency == pytest.approx(0.02)
+
+    def test_unfinished_latency_none(self):
+        task = Task(0, 0, 0, 1000.0, 1.0, created_at=0.0)
+        assert task.network_latency is None
+        assert task.total_latency is None
+
+    def test_deadline_miss(self):
+        assert finished_task(deadline=0.015).missed_deadline is True
+        assert finished_task(deadline=0.05).missed_deadline is False
+        assert finished_task().missed_deadline is None
+
+    def test_never_completed_counts_as_missed(self):
+        task = Task(0, 0, 0, 1000.0, 1.0, created_at=0.0, deadline_s=0.01)
+        assert task.missed_deadline is True
+
+
+class TestMetricsRecorder:
+    def test_counts(self):
+        recorder = MetricsRecorder()
+        for i in range(4):
+            recorder.on_created(finished_task(task_id=i))
+        for i in range(3):
+            recorder.on_completed(finished_task(task_id=i))
+        assert recorder.tasks_created == 4
+        assert recorder.tasks_completed == 3
+
+    def test_report_statistics(self):
+        recorder = MetricsRecorder()
+        for i, completed in enumerate((0.02, 0.04, 0.06)):
+            task = finished_task(task_id=i, completed=completed)
+            recorder.on_created(task)
+            recorder.on_completed(task)
+        report = recorder.report(duration_s=10.0, server_utilization=[0.5, 0.7])
+        assert report.total_latency.mean == pytest.approx(0.04)
+        assert report.mean_network_latency_ms == pytest.approx(10.0)
+        assert report.server_utilization == (0.5, 0.7)
+
+    def test_deadline_miss_rate(self):
+        recorder = MetricsRecorder()
+        for i, completed in enumerate((0.01, 0.03, 0.05, 0.07)):
+            task = finished_task(task_id=i, completed=completed, deadline=0.04)
+            recorder.on_created(task)
+            recorder.on_completed(task)
+        report = recorder.report(duration_s=1.0)
+        assert report.deadline_miss_rate == pytest.approx(0.5)
+
+    def test_no_deadlines_gives_none(self):
+        recorder = MetricsRecorder()
+        task = finished_task()
+        recorder.on_created(task)
+        recorder.on_completed(task)
+        assert recorder.report(duration_s=1.0).deadline_miss_rate is None
+
+    def test_empty_run_report_is_nan_not_crash(self):
+        report = MetricsRecorder().report(duration_s=1.0)
+        assert report.tasks_completed == 0
+        assert math.isnan(report.mean_network_latency_ms)
+
+    def test_completion_without_timestamps_rejected(self):
+        recorder = MetricsRecorder()
+        task = Task(0, 0, 0, 1000.0, 1.0, created_at=0.0)
+        with pytest.raises(SimulationError):
+            recorder.on_completed(task)
+
+    def test_warmup_excludes_transient_tasks_from_stats(self):
+        recorder = MetricsRecorder(warmup_s=1.0)
+        early = finished_task(task_id=0, created=0.5, arrived=0.51, completed=0.52)
+        late = finished_task(task_id=1, created=2.0, arrived=2.1, completed=2.2)
+        for task in (early, late):
+            recorder.on_created(task)
+            recorder.on_completed(task)
+        assert recorder.tasks_completed_total == 2  # conservation view
+        assert recorder.tasks_completed == 1        # measured view
+        report = recorder.report(duration_s=3.0)
+        assert report.total_latency.count == 1
+        assert report.total_latency.mean == pytest.approx(0.2)
+
+    def test_warmup_zero_measures_everything(self):
+        recorder = MetricsRecorder(warmup_s=0.0)
+        task = finished_task()
+        recorder.on_created(task)
+        recorder.on_completed(task)
+        assert recorder.tasks_completed == recorder.tasks_completed_total == 1
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            MetricsRecorder(warmup_s=-1.0)
+
+    def test_as_dict_keys(self):
+        recorder = MetricsRecorder()
+        task = finished_task()
+        recorder.on_created(task)
+        recorder.on_completed(task)
+        payload = recorder.report(duration_s=1.0, server_utilization=[0.4]).as_dict()
+        assert payload["tasks_created"] == 1
+        assert payload["max_server_utilization"] == 0.4

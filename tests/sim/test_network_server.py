@@ -1,0 +1,199 @@
+"""Tests for link transmitters, fabric forwarding and server queues."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.entities import EdgeServer
+from repro.sim.engine import Simulator
+from repro.sim.network import LinkTransmitter, NetworkFabric
+from repro.sim.server import EdgeServerQueue
+from repro.sim.task import Task
+from repro.topology.graph import Link, NetworkGraph, NodeKind
+from repro.topology.routing import Path
+
+
+def make_task(task_id=0, size_bits=8000.0, compute=1.0, created=0.0):
+    return Task(
+        task_id=task_id,
+        device_id=0,
+        server_id=0,
+        size_bits=size_bits,
+        compute_units=compute,
+        created_at=created,
+    )
+
+
+class TestLinkTransmitter:
+    def test_single_packet_delay_components(self):
+        sim = Simulator()
+        link = Link(0, 1, latency_s=1e-3, bandwidth_bps=1e6, processing_s=5e-4)
+        port = LinkTransmitter(sim, link)
+        delivered = []
+        port.send(make_task(size_bits=1e3), lambda t: delivered.append(sim.now))
+        sim.run()
+        # 1 ms transmission (1e3/1e6) + 1 ms latency + 0.5 ms processing
+        assert delivered[0] == pytest.approx(1e-3 + 1e-3 + 5e-4)
+
+    def test_queueing_serializes_transmissions(self):
+        sim = Simulator()
+        link = Link(0, 1, latency_s=0.0, bandwidth_bps=1e6)
+        port = LinkTransmitter(sim, link)
+        delivered = []
+        for i in range(3):
+            port.send(make_task(task_id=i, size_bits=1e6), lambda t: delivered.append(sim.now))
+        sim.run()
+        # each takes 1 s of transmission; they queue behind each other
+        assert delivered == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_propagation_is_pipelined(self):
+        """The port frees after the last bit; propagation overlaps the next
+        packet's transmission."""
+        sim = Simulator()
+        link = Link(0, 1, latency_s=10.0, bandwidth_bps=1e6)
+        port = LinkTransmitter(sim, link)
+        delivered = []
+        for i in range(2):
+            port.send(make_task(task_id=i, size_bits=1e6), lambda t: delivered.append(sim.now))
+        sim.run()
+        # packet 1: 1 s tx + 10 s prop = 11; packet 2: waits 1 s, +1 s tx +10 = 12
+        assert delivered == pytest.approx([11.0, 12.0])
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        link = Link(0, 1, latency_s=0.0, bandwidth_bps=1e6)
+        port = LinkTransmitter(sim, link)
+        port.send(make_task(size_bits=5e5), lambda t: None)
+        port.send(make_task(size_bits=5e5), lambda t: None)
+        sim.run()
+        assert port.busy_time == pytest.approx(1.0)
+        assert port.packets_sent == 2
+
+
+class TestNetworkFabric:
+    @pytest.fixture
+    def line(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.IOT_DEVICE)
+        b = graph.add_node(NodeKind.ROUTER)
+        c = graph.add_node(NodeKind.EDGE_SERVER)
+        graph.add_link(a, b, latency_s=1e-3, bandwidth_bps=1e6)
+        graph.add_link(b, c, latency_s=2e-3, bandwidth_bps=1e6)
+        return graph, (a, b, c)
+
+    def test_forwards_hop_by_hop(self, line):
+        graph, (a, b, c) = line
+        sim = Simulator()
+        fabric = NetworkFabric(sim, graph)
+        arrivals = []
+        task = make_task(size_bits=1e3)
+        fabric.forward(task, Path((a, b, c), 0.0), lambda t: arrivals.append(sim.now))
+        sim.run()
+        expected = (1e-3 + 1e-3) + (1e-3 + 2e-3)  # per hop: tx + latency
+        assert arrivals[0] == pytest.approx(expected)
+
+    def test_zero_length_path_delivers_immediately(self, line):
+        graph, (a, _, _) = line
+        sim = Simulator()
+        fabric = NetworkFabric(sim, graph)
+        arrivals = []
+        fabric.forward(make_task(), Path((a,), 0.0), lambda t: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [0.0]
+
+    def test_shared_link_creates_contention(self, line):
+        graph, (a, b, c) = line
+        sim = Simulator()
+        fabric = NetworkFabric(sim, graph)
+        arrivals = []
+        for i in range(2):
+            fabric.forward(
+                make_task(task_id=i, size_bits=1e6),
+                Path((a, b, c), 0.0),
+                lambda t: arrivals.append(sim.now),
+            )
+        sim.run()
+        # second packet waits a full transmission on the first hop
+        assert arrivals[1] - arrivals[0] == pytest.approx(1.0)
+
+    def test_total_packets_counted_per_hop(self, line):
+        graph, (a, b, c) = line
+        sim = Simulator()
+        fabric = NetworkFabric(sim, graph)
+        fabric.forward(make_task(), Path((a, b, c), 0.0), lambda t: None)
+        sim.run()
+        assert fabric.total_packets_sent() == 2  # one per hop
+
+
+class TestEdgeServerQueue:
+    def make_queue(self, sim, service="deterministic", rate=10.0, on_complete=None):
+        server = EdgeServer(server_id=0, node_id=0, capacity=100.0, service_rate=rate)
+        return EdgeServerQueue(
+            sim, server, rng=np.random.default_rng(0), service=service,
+            on_complete=on_complete,
+        )
+
+    def test_deterministic_service_time(self):
+        sim = Simulator()
+        done = []
+        queue = self.make_queue(sim, on_complete=lambda t: done.append(sim.now))
+        queue.submit(make_task(compute=5.0))
+        sim.run()
+        assert done[0] == pytest.approx(0.5)  # 5 units / 10 per s
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        finished = []
+        queue = self.make_queue(sim, on_complete=lambda t: finished.append(t.task_id))
+        for i in range(3):
+            queue.submit(make_task(task_id=i, compute=1.0))
+        sim.run()
+        assert finished == [0, 1, 2]
+
+    def test_queueing_delay_accumulates(self):
+        sim = Simulator()
+        done = []
+        queue = self.make_queue(sim, on_complete=lambda t: done.append(sim.now))
+        for i in range(3):
+            queue.submit(make_task(task_id=i, compute=10.0))  # 1 s each
+        sim.run()
+        assert done == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_timestamps_filled(self):
+        sim = Simulator()
+        queue = self.make_queue(sim)
+        task = make_task(compute=1.0)
+        queue.submit(task)
+        sim.run()
+        assert task.arrived_at == 0.0
+        assert task.completed_at == pytest.approx(0.1)
+        assert task.total_latency == pytest.approx(0.1)
+
+    def test_utilization(self):
+        sim = Simulator()
+        queue = self.make_queue(sim)
+        queue.submit(make_task(compute=10.0))  # 1 s of work
+        sim.run()
+        assert queue.utilization(duration=2.0) == pytest.approx(0.5)
+
+    def test_exponential_service_is_seeded(self):
+        sim_a, sim_b = Simulator(), Simulator()
+        done_a, done_b = [], []
+        qa = self.make_queue(sim_a, service="exponential",
+                             on_complete=lambda t: done_a.append(sim_a.now))
+        qb = self.make_queue(sim_b, service="exponential",
+                             on_complete=lambda t: done_b.append(sim_b.now))
+        qa.submit(make_task())
+        qb.submit(make_task())
+        sim_a.run()
+        sim_b.run()
+        assert done_a == done_b
+
+    def test_unknown_service_rejected(self):
+        from repro.errors import ValidationError
+
+        sim = Simulator()
+        server = EdgeServer(server_id=0, node_id=0, capacity=1.0)
+        with pytest.raises(ValidationError):
+            EdgeServerQueue(sim, server, rng=np.random.default_rng(0), service="psychic")

@@ -1,0 +1,113 @@
+"""Property-based invariants of the discrete-event simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.instances import topology_instance
+from repro.sim.runner import simulate_assignment
+from repro.solvers.greedy import feasible_start
+
+
+def build_and_simulate(seed: int, rate_scale: float, duration: float):
+    problem = topology_instance(
+        n_routers=10,
+        n_devices=6,
+        n_servers=2,
+        tightness=0.7,
+        seed=seed,
+        deadline_s=0.05,
+    )
+    assignment = feasible_start(problem)
+    report = simulate_assignment(
+        assignment,
+        duration_s=duration,
+        seed=seed,
+        rate_scale=rate_scale,
+        drain_s=60.0,  # generous drain: every task must finish
+    )
+    return problem, assignment, report
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    rate_scale=st.floats(0.2, 4.0),
+    duration=st.floats(2.0, 8.0),
+)
+def test_property_conservation_and_sane_latencies(seed, rate_scale, duration):
+    """Tasks are conserved and every latency statistic is physically sane."""
+    _, _, report = build_and_simulate(seed, rate_scale, duration)
+    # conservation: with a long drain everything created completes
+    assert report.tasks_completed == report.tasks_created
+    if report.tasks_completed == 0:
+        return
+    # latencies are positive and network <= total at every percentile
+    assert report.network_latency.minimum > 0
+    assert report.network_latency.mean <= report.total_latency.mean
+    assert report.network_latency.p99 <= report.total_latency.p99 + 1e-12
+    assert report.network_latency.p50 <= report.network_latency.p99 + 1e-12
+    # utilization is a fraction of wall time
+    assert all(0.0 <= u for u in report.server_utilization)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_network_latency_at_least_propagation(seed):
+    """Measured per-task latency can never beat the speed of the links:
+    the fastest task is still slower than the cheapest unloaded path."""
+    problem, assignment, report = build_and_simulate(seed, 0.5, 4.0)
+    if report.tasks_completed == 0:
+        return
+    # cheapest possible path delay for a zero-size packet: propagation
+    # plus processing along the assigned routes only
+    from repro.topology.delay import TransmissionDelayModel
+    from repro.topology.routing import routing_paths
+
+    model = TransmissionDelayModel(packet_bits=1.0)  # ~zero-size packet
+    floor = np.inf
+    vector = assignment.vector
+    for server_index, server in enumerate(problem.servers):
+        assigned = np.flatnonzero(vector == server_index)
+        if assigned.size == 0:
+            continue
+        nodes = [problem.devices[int(i)].node_id for i in assigned]
+        paths = routing_paths(problem.graph, nodes, server.node_id, model.link_weight)
+        floor = min(floor, min(p.cost for p in paths.values()))
+    assert report.network_latency.minimum >= floor * 0.999
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_doubled_trace_monotonicity(seed):
+    """Provable load monotonicity: with deterministic service and FIFO
+    queues, adding a duplicate of every task (arriving just after the
+    original) can only delay work — mean latency must not decrease and
+    server busy time exactly doubles."""
+    from repro.sim.trace_runner import replay_trace
+    from repro.workload.traces import Trace, TraceEntry, generate_trace
+
+    problem = topology_instance(
+        n_routers=10, n_devices=6, n_servers=2, tightness=0.7, seed=seed
+    )
+    assignment = feasible_start(problem)
+    trace = generate_trace(problem.devices, horizon_s=6.0, seed=seed)
+    if trace.n_entries == 0:
+        return
+    doubled_entries = list(trace.entries) + [
+        TraceEntry(e.time_s + 1e-6, e.device_id, e.size_bits, e.compute_units)
+        for e in trace.entries
+    ]
+    doubled_entries.sort(key=lambda e: e.time_s)
+    doubled = Trace(horizon_s=trace.horizon_s + 1.0, entries=doubled_entries)
+
+    single = replay_trace(assignment, trace, drain_s=120.0, service="deterministic")
+    both = replay_trace(assignment, doubled, drain_s=120.0, service="deterministic")
+    assert both.tasks_completed == 2 * single.tasks_completed
+    assert both.total_latency.mean >= single.total_latency.mean * (1 - 1e-9)
+    # work conservation: exactly twice the service time was performed
+    single_busy = sum(single.server_utilization) * trace.horizon_s
+    both_busy = sum(both.server_utilization) * doubled.horizon_s
+    assert both_busy == pytest.approx(2 * single_busy, rel=1e-6)

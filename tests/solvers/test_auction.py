@@ -1,0 +1,55 @@
+"""Tests for the auction solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.instances import gap_instance, random_instance
+from repro.solvers.auction import AuctionSolver
+from repro.solvers.greedy import RandomFeasibleSolver
+
+
+class TestAuction:
+    def test_feasible_on_generated_instances(self):
+        for seed in range(6):
+            problem = random_instance(30, 5, tightness=0.85, seed=seed)
+            result = AuctionSolver(seed=seed).solve(problem)
+            assert result.feasible
+
+    def test_feasible_on_correlated_tight(self):
+        for seed in range(4):
+            problem = gap_instance(30, 5, "d", seed=seed)
+            result = AuctionSolver(seed=seed).solve(problem)
+            assert result.feasible
+
+    def test_beats_random_baseline(self):
+        auction_total, random_total = 0.0, 0.0
+        for seed in range(5):
+            problem = random_instance(30, 5, tightness=0.8, seed=seed)
+            auction_total += AuctionSolver(seed=seed).solve(problem).objective_value
+            random_total += RandomFeasibleSolver(seed=seed).solve(problem).objective_value
+        assert auction_total < random_total
+
+    def test_loose_instance_everyone_gets_argmin(self):
+        """With no contention prices stay at zero and the auction is just
+        nearest-server."""
+        problem = random_instance(10, 3, tightness=0.3, seed=2)
+        problem.capacity[:] = 1e9
+        result = AuctionSolver(seed=0).solve(problem)
+        assert result.objective_value == pytest.approx(problem.delay_lower_bound())
+
+    def test_round_counter_reported(self, small_problem):
+        result = AuctionSolver(seed=0).solve(small_problem)
+        assert result.iterations >= 1
+
+    def test_deterministic(self, small_problem):
+        a = AuctionSolver(seed=1).solve(small_problem)
+        b = AuctionSolver(seed=1).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            AuctionSolver(max_rounds=0)
+        with pytest.raises(ValidationError):
+            AuctionSolver(eps=0.0)

@@ -1,0 +1,104 @@
+"""Tests for the Solver interface and SolverResult."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.model.objectives import MaxDelay
+from repro.model.solution import Assignment
+from repro.solvers.base import Solver, SolverResult
+from repro.solvers.greedy import GreedyFeasibleSolver
+
+
+class _PartialSolver(Solver):
+    """Test double that never completes the assignment."""
+
+    name = "partial"
+
+    def _solve(self, problem, rng):
+        return Assignment(problem), {"iterations": 3}
+
+
+class TestSolve:
+    def test_result_fields(self, small_problem):
+        result = GreedyFeasibleSolver().solve(small_problem)
+        assert result.solver == "greedy"
+        assert result.feasible
+        assert math.isfinite(result.objective_value)
+        assert result.runtime_s >= 0.0
+
+    def test_objective_override(self, small_problem):
+        result = GreedyFeasibleSolver(objective=MaxDelay()).solve(small_problem)
+        assert result.objective_value == pytest.approx(
+            result.assignment.max_delay()
+        )
+
+    def test_objective_by_name(self, small_problem):
+        result = GreedyFeasibleSolver(objective="max_delay").solve(small_problem)
+        assert result.objective_value == pytest.approx(result.assignment.max_delay())
+
+    def test_partial_assignment_scores_infinite(self, small_problem):
+        result = _PartialSolver().solve(small_problem)
+        assert result.objective_value == math.inf
+        assert not result.feasible
+        assert result.iterations == 3
+
+    def test_deterministic_given_seed(self, small_problem):
+        from repro.solvers.greedy import RandomFeasibleSolver
+
+        a = RandomFeasibleSolver(seed=5).solve(small_problem)
+        b = RandomFeasibleSolver(seed=5).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_different_seeds_differ(self, small_problem):
+        from repro.solvers.greedy import RandomFeasibleSolver
+
+        outcomes = {
+            tuple(RandomFeasibleSolver(seed=s).solve(small_problem).assignment.vector)
+            for s in range(5)
+        }
+        assert len(outcomes) > 1
+
+
+class TestSolverResult:
+    def test_gap_against_bound(self, small_problem):
+        assignment = GreedyFeasibleSolver().solve(small_problem).assignment
+        result = SolverResult(
+            solver="x",
+            assignment=assignment,
+            objective_value=1.1,
+            feasible=True,
+            runtime_s=0.0,
+            lower_bound=1.0,
+        )
+        assert result.gap == pytest.approx(0.1)
+
+    def test_gap_none_without_bound(self, small_problem):
+        assignment = GreedyFeasibleSolver().solve(small_problem).assignment
+        result = SolverResult(
+            solver="x",
+            assignment=assignment,
+            objective_value=1.1,
+            feasible=True,
+            runtime_s=0.0,
+        )
+        assert result.gap is None
+
+    def test_gap_none_for_infinite_objective(self, small_problem):
+        assignment = Assignment(small_problem)
+        result = SolverResult(
+            solver="x",
+            assignment=assignment,
+            objective_value=math.inf,
+            feasible=False,
+            runtime_s=0.0,
+            lower_bound=1.0,
+        )
+        assert result.gap is None
+
+    def test_summary_row(self, small_problem):
+        assignment = GreedyFeasibleSolver().solve(small_problem).assignment
+        result = SolverResult("x", assignment, 2.0, True, 0.5)
+        assert result.summary_row() == ["x", 2.0, True, 0.5]

@@ -1,0 +1,83 @@
+"""Tests for the Lagrangian relaxation solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ValidationError
+from repro.model.instances import gap_instance, random_instance
+from repro.solvers.exact import BranchAndBoundSolver
+from repro.solvers.greedy import GreedyFeasibleSolver
+from repro.solvers.lagrangian import LagrangianSolver
+from repro.solvers.lp import lp_lower_bound
+from tests.strategies import small_problems
+
+
+class TestLagrangian:
+    def test_feasible_output(self, small_problem):
+        result = LagrangianSolver(seed=1).solve(small_problem)
+        assert result.feasible
+
+    def test_feasible_on_tight_correlated(self, tight_problem):
+        result = LagrangianSolver(seed=2).solve(tight_problem)
+        assert result.feasible
+
+    def test_dual_bound_below_primal(self, small_problem):
+        result = LagrangianSolver(seed=3).solve(small_problem)
+        assert result.lower_bound is not None
+        assert result.lower_bound <= result.objective_value + 1e-9
+
+    def test_dual_bound_valid_against_optimum(self, tiny_problem):
+        optimum = BranchAndBoundSolver().solve(tiny_problem).objective_value
+        result = LagrangianSolver(rounds=200, seed=4).solve(tiny_problem)
+        assert result.lower_bound <= optimum + 1e-9
+
+    def test_dual_bound_at_least_capacity_relaxed(self, small_problem):
+        """lambda = 0 already gives the relaxed bound; ascent only improves."""
+        result = LagrangianSolver(seed=5).solve(small_problem)
+        assert result.lower_bound >= small_problem.delay_lower_bound() - 1e-9
+
+    def test_dual_bound_competitive_with_lp(self):
+        """Subgradient should close most of the gap the LP bound closes."""
+        for seed in range(3):
+            problem = gap_instance(25, 4, "c", seed=seed)
+            lp = lp_lower_bound(problem)
+            relaxed = problem.delay_lower_bound()
+            result = LagrangianSolver(rounds=300, seed=seed).solve(problem)
+            if lp - relaxed > 1e-9:
+                closed = (result.lower_bound - relaxed) / (lp - relaxed)
+                assert closed > 0.5
+
+    def test_primal_beats_greedy_on_average(self):
+        lagr_total, greedy_total = 0.0, 0.0
+        for seed in range(5):
+            problem = random_instance(30, 5, tightness=0.85, seed=seed)
+            lagr_total += LagrangianSolver(seed=seed).solve(problem).objective_value
+            greedy_total += GreedyFeasibleSolver().solve(problem).objective_value
+        assert lagr_total <= greedy_total + 1e-9
+
+    def test_deterministic(self, small_problem):
+        a = LagrangianSolver(seed=6).solve(small_problem)
+        b = LagrangianSolver(seed=6).solve(small_problem)
+        assert a.assignment == b.assignment
+        assert a.lower_bound == pytest.approx(b.lower_bound)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            LagrangianSolver(rounds=0)
+        with pytest.raises(ValidationError):
+            LagrangianSolver(initial_step=0.0)
+        with pytest.raises(ValidationError):
+            LagrangianSolver(step_shrink=1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(problem=small_problems(max_devices=6, max_servers=3))
+    def test_property_bound_sandwich(self, problem):
+        """relaxed <= lagrangian dual <= optimum on every feasible instance."""
+        exact = BranchAndBoundSolver().solve(problem)
+        if not exact.feasible:
+            return
+        result = LagrangianSolver(rounds=100, seed=7).solve(problem)
+        assert problem.delay_lower_bound() - 1e-9 <= result.lower_bound
+        assert result.lower_bound <= exact.objective_value + 1e-9

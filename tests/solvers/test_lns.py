@@ -1,0 +1,82 @@
+"""Tests for the large neighborhood search solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ValidationError
+from repro.model.instances import gap_instance, random_instance
+from repro.solvers.greedy import GreedyFeasibleSolver, feasible_start
+from repro.solvers.lns import LNSSolver
+from tests.strategies import small_problems
+
+
+class TestLNS:
+    def test_feasible_output(self, small_problem):
+        result = LNSSolver(iterations=100, seed=1).solve(small_problem)
+        assert result.feasible
+
+    def test_feasible_on_tight_correlated(self, tight_problem):
+        result = LNSSolver(iterations=150, seed=2).solve(tight_problem)
+        assert result.feasible
+        assert result.assignment.overloaded_servers() == []
+
+    def test_never_worse_than_its_start(self):
+        for seed in range(5):
+            problem = random_instance(30, 5, tightness=0.8, seed=seed)
+            start = feasible_start(problem).total_delay()
+            result = LNSSolver(iterations=150, seed=seed).solve(problem)
+            assert result.objective_value <= start + 1e-12
+
+    def test_beats_greedy_on_hard_classes(self):
+        lns_total, greedy_total = 0.0, 0.0
+        for seed in range(5):
+            problem = gap_instance(30, 5, "d", seed=seed)
+            lns_total += LNSSolver(iterations=200, seed=seed).solve(
+                problem
+            ).objective_value
+            greedy_total += GreedyFeasibleSolver().solve(problem).objective_value
+        assert lns_total < greedy_total
+
+    def test_deterministic_given_seed(self, small_problem):
+        a = LNSSolver(iterations=80, seed=3).solve(small_problem)
+        b = LNSSolver(iterations=80, seed=3).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_all_operators_exercised(self, small_problem):
+        result = LNSSolver(iterations=200, seed=4).solve(small_problem)
+        uses = result.extra["operator_uses"]
+        assert set(uses) == {"random", "worst", "server"}
+        assert all(count > 0 for count in uses.values())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            LNSSolver(iterations=0)
+        with pytest.raises(ValidationError):
+            LNSSolver(destroy_fraction=0.0)
+        with pytest.raises(ValidationError):
+            LNSSolver(temperature=2.0)
+
+    def test_repair_respects_capacity(self, small_problem):
+        solver = LNSSolver(seed=5)
+        rng = np.random.default_rng(0)
+        start = feasible_start(small_problem)
+        vector = start.vector
+        removed = np.array([0, 1])
+        ok = solver._repair(small_problem, vector, removed, rng)
+        assert ok
+        loads = np.zeros(small_problem.n_servers)
+        np.add.at(
+            loads, vector,
+            small_problem.demand[np.arange(small_problem.n_devices), vector],
+        )
+        assert np.all(loads <= small_problem.capacity + 1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(problem=small_problems())
+    def test_property_output_feasible(self, problem):
+        result = LNSSolver(iterations=60, seed=6).solve(problem)
+        if result.assignment.is_complete:
+            assert result.assignment.overloaded_servers() == []

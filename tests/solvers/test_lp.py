@@ -1,0 +1,80 @@
+"""Tests for the LP relaxation and rounding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.model.instances import gap_instance, random_instance
+from repro.solvers.exact import BranchAndBoundSolver
+from repro.solvers.lp import LPRoundingSolver, lp_lower_bound, lp_relaxation
+from tests.strategies import small_problems
+
+
+class TestLPRelaxation:
+    def test_rows_sum_to_one(self, small_problem):
+        _, x = lp_relaxation(small_problem)
+        assert np.allclose(x.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_capacities_respected_fractionally(self, small_problem):
+        _, x = lp_relaxation(small_problem)
+        loads = np.einsum("ij,ij->j", small_problem.demand, x)
+        assert np.all(loads <= small_problem.capacity + 1e-6)
+
+    def test_bound_below_optimum(self, tiny_problem):
+        bound = lp_lower_bound(tiny_problem)
+        optimum = BranchAndBoundSolver().solve(tiny_problem).objective_value
+        assert bound <= optimum + 1e-9
+
+    def test_bound_above_capacity_relaxed_bound(self, small_problem):
+        """The LP bound is at least as tight as the unconstrained bound."""
+        assert lp_lower_bound(small_problem) >= small_problem.delay_lower_bound() - 1e-9
+
+    def test_loose_instance_bound_is_exact_relaxation(self):
+        """With huge capacities the LP just puts everyone on their argmin."""
+        problem = random_instance(10, 3, tightness=0.2, seed=1)
+        problem.capacity[:] = 1e9
+        assert lp_lower_bound(problem) == pytest.approx(problem.delay_lower_bound())
+
+    @settings(max_examples=15, deadline=None)
+    @given(problem=small_problems(max_devices=6, max_servers=3))
+    def test_property_lp_sandwiched(self, problem):
+        """relaxed-bound <= LP <= optimum, on every feasible instance."""
+        exact = BranchAndBoundSolver().solve(problem)
+        if not exact.feasible:
+            return
+        bound = lp_lower_bound(problem)
+        assert problem.delay_lower_bound() - 1e-9 <= bound <= exact.objective_value + 1e-9
+
+
+class TestLPRounding:
+    def test_feasible_on_generated_instances(self):
+        for seed in range(6):
+            problem = random_instance(30, 5, tightness=0.85, seed=seed)
+            result = LPRoundingSolver().solve(problem)
+            assert result.feasible
+
+    def test_feasible_on_correlated_tight(self):
+        for seed in range(4):
+            problem = gap_instance(30, 5, "d", seed=seed)
+            result = LPRoundingSolver().solve(problem)
+            assert result.feasible
+
+    def test_lower_bound_attached(self, small_problem):
+        result = LPRoundingSolver().solve(small_problem)
+        assert result.lower_bound is not None
+        assert result.objective_value >= result.lower_bound - 1e-9
+
+    def test_close_to_optimal_on_small(self, tiny_problem):
+        optimum = BranchAndBoundSolver().solve(tiny_problem).objective_value
+        result = LPRoundingSolver().solve(tiny_problem)
+        assert result.objective_value <= optimum * 1.5
+
+    def test_repair_helper_reduces_overload_to_zero(self):
+        problem = random_instance(20, 4, tightness=0.7, seed=3)
+        vector = np.zeros(problem.n_devices, dtype=np.int64)  # all on server 0
+        LPRoundingSolver._repair(problem, vector)
+        loads = np.zeros(problem.n_servers)
+        np.add.at(loads, vector, problem.demand[np.arange(problem.n_devices), vector])
+        assert np.all(loads <= problem.capacity + 1e-9)

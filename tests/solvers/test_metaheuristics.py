@@ -1,0 +1,116 @@
+"""Tests for simulated annealing and the genetic algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ValidationError
+from repro.model.instances import gap_instance, random_instance
+from repro.solvers.annealing import SimulatedAnnealingSolver
+from repro.solvers.genetic import GeneticSolver
+from repro.solvers.greedy import RandomFeasibleSolver
+from tests.strategies import small_problems
+
+
+class TestSimulatedAnnealing:
+    def test_feasible_output(self, tight_problem):
+        result = SimulatedAnnealingSolver(steps=4000, seed=1).solve(tight_problem)
+        assert result.feasible
+
+    def test_beats_random_baseline(self):
+        sa_total, random_total = 0.0, 0.0
+        for seed in range(5):
+            problem = random_instance(30, 5, tightness=0.8, seed=seed)
+            sa_total += SimulatedAnnealingSolver(steps=8000, seed=seed).solve(
+                problem
+            ).objective_value
+            random_total += RandomFeasibleSolver(seed=seed).solve(problem).objective_value
+        assert sa_total < random_total
+
+    def test_deterministic_given_seed(self, small_problem):
+        a = SimulatedAnnealingSolver(steps=2000, seed=9).solve(small_problem)
+        b = SimulatedAnnealingSolver(steps=2000, seed=9).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_acceptance_counter_reported(self, small_problem):
+        result = SimulatedAnnealingSolver(steps=2000, seed=2).solve(small_problem)
+        assert 0 < result.extra["accepted"] <= 2000
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            SimulatedAnnealingSolver(steps=0)
+        with pytest.raises(ValidationError):
+            SimulatedAnnealingSolver(cooling=1.0)
+        with pytest.raises(ValidationError):
+            SimulatedAnnealingSolver(initial_temperature=-1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(problem=small_problems())
+    def test_property_output_never_overloaded(self, problem):
+        result = SimulatedAnnealingSolver(steps=1500, seed=4).solve(problem)
+        if result.feasible:
+            result.assignment.validate()
+        # even when no feasible state was found, the result is complete
+        assert result.assignment.is_complete
+
+
+class TestGenetic:
+    def test_feasible_output(self, tight_problem):
+        result = GeneticSolver(population=20, generations=30, seed=1).solve(tight_problem)
+        assert result.feasible
+
+    def test_beats_random_baseline(self):
+        ga_total, random_total = 0.0, 0.0
+        for seed in range(4):
+            problem = random_instance(25, 4, tightness=0.8, seed=seed)
+            ga_total += GeneticSolver(
+                population=20, generations=40, seed=seed
+            ).solve(problem).objective_value
+            random_total += RandomFeasibleSolver(seed=seed).solve(problem).objective_value
+        assert ga_total < random_total
+
+    def test_deterministic_given_seed(self, small_problem):
+        a = GeneticSolver(population=12, generations=10, seed=5).solve(small_problem)
+        b = GeneticSolver(population=12, generations=10, seed=5).solve(small_problem)
+        assert a.assignment == b.assignment
+
+    def test_repair_reduces_overload(self):
+        """Repair is best-effort (the penalty covers the remainder), but it
+        must strictly shrink the violation of an all-on-one-server child."""
+        problem = gap_instance(20, 4, "d", seed=7)
+        solver = GeneticSolver(seed=0)
+        rng = np.random.default_rng(0)
+        vector = np.zeros(problem.n_devices, dtype=np.int64)
+
+        def violation(vec):
+            loads = np.zeros(problem.n_servers)
+            np.add.at(loads, vec, problem.demand[np.arange(problem.n_devices), vec])
+            return float(np.sum(np.maximum(loads - problem.capacity, 0.0)))
+
+        before = violation(vector)
+        solver._repair(problem, vector, rng)
+        assert violation(vector) < before * 0.5
+
+    def test_repair_fixes_mild_overload_completely(self):
+        problem = random_instance(20, 4, tightness=0.7, seed=8)
+        solver = GeneticSolver(seed=0)
+        rng = np.random.default_rng(1)
+        vector = np.zeros(problem.n_devices, dtype=np.int64)
+        solver._repair(problem, vector, rng)
+        loads = np.zeros(problem.n_servers)
+        np.add.at(loads, vector, problem.demand[np.arange(problem.n_devices), vector])
+        assert np.all(loads <= problem.capacity + 1e-9)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            GeneticSolver(population=2)
+        with pytest.raises(ValidationError):
+            GeneticSolver(generations=0)
+        with pytest.raises(ValidationError):
+            GeneticSolver(mutation_prob=1.5)
+
+    def test_generations_reported(self, small_problem):
+        result = GeneticSolver(population=10, generations=12, seed=3).solve(small_problem)
+        assert result.iterations == 12

@@ -1,0 +1,53 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.model.instances import ensure_feasible_capacity
+from repro.model.problem import AssignmentProblem
+
+
+@st.composite
+def small_problems(
+    draw,
+    max_devices: int = 8,
+    max_servers: int = 4,
+    force_feasible: bool = True,
+):
+    """Random small :class:`AssignmentProblem` instances.
+
+    Delays and demands are drawn uniformly; capacities start at a
+    random tightness and are relaxed to certified feasibility when
+    ``force_feasible`` (the default, since most solver properties are
+    stated for feasible instances).
+    """
+    n = draw(st.integers(min_value=2, max_value=max_devices))
+    m = draw(st.integers(min_value=2, max_value=max_servers))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    tightness = draw(st.floats(min_value=0.3, max_value=0.9))
+    rng = np.random.default_rng(seed)
+    delay = rng.uniform(1e-3, 20e-3, size=(n, m))
+    demand = rng.uniform(5.0, 25.0, size=(n, m))
+    capacity = np.full(m, float(np.sum(np.mean(demand, axis=1))) / (m * tightness))
+    capacity = np.maximum(capacity, float(np.max(np.min(demand, axis=1))))
+    problem = AssignmentProblem(delay=delay, demand=demand, capacity=capacity)
+    if force_feasible:
+        ensure_feasible_capacity(problem)
+    return problem
+
+
+@st.composite
+def assignment_vectors(draw, problem: AssignmentProblem):
+    """A complete (not necessarily feasible) assignment vector."""
+    return np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=problem.n_servers - 1),
+                min_size=problem.n_devices,
+                max_size=problem.n_devices,
+            )
+        ),
+        dtype=np.int64,
+    )

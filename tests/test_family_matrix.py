@@ -1,0 +1,57 @@
+"""Integration matrix: every topology family × representative solvers.
+
+The figures sweep families and solvers independently; this sweep
+crosses them on small instances so a family-specific structure (a fat
+tree's parallel paths, a hierarchy's articulation points) cannot break
+a solver unnoticed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.instances import topology_instance
+from repro.sim.runner import simulate_assignment
+from repro.solvers.registry import get_solver
+from repro.topology.generators import TOPOLOGY_FAMILIES
+
+REPRESENTATIVES = {
+    "greedy": {},
+    "lagrangian": {"rounds": 30},
+    "tacc": {"episodes": 25},
+}
+
+
+@pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+class TestFamilyMatrix:
+    @pytest.fixture()
+    def instance(self, family):
+        return topology_instance(
+            family=family,
+            n_routers=18,
+            n_devices=12,
+            n_servers=3,
+            tightness=0.7,
+            seed=73,
+        )
+
+    @pytest.mark.parametrize("solver_name", sorted(REPRESENTATIVES))
+    def test_solver_feasible_on_family(self, family, solver_name, instance):
+        solver = get_solver(solver_name, seed=1, **REPRESENTATIVES[solver_name])
+        result = solver.solve(instance)
+        assert result.feasible, f"{solver_name} on {family}"
+        result.assignment.validate()
+
+    def test_simulation_runs_on_family(self, family, instance):
+        result = get_solver("greedy").solve(instance)
+        report = simulate_assignment(
+            result.assignment, duration_s=3.0, seed=2, drain_s=30.0
+        )
+        assert report.tasks_completed == report.tasks_created
+        assert report.tasks_completed > 0
+
+    def test_delays_have_family_plausible_range(self, family, instance):
+        """All families produce millisecond-scale routed delays (the access
+        links dominate), with finite positive entries everywhere."""
+        assert instance.delay.min() > 1e-4   # at least the access latency
+        assert instance.delay.max() < 1.0    # and nothing absurd

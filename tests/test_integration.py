@@ -1,0 +1,133 @@
+"""End-to-end integration tests spanning the full pipeline.
+
+These are slower than unit tests but exercise the exact flows the
+README and examples advertise: generate → solve → validate → simulate
+→ evolve (mobility/churn) → reconfigure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster.churn import ChurnProcess, MembershipController
+from repro.cluster.controller import ReconfigurationController
+from repro.sim.trace_runner import replay_trace
+from repro.solvers.lp import lp_lower_bound
+from repro.workload.mobility import RandomWaypointMobility
+from repro.workload.traces import generate_trace
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return repro.topology_instance(
+        family="waxman",
+        n_routers=30,
+        n_devices=25,
+        n_servers=4,
+        tightness=0.75,
+        seed=2026,
+        deadline_s=0.05,
+    )
+
+
+class TestReadmeFlow:
+    def test_solve_validate_simulate(self, deployment):
+        result = repro.get_solver("tacc", seed=1, episodes=120).solve(deployment)
+        assert result.feasible
+        result.assignment.validate()
+        # static quality: within 15% of the LP floor
+        assert result.objective_value <= lp_lower_bound(deployment) * 1.15
+        report = repro.simulate_assignment(result.assignment, duration_s=15.0, seed=2)
+        assert report.tasks_completed == report.tasks_created
+        assert report.deadline_miss_rate is not None
+
+    def test_solver_quality_ordering_holds_end_to_end(self, deployment):
+        """random > greedy > tacc in static cost, and the DES agrees."""
+        random_result = repro.get_solver("random", seed=3).solve(deployment)
+        greedy_result = repro.get_solver("greedy", seed=3).solve(deployment)
+        tacc_result = repro.get_solver("tacc", seed=3, episodes=150).solve(deployment)
+        assert tacc_result.objective_value <= greedy_result.objective_value
+        assert greedy_result.objective_value <= random_result.objective_value
+        trace = generate_trace(deployment.devices, horizon_s=12.0, seed=4)
+        tacc_measured = replay_trace(tacc_result.assignment, trace)
+        random_measured = replay_trace(random_result.assignment, trace)
+        assert (
+            tacc_measured.mean_network_latency_ms
+            <= random_measured.mean_network_latency_ms
+        )
+
+
+class TestDynamicFlow:
+    def test_mobility_plus_controller_keeps_feasibility(self, deployment):
+        mobility = RandomWaypointMobility(deployment, seed=5, move_fraction=0.6)
+        controller = ReconfigurationController(
+            repro.get_solver("tacc", seed=6, episodes=80), strategy="hysteresis"
+        )
+        controller.initialize(deployment)
+        for epoch_state in mobility.epochs(5):
+            decision = controller.observe(epoch_state.epoch, epoch_state.problem)
+            assert decision.feasible
+
+    def test_churn_membership_never_overloads(self, deployment):
+        controller = MembershipController(deployment, join_rule="reserve")
+        churn = ChurnProcess(deployment.n_devices, seed=7)
+        controller.bootstrap(churn.active)
+        for epoch in range(1, 10):
+            controller.apply(churn.step(epoch))
+            assert np.all(controller.utilization() <= 1.0 + 1e-9)
+
+
+class TestDeterminism:
+    def test_whole_pipeline_reproducible(self):
+        """Same seed => identical instance, assignment and measurements."""
+        outcomes = []
+        for _ in range(2):
+            problem = repro.topology_instance(
+                n_routers=15, n_devices=12, n_servers=3, tightness=0.7, seed=99
+            )
+            result = repro.get_solver("tacc", seed=1, episodes=50).solve(problem)
+            report = repro.simulate_assignment(result.assignment, duration_s=5.0, seed=2)
+            outcomes.append(
+                (
+                    result.objective_value,
+                    tuple(result.assignment.vector),
+                    report.tasks_created,
+                    report.mean_network_latency_ms,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_topology_seed_changes_instance(self):
+        a = repro.topology_instance(n_routers=15, n_devices=10, n_servers=3, seed=1)
+        b = repro.topology_instance(n_routers=15, n_devices=10, n_servers=3, seed=2)
+        assert not np.allclose(a.delay, b.delay)
+
+
+class TestCrossComponentConsistency:
+    def test_cli_experiment_names_cover_configs(self):
+        from repro.cli.commands import _EXPERIMENT_MODULES
+        from repro.experiments.configs import _CONFIGS
+
+        assert set(_EXPERIMENT_MODULES) == set(_CONFIGS)
+
+    def test_report_metadata_covers_benchmarks(self):
+        """Every bench module's emitted result name has report metadata."""
+        import re
+        from pathlib import Path
+
+        from repro.experiments.report import EXPERIMENTS
+
+        emitted = set()
+        for bench in Path("benchmarks").glob("bench_*.py"):
+            for match in re.finditer(r'emit\(table, results_dir, "([^"]+)"\)',
+                                     bench.read_text()):
+                emitted.add(match.group(1))
+        assert emitted == set(EXPERIMENTS)
+
+    def test_registry_covers_figure_solvers(self):
+        from repro.experiments.configs import FIGURE_SOLVERS
+        from repro.solvers.registry import available_solvers
+
+        assert set(FIGURE_SOLVERS) <= set(available_solvers())

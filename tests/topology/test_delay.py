@@ -1,0 +1,129 @@
+"""Tests for the delay models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.topology.delay import (
+    EuclideanDelayModel,
+    HopCountDelayModel,
+    TransmissionDelayModel,
+    delay_matrix,
+    path_delay,
+)
+from repro.topology.generators import random_geometric
+from repro.topology.graph import Link, NetworkGraph, NodeKind
+from repro.topology.routing import shortest_path
+
+
+@pytest.fixture
+def two_hop():
+    """device - router - server, with known link attributes."""
+    graph = NetworkGraph()
+    device = graph.add_node(NodeKind.IOT_DEVICE, (0.0, 0.0))
+    router = graph.add_node(NodeKind.ROUTER, (0.5, 0.0))
+    server = graph.add_node(NodeKind.EDGE_SERVER, (1.0, 0.0))
+    graph.add_link(device, router, latency_s=2e-3, bandwidth_bps=1e6, processing_s=1e-4)
+    graph.add_link(router, server, latency_s=1e-3, bandwidth_bps=1e9, processing_s=5e-5)
+    return graph, device, server
+
+
+class TestTransmissionDelayModel:
+    def test_link_weight_components(self):
+        model = TransmissionDelayModel(packet_bits=1e6)
+        link = Link(0, 1, latency_s=1e-3, bandwidth_bps=1e9, processing_s=1e-4)
+        # 1 ms propagation + 1 ms transmission + 0.1 ms processing
+        assert model.link_weight(link) == pytest.approx(2.1e-3)
+
+    def test_matrix_is_routed_path_delay(self, two_hop):
+        graph, device, server = two_hop
+        model = TransmissionDelayModel(packet_bits=8000)
+        matrix = model.matrix(graph, [device], [server])
+        expected = shortest_path(graph, device, server, model.link_weight).cost
+        assert matrix[0, 0] == pytest.approx(expected)
+
+    def test_bigger_packets_cost_more(self, two_hop):
+        graph, device, server = two_hop
+        small = TransmissionDelayModel(packet_bits=1000).matrix(graph, [device], [server])
+        large = TransmissionDelayModel(packet_bits=100_000).matrix(graph, [device], [server])
+        assert large[0, 0] > small[0, 0]
+
+    def test_rejects_nonpositive_packet(self):
+        with pytest.raises(ValidationError):
+            TransmissionDelayModel(packet_bits=0)
+
+
+class TestHopCountDelayModel:
+    def test_counts_hops(self, two_hop):
+        graph, device, server = two_hop
+        model = HopCountDelayModel(seconds_per_hop=1.0)
+        matrix = model.matrix(graph, [device], [server])
+        assert matrix[0, 0] == pytest.approx(2.0)
+
+    def test_blind_to_link_attributes(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.ROUTER)
+        b = graph.add_node(NodeKind.ROUTER)
+        c = graph.add_node(NodeKind.ROUTER)
+        graph.add_link(a, b, latency_s=100.0, bandwidth_bps=1.0)
+        graph.add_link(b, c, latency_s=1e-9, bandwidth_bps=1e12)
+        model = HopCountDelayModel(seconds_per_hop=1e-3)
+        matrix = model.matrix(graph, [a], [b, c])
+        assert matrix[0, 0] == pytest.approx(1e-3)
+        assert matrix[0, 1] == pytest.approx(2e-3)
+
+
+class TestEuclideanDelayModel:
+    def test_proportional_to_distance(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.IOT_DEVICE, (0.0, 0.0))
+        b = graph.add_node(NodeKind.EDGE_SERVER, (3.0, 4.0))
+        model = EuclideanDelayModel(seconds_per_unit=1.0, floor_s=0.0)
+        matrix = model.matrix(graph, [a], [b])
+        assert matrix[0, 0] == pytest.approx(5.0)
+
+    def test_ignores_topology_entirely(self):
+        """No links at all — the model still produces a matrix."""
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.IOT_DEVICE, (0.0, 0.0))
+        b = graph.add_node(NodeKind.EDGE_SERVER, (1.0, 0.0))
+        matrix = EuclideanDelayModel().matrix(graph, [a], [b])
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] > 0
+
+    def test_floor_applies_at_zero_distance(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.IOT_DEVICE, (0.5, 0.5))
+        b = graph.add_node(NodeKind.EDGE_SERVER, (0.5, 0.5))
+        model = EuclideanDelayModel(floor_s=1e-4)
+        assert model.matrix(graph, [a], [b])[0, 0] == pytest.approx(1e-4)
+
+
+class TestDelayMatrixHelper:
+    def test_defaults_to_transmission(self):
+        graph = random_geometric(10, seed=1)
+        ids = graph.node_ids()
+        default = delay_matrix(graph, ids[:3], ids[3:6])
+        explicit = TransmissionDelayModel().matrix(graph, ids[:3], ids[3:6])
+        assert np.allclose(default, explicit)
+
+    def test_all_entries_positive_between_distinct_nodes(self):
+        graph = random_geometric(10, seed=2)
+        ids = graph.node_ids()
+        matrix = delay_matrix(graph, ids[:4], ids[4:8])
+        assert np.all(matrix > 0)
+
+
+class TestPathDelay:
+    def test_matches_manual_sum(self, two_hop):
+        graph, device, server = two_hop
+        bits = 8000.0
+        total = path_delay(graph, (device, 1, server), bits)
+        expected = (2e-3 + bits / 1e6 + 1e-4) + (1e-3 + bits / 1e9 + 5e-5)
+        assert total == pytest.approx(expected)
+
+    def test_single_node_path_is_zero(self, two_hop):
+        graph, device, _ = two_hop
+        assert path_delay(graph, (device,), 8000.0) == 0.0

@@ -1,0 +1,167 @@
+"""Tests for the network graph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError, ValidationError
+from repro.topology.graph import Link, NetworkGraph, NodeKind
+
+
+@pytest.fixture
+def triangle():
+    """Three routers in a cycle."""
+    graph = NetworkGraph()
+    a = graph.add_node(NodeKind.ROUTER, (0.0, 0.0))
+    b = graph.add_node(NodeKind.ROUTER, (1.0, 0.0))
+    c = graph.add_node(NodeKind.ROUTER, (0.0, 1.0))
+    graph.add_link(a, b, latency_s=1e-3, bandwidth_bps=1e9)
+    graph.add_link(b, c, latency_s=2e-3, bandwidth_bps=1e9)
+    graph.add_link(c, a, latency_s=3e-3, bandwidth_bps=1e9)
+    return graph, (a, b, c)
+
+
+class TestNodes:
+    def test_sequential_ids(self):
+        graph = NetworkGraph()
+        assert graph.add_node(NodeKind.ROUTER) == 0
+        assert graph.add_node(NodeKind.ROUTER) == 1
+
+    def test_explicit_id_respected_and_continued(self):
+        graph = NetworkGraph()
+        assert graph.add_node(NodeKind.ROUTER, node_id=10) == 10
+        assert graph.add_node(NodeKind.ROUTER) == 11
+
+    def test_duplicate_id_rejected(self):
+        graph = NetworkGraph()
+        graph.add_node(NodeKind.ROUTER, node_id=0)
+        with pytest.raises(ValidationError):
+            graph.add_node(NodeKind.ROUTER, node_id=0)
+
+    def test_kind_filter(self, triangle):
+        graph, _ = triangle
+        graph.add_node(NodeKind.IOT_DEVICE)
+        assert len(graph.nodes(NodeKind.ROUTER)) == 3
+        assert len(graph.nodes(NodeKind.IOT_DEVICE)) == 1
+        assert len(graph.nodes()) == 4
+
+    def test_missing_node_raises(self):
+        graph = NetworkGraph()
+        with pytest.raises(TopologyError):
+            graph.node(99)
+
+    def test_move_node_updates_position(self, triangle):
+        graph, (a, _, _) = triangle
+        graph.move_node(a, (0.5, 0.5))
+        assert graph.node(a).position == (0.5, 0.5)
+
+    def test_node_ids_sorted(self, triangle):
+        graph, (a, b, c) = triangle
+        assert graph.node_ids() == sorted([a, b, c])
+
+
+class TestLinks:
+    def test_link_is_bidirectional(self, triangle):
+        graph, (a, b, _) = triangle
+        assert graph.link(a, b) is graph.link(b, a)
+
+    def test_self_loop_rejected(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.ROUTER)
+        with pytest.raises(ValidationError):
+            graph.add_link(a, a, 1e-3, 1e9)
+
+    def test_duplicate_link_rejected(self, triangle):
+        graph, (a, b, _) = triangle
+        with pytest.raises(ValidationError):
+            graph.add_link(a, b, 1e-3, 1e9)
+
+    def test_link_to_missing_node_rejected(self, triangle):
+        graph, (a, _, _) = triangle
+        with pytest.raises(TopologyError):
+            graph.add_link(a, 99, 1e-3, 1e9)
+
+    def test_missing_link_raises(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.ROUTER)
+        b = graph.add_node(NodeKind.ROUTER)
+        with pytest.raises(TopologyError):
+            graph.link(a, b)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            Link(0, 1, latency_s=-1.0, bandwidth_bps=1e9)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            Link(0, 1, latency_s=0.0, bandwidth_bps=0.0)
+
+    def test_other_endpoint(self):
+        link = Link(3, 7, 1e-3, 1e9)
+        assert link.other(3) == 7
+        assert link.other(7) == 3
+        with pytest.raises(TopologyError):
+            link.other(5)
+
+    def test_links_listed_once(self, triangle):
+        graph, _ = triangle
+        assert len(graph.links()) == 3
+        assert graph.n_links == 3
+
+    def test_remove_link(self, triangle):
+        graph, (a, b, _) = triangle
+        graph.remove_link(a, b)
+        assert not graph.has_link(a, b)
+        assert not graph.has_link(b, a)
+        with pytest.raises(TopologyError):
+            graph.remove_link(a, b)
+
+    def test_degree_and_neighbors(self, triangle):
+        graph, (a, b, c) = triangle
+        assert graph.degree(a) == 2
+        assert set(graph.neighbors(a)) == {b, c}
+
+
+class TestConnectivity:
+    def test_triangle_is_connected(self, triangle):
+        graph, _ = triangle
+        assert graph.is_connected()
+
+    def test_isolated_node_disconnects(self, triangle):
+        graph, _ = triangle
+        graph.add_node(NodeKind.ROUTER)
+        assert not graph.is_connected()
+        assert len(graph.connected_components()) == 2
+
+    def test_empty_graph_is_connected(self):
+        assert NetworkGraph().is_connected()
+
+    def test_components_partition_nodes(self, triangle):
+        graph, _ = triangle
+        graph.add_node(NodeKind.ROUTER)
+        components = graph.connected_components()
+        all_nodes = set()
+        for component in components:
+            assert not (all_nodes & component)
+            all_nodes |= component
+        assert all_nodes == set(graph.node_ids())
+
+
+class TestCopy:
+    def test_copy_is_independent(self, triangle):
+        graph, (a, b, _) = triangle
+        clone = graph.copy()
+        clone.remove_link(a, b)
+        assert graph.has_link(a, b)
+        assert not clone.has_link(a, b)
+
+    def test_copy_preserves_structure(self, triangle):
+        graph, _ = triangle
+        clone = graph.copy()
+        assert clone.n_nodes == graph.n_nodes
+        assert clone.n_links == graph.n_links
+
+    def test_copy_continues_id_sequence(self, triangle):
+        graph, _ = triangle
+        clone = graph.copy()
+        assert clone.add_node(NodeKind.ROUTER) == graph.n_nodes

@@ -1,0 +1,100 @@
+"""Tests for the probe-based delay estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.model.instances import random_instance
+from repro.topology.measurement import ProbeDelayEstimator, noisy_problem
+
+
+class TestProbeDelayEstimator:
+    def test_zero_jitter_is_exact(self, small_problem):
+        estimator = ProbeDelayEstimator(probes=1, jitter_sigma=0.0)
+        estimate = estimator.estimate(small_problem.delay, seed=1)
+        assert np.array_equal(estimate, small_problem.delay)
+
+    def test_estimates_positive(self, small_problem):
+        estimator = ProbeDelayEstimator(probes=3, jitter_sigma=0.8)
+        estimate = estimator.estimate(small_problem.delay, seed=2)
+        assert np.all(estimate > 0)
+
+    def test_unbiased_in_expectation(self):
+        """Averaging many probes converges to the truth (mu correction)."""
+        truth = np.full((4, 3), 10e-3)
+        estimator = ProbeDelayEstimator(probes=20_000, jitter_sigma=0.5)
+        estimate = estimator.estimate(truth, seed=3)
+        assert np.allclose(estimate, truth, rtol=0.03)
+
+    def test_more_probes_reduce_error(self, small_problem):
+        few = ProbeDelayEstimator(probes=1, jitter_sigma=0.5)
+        many = ProbeDelayEstimator(probes=25, jitter_sigma=0.5)
+        errors_few = np.mean(
+            [few.relative_error(small_problem.delay, seed=s) for s in range(20)]
+        )
+        errors_many = np.mean(
+            [many.relative_error(small_problem.delay, seed=s) for s in range(20)]
+        )
+        assert errors_many < errors_few
+
+    def test_more_jitter_increases_error(self, small_problem):
+        calm = ProbeDelayEstimator(probes=3, jitter_sigma=0.1)
+        wild = ProbeDelayEstimator(probes=3, jitter_sigma=1.0)
+        errors_calm = np.mean(
+            [calm.relative_error(small_problem.delay, seed=s) for s in range(20)]
+        )
+        errors_wild = np.mean(
+            [wild.relative_error(small_problem.delay, seed=s) for s in range(20)]
+        )
+        assert errors_wild > errors_calm
+
+    def test_deterministic_under_seed(self, small_problem):
+        estimator = ProbeDelayEstimator(probes=3, jitter_sigma=0.4)
+        a = estimator.estimate(small_problem.delay, seed=7)
+        b = estimator.estimate(small_problem.delay, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            ProbeDelayEstimator(probes=0)
+        with pytest.raises(ValidationError):
+            ProbeDelayEstimator(jitter_sigma=-0.1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(sigma=st.floats(0.0, 1.5), probes=st.integers(1, 10),
+           seed=st.integers(0, 10_000))
+    def test_property_shape_and_positivity(self, sigma, probes, seed):
+        problem = random_instance(6, 3, seed=seed % 100)
+        estimator = ProbeDelayEstimator(probes=probes, jitter_sigma=sigma)
+        estimate = estimator.estimate(problem.delay, seed=seed)
+        assert estimate.shape == problem.delay.shape
+        assert np.all(estimate > 0)
+        assert np.all(np.isfinite(estimate))
+
+
+class TestNoisyProblem:
+    def test_only_delays_change(self, small_problem):
+        noisy = noisy_problem(small_problem, probes=2, jitter_sigma=0.5, seed=1)
+        assert not np.allclose(noisy.delay, small_problem.delay)
+        assert np.array_equal(noisy.demand, small_problem.demand)
+        assert np.array_equal(noisy.capacity, small_problem.capacity)
+
+    def test_graph_backing_dropped(self, topo_problem):
+        noisy = noisy_problem(topo_problem, seed=2)
+        assert noisy.graph is None
+        assert noisy.devices is None
+
+    def test_solutions_transfer_between_views(self, small_problem):
+        """A vector feasible on the estimate is feasible on the truth
+        (demands/capacities are shared)."""
+        from repro.model.solution import Assignment
+        from repro.solvers.greedy import feasible_start
+
+        noisy = noisy_problem(small_problem, probes=1, jitter_sigma=0.8, seed=3)
+        solved_on_noisy = feasible_start(noisy)
+        on_truth = Assignment(small_problem, solved_on_noisy.vector)
+        assert on_truth.is_feasible()

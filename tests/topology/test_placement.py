@@ -1,0 +1,114 @@
+"""Tests for edge-server placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError, ValidationError
+from repro.topology.delay import TransmissionDelayModel
+from repro.topology.generators import random_geometric
+from repro.topology.graph import NodeKind
+from repro.topology.placement import PLACEMENT_STRATEGIES, place_edge_servers
+from repro.topology.routing import all_pairs_delay
+
+
+@pytest.mark.parametrize("strategy", sorted(PLACEMENT_STRATEGIES))
+class TestAllStrategies:
+    def test_adds_requested_servers(self, strategy):
+        graph = random_geometric(20, seed=1)
+        servers = place_edge_servers(graph, 4, seed=2, strategy=strategy)
+        assert len(servers) == 4
+        for server in servers:
+            assert graph.node(server).kind == NodeKind.EDGE_SERVER
+
+    def test_each_server_attached_to_router(self, strategy):
+        graph = random_geometric(20, seed=1)
+        servers = place_edge_servers(graph, 3, seed=2, strategy=strategy)
+        for server in servers:
+            neighbors = graph.neighbors(server)
+            assert len(neighbors) == 1
+            assert graph.node(neighbors[0]).kind == NodeKind.ROUTER
+
+    def test_distinct_host_routers(self, strategy):
+        graph = random_geometric(20, seed=3)
+        servers = place_edge_servers(graph, 5, seed=4, strategy=strategy)
+        hosts = {graph.neighbors(s)[0] for s in servers}
+        assert len(hosts) == 5
+
+    def test_deterministic_under_seed(self, strategy):
+        first = random_geometric(15, seed=5)
+        second = random_geometric(15, seed=5)
+        servers_a = place_edge_servers(first, 3, seed=6, strategy=strategy)
+        servers_b = place_edge_servers(second, 3, seed=6, strategy=strategy)
+        hosts_a = [first.neighbors(s)[0] for s in servers_a]
+        hosts_b = [second.neighbors(s)[0] for s in servers_b]
+        assert hosts_a == hosts_b
+
+
+class TestStrategySemantics:
+    def test_degree_picks_highest_degree_routers(self):
+        graph = random_geometric(25, seed=7)
+        servers = place_edge_servers(graph, 3, seed=8, strategy="degree")
+        hosts = [graph.neighbors(s)[0] for s in servers]
+        routers = graph.node_ids(NodeKind.ROUTER)
+        # account for the +1 degree the server link added to hosts
+        degree = {
+            r: graph.degree(r) - (1 if r in hosts else 0) for r in routers
+        }
+        threshold = sorted(degree.values(), reverse=True)[2]
+        for host in hosts:
+            assert degree[host] >= threshold
+
+    def test_spread_beats_random_on_coverage(self):
+        """k-center placement should cover the graph at least as well as
+        random placement (max distance to nearest server)."""
+        model = TransmissionDelayModel()
+        worst_spread, worst_random = [], []
+        for seed in range(5):
+            graph_a = random_geometric(30, seed=seed)
+            graph_b = random_geometric(30, seed=seed)
+            routers = graph_a.node_ids(NodeKind.ROUTER)
+            spread = place_edge_servers(graph_a, 3, seed=seed, strategy="spread")
+            random_hosts = place_edge_servers(graph_b, 3, seed=seed, strategy="random")
+            for graph, servers, bucket in (
+                (graph_a, spread, worst_spread),
+                (graph_b, random_hosts, worst_random),
+            ):
+                matrix = all_pairs_delay(graph, routers, servers, model.link_weight)
+                bucket.append(float(np.max(np.min(matrix, axis=1))))
+        assert np.mean(worst_spread) <= np.mean(worst_random) + 1e-12
+
+    def test_medoid_minimizes_mean_distance_vs_random(self):
+        model = TransmissionDelayModel()
+        mean_medoid, mean_random = [], []
+        for seed in range(5):
+            graph_a = random_geometric(30, seed=seed)
+            graph_b = random_geometric(30, seed=seed)
+            routers = graph_a.node_ids(NodeKind.ROUTER)
+            medoid = place_edge_servers(graph_a, 3, seed=seed, strategy="medoid")
+            random_hosts = place_edge_servers(graph_b, 3, seed=seed, strategy="random")
+            for graph, servers, bucket in (
+                (graph_a, medoid, mean_medoid),
+                (graph_b, random_hosts, mean_random),
+            ):
+                matrix = all_pairs_delay(graph, routers, servers, model.link_weight)
+                bucket.append(float(np.mean(np.min(matrix, axis=1))))
+        assert np.mean(mean_medoid) <= np.mean(mean_random) + 1e-12
+
+
+class TestErrors:
+    def test_more_servers_than_routers(self):
+        graph = random_geometric(3, seed=9)
+        with pytest.raises(TopologyError):
+            place_edge_servers(graph, 10)
+
+    def test_unknown_strategy(self):
+        graph = random_geometric(5, seed=10)
+        with pytest.raises(ValidationError):
+            place_edge_servers(graph, 2, strategy="astrology")
+
+    def test_zero_servers(self):
+        graph = random_geometric(5, seed=11)
+        with pytest.raises(ValidationError):
+            place_edge_servers(graph, 0)

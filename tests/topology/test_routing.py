@@ -1,0 +1,170 @@
+"""Tests for shortest-path routing, including a networkx oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.topology.generators import random_geometric, waxman
+from repro.topology.graph import NetworkGraph, NodeKind
+from repro.topology.routing import all_pairs_delay, dijkstra, routing_paths, shortest_path
+
+
+def line_graph(weights):
+    """A path graph 0-1-2-... with given link latencies."""
+    graph = NetworkGraph()
+    nodes = [graph.add_node(NodeKind.ROUTER, (i, 0.0)) for i in range(len(weights) + 1)]
+    for i, w in enumerate(weights):
+        graph.add_link(nodes[i], nodes[i + 1], latency_s=w, bandwidth_bps=1e9)
+    return graph, nodes
+
+
+def latency(link):
+    return link.latency_s
+
+
+class TestDijkstra:
+    def test_line_distances(self):
+        graph, nodes = line_graph([1.0, 2.0, 3.0])
+        distance, _ = dijkstra(graph, nodes[0], latency)
+        assert distance[nodes[0]] == 0.0
+        assert distance[nodes[1]] == 1.0
+        assert distance[nodes[3]] == 6.0
+
+    def test_picks_cheaper_of_two_routes(self):
+        graph = NetworkGraph()
+        a, b, c = (graph.add_node(NodeKind.ROUTER) for _ in range(3))
+        graph.add_link(a, c, latency_s=10.0, bandwidth_bps=1e9)
+        graph.add_link(a, b, latency_s=1.0, bandwidth_bps=1e9)
+        graph.add_link(b, c, latency_s=1.0, bandwidth_bps=1e9)
+        distance, predecessor = dijkstra(graph, a, latency)
+        assert distance[c] == 2.0
+        assert predecessor[c] == b
+
+    def test_unreachable_nodes_absent(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.ROUTER)
+        b = graph.add_node(NodeKind.ROUTER)
+        distance, _ = dijkstra(graph, a, latency)
+        assert b not in distance
+
+    def test_source_not_in_predecessor(self):
+        graph, nodes = line_graph([1.0])
+        _, predecessor = dijkstra(graph, nodes[0], latency)
+        assert nodes[0] not in predecessor
+
+
+class TestShortestPath:
+    def test_path_nodes_in_order(self):
+        graph, nodes = line_graph([1.0, 1.0])
+        path = shortest_path(graph, nodes[0], nodes[2], latency)
+        assert path.nodes == (nodes[0], nodes[1], nodes[2])
+        assert path.cost == 2.0
+        assert path.hops == 2
+
+    def test_path_to_self(self):
+        graph, nodes = line_graph([1.0])
+        path = shortest_path(graph, nodes[0], nodes[0], latency)
+        assert path.nodes == (nodes[0],)
+        assert path.cost == 0.0
+
+    def test_disconnected_raises_routing_error(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.ROUTER)
+        b = graph.add_node(NodeKind.ROUTER)
+        with pytest.raises(RoutingError) as excinfo:
+            shortest_path(graph, a, b, latency)
+        assert excinfo.value.source == a
+        assert excinfo.value.target == b
+
+    def test_links_resolution(self):
+        graph, nodes = line_graph([1.0, 2.0])
+        path = shortest_path(graph, nodes[0], nodes[2], latency)
+        links = path.links(graph)
+        assert [l.latency_s for l in links] == [1.0, 2.0]
+
+
+class TestAllPairsDelay:
+    def test_matches_pairwise(self):
+        graph = random_geometric(15, seed=3)
+        ids = graph.node_ids()
+        sources, targets = ids[:5], ids[5:9]
+        matrix = all_pairs_delay(graph, sources, targets, latency)
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                assert matrix[i, j] == pytest.approx(
+                    shortest_path(graph, s, t, latency).cost
+                )
+
+    def test_symmetric_on_undirected(self):
+        graph = random_geometric(12, seed=4)
+        ids = graph.node_ids()[:6]
+        forward = all_pairs_delay(graph, ids, ids, latency)
+        assert np.allclose(forward, forward.T)
+
+    def test_zero_diagonal(self):
+        graph = random_geometric(10, seed=5)
+        ids = graph.node_ids()[:5]
+        matrix = all_pairs_delay(graph, ids, ids, latency)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_matches_networkx(self, seed):
+        """Independent oracle: our Dijkstra equals networkx's."""
+        graph = waxman(14, seed=seed)
+        oracle = nx.Graph()
+        for link in graph.links():
+            oracle.add_edge(link.u, link.v, weight=link.latency_s)
+        ids = graph.node_ids()
+        ours, _ = dijkstra(graph, ids[0], latency)
+        theirs = nx.single_source_dijkstra_path_length(oracle, ids[0])
+        assert set(ours) == set(theirs)
+        for node in theirs:
+            assert ours[node] == pytest.approx(theirs[node])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_triangle_inequality(self, seed):
+        """d(a, c) <= d(a, b) + d(b, c) for shortest-path metrics."""
+        graph = random_geometric(12, seed=seed)
+        ids = graph.node_ids()
+        matrix = all_pairs_delay(graph, ids, ids, latency)
+        n = len(ids)
+        for a in range(0, n, 3):
+            for b in range(1, n, 4):
+                for c in range(2, n, 5):
+                    assert matrix[a, c] <= matrix[a, b] + matrix[b, c] + 1e-12
+
+
+class TestRoutingPaths:
+    def test_all_paths_end_at_target(self):
+        graph = random_geometric(15, seed=6)
+        ids = graph.node_ids()
+        target = ids[-1]
+        paths = routing_paths(graph, ids[:5], target, latency)
+        for source in ids[:5]:
+            assert paths[source].nodes[0] == source
+            assert paths[source].nodes[-1] == target
+
+    def test_costs_match_shortest_path(self):
+        graph = random_geometric(15, seed=7)
+        ids = graph.node_ids()
+        target = ids[-1]
+        paths = routing_paths(graph, ids[:4], target, latency)
+        for source in ids[:4]:
+            assert paths[source].cost == pytest.approx(
+                shortest_path(graph, source, target, latency).cost
+            )
+
+    def test_consecutive_nodes_are_linked(self):
+        graph = random_geometric(15, seed=8)
+        ids = graph.node_ids()
+        paths = routing_paths(graph, ids[:5], ids[-1], latency)
+        for path in paths.values():
+            for u, v in zip(path.nodes, path.nodes[1:]):
+                assert graph.has_link(u, v)

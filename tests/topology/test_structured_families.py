@@ -1,0 +1,100 @@
+"""Deeper structural checks of the deterministic topology families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generators import edge_hierarchy, fat_tree, grid
+from repro.topology.graph import NodeKind
+from repro.topology.routing import dijkstra, shortest_path
+
+
+def hops(link) -> float:
+    return 1.0
+
+
+class TestFatTreeStructure:
+    def test_tier_counts(self):
+        k = 4
+        graph = fat_tree(k)
+        half = k // 2
+        # tiers by y-position: core 0.95, agg 0.6, edge 0.25
+        core = [n for n in graph.nodes() if n.position[1] == pytest.approx(0.95)]
+        agg = [n for n in graph.nodes() if n.position[1] == pytest.approx(0.6)]
+        edge = [n for n in graph.nodes() if n.position[1] == pytest.approx(0.25)]
+        assert len(core) == half * half
+        assert len(agg) == k * half
+        assert len(edge) == k * half
+
+    def test_edge_switch_degrees(self):
+        k = 4
+        graph = fat_tree(k)
+        edge = [n for n in graph.nodes() if n.position[1] == pytest.approx(0.25)]
+        for node in edge:
+            # each edge switch uplinks to all k/2 aggs in its pod
+            assert graph.degree(node.node_id) == k // 2
+
+    def test_any_two_edge_switches_within_four_hops(self):
+        """The fat tree's defining property: edge→agg→core→agg→edge."""
+        graph = fat_tree(4)
+        edge = [
+            n.node_id for n in graph.nodes() if n.position[1] == pytest.approx(0.25)
+        ]
+        source = edge[0]
+        distance, _ = dijkstra(graph, source, hops)
+        for target in edge[1:]:
+            assert distance[target] <= 4
+
+    def test_larger_k(self):
+        graph = fat_tree(6)
+        assert graph.n_nodes == 9 + 36  # (k/2)^2 core + k*k pod switches
+        assert graph.is_connected()
+
+
+class TestHierarchyStructure:
+    def test_leaf_count(self):
+        graph = edge_hierarchy(depth=4, fanout=2)
+        leaves = [n for n in graph.nodes() if graph.degree(n.node_id) == 1]
+        assert len(leaves) == 2**3
+
+    def test_root_to_leaf_distance_is_depth(self):
+        depth, fanout = 4, 3
+        graph = edge_hierarchy(depth=depth, fanout=fanout)
+        root = 0
+        distance, _ = dijkstra(graph, root, hops)
+        assert max(distance.values()) == depth - 1
+
+    def test_sibling_leaves_route_through_parent(self):
+        """Two leaves under one parent are 2 hops apart; across subtrees
+        they must climb to a shared ancestor."""
+        graph = edge_hierarchy(depth=3, fanout=2)
+        # nodes: 0 root; 1,2 mid; 3,4 under 1; 5,6 under 2
+        same = shortest_path(graph, 3, 4, hops)
+        cross = shortest_path(graph, 3, 5, hops)
+        assert same.hops == 2
+        assert cross.hops == 4
+
+    def test_single_level_is_one_node(self):
+        graph = edge_hierarchy(depth=1, fanout=5)
+        assert graph.n_nodes == 1
+
+
+class TestGridStructure:
+    def test_corner_edge_center_degrees(self):
+        graph = grid(3, 3)
+        degrees = sorted(graph.degree(n) for n in graph.node_ids())
+        assert degrees.count(2) == 4  # corners
+        assert degrees.count(3) == 4  # edges
+        assert degrees.count(4) == 1  # center
+
+    def test_manhattan_distance_in_hops(self):
+        graph = grid(4, 4)
+        ids = graph.node_ids()
+        # node layout is row-major
+        path = shortest_path(graph, ids[0], ids[15], hops)
+        assert path.hops == 6  # (3 rows + 3 cols)
+
+    def test_rectangular(self):
+        graph = grid(2, 5)
+        assert graph.n_nodes == 10
+        assert graph.n_links == 2 * 4 + 5 * 1

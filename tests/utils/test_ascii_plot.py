@@ -1,0 +1,77 @@
+"""Tests for the terminal chart renderer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.harness import ResultTable
+from repro.utils.ascii_plot import line_chart, series_from_table
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=8,
+        )
+        assert "o" in chart
+        assert "x" in chart
+        assert "o a" in chart and "x b" in chart  # legend
+
+    def test_title_and_labels(self):
+        chart = line_chart(
+            {"s": [(0, 0), (10, 5)]},
+            title="My Chart",
+            x_label="episodes",
+            y_label="cost",
+        )
+        assert chart.splitlines()[0] == "My Chart"
+        assert "x: episodes" in chart
+        assert "y: cost" in chart
+
+    def test_axis_extremes_labelled(self):
+        chart = line_chart({"s": [(2.0, 10.0), (8.0, 50.0)]}, width=20, height=6)
+        assert "50" in chart
+        assert "10" in chart
+        assert "2" in chart
+        assert "8" in chart
+
+    def test_extreme_points_land_on_extreme_rows(self):
+        chart = line_chart({"s": [(0, 0), (1, 1)]}, width=10, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in rows[0]    # max y on top row
+        assert "o" in rows[-1]   # min y on bottom row
+
+    def test_nan_points_skipped(self):
+        chart = line_chart({"s": [(0, 1), (1, math.nan), (2, 3)]}, width=12, height=5)
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        assert sum(row.count("o") for row in plot_rows) == 2
+
+    def test_flat_series_renders(self):
+        chart = line_chart({"s": [(0, 5.0), (1, 5.0)]}, width=12, height=5)
+        assert "o" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError):
+            line_chart({})
+        with pytest.raises(ValidationError):
+            line_chart({"s": [(math.nan, math.nan)]})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            line_chart({"s": [(0, 1)]}, width=2, height=2)
+
+
+class TestSeriesFromTable:
+    def test_groups_and_sorts(self):
+        table = ResultTable(["n", "solver", "cost"])
+        table.add_row(n=20, solver="a", cost=2.0)
+        table.add_row(n=10, solver="a", cost=1.0)
+        table.add_row(n=10, solver="b", cost=3.0)
+        series = series_from_table(table, "n", "cost", "solver")
+        assert series["a"] == [(10.0, 1.0), (20.0, 2.0)]
+        assert series["b"] == [(10.0, 3.0)]

@@ -1,0 +1,130 @@
+"""Tests for statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.utils.stats import OnlineStats, mean_confidence_interval, summarize
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_empty_sample_is_nan_not_crash(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single_sample_zero_std(self):
+        summary = summarize([3.0])
+        assert summary.std == 0.0
+        assert summary.mean == 3.0
+
+    def test_accepts_generator(self):
+        summary = summarize(x for x in (1.0, 2.0))
+        assert summary.count == 2
+
+    def test_as_dict_roundtrip_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "max", "p50", "p95", "p99"}
+
+    def test_percentile_ordering(self):
+        summary = summarize(np.arange(100.0))
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+
+class TestMeanConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        mean, half = mean_confidence_interval([5.0])
+        assert mean == 5.0
+        assert half == 0.0
+
+    def test_wider_at_higher_confidence(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _, half95 = mean_confidence_interval(data, 0.95)
+        _, half99 = mean_confidence_interval(data, 0.99)
+        assert half99 > half95
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            mean_confidence_interval([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(ValidationError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.0)
+
+    def test_contains_true_mean_for_tight_sample(self):
+        mean, half = mean_confidence_interval([10.0, 10.1, 9.9, 10.0])
+        assert mean - half <= 10.0 <= mean + half
+
+
+class TestOnlineStats:
+    def test_matches_numpy(self):
+        data = [1.5, 2.5, 0.5, 4.0, -1.0]
+        stats = OnlineStats()
+        for value in data:
+            stats.add(value)
+        assert stats.mean == pytest.approx(np.mean(data))
+        assert stats.std == pytest.approx(np.std(data, ddof=1))
+        assert stats.minimum == min(data)
+        assert stats.maximum == max(data)
+
+    def test_empty_is_nan(self):
+        stats = OnlineStats()
+        assert math.isnan(stats.mean)
+        assert stats.count == 0
+
+    def test_single_value(self):
+        stats = OnlineStats()
+        stats.add(2.0)
+        assert stats.variance == 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_property_welford_equals_batch(self, data):
+        stats = OnlineStats()
+        for value in data:
+            stats.add(value)
+        assert stats.mean == pytest.approx(float(np.mean(data)), rel=1e-9, abs=1e-9)
+        assert stats.variance == pytest.approx(
+            float(np.var(data, ddof=1)), rel=1e-6, abs=1e-6
+        )
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=30),
+        st.lists(finite_floats, min_size=1, max_size=30),
+    )
+    def test_property_merge_equals_concatenation(self, left, right):
+        a, b = OnlineStats(), OnlineStats()
+        for value in left:
+            a.add(value)
+        for value in right:
+            b.add(value)
+        merged = a.merge(b)
+        both = left + right
+        assert merged.count == len(both)
+        assert merged.mean == pytest.approx(float(np.mean(both)), rel=1e-9, abs=1e-9)
+        if len(both) > 1:
+            assert merged.variance == pytest.approx(
+                float(np.var(both, ddof=1)), rel=1e-6, abs=1e-6
+            )
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        b = OnlineStats()
+        b.add(1.0)
+        assert a.merge(b).count == 1
+        assert b.merge(a).count == 1

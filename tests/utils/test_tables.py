@@ -1,0 +1,62 @@
+"""Tests for table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.tables import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["algo", "delay"], [["greedy", 1.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("algo")
+        assert "greedy" in lines[2]
+        assert "1.500" in lines[2]
+
+    def test_title_rendered_with_rule(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_bool_rendered_as_yes_no(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_float_format_respected(self):
+        text = format_table(["x"], [[3.14159]], float_format=".1f")
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_empty_rows_renders_header_only(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_columns_raises(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+
+    def test_columns_wide_as_longest_cell(self):
+        text = format_table(["x"], [["longvalue"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("longvalue")
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            format_markdown_table(["a"], [[1, 2]])

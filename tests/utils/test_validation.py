@@ -1,0 +1,117 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_in_range,
+    check_matrix,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+    def test_error_is_value_error_too(self):
+        with pytest.raises(ValueError):
+            require(False, "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive(math.inf, "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(-1e-9, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, math.nan])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.0, "x", 1.0, 2.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValidationError):
+            check_in_range(2.0, "x", 1.0, 2.0, high_inclusive=False)
+
+    def test_message_shows_interval_brackets(self):
+        with pytest.raises(ValidationError, match=r"\(1.*\]"):
+            check_in_range(0.5, "x", 1.0, 2.0, low_inclusive=False)
+
+
+class TestCheckMatrix:
+    def test_converts_to_float64(self):
+        out = check_matrix([[1, 2], [3, 4]], "m")
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            check_matrix([1.0, 2.0], "m")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_matrix([[1.0, math.nan]], "m")
+
+    def test_shape_constraint(self):
+        check_matrix([[1.0, 2.0]], "m", shape=(1, 2))
+        with pytest.raises(ValidationError):
+            check_matrix([[1.0, 2.0]], "m", shape=(2, 2))
+
+    def test_shape_none_wildcards(self):
+        check_matrix([[1.0, 2.0], [3.0, 4.0]], "m", shape=(None, 2))
+
+    def test_nonnegative_flag(self):
+        with pytest.raises(ValidationError):
+            check_matrix([[-1.0]], "m", nonnegative=True)

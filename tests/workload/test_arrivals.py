@@ -1,0 +1,99 @@
+"""Tests for arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workload.arrivals import MMPPProcess, PeriodicProcess, PoissonProcess
+
+
+def empirical_rate(process, n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    total = sum(process.next_interval(rng) for _ in range(n))
+    return n / total
+
+
+class TestPoisson:
+    def test_empirical_rate_matches(self):
+        process = PoissonProcess(rate_hz=4.0)
+        assert empirical_rate(process) == pytest.approx(4.0, rel=0.05)
+
+    def test_mean_rate_property(self):
+        assert PoissonProcess(2.5).mean_rate_hz == 2.5
+
+    def test_intervals_positive(self):
+        process = PoissonProcess(10.0)
+        rng = np.random.default_rng(1)
+        assert all(process.next_interval(rng) >= 0 for _ in range(1000))
+
+    def test_memoryless_cv_about_one(self):
+        """Exponential gaps have coefficient of variation ~1."""
+        process = PoissonProcess(1.0)
+        rng = np.random.default_rng(2)
+        gaps = np.array([process.next_interval(rng) for _ in range(20_000)])
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValidationError):
+            PoissonProcess(0.0)
+
+
+class TestPeriodic:
+    def test_zero_jitter_is_exact(self):
+        process = PeriodicProcess(period_s=0.5)
+        rng = np.random.default_rng(3)
+        assert all(process.next_interval(rng) == 0.5 for _ in range(10))
+
+    def test_jitter_bounded(self):
+        process = PeriodicProcess(period_s=1.0, jitter=0.2)
+        rng = np.random.default_rng(4)
+        gaps = [process.next_interval(rng) for _ in range(1000)]
+        assert all(0.8 <= g <= 1.2 for g in gaps)
+
+    def test_mean_rate(self):
+        assert PeriodicProcess(0.25).mean_rate_hz == 4.0
+
+    def test_jitter_above_one_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicProcess(1.0, jitter=1.5)
+
+
+class TestMMPP:
+    def test_mean_rate_between_states(self):
+        process = MMPPProcess(
+            base_rate_hz=1.0, burst_rate_hz=10.0, mean_calm_s=9.0, mean_burst_s=1.0
+        )
+        assert 1.0 < process.mean_rate_hz < 10.0
+        assert process.mean_rate_hz == pytest.approx(0.9 * 1.0 + 0.1 * 10.0)
+
+    def test_empirical_rate_near_theoretical(self):
+        process = MMPPProcess(
+            base_rate_hz=1.0, burst_rate_hz=10.0, mean_calm_s=5.0, mean_burst_s=5.0
+        )
+        assert empirical_rate(process, n=50_000) == pytest.approx(
+            process.mean_rate_hz, rel=0.1
+        )
+
+    def test_burstier_than_poisson(self):
+        """MMPP gap distribution has CV > 1 (overdispersed)."""
+        process = MMPPProcess(
+            base_rate_hz=0.5, burst_rate_hz=20.0, mean_calm_s=10.0, mean_burst_s=2.0
+        )
+        rng = np.random.default_rng(5)
+        gaps = np.array([process.next_interval(rng) for _ in range(30_000)])
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.2
+
+    def test_intervals_positive(self):
+        process = MMPPProcess(1.0, 5.0)
+        rng = np.random.default_rng(6)
+        assert all(process.next_interval(rng) > 0 for _ in range(1000))
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValidationError):
+            MMPPProcess(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            MMPPProcess(1.0, 1.0, mean_calm_s=0.0)
