@@ -40,6 +40,24 @@ def results_dir(scale) -> Path:
     return path
 
 
+@pytest.fixture
+def obs_capture(results_dir, request):
+    """Opt-in observability for one bench.
+
+    Request this fixture and the whole bench runs inside a live
+    observability session; on teardown the collected metrics and spans
+    are written to ``<results_dir>/<bench>.obs.jsonl`` next to the
+    bench's JSON table, so a trajectory can attribute its wall-clock to
+    phases with ``python -m repro obs <file>``.
+    """
+    from repro import obs
+
+    with obs.observed() as session:
+        yield session
+        name = request.node.name.removeprefix("test_")
+        session.write_jsonl(results_dir / f"{name}.obs.jsonl")
+
+
 def emit(table, results_dir: Path, name: str) -> None:
     """Print the paper-style table and persist its data."""
     table.save_json(results_dir / f"{name}.json")

@@ -23,10 +23,11 @@ Quickstart::
 
 Subpackages: :mod:`repro.topology`, :mod:`repro.model`,
 :mod:`repro.solvers`, :mod:`repro.rl`, :mod:`repro.sim`,
-:mod:`repro.workload`, :mod:`repro.cluster`, :mod:`repro.experiments`.
+:mod:`repro.workload`, :mod:`repro.cluster`, :mod:`repro.experiments`,
+:mod:`repro.obs`.
 """
 
-from repro import errors
+from repro import errors, obs
 from repro.model.instances import gap_instance, random_instance, topology_instance
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
@@ -39,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "errors",
+    "obs",
     "gap_instance",
     "random_instance",
     "topology_instance",

@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 
 import repro
+from repro import obs
 from repro.experiments.report import render_report
 from repro.model.instances import gap_instance, random_instance, topology_instance
 from repro.model.problem import AssignmentProblem
@@ -205,6 +206,26 @@ def cmd_inspect(args) -> int:
     print(f"difficulty class: {classify_difficulty(problem)}")
     rows = [[key, value] for key, value in difficulty_report(problem).items()]
     print(format_table(["diagnostic", "value"], rows))
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Render an observability JSONL export as an ASCII dashboard."""
+    path = Path(args.snapshot)
+    if not path.exists():
+        print(f"error: no such snapshot file: {path}")
+        return 1
+    try:
+        data = obs.load_jsonl(path)
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"error: {path} is not a repro-obs JSONL export ({exc})")
+        return 1
+    if getattr(args, "prometheus", False):
+        from repro.obs.sinks import prometheus_from_collected
+
+        print(prometheus_from_collected(data), end="")
+        return 0
+    print(obs.render_dashboard(data, width=args.width))
     return 0
 
 

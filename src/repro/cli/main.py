@@ -24,6 +24,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=repro.__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_flag(subparser) -> None:
+        """Commands that do real work can stream telemetry to a file."""
+        subparser.add_argument(
+            "--obs",
+            default=None,
+            metavar="PATH",
+            help="enable observability and write the metrics/span JSONL here "
+            "(render it with `repro obs PATH`)",
+        )
+
     generate = sub.add_parser("generate", help="generate an instance JSON")
     generate.add_argument("--output", required=True, help="path for the instance JSON")
     generate.add_argument(
@@ -56,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="episode budget for RL solvers")
     solve.add_argument("--output", default=None,
                        help="write the assignment vector JSON here")
+    add_obs_flag(solve)
     solve.set_defaults(handler=commands.cmd_solve)
 
     compare = sub.add_parser("compare", help="run a solver field on one instance")
@@ -66,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated registry names",
     )
     compare.add_argument("--seed", type=int, default=0)
+    add_obs_flag(compare)
     compare.set_defaults(handler=commands.cmd_compare)
 
     simulate = sub.add_parser(
@@ -82,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=30.0)
     simulate.add_argument("--rate-scale", type=float, default=1.0)
     simulate.add_argument("--seed", type=int, default=0)
+    add_obs_flag(simulate)
     simulate.set_defaults(handler=commands.cmd_simulate)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
@@ -93,7 +106,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", choices=["quick", "full"], default="quick")
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--json", default=None, help="also save the table here")
+    add_obs_flag(experiment)
     experiment.set_defaults(handler=commands.cmd_experiment)
+
+    obs = sub.add_parser(
+        "obs", help="render an observability JSONL file as an ASCII dashboard"
+    )
+    obs.add_argument("snapshot", help="JSONL file written by --obs")
+    obs.add_argument("--width", type=int, default=64, help="chart width in columns")
+    obs.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus text format instead of the dashboard",
+    )
+    obs.set_defaults(handler=commands.cmd_obs)
 
     report = sub.add_parser("report", help="render EXPERIMENTS.md from results")
     report.add_argument("--results", default="benchmarks/results/full")
@@ -115,8 +141,22 @@ def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    obs_path = getattr(args, "obs", None)
+    session = None
+    if obs_path:
+        from repro import obs as obs_module
+
+        session = obs_module.enable()
     try:
         return args.handler(args)
     except repro.errors.ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if session is not None:
+            from repro import obs as obs_module
+
+            path = session.write_jsonl(obs_path)
+            obs_module.disable()
+            print(f"observability data written to {path} "
+                  f"(render with `repro obs {path}`)")

@@ -27,6 +27,8 @@ import numpy as np
 from repro.cluster.migration import MigrationPolicy, count_moves
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.rl.agent import polish_assignment
 from repro.solvers.base import Solver
 from repro.utils.validation import require
@@ -71,7 +73,12 @@ class ReconfigurationController:
     # ------------------------------------------------------------------
     def initialize(self, problem: AssignmentProblem) -> ControllerDecision:
         """Epoch 0: solve the initial configuration."""
-        result = self.solver.solve(problem)
+        registry = obs_runtime.metrics()
+        with registry.timer(
+            obs_names.CLUSTER_RECONFIG_LATENCY, {"strategy": self.strategy}
+        ):
+            result = self.solver.solve(problem)
+        registry.counter(obs_names.CLUSTER_RECONFIGS, {"strategy": self.strategy}).inc()
         self._vector = result.assignment.vector
         return ControllerDecision(
             epoch=0,
@@ -85,6 +92,9 @@ class ReconfigurationController:
     def observe(self, epoch: int, problem: AssignmentProblem) -> ControllerDecision:
         """React to the refreshed problem of one mobility epoch."""
         require(self._vector is not None, "call initialize() before observe()")
+        registry = obs_runtime.metrics()
+        strategy_labels = {"strategy": self.strategy}
+        registry.counter(obs_names.CLUSTER_EPOCHS, strategy_labels).inc()
         incumbent = Assignment(problem, self._vector)
         current_cost = incumbent.total_delay()
         current_feasible = incumbent.is_feasible()
@@ -93,7 +103,8 @@ class ReconfigurationController:
             return self._decision(epoch, False, 0, current_cost, current_feasible)
 
         if self.strategy == "polish":
-            new_vector = polish_assignment(problem, self._vector, self.polish_passes)
+            with registry.timer(obs_names.CLUSTER_RECONFIG_LATENCY, strategy_labels):
+                new_vector = polish_assignment(problem, self._vector, self.polish_passes)
             moves = count_moves(self._vector, new_vector)
             self._commit(new_vector, moves, reconfigured=moves > 0)
             polished = Assignment(problem, new_vector)
@@ -102,7 +113,8 @@ class ReconfigurationController:
             )
 
         # strategies that may re-solve
-        candidate = self.solver.solve(problem)
+        with registry.timer(obs_names.CLUSTER_RECONFIG_LATENCY, strategy_labels):
+            candidate = self.solver.solve(problem)
         candidate_vector = candidate.assignment.vector
         moves = count_moves(self._vector, candidate_vector)
         if self.strategy == "always":
@@ -125,8 +137,12 @@ class ReconfigurationController:
     def _commit(self, vector: np.ndarray, moves: int, reconfigured: bool) -> None:
         self._vector = vector.copy()
         self.total_moves += moves
+        registry = obs_runtime.metrics()
+        labels = {"strategy": self.strategy}
+        registry.counter(obs_names.CLUSTER_MIGRATIONS, labels).inc(moves)
         if reconfigured:
             self.reconfigurations += 1
+            registry.counter(obs_names.CLUSTER_RECONFIGS, labels).inc()
 
     def _decision(
         self, epoch: int, reconfigured: bool, moves: int, cost: float, feasible: bool

@@ -22,6 +22,8 @@ import numpy as np
 from repro.errors import InfeasibleSolutionError
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.utils.validation import check_probability, require
 
 ONLINE_RULES = ("greedy_delay", "balanced", "reserve")
@@ -57,15 +59,19 @@ class OnlineAssigner:
         nothing to undo, so the failure is surfaced to the caller
         (admission control).
         """
+        registry = obs_runtime.metrics()
+        labels = {"rule": self.rule}
         demand = self.problem.demand[device]
         fits = np.flatnonzero(demand <= self._residual + 1e-12)
         if fits.size == 0:
+            registry.counter(obs_names.ONLINE_REJECTIONS, labels).inc()
             raise InfeasibleSolutionError(
                 f"device {device} fits on no server (residuals exhausted)"
             )
         chosen = self._choose(device, fits)
         self.assignment.assign(device, chosen)
         self._residual[chosen] -= demand[chosen]
+        registry.counter(obs_names.ONLINE_ASSIGNMENTS, labels).inc()
         return chosen
 
     def assign_stream(self, order: "list[int] | np.ndarray") -> Assignment:

@@ -9,6 +9,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.model.problem import AssignmentProblem
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import snapshot_delta
 from repro.solvers.base import SolverResult
 from repro.solvers.registry import get_solver
 from repro.utils.rng import derive_seed
@@ -128,13 +130,22 @@ def run_solver_field(
 
     ``solver_kwargs`` maps solver name to constructor overrides — the
     knob experiments use to shrink RL episode budgets at quick scale.
+
+    When observability is enabled, each result carries the metric
+    *delta* attributable to its own solve in ``extra["obs"]`` — the
+    per-sweep-point snapshot the benchmark trajectories attach to their
+    rows.
     """
+    registry = obs_runtime.metrics()
     results: dict[str, SolverResult] = {}
     for name in solver_names:
         kwargs = dict((solver_kwargs or {}).get(name, {}))
         kwargs.setdefault("seed", derive_seed(seed, "solver", name))
         solver = get_solver(name, **kwargs)
+        before = registry.snapshot() if registry.enabled else None
         results[name] = solver.solve(problem)
+        if before is not None:
+            results[name].extra["obs"] = snapshot_delta(before, registry.snapshot())
     return results
 
 

@@ -1,0 +1,79 @@
+"""repro.obs — unified observability: metrics, tracing, sinks, dashboard.
+
+The library is instrumented everywhere (solvers, RL trainers, the DES,
+the cluster controller) but collection is **off by default**: every
+call site talks to null objects whose methods do nothing, so the
+steady-state cost is one no-op attribute call per sample.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observed() as session:
+        result = repro.get_solver("tacc", seed=1).solve(problem)
+        report = repro.simulate_assignment(result.assignment, duration_s=10.0)
+        print(session.render_dashboard())
+        session.write_jsonl("run.jsonl")
+
+or process-wide from the CLI: ``python -m repro solve --obs run.jsonl
+...`` then ``python -m repro obs run.jsonl``.
+
+Metric names live in :mod:`repro.obs.names`; the catalog with
+semantics is ``docs/observability.md``.
+"""
+
+from repro.obs import names
+from repro.obs.dashboard import render_dashboard, render_span_tree
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    default_buckets,
+    snapshot_delta,
+)
+from repro.obs.runtime import (
+    ObsSession,
+    disable,
+    enable,
+    is_enabled,
+    metrics,
+    observed,
+    tracer,
+)
+from repro.obs.sinks import collect, load_jsonl, to_prometheus_text, write_jsonl
+from repro.obs.tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "names",
+    # instruments & registries
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "default_buckets",
+    "snapshot_delta",
+    # tracing
+    "Span",
+    "Tracer",
+    "NullTracer",
+    # runtime switch
+    "ObsSession",
+    "metrics",
+    "tracer",
+    "is_enabled",
+    "enable",
+    "disable",
+    "observed",
+    # sinks & rendering
+    "collect",
+    "write_jsonl",
+    "load_jsonl",
+    "to_prometheus_text",
+    "render_dashboard",
+    "render_span_tree",
+]

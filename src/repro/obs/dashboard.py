@@ -1,0 +1,143 @@
+"""ASCII dashboard: one readable page from a collected obs state.
+
+Takes the plain-dict shape produced by :func:`repro.obs.sinks.collect`
+or :func:`repro.obs.sinks.load_jsonl` and renders sections for span
+trees, counters, gauges, and distribution instruments, reusing the
+repo's table/chart helpers so the output matches the experiment
+tooling.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.ascii_plot import line_chart
+from repro.utils.tables import format_table
+
+__all__ = ["render_dashboard", "render_span_tree"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if not math.isfinite(seconds):
+        return "n/a"
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def render_span_tree(trees: list[dict]) -> str:
+    """Indented listing of span trees with durations and status."""
+    rows: list[list] = []
+
+    def walk(node: dict, depth: int) -> None:
+        """Return walk."""
+        label = "  " * depth + node.get("name", "?")
+        status = node.get("status", "ok")
+        rows.append([label, _fmt_seconds(node.get("duration_s", 0.0)), status])
+        for child in node.get("children", []):
+            walk(child, depth + 1)
+
+    for tree in trees:
+        walk(tree, 0)
+    return format_table(["span", "duration", "status"], rows)
+
+
+def _distribution_rows(group: dict) -> list[list]:
+    rows = []
+    for key, summary in group.items():
+        rows.append(
+            [
+                key,
+                int(summary.get("count", 0)),
+                summary.get("mean", math.nan),
+                summary.get("p50", math.nan),
+                summary.get("p90", math.nan),
+                summary.get("p99", math.nan),
+                summary.get("max", math.nan),
+            ]
+        )
+    return rows
+
+
+def _bucket_chart(key: str, summary: dict, width: int) -> "str | None":
+    """Per-bucket (non-cumulative) count chart for one histogram."""
+    buckets = summary.get("buckets") or []
+    points: list[tuple[float, float]] = []
+    previous = 0
+    for bound, cumulative in buckets:
+        count = cumulative - previous
+        previous = cumulative
+        if count > 0 and math.isfinite(bound):
+            points.append((float(bound), float(count)))
+    if len(points) < 2:
+        return None
+    return line_chart(
+        {key: points},
+        width=width,
+        height=10,
+        title=f"distribution: {key}",
+        x_label="bucket upper bound",
+        y_label="count",
+    )
+
+
+def render_dashboard(data: dict, width: int = 64) -> str:
+    """Render the full dashboard; sections with no data are omitted."""
+    metrics = data.get("metrics", {})
+    spans = data.get("spans", [])
+    sections: list[str] = ["repro observability dashboard", "=" * 29]
+
+    if spans:
+        sections.append("")
+        sections.append("## spans")
+        sections.append(render_span_tree(spans))
+
+    counters = metrics.get("counters", {})
+    if counters:
+        sections.append("")
+        sections.append("## counters")
+        sections.append(
+            format_table(
+                ["metric", "total"],
+                [[key, value] for key, value in counters.items()],
+            )
+        )
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        sections.append("")
+        sections.append("## gauges")
+        sections.append(
+            format_table(
+                ["metric", "value"],
+                [[key, value] for key, value in gauges.items()],
+            )
+        )
+
+    distributions = {**metrics.get("histograms", {}), **metrics.get("timers", {})}
+    if distributions:
+        sections.append("")
+        sections.append("## distributions (histograms & timers)")
+        sections.append(
+            format_table(
+                ["metric", "count", "mean", "p50", "p90", "p99", "max"],
+                _distribution_rows(distributions),
+                float_format=".4g",
+            )
+        )
+        # chart the busiest distribution so the page has one picture
+        busiest = max(
+            distributions.items(), key=lambda item: item[1].get("count", 0), default=None
+        )
+        if busiest is not None and busiest[1].get("count", 0) > 0:
+            chart = _bucket_chart(busiest[0], busiest[1], width)
+            if chart:
+                sections.append("")
+                sections.append(chart)
+
+    if len(sections) == 2:
+        sections.append("")
+        sections.append("(no observability data collected)")
+    return "\n".join(sections)

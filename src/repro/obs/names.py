@@ -1,0 +1,76 @@
+"""The metric-name catalog.
+
+Every metric the library emits is declared here once, so the
+instrumentation sites, the dashboard, the docs and the tests agree on
+spelling.  Names are hierarchical ``layer/metric`` strings; the
+Prometheus sink rewrites them to ``repro_layer_metric``.
+
+See ``docs/observability.md`` for the full catalog with semantics.
+"""
+
+from __future__ import annotations
+
+# -- solvers ----------------------------------------------------------
+SOLVER_SOLVES = "solver/solves"
+SOLVER_RUNTIME = "solver/runtime_s"
+SOLVER_ITERATIONS = "solver/iterations"
+SOLVER_INFEASIBLE = "solver/infeasible_results"
+SOLVER_IMPROVEMENT = "solver/objective_improvement"
+
+# -- RL trainers ------------------------------------------------------
+RL_EPISODES = "rl/episodes"
+RL_EPISODE_COST = "rl/episode_cost"
+RL_EPSILON = "rl/epsilon"
+RL_MASK_BLOCKED = "rl/mask_blocked_actions"
+RL_DEAD_ENDS = "rl/dead_ends"
+RL_Q_STATES = "rl/q_states"
+
+# -- discrete-event simulator ----------------------------------------
+SIM_EVENTS = "sim/events"
+SIM_EVENT_QUEUE_DEPTH = "sim/event_queue_depth"
+SIM_QUEUE_WAIT = "sim/queue_wait_s"
+SIM_LINK_UTILIZATION = "sim/link_utilization"
+SIM_SERVER_UTILIZATION = "sim/server_utilization"
+SIM_TASKS_CREATED = "sim/tasks_created"
+SIM_TASKS_COMPLETED = "sim/tasks_completed"
+
+# -- cluster configuration layer -------------------------------------
+CLUSTER_MIGRATIONS = "cluster/migrations"
+CLUSTER_RECONFIGS = "cluster/reconfigurations"
+CLUSTER_RECONFIG_LATENCY = "cluster/reconfig_latency_s"
+CLUSTER_EPOCHS = "cluster/epochs"
+ONLINE_ASSIGNMENTS = "cluster/online_assignments"
+ONLINE_REJECTIONS = "cluster/online_rejections"
+
+#: spans emitted by the tracer (prefixes; the suffix is dynamic)
+SPAN_SOLVE = "solve"
+SPAN_SIM_RUN = "sim/run"
+SPAN_RECONFIG = "cluster/reconfigure"
+
+#: every registered metric name, for the docs/tests cross-check
+CATALOG: tuple[str, ...] = (
+    SOLVER_SOLVES,
+    SOLVER_RUNTIME,
+    SOLVER_ITERATIONS,
+    SOLVER_INFEASIBLE,
+    SOLVER_IMPROVEMENT,
+    RL_EPISODES,
+    RL_EPISODE_COST,
+    RL_EPSILON,
+    RL_MASK_BLOCKED,
+    RL_DEAD_ENDS,
+    RL_Q_STATES,
+    SIM_EVENTS,
+    SIM_EVENT_QUEUE_DEPTH,
+    SIM_QUEUE_WAIT,
+    SIM_LINK_UTILIZATION,
+    SIM_SERVER_UTILIZATION,
+    SIM_TASKS_CREATED,
+    SIM_TASKS_COMPLETED,
+    CLUSTER_MIGRATIONS,
+    CLUSTER_RECONFIGS,
+    CLUSTER_RECONFIG_LATENCY,
+    CLUSTER_EPOCHS,
+    ONLINE_ASSIGNMENTS,
+    ONLINE_REJECTIONS,
+)

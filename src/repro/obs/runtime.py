@@ -1,0 +1,121 @@
+"""The process-wide observability switch.
+
+One module-level pair ``(registry, tracer)`` backs every instrumented
+call site in the library.  By default both are the null twins, so all
+instrumentation compiles down to no-op method calls; :func:`enable`
+swaps in live objects and returns the :class:`ObsSession` handle used
+to snapshot, export, or render what was collected.
+
+Instrumented code fetches the live objects with :func:`metrics` and
+:func:`tracer` *at the start of a unit of work* (one solve, one sim
+run) and keeps local references — one global lookup per unit, one
+attribute call per sample.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "ObsSession",
+    "metrics",
+    "tracer",
+    "is_enabled",
+    "enable",
+    "disable",
+    "observed",
+]
+
+_registry: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
+_tracer: "Tracer | NullTracer" = NULL_TRACER
+_session: "ObsSession | None" = None
+
+
+class ObsSession:
+    """A live observability window: the registry/tracer pair plus exits."""
+
+    def __init__(self, registry: MetricsRegistry, trace: Tracer) -> None:
+        self.registry = registry
+        self.tracer = trace
+
+    def snapshot(self) -> dict:
+        """Current metric values (see :meth:`MetricsRegistry.snapshot`)."""
+        return self.registry.snapshot()
+
+    def spans(self) -> list:
+        """Finished root spans collected so far."""
+        return list(self.tracer.roots)
+
+    def write_jsonl(self, path: "str | Path") -> Path:
+        """Dump metrics + spans as JSON lines (see :mod:`repro.obs.sinks`)."""
+        from repro.obs.sinks import write_jsonl
+
+        return write_jsonl(path, self.registry, self.tracer)
+
+    def to_prometheus(self) -> str:
+        """Render the registry in Prometheus text exposition format."""
+        from repro.obs.sinks import to_prometheus_text
+
+        return to_prometheus_text(self.registry)
+
+    def render_dashboard(self, width: int = 64) -> str:
+        """ASCII dashboard of the current state."""
+        from repro.obs.dashboard import render_dashboard
+        from repro.obs.sinks import collect
+
+        return render_dashboard(collect(self.registry, self.tracer), width=width)
+
+
+def metrics() -> "MetricsRegistry | NullRegistry":
+    """The active metrics registry (the null registry when disabled)."""
+    return _registry
+
+
+def tracer() -> "Tracer | NullTracer":
+    """The active tracer (the null tracer when disabled)."""
+    return _tracer
+
+
+def is_enabled() -> bool:
+    """Whether a live observability session is active."""
+    return _registry.enabled
+
+
+def enable() -> ObsSession:
+    """Switch observability on; idempotent (returns the live session)."""
+    global _registry, _tracer, _session
+    if _session is None:
+        _registry = MetricsRegistry()
+        _tracer = Tracer()
+        _session = ObsSession(_registry, _tracer)
+    return _session
+
+
+def disable() -> None:
+    """Switch observability off and drop the live session."""
+    global _registry, _tracer, _session
+    _registry = NULL_REGISTRY
+    _tracer = NULL_TRACER
+    _session = None
+
+
+@contextlib.contextmanager
+def observed():
+    """``with observed() as session:`` — enable for a scope, then restore.
+
+    Restores whatever was active before (including a previous live
+    session), so tests and nested tools cannot leak global state.
+    """
+    global _registry, _tracer, _session
+    previous = (_registry, _tracer, _session)
+    _registry = MetricsRegistry()
+    _tracer = Tracer()
+    _session = ObsSession(_registry, _tracer)
+    try:
+        yield _session
+    finally:
+        _registry, _tracer, _session = previous

@@ -1,0 +1,171 @@
+"""Span-based tracing: nestable timed scopes forming a tree.
+
+``with tracer.span("solve/tacc"):`` opens a span; spans opened inside
+it become children, so one solve produces a tree like::
+
+    solve/tacc                     812.4 ms
+      rl/train                     790.1 ms
+      polish                        21.9 ms
+
+Spans survive exceptions (the scope is closed and flagged with the
+exception type, then the exception propagates).  The
+:class:`NullTracer` twin hands out one shared no-op scope, so tracing
+disabled costs a single attribute call per scope.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One timed scope; ``duration_s`` is set when the scope closes."""
+
+    name: str
+    start_s: float
+    duration_s: float = 0.0
+    status: str = "ok"
+    attributes: dict = field(default_factory=dict)
+    children: "list[Span]" = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready tree."""
+        out = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            name=payload["name"],
+            start_s=payload.get("start_s", 0.0),
+            duration_s=payload.get("duration_s", 0.0),
+            status=payload.get("status", "ok"),
+            attributes=dict(payload.get("attributes", {})),
+            children=[cls.from_dict(child) for child in payload.get("children", [])],
+        )
+
+
+class _SpanScope:
+    """Context manager for one live span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def annotate(self, **attributes) -> None:
+        """Attach key/value attributes to the live span."""
+        self.span.attributes.update(attributes)
+
+    def __enter__(self) -> "_SpanScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self.span, exc_type)
+        return False
+
+
+class Tracer:
+    """Builds span trees; finished roots accumulate in :attr:`roots`."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attributes) -> _SpanScope:
+        """Open a nested span; use as ``with tracer.span("x"):``."""
+        span = Span(
+            name=name,
+            start_s=time.perf_counter() - self._epoch,
+            attributes=dict(attributes),
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanScope(self, span)
+
+    def _close(self, span: Span, exc_type) -> None:
+        # close every span down to (and including) the one the scope
+        # owns — tolerates a child scope leaked by a non-local exit
+        while self._stack:
+            top = self._stack.pop()
+            top.duration_s = (time.perf_counter() - self._epoch) - top.start_s
+            if exc_type is not None:
+                top.status = f"error:{exc_type.__name__}"
+            if top is span:
+                break
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def reset(self) -> None:
+        """Drop finished roots and any dangling open spans."""
+        self.roots.clear()
+        self._stack.clear()
+        self._epoch = time.perf_counter()
+
+
+class _NullScope:
+    """Shared no-op span scope."""
+
+    __slots__ = ()
+
+    span = None
+
+    def annotate(self, **attributes) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullTracer:
+    """The disabled tracer: every ``span()`` is the shared no-op scope."""
+
+    enabled = False
+    roots: list = []
+
+    def span(self, name: str, **attributes) -> _NullScope:
+        """Shared no-op scope."""
+        return _NULL_SCOPE
+
+    @property
+    def depth(self) -> int:
+        """Always zero."""
+        return 0
+
+    def reset(self) -> None:
+        """No-op."""
+
+
+#: the module-level singleton instrumented code sees when obs is off
+NULL_TRACER = NullTracer()

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.rl.env import AssignmentEnv
 from repro.rl.schedules import ExponentialDecay
 from repro.solvers.base import Solver
@@ -136,13 +138,25 @@ class QLearningSolver(Solver):
         episode_costs: list[float] = []
         dead_ends = 0
 
+        # episode telemetry: local instrument handles keep the training
+        # loop at one no-op attribute call per sample when obs is off
+        registry = obs_runtime.metrics()
+        labels = {"solver": self.name}
+        episodes_total = registry.counter(obs_names.RL_EPISODES, labels)
+        episode_cost_hist = registry.histogram(obs_names.RL_EPISODE_COST, labels)
+        epsilon_gauge = registry.gauge(obs_names.RL_EPSILON, labels)
+        mask_blocked = registry.counter(obs_names.RL_MASK_BLOCKED, labels)
+        dead_end_total = registry.counter(obs_names.RL_DEAD_ENDS, labels)
+
         for episode in range(self.episodes):
             eps = float(self.epsilon(episode))
+            epsilon_gauge.set(eps)
             state = env.reset()
             while not env.done:
                 actions = env.feasible_actions()
                 if actions.size == 0:  # pragma: no cover - env ends episodes itself
                     break
+                mask_blocked.inc(n_actions - actions.size)
                 row = q_row(state)
                 if rng.random() < eps:
                     action = self._explore_action(env, actions, rng)
@@ -158,13 +172,18 @@ class QLearningSolver(Solver):
                 row[action] += self.alpha * (target - row[action])
                 state = next_state
             result = env.rollout_result()
+            episodes_total.inc()
             if result.dead_end:
                 dead_ends += 1
+                dead_end_total.inc()
             episode_costs.append(result.total_delay if result.feasible else math.nan)
-            if result.feasible and result.total_delay < best_cost:
-                best_cost = result.total_delay
-                best_vector = result.vector
+            if result.feasible:
+                episode_cost_hist.observe(result.total_delay)
+                if result.total_delay < best_cost:
+                    best_cost = result.total_delay
+                    best_vector = result.vector
 
+        registry.gauge(obs_names.RL_Q_STATES, labels).set(len(q_table))
         if best_vector is None:
             fallback = feasible_start(problem, rng)
             return fallback, {

@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.sim.events import Event, EventQueue
 from repro.utils.validation import check_nonnegative, require
 
@@ -51,6 +53,11 @@ class Simulator:
         """
         if until is not None:
             check_nonnegative(until, "until")
+        # local instrument handles: one no-op attribute call per event
+        # when observability is off
+        registry = obs_runtime.metrics()
+        events_total = registry.counter(obs_names.SIM_EVENTS)
+        depth_hist = registry.histogram(obs_names.SIM_EVENT_QUEUE_DEPTH)
         processed = 0
         while True:
             next_time = self._queue.peek_time()
@@ -67,6 +74,8 @@ class Simulator:
             event.callback()
             processed += 1
             self._events_processed += 1
+            events_total.inc()
+            depth_hist.observe(self._queue.approx_len)
             if processed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely a zero-delay loop"

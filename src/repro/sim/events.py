@@ -57,6 +57,11 @@ class EventQueue:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
+    @property
+    def approx_len(self) -> int:
+        """Heap size including cancelled events — O(1), for telemetry."""
+        return len(self._heap)
+
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
 

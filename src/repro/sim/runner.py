@@ -17,6 +17,8 @@ import numpy as np
 from repro.errors import SimulationError, ValidationError
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRecorder, SimReport
 from repro.sim.network import NetworkFabric
@@ -130,16 +132,32 @@ def simulate_assignment(
                 )
             )
 
-    for source in sources:
-        source.start()
-    sim.run(until=duration_s + drain_s)
+    with obs_runtime.tracer().span(
+        obs_names.SPAN_SIM_RUN, duration_s=duration_s, sources=len(sources)
+    ):
+        for source in sources:
+            source.start()
+        sim.run(until=duration_s + drain_s)
 
     if recorder.tasks_completed_total > recorder.tasks_created:
         raise SimulationError(
             f"conservation violated: {recorder.tasks_completed_total} completed "
             f"> {recorder.tasks_created} created"
         )
+    registry = obs_runtime.metrics()
+    registry.counter(obs_names.SIM_TASKS_CREATED).inc(recorder.tasks_created)
+    registry.counter(obs_names.SIM_TASKS_COMPLETED).inc(recorder.tasks_completed_total)
+    utilizations = [q.utilization(duration_s) for q in queues]
+    if registry.enabled:
+        link_hist = registry.histogram(obs_names.SIM_LINK_UTILIZATION)
+        for value in fabric.link_utilization(duration_s).values():
+            link_hist.observe(value)
+        for queue, value in zip(queues, utilizations):
+            registry.gauge(
+                obs_names.SIM_SERVER_UTILIZATION,
+                {"server": str(queue.server.server_id)},
+            ).set(value)
     return recorder.report(
         duration_s=duration_s,
-        server_utilization=[q.utilization(duration_s) for q in queues],
+        server_utilization=utilizations,
     )

@@ -17,6 +17,8 @@ from typing import Callable
 import numpy as np
 
 from repro.model.entities import EdgeServer
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.sim.engine import Simulator
 from repro.sim.task import Task
 from repro.utils.validation import require
@@ -43,6 +45,10 @@ class EdgeServerQueue:
         self._busy = False
         self.tasks_completed = 0
         self.busy_time = 0.0
+        # bound once at construction; a no-op when observability is off
+        self._wait_hist = obs_runtime.metrics().histogram(
+            obs_names.SIM_QUEUE_WAIT, {"server": str(server.server_id)}
+        )
 
     def submit(self, task: Task) -> None:
         """Task arrived over the network; queue it for processing."""
@@ -63,6 +69,7 @@ class EdgeServerQueue:
             return
         self._busy = True
         task = self._queue.popleft()
+        self._wait_hist.observe(self._sim.now - task.arrived_at)
         service_time = self._service_time(task)
         self.busy_time += service_time
 

@@ -17,7 +17,10 @@ from dataclasses import dataclass, field
 from repro.model.objectives import Objective, resolve_objective
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.utils.rng import make_rng
+from repro.utils.stats import summarize
 
 
 @dataclass
@@ -35,11 +38,19 @@ class SolverResult:
 
     @property
     def gap(self) -> "float | None":
-        """Relative gap to :attr:`lower_bound` when one is attached."""
-        if self.lower_bound is None or self.lower_bound <= 0:
+        """Relative gap to :attr:`lower_bound` when one is attached.
+
+        Only negative or missing bounds are undefined.  A legitimate
+        zero bound met exactly (``objective_value == 0``) is a closed
+        gap of ``0.0``; a zero bound with a positive objective is an
+        unboundedly bad relative gap (``inf``).
+        """
+        if self.lower_bound is None or self.lower_bound < 0:
             return None
         if not math.isfinite(self.objective_value):
             return None
+        if self.lower_bound == 0.0:
+            return 0.0 if self.objective_value == 0.0 else math.inf
         return self.objective_value / self.lower_bound - 1.0
 
     def summary_row(self) -> list:
@@ -73,24 +84,65 @@ class Solver(abc.ABC):
 
     def solve(self, problem: AssignmentProblem) -> SolverResult:
         """Run the algorithm and package the outcome."""
-        start = time.perf_counter()
-        assignment, info = self._solve(problem, make_rng(self.seed))
-        runtime = time.perf_counter() - start
+        registry = obs_runtime.metrics()
+        labels = {"solver": self.name}
+        with obs_runtime.tracer().span(
+            f"{obs_names.SPAN_SOLVE}/{self.name}",
+            devices=problem.n_devices,
+            servers=problem.n_servers,
+        ):
+            start = time.perf_counter()
+            assignment, info = self._solve(problem, make_rng(self.seed))
+            runtime = time.perf_counter() - start
         feasible = assignment.is_feasible()
         if assignment.is_complete:
             value = self.objective.evaluate(assignment)
         else:
             value = math.inf
+        iterations = int(info.pop("iterations", 0))
+        self._record_improvements(registry, labels, info)
+        registry.counter(obs_names.SOLVER_SOLVES, labels).inc()
+        registry.timer(obs_names.SOLVER_RUNTIME, labels).observe(runtime)
+        registry.counter(obs_names.SOLVER_ITERATIONS, labels).inc(iterations)
+        if not feasible:
+            registry.counter(obs_names.SOLVER_INFEASIBLE, labels).inc()
         return SolverResult(
             solver=self.name,
             assignment=assignment,
             objective_value=value,
             feasible=feasible,
             runtime_s=runtime,
-            iterations=int(info.pop("iterations", 0)),
+            iterations=iterations,
             lower_bound=info.pop("lower_bound", None),
             extra=info,
         )
+
+    def _record_improvements(self, registry, labels: dict, info: dict) -> None:
+        """Incumbent-improvement telemetry for iterative solvers.
+
+        Solvers that report a per-iteration cost curve (``episode_costs``
+        in their info dict) get the successive incumbent improvements
+        summarized into ``extra["objective_improvements"]`` and, when
+        observability is on, streamed into the shared histogram.
+        """
+        costs = info.get("episode_costs")
+        if not costs:
+            return
+        improvements: list[float] = []
+        best = math.inf
+        for cost in costs:
+            if cost is None or not math.isfinite(cost):
+                continue
+            if cost < best:
+                if math.isfinite(best):
+                    improvements.append(best - cost)
+                best = cost
+        if not improvements:
+            return
+        info["objective_improvements"] = summarize(improvements).as_dict()
+        histogram = registry.histogram(obs_names.SOLVER_IMPROVEMENT, labels)
+        for delta in improvements:
+            histogram.observe(delta)
 
     @abc.abstractmethod
     def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:

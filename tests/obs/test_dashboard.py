@@ -1,0 +1,66 @@
+"""Dashboard rendering from collected and loaded data."""
+
+from __future__ import annotations
+
+from repro.obs.dashboard import render_dashboard, render_span_tree
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import collect
+from repro.obs.tracing import Tracer
+
+
+class TestRenderSpanTree:
+    def test_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        text = render_span_tree([span.as_dict() for span in tracer.roots])
+        lines = text.splitlines()
+        root_line = next(line for line in lines if "root" in line)
+        child_line = next(line for line in lines if "child" in line)
+        assert root_line.startswith("root")
+        assert child_line.startswith("  child")
+
+    def test_error_status_visible(self):
+        tree = {"name": "x", "duration_s": 0.5, "status": "error:ValueError"}
+        assert "error:ValueError" in render_span_tree([tree])
+
+
+class TestRenderDashboard:
+    def test_empty_data_says_so(self):
+        assert "no observability data" in render_dashboard({"metrics": {}, "spans": []})
+
+    def test_all_sections_render(self):
+        registry = MetricsRegistry()
+        registry.counter("rl/episodes", {"solver": "tacc"}).inc(40)
+        registry.gauge("rl/epsilon").set(0.05)
+        hist = registry.histogram("sim/queue_wait_s")
+        for i in range(50):
+            hist.observe(i / 1000.0)
+        tracer = Tracer()
+        with tracer.span("solve/tacc"):
+            pass
+        text = render_dashboard(collect(registry, tracer))
+        assert "## spans" in text
+        assert "solve/tacc" in text
+        assert "## counters" in text
+        assert "rl/episodes{solver=tacc}" in text
+        assert "## gauges" in text
+        assert "## distributions" in text
+        assert "sim/queue_wait_s" in text
+
+    def test_busiest_distribution_gets_a_chart(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sim/queue_wait_s")
+        for i in range(1, 200):
+            hist.observe(i / 100.0)
+        text = render_dashboard(collect(registry))
+        assert "distribution: sim/queue_wait_s" in text
+
+    def test_sections_without_data_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("only/counter").inc()
+        text = render_dashboard(collect(registry))
+        assert "## counters" in text
+        assert "## gauges" not in text
+        assert "## spans" not in text

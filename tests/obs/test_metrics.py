@@ -1,0 +1,212 @@
+"""Counter/gauge/timer/histogram semantics and the registries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    default_buckets,
+    instrument_key,
+    snapshot_delta,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_starts_nan_then_last_write_wins(self):
+        gauge = Gauge("x")
+        assert math.isnan(gauge.value)
+        gauge.set(3.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_inc_treats_nan_as_zero(self):
+        gauge = Gauge("x")
+        gauge.inc(2.0)
+        gauge.inc(-0.5)
+        assert gauge.value == pytest.approx(1.5)
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        hist = Histogram("x")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(10.0)
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.mean == pytest.approx(2.5)
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram("x").quantile(0.5))
+
+    def test_quantile_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_exact_quantiles_below_reservoir_capacity(self):
+        hist = Histogram("x")
+        for i in range(101):
+            hist.observe(i / 100.0)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 1.0
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+        assert hist.quantile(0.9) == pytest.approx(0.9)
+
+    def test_reservoir_quantile_accuracy_bounds(self):
+        """Sampled quantiles of U[0,1] stay within a loose tolerance."""
+        hist = Histogram("x", reservoir_size=512)
+        # deterministic low-discrepancy stream covering [0, 1)
+        for i in range(20_000):
+            hist.observe((i * 0.6180339887498949) % 1.0)
+        assert hist.count == 20_000
+        for q in (0.5, 0.9, 0.99):
+            assert hist.quantile(q) == pytest.approx(q, abs=0.08)
+
+    def test_cumulative_buckets_end_at_inf_with_total_count(self):
+        hist = Histogram("x", buckets=[1.0, 10.0])
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        buckets = hist.cumulative_buckets()
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == 3
+        assert buckets[0] == (1.0, 1)
+        assert buckets[1] == (10.0, 2)
+
+    def test_default_buckets_sorted_and_positive(self):
+        bounds = default_buckets()
+        assert bounds == sorted(bounds)
+        assert all(b > 0 for b in bounds)
+
+    def test_summary_shape(self):
+        hist = Histogram("x")
+        hist.observe(2.0)
+        summary = hist.summary()
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p90", "p99", "buckets"):
+            assert key in summary
+
+
+class TestTimer:
+    def test_context_manager_observes_elapsed(self):
+        timer = Timer("x")
+        with timer:
+            pass
+        assert timer.count == 1
+        assert timer.sum >= 0.0
+
+    def test_nested_use_is_reentrant(self):
+        timer = Timer("x")
+        with timer:
+            with timer:
+                pass
+        assert timer.count == 2
+
+    def test_observes_on_exception(self):
+        timer = Timer("x")
+        with pytest.raises(RuntimeError):
+            with timer:
+                raise RuntimeError("boom")
+        assert timer.count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", {"k": "v"}) is not registry.counter("a")
+
+    def test_kinds_are_namespaced(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("same")
+        gauge = registry.gauge("same")
+        assert counter is not gauge
+
+    def test_snapshot_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(0.5)
+        registry.timer("t").observe(0.1)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == 1.0
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_labels_render_in_snapshot_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"solver": "tacc"}).inc()
+        assert "c{solver=tacc}" in registry.snapshot()["counters"]
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("c").inc()
+        NULL_REGISTRY.gauge("g").set(1.0)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        with NULL_REGISTRY.timer("t"):
+            pass
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.instruments() == {}
+
+    def test_instruments_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.histogram("b")
+
+
+class TestSnapshotDelta:
+    def test_counters_subtract_gauges_take_after(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1.0)
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(9.0)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"]["c"] == 3
+        assert delta["gauges"]["g"] == 9.0
+
+    def test_histogram_counts_subtract(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        before = registry.snapshot()
+        registry.histogram("h").observe(2.0)
+        registry.histogram("h").observe(3.0)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["histograms"]["h"]["count"] == 2
+        assert delta["histograms"]["h"]["sum"] == pytest.approx(5.0)
+
+
+class TestInstrumentKey:
+    def test_no_labels_is_bare_name(self):
+        assert instrument_key("a/b", None) == "a/b"
+
+    def test_labels_sorted(self):
+        assert instrument_key("m", {"b": "2", "a": "1"}) == "m{a=1,b=2}"

@@ -1,0 +1,34 @@
+"""The metric-name catalog stays consistent with itself and the docs."""
+
+from pathlib import Path
+
+from repro.obs import names
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+
+def test_catalog_names_unique():
+    assert len(set(names.CATALOG)) == len(names.CATALOG)
+
+
+def test_catalog_names_are_layer_slash_metric():
+    for name in names.CATALOG:
+        layer, _, metric = name.partition("/")
+        assert layer and metric, name
+        assert name == name.lower()
+        assert " " not in name
+
+
+def test_catalog_covers_module_constants():
+    declared = {
+        value
+        for key, value in vars(names).items()
+        if key.isupper() and isinstance(value, str) and not key.startswith("SPAN_")
+    }
+    assert declared == set(names.CATALOG)
+
+
+def test_docs_document_every_metric():
+    text = DOCS.read_text(encoding="utf-8")
+    missing = [name for name in names.CATALOG if f"`{name}`" not in text]
+    assert not missing, f"docs/observability.md is missing {missing}"

@@ -1,0 +1,102 @@
+"""JSON-lines round trip and Prometheus text-format export."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    collect,
+    escape_label_value,
+    load_jsonl,
+    prometheus_from_collected,
+    prometheus_name,
+    to_prometheus_text,
+    write_jsonl,
+)
+from repro.obs.tracing import Tracer
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("solver/solves", {"solver": "tacc"}).inc(3)
+    registry.gauge("rl/epsilon").set(0.05)
+    hist = registry.histogram("sim/queue_wait_s", buckets=[0.01, 0.1])
+    for value in (0.005, 0.05, 0.5):
+        hist.observe(value)
+    registry.timer("solver/runtime_s").observe(1.25)
+    return registry
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        registry = _populated_registry()
+        tracer = Tracer()
+        with tracer.span("solve/tacc"):
+            with tracer.span("rl/train"):
+                pass
+        path = write_jsonl(tmp_path / "run.jsonl", registry, tracer)
+        data = load_jsonl(path)
+        metrics = data["metrics"]
+        assert metrics["counters"]["solver/solves{solver=tacc}"] == 3
+        assert metrics["gauges"]["rl/epsilon"] == 0.05
+        wait = metrics["histograms"]["sim/queue_wait_s"]
+        assert wait["count"] == 3
+        assert wait["buckets"][-1][0] == math.inf
+        assert data["spans"][0]["name"] == "solve/tacc"
+        assert data["spans"][0]["children"][0]["name"] == "rl/train"
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = write_jsonl(tmp_path / "run.jsonl", _populated_registry())
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert {r["type"] for r in records[1:]} <= {"counter", "gauge", "histogram", "timer"}
+
+    def test_collect_matches_loaded_shape(self, tmp_path):
+        registry = _populated_registry()
+        live = collect(registry)
+        loaded = load_jsonl(write_jsonl(tmp_path / "run.jsonl", registry))
+        assert live["metrics"]["counters"] == loaded["metrics"]["counters"]
+        assert live["metrics"]["gauges"] == loaded["metrics"]["gauges"]
+
+
+class TestPrometheus:
+    def test_name_sanitization(self):
+        assert prometheus_name("sim/queue_wait_s") == "repro_sim_queue_wait_s"
+        assert prometheus_name("solver/solves", "_total") == "repro_solver_solves_total"
+
+    def test_label_escaping(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaped_labels_in_output(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"k": 'quo"te\nnew\\line'}).inc()
+        text = to_prometheus_text(registry)
+        assert 'k="quo\\"te\\nnew\\\\line"' in text
+        assert "\n\n" not in text  # the raw newline never leaks into a line
+
+    def test_counter_gauge_lines(self):
+        text = to_prometheus_text(_populated_registry())
+        assert "# TYPE repro_solver_solves_total counter" in text
+        assert 'repro_solver_solves_total{solver="tacc"} 3.0' in text
+        assert "# TYPE repro_rl_epsilon gauge" in text
+        assert "repro_rl_epsilon 0.05" in text
+
+    def test_histogram_triple_with_inf_bucket(self):
+        text = to_prometheus_text(_populated_registry())
+        assert 'repro_sim_queue_wait_s_bucket{le="0.01"} 1' in text
+        assert 'repro_sim_queue_wait_s_bucket{le="0.1"} 2' in text
+        assert 'repro_sim_queue_wait_s_bucket{le="+Inf"} 3' in text
+        assert "repro_sim_queue_wait_s_count 3" in text
+
+    def test_from_collected_matches_live_export(self, tmp_path):
+        registry = _populated_registry()
+        live = to_prometheus_text(registry)
+        loaded = prometheus_from_collected(
+            load_jsonl(write_jsonl(tmp_path / "run.jsonl", registry))
+        )
+        assert sorted(live.splitlines()) == sorted(loaded.splitlines())

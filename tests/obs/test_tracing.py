@@ -1,0 +1,124 @@
+"""Span nesting, exception safety, and the runtime switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
+
+
+class TestTracer:
+    def test_single_span_becomes_root(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert [span.name for span in tracer.roots] == ["a"]
+        assert tracer.roots[0].duration_s >= 0.0
+        assert tracer.roots[0].status == "ok"
+
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child1"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child2"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["child1", "child2"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_sequential_roots_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.roots] == ["first", "second"]
+
+    def test_exception_closes_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.depth == 0
+        (root,) = tracer.roots
+        assert root.status == "error:ValueError"
+        assert root.children[0].status == "error:ValueError"
+        assert root.duration_s >= root.children[0].duration_s >= 0.0
+
+    def test_annotate_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("a", x=1) as scope:
+            scope.annotate(y=2)
+        assert tracer.roots[0].attributes == {"x": 1, "y": 2}
+
+    def test_reset_clears_state(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.depth == 0
+
+    def test_span_dict_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("root", k="v"):
+            with tracer.span("child"):
+                pass
+        payload = tracer.roots[0].as_dict()
+        restored = Span.from_dict(payload)
+        assert restored.name == "root"
+        assert restored.attributes == {"k": "v"}
+        assert restored.children[0].name == "child"
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything") as scope:
+            scope.annotate(ignored=True)
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.depth == 0
+
+
+class TestRuntimeSwitch:
+    def test_disabled_by_default(self):
+        assert not runtime.is_enabled()
+        assert not runtime.metrics().enabled
+        assert not runtime.tracer().enabled
+
+    def test_observed_scope_enables_then_restores(self):
+        assert not runtime.is_enabled()
+        with runtime.observed() as session:
+            assert runtime.is_enabled()
+            runtime.metrics().counter("x").inc()
+            assert session.snapshot()["counters"]["x"] == 1
+        assert not runtime.is_enabled()
+
+    def test_observed_scopes_nest(self):
+        with runtime.observed() as outer:
+            runtime.metrics().counter("outer").inc()
+            with runtime.observed() as inner:
+                runtime.metrics().counter("inner").inc()
+                assert "outer" not in inner.snapshot()["counters"]
+            assert "inner" not in outer.snapshot()["counters"]
+            assert runtime.metrics() is outer.registry
+
+    def test_enable_is_idempotent_and_disable_resets(self):
+        try:
+            first = runtime.enable()
+            second = runtime.enable()
+            assert first is second
+            assert runtime.is_enabled()
+        finally:
+            runtime.disable()
+        assert not runtime.is_enabled()
+
+    def test_observed_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with runtime.observed():
+                raise RuntimeError("boom")
+        assert not runtime.is_enabled()

@@ -98,6 +98,42 @@ class TestSolverResult:
         )
         assert result.gap is None
 
+    def test_gap_zero_bound_met_exactly_is_closed(self, small_problem):
+        assignment = GreedyFeasibleSolver().solve(small_problem).assignment
+        result = SolverResult(
+            solver="x",
+            assignment=assignment,
+            objective_value=0.0,
+            feasible=True,
+            runtime_s=0.0,
+            lower_bound=0.0,
+        )
+        assert result.gap == 0.0
+
+    def test_gap_zero_bound_positive_objective_is_infinite(self, small_problem):
+        assignment = GreedyFeasibleSolver().solve(small_problem).assignment
+        result = SolverResult(
+            solver="x",
+            assignment=assignment,
+            objective_value=1.5,
+            feasible=True,
+            runtime_s=0.0,
+            lower_bound=0.0,
+        )
+        assert result.gap == math.inf
+
+    def test_gap_none_for_negative_bound(self, small_problem):
+        assignment = GreedyFeasibleSolver().solve(small_problem).assignment
+        result = SolverResult(
+            solver="x",
+            assignment=assignment,
+            objective_value=1.0,
+            feasible=True,
+            runtime_s=0.0,
+            lower_bound=-0.5,
+        )
+        assert result.gap is None
+
     def test_summary_row(self, small_problem):
         assignment = GreedyFeasibleSolver().solve(small_problem).assignment
         result = SolverResult("x", assignment, 2.0, True, 0.5)

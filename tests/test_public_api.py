@@ -43,3 +43,33 @@ class TestPublicApi:
     def test_tacc_solver_class_exposed(self, small_problem):
         result = repro.TaccSolver(episodes=20, seed=0).solve(small_problem)
         assert result.feasible
+
+    def test_obs_module_exposed(self):
+        assert "obs" in repro.__all__
+        for name in (
+            "observed",
+            "enable",
+            "disable",
+            "is_enabled",
+            "metrics",
+            "tracer",
+            "MetricsRegistry",
+            "Timer",
+            "Span",
+            "write_jsonl",
+            "load_jsonl",
+            "to_prometheus_text",
+            "render_dashboard",
+            "names",
+        ):
+            assert hasattr(repro.obs, name), name
+
+    def test_obs_disabled_by_default(self):
+        assert not repro.obs.is_enabled()
+
+    def test_obs_observed_round_trip(self, small_problem):
+        with repro.obs.observed() as session:
+            repro.get_solver("greedy").solve(small_problem)
+            snapshot = session.snapshot()
+        assert snapshot["counters"]["solver/solves{solver=greedy}"] == 1
+        assert not repro.obs.is_enabled()
