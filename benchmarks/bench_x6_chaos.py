@@ -1,0 +1,25 @@
+"""X6 (extension) — dispatch policies under a mid-run crash (see DESIGN.md)."""
+
+from conftest import emit
+
+from repro.experiments import x6_chaos
+
+
+def test_x6_chaos(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        x6_chaos.run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "x6_chaos")
+    by_policy = {r["policy"]: r for r in table.rows}
+
+    # failover must hold goodput through the crash window...
+    assert by_policy["failover"]["crash_goodput_mean"] >= 0.95
+    # ...while doing nothing visibly loses the crashed server's share
+    assert by_policy["none"]["crash_goodput_mean"] < 0.95
+    assert by_policy["none"]["tasks_lost_mean"] > 0
+    # same-server retries spend budget but cannot beat failover's goodput
+    assert by_policy["retry"]["retries_mean"] > 0
+    assert (
+        by_policy["failover"]["goodput_mean"]
+        >= by_policy["none"]["goodput_mean"] - 1e-9
+    )

@@ -132,27 +132,56 @@ def cmd_simulate(args) -> int:
     if not result.assignment.is_complete:
         print("error: solver produced a partial assignment; nothing to simulate")
         return 2
-    report = repro.simulate_assignment(
-        result.assignment,
-        duration_s=args.duration,
-        seed=derive_seed(args.seed, "sim"),
-        rate_scale=args.rate_scale,
-    )
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["solver", args.solver],
-                ["static total delay (ms)", result.objective_value * 1e3],
-                ["tasks completed", report.tasks_completed],
-                ["mean network latency (ms)", report.mean_network_latency_ms],
-                ["p99 end-to-end latency (ms)", report.p99_total_latency_ms],
-                ["deadline miss rate", report.deadline_miss_rate
-                 if report.deadline_miss_rate is not None else "n/a"],
-                ["max server utilization", max(report.server_utilization)],
-            ],
+    faults_path = getattr(args, "faults", None)
+    if faults_path:
+        from repro.faults import FaultScenario, RetryPolicy, simulate_with_faults
+
+        scenario = FaultScenario.load(faults_path)
+        report = simulate_with_faults(
+            result.assignment,
+            scenario,
+            duration_s=args.duration,
+            seed=derive_seed(args.seed, "sim"),
+            mode=args.dispatch,
+            policy=RetryPolicy(
+                max_retries=args.max_retries, timeout_s=args.task_timeout
+            ),
+            rate_scale=args.rate_scale,
+            window_s=max(1.0, args.duration / 20),
         )
-    )
+    else:
+        report = repro.simulate_assignment(
+            result.assignment,
+            duration_s=args.duration,
+            seed=derive_seed(args.seed, "sim"),
+            rate_scale=args.rate_scale,
+        )
+    rows = [
+        ["solver", args.solver],
+        ["static total delay (ms)", result.objective_value * 1e3],
+        ["tasks completed", report.tasks_completed],
+        ["mean network latency (ms)", report.mean_network_latency_ms],
+        ["p99 end-to-end latency (ms)", report.p99_total_latency_ms],
+        ["deadline miss rate", report.deadline_miss_rate
+         if report.deadline_miss_rate is not None else "n/a"],
+        ["max server utilization", max(report.server_utilization)],
+    ]
+    if faults_path:
+        rows += [
+            ["fault scenario", scenario.name],
+            ["dispatch policy", args.dispatch],
+            ["tasks lost", report.tasks_lost],
+            ["timeouts / retries / failovers",
+             f"{report.timeouts} / {report.retries} / {report.failovers}"],
+            ["goodput", f"{report.goodput:.4f}"],
+        ]
+    print(format_table(["metric", "value"], rows))
+    if faults_path and report.goodput_timeline:
+        worst = min(report.goodput_timeline, key=lambda wg: wg[1])
+        print(
+            f"worst goodput window: {worst[1]:.3f} starting at t={worst[0]:.0f}s "
+            f"({len(report.goodput_timeline)} windows)"
+        )
     return 0
 
 
@@ -173,6 +202,7 @@ _EXPERIMENT_MODULES = {
     "x3": "x3_objective",
     "x4": "x4_noise",
     "x5": "x5_faults",
+    "x6": "x6_chaos",
 }
 
 

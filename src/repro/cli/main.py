@@ -94,6 +94,23 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--duration", type=float, default=30.0)
     simulate.add_argument("--rate-scale", type=float, default=1.0)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--faults",
+        default=None,
+        metavar="SCENARIO.json",
+        help="fault scenario JSON to inject during the run "
+        "(see docs/faults.md; examples/scenarios/ has samples)",
+    )
+    simulate.add_argument(
+        "--dispatch",
+        choices=["none", "retry", "failover"],
+        default="failover",
+        help="task re-dispatch policy under faults (default: failover)",
+    )
+    simulate.add_argument("--max-retries", type=int, default=3,
+                          help="retry budget per task under faults")
+    simulate.add_argument("--task-timeout", type=float, default=0.25,
+                          help="per-attempt timeout in seconds under faults")
     add_obs_flag(simulate)
     simulate.set_defaults(handler=commands.cmd_simulate)
 
@@ -101,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "name",
         choices=["t1", "f2", "f3", "f4", "f5", "f6", "t2", "f7", "f8", "t3",
-                 "x1", "x2", "x3", "x4", "x5"],
+                 "x1", "x2", "x3", "x4", "x5", "x6"],
     )
     experiment.add_argument("--scale", choices=["quick", "full"], default="quick")
     experiment.add_argument("--seed", type=int, default=0)

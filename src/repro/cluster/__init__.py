@@ -12,11 +12,22 @@ closes the loop:
   strategies (static / always / hysteresis / polish) over a mobility
   stream;
 * :mod:`repro.cluster.online` — streaming arrival of new devices with
-  immediate irrevocable assignment.
+  immediate irrevocable assignment;
+* :mod:`repro.cluster.faults` — epoch-level server failure dynamics and
+  the masked degraded problems they induce;
+* :mod:`repro.cluster.degradation` — graceful degradation: shed load by
+  priority when surviving capacity cannot host everyone.
 """
 
 from repro.cluster.churn import ChurnEvent, ChurnProcess, MembershipController
-from repro.cluster.faults import FaultEvent, ServerFaultProcess, degraded_problem, serving_fraction
+from repro.cluster.degradation import DegradedSolution, solve_degraded
+from repro.cluster.faults import (
+    FaultEvent,
+    ServerFaultProcess,
+    degraded_problem,
+    served_cost,
+    serving_fraction,
+)
 from repro.cluster.controller import (
     ControllerDecision,
     ReconfigurationController,
@@ -30,9 +41,12 @@ __all__ = [
     "ChurnEvent",
     "ChurnProcess",
     "MembershipController",
+    "DegradedSolution",
+    "solve_degraded",
     "FaultEvent",
     "ServerFaultProcess",
     "degraded_problem",
+    "served_cost",
     "serving_fraction",
     "ControllerDecision",
     "ReconfigurationController",

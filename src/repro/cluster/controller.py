@@ -46,6 +46,8 @@ class ControllerDecision:
     cost: float
     feasible: bool
     vector: np.ndarray
+    #: devices shed by graceful degradation this epoch (0 = full service)
+    shed: int = 0
 
 
 class ReconfigurationController:
@@ -89,9 +91,22 @@ class ReconfigurationController:
             vector=self._vector.copy(),
         )
 
-    def observe(self, epoch: int, problem: AssignmentProblem) -> ControllerDecision:
-        """React to the refreshed problem of one mobility epoch."""
+    def observe(
+        self,
+        epoch: int,
+        problem: AssignmentProblem,
+        failed: "frozenset[int] | set[int] | None" = None,
+    ) -> ControllerDecision:
+        """React to the refreshed problem of one mobility epoch.
+
+        With a non-empty ``failed`` server set the controller enters
+        degraded mode: it re-solves the masked problem and, when the
+        surviving capacity cannot host everyone, sheds low-priority
+        devices instead of raising (see :func:`solve_degraded`).
+        """
         require(self._vector is not None, "call initialize() before observe()")
+        if failed:
+            return self._observe_degraded(epoch, problem, frozenset(failed))
         registry = obs_runtime.metrics()
         strategy_labels = {"strategy": self.strategy}
         registry.counter(obs_names.CLUSTER_EPOCHS, strategy_labels).inc()
@@ -134,6 +149,40 @@ class ReconfigurationController:
         return self._decision(epoch, False, 0, current_cost, current_feasible)
 
     # ------------------------------------------------------------------
+    def _observe_degraded(
+        self, epoch: int, problem: AssignmentProblem, failed: frozenset[int]
+    ) -> ControllerDecision:
+        """Degraded-mode epoch: re-solve around the failed servers."""
+        from repro.cluster.degradation import solve_degraded
+        from repro.cluster.faults import degraded_problem
+
+        registry = obs_runtime.metrics()
+        strategy_labels = {"strategy": self.strategy}
+        registry.counter(obs_names.CLUSTER_EPOCHS, strategy_labels).inc()
+        degraded = degraded_problem(problem, failed)
+        incumbent = Assignment(degraded, self._vector)
+        if incumbent.is_feasible() and self.strategy in ("static", "hysteresis"):
+            # nobody stranded and no overload: the incumbent survives
+            return self._decision(
+                epoch, False, 0, incumbent.total_delay(), True
+            )
+        with registry.timer(obs_names.CLUSTER_RECONFIG_LATENCY, strategy_labels):
+            result = self.solver.solve(degraded)
+            if result.feasible:
+                vector, shed = result.assignment.vector, ()
+            else:
+                solution = solve_degraded(degraded, self.solver)
+                vector, shed = solution.vector, solution.shed
+        moves = count_moves(self._vector, vector)
+        self._commit(vector, moves, reconfigured=True)
+        committed = Assignment(degraded, vector)
+        decision = self._decision(
+            epoch, True, moves, committed.total_delay(),
+            committed.is_feasible() if not shed else True,
+        )
+        decision.shed = len(shed)
+        return decision
+
     def _commit(self, vector: np.ndarray, moves: int, reconfigured: bool) -> None:
         self._vector = vector.copy()
         self.total_moves += moves

@@ -7,12 +7,14 @@ induce:
 * :class:`ServerFaultProcess` — independent two-state Markov chain per
   server (``fail_prob`` up→down, ``repair_prob`` down→up per epoch),
   with a guard that never lets the *last* healthy server fail;
-* :func:`degraded_problem` — a copy of an instance where failed
-  servers cannot host anyone (their capacity is collapsed below any
-  demand), so every existing solver/controller transparently routes
-  around them;
+* :func:`degraded_problem` — a copy of an instance carrying an explicit
+  ``failed_servers`` mask (failed capacity is zeroed so capacity-driven
+  solvers route around them, but *feasibility* is decided by the mask:
+  :meth:`Assignment.validate` rejects any device on a failed server);
 * :func:`serving_fraction` — the availability metric: what fraction of
-  devices an assignment currently serves on healthy servers.
+  devices an assignment currently serves on healthy servers;
+* :func:`served_cost` — total delay over the devices that are currently
+  served (shared by X5/X6 and the degradation controller).
 
 The X5 extension experiment drives a static assignment and a reactive
 re-solver through one shared failure timeline.
@@ -27,9 +29,6 @@ import numpy as np
 from repro.model.problem import AssignmentProblem
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_probability, require
-
-#: capacity assigned to a failed server: smaller than any positive demand
-FAILED_CAPACITY = 1e-9
 
 
 @dataclass(frozen=True)
@@ -98,12 +97,25 @@ class ServerFaultProcess:
 def degraded_problem(
     problem: AssignmentProblem, failed: "frozenset[int] | set[int]"
 ) -> AssignmentProblem:
-    """Copy of ``problem`` where ``failed`` servers cannot host devices."""
+    """Copy of ``problem`` where ``failed`` servers cannot host devices.
+
+    Failure is represented explicitly: the copy carries ``failed`` in
+    its ``failed_servers`` mask, and assignment validation rejects any
+    device placed on a masked server — no capacity-epsilon tricks.
+    Capacities of failed servers are additionally zeroed so that
+    capacity-driven solvers (which never look at the mask) route around
+    them for free.
+    """
+    failed = frozenset(int(server) for server in failed)
     for server in failed:
         require(0 <= server < problem.n_servers, f"server {server} out of range")
+    require(
+        len(failed) < problem.n_servers,
+        "cannot fail every server; at least one must stay healthy",
+    )
     capacity = problem.capacity.copy()
     for server in failed:
-        capacity[server] = FAILED_CAPACITY
+        capacity[server] = 0.0
     degraded = AssignmentProblem(
         delay=problem.delay,
         demand=problem.demand,
@@ -111,6 +123,7 @@ def degraded_problem(
         devices=problem.devices,
         servers=problem.servers,
         graph=problem.graph,
+        failed_servers=failed,
         name=f"{problem.name}|failed={sorted(failed)}",
     )
     return degraded
@@ -128,3 +141,22 @@ def serving_fraction(
         if vector[device] >= 0 and int(vector[device]) not in failed
     )
     return served / n_devices
+
+
+def served_cost(
+    problem: AssignmentProblem,
+    vector: np.ndarray,
+    failed: "frozenset[int] | set[int]" = frozenset(),
+) -> float:
+    """Total delay over devices currently served on healthy servers.
+
+    Unassigned devices and devices whose server is in ``failed``
+    contribute nothing — they are not being served at all.
+    """
+    vector = np.asarray(vector)
+    total = 0.0
+    for device in range(problem.n_devices):
+        server = int(vector[device])
+        if server >= 0 and server not in failed:
+            total += float(problem.delay[device, server])
+    return total

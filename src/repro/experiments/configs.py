@@ -272,6 +272,22 @@ _CONFIGS: dict[str, dict[str, Scale]] = {
             solver_kwargs=FULL_SOLVER_KWARGS,
         ),
     },
+    "x6": {
+        "quick": Scale(
+            repeats=2,
+            params={"n_devices": 20, "n_servers": 3, "n_routers": 25,
+                    "tightness": 0.6, "duration_s": 12.0, "crash_frac": 0.4,
+                    "repair_frac": 0.8, "timeout_s": 0.25, "max_retries": 3,
+                    "window_s": 2.0},
+        ),
+        "full": Scale(
+            repeats=4,
+            params={"n_devices": 40, "n_servers": 5, "n_routers": 40,
+                    "tightness": 0.6, "duration_s": 60.0, "crash_frac": 0.4,
+                    "repair_frac": 0.8, "timeout_s": 0.25, "max_retries": 3,
+                    "window_s": 5.0},
+        ),
+    },
     "t3": {
         "quick": Scale(
             repeats=3,

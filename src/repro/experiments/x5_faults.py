@@ -23,25 +23,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cluster.faults import ServerFaultProcess, degraded_problem, serving_fraction
+from repro.cluster.faults import (
+    ServerFaultProcess,
+    degraded_problem,
+    served_cost,
+    serving_fraction,
+)
 from repro.experiments.configs import get_config
 from repro.experiments.harness import ResultTable
 from repro.model.instances import topology_instance
-from repro.model.solution import Assignment
 from repro.solvers.registry import get_solver
 from repro.utils.rng import derive_seed
 
 POLICIES = ("static", "reactive")
-
-
-def _served_cost(problem, vector, failed) -> float:
-    """Total delay over devices currently on healthy servers."""
-    total = 0.0
-    for device in range(problem.n_devices):
-        server = int(vector[device])
-        if server >= 0 and server not in failed:
-            total += problem.delay[device, server]
-    return total
 
 
 def run(scale: str = "quick", seed: int = 0) -> ResultTable:
@@ -80,17 +74,20 @@ def run(scale: str = "quick", seed: int = 0) -> ResultTable:
                 policy=policy,
                 epoch=0,
                 serving_fraction=1.0,
-                served_cost_ms=_served_cost(problem, vector, frozenset()) * 1e3,
+                served_cost_ms=served_cost(problem, vector, frozenset()) * 1e3,
                 cumulative_moves=0.0,
             )
             previous_failed: frozenset[int] = frozenset()
             for event in timeline:
                 if policy == "reactive" and event.failed != previous_failed:
                     degraded = degraded_problem(problem, event.failed)
+                    # the resilient chain falls back to greedy when the RL
+                    # solve fails or stalls, so the reaction never raises
                     solver = get_solver(
-                        "tacc",
+                        "resilient",
+                        chain=("tacc", "greedy"),
+                        member_kwargs={"tacc": tacc_kwargs},
                         seed=derive_seed(cell_seed, "reactive", event.epoch),
-                        **tacc_kwargs,
                     )
                     result = solver.solve(degraded)
                     if result.feasible:
@@ -107,7 +104,7 @@ def run(scale: str = "quick", seed: int = 0) -> ResultTable:
                     serving_fraction=serving_fraction(
                         vector, event.failed, problem.n_devices
                     ),
-                    served_cost_ms=_served_cost(problem, vector, event.failed) * 1e3,
+                    served_cost_ms=served_cost(problem, vector, event.failed) * 1e3,
                     cumulative_moves=float(moves),
                 )
     return raw.aggregate(

@@ -1,0 +1,116 @@
+"""Arms a :class:`~repro.faults.scenario.FaultScenario` on a live simulator.
+
+The injector is the bridge from description to execution: for each
+:class:`~repro.faults.scenario.FaultEventSpec` it schedules a callback
+at the spec's virtual time that drives the target component — server
+queues crash/recover/slow down, the network fabric degrades/restores
+links.  Events with a ``duration_s`` get an automatic restore scheduled
+alongside the fault, so scenarios don't need to spell out both edges.
+
+The injector never *creates* randomness: a scenario is already a fixed
+timeline, so arming the same scenario twice produces the same sequence
+of component calls at the same virtual times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.faults.scenario import FaultEventSpec, FaultScenario
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkFabric
+from repro.sim.server import EdgeServerQueue
+
+
+class FaultInjector:
+    """Schedules a scenario's faults against queues and the fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scenario: FaultScenario,
+        queues: "dict[int, EdgeServerQueue]",
+        fabric: "NetworkFabric | None" = None,
+        on_event: "Callable[[FaultEventSpec], None] | None" = None,
+    ) -> None:
+        self._sim = sim
+        self.scenario = scenario
+        self._queues = queues
+        self._fabric = fabric
+        self._on_event = on_event
+        self._armed = False
+        self.events_fired = 0
+        metrics = obs_runtime.metrics()
+        self._crashes = metrics.counter(obs_names.FAULTS_SERVER_CRASHES)
+        self._repairs = metrics.counter(obs_names.FAULTS_SERVER_REPAIRS)
+        self._degradations = metrics.counter(obs_names.FAULTS_LINK_DEGRADATIONS)
+        self._validate()
+
+    def _validate(self) -> None:
+        for spec in self.scenario.events:
+            if spec.server is not None and spec.server not in self._queues:
+                raise SimulationError(
+                    f"scenario {self.scenario.name!r} targets unknown server "
+                    f"{spec.server} (known: {sorted(self._queues)})"
+                )
+            if spec.kind.startswith("link_") and self._fabric is None:
+                raise SimulationError(
+                    f"scenario {self.scenario.name!r} has link faults but the "
+                    "injector was built without a network fabric"
+                )
+
+    def arm(self) -> None:
+        """Schedule every event of the scenario; idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        for spec in self.scenario.events:
+            self._sim.schedule_at(spec.at_s, self._handler(spec))
+
+    def _handler(self, spec: FaultEventSpec) -> Callable[[], None]:
+        def fire() -> None:
+            """Apply the captured spec at its scheduled virtual time."""
+            self._apply(spec)
+
+        return fire
+
+    def _apply(self, spec: FaultEventSpec) -> None:
+        self.events_fired += 1
+        obs_runtime.metrics().counter(
+            obs_names.FAULTS_INJECTED, {"kind": spec.kind}
+        ).inc()
+        if spec.kind == "server_crash":
+            self._crashes.inc()
+            self._queues[spec.server].fail()
+            if spec.duration_s is not None:
+                self._sim.schedule(spec.duration_s, self._queues[spec.server].recover)
+        elif spec.kind == "server_repair":
+            self._repairs.inc()
+            self._queues[spec.server].recover()
+        elif spec.kind == "server_slowdown":
+            queue = self._queues[spec.server]
+            queue.set_speed_factor(spec.factor)
+            if spec.duration_s is not None:
+                self._sim.schedule(spec.duration_s, lambda: queue.set_speed_factor(1.0))
+        elif spec.kind == "link_degrade":
+            self._degradations.inc()
+            assert self._fabric is not None
+            self._fabric.degrade_link(
+                spec.u, spec.v,
+                bandwidth_factor=spec.factor,
+                extra_latency_s=spec.extra_latency_s,
+                jitter_s=spec.jitter_s,
+            )
+            if spec.duration_s is not None:
+                self._sim.schedule(
+                    spec.duration_s,
+                    lambda: self._fabric.restore_link(spec.u, spec.v),
+                )
+        elif spec.kind == "link_restore":
+            assert self._fabric is not None
+            self._fabric.restore_link(spec.u, spec.v)
+        if self._on_event is not None:
+            self._on_event(spec)

@@ -1,0 +1,285 @@
+"""Scriptable chaos scenarios: what fails, when, and for how long.
+
+A :class:`FaultScenario` is a plain, deterministic schedule — a sorted
+tuple of :class:`FaultEventSpec` — with no behaviour of its own; the
+:class:`~repro.faults.injector.FaultInjector` turns it into scheduled
+callbacks on a live simulator.  Keeping the description inert makes
+scenarios serializable (JSON in, JSON out, byte-stable), composable
+(:func:`compose` merges timelines) and replayable: the same scenario
+file drives every policy in an A/B comparison over one shared fault
+timeline.
+
+JSON schema (see ``docs/faults.md`` for the full reference)::
+
+    {
+      "name": "crash-busiest",
+      "events": [
+        {"at_s": 10.0, "kind": "server_crash", "server": 2},
+        {"at_s": 22.0, "kind": "server_repair", "server": 2},
+        {"at_s": 5.0, "kind": "server_slowdown", "server": 1,
+         "factor": 0.25, "duration_s": 8.0},
+        {"at_s": 8.0, "kind": "link_degrade", "u": 3, "v": 7,
+         "factor": 0.1, "extra_latency_s": 0.02, "jitter_s": 0.005,
+         "duration_s": 12.0}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.validation import check_nonnegative, check_positive, require
+
+#: every event kind the injector understands
+EVENT_KINDS = (
+    "server_crash",
+    "server_repair",
+    "server_slowdown",
+    "link_degrade",
+    "link_restore",
+)
+
+_SERVER_KINDS = ("server_crash", "server_repair", "server_slowdown")
+_LINK_KINDS = ("link_degrade", "link_restore")
+
+
+@dataclass(frozen=True)
+class FaultEventSpec:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    at_s:
+        Virtual time (seconds) at which the fault fires.
+    kind:
+        One of :data:`EVENT_KINDS`.
+    server:
+        Target server *index* for the ``server_*`` kinds.
+    u, v:
+        Endpoint node ids for the ``link_*`` kinds (both directions of
+        the link are affected).
+    factor:
+        For ``server_slowdown``: service-rate multiplier (0.25 = a 4x
+        straggler).  For ``link_degrade``: bandwidth multiplier.
+    extra_latency_s / jitter_s:
+        ``link_degrade`` only — added propagation delay, plus a
+        per-packet uniform random extra in ``[0, jitter_s]``.
+    duration_s:
+        When set on ``server_slowdown`` / ``link_degrade``, the injector
+        automatically restores the target after this long; ``None``
+        means the fault persists until an explicit repair/restore event.
+    """
+
+    at_s: float
+    kind: str
+    server: "int | None" = None
+    u: "int | None" = None
+    v: "int | None" = None
+    factor: float = 1.0
+    extra_latency_s: float = 0.0
+    jitter_s: float = 0.0
+    duration_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        check_nonnegative(self.at_s, "at_s")
+        require(self.kind in EVENT_KINDS, f"unknown fault kind {self.kind!r}")
+        if self.kind in _SERVER_KINDS:
+            require(self.server is not None and self.server >= 0,
+                    f"{self.kind} needs a server index")
+        if self.kind in _LINK_KINDS:
+            require(self.u is not None and self.v is not None,
+                    f"{self.kind} needs link endpoints u and v")
+        if self.kind == "server_slowdown":
+            check_positive(self.factor, "factor")
+        if self.kind == "link_degrade":
+            check_positive(self.factor, "factor")
+            check_nonnegative(self.extra_latency_s, "extra_latency_s")
+            check_nonnegative(self.jitter_s, "jitter_s")
+        if self.duration_s is not None:
+            check_positive(self.duration_s, "duration_s")
+
+    def to_dict(self) -> dict:
+        """JSON payload with defaulted/irrelevant fields omitted."""
+        payload: dict = {"at_s": self.at_s, "kind": self.kind}
+        if self.server is not None:
+            payload["server"] = self.server
+        if self.u is not None:
+            payload["u"] = self.u
+        if self.v is not None:
+            payload["v"] = self.v
+        if self.factor != 1.0:
+            payload["factor"] = self.factor
+        if self.extra_latency_s:
+            payload["extra_latency_s"] = self.extra_latency_s
+        if self.jitter_s:
+            payload["jitter_s"] = self.jitter_s
+        if self.duration_s is not None:
+            payload["duration_s"] = self.duration_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultEventSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                at_s=float(payload["at_s"]),
+                kind=str(payload["kind"]),
+                server=payload.get("server"),
+                u=payload.get("u"),
+                v=payload.get("v"),
+                factor=float(payload.get("factor", 1.0)),
+                extra_latency_s=float(payload.get("extra_latency_s", 0.0)),
+                jitter_s=float(payload.get("jitter_s", 0.0)),
+                duration_s=payload.get("duration_s"),
+            )
+        except KeyError as exc:
+            raise SerializationError(f"fault event missing field: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """An ordered, inert fault timeline."""
+
+    events: tuple[FaultEventSpec, ...] = ()
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.at_s))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def shifted(self, offset_s: float) -> "FaultScenario":
+        """Copy with every event delayed by ``offset_s``."""
+        check_nonnegative(offset_s, "offset_s")
+        return FaultScenario(
+            events=tuple(
+                FaultEventSpec(**{**_spec_kwargs(e), "at_s": e.at_s + offset_s})
+                for e in self.events
+            ),
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {"name": self.name, "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultScenario":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            events = tuple(FaultEventSpec.from_dict(e) for e in payload["events"])
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(f"invalid scenario payload: {exc}") from exc
+        return cls(events=events, name=str(payload.get("name", "scenario")))
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (stable key order for byte-level diffs)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultScenario":
+        """Parse a scenario previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultScenario":
+        """Read a scenario JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the scenario as JSON; returns the path."""
+        target = Path(path)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_crash(
+        cls,
+        server: int,
+        at_s: float,
+        repair_at_s: "float | None" = None,
+        name: str = "single-crash",
+    ) -> "FaultScenario":
+        """Crash one server at ``at_s``, optionally repairing it later."""
+        events = [FaultEventSpec(at_s=at_s, kind="server_crash", server=server)]
+        if repair_at_s is not None:
+            require(repair_at_s > at_s, "repair_at_s must be after at_s")
+            events.append(
+                FaultEventSpec(at_s=repair_at_s, kind="server_repair", server=server)
+            )
+        return cls(events=tuple(events), name=name)
+
+    @classmethod
+    def random(
+        cls,
+        n_servers: int,
+        horizon_s: float,
+        seed: int,
+        crash_rate_hz: float = 0.02,
+        mean_downtime_s: float = 10.0,
+        slowdown_prob: float = 0.0,
+        slowdown_factor: float = 0.25,
+        name: str = "random-chaos",
+    ) -> "FaultScenario":
+        """Seeded crash/repair (and optional straggler) schedule.
+
+        Per server, crash instants follow a Poisson process of rate
+        ``crash_rate_hz`` and each outage lasts an exponential
+        ``mean_downtime_s``; with probability ``slowdown_prob`` a crash
+        is downgraded to a slowdown of the same duration.  Identical
+        ``seed`` yields a byte-identical schedule (the replay/resume
+        guarantee the determinism regression test pins down).
+        """
+        require(n_servers >= 1, "n_servers must be >= 1")
+        check_positive(horizon_s, "horizon_s")
+        check_positive(crash_rate_hz, "crash_rate_hz")
+        check_positive(mean_downtime_s, "mean_downtime_s")
+        events: list[FaultEventSpec] = []
+        for server in range(n_servers):
+            rng = make_rng(derive_seed(seed, "fault-scenario", server))
+            t = float(rng.exponential(1.0 / crash_rate_hz))
+            while t < horizon_s:
+                downtime = float(rng.exponential(mean_downtime_s))
+                if slowdown_prob > 0.0 and rng.random() < slowdown_prob:
+                    events.append(FaultEventSpec(
+                        at_s=t, kind="server_slowdown", server=server,
+                        factor=slowdown_factor, duration_s=downtime,
+                    ))
+                else:
+                    events.append(FaultEventSpec(
+                        at_s=t, kind="server_crash", server=server))
+                    repair_at = t + downtime
+                    if repair_at < horizon_s:
+                        events.append(FaultEventSpec(
+                            at_s=repair_at, kind="server_repair", server=server))
+                t += downtime + float(rng.exponential(1.0 / crash_rate_hz))
+        return cls(events=tuple(events), name=name)
+
+
+def _spec_kwargs(spec: FaultEventSpec) -> dict:
+    return {f: getattr(spec, f) for f in spec.__dataclass_fields__}
+
+
+def compose(*scenarios: FaultScenario, name: str = "composed") -> FaultScenario:
+    """Merge several scenarios into one timeline (events re-sorted by time)."""
+    events: list[FaultEventSpec] = []
+    for scenario in scenarios:
+        events.extend(scenario.events)
+    return FaultScenario(events=tuple(events), name=name)

@@ -38,7 +38,13 @@ def capacity_pressure(problem: AssignmentProblem) -> dict[str, float]:
         "tightness": problem.tightness,
         "relaxed_overload_fraction": overloaded / problem.n_servers,
         "relaxed_max_utilization": float(
-            np.max(relaxed_loads / problem.capacity)
+            np.max(
+                np.where(
+                    problem.capacity > 0,
+                    relaxed_loads / np.where(problem.capacity > 0, problem.capacity, 1.0),
+                    np.where(relaxed_loads > 0, np.inf, 0.0),
+                )
+            )
         ),
         "mean_devices_per_server": n / problem.n_servers,
     }

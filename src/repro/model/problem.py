@@ -44,6 +44,11 @@ class AssignmentProblem:
         present when the instance was built from a topology.
     graph:
         The backing :class:`NetworkGraph`, when one exists.
+    failed_servers:
+        Explicit down-server mask.  A failed server cannot host any
+        device: assignments targeting one are invalid regardless of
+        numeric capacity (see :meth:`Assignment.validate`).  Failed
+        servers are the only ones allowed a zero capacity.
     name:
         Label used in tables and experiment logs.
     """
@@ -54,6 +59,7 @@ class AssignmentProblem:
     devices: "list[IoTDevice] | None" = None
     servers: "list[EdgeServer] | None" = None
     graph: "NetworkGraph | None" = field(default=None, repr=False)
+    failed_servers: frozenset[int] = frozenset()
     name: str = "instance"
 
     def __post_init__(self) -> None:
@@ -74,8 +80,20 @@ class AssignmentProblem:
             capacity.shape[0] == m,
             f"capacity must have length {m}, got {capacity.shape[0]}",
         )
-        require(np.all(np.isfinite(capacity)) and np.all(capacity > 0),
-                "capacity must be positive and finite")
+        self.failed_servers = frozenset(int(j) for j in self.failed_servers)
+        for server in self.failed_servers:
+            require(0 <= server < m, f"failed server {server} out of range [0, {m})")
+        require(
+            len(self.failed_servers) < m,
+            "at least one server must stay healthy",
+        )
+        healthy = np.array(
+            [j not in self.failed_servers for j in range(m)], dtype=bool
+        )
+        require(np.all(np.isfinite(capacity)) and np.all(capacity >= 0),
+                "capacity must be nonnegative and finite")
+        require(np.all(capacity[healthy] > 0),
+                "healthy servers must have positive capacity")
         self.capacity = capacity
         if self.devices is not None:
             require(len(self.devices) == n, "devices list length must equal N")
@@ -160,12 +178,15 @@ class AssignmentProblem:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """Plain-JSON representation of the matrix form."""
-        return {
+        payload = {
             "name": self.name,
             "delay": self.delay.tolist(),
             "demand": self.demand.tolist(),
             "capacity": self.capacity.tolist(),
         }
+        if self.failed_servers:
+            payload["failed_servers"] = sorted(self.failed_servers)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "AssignmentProblem":
@@ -175,6 +196,7 @@ class AssignmentProblem:
                 delay=np.asarray(payload["delay"], dtype=np.float64),
                 demand=np.asarray(payload["demand"], dtype=np.float64),
                 capacity=np.asarray(payload["capacity"], dtype=np.float64),
+                failed_servers=frozenset(payload.get("failed_servers", ())),
                 name=str(payload.get("name", "instance")),
             )
         except KeyError as exc:

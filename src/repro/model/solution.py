@@ -93,8 +93,20 @@ class Assignment:
         return loads
 
     def utilization(self) -> np.ndarray:
-        """Per-server load divided by capacity (1.0 = exactly full)."""
-        return self.loads() / self.problem.capacity
+        """Per-server load divided by capacity (1.0 = exactly full).
+
+        A zero-capacity (failed) server reads 0 when empty and ``inf``
+        when anything is on it.
+        """
+        loads = self.loads()
+        capacity = self.problem.capacity
+        with np.errstate(divide="ignore", invalid="ignore"):
+            util = np.where(
+                capacity > 0,
+                loads / np.where(capacity > 0, capacity, 1.0),
+                np.where(loads > 0, np.inf, 0.0),
+            )
+        return util
 
     def overloaded_servers(self, tolerance: float = 1e-9) -> list[int]:
         """Servers whose load exceeds capacity beyond numerical tolerance."""
@@ -106,9 +118,23 @@ class Assignment:
         excess = self.loads() - self.problem.capacity
         return float(np.sum(np.maximum(excess, 0.0)))
 
+    def devices_on_failed(self) -> list[int]:
+        """Device indices assigned to a server in the problem's failure mask."""
+        failed = self.problem.failed_servers
+        if not failed:
+            return []
+        return [
+            int(i) for i in np.flatnonzero(self._vector != UNASSIGNED)
+            if int(self._vector[i]) in failed
+        ]
+
     def is_feasible(self, tolerance: float = 1e-9) -> bool:
-        """Complete and no server overloaded — the paper's hard constraint."""
-        return self.is_complete and not self.overloaded_servers(tolerance)
+        """Complete, no server overloaded, and no device on a failed server."""
+        return (
+            self.is_complete
+            and not self.overloaded_servers(tolerance)
+            and not self.devices_on_failed()
+        )
 
     def validate(self) -> None:
         """Raise :class:`InfeasibleSolutionError` describing any violation."""
@@ -116,6 +142,12 @@ class Assignment:
             missing = [int(i) for i in np.flatnonzero(self._vector == UNASSIGNED)]
             raise InfeasibleSolutionError(
                 f"{len(missing)} devices unassigned (first few: {missing[:5]})"
+            )
+        stranded = self.devices_on_failed()
+        if stranded:
+            raise InfeasibleSolutionError(
+                f"{len(stranded)} devices assigned to failed servers "
+                f"{sorted(self.problem.failed_servers)} (first few: {stranded[:5]})"
             )
         overloaded = self.overloaded_servers()
         if overloaded:

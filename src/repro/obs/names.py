@@ -39,13 +39,27 @@ CLUSTER_MIGRATIONS = "cluster/migrations"
 CLUSTER_RECONFIGS = "cluster/reconfigurations"
 CLUSTER_RECONFIG_LATENCY = "cluster/reconfig_latency_s"
 CLUSTER_EPOCHS = "cluster/epochs"
+CLUSTER_LOAD_SHED = "cluster/load_shed_devices"
 ONLINE_ASSIGNMENTS = "cluster/online_assignments"
 ONLINE_REJECTIONS = "cluster/online_rejections"
+
+# -- fault injection and task-lifecycle resilience --------------------
+FAULTS_INJECTED = "faults/injected"
+FAULTS_SERVER_CRASHES = "faults/server_crashes"
+FAULTS_SERVER_REPAIRS = "faults/server_repairs"
+FAULTS_LINK_DEGRADATIONS = "faults/link_degradations"
+FAULTS_TASK_TIMEOUTS = "faults/task_timeouts"
+FAULTS_TASK_RETRIES = "faults/task_retries"
+FAULTS_TASK_FAILOVERS = "faults/task_failovers"
+FAULTS_TASKS_LOST = "faults/tasks_lost"
+SOLVER_FALLBACKS = "solver/fallbacks"
 
 #: spans emitted by the tracer (prefixes; the suffix is dynamic)
 SPAN_SOLVE = "solve"
 SPAN_SIM_RUN = "sim/run"
 SPAN_RECONFIG = "cluster/reconfigure"
+SPAN_DEGRADED = "cluster/degraded"
+SPAN_CHAOS = "faults/run"
 
 #: every registered metric name, for the docs/tests cross-check
 CATALOG: tuple[str, ...] = (
@@ -71,6 +85,16 @@ CATALOG: tuple[str, ...] = (
     CLUSTER_RECONFIGS,
     CLUSTER_RECONFIG_LATENCY,
     CLUSTER_EPOCHS,
+    CLUSTER_LOAD_SHED,
     ONLINE_ASSIGNMENTS,
     ONLINE_REJECTIONS,
+    FAULTS_INJECTED,
+    FAULTS_SERVER_CRASHES,
+    FAULTS_SERVER_REPAIRS,
+    FAULTS_LINK_DEGRADATIONS,
+    FAULTS_TASK_TIMEOUTS,
+    FAULTS_TASK_RETRIES,
+    FAULTS_TASK_FAILOVERS,
+    FAULTS_TASKS_LOST,
+    SOLVER_FALLBACKS,
 )

@@ -123,7 +123,13 @@ class AssignmentEnv:
         coarse "how full is each server" picture, and quantization is
         what keeps the Q-table tractable.
         """
-        fractions = np.clip(self.residual / self.problem.capacity, 0.0, 1.0)
+        # a failed (zero-capacity) server reads as permanently full
+        capacity = np.where(self.problem.capacity > 0, self.problem.capacity, 1.0)
+        fractions = np.clip(
+            np.where(self.problem.capacity > 0, self.residual / capacity, 0.0),
+            0.0,
+            1.0,
+        )
         buckets = np.minimum(
             (fractions * self.load_buckets).astype(np.int64), self.load_buckets - 1
         )

@@ -29,7 +29,11 @@ def state_features(env: AssignmentEnv) -> np.ndarray:
     problem = env.problem
     device = env.current_device
     norm_delay = problem.normalized_delay()[device]
-    residual_fraction = np.clip(env.residual / problem.capacity, 0.0, 1.0)
+    # failed servers have zero capacity; report them as exactly full
+    capacity = np.where(problem.capacity > 0, problem.capacity, 1.0)
+    residual_fraction = np.clip(
+        np.where(problem.capacity > 0, env.residual / capacity, 0.0), 0.0, 1.0
+    )
     demand_fraction = float(
         np.mean(problem.demand[device]) / np.mean(problem.capacity)
     )

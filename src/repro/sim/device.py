@@ -39,6 +39,7 @@ class IoTTrafficSource:
         rng: np.random.Generator,
         horizon_s: float,
         on_created: "Callable[[Task], None] | None" = None,
+        sink: "Callable[[Task], None] | None" = None,
     ) -> None:
         check_positive(horizon_s, "horizon_s")
         self._sim = sim
@@ -52,6 +53,9 @@ class IoTTrafficSource:
         self._rng = rng
         self._horizon_s = horizon_s
         self._on_created = on_created
+        # where tasks go: default straight to the assigned server's queue;
+        # the chaos dispatcher overrides this to own routing and retries
+        self._sink = sink if sink is not None else self._forward_to_server
         self.tasks_generated = 0
 
     def start(self) -> None:
@@ -76,5 +80,8 @@ class IoTTrafficSource:
         self.tasks_generated += 1
         if self._on_created is not None:
             self._on_created(task)
-        self._fabric.forward(task, self._path, self._server_queue.submit)
+        self._sink(task)
         self._schedule_next()
+
+    def _forward_to_server(self, task: Task) -> None:
+        self._fabric.forward(task, self._path, self._server_queue.submit)

@@ -5,11 +5,22 @@
 Latency percentiles are computed from the full per-task sample (runs
 are minutes of virtual time, so the sample fits comfortably); rolling
 :class:`~repro.utils.stats.OnlineStats` back the conservation checks.
+
+Latencies are *snapshotted as floats at completion time* rather than
+kept as live ``Task`` references: under retry/failover a stale copy of
+a re-dispatched task can still be in flight inside a link queue and
+later overwrite the task's timestamps — a float snapshot is immune.
+
+For the fault experiments the recorder also counts the task-lifecycle
+events (timeouts, retries, failovers, losses) and, when built with a
+``window_s``, buckets creations/completions into fixed windows of
+*creation* time so :meth:`MetricsRecorder.goodput_timeline` can show
+exactly when a crash dents throughput and how fast a policy recovers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,6 +42,13 @@ class SimReport:
     server_utilization: "tuple[float, ...]"
     mean_network_latency_ms: float
     p99_total_latency_ms: float
+    # fault-injection lifecycle counters; all zero in a fault-free run
+    tasks_lost: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    goodput: float = 1.0
+    goodput_timeline: "tuple[tuple[float, float], ...]" = field(default=())
 
     def as_dict(self) -> dict:
         """Flat dict for tables/JSON."""
@@ -44,6 +62,11 @@ class SimReport:
             "max_server_utilization": max(self.server_utilization)
             if self.server_utilization
             else float("nan"),
+            "tasks_lost": self.tasks_lost,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "goodput": self.goodput,
         }
 
 
@@ -54,35 +77,79 @@ class MetricsRecorder:
     *created* before the warm-up boundary are counted for conservation
     but excluded from every latency/deadline statistic, so measurements
     reflect steady state rather than the empty-system start.
+
+    ``window_s``, when set, additionally buckets tasks by creation time
+    into fixed windows for :meth:`goodput_timeline`.
     """
 
-    def __init__(self, warmup_s: float = 0.0) -> None:
+    def __init__(self, warmup_s: float = 0.0, window_s: "float | None" = None) -> None:
         if warmup_s < 0:
             raise SimulationError(f"warmup_s must be >= 0, got {warmup_s}")
+        if window_s is not None and window_s <= 0:
+            raise SimulationError(f"window_s must be > 0, got {window_s}")
         self.warmup_s = warmup_s
+        self.window_s = window_s
         self.tasks_created = 0
         self.tasks_completed_total = 0
-        self._completed: list[Task] = []
+        self.tasks_lost = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.failovers = 0
+        #: (created_at, network_latency, total_latency) per measured task
+        self._completed: list[tuple[float, float, float]] = []
         self._deadline_tasks = 0
         self._deadline_misses = 0
+        self._window_created: dict[int, int] = {}
+        self._window_completed: dict[int, int] = {}
 
     # ------------------------------------------------------------------
+    def _window(self, created_at: float) -> int:
+        assert self.window_s is not None
+        return int(created_at // self.window_s)
+
     def on_created(self, task: Task) -> None:
         """Return on created."""
         self.tasks_created += 1
+        if self.window_s is not None:
+            index = self._window(task.created_at)
+            self._window_created[index] = self._window_created.get(index, 0) + 1
 
     def on_completed(self, task: Task) -> None:
         """Return on completed."""
         if task.completed_at is None or task.arrived_at is None:
             raise SimulationError(f"task {task.task_id} completed without timestamps")
         self.tasks_completed_total += 1
+        if self.window_s is not None:
+            index = self._window(task.created_at)
+            self._window_completed[index] = self._window_completed.get(index, 0) + 1
         if task.created_at < self.warmup_s:
             return  # transient: conserved but not measured
-        self._completed.append(task)
+        self._completed.append(
+            (task.created_at, task.network_latency, task.total_latency)
+        )
         if task.deadline_s is not None:
             self._deadline_tasks += 1
             if task.missed_deadline:
                 self._deadline_misses += 1
+
+    # ------------------------------------------------------------------
+    # fault-lifecycle hooks (wired by the chaos dispatcher)
+    # ------------------------------------------------------------------
+    def on_timeout(self, task: Task) -> None:
+        """An in-flight attempt exceeded its timeout."""
+        self.timeouts += 1
+
+    def on_retry(self, task: Task) -> None:
+        """A failed task was re-sent to the same server."""
+        self.retries += 1
+
+    def on_failover(self, task: Task) -> None:
+        """A failed task was re-dispatched to an alternate server."""
+        self.failovers += 1
+
+    def on_lost(self, task: Task) -> None:
+        """A task exhausted its retry budget (or had none); it is gone."""
+        self.tasks_lost += 1
 
     # ------------------------------------------------------------------
     @property
@@ -92,11 +159,35 @@ class MetricsRecorder:
 
     def network_latencies(self) -> np.ndarray:
         """Return network latencies."""
-        return np.array([t.network_latency for t in self._completed], dtype=np.float64)
+        return np.array([s[1] for s in self._completed], dtype=np.float64)
 
     def total_latencies(self) -> np.ndarray:
         """Return total latencies."""
-        return np.array([t.total_latency for t in self._completed], dtype=np.float64)
+        return np.array([s[2] for s in self._completed], dtype=np.float64)
+
+    def goodput(self) -> float:
+        """Fraction of created tasks that eventually completed."""
+        if self.tasks_created == 0:
+            return 1.0
+        return self.tasks_completed_total / self.tasks_created
+
+    def goodput_timeline(self) -> "tuple[tuple[float, float], ...]":
+        """Per-window ``(window_start_s, completed/created)`` pairs.
+
+        Tasks are attributed to the window of their *creation* time, so
+        a crash that loses work dents exactly the windows in which the
+        lost tasks were born — the recovery curve the X6 experiment
+        plots.  Empty without ``window_s``.
+        """
+        if self.window_s is None or not self._window_created:
+            return ()
+        return tuple(
+            (
+                index * self.window_s,
+                self._window_completed.get(index, 0) / created,
+            )
+            for index, created in sorted(self._window_created.items())
+        )
 
     def report(
         self,
@@ -119,4 +210,10 @@ class MetricsRecorder:
             server_utilization=tuple(server_utilization or ()),
             mean_network_latency_ms=network.mean * 1e3,
             p99_total_latency_ms=total.p99 * 1e3,
+            tasks_lost=self.tasks_lost,
+            timeouts=self.timeouts,
+            retries=self.retries,
+            failovers=self.failovers,
+            goodput=self.goodput(),
+            goodput_timeline=self.goodput_timeline(),
         )

@@ -11,6 +11,12 @@ This is where the simulator goes beyond the static delay matrix: under
 load, shared links build queues and the *measured* communication delay
 exceeds the matrix entry — precisely the effect the F5 experiment
 sweeps.
+
+Fault injection adds *link degradation* on top: a degraded port runs at
+a fraction of its nominal bandwidth, adds fixed extra propagation
+latency, and optionally a per-packet uniform jitter — the knobs the
+chaos scenarios use to model flaky edge-cloud links.  An undegraded
+fabric behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -18,22 +24,67 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+import numpy as np
+
 from repro.sim.engine import Simulator
 from repro.sim.task import Task
 from repro.topology.graph import Link, NetworkGraph
 from repro.topology.routing import Path
+from repro.utils.validation import check_nonnegative, check_positive, require
 
 
 class LinkTransmitter:
     """FIFO output port for one direction of one link."""
 
-    def __init__(self, sim: Simulator, link: Link) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
         self._sim = sim
         self._link = link
+        self._rng = rng
         self._queue: deque[tuple[Task, Callable[[Task], None]]] = deque()
         self._busy = False
+        self._bandwidth_factor = 1.0
+        self._extra_latency_s = 0.0
+        self._jitter_s = 0.0
         self.packets_sent = 0
         self.busy_time = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the port is currently operating below nominal."""
+        return (
+            self._bandwidth_factor != 1.0
+            or self._extra_latency_s > 0.0
+            or self._jitter_s > 0.0
+        )
+
+    def degrade(
+        self,
+        bandwidth_factor: float = 1.0,
+        extra_latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+    ) -> None:
+        """Throttle the port; in-queue packets feel it from the next send."""
+        check_positive(bandwidth_factor, "bandwidth_factor")
+        check_nonnegative(extra_latency_s, "extra_latency_s")
+        check_nonnegative(jitter_s, "jitter_s")
+        require(
+            jitter_s == 0.0 or self._rng is not None,
+            "jitter requires the fabric to be built with an rng",
+        )
+        self._bandwidth_factor = bandwidth_factor
+        self._extra_latency_s = extra_latency_s
+        self._jitter_s = jitter_s
+
+    def restore(self) -> None:
+        """Return the port to nominal bandwidth and latency."""
+        self._bandwidth_factor = 1.0
+        self._extra_latency_s = 0.0
+        self._jitter_s = 0.0
 
     def send(self, task: Task, deliver: Callable[[Task], None]) -> None:
         """Enqueue ``task``; ``deliver`` fires when it reaches the far end."""
@@ -41,13 +92,21 @@ class LinkTransmitter:
         if not self._busy:
             self._transmit_next()
 
+    def _propagation_delay(self) -> float:
+        delay = self._link.latency_s + self._link.processing_s + self._extra_latency_s
+        if self._jitter_s > 0.0 and self._rng is not None:
+            delay += float(self._rng.uniform(0.0, self._jitter_s))
+        return delay
+
     def _transmit_next(self) -> None:
         if not self._queue:
             self._busy = False
             return
         self._busy = True
         task, deliver = self._queue.popleft()
-        transmission = task.size_bits / self._link.bandwidth_bps
+        transmission = task.size_bits / (
+            self._link.bandwidth_bps * self._bandwidth_factor
+        )
         self.busy_time += transmission
         self.packets_sent += 1
 
@@ -55,7 +114,7 @@ class LinkTransmitter:
             # port frees immediately; delivery lags by propagation + processing
             """Return last bit sent."""
             self._sim.schedule(
-                self._link.latency_s + self._link.processing_s,
+                self._propagation_delay(),
                 lambda: deliver(task),
             )
             self._transmit_next()
@@ -71,18 +130,69 @@ class LinkTransmitter:
 class NetworkFabric:
     """All transmitters of a topology plus hop-by-hop forwarding."""
 
-    def __init__(self, sim: Simulator, graph: NetworkGraph) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        graph: NetworkGraph,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
         self._sim = sim
         self._graph = graph
+        self._rng = rng
         self._transmitters: dict[tuple[int, int], LinkTransmitter] = {}
+        #: degradations to apply to transmitters not yet instantiated
+        self._pending_degrade: dict[tuple[int, int], tuple[float, float, float]] = {}
 
     def _transmitter(self, u: int, v: int) -> LinkTransmitter:
         key = (u, v)
         transmitter = self._transmitters.get(key)
         if transmitter is None:
-            transmitter = LinkTransmitter(self._sim, self._graph.link(u, v))
+            transmitter = LinkTransmitter(self._sim, self._graph.link(u, v), self._rng)
+            pending = self._pending_degrade.pop(key, None)
+            if pending is not None:
+                transmitter.degrade(*pending)
             self._transmitters[key] = transmitter
         return transmitter
+
+    def degrade_link(
+        self,
+        u: int,
+        v: int,
+        bandwidth_factor: float = 1.0,
+        extra_latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+    ) -> None:
+        """Degrade both directions of the ``(u, v)`` link.
+
+        Lazily created transmitters inherit the degradation, so a
+        scenario can degrade a link before any traffic crosses it.
+        """
+        self._graph.link(u, v)  # validates the link exists
+        for key in ((u, v), (v, u)):
+            transmitter = self._transmitters.get(key)
+            if transmitter is not None:
+                transmitter.degrade(bandwidth_factor, extra_latency_s, jitter_s)
+            else:
+                require(
+                    jitter_s == 0.0 or self._rng is not None,
+                    "jitter requires the fabric to be built with an rng",
+                )
+                self._pending_degrade[key] = (
+                    bandwidth_factor, extra_latency_s, jitter_s,
+                )
+
+    def restore_link(self, u: int, v: int) -> None:
+        """Return both directions of the ``(u, v)`` link to nominal."""
+        for key in ((u, v), (v, u)):
+            self._pending_degrade.pop(key, None)
+            transmitter = self._transmitters.get(key)
+            if transmitter is not None:
+                transmitter.restore()
+
+    def degraded_links(self) -> list[tuple[int, int]]:
+        """Directions currently operating below nominal."""
+        live = [key for key, t in self._transmitters.items() if t.degraded]
+        return sorted(live + list(self._pending_degrade))
 
     def forward(self, task: Task, path: Path, on_arrival: Callable[[Task], None]) -> None:
         """Send ``task`` along ``path``; ``on_arrival`` fires at the last node."""
@@ -92,7 +202,7 @@ class NetworkFabric:
             return
 
         def hop(index: int) -> None:
-            """Return hop."""
+            """Transmit across link ``index`` and chain to the next hop."""
             if index >= len(nodes) - 1:
                 on_arrival(task)
                 return

@@ -31,6 +31,7 @@ from repro.solvers.lns import LNSSolver
 from repro.solvers.local_search import LocalSearchSolver, TabuSearchSolver
 from repro.solvers.lp import LPRoundingSolver
 from repro.solvers.portfolio import PortfolioSolver
+from repro.solvers.resilient import ResilientSolver
 
 
 def _tacc_factory(**kwargs) -> Solver:
@@ -87,6 +88,7 @@ _REGISTRY: dict[str, Callable[..., Solver]] = {
     AuctionSolver.name: AuctionSolver,
     BottleneckSolver.name: BottleneckSolver,
     PortfolioSolver.name: PortfolioSolver,
+    ResilientSolver.name: ResilientSolver,
     BruteForceSolver.name: BruteForceSolver,
     BranchAndBoundSolver.name: BranchAndBoundSolver,
     "tacc": _tacc_factory,

@@ -1,0 +1,132 @@
+"""Resilient solving: a fallback chain under a wall-clock budget.
+
+Production cluster controllers cannot afford a solver that throws or
+overruns its reconfiguration window — a late answer and no answer are
+both outages.  :class:`ResilientSolver` wraps a *chain* of registered
+solvers: members run in order until one returns a feasible assignment
+within the remaining budget; errors are contained, slow members simply
+exhaust their share, and the chain conventionally ends in a cheap
+constructive method (``greedy``).  If everything fails there is a
+terminal safety net — the capacity-blind nearest-server assignment —
+so a ``solve()`` call *never raises* and always returns a complete
+vector (possibly marked infeasible, which the degradation controller
+then handles by shedding load).
+
+Synchronous solvers cannot be preempted mid-run, so the budget is
+enforced at member granularity: a member only starts while budget
+remains, and a member that returns *after* the deadline has its result
+accepted only if no later member does better within it (a late feasible
+answer still beats the safety net).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.errors import ReproError
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import Assignment
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.solvers.base import Solver
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive, require
+
+import numpy as np
+
+#: quality first, then speed: the chain ends in the cheapest constructive
+DEFAULT_CHAIN = ("tacc", "lns", "greedy")
+
+
+class ResilientSolver(Solver):
+    """First-feasible-within-budget over a fallback chain."""
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        chain: "tuple[str, ...] | list[str]" = DEFAULT_CHAIN,
+        budget_s: float = 10.0,
+        member_kwargs: "dict[str, dict] | None" = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        require(len(chain) >= 1, "resilient solver needs at least one chain member")
+        check_positive(budget_s, "budget_s")
+        self.chain = tuple(chain)
+        self.budget_s = budget_s
+        self.member_kwargs = dict(member_kwargs or {})
+
+    def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
+        from repro.solvers.registry import get_solver
+
+        registry = obs_runtime.metrics()
+        start = time.perf_counter()
+        attempts: dict[str, str] = {}
+        late_feasible: "Assignment | None" = None
+        late_source = None
+        for position, member in enumerate(self.chain):
+            elapsed = time.perf_counter() - start
+            if elapsed >= self.budget_s:
+                attempts[member] = "skipped:budget"
+                continue
+            kwargs = dict(self.member_kwargs.get(member, {}))
+            kwargs.setdefault("seed", derive_seed(self.seed or 0, "resilient", member))
+            try:
+                result = get_solver(member, **kwargs).solve(problem)
+            except ReproError as exc:
+                attempts[member] = f"error:{type(exc).__name__}"
+                self._count_fallback(registry, member)
+                continue
+            if not result.feasible:
+                attempts[member] = "infeasible"
+                self._count_fallback(registry, member)
+                continue
+            if time.perf_counter() - start <= self.budget_s:
+                attempts[member] = "ok"
+                return result.assignment, {
+                    "winner": member,
+                    "attempts": attempts,
+                    "fallbacks": position,
+                    "budget_s": self.budget_s,
+                }
+            # feasible but over budget: remember as a backup, keep going
+            # only if a cheaper member might still land inside the budget
+            attempts[member] = "late"
+            self._count_fallback(registry, member)
+            if late_feasible is None:
+                late_feasible = result.assignment
+                late_source = member
+        if late_feasible is not None:
+            return late_feasible, {
+                "winner": late_source,
+                "attempts": attempts,
+                "fallbacks": len(self.chain),
+                "budget_s": self.budget_s,
+                "late": True,
+            }
+        # terminal safety net: nearest server for everyone — complete by
+        # construction, possibly infeasible; the caller decides what to shed
+        self._count_fallback(registry, "nearest_net")
+        vector = np.argmin(
+            np.where(
+                np.isin(
+                    np.arange(problem.n_servers), sorted(problem.failed_servers)
+                )[None, :],
+                math.inf,
+                problem.delay,
+            ),
+            axis=1,
+        )
+        assignment = Assignment(problem, vector)
+        return assignment, {
+            "winner": "nearest_net",
+            "attempts": attempts,
+            "fallbacks": len(self.chain),
+            "budget_s": self.budget_s,
+        }
+
+    @staticmethod
+    def _count_fallback(registry, member: str) -> None:
+        registry.counter(obs_names.SOLVER_FALLBACKS, {"solver": member}).inc()

@@ -133,6 +133,22 @@ class TestSimulateExperimentReport:
         out = capsys.readouterr().out
         assert "mean network latency" in out
 
+    def test_simulate_with_faults(self, tmp_path, capsys):
+        from repro.faults import FaultScenario
+
+        scenario = tmp_path / "crash.json"
+        FaultScenario.single_crash(0, at_s=1.0, repair_at_s=2.0).save(scenario)
+        code = main([
+            "simulate", "--solver", "greedy", "--routers", "10", "--devices", "6",
+            "--servers", "2", "--duration", "3", "--seed", "7",
+            "--faults", str(scenario), "--dispatch", "failover",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault scenario" in out
+        assert "goodput" in out
+        assert "worst goodput window" in out
+
     def test_experiment_runs_and_saves(self, tmp_path, capsys, monkeypatch):
         from repro.experiments import configs
         from repro.experiments.configs import Scale

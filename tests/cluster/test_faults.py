@@ -6,9 +6,9 @@ import numpy as np
 import pytest
 
 from repro.cluster.faults import (
-    FAILED_CAPACITY,
     ServerFaultProcess,
     degraded_problem,
+    served_cost,
     serving_fraction,
 )
 from repro.errors import ValidationError
@@ -64,9 +64,10 @@ class TestServerFaultProcess:
 
 
 class TestDegradedProblem:
-    def test_failed_servers_collapse(self, small_problem):
+    def test_failed_servers_masked(self, small_problem):
         degraded = degraded_problem(small_problem, {1})
-        assert degraded.capacity[1] == FAILED_CAPACITY
+        assert degraded.capacity[1] == 0.0
+        assert degraded.failed_servers == frozenset({1})
         assert degraded.capacity[0] == small_problem.capacity[0]
 
     def test_original_untouched(self, small_problem):
@@ -88,6 +89,50 @@ class TestDegradedProblem:
     def test_no_failures_is_equivalent(self, small_problem):
         degraded = degraded_problem(small_problem, frozenset())
         assert np.array_equal(degraded.capacity, small_problem.capacity)
+
+
+class TestServedCost:
+    def test_all_healthy_matches_assignment_cost(self, small_problem):
+        vector = feasible_start(small_problem).vector
+        expected = float(
+            small_problem.delay[np.arange(small_problem.n_devices), vector].sum()
+        )
+        assert served_cost(small_problem, vector) == pytest.approx(expected)
+
+    def test_failed_and_unassigned_excluded(self, small_problem):
+        vector = feasible_start(small_problem).vector.copy()
+        full = served_cost(small_problem, vector)
+        on_one = vector == 1
+        without_one = served_cost(small_problem, vector, failed=frozenset({1}))
+        dropped = float(small_problem.delay[on_one, 1].sum())
+        assert without_one == pytest.approx(full - dropped)
+        vector[0] = -1
+        assert served_cost(small_problem, vector) <= full
+
+
+class TestSeedDeterminism:
+    """Same seed must reproduce the exact fault timeline, byte for byte."""
+
+    def test_fault_process_timeline_identical(self):
+        def timeline(seed: int) -> str:
+            process = ServerFaultProcess(
+                5, fail_prob=0.4, repair_prob=0.4, seed=seed
+            )
+            return repr([process.step(epoch) for epoch in range(1, 40)])
+
+        assert timeline(7) == timeline(7)
+        assert timeline(7) != timeline(8)
+
+    def test_random_scenario_json_identical(self):
+        from repro.faults import FaultScenario
+
+        def schedule(seed: int) -> str:
+            return FaultScenario.random(
+                n_servers=4, horizon_s=120.0, seed=seed
+            ).to_json()
+
+        assert schedule(11) == schedule(11)
+        assert schedule(11) != schedule(12)
 
 
 class TestServingFraction:

@@ -84,6 +84,11 @@ def micro(monkeypatch):
                                        "n_routers": 10, "tightness": 0.5,
                                        "fail_prob": 0.5, "repair_prob": 0.5},
                     solver_kwargs=_micro_kwargs()),
+        "x6": Scale(repeats=1, params={"n_devices": 8, "n_servers": 2,
+                                       "n_routers": 10, "tightness": 0.5,
+                                       "duration_s": 4.0, "crash_frac": 0.4,
+                                       "repair_frac": 0.8, "timeout_s": 0.25,
+                                       "max_retries": 2, "window_s": 1.0}),
     }
     monkeypatch.setattr(configs, "_CONFIGS", {
         key: {"quick": value, "full": value} for key, value in micro_configs.items()
@@ -119,6 +124,7 @@ def _micro_kwargs():
         "x3_objective",
         "x4_noise",
         "x5_faults",
+        "x6_chaos",
     ],
 )
 def test_every_experiment_runs_end_to_end(micro, module_name):

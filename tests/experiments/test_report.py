@@ -69,8 +69,8 @@ class TestRenderSection:
         assert "n/a" in section
 
     def test_every_experiment_has_metadata(self):
-        # 10 paper artifacts + X1-X5 extensions + G1 obs-overhead guard
-        assert len(EXPERIMENTS) == 16
+        # 10 paper artifacts + X1-X6 extensions + G1 obs-overhead guard
+        assert len(EXPERIMENTS) == 17
         for meta in EXPERIMENTS.values():
             assert meta.expected
             assert callable(meta.observe)

@@ -133,3 +133,12 @@ class TestShippedClaims:
             return sum(r["serving_fraction_mean"] for r in rows) / len(rows)
 
         assert availability("reactive") >= availability("static")
+
+    def test_x6_failover_recovers_crash_goodput(self):
+        table = load("x6_chaos")
+        rows = {r["policy"]: r for r in table.rows}
+        # the acceptance bar of the fault-injection subsystem: failover
+        # holds >= 95% goodput through the crash window, no-retry does not
+        assert rows["failover"]["crash_goodput_mean"] >= 0.95
+        assert rows["none"]["crash_goodput_mean"] < 0.95
+        assert rows["failover"]["tasks_lost_mean"] <= rows["none"]["tasks_lost_mean"]

@@ -1,0 +1,96 @@
+"""The injector turns inert scenarios into scheduled component calls."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import FaultEventSpec, FaultInjector, FaultScenario
+from repro.model.entities import EdgeServer
+from repro.sim.engine import Simulator
+from repro.sim.server import EdgeServerQueue
+
+
+def make_queues(sim, n=2):
+    return {
+        i: EdgeServerQueue(
+            sim,
+            EdgeServer(server_id=i, node_id=i, capacity=100.0, service_rate=10.0),
+            rng=np.random.default_rng(i),
+            service="deterministic",
+        )
+        for i in range(n)
+    }
+
+
+class TestFaultInjector:
+    def test_crash_and_repair_fire_at_their_times(self):
+        sim = Simulator()
+        queues = make_queues(sim)
+        scenario = FaultScenario.single_crash(1, at_s=2.0, repair_at_s=5.0)
+        fired = []
+        injector = FaultInjector(
+            sim, scenario, queues, on_event=lambda s: fired.append((sim.now, s.kind))
+        )
+        injector.arm()
+        sim.run(until=3.0)
+        assert not queues[1].is_up and queues[0].is_up
+        sim.run(until=6.0)
+        assert queues[1].is_up
+        assert fired == [(2.0, "server_crash"), (5.0, "server_repair")]
+        assert injector.events_fired == 2
+
+    def test_slowdown_with_duration_auto_restores(self):
+        sim = Simulator()
+        queues = make_queues(sim, n=1)
+        scenario = FaultScenario(events=(
+            FaultEventSpec(at_s=1.0, kind="server_slowdown", server=0,
+                           factor=0.25, duration_s=2.0),
+        ))
+        FaultInjector(sim, scenario, queues).arm()
+        sim.run(until=1.5)
+        assert queues[0].speed_factor == 0.25
+        sim.run(until=4.0)
+        assert queues[0].speed_factor == 1.0
+
+    def test_crash_with_duration_auto_recovers(self):
+        sim = Simulator()
+        queues = make_queues(sim, n=1)
+        scenario = FaultScenario(events=(
+            FaultEventSpec(at_s=1.0, kind="server_crash", server=0, duration_s=2.0),
+        ))
+        FaultInjector(sim, scenario, queues).arm()
+        sim.run(until=2.0)
+        assert not queues[0].is_up
+        sim.run(until=4.0)
+        assert queues[0].is_up
+
+    def test_arm_is_idempotent(self):
+        sim = Simulator()
+        queues = make_queues(sim, n=1)
+        scenario = FaultScenario.single_crash(0, at_s=1.0)
+        fired = []
+        injector = FaultInjector(
+            sim, scenario, queues, on_event=lambda s: fired.append(s.kind)
+        )
+        injector.arm()
+        injector.arm()
+        sim.run(until=2.0)
+        assert fired == ["server_crash"]
+
+    def test_unknown_server_target_rejected(self):
+        sim = Simulator()
+        queues = make_queues(sim, n=2)
+        scenario = FaultScenario.single_crash(7, at_s=1.0)
+        with pytest.raises(SimulationError):
+            FaultInjector(sim, scenario, queues)
+
+    def test_link_fault_without_fabric_rejected(self):
+        sim = Simulator()
+        queues = make_queues(sim, n=1)
+        scenario = FaultScenario(events=(
+            FaultEventSpec(at_s=1.0, kind="link_degrade", u=0, v=1, factor=0.5),
+        ))
+        with pytest.raises(SimulationError):
+            FaultInjector(sim, scenario, queues, fabric=None)

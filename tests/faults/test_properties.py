@@ -1,0 +1,74 @@
+"""Property-based invariants of the retry/timeout machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from tests.strategies import retry_policies
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=retry_policies(),
+    attempt=st.integers(min_value=0, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_backoff_is_bounded(policy, attempt, seed):
+    """Every backoff lands in (0, max_delay_s] whatever the jitter draw."""
+    delay = policy.backoff_s(attempt, np.random.default_rng(seed))
+    assert 0.0 < delay <= policy.max_delay_s
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=retry_policies(),
+    attempt=st.integers(min_value=0, max_value=20),
+    seed_early=st.integers(min_value=0, max_value=2**31 - 1),
+    seed_late=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_backoff_is_monotone_in_attempt(policy, attempt, seed_early, seed_late):
+    """A later attempt never backs off less than an earlier one, even when
+    the earlier draw got maximal jitter and the later one got none —
+    guaranteed by the constructor's ``multiplier >= 1 + jitter``."""
+    early = policy.backoff_s(attempt, np.random.default_rng(seed_early))
+    late = policy.backoff_s(attempt + 1, np.random.default_rng(seed_late))
+    assert late >= early - 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(policy=retry_policies())
+def test_retries_never_exceed_cap(policy):
+    """Counting attempts through should_retry stops exactly at max_retries."""
+    retries_done = 0
+    while policy.should_retry(retries_done):
+        retries_done += 1
+        assert retries_done <= policy.max_retries
+    assert retries_done == policy.max_retries
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=12
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=12),
+)
+def test_cancelled_timeouts_never_fire(delays, cancel_mask):
+    """A cancelled event must never run, no matter where it sits in the heap."""
+    sim = Simulator()
+    fired: list[int] = []
+    events = [
+        sim.schedule(delay, (lambda i=i: fired.append(i)))
+        for i, delay in enumerate(delays)
+    ]
+    cancelled = {
+        i for i, (event, cancel) in enumerate(zip(events, cancel_mask))
+        if cancel
+    }
+    for i in cancelled:
+        events[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - cancelled

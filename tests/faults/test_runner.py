@@ -1,0 +1,121 @@
+"""End-to-end chaos runs: dispatch policies over one fault timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultScenario, RetryPolicy, simulate_with_faults
+from repro.model.instances import topology_instance
+from repro.solvers.greedy import feasible_start
+
+
+@pytest.fixture(scope="module")
+def chaos_setup():
+    """A small topology-backed assignment plus a crash on its busiest server."""
+    problem = topology_instance(
+        n_routers=15,
+        n_devices=12,
+        n_servers=3,
+        tightness=0.6,
+        seed=11,
+        deadline_s=0.05,
+    )
+    assignment = feasible_start(problem)
+    busiest = int(assignment.loads().argmax())
+    scenario = FaultScenario.single_crash(busiest, at_s=2.0, repair_at_s=4.0)
+    return assignment, scenario, busiest
+
+
+def run(assignment, scenario, mode, **kwargs):
+    kwargs.setdefault("policy", RetryPolicy(max_retries=3, timeout_s=0.2))
+    return simulate_with_faults(
+        assignment, scenario, duration_s=5.0, seed=3, mode=mode,
+        drain_s=10.0, window_s=1.0, **kwargs,
+    )
+
+
+class TestChaosRun:
+    def test_no_faults_means_no_fault_metrics(self, chaos_setup):
+        assignment, _, _ = chaos_setup
+        report = run(assignment, FaultScenario(name="calm"), "failover")
+        assert report.tasks_lost == 0
+        assert report.timeouts == 0 and report.retries == 0
+        assert report.goodput == pytest.approx(1.0)
+        # every window of the timeline is perfect too
+        assert all(g == pytest.approx(1.0) for _, g in report.goodput_timeline)
+
+    def test_none_policy_loses_the_crash_windows(self, chaos_setup):
+        assignment, scenario, _ = chaos_setup
+        report = run(assignment, scenario, "none")
+        assert report.tasks_lost > 0
+        assert report.goodput < 1.0
+        assert report.tasks_created == report.tasks_completed + report.tasks_lost
+
+    def test_failover_recovers_goodput(self, chaos_setup):
+        assignment, scenario, _ = chaos_setup
+        none = run(assignment, scenario, "none")
+        failover = run(assignment, scenario, "failover")
+        assert failover.failovers > 0
+        assert failover.goodput > none.goodput
+        assert failover.goodput >= 0.95
+        assert failover.tasks_lost < none.tasks_lost
+        # identical offered load: the comparison is apples to apples
+        assert failover.tasks_created == none.tasks_created
+
+    def test_retry_spends_budget_on_a_dead_server(self, chaos_setup):
+        assignment, scenario, _ = chaos_setup
+        report = run(assignment, scenario, "retry")
+        assert report.retries > 0
+        # per-task attempts are bounded by the policy's budget
+        assert report.retries <= report.tasks_created * 3
+
+    def test_deterministic_replay(self, chaos_setup):
+        assignment, scenario, _ = chaos_setup
+        a = run(assignment, scenario, "failover")
+        b = run(assignment, scenario, "failover")
+        assert a.as_dict() == b.as_dict()
+
+    def test_requeue_crash_policy_conserves_tasks(self, chaos_setup):
+        assignment, scenario, _ = chaos_setup
+        report = run(assignment, scenario, "none", crash_policy="requeue")
+        # parked tasks finish after repair instead of being dropped
+        drop = run(assignment, scenario, "none")
+        assert report.tasks_lost <= drop.tasks_lost
+
+    def test_partial_assignment_rejected(self, chaos_setup):
+        from repro.errors import ValidationError
+        from repro.model.solution import Assignment
+
+        assignment, scenario, _ = chaos_setup
+        partial = Assignment(assignment.problem)
+        with pytest.raises(ValidationError):
+            simulate_with_faults(partial, scenario)
+
+    def test_matrix_problem_rejected(self):
+        from repro.errors import ValidationError
+        from repro.model.instances import random_instance
+
+        problem = random_instance(6, 2, tightness=0.5, seed=1)
+        assignment = feasible_start(problem)
+        with pytest.raises(ValidationError):
+            simulate_with_faults(assignment, FaultScenario())
+
+    def test_link_degradation_inflates_latency(self, chaos_setup):
+        from repro.faults import FaultEventSpec
+
+        assignment, _, _ = chaos_setup
+        calm = run(assignment, FaultScenario(name="calm"), "none")
+        events = tuple(
+            FaultEventSpec(
+                at_s=0.0, kind="link_degrade", u=link.u, v=link.v,
+                factor=0.5, extra_latency_s=0.005,
+            )
+            for link in assignment.problem.graph.links()
+        )
+        degraded = run(
+            assignment,
+            FaultScenario(events=events, name="soggy-links"),
+            "none",
+            policy=RetryPolicy(max_retries=0, timeout_s=None),
+        )
+        assert degraded.mean_network_latency_ms > calm.mean_network_latency_ms

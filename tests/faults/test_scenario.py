@@ -1,0 +1,111 @@
+"""Scenario description: validation, ordering, serialization, builders."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SerializationError, ValidationError
+from repro.faults import FaultEventSpec, FaultScenario, compose
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestFaultEventSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultEventSpec(at_s=1.0, kind="meteor_strike", server=0)
+
+    def test_server_kinds_need_a_server(self):
+        with pytest.raises(ValidationError):
+            FaultEventSpec(at_s=1.0, kind="server_crash")
+
+    def test_link_kinds_need_endpoints(self):
+        with pytest.raises(ValidationError):
+            FaultEventSpec(at_s=1.0, kind="link_degrade", u=3)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultEventSpec(at_s=-0.1, kind="server_crash", server=0)
+
+    def test_slowdown_needs_positive_factor(self):
+        with pytest.raises(ValidationError):
+            FaultEventSpec(at_s=1.0, kind="server_slowdown", server=0, factor=0.0)
+
+    def test_dict_round_trip_drops_defaults(self):
+        spec = FaultEventSpec(at_s=2.0, kind="server_crash", server=3)
+        payload = spec.to_dict()
+        assert payload == {"at_s": 2.0, "kind": "server_crash", "server": 3}
+        assert FaultEventSpec.from_dict(payload) == spec
+
+
+class TestFaultScenario:
+    def test_events_sorted_by_time(self):
+        scenario = FaultScenario(events=(
+            FaultEventSpec(at_s=9.0, kind="server_repair", server=0),
+            FaultEventSpec(at_s=3.0, kind="server_crash", server=0),
+        ))
+        assert [e.at_s for e in scenario.events] == [3.0, 9.0]
+        assert len(scenario) == 2
+
+    def test_json_round_trip(self):
+        scenario = FaultScenario.single_crash(2, at_s=10.0, repair_at_s=22.0)
+        assert FaultScenario.from_json(scenario.to_json()) == scenario
+
+    def test_file_round_trip(self, tmp_path):
+        scenario = FaultScenario(events=(
+            FaultEventSpec(at_s=8.0, kind="link_degrade", u=3, v=7,
+                           factor=0.1, extra_latency_s=0.02, jitter_s=0.005,
+                           duration_s=12.0),
+        ), name="degrade")
+        path = scenario.save(tmp_path / "s.json")
+        assert FaultScenario.load(path) == scenario
+
+    def test_invalid_json_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            FaultScenario.from_json("not json")
+        with pytest.raises(SerializationError):
+            FaultScenario.from_json('{"no_events": true}')
+
+    def test_shifted(self):
+        scenario = FaultScenario.single_crash(1, at_s=5.0, repair_at_s=9.0)
+        shifted = scenario.shifted(10.0)
+        assert [e.at_s for e in shifted.events] == [15.0, 19.0]
+        assert [e.kind for e in shifted.events] == [e.kind for e in scenario.events]
+
+    def test_compose_merges_and_sorts(self):
+        a = FaultScenario.single_crash(0, at_s=20.0)
+        b = FaultScenario.single_crash(1, at_s=5.0)
+        merged = compose(a, b, name="both")
+        assert merged.name == "both"
+        assert [e.at_s for e in merged.events] == [5.0, 20.0]
+
+    def test_single_crash_requires_repair_after_crash(self):
+        with pytest.raises(ValidationError):
+            FaultScenario.single_crash(0, at_s=10.0, repair_at_s=10.0)
+
+    def test_random_stays_within_horizon(self):
+        scenario = FaultScenario.random(n_servers=3, horizon_s=50.0, seed=1)
+        assert all(e.at_s < 50.0 for e in scenario.events)
+        crashes = [e for e in scenario.events if e.kind == "server_crash"]
+        repairs = [e for e in scenario.events if e.kind == "server_repair"]
+        assert len(repairs) <= len(crashes)
+
+    def test_random_slowdowns_present_when_enabled(self):
+        scenario = FaultScenario.random(
+            n_servers=4, horizon_s=400.0, seed=2,
+            crash_rate_hz=0.05, slowdown_prob=0.5,
+        )
+        kinds = {e.kind for e in scenario.events}
+        assert "server_slowdown" in kinds
+
+    def test_committed_example_scenario_loads(self):
+        scenario = FaultScenario.load(
+            REPO_ROOT / "examples" / "scenarios" / "crash_busiest.json"
+        )
+        kinds = [e.kind for e in scenario.events]
+        assert kinds == ["server_crash", "server_repair"]
+        crash, repair = scenario.events
+        assert repair.at_s > crash.at_s
+        assert crash.server == repair.server

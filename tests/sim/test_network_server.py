@@ -197,3 +197,158 @@ class TestEdgeServerQueue:
         server = EdgeServer(server_id=0, node_id=0, capacity=1.0)
         with pytest.raises(ValidationError):
             EdgeServerQueue(sim, server, rng=np.random.default_rng(0), service="psychic")
+
+
+class TestEdgeServerQueueLifecycle:
+    def make_queue(self, sim, crash_policy="drop", **hooks):
+        server = EdgeServer(server_id=0, node_id=0, capacity=100.0, service_rate=10.0)
+        return EdgeServerQueue(
+            sim, server, rng=np.random.default_rng(0), service="deterministic",
+            crash_policy=crash_policy, **hooks,
+        )
+
+    def test_crash_drop_loses_in_service_and_queued(self):
+        sim = Simulator()
+        failed, done = [], []
+        queue = self.make_queue(
+            sim,
+            on_failed=lambda t, reason: failed.append((t.task_id, reason)),
+            on_complete=lambda t: done.append(t.task_id),
+        )
+        for i in range(3):
+            queue.submit(make_task(task_id=i, compute=10.0))  # 1 s each
+        sim.schedule(0.5, queue.fail)
+        sim.run()
+        assert done == []
+        assert dict(failed) == {
+            0: "crashed_in_service", 1: "crashed_queued", 2: "crashed_queued"
+        }
+        assert not queue.is_up
+
+    def test_crash_requeue_serves_survivors_after_repair(self):
+        sim = Simulator()
+        failed, done = [], []
+        queue = self.make_queue(
+            sim, crash_policy="requeue",
+            on_failed=lambda t, reason: failed.append(t.task_id),
+            on_complete=lambda t: done.append(t.task_id),
+        )
+        for i in range(3):
+            queue.submit(make_task(task_id=i, compute=10.0))
+        sim.schedule(0.5, queue.fail)
+        sim.schedule(2.0, queue.recover)
+        sim.run()
+        assert failed == [0]  # only the in-service victim is lost
+        assert done == [1, 2]
+
+    def test_submissions_while_down_are_rejected(self):
+        sim = Simulator()
+        failed = []
+        queue = self.make_queue(
+            sim, on_failed=lambda t, reason: failed.append(reason)
+        )
+        queue.fail()
+        queue.submit(make_task())
+        assert failed == ["server_down"]
+        assert queue.tasks_rejected == 1
+
+    def test_busy_time_refunded_on_crash(self):
+        sim = Simulator()
+        queue = self.make_queue(sim)
+        queue.submit(make_task(compute=10.0))  # 1 s of work
+        sim.schedule(0.25, queue.fail)
+        sim.run()
+        assert queue.busy_time == pytest.approx(0.25)
+
+    def test_withdraw_queued_and_in_service(self):
+        sim = Simulator()
+        done = []
+        queue = self.make_queue(sim, on_complete=lambda t: done.append(t.task_id))
+        first = make_task(task_id=0, compute=10.0)
+        second = make_task(task_id=1, compute=10.0)
+        third = make_task(task_id=2, compute=10.0)
+        for task in (first, second, third):
+            queue.submit(task)
+        assert queue.withdraw(second) is True  # queued: plain removal
+        assert queue.withdraw(first) is True  # in service: event cancelled
+        assert queue.withdraw(first) is False  # already gone
+        sim.run()
+        assert done == [2]
+
+    def test_speed_factor_stretches_service(self):
+        sim = Simulator()
+        done = []
+        queue = self.make_queue(sim, on_complete=lambda t: done.append(sim.now))
+        queue.set_speed_factor(0.5)
+        queue.submit(make_task(compute=10.0))
+        sim.run()
+        assert done[0] == pytest.approx(2.0)  # 1 s nominal, halved speed
+
+    def test_admit_guard_drops_silently(self):
+        sim = Simulator()
+        done, failed = [], []
+        queue = self.make_queue(
+            sim,
+            on_complete=lambda t: done.append(t.task_id),
+            on_failed=lambda t, r: failed.append(t.task_id),
+        )
+        queue.bind(admit=lambda task: task.task_id != 1)
+        queue.submit(make_task(task_id=0))
+        stale = make_task(task_id=1)
+        queue.submit(stale)
+        sim.run()
+        assert done == [0] and failed == []
+        assert stale.arrived_at is None  # guard ran before any stamping
+
+    def test_unknown_crash_policy_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            self.make_queue(Simulator(), crash_policy="explode")
+
+
+class TestLinkDegradation:
+    def test_degraded_link_slows_and_jitters(self):
+        sim = Simulator()
+        link = Link(0, 1, latency_s=1e-3, bandwidth_bps=1e6)
+        port = LinkTransmitter(sim, link, rng=np.random.default_rng(0))
+        delivered = []
+        port.degrade(bandwidth_factor=0.5, extra_latency_s=2e-3)
+        port.send(make_task(size_bits=1e3), lambda t: delivered.append(sim.now))
+        sim.run()
+        # 2 ms transmission (halved bandwidth) + 1 ms latency + 2 ms extra
+        assert delivered[0] == pytest.approx(2e-3 + 1e-3 + 2e-3)
+        assert port.degraded
+        port.restore()
+        assert not port.degraded
+
+    def test_fabric_degrade_applies_to_lazy_transmitters(self):
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.IOT_DEVICE)
+        b = graph.add_node(NodeKind.EDGE_SERVER)
+        graph.add_link(a, b, latency_s=1e-3, bandwidth_bps=1e6)
+        sim = Simulator()
+        fabric = NetworkFabric(sim, graph, rng=np.random.default_rng(0))
+        # degrade before the first packet ever creates the transmitter
+        fabric.degrade_link(a, b, bandwidth_factor=0.5)
+        assert fabric.degraded_links() == [(a, b), (b, a)]
+        arrivals = []
+        fabric.forward(
+            make_task(size_bits=1e3), Path((a, b), 0.0),
+            lambda t: arrivals.append(sim.now),
+        )
+        sim.run()
+        assert arrivals[0] == pytest.approx(2e-3 + 1e-3)
+        fabric.restore_link(a, b)
+        assert fabric.degraded_links() == []
+
+    def test_degrading_missing_link_rejected(self):
+        from repro.errors import TopologyError
+
+        graph = NetworkGraph()
+        a = graph.add_node(NodeKind.IOT_DEVICE)
+        b = graph.add_node(NodeKind.EDGE_SERVER)
+        graph.add_link(a, b, latency_s=1e-3, bandwidth_bps=1e6)
+        fabric = NetworkFabric(Simulator(), graph)
+        with pytest.raises(TopologyError):
+            fabric.degrade_link(a, 99)

@@ -1,0 +1,98 @@
+"""Tests for the budgeted fallback chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import degraded_problem
+from repro.errors import SolverError, ValidationError
+from repro.solvers.registry import available_solvers, get_solver
+from repro.solvers.resilient import ResilientSolver
+
+
+class TestResilientSolver:
+    def test_registered(self):
+        assert "resilient" in available_solvers()
+        assert isinstance(get_solver("resilient"), ResilientSolver)
+
+    def test_first_member_wins_on_easy_instance(self, small_problem):
+        solver = ResilientSolver(chain=("greedy", "random"), seed=1)
+        result = solver.solve(small_problem)
+        assert result.feasible
+        assert result.extra["winner"] == "greedy"
+        assert result.extra["fallbacks"] == 0
+        assert result.extra["attempts"] == {"greedy": "ok"}
+
+    def test_zero_budget_falls_to_safety_net(self, small_problem):
+        solver = ResilientSolver(chain=("greedy",), budget_s=1e-12, seed=1)
+        result = solver.solve(small_problem)  # must not raise
+        assert result.extra["winner"] == "nearest_net"
+        assert result.extra["attempts"] == {"greedy": "skipped:budget"}
+        assert result.assignment.is_complete
+        # nearest-server: every device on its min-delay column
+        expected = np.argmin(small_problem.delay, axis=1)
+        assert np.array_equal(result.assignment.vector, expected)
+
+    def test_member_error_is_contained(self, small_problem, monkeypatch):
+        import repro.solvers.registry as registry
+
+        real_get_solver = registry.get_solver
+
+        class Exploding:
+            def solve(self, problem):
+                raise SolverError("boom")
+
+        def patched(name, **kwargs):
+            if name == "random":
+                return Exploding()
+            return real_get_solver(name, **kwargs)
+
+        monkeypatch.setattr(registry, "get_solver", patched)
+        solver = ResilientSolver(chain=("random", "greedy"), seed=1)
+        result = solver.solve(small_problem)
+        assert result.feasible
+        assert result.extra["winner"] == "greedy"
+        assert result.extra["attempts"]["random"] == "error:SolverError"
+
+    def test_infeasible_member_falls_through(self, tight_problem):
+        # the capacity-blind strawman overloads on a tight instance;
+        # the chain recovers with a capacity-aware member
+        assert not get_solver("nearest").solve(tight_problem).feasible
+        solver = ResilientSolver(chain=("nearest", "greedy"), seed=3)
+        result = solver.solve(tight_problem)
+        assert result.extra["attempts"]["nearest"] == "infeasible"
+        assert result.extra["winner"] in ("greedy", "nearest_net")
+
+    def test_never_raises_on_infeasible_degraded_input(self, small_problem):
+        # fail all but one server: nothing fits, every member is
+        # infeasible, yet solve() still returns a complete vector
+        degraded = degraded_problem(small_problem, {1, 2})
+        solver = ResilientSolver(chain=("greedy",), seed=2)
+        result = solver.solve(degraded)
+        assert result.assignment.is_complete
+        if result.extra["winner"] == "nearest_net":
+            # the net respects the failure mask even when capacity can't
+            assert set(result.assignment.vector.tolist()) == {0}
+
+    def test_safety_net_avoids_failed_servers(self):
+        from repro.model.problem import AssignmentProblem
+
+        delay = np.array([[0.001, 0.010], [0.001, 0.020]])
+        demand = np.full((2, 2), 10.0)
+        problem = AssignmentProblem(
+            delay=delay, demand=demand, capacity=np.array([0.0, 1.0]),
+            failed_servers=frozenset({0}),
+        )
+        result = ResilientSolver(chain=("greedy",), budget_s=1e-12).solve(problem)
+        # server 0 is closest but failed; the net must route around it
+        assert set(result.assignment.vector.tolist()) == {1}
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValidationError):
+            ResilientSolver(chain=())
+
+    def test_deterministic(self, small_problem):
+        a = ResilientSolver(chain=("greedy", "lns"), seed=5).solve(small_problem)
+        b = ResilientSolver(chain=("greedy", "lns"), seed=5).solve(small_problem)
+        assert np.array_equal(a.assignment.vector, b.assignment.vector)

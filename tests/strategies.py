@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import strategies as st
 
+from repro.faults.policies import RetryPolicy
 from repro.model.instances import ensure_feasible_capacity
 from repro.model.problem import AssignmentProblem
 
@@ -36,6 +37,22 @@ def small_problems(
     if force_feasible:
         ensure_feasible_capacity(problem)
     return problem
+
+
+@st.composite
+def retry_policies(draw):
+    """Valid :class:`RetryPolicy` instances across the whole knob space."""
+    jitter = draw(st.floats(min_value=0.0, max_value=1.0))
+    return RetryPolicy(
+        max_retries=draw(st.integers(min_value=0, max_value=10)),
+        timeout_s=draw(st.floats(min_value=1e-3, max_value=5.0)),
+        base_delay_s=draw(st.floats(min_value=1e-4, max_value=0.5)),
+        # monotone growth needs multiplier >= 1 + jitter (enforced by the
+        # policy itself); draw from the valid region only
+        multiplier=draw(st.floats(min_value=1.0 + jitter, max_value=8.0)),
+        max_delay_s=draw(st.floats(min_value=0.5, max_value=30.0)),
+        jitter=jitter,
+    )
 
 
 @st.composite
