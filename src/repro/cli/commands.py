@@ -23,6 +23,31 @@ from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
 
 
+def _engine_options(args):
+    """EngineOptions from the --jobs/--cache-dir/--no-cache flags.
+
+    Returns ``None`` when the flags ask for the historical behavior
+    (one in-process worker, no cache) so those invocations skip the
+    engine report line entirely.
+    """
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    no_cache = getattr(args, "no_cache", False)
+    if jobs == 1 and (cache_dir is None or no_cache):
+        return None
+    from repro.engine import EngineOptions
+
+    return EngineOptions(jobs=jobs, cache_dir=cache_dir, no_cache=no_cache)
+
+
+def _print_engine_report(engine) -> None:
+    """Echo the engine summary (worker/cache stats) to stderr."""
+    if engine is not None:
+        from repro.engine import print_report
+
+        print_report(engine)
+
+
 def _rl_kwargs(args) -> dict:
     """Optional solver overrides available on the command line."""
     kwargs = {}
@@ -96,23 +121,50 @@ def cmd_solve(args) -> int:
     return 0 if result.feasible else 2
 
 
+def compare_cell(params: dict, seed: int) -> list[dict]:
+    """One solver on one serialized instance — the ``compare`` engine cell."""
+    problem = AssignmentProblem.from_json(params["instance_json"])
+    solver = get_solver(params["solver"], seed=seed)
+    result = solver.solve(problem)
+    return [
+        {
+            "solver": params["solver"],
+            "total_delay_ms": float(result.objective_value * 1e3),
+            "feasible": bool(result.feasible),
+            "runtime_s": float(result.runtime_s),
+        }
+    ]
+
+
 def cmd_compare(args) -> int:
     """Run several solvers on one instance and print the comparison."""
-    problem = _load_problem(args.instance)
+    from repro.engine import JobSpec, run_jobs
+
+    instance_json = Path(args.instance).read_text(encoding="utf-8")
     names = [name.strip() for name in args.solvers.split(",") if name.strip()]
     unknown = sorted(set(names) - set(available_solvers()))
     if unknown:
         print(f"error: unknown solvers {unknown}")
         return 1
-    rows = []
-    for name in names:
-        solver = get_solver(name, seed=derive_seed(args.seed, name))
-        result = solver.solve(problem)
-        rows.append(
-            [name, result.objective_value * 1e3, result.feasible, result.runtime_s]
+    engine = _engine_options(args)
+    specs = [
+        JobSpec(
+            experiment="compare",
+            fn="repro.cli.commands:compare_cell",
+            params={"solver": name, "instance_json": instance_json},
+            seed=derive_seed(args.seed, name),
+            label=f"compare {name}",
         )
+        for name in names
+    ]
+    rows = [
+        [cell["solver"], cell["total_delay_ms"], cell["feasible"], cell["runtime_s"]]
+        for job_rows in run_jobs(specs, engine)
+        for cell in job_rows
+    ]
     rows.sort(key=lambda r: r[1])
     print(format_table(["solver", "total delay (ms)", "feasible", "runtime (s)"], rows))
+    _print_engine_report(engine)
     return 0
 
 
@@ -211,8 +263,10 @@ def cmd_experiment(args) -> int:
     module = importlib.import_module(
         f"repro.experiments.{_EXPERIMENT_MODULES[args.name]}"
     )
-    table = module.run(args.scale, seed=args.seed)
+    engine = _engine_options(args)
+    table = module.run(args.scale, seed=args.seed, engine=engine)
     print(table.to_text())
+    _print_engine_report(engine)
     if args.json:
         table.save_json(args.json)
         print(f"\ndata written to {args.json}")

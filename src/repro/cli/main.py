@@ -34,6 +34,28 @@ def build_parser() -> argparse.ArgumentParser:
             "(render it with `repro obs PATH`)",
         )
 
+    def add_engine_flags(subparser) -> None:
+        """Sweep-shaped commands can fan out on the execution engine."""
+        subparser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for sweep cells (default: 1 = serial)",
+        )
+        subparser.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="content-addressed result cache directory; re-runs with "
+            "identical parameters are answered from disk (off unless set)",
+        )
+        subparser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore --cache-dir: recompute every cell and write nothing",
+        )
+
     generate = sub.add_parser("generate", help="generate an instance JSON")
     generate.add_argument("--output", required=True, help="path for the instance JSON")
     generate.add_argument(
@@ -78,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--seed", type=int, default=0)
     add_obs_flag(compare)
+    add_engine_flags(compare)
     compare.set_defaults(handler=commands.cmd_compare)
 
     simulate = sub.add_parser(
@@ -124,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--json", default=None, help="also save the table here")
     add_obs_flag(experiment)
+    add_engine_flags(experiment)
     experiment.set_defaults(handler=commands.cmd_experiment)
 
     obs = sub.add_parser(

@@ -1,0 +1,56 @@
+"""repro.engine — parallel sweep execution with content-addressed caching.
+
+Every experiment's sweep grid compiles into a list of deterministic
+:class:`JobSpec` cells; the engine runs them on a bounded
+``multiprocessing`` pool with per-job timeouts, memoizes each cell's
+rows in an on-disk content-addressed cache, and returns results in
+spec order — so serial, parallel, and cached executions of the same
+grid produce identical tables.
+
+Typical use (the harness does this for every experiment)::
+
+    from repro.engine import EngineOptions, JobSpec, run_jobs
+
+    specs = [
+        JobSpec("f2", "repro.experiments.f2_devices:cell", params, seed)
+        for params, seed in grid
+    ]
+    rows_per_job = run_jobs(specs, EngineOptions(jobs=4, cache_dir=".repro-cache"))
+
+See docs/engine.md for the job model, the cache-key definition and
+the invalidation rules.
+"""
+
+from repro.engine.cache import CacheStats, NullCache, ResultCache
+from repro.engine.hashing import (
+    CACHE_SCHEMA_VERSION,
+    canonical_json,
+    code_fingerprint,
+    job_key,
+    sha256_hex,
+)
+from repro.engine.jobspec import JobSpec, execute_spec, normalize_rows
+from repro.engine.pool import JobOutcome, run_jobs_pooled
+from repro.engine.progress import ProgressReporter
+from repro.engine.runner import EngineOptions, EngineReport, print_report, run_jobs
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "EngineOptions",
+    "EngineReport",
+    "JobOutcome",
+    "JobSpec",
+    "NullCache",
+    "ProgressReporter",
+    "ResultCache",
+    "canonical_json",
+    "code_fingerprint",
+    "execute_spec",
+    "job_key",
+    "normalize_rows",
+    "print_report",
+    "run_jobs",
+    "run_jobs_pooled",
+    "sha256_hex",
+]

@@ -1,0 +1,140 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<cache_dir>/<key[:2]>/<key>.json`` — one JSON document per
+job, sharded by key prefix so a full-scale sweep does not pile tens of
+thousands of files into one directory.  Each entry embeds a SHA-256
+checksum of its canonical row payload; :meth:`ResultCache.get`
+re-verifies it (plus basic structure) on every read, so a truncated,
+corrupted, or hand-edited entry is treated as a miss and recomputed —
+never returned.
+
+Writes go through :func:`repro.utils.fileio.atomic_write_text`, so an
+interrupted sweep leaves either a complete entry or none at all, and
+concurrent workers writing the same key are safe (last replace wins;
+both wrote identical content by construction).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.hashing import canonical_json, code_fingerprint, sha256_hex
+from repro.engine.jobspec import JobSpec
+from repro.utils.fileio import atomic_write_text
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one engine run."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Return lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of job row payloads."""
+
+    root: Path
+    fingerprint: str = field(default_factory=code_fingerprint)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Entry path of one cache key."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "list[dict] | None":
+        """Verified rows for ``key``, or ``None`` (miss or corruption).
+
+        A malformed entry — unreadable JSON, missing fields, checksum
+        mismatch — counts as both ``corrupt`` and a miss, and the
+        caller recomputes; the bad file is removed so the recomputed
+        entry replaces it.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        rows = payload.get("rows") if isinstance(payload, dict) else None
+        checksum = payload.get("rows_sha256") if isinstance(payload, dict) else None
+        if (
+            not isinstance(rows, list)
+            or not isinstance(checksum, str)
+            or sha256_hex(canonical_json(rows)) != checksum
+        ):
+            self._quarantine(path)
+            return None
+        self.stats.hits += 1
+        return rows
+
+    def put(self, key: str, spec: JobSpec, rows: "list[dict]") -> Path:
+        """Persist one job's rows atomically; returns the entry path."""
+        entry = {
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "experiment": spec.experiment,
+            "fn": spec.fn,
+            "params": spec.params,
+            "seed": int(spec.seed),
+            "rows": rows,
+            "rows_sha256": sha256_hex(canonical_json(rows)),
+        }
+        self.stats.writes += 1
+        return atomic_write_text(self.path_for(key), json.dumps(entry, indent=1))
+
+    def _quarantine(self, path: Path) -> None:
+        """Drop a corrupt entry and account for it."""
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass  # unreadable *and* undeletable: the atomic replace on put() wins
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+class NullCache:
+    """The disabled cache: every lookup misses, writes vanish."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> None:
+        """Always a miss."""
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, spec: JobSpec, rows: "list[dict]") -> None:
+        """No-op."""
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,80 @@
+"""Stable content hashing for cache keys.
+
+A cache entry may only be reused when *everything* that determines a
+job's rows is unchanged: the cell parameters, the seed, the cell
+function's identity, and the code generation that produced it.  All of
+that is folded into one SHA-256 over a canonical JSON encoding —
+sorted keys, fixed separators, NaN/Infinity spelled out — so the key
+is independent of dict insertion order, process, platform, and Python
+version.
+
+Code changes are captured by :func:`code_fingerprint`: the package
+version plus a cache-schema epoch that engine maintainers bump when
+the row payload format changes.  Bumping either invalidates every
+prior entry at once — coarse, but sound; see docs/engine.md for the
+invalidation rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+import repro
+from repro.engine.jobspec import JobSpec
+from repro.errors import EngineError
+
+#: bump to invalidate every existing cache entry (payload format changes)
+CACHE_SCHEMA_VERSION = 1
+
+
+def _canonical(value):
+    """JSON-encodable form with deterministic float spelling."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {"__float__": "nan"}
+        if math.isinf(value):
+            return {"__float__": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, dict):
+        return {str(key): _canonical(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, bool, int)) or value is None:
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return _canonical(value.item())
+    raise EngineError(f"value of type {type(value).__name__} is not hashable as JSON")
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace, tagged NaN."""
+    return json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def sha256_hex(text: str) -> str:
+    """SHA-256 hex digest of ``text`` (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def code_fingerprint() -> str:
+    """The code generation cached rows belong to."""
+    return f"repro-{repro.__version__}/cache-v{CACHE_SCHEMA_VERSION}"
+
+
+def job_key(spec: JobSpec, fingerprint: "str | None" = None) -> str:
+    """Content-addressed cache key of one job.
+
+    Covers the code fingerprint, experiment name, cell function path,
+    full parameter dict (solver names and kwargs included — they live
+    in ``params``), and the derived seed.  Excludes the display label.
+    """
+    payload = {
+        "fingerprint": fingerprint or code_fingerprint(),
+        "experiment": spec.experiment,
+        "fn": spec.fn,
+        "params": spec.params,
+        "seed": int(spec.seed),
+    }
+    return sha256_hex(canonical_json(payload))

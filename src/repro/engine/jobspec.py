@@ -1,0 +1,108 @@
+"""The unit of work the engine schedules: one deterministic job.
+
+A :class:`JobSpec` names a *cell function* — a module-level callable
+``cell(params, seed) -> list[dict]`` — plus the JSON-serializable
+parameters and the derived seed it runs with.  Because the spec is
+pure data, it can be pickled to a worker process, hashed into a cache
+key, and re-created bit-for-bit by a later run of the same sweep.
+
+Cell functions must be importable top-level callables (workers resolve
+them by dotted path) and must derive *all* randomness from the spec's
+seed; nothing else about the process may influence the rows they
+return.
+"""
+
+from __future__ import annotations
+
+import importlib
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import EngineError
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable cell of a sweep grid.
+
+    ``fn`` is a ``"package.module:callable"`` path; ``params`` is the
+    cell's full parameter dict (everything the cell needs — workers
+    never read global experiment configs, so monkeypatched or
+    programmatic grids parallelize correctly); ``seed`` is the cell's
+    derived seed.  ``label`` is only for progress/error reporting and
+    is excluded from the cache key.
+    """
+
+    experiment: str
+    fn: str
+    params: dict = field(default_factory=dict)
+    seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        require(
+            isinstance(self.fn, str) and ":" in self.fn,
+            f"fn must be a 'module:callable' path, got {self.fn!r}",
+        )
+        require(isinstance(self.params, dict), "params must be a dict")
+
+    def resolve(self) -> Callable:
+        """Import and return the cell callable this spec names."""
+        module_name, _, attr = self.fn.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+            fn = getattr(module, attr)
+        except (ImportError, AttributeError) as exc:
+            raise EngineError(f"cannot resolve job fn {self.fn!r}: {exc}") from exc
+        if not callable(fn):
+            raise EngineError(f"job fn {self.fn!r} is not callable")
+        return fn
+
+    def describe(self) -> str:
+        """Short human-readable identity for progress and errors."""
+        return self.label or f"{self.experiment}:{self.fn.partition(':')[0]}"
+
+
+def normalize_value(value):
+    """Coerce one cell-row value to a plain JSON-serializable scalar.
+
+    NumPy scalars become native Python numbers via ``.item()``; lists
+    and tuples normalize element-wise (tuples become lists, matching
+    what a JSON round-trip through the cache would produce anyway).
+    This runs on *every* execution path — serial, pooled, cached — so
+    fresh rows and cache-loaded rows are indistinguishable.
+    """
+    # .item() first: numpy scalars subclass int/float and would otherwise
+    # pass the isinstance check below without losing their numpy type
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return normalize_value(value.item())
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [normalize_value(item) for item in value]
+    raise EngineError(
+        f"cell rows must hold JSON-serializable scalars, got {type(value).__name__}"
+    )
+
+
+def normalize_rows(rows) -> "list[dict]":
+    """Validate and canonicalize a cell function's return value."""
+    require(isinstance(rows, list), "cell functions must return a list of row dicts")
+    out = []
+    for row in rows:
+        require(isinstance(row, dict), "cell rows must be dicts")
+        out.append({str(key): normalize_value(value) for key, value in row.items()})
+    return out
+
+
+def execute_spec(spec: JobSpec) -> "list[dict]":
+    """Run one job in the current process and normalize its rows."""
+    return normalize_rows(spec.resolve()(dict(spec.params), spec.seed))
+
+
+def finite_or_nan(value: float) -> float:
+    """The harness idiom ``x if math.isfinite(x) else nan`` as a helper."""
+    value = float(value)
+    return value if math.isfinite(value) else math.nan

@@ -1,0 +1,54 @@
+"""Rate-limited progress line for long sweeps.
+
+The engine reports to stderr (tables go to stdout; keeping the
+channels separate means ``repro experiment f2 --jobs 4 > table.txt``
+still shows progress).  Updates are throttled to one line per
+``min_interval_s`` plus a final summary, so a thousand-job sweep does
+not flood a CI log.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Prints ``engine: done/total (cached C, failed F) elapsed``."""
+
+    def __init__(
+        self,
+        total: int,
+        enabled: bool = True,
+        stream=None,
+        min_interval_s: float = 0.5,
+    ) -> None:
+        self.total = total
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._started = time.monotonic()
+        self._last_emit = 0.0
+
+    def update(self, cached: bool = False, failed: bool = False) -> None:
+        """Record one finished job and maybe emit a line."""
+        self.done += 1
+        self.cached += int(cached)
+        self.failed += int(failed)
+        now = time.monotonic()
+        if self.done == self.total or now - self._last_emit >= self.min_interval_s:
+            self._last_emit = now
+            self._emit()
+
+    def _emit(self) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self._started
+        print(
+            f"engine: {self.done}/{self.total} jobs "
+            f"(cached {self.cached}, failed {self.failed}) {elapsed:.1f}s",
+            file=self.stream,
+        )

@@ -1,0 +1,53 @@
+"""Synthetic cell functions for engine benchmarks and tests.
+
+Real solver cells conflate engine behavior with solver behavior; these
+cells isolate the engine.  ``latency_cell`` models a latency-bound job
+(a measurement probe, a remote call) — it sleeps, so a worker pool
+overlaps the waits and shows its concurrency even on a single core.
+``cpu_cell`` burns deterministic arithmetic, so pool speedup tracks
+the machine's truly available cores.  ``failing_cell`` and the row
+payloads are deterministic in (params, seed), making all of them
+cacheable like any experiment cell.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.rng import derive_seed
+
+
+def latency_cell(params: dict, seed: int) -> "list[dict]":
+    """Sleep ``sleep_s`` and return one deterministic row."""
+    sleep_s = float(params.get("sleep_s", 0.05))
+    time.sleep(sleep_s)
+    return [
+        {
+            "cell": int(params.get("cell", 0)),
+            "seed": int(seed),
+            "value": float(derive_seed(seed, "latency") % 1000) / 1000.0,
+        }
+    ]
+
+
+def cpu_cell(params: dict, seed: int) -> "list[dict]":
+    """Burn ``iterations`` of integer arithmetic; deterministic result."""
+    iterations = int(params.get("iterations", 200_000))
+    accumulator = derive_seed(seed, "cpu") & 0xFFFF
+    for i in range(iterations):
+        accumulator = (accumulator * 1103515245 + 12345 + i) & 0x7FFFFFFF
+    return [
+        {
+            "cell": int(params.get("cell", 0)),
+            "seed": int(seed),
+            "value": float(accumulator % 1000) / 1000.0,
+        }
+    ]
+
+
+def failing_cell(params: dict, seed: int) -> "list[dict]":
+    """Raise (or loop past any timeout) — the error-path test fixture."""
+    if params.get("hang_s"):
+        time.sleep(float(params["hang_s"]))
+        return [{"cell": 0, "seed": int(seed), "value": 0.0}]
+    raise RuntimeError(f"synthetic failure (seed {seed})")

@@ -64,5 +64,17 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an invalid state."""
 
 
+class EngineError(ReproError):
+    """The sweep execution engine failed to run a job set.
+
+    Raised when jobs crash or time out (the message lists every failed
+    job), or when an engine configuration is invalid.
+    """
+
+
+class JobTimeoutError(EngineError):
+    """A single job exceeded its per-job timeout."""
+
+
 class SerializationError(ReproError):
     """A problem/solution/trace could not be (de)serialized."""

@@ -10,40 +10,69 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import FIGURE_SOLVERS, get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.utils.rng import derive_seed
 
+COLUMNS = ["n_devices", "solver", "total_delay_ms", "feasible"]
+TITLE = "F2: total delay vs number of IoT devices"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated (n_devices, solver) → delay series."""
-    config = get_config("f2", scale)
-    raw = ResultTable(
-        ["n_devices", "solver", "total_delay_ms", "feasible"],
-        title="F2: total delay vs number of IoT devices",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one (n_devices, repeat) cell — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=0.75,
+        seed=seed,
     )
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    rows = []
+    for name, result in results.items():
+        value = result.objective_value * 1e3
+        rows.append(
+            {
+                "n_devices": params["n_devices"],
+                "solver": name,
+                "total_delay_ms": value if math.isfinite(value) else math.nan,
+                "feasible": bool(result.feasible),
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("f2", scale)
+    specs = []
     for n_devices in config.params["n_devices"]:
         for repeat in range(config.repeats):
-            cell_seed = derive_seed(seed, "f2", n_devices, repeat)
-            problem = topology_instance(
-                n_routers=config.params["n_routers"],
-                n_devices=n_devices,
-                n_servers=config.params["n_servers"],
-                tightness=0.75,
-                seed=cell_seed,
-            )
-            results = run_solver_field(
-                problem, FIGURE_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
-            )
-            for name, result in results.items():
-                value = result.objective_value * 1e3
-                raw.add_row(
-                    n_devices=n_devices,
-                    solver=name,
-                    total_delay_ms=value if math.isfinite(value) else math.nan,
-                    feasible=result.feasible,
+            specs.append(
+                JobSpec(
+                    experiment="f2",
+                    fn="repro.experiments.f2_devices:cell",
+                    params={
+                        "n_devices": n_devices,
+                        "n_servers": config.params["n_servers"],
+                        "n_routers": config.params["n_routers"],
+                        "solvers": list(FIGURE_SOLVERS),
+                        "solver_kwargs": config.solver_kwargs,
+                    },
+                    seed=derive_seed(seed, "f2", n_devices, repeat),
+                    label=f"f2 n_devices={n_devices} repeat={repeat}",
                 )
+            )
+    return specs
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated (n_devices, solver) → delay series."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["n_devices", "solver"], ["total_delay_ms"])
 
 

@@ -10,40 +10,69 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import FIGURE_SOLVERS, get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.utils.rng import derive_seed
 
+COLUMNS = ["n_servers", "solver", "total_delay_ms", "feasible"]
+TITLE = "F3: total delay vs number of edge servers"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated (n_servers, solver) → delay series."""
-    config = get_config("f3", scale)
-    raw = ResultTable(
-        ["n_servers", "solver", "total_delay_ms", "feasible"],
-        title="F3: total delay vs number of edge servers",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one (n_servers, repeat) cell — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=0.75,
+        seed=seed,
     )
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    rows = []
+    for name, result in results.items():
+        value = result.objective_value * 1e3
+        rows.append(
+            {
+                "n_servers": params["n_servers"],
+                "solver": name,
+                "total_delay_ms": value if math.isfinite(value) else math.nan,
+                "feasible": bool(result.feasible),
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("f3", scale)
+    specs = []
     for n_servers in config.params["n_servers"]:
         for repeat in range(config.repeats):
-            cell_seed = derive_seed(seed, "f3", n_servers, repeat)
-            problem = topology_instance(
-                n_routers=config.params["n_routers"],
-                n_devices=config.params["n_devices"],
-                n_servers=n_servers,
-                tightness=0.75,
-                seed=cell_seed,
-            )
-            results = run_solver_field(
-                problem, FIGURE_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
-            )
-            for name, result in results.items():
-                value = result.objective_value * 1e3
-                raw.add_row(
-                    n_servers=n_servers,
-                    solver=name,
-                    total_delay_ms=value if math.isfinite(value) else math.nan,
-                    feasible=result.feasible,
+            specs.append(
+                JobSpec(
+                    experiment="f3",
+                    fn="repro.experiments.f3_servers:cell",
+                    params={
+                        "n_servers": n_servers,
+                        "n_devices": config.params["n_devices"],
+                        "n_routers": config.params["n_routers"],
+                        "solvers": list(FIGURE_SOLVERS),
+                        "solver_kwargs": config.solver_kwargs,
+                    },
+                    seed=derive_seed(seed, "f3", n_servers, repeat),
+                    label=f"f3 n_servers={n_servers} repeat={repeat}",
                 )
+            )
+    return specs
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated (n_servers, solver) → delay series."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["n_servers", "solver"], ["total_delay_ms"])
 
 

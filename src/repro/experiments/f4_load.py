@@ -12,43 +12,71 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import FIGURE_SOLVERS, get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.utils.rng import derive_seed
 
 #: the strawman is the point of this figure, so add it to the field
 F4_SOLVERS = ["nearest"] + FIGURE_SOLVERS
 
+COLUMNS = ["solver", "max_utilization", "overloaded_servers", "utilization_spread", "feasible"]
+TITLE = "F4: load distribution and overload safety"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated per-solver load-safety table."""
-    config = get_config("f4", scale)
-    raw = ResultTable(
-        ["solver", "max_utilization", "overloaded_servers", "utilization_spread", "feasible"],
-        title="F4: load distribution and overload safety",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        seed=seed,
     )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "f4", repeat)
-        problem = topology_instance(
-            n_routers=config.params["n_routers"],
-            n_devices=config.params["n_devices"],
-            n_servers=config.params["n_servers"],
-            tightness=config.params["tightness"],
-            seed=cell_seed,
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    rows = []
+    for name, result in results.items():
+        utilization = result.assignment.utilization()
+        rows.append(
+            {
+                "solver": name,
+                "max_utilization": float(np.max(utilization)),
+                "overloaded_servers": float(len(result.assignment.overloaded_servers())),
+                "utilization_spread": float(np.max(utilization) - np.min(utilization)),
+                "feasible": bool(result.feasible),
+            }
         )
-        results = run_solver_field(
-            problem, F4_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("f4", scale)
+    return [
+        JobSpec(
+            experiment="f4",
+            fn="repro.experiments.f4_load:cell",
+            params={
+                "n_routers": config.params["n_routers"],
+                "n_devices": config.params["n_devices"],
+                "n_servers": config.params["n_servers"],
+                "tightness": config.params["tightness"],
+                "solvers": list(F4_SOLVERS),
+                "solver_kwargs": config.solver_kwargs,
+            },
+            seed=derive_seed(seed, "f4", repeat),
+            label=f"f4 repeat={repeat}",
         )
-        for name, result in results.items():
-            utilization = result.assignment.utilization()
-            raw.add_row(
-                solver=name,
-                max_utilization=float(np.max(utilization)),
-                overloaded_servers=float(len(result.assignment.overloaded_servers())),
-                utilization_spread=float(np.max(utilization) - np.min(utilization)),
-                feasible=result.feasible,
-            )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated per-solver load-safety table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(
         ["solver"], ["max_utilization", "overloaded_servers", "utilization_spread"]
     )

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.sim.runner import simulate_assignment
 from repro.utils.rng import derive_seed
@@ -22,53 +23,82 @@ from repro.utils.rng import derive_seed
 #: simulation is the expensive part, so the field is kept small
 F5_SOLVERS = ["random", "greedy", "lp_rounding", "tacc"]
 
+COLUMNS = [
+    "rate_scale",
+    "solver",
+    "mean_network_latency_ms",
+    "p99_total_latency_ms",
+    "deadline_miss_rate",
+]
+TITLE = "F5: measured latency and deadline misses vs arrival rate"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated (rate_scale, solver) → measured metrics table."""
-    config = get_config("f5", scale)
-    params = config.params
-    raw = ResultTable(
-        [
-            "rate_scale",
-            "solver",
-            "mean_network_latency_ms",
-            "p99_total_latency_ms",
-            "deadline_miss_rate",
-        ],
-        title="F5: measured latency and deadline misses vs arrival rate",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (all rate scales) — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=0.75,
+        seed=seed,
+        deadline_s=params["deadline_s"],
     )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "f5", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=0.75,
-            seed=cell_seed,
-            deadline_s=params["deadline_s"],
-        )
-        results = run_solver_field(
-            problem, F5_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
-        )
-        for rate_scale in params["rate_scales"]:
-            for name, result in results.items():
-                if not result.assignment.is_complete:
-                    continue
-                report = simulate_assignment(
-                    result.assignment,
-                    duration_s=params["duration_s"],
-                    seed=derive_seed(cell_seed, "sim", name, str(rate_scale)),
-                    rate_scale=rate_scale,
-                )
-                raw.add_row(
-                    rate_scale=rate_scale,
-                    solver=name,
-                    mean_network_latency_ms=report.mean_network_latency_ms,
-                    p99_total_latency_ms=report.p99_total_latency_ms,
-                    deadline_miss_rate=report.deadline_miss_rate
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    rows = []
+    for rate_scale in params["rate_scales"]:
+        for name, result in results.items():
+            if not result.assignment.is_complete:
+                continue
+            report = simulate_assignment(
+                result.assignment,
+                duration_s=params["duration_s"],
+                seed=derive_seed(seed, "sim", name, str(rate_scale)),
+                rate_scale=rate_scale,
+            )
+            rows.append(
+                {
+                    "rate_scale": rate_scale,
+                    "solver": name,
+                    "mean_network_latency_ms": report.mean_network_latency_ms,
+                    "p99_total_latency_ms": report.p99_total_latency_ms,
+                    "deadline_miss_rate": report.deadline_miss_rate
                     if report.deadline_miss_rate is not None
                     else math.nan,
-                )
+                }
+            )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("f5", scale)
+    params = config.params
+    return [
+        JobSpec(
+            experiment="f5",
+            fn="repro.experiments.f5_deadline:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "deadline_s": params["deadline_s"],
+                "duration_s": params["duration_s"],
+                "rate_scales": list(params["rate_scales"]),
+                "solvers": list(F5_SOLVERS),
+                "solver_kwargs": config.solver_kwargs,
+            },
+            seed=derive_seed(seed, "f5", repeat),
+            label=f"f5 repeat={repeat}",
+        )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated (rate_scale, solver) → measured metrics table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(
         ["rate_scale", "solver"],
         ["mean_network_latency_ms", "p99_total_latency_ms", "deadline_miss_rate"],

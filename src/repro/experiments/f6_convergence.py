@@ -13,8 +13,9 @@ import math
 
 import numpy as np
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, run_sweep
 from repro.model.instances import topology_instance
 from repro.solvers.lp import lp_lower_bound
 from repro.solvers.registry import get_solver
@@ -22,6 +23,9 @@ from repro.utils.rng import derive_seed
 
 #: number of sample points taken from each training curve
 CURVE_POINTS = 20
+
+COLUMNS = ["solver", "episode", "best_cost_ms"]
+TITLE = "F6: RL convergence (best feasible episode cost)"
 
 
 def best_so_far(episode_costs: list[float]) -> np.ndarray:
@@ -35,53 +39,76 @@ def best_so_far(episode_costs: list[float]) -> np.ndarray:
     return curve
 
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (all solvers + references) — engine entry point."""
+    episodes = params["episodes"]
+    sample_points = np.unique(
+        np.linspace(1, episodes, params["curve_points"]).astype(int)
+    )
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=0.8,
+        seed=seed,
+    )
+    references = {"lp_bound": lp_lower_bound(problem)}
+    exact = get_solver("branch_and_bound", node_budget=1_500_000).solve(problem)
+    if exact.feasible and exact.extra.get("optimal"):
+        references["optimum"] = exact.objective_value
+    rows = []
+    for name in ("qlearning", "sarsa", "tacc", "bandit"):
+        kwargs = {"episodes": episodes} if name != "bandit" else {"rounds": episodes}
+        solver = get_solver(name, seed=derive_seed(seed, name), **kwargs)
+        result = solver.solve(problem)
+        curve = best_so_far(result.extra.get("episode_costs", []))
+        for episode in sample_points:
+            if episode - 1 < curve.size:
+                value = curve[episode - 1] * 1e3
+                rows.append(
+                    {
+                        "solver": name,
+                        "episode": int(episode),
+                        "best_cost_ms": float(value) if math.isfinite(value) else math.nan,
+                    }
+                )
+    for ref_name, ref_value in references.items():
+        for episode in sample_points:
+            rows.append(
+                {"solver": ref_name, "episode": int(episode), "best_cost_ms": ref_value * 1e3}
+            )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("f6", scale)
+    params = config.params
+    return [
+        JobSpec(
+            experiment="f6",
+            fn="repro.experiments.f6_convergence:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "episodes": params["episodes"],
+                "curve_points": CURVE_POINTS,
+            },
+            seed=derive_seed(seed, "f6", repeat),
+            label=f"f6 repeat={repeat}",
+        )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
     """Return the (solver, episode) → best-cost curve table.
 
     Reference rows use solver names ``"optimum"`` and ``"lp_bound"``
     with the same value at every sampled episode.
     """
-    config = get_config("f6", scale)
-    params = config.params
-    episodes = params["episodes"]
-    sample_points = np.unique(
-        np.linspace(1, episodes, CURVE_POINTS).astype(int)
-    )
-    raw = ResultTable(
-        ["solver", "episode", "best_cost_ms"],
-        title="F6: RL convergence (best feasible episode cost)",
-    )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "f6", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=0.8,
-            seed=cell_seed,
-        )
-        references = {"lp_bound": lp_lower_bound(problem)}
-        exact = get_solver("branch_and_bound", node_budget=1_500_000).solve(problem)
-        if exact.feasible and exact.extra.get("optimal"):
-            references["optimum"] = exact.objective_value
-        for name in ("qlearning", "sarsa", "tacc", "bandit"):
-            kwargs = {"episodes": episodes} if name != "bandit" else {"rounds": episodes}
-            solver = get_solver(name, seed=derive_seed(cell_seed, name), **kwargs)
-            result = solver.solve(problem)
-            curve = best_so_far(result.extra.get("episode_costs", []))
-            for episode in sample_points:
-                if episode - 1 < curve.size:
-                    value = curve[episode - 1] * 1e3
-                    raw.add_row(
-                        solver=name,
-                        episode=int(episode),
-                        best_cost_ms=float(value) if math.isfinite(value) else math.nan,
-                    )
-        for ref_name, ref_value in references.items():
-            for episode in sample_points:
-                raw.add_row(
-                    solver=ref_name, episode=int(episode), best_cost_ms=ref_value * 1e3
-                )
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["solver", "episode"], ["best_cost_ms"])
 
 

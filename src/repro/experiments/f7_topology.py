@@ -14,47 +14,77 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import FIGURE_SOLVERS, get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.solvers.lp import lp_lower_bound
 from repro.utils.rng import derive_seed
 
+COLUMNS = ["family", "solver", "cost_over_lp", "feasible"]
+TITLE = "F7: cost (normalized by LP bound) across topology families"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated (family, solver) → normalized-cost table."""
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one (family, repeat) cell — the engine job entry point."""
+    problem = topology_instance(
+        family=params["family"],
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=0.8,
+        seed=seed,
+    )
+    bound = lp_lower_bound(problem)
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    rows = []
+    for name, result in results.items():
+        if result.feasible and bound > 0:
+            ratio = result.objective_value / bound
+        else:
+            ratio = math.nan
+        rows.append(
+            {
+                "family": params["family"],
+                "solver": name,
+                "cost_over_lp": ratio,
+                "feasible": bool(result.feasible),
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
     config = get_config("f7", scale)
     params = config.params
-    raw = ResultTable(
-        ["family", "solver", "cost_over_lp", "feasible"],
-        title="F7: cost (normalized by LP bound) across topology families",
-    )
+    specs = []
     for family in params["families"]:
         for repeat in range(config.repeats):
-            cell_seed = derive_seed(seed, "f7", family, repeat)
-            problem = topology_instance(
-                family=family,
-                n_routers=params["n_routers"],
-                n_devices=params["n_devices"],
-                n_servers=params["n_servers"],
-                tightness=0.8,
-                seed=cell_seed,
-            )
-            bound = lp_lower_bound(problem)
-            results = run_solver_field(
-                problem, FIGURE_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
-            )
-            for name, result in results.items():
-                if result.feasible and bound > 0:
-                    ratio = result.objective_value / bound
-                else:
-                    ratio = math.nan
-                raw.add_row(
-                    family=family,
-                    solver=name,
-                    cost_over_lp=ratio,
-                    feasible=result.feasible,
+            specs.append(
+                JobSpec(
+                    experiment="f7",
+                    fn="repro.experiments.f7_topology:cell",
+                    params={
+                        "family": family,
+                        "n_routers": params["n_routers"],
+                        "n_devices": params["n_devices"],
+                        "n_servers": params["n_servers"],
+                        "solvers": list(FIGURE_SOLVERS),
+                        "solver_kwargs": config.solver_kwargs,
+                    },
+                    seed=derive_seed(seed, "f7", family, repeat),
+                    label=f"f7 family={family} repeat={repeat}",
                 )
+            )
+    return specs
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated (family, solver) → normalized-cost table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["family", "solver"], ["cost_over_lp"])
 
 

@@ -12,60 +12,88 @@ solve cost.
 from __future__ import annotations
 
 from repro.cluster.controller import RECONFIGURE_STRATEGIES, ReconfigurationController
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, run_sweep
 from repro.model.instances import topology_instance
 from repro.solvers.registry import get_solver
 from repro.utils.rng import derive_seed
 from repro.workload.mobility import RandomWaypointMobility
 
+COLUMNS = ["strategy", "epoch", "cost_ms", "cumulative_moves", "feasible"]
+TITLE = "F8: delay over time under mobility, per reconfiguration strategy"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the per-(strategy, epoch) delay/migration time series."""
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (all strategies) — the engine job entry point."""
+    base_problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=0.75,
+        seed=seed,
+    )
+    # materialize one shared mobility trajectory so strategies face
+    # identical drift
+    mobility = RandomWaypointMobility(base_problem, seed=derive_seed(seed, "mobility"))
+    epochs = list(mobility.epochs(params["epochs"]))
+    rows = []
+    for strategy in params["strategies"]:
+        solver = get_solver(
+            "tacc", seed=derive_seed(seed, "solver", strategy), **params["tacc_kwargs"]
+        )
+        controller = ReconfigurationController(solver, strategy=strategy)
+        decision = controller.initialize(base_problem)
+        rows.append(
+            {
+                "strategy": strategy,
+                "epoch": 0,
+                "cost_ms": decision.cost * 1e3,
+                "cumulative_moves": float(controller.total_moves),
+                "feasible": bool(decision.feasible),
+            }
+        )
+        for epoch_state in epochs:
+            decision = controller.observe(epoch_state.epoch, epoch_state.problem)
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "epoch": epoch_state.epoch,
+                    "cost_ms": decision.cost * 1e3,
+                    "cumulative_moves": float(controller.total_moves),
+                    "feasible": bool(decision.feasible),
+                }
+            )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
     config = get_config("f8", scale)
     params = config.params
     tacc_kwargs = dict(config.solver_kwargs.get("tacc", {}))
-    raw = ResultTable(
-        ["strategy", "epoch", "cost_ms", "cumulative_moves", "feasible"],
-        title="F8: delay over time under mobility, per reconfiguration strategy",
-    )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "f8", repeat)
-        base_problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=0.75,
-            seed=cell_seed,
+    return [
+        JobSpec(
+            experiment="f8",
+            fn="repro.experiments.f8_dynamic:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "epochs": params["epochs"],
+                "strategies": list(RECONFIGURE_STRATEGIES),
+                "tacc_kwargs": tacc_kwargs,
+            },
+            seed=derive_seed(seed, "f8", repeat),
+            label=f"f8 repeat={repeat}",
         )
-        # materialize one shared mobility trajectory so strategies face
-        # identical drift
-        mobility = RandomWaypointMobility(
-            base_problem, seed=derive_seed(cell_seed, "mobility")
-        )
-        epochs = list(mobility.epochs(params["epochs"]))
-        for strategy in RECONFIGURE_STRATEGIES:
-            solver = get_solver(
-                "tacc", seed=derive_seed(cell_seed, "solver", strategy), **tacc_kwargs
-            )
-            controller = ReconfigurationController(solver, strategy=strategy)
-            decision = controller.initialize(base_problem)
-            raw.add_row(
-                strategy=strategy,
-                epoch=0,
-                cost_ms=decision.cost * 1e3,
-                cumulative_moves=float(controller.total_moves),
-                feasible=decision.feasible,
-            )
-            for epoch_state in epochs:
-                decision = controller.observe(epoch_state.epoch, epoch_state.problem)
-                raw.add_row(
-                    strategy=strategy,
-                    epoch=epoch_state.epoch,
-                    cost_ms=decision.cost * 1e3,
-                    cumulative_moves=float(controller.total_moves),
-                    feasible=decision.feasible,
-                )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the per-(strategy, epoch) delay/migration time series."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["strategy", "epoch"], ["cost_ms", "cumulative_moves"])
 
 

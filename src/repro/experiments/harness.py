@@ -1,7 +1,16 @@
-"""Shared experiment machinery: result tables and solver sweeps."""
+"""Shared experiment machinery: result tables and solver sweeps.
+
+Every experiment module expresses its grid as a list of
+:class:`~repro.engine.jobspec.JobSpec` cells and hands them to
+:func:`run_sweep`, which routes through :mod:`repro.engine` — serially
+by default, or on a worker pool with result caching when the caller
+passes :class:`~repro.engine.runner.EngineOptions` (the CLI's
+``--jobs`` / ``--cache-dir`` / ``--no-cache`` surface).
+"""
 
 from __future__ import annotations
 
+import copy
 import json
 import math
 from pathlib import Path
@@ -13,6 +22,7 @@ from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import snapshot_delta
 from repro.solvers.base import SolverResult
 from repro.solvers.registry import get_solver
+from repro.utils.fileio import atomic_write_text
 from repro.utils.rng import derive_seed
 from repro.utils.stats import mean_confidence_interval
 from repro.utils.tables import format_markdown_table, format_table
@@ -60,17 +70,12 @@ class ResultTable:
             require(name in self.columns, f"unknown column {name!r}")
         out_columns = group_by + [f"{v}_mean" for v in values] + [f"{v}_ci" for v in values]
         out = ResultTable(out_columns, self.title)
-        seen: list[tuple] = []
+        # single pass: dicts preserve insertion order, so groups come out
+        # in first-seen order exactly as the old per-key rescan did
+        groups: dict[tuple, list[dict]] = {}
         for row in self.rows:
-            key = tuple(row[g] for g in group_by)
-            if key not in seen:
-                seen.append(key)
-        for key in seen:
-            members = [
-                row
-                for row in self.rows
-                if tuple(row[g] for g in group_by) == key
-            ]
+            groups.setdefault(tuple(row[g] for g in group_by), []).append(row)
+        for key, members in groups.items():
             record = dict(zip(group_by, key))
             for value in values:
                 samples = [
@@ -99,9 +104,14 @@ class ResultTable:
         return format_markdown_table(self.columns, rows, float_format=float_format)
 
     def save_json(self, path: "str | Path") -> None:
-        """Persist the table (title, columns, rows) as JSON."""
+        """Persist the table (title, columns, rows) as JSON.
+
+        The write is atomic (temp file + ``os.replace``), so an
+        interrupted run never leaves a truncated table that a resumed
+        run or the report generator would then trust.
+        """
         payload = {"title": self.title, "columns": self.columns, "rows": self.rows}
-        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        atomic_write_text(Path(path), json.dumps(payload, indent=2))
 
     @classmethod
     def load_json(cls, path: "str | Path") -> "ResultTable":
@@ -139,7 +149,11 @@ def run_solver_field(
     registry = obs_runtime.metrics()
     results: dict[str, SolverResult] = {}
     for name in solver_names:
-        kwargs = dict((solver_kwargs or {}).get(name, {}))
+        # deep copy: solver constructors may mutate nested kwargs (and
+        # setdefault would otherwise write into the caller's dict when a
+        # future refactor drops the shallow copy), so callers' config
+        # dicts must never be shared across sweep points
+        kwargs = copy.deepcopy((solver_kwargs or {}).get(name, {}))
         kwargs.setdefault("seed", derive_seed(seed, "solver", name))
         solver = get_solver(name, **kwargs)
         before = registry.snapshot() if registry.enabled else None
@@ -147,6 +161,31 @@ def run_solver_field(
         if before is not None:
             results[name].extra["obs"] = snapshot_delta(before, registry.snapshot())
     return results
+
+
+def run_sweep(
+    specs: list,
+    columns: list[str],
+    title: str = "",
+    engine=None,
+) -> ResultTable:
+    """Execute a sweep grid through the engine and collect the raw table.
+
+    ``specs`` is the experiment's :class:`~repro.engine.jobspec.JobSpec`
+    list in grid order; ``engine`` is an
+    :class:`~repro.engine.runner.EngineOptions` (``None`` reproduces
+    the historical serial, uncached behavior).  Rows come back in spec
+    order whatever the worker count, so the resulting table — and any
+    aggregation of it — is identical across serial, parallel, and
+    cached executions.
+    """
+    from repro.engine import run_jobs
+
+    table = ResultTable(columns, title)
+    for rows in run_jobs(specs, engine):
+        for row in rows:
+            table.add_row(**row)
+    return table
 
 
 def normalized_cost(result: SolverResult, reference: float) -> float:

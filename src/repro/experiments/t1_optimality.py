@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import gap_instance
 from repro.solvers.registry import get_solver
 from repro.utils.rng import derive_seed
@@ -33,41 +34,74 @@ T1_SOLVERS = [
     "tacc",
 ]
 
+COLUMNS = ["size", "klass", "solver", "gap_pct", "feasible"]
+TITLE = "T1: optimality gap on small instances"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated gap table (percent above optimum)."""
-    config = get_config("t1", scale)
-    raw = ResultTable(
-        ["size", "klass", "solver", "gap_pct", "feasible"],
-        title="T1: optimality gap on small instances",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one (size, klass, repeat) cell — the engine job entry point.
+
+    Returns no rows when branch-and-bound cannot certify the optimum
+    within its node budget, exactly like the historical skip.
+    """
+    problem = gap_instance(params["n_devices"], params["n_servers"], params["klass"], seed=seed)
+    # bounded budget keeps a pathological cell from stalling the
+    # table; cells the search cannot close are skipped below
+    exact = get_solver("branch_and_bound", node_budget=1_500_000).solve(problem)
+    if not exact.feasible or not exact.extra.get("optimal", False):
+        return []  # skip cells where the optimum is unavailable
+    optimum = exact.objective_value
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
     )
+    rows = []
+    for name, result in results.items():
+        if result.feasible and math.isfinite(result.objective_value):
+            gap = 100.0 * (result.objective_value / optimum - 1.0)
+        else:
+            gap = math.nan
+        rows.append(
+            {
+                "size": params["size"],
+                "klass": params["klass"],
+                "solver": name,
+                "gap_pct": gap,
+                "feasible": bool(result.feasible),
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("t1", scale)
+    specs = []
     for n_devices, n_servers in config.params["sizes"]:
         size_label = f"{n_devices}x{n_servers}"
         for klass in config.params["klasses"]:
             for repeat in range(config.repeats):
-                cell_seed = derive_seed(seed, "t1", size_label, klass, repeat)
-                problem = gap_instance(n_devices, n_servers, klass, seed=cell_seed)
-                # bounded budget keeps a pathological cell from stalling the
-                # table; cells the search cannot close are skipped below
-                exact = get_solver("branch_and_bound", node_budget=1_500_000).solve(problem)
-                if not exact.feasible or not exact.extra.get("optimal", False):
-                    continue  # skip cells where the optimum is unavailable
-                optimum = exact.objective_value
-                results = run_solver_field(
-                    problem, T1_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
-                )
-                for name, result in results.items():
-                    if result.feasible and math.isfinite(result.objective_value):
-                        gap = 100.0 * (result.objective_value / optimum - 1.0)
-                    else:
-                        gap = math.nan
-                    raw.add_row(
-                        size=size_label,
-                        klass=klass,
-                        solver=name,
-                        gap_pct=gap,
-                        feasible=result.feasible,
+                specs.append(
+                    JobSpec(
+                        experiment="t1",
+                        fn="repro.experiments.t1_optimality:cell",
+                        params={
+                            "n_devices": n_devices,
+                            "n_servers": n_servers,
+                            "size": size_label,
+                            "klass": klass,
+                            "solvers": list(T1_SOLVERS),
+                            "solver_kwargs": config.solver_kwargs,
+                        },
+                        seed=derive_seed(seed, "t1", size_label, klass, repeat),
+                        label=f"t1 {size_label} klass={klass} repeat={repeat}",
                     )
+                )
+    return specs
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated gap table (percent above optimum)."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["size", "klass", "solver"], ["gap_pct"])
 
 

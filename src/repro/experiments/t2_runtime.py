@@ -9,43 +9,71 @@ budget, with TACC's cost dominated by its episode budget.
 
 from __future__ import annotations
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import FIGURE_SOLVERS, get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.utils.rng import derive_seed
 
+COLUMNS = ["size", "solver", "runtime_s", "total_delay_ms"]
+TITLE = "T2: solver runtime vs instance size"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated (size, solver) → runtime table."""
-    config = get_config("t2", scale)
-    raw = ResultTable(
-        ["size", "solver", "runtime_s", "total_delay_ms"],
-        title="T2: solver runtime vs instance size",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one (size, repeat) cell — the engine job entry point."""
+    n_devices = params["n_devices"]
+    problem = topology_instance(
+        n_routers=max(30, n_devices // 2),
+        n_devices=n_devices,
+        n_servers=params["n_servers"],
+        tightness=0.75,
+        seed=seed,
     )
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    return [
+        {
+            "size": params["size"],
+            "solver": name,
+            "runtime_s": float(result.runtime_s),
+            "total_delay_ms": float(result.objective_value * 1e3),
+        }
+        for name, result in results.items()
+    ]
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("t2", scale)
+    specs = []
     for n_devices, n_servers in config.params["sizes"]:
         size_label = f"{n_devices}x{n_servers}"
         solvers = list(FIGURE_SOLVERS)
         if n_devices <= config.params["include_exact_upto"]:
             solvers.append("branch_and_bound")
         for repeat in range(config.repeats):
-            cell_seed = derive_seed(seed, "t2", size_label, repeat)
-            problem = topology_instance(
-                n_routers=max(30, n_devices // 2),
-                n_devices=n_devices,
-                n_servers=n_servers,
-                tightness=0.75,
-                seed=cell_seed,
-            )
-            results = run_solver_field(
-                problem, solvers, seed=cell_seed, solver_kwargs=config.solver_kwargs
-            )
-            for name, result in results.items():
-                raw.add_row(
-                    size=size_label,
-                    solver=name,
-                    runtime_s=result.runtime_s,
-                    total_delay_ms=result.objective_value * 1e3,
+            specs.append(
+                JobSpec(
+                    experiment="t2",
+                    fn="repro.experiments.t2_runtime:cell",
+                    params={
+                        "n_devices": n_devices,
+                        "n_servers": n_servers,
+                        "size": size_label,
+                        "solvers": solvers,
+                        "solver_kwargs": config.solver_kwargs,
+                    },
+                    seed=derive_seed(seed, "t2", size_label, repeat),
+                    label=f"t2 {size_label} repeat={repeat}",
                 )
+            )
+    return specs
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated (size, solver) → runtime table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["size", "solver"], ["runtime_s", "total_delay_ms"])
 
 

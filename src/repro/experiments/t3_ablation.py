@@ -30,8 +30,9 @@ import math
 
 import numpy as np
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, run_sweep
 from repro.model.instances import topology_instance
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
@@ -48,6 +49,9 @@ ABLATION_VARIANTS = (
     "uniform_exploration",
     "random_device_order",
 )
+
+COLUMNS = ["variant", "true_delay_ms", "feasible", "overloaded_servers"]
+TITLE = "T3: TACC ablation (evaluated on the true delay matrix)"
 
 
 def _ablated_problem(problem: AssignmentProblem, model) -> AssignmentProblem:
@@ -79,48 +83,70 @@ def _solver_for(variant: str, episodes: int, seed: int) -> TaccSolver:
     return TaccSolver(episodes=episodes, seed=seed)
 
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated per-variant true-delay table."""
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (all variants) — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        seed=seed,
+    )
+    surrogates = {
+        "delay_hop_count": _ablated_problem(problem, HopCountDelayModel()),
+        "delay_euclidean": _ablated_problem(problem, EuclideanDelayModel()),
+    }
+    rows = []
+    for variant in params["variants"]:
+        solve_on = surrogates.get(variant, problem)
+        solver = _solver_for(variant, params["episodes"], seed=derive_seed(seed, variant))
+        result = solver.solve(solve_on)
+        # re-score on the true matrix
+        vector = result.assignment.vector
+        if np.all(vector >= 0):
+            true_assignment = Assignment(problem, vector)
+            true_delay = true_assignment.total_delay() * 1e3
+            feasible = true_assignment.is_feasible()
+            overloaded = float(len(true_assignment.overloaded_servers()))
+        else:
+            true_delay, feasible, overloaded = math.nan, False, math.nan
+        rows.append(
+            {
+                "variant": variant,
+                "true_delay_ms": float(true_delay),
+                "feasible": bool(feasible),
+                "overloaded_servers": overloaded,
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
     config = get_config("t3", scale)
     params = config.params
-    raw = ResultTable(
-        ["variant", "true_delay_ms", "feasible", "overloaded_servers"],
-        title="T3: TACC ablation (evaluated on the true delay matrix)",
-    )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "t3", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=params["tightness"],
-            seed=cell_seed,
+    return [
+        JobSpec(
+            experiment="t3",
+            fn="repro.experiments.t3_ablation:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "tightness": params["tightness"],
+                "episodes": params["episodes"],
+                "variants": list(ABLATION_VARIANTS),
+            },
+            seed=derive_seed(seed, "t3", repeat),
+            label=f"t3 repeat={repeat}",
         )
-        surrogates = {
-            "delay_hop_count": _ablated_problem(problem, HopCountDelayModel()),
-            "delay_euclidean": _ablated_problem(problem, EuclideanDelayModel()),
-        }
-        for variant in ABLATION_VARIANTS:
-            solve_on = surrogates.get(variant, problem)
-            solver = _solver_for(
-                variant, params["episodes"], seed=derive_seed(cell_seed, variant)
-            )
-            result = solver.solve(solve_on)
-            # re-score on the true matrix
-            vector = result.assignment.vector
-            if np.all(vector >= 0):
-                true_assignment = Assignment(problem, vector)
-                true_delay = true_assignment.total_delay() * 1e3
-                feasible = true_assignment.is_feasible()
-                overloaded = float(len(true_assignment.overloaded_servers()))
-            else:
-                true_delay, feasible, overloaded = math.nan, False, math.nan
-            raw.add_row(
-                variant=variant,
-                true_delay_ms=true_delay,
-                feasible=feasible,
-                overloaded_servers=overloaded,
-            )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated per-variant true-delay table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["variant"], ["true_delay_ms", "overloaded_servers"])
 
 

@@ -19,13 +19,17 @@ instances than the greedy rule because it preserves headroom.
 from __future__ import annotations
 
 from repro.cluster.churn import ChurnProcess, MembershipController
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, run_sweep
 from repro.model.instances import topology_instance
 from repro.solvers.registry import get_solver
 from repro.utils.rng import derive_seed
 
 POLICIES = ("greedy_join", "reserve_join", "reserve+rebalance")
+
+COLUMNS = ["policy", "epoch", "cost_ms", "active", "rejected_total"]
+TITLE = "X1 (extension): assignment quality under device churn"
 
 
 def _controller(policy: str, problem, seed: int, tacc_kwargs: dict):
@@ -39,60 +43,89 @@ def _controller(policy: str, problem, seed: int, tacc_kwargs: dict):
     )
 
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the per-(policy, epoch) cost/membership time series."""
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (all policies) — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        seed=seed,
+    )
+    # the generator sizes capacity for the full potential fleet; with
+    # only part of it active, shrink capacities so admission control
+    # actually bites (rejections become measurable)
+    problem.capacity *= params["capacity_scale"]
+    # one shared churn trajectory per repeat so policies are paired
+    events = []
+    churn = ChurnProcess(
+        problem.n_devices,
+        join_prob=params["join_prob"],
+        leave_prob=params["leave_prob"],
+        seed=derive_seed(seed, "churn"),
+    )
+    initial_active = churn.active
+    for epoch in range(1, params["epochs"] + 1):
+        events.append(churn.step(epoch))
+    rows = []
+    for policy in params["policies"]:
+        controller = _controller(
+            policy, problem, derive_seed(seed, policy), params["tacc_kwargs"]
+        )
+        decision = controller.bootstrap(initial_active)
+        rows.append(
+            {
+                "policy": policy,
+                "epoch": 0,
+                "cost_ms": decision.cost * 1e3,
+                "active": float(decision.active_count),
+                "rejected_total": float(controller.total_rejected),
+            }
+        )
+        for event in events:
+            decision = controller.apply(event)
+            rows.append(
+                {
+                    "policy": policy,
+                    "epoch": event.epoch,
+                    "cost_ms": decision.cost * 1e3,
+                    "active": float(decision.active_count),
+                    "rejected_total": float(controller.total_rejected),
+                }
+            )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
     config = get_config("x1", scale)
     params = config.params
-    tacc_kwargs = dict(config.solver_kwargs.get("tacc", {}))
-    raw = ResultTable(
-        ["policy", "epoch", "cost_ms", "active", "rejected_total"],
-        title="X1 (extension): assignment quality under device churn",
-    )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "x1", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=params["tightness"],
-            seed=cell_seed,
+    return [
+        JobSpec(
+            experiment="x1",
+            fn="repro.experiments.x1_churn:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "tightness": params["tightness"],
+                "capacity_scale": params.get("capacity_scale", 0.7),
+                "join_prob": params["join_prob"],
+                "leave_prob": params["leave_prob"],
+                "epochs": params["epochs"],
+                "policies": list(POLICIES),
+                "tacc_kwargs": dict(config.solver_kwargs.get("tacc", {})),
+            },
+            seed=derive_seed(seed, "x1", repeat),
+            label=f"x1 repeat={repeat}",
         )
-        # the generator sizes capacity for the full potential fleet; with
-        # only part of it active, shrink capacities so admission control
-        # actually bites (rejections become measurable)
-        problem.capacity *= params.get("capacity_scale", 0.7)
-        # one shared churn trajectory per repeat so policies are paired
-        events = []
-        churn = ChurnProcess(
-            problem.n_devices,
-            join_prob=params["join_prob"],
-            leave_prob=params["leave_prob"],
-            seed=derive_seed(cell_seed, "churn"),
-        )
-        initial_active = churn.active
-        for epoch in range(1, params["epochs"] + 1):
-            events.append(churn.step(epoch))
-        for policy in POLICIES:
-            controller = _controller(
-                policy, problem, derive_seed(cell_seed, policy), tacc_kwargs
-            )
-            decision = controller.bootstrap(initial_active)
-            raw.add_row(
-                policy=policy,
-                epoch=0,
-                cost_ms=decision.cost * 1e3,
-                active=float(decision.active_count),
-                rejected_total=float(controller.total_rejected),
-            )
-            for event in events:
-                decision = controller.apply(event)
-                raw.add_row(
-                    policy=policy,
-                    epoch=event.epoch,
-                    cost_ms=decision.cost * 1e3,
-                    active=float(decision.active_count),
-                    rejected_total=float(controller.total_rejected),
-                )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the per-(policy, epoch) cost/membership time series."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["policy", "epoch"], ["cost_ms", "active", "rejected_total"])
 
 

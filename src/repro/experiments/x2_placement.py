@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.solvers.lp import lp_lower_bound
 from repro.topology.placement import PLACEMENT_STRATEGIES
@@ -25,38 +26,68 @@ from repro.utils.rng import derive_seed
 
 X2_SOLVERS = ["greedy", "tacc"]
 
+COLUMNS = ["placement", "solver", "total_delay_ms", "lp_bound_ms"]
+TITLE = "X2 (extension): sensitivity to edge-server placement"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated (placement, solver) → delay table."""
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one (placement, repeat) cell — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        placement=params["placement"],
+        seed=seed,
+    )
+    bound = lp_lower_bound(problem)
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    rows = []
+    for name, result in results.items():
+        value = result.objective_value * 1e3
+        rows.append(
+            {
+                "placement": params["placement"],
+                "solver": name,
+                "total_delay_ms": value if math.isfinite(value) else math.nan,
+                "lp_bound_ms": bound * 1e3,
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
     config = get_config("x2", scale)
     params = config.params
-    raw = ResultTable(
-        ["placement", "solver", "total_delay_ms", "lp_bound_ms"],
-        title="X2 (extension): sensitivity to edge-server placement",
-    )
+    specs = []
     for placement in sorted(PLACEMENT_STRATEGIES):
         for repeat in range(config.repeats):
-            cell_seed = derive_seed(seed, "x2", placement, repeat)
-            problem = topology_instance(
-                n_routers=params["n_routers"],
-                n_devices=params["n_devices"],
-                n_servers=params["n_servers"],
-                tightness=params["tightness"],
-                placement=placement,
-                seed=cell_seed,
-            )
-            bound = lp_lower_bound(problem)
-            results = run_solver_field(
-                problem, X2_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
-            )
-            for name, result in results.items():
-                value = result.objective_value * 1e3
-                raw.add_row(
-                    placement=placement,
-                    solver=name,
-                    total_delay_ms=value if math.isfinite(value) else math.nan,
-                    lp_bound_ms=bound * 1e3,
+            specs.append(
+                JobSpec(
+                    experiment="x2",
+                    fn="repro.experiments.x2_placement:cell",
+                    params={
+                        "placement": placement,
+                        "n_routers": params["n_routers"],
+                        "n_devices": params["n_devices"],
+                        "n_servers": params["n_servers"],
+                        "tightness": params["tightness"],
+                        "solvers": list(X2_SOLVERS),
+                        "solver_kwargs": config.solver_kwargs,
+                    },
+                    seed=derive_seed(seed, "x2", placement, repeat),
+                    label=f"x2 placement={placement} repeat={repeat}",
                 )
+            )
+    return specs
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated (placement, solver) → delay table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(["placement", "solver"], ["total_delay_ms", "lp_bound_ms"])
 
 

@@ -25,56 +25,86 @@ import math
 
 import numpy as np
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable, run_solver_field
+from repro.experiments.harness import ResultTable, run_solver_field, run_sweep
 from repro.model.instances import topology_instance
 from repro.model.objectives import DeadlineViolations
 from repro.utils.rng import derive_seed
 
 X3_SOLVERS = ["greedy", "tacc", "bottleneck"]
 
+COLUMNS = ["solver", "total_delay_ms", "max_delay_ms", "deadline_violations"]
+TITLE = "X3 (extension): total-delay vs bottleneck objectives"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated per-solver two-objective table."""
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell — the engine job entry point."""
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        seed=seed,
+    )
+    # deadline budget between typical best and worst per-device delay
+    budget = float(
+        0.5 * (np.median(np.min(problem.delay, axis=1))
+               + np.median(np.max(problem.delay, axis=1)))
+    )
+    violations = DeadlineViolations(default_deadline_s=budget)
+    results = run_solver_field(
+        problem, params["solvers"], seed=seed, solver_kwargs=params["solver_kwargs"]
+    )
+    rows = []
+    for name, result in results.items():
+        if not result.feasible:
+            rows.append(
+                {
+                    "solver": name,
+                    "total_delay_ms": math.nan,
+                    "max_delay_ms": math.nan,
+                    "deadline_violations": math.nan,
+                }
+            )
+            continue
+        rows.append(
+            {
+                "solver": name,
+                "total_delay_ms": float(result.assignment.total_delay() * 1e3),
+                "max_delay_ms": float(result.assignment.max_delay() * 1e3),
+                "deadline_violations": float(violations.evaluate(result.assignment)),
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
     config = get_config("x3", scale)
     params = config.params
-    raw = ResultTable(
-        ["solver", "total_delay_ms", "max_delay_ms", "deadline_violations"],
-        title="X3 (extension): total-delay vs bottleneck objectives",
-    )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "x3", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=params["tightness"],
-            seed=cell_seed,
+    return [
+        JobSpec(
+            experiment="x3",
+            fn="repro.experiments.x3_objective:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "tightness": params["tightness"],
+                "solvers": list(X3_SOLVERS),
+                "solver_kwargs": config.solver_kwargs,
+            },
+            seed=derive_seed(seed, "x3", repeat),
+            label=f"x3 repeat={repeat}",
         )
-        # deadline budget between typical best and worst per-device delay
-        budget = float(
-            0.5 * (np.median(np.min(problem.delay, axis=1))
-                   + np.median(np.max(problem.delay, axis=1)))
-        )
-        violations = DeadlineViolations(default_deadline_s=budget)
-        results = run_solver_field(
-            problem, X3_SOLVERS, seed=cell_seed, solver_kwargs=config.solver_kwargs
-        )
-        for name, result in results.items():
-            if not result.feasible:
-                raw.add_row(
-                    solver=name,
-                    total_delay_ms=math.nan,
-                    max_delay_ms=math.nan,
-                    deadline_violations=math.nan,
-                )
-                continue
-            raw.add_row(
-                solver=name,
-                total_delay_ms=result.assignment.total_delay() * 1e3,
-                max_delay_ms=result.assignment.max_delay() * 1e3,
-                deadline_violations=violations.evaluate(result.assignment),
-            )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated per-solver two-objective table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(
         ["solver"], ["total_delay_ms", "max_delay_ms", "deadline_violations"]
     )

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, run_sweep
 from repro.model.instances import topology_instance
 from repro.model.solution import Assignment
 from repro.solvers.registry import get_solver
@@ -32,66 +33,92 @@ from repro.utils.rng import derive_seed
 
 X4_SOLVERS = ("greedy", "tacc")
 
+COLUMNS = ["jitter_sigma", "probes", "solver", "true_delay_ms", "regret_pct"]
+TITLE = "X4 (extension): robustness to delay-measurement noise"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the aggregated (sigma, probes, solver) → regret table."""
-    config = get_config("x4", scale)
-    params = config.params
-    raw = ResultTable(
-        ["jitter_sigma", "probes", "solver", "true_delay_ms", "regret_pct"],
-        title="X4 (extension): robustness to delay-measurement noise",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (full sigma × probes sweep) — engine entry point."""
+    solver_kwargs = params["solver_kwargs"]
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        seed=seed,
     )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "x4", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=params["tightness"],
-            seed=cell_seed,
-        )
-        # perfect-information reference per solver
-        perfect: dict[str, float] = {}
-        for name in X4_SOLVERS:
-            kwargs = dict(config.solver_kwargs.get(name, {}))
-            solver = get_solver(
-                name, seed=derive_seed(cell_seed, "perfect", name), **kwargs
+    # perfect-information reference per solver
+    perfect: dict[str, float] = {}
+    for name in params["solvers"]:
+        kwargs = dict(solver_kwargs.get(name, {}))
+        solver = get_solver(name, seed=derive_seed(seed, "perfect", name), **kwargs)
+        result = solver.solve(problem)
+        perfect[name] = result.assignment.total_delay() if result.feasible else math.nan
+    rows = []
+    for sigma in params["jitter_sigmas"]:
+        for probes in params["probe_counts"]:
+            estimate = noisy_problem(
+                problem,
+                probes=probes,
+                jitter_sigma=sigma,
+                seed=derive_seed(seed, "probe", str(sigma), probes),
             )
-            result = solver.solve(problem)
-            perfect[name] = (
-                result.assignment.total_delay() if result.feasible else math.nan
-            )
-        for sigma in params["jitter_sigmas"]:
-            for probes in params["probe_counts"]:
-                estimate = noisy_problem(
-                    problem,
-                    probes=probes,
-                    jitter_sigma=sigma,
-                    seed=derive_seed(cell_seed, "probe", str(sigma), probes),
+            for name in params["solvers"]:
+                kwargs = dict(solver_kwargs.get(name, {}))
+                solver = get_solver(
+                    name,
+                    seed=derive_seed(seed, "noisy", name, str(sigma), probes),
+                    **kwargs,
                 )
-                for name in X4_SOLVERS:
-                    kwargs = dict(config.solver_kwargs.get(name, {}))
-                    solver = get_solver(
-                        name,
-                        seed=derive_seed(cell_seed, "noisy", name, str(sigma), probes),
-                        **kwargs,
-                    )
-                    result = solver.solve(estimate)
-                    if result.feasible:
-                        truth = Assignment(problem, result.assignment.vector)
-                        true_delay = truth.total_delay()
-                        regret = 100.0 * (true_delay / perfect[name] - 1.0)
-                    else:
-                        true_delay, regret = math.nan, math.nan
-                    raw.add_row(
-                        jitter_sigma=sigma,
-                        probes=probes,
-                        solver=name,
-                        true_delay_ms=true_delay * 1e3
+                result = solver.solve(estimate)
+                if result.feasible:
+                    truth = Assignment(problem, result.assignment.vector)
+                    true_delay = truth.total_delay()
+                    regret = 100.0 * (true_delay / perfect[name] - 1.0)
+                else:
+                    true_delay, regret = math.nan, math.nan
+                rows.append(
+                    {
+                        "jitter_sigma": sigma,
+                        "probes": probes,
+                        "solver": name,
+                        "true_delay_ms": true_delay * 1e3
                         if not math.isnan(true_delay)
                         else math.nan,
-                        regret_pct=regret,
-                    )
+                        "regret_pct": regret,
+                    }
+                )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("x4", scale)
+    params = config.params
+    return [
+        JobSpec(
+            experiment="x4",
+            fn="repro.experiments.x4_noise:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "tightness": params["tightness"],
+                "jitter_sigmas": list(params["jitter_sigmas"]),
+                "probe_counts": list(params["probe_counts"]),
+                "solvers": list(X4_SOLVERS),
+                "solver_kwargs": config.solver_kwargs,
+            },
+            seed=derive_seed(seed, "x4", repeat),
+            label=f"x4 repeat={repeat}",
+        )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the aggregated (sigma, probes, solver) → regret table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(
         ["jitter_sigma", "probes", "solver"], ["true_delay_ms", "regret_pct"]
     )

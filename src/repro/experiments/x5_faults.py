@@ -29,84 +29,117 @@ from repro.cluster.faults import (
     served_cost,
     serving_fraction,
 )
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, run_sweep
 from repro.model.instances import topology_instance
 from repro.solvers.registry import get_solver
 from repro.utils.rng import derive_seed
 
 POLICIES = ("static", "reactive")
 
+COLUMNS = ["policy", "epoch", "serving_fraction", "served_cost_ms", "cumulative_moves"]
+TITLE = "X5 (extension): availability under server failures"
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the (policy, epoch) availability/cost/migration series."""
-    config = get_config("x5", scale)
-    params = config.params
-    tacc_kwargs = dict(config.solver_kwargs.get("tacc", {}))
-    raw = ResultTable(
-        ["policy", "epoch", "serving_fraction", "served_cost_ms", "cumulative_moves"],
-        title="X5 (extension): availability under server failures",
+
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (both policies) — the engine job entry point."""
+    tacc_kwargs = params["tacc_kwargs"]
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        seed=seed,
     )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "x5", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=params["tightness"],
-            seed=cell_seed,
+    faults = ServerFaultProcess(
+        problem.n_servers,
+        fail_prob=params["fail_prob"],
+        repair_prob=params["repair_prob"],
+        seed=derive_seed(seed, "faults"),
+    )
+    timeline = [faults.step(epoch) for epoch in range(1, params["epochs"] + 1)]
+    initial = get_solver("tacc", seed=derive_seed(seed, "initial"), **tacc_kwargs).solve(
+        problem
+    )
+    initial_vector = initial.assignment.vector
+    rows = []
+    for policy in params["policies"]:
+        vector = initial_vector.copy()
+        moves = 0
+        rows.append(
+            {
+                "policy": policy,
+                "epoch": 0,
+                "serving_fraction": 1.0,
+                "served_cost_ms": served_cost(problem, vector, frozenset()) * 1e3,
+                "cumulative_moves": 0.0,
+            }
         )
-        faults = ServerFaultProcess(
-            problem.n_servers,
-            fail_prob=params["fail_prob"],
-            repair_prob=params["repair_prob"],
-            seed=derive_seed(cell_seed, "faults"),
-        )
-        timeline = [faults.step(epoch) for epoch in range(1, params["epochs"] + 1)]
-        initial = get_solver(
-            "tacc", seed=derive_seed(cell_seed, "initial"), **tacc_kwargs
-        ).solve(problem)
-        initial_vector = initial.assignment.vector
-        for policy in POLICIES:
-            vector = initial_vector.copy()
-            moves = 0
-            raw.add_row(
-                policy=policy,
-                epoch=0,
-                serving_fraction=1.0,
-                served_cost_ms=served_cost(problem, vector, frozenset()) * 1e3,
-                cumulative_moves=0.0,
-            )
-            previous_failed: frozenset[int] = frozenset()
-            for event in timeline:
-                if policy == "reactive" and event.failed != previous_failed:
-                    degraded = degraded_problem(problem, event.failed)
-                    # the resilient chain falls back to greedy when the RL
-                    # solve fails or stalls, so the reaction never raises
-                    solver = get_solver(
-                        "resilient",
-                        chain=("tacc", "greedy"),
-                        member_kwargs={"tacc": tacc_kwargs},
-                        seed=derive_seed(cell_seed, "reactive", event.epoch),
-                    )
-                    result = solver.solve(degraded)
-                    if result.feasible:
-                        new_vector = result.assignment.vector
-                        moves += int(np.count_nonzero(new_vector != vector))
-                        vector = new_vector
-                    # infeasible degraded problem (not enough surviving
-                    # capacity): keep the old vector; stranded devices show
-                    # up in the serving fraction
-                previous_failed = event.failed
-                raw.add_row(
-                    policy=policy,
-                    epoch=event.epoch,
-                    serving_fraction=serving_fraction(
+        previous_failed: frozenset[int] = frozenset()
+        for event in timeline:
+            if policy == "reactive" and event.failed != previous_failed:
+                degraded = degraded_problem(problem, event.failed)
+                # the resilient chain falls back to greedy when the RL
+                # solve fails or stalls, so the reaction never raises
+                solver = get_solver(
+                    "resilient",
+                    chain=("tacc", "greedy"),
+                    member_kwargs={"tacc": tacc_kwargs},
+                    seed=derive_seed(seed, "reactive", event.epoch),
+                )
+                result = solver.solve(degraded)
+                if result.feasible:
+                    new_vector = result.assignment.vector
+                    moves += int(np.count_nonzero(new_vector != vector))
+                    vector = new_vector
+                # infeasible degraded problem (not enough surviving
+                # capacity): keep the old vector; stranded devices show
+                # up in the serving fraction
+            previous_failed = event.failed
+            rows.append(
+                {
+                    "policy": policy,
+                    "epoch": event.epoch,
+                    "serving_fraction": serving_fraction(
                         vector, event.failed, problem.n_devices
                     ),
-                    served_cost_ms=served_cost(problem, vector, event.failed) * 1e3,
-                    cumulative_moves=float(moves),
-                )
+                    "served_cost_ms": served_cost(problem, vector, event.failed) * 1e3,
+                    "cumulative_moves": float(moves),
+                }
+            )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("x5", scale)
+    params = config.params
+    return [
+        JobSpec(
+            experiment="x5",
+            fn="repro.experiments.x5_faults:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "tightness": params["tightness"],
+                "fail_prob": params["fail_prob"],
+                "repair_prob": params["repair_prob"],
+                "epochs": params["epochs"],
+                "policies": list(POLICIES),
+                "tacc_kwargs": dict(config.solver_kwargs.get("tacc", {})),
+            },
+            seed=derive_seed(seed, "x5", repeat),
+            label=f"x5 repeat={repeat}",
+        )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the (policy, epoch) availability/cost/migration series."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(
         ["policy", "epoch"], ["serving_fraction", "served_cost_ms", "cumulative_moves"]
     )

@@ -21,14 +21,21 @@ availability).
 
 from __future__ import annotations
 
+from repro.engine.jobspec import JobSpec
 from repro.experiments.configs import get_config
-from repro.experiments.harness import ResultTable
+from repro.experiments.harness import ResultTable, run_sweep
 from repro.faults.policies import DISPATCH_MODES, RetryPolicy
 from repro.faults.runner import simulate_with_faults
 from repro.faults.scenario import FaultScenario
 from repro.model.instances import topology_instance
 from repro.solvers.registry import get_solver
 from repro.utils.rng import derive_seed
+
+COLUMNS = [
+    "policy", "goodput", "crash_goodput", "tasks_lost", "retries",
+    "failovers", "timeouts", "p99_total_ms",
+]
+TITLE = "X6 (extension): dispatch policies under a mid-run crash"
 
 
 def crash_window_goodput(
@@ -46,62 +53,86 @@ def crash_window_goodput(
     return sum(hit) / len(hit) if hit else 1.0
 
 
-def run(scale: str = "quick", seed: int = 0) -> ResultTable:
-    """Return the per-policy chaos comparison table."""
-    config = get_config("x6", scale)
-    params = config.params
+def cell(params: dict, seed: int) -> list[dict]:
+    """Rows of one repeat cell (all dispatch modes) — the engine job entry point."""
     duration = params["duration_s"]
     crash_at = params["crash_frac"] * duration
     repair_at = params["repair_frac"] * duration
-    policy = RetryPolicy(
-        max_retries=params["max_retries"], timeout_s=params["timeout_s"]
+    policy = RetryPolicy(max_retries=params["max_retries"], timeout_s=params["timeout_s"])
+    problem = topology_instance(
+        n_routers=params["n_routers"],
+        n_devices=params["n_devices"],
+        n_servers=params["n_servers"],
+        tightness=params["tightness"],
+        seed=seed,
     )
-    raw = ResultTable(
-        ["policy", "goodput", "crash_goodput", "tasks_lost", "retries",
-         "failovers", "timeouts", "p99_total_ms"],
-        title="X6 (extension): dispatch policies under a mid-run crash",
+    assignment = get_solver("greedy", seed=derive_seed(seed, "solve")).solve(problem).assignment
+    # crash the server carrying the most load — the worst case the
+    # configuration can suffer
+    busiest = int(assignment.loads().argmax())
+    scenario = FaultScenario.single_crash(
+        busiest, at_s=crash_at, repair_at_s=repair_at,
+        name=f"crash-busiest-s{busiest}",
     )
-    for repeat in range(config.repeats):
-        cell_seed = derive_seed(seed, "x6", repeat)
-        problem = topology_instance(
-            n_routers=params["n_routers"],
-            n_devices=params["n_devices"],
-            n_servers=params["n_servers"],
-            tightness=params["tightness"],
-            seed=cell_seed,
+    rows = []
+    for mode in params["modes"]:
+        report = simulate_with_faults(
+            assignment,
+            scenario,
+            duration_s=duration,
+            seed=derive_seed(seed, "sim"),  # shared across modes
+            mode=mode,
+            policy=policy,
+            window_s=params["window_s"],
         )
-        assignment = get_solver(
-            "greedy", seed=derive_seed(cell_seed, "solve")
-        ).solve(problem).assignment
-        # crash the server carrying the most load — the worst case the
-        # configuration can suffer
-        busiest = int(assignment.loads().argmax())
-        scenario = FaultScenario.single_crash(
-            busiest, at_s=crash_at, repair_at_s=repair_at,
-            name=f"crash-busiest-s{busiest}",
-        )
-        for mode in DISPATCH_MODES:
-            report = simulate_with_faults(
-                assignment,
-                scenario,
-                duration_s=duration,
-                seed=derive_seed(cell_seed, "sim"),  # shared across modes
-                mode=mode,
-                policy=policy,
-                window_s=params["window_s"],
-            )
-            raw.add_row(
-                policy=mode,
-                goodput=report.goodput,
-                crash_goodput=crash_window_goodput(
+        rows.append(
+            {
+                "policy": mode,
+                "goodput": float(report.goodput),
+                "crash_goodput": crash_window_goodput(
                     report.goodput_timeline, params["window_s"], crash_at, repair_at
                 ),
-                tasks_lost=float(report.tasks_lost),
-                retries=float(report.retries),
-                failovers=float(report.failovers),
-                timeouts=float(report.timeouts),
-                p99_total_ms=report.p99_total_latency_ms,
-            )
+                "tasks_lost": float(report.tasks_lost),
+                "retries": float(report.retries),
+                "failovers": float(report.failovers),
+                "timeouts": float(report.timeouts),
+                "p99_total_ms": float(report.p99_total_latency_ms),
+            }
+        )
+    return rows
+
+
+def grid(scale: str, seed: int) -> list[JobSpec]:
+    """The sweep grid as deterministic job specs."""
+    config = get_config("x6", scale)
+    params = config.params
+    return [
+        JobSpec(
+            experiment="x6",
+            fn="repro.experiments.x6_chaos:cell",
+            params={
+                "n_routers": params["n_routers"],
+                "n_devices": params["n_devices"],
+                "n_servers": params["n_servers"],
+                "tightness": params["tightness"],
+                "duration_s": params["duration_s"],
+                "crash_frac": params["crash_frac"],
+                "repair_frac": params["repair_frac"],
+                "max_retries": params["max_retries"],
+                "timeout_s": params["timeout_s"],
+                "window_s": params["window_s"],
+                "modes": list(DISPATCH_MODES),
+            },
+            seed=derive_seed(seed, "x6", repeat),
+            label=f"x6 repeat={repeat}",
+        )
+        for repeat in range(config.repeats)
+    ]
+
+
+def run(scale: str = "quick", seed: int = 0, engine=None) -> ResultTable:
+    """Return the per-policy chaos comparison table."""
+    raw = run_sweep(grid(scale, seed), COLUMNS, TITLE, engine=engine)
     return raw.aggregate(
         ["policy"],
         ["goodput", "crash_goodput", "tasks_lost", "retries", "failovers",

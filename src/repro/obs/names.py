@@ -43,6 +43,17 @@ CLUSTER_LOAD_SHED = "cluster/load_shed_devices"
 ONLINE_ASSIGNMENTS = "cluster/online_assignments"
 ONLINE_REJECTIONS = "cluster/online_rejections"
 
+# -- sweep execution engine ------------------------------------------
+ENGINE_JOBS_SCHEDULED = "engine/jobs_scheduled"
+ENGINE_JOBS_COMPLETED = "engine/jobs_completed"
+ENGINE_JOBS_FAILED = "engine/jobs_failed"
+ENGINE_CACHE_HITS = "engine/cache_hits"
+ENGINE_CACHE_MISSES = "engine/cache_misses"
+ENGINE_CACHE_CORRUPT = "engine/cache_corrupt_entries"
+ENGINE_QUEUE_WAIT = "engine/queue_wait_s"
+ENGINE_JOB_RUNTIME = "engine/job_runtime_s"
+ENGINE_WORKER_UTILIZATION = "engine/worker_utilization"
+
 # -- fault injection and task-lifecycle resilience --------------------
 FAULTS_INJECTED = "faults/injected"
 FAULTS_SERVER_CRASHES = "faults/server_crashes"
@@ -88,6 +99,15 @@ CATALOG: tuple[str, ...] = (
     CLUSTER_LOAD_SHED,
     ONLINE_ASSIGNMENTS,
     ONLINE_REJECTIONS,
+    ENGINE_JOBS_SCHEDULED,
+    ENGINE_JOBS_COMPLETED,
+    ENGINE_JOBS_FAILED,
+    ENGINE_CACHE_HITS,
+    ENGINE_CACHE_MISSES,
+    ENGINE_CACHE_CORRUPT,
+    ENGINE_QUEUE_WAIT,
+    ENGINE_JOB_RUNTIME,
+    ENGINE_WORKER_UTILIZATION,
     FAULTS_INJECTED,
     FAULTS_SERVER_CRASHES,
     FAULTS_SERVER_REPAIRS,

@@ -5,6 +5,7 @@ These helpers are deliberately dependency-light; everything in
 subpackages.
 """
 
+from repro.utils.fileio import atomic_write_text
 from repro.utils.rng import derive_seed, make_rng, spawn_rngs
 from repro.utils.stats import OnlineStats, Summary, mean_confidence_interval, summarize
 from repro.utils.tables import format_markdown_table, format_table
@@ -18,6 +19,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write_text",
     "derive_seed",
     "make_rng",
     "spawn_rngs",

@@ -1,0 +1,38 @@
+"""Crash-safe file writes.
+
+A sweep interrupted mid-write must never leave a truncated JSON that a
+resumed run then trusts; every artifact the library persists (result
+tables, cache entries, observability exports) goes through
+:func:`atomic_write_text`: write to a unique temporary file in the
+destination directory, then :func:`os.replace` it into place.  On
+POSIX the replace is atomic, so readers observe either the old
+complete file or the new complete file — never a partial one.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+
+def atomic_write_text(
+    path: "str | Path", text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the final path.
+
+    The temporary file lives in the same directory as ``path`` (a
+    cross-device rename would not be atomic) and carries a unique
+    suffix so concurrent writers — engine workers sharing one cache
+    directory — cannot collide.  The temp file is removed on failure.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+    try:
+        tmp.write_text(text, encoding=encoding)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path

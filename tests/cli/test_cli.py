@@ -176,6 +176,56 @@ class TestSimulateExperimentReport:
         assert out_json.exists()
         assert "F4" in capsys.readouterr().out
 
+    def test_experiment_engine_flags_cache_across_runs(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.experiments import configs
+        from repro.experiments.configs import Scale
+
+        monkeypatch.setitem(
+            configs._CONFIGS,
+            "f4",
+            {
+                "quick": Scale(
+                    repeats=2,
+                    params={"n_devices": 8, "n_servers": 2, "n_routers": 8,
+                            "tightness": 0.8},
+                    solver_kwargs={
+                        "tacc": {"episodes": 10},
+                        "qlearning": {"episodes": 10},
+                        "annealing": {"steps": 300},
+                        "genetic": {"population": 8, "generations": 5},
+                    },
+                ),
+            },
+        )
+        cache = tmp_path / "cache"
+        args = ["experiment", "f4", "--scale", "quick",
+                "--jobs", "2", "--cache-dir", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "misses: 2" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "hit ratio: 100%" in second.err
+        assert first.out == second.out  # cached table identical
+
+    def test_compare_engine_flags(self, tmp_path, capsys):
+        instance = tmp_path / "inst.json"
+        main([
+            "generate", "--output", str(instance), "--kind", "random",
+            "--devices", "8", "--servers", "2", "--seed", "8",
+        ])
+        capsys.readouterr()
+        code = main([
+            "compare", str(instance), "--solvers", "greedy,random",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "greedy" in captured.out
+        assert "engine: 2 jobs" in captured.err
+
     def test_report_renders_from_results(self, tmp_path, capsys):
         from repro.experiments.harness import ResultTable
 

@@ -1,0 +1,95 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.cache import NullCache, ResultCache
+from repro.engine.hashing import job_key
+from repro.engine.jobspec import JobSpec
+
+SPEC = JobSpec(
+    experiment="syn",
+    fn="repro.engine.synthetic:cpu_cell",
+    params={"iterations": 10},
+    seed=5,
+)
+ROWS = [{"cell": 0, "seed": 5, "value": 0.25}]
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(SPEC)
+        assert cache.get(key) is None  # cold
+        cache.put(key, SPEC, ROWS)
+        assert cache.get(key) == ROWS
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(SPEC)
+        path = cache.put(key, SPEC, ROWS)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+    def test_entry_self_describes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(SPEC)
+        entry = json.loads(cache.put(key, SPEC, ROWS).read_text())
+        assert entry["experiment"] == "syn"
+        assert entry["seed"] == 5
+        assert entry["params"] == {"iterations": 10}
+        assert entry["rows"] == ROWS
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(SPEC)
+        path = cache.put(key, SPEC, ROWS)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # removed so a recompute can replace it
+
+    def test_tampered_rows_fail_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(SPEC)
+        path = cache.put(key, SPEC, ROWS)
+        entry = json.loads(path.read_text())
+        entry["rows"][0]["value"] = 0.999  # silent bit-flip
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_structure_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(SPEC)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]))  # not an entry dict
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_hit_ratio(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = job_key(SPEC)
+        cache.get(key)
+        cache.put(key, SPEC, ROWS)
+        cache.get(key)
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_empty_stats_ratio_is_zero(self):
+        assert NullCache().stats.hit_ratio == 0.0
+
+
+class TestNullCache:
+    def test_never_hits_never_writes(self, tmp_path):
+        cache = NullCache()
+        key = job_key(SPEC)
+        cache.put(key, SPEC, ROWS)
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        assert len(cache) == 0

@@ -1,0 +1,81 @@
+"""Tests for canonical hashing and cache-key stability."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.hashing import canonical_json, code_fingerprint, job_key, sha256_hex
+from repro.engine.jobspec import JobSpec
+from repro.errors import EngineError
+
+
+def spec(**overrides) -> JobSpec:
+    base = dict(
+        experiment="f2",
+        fn="repro.experiments.f2_devices:cell",
+        params={"n_devices": 10, "solver_kwargs": {"tacc": {"episodes": 15}}},
+        seed=42,
+        label="f2 n=10",
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_nan_and_inf_are_spelled_out(self):
+        text = canonical_json({"x": math.nan, "y": math.inf, "z": -math.inf})
+        assert '"nan"' in text and '"inf"' in text and '"-inf"' in text
+        # and deterministically so
+        assert text == canonical_json({"z": -math.inf, "y": math.inf, "x": math.nan})
+
+    def test_tuples_and_lists_equal(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_numpy_scalars(self):
+        assert canonical_json(np.int64(3)) == canonical_json(3)
+        assert canonical_json(np.float64(0.5)) == canonical_json(0.5)
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(EngineError):
+            canonical_json(object())
+
+    def test_sha256_hex_is_stable(self):
+        assert sha256_hex("abc") == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+
+class TestJobKey:
+    def test_deterministic_across_calls(self):
+        assert job_key(spec()) == job_key(spec())
+
+    def test_label_excluded(self):
+        assert job_key(spec(label="a")) == job_key(spec(label="b"))
+
+    def test_params_change_key(self):
+        assert job_key(spec()) != job_key(spec(params={"n_devices": 11}))
+
+    def test_nested_kwargs_change_key(self):
+        other = spec(
+            params={"n_devices": 10, "solver_kwargs": {"tacc": {"episodes": 16}}}
+        )
+        assert job_key(spec()) != job_key(other)
+
+    def test_seed_changes_key(self):
+        assert job_key(spec()) != job_key(spec(seed=43))
+
+    def test_fn_changes_key(self):
+        assert job_key(spec()) != job_key(spec(fn="repro.experiments.f3_servers:cell"))
+
+    def test_fingerprint_changes_key(self):
+        assert job_key(spec()) != job_key(spec(), fingerprint="other-code-generation")
+
+    def test_default_fingerprint_tracks_version(self):
+        assert code_fingerprint().startswith("repro-")
+        assert "/cache-v" in code_fingerprint()

@@ -1,0 +1,95 @@
+"""Tests for JobSpec resolution and row normalization."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.jobspec import (
+    JobSpec,
+    execute_spec,
+    finite_or_nan,
+    normalize_rows,
+    normalize_value,
+)
+from repro.errors import EngineError, ValidationError
+
+
+class TestJobSpec:
+    def test_requires_module_colon_callable(self):
+        with pytest.raises(ValidationError):
+            JobSpec(experiment="x", fn="no_colon_here")
+
+    def test_requires_dict_params(self):
+        with pytest.raises(ValidationError):
+            JobSpec(experiment="x", fn="m:f", params=[1, 2])
+
+    def test_resolve_finds_cell(self):
+        spec = JobSpec(experiment="syn", fn="repro.engine.synthetic:cpu_cell")
+        assert callable(spec.resolve())
+
+    def test_resolve_unknown_module(self):
+        spec = JobSpec(experiment="syn", fn="repro.no_such_module:cell")
+        with pytest.raises(EngineError):
+            spec.resolve()
+
+    def test_resolve_unknown_attribute(self):
+        spec = JobSpec(experiment="syn", fn="repro.engine.synthetic:no_such_cell")
+        with pytest.raises(EngineError):
+            spec.resolve()
+
+    def test_resolve_non_callable(self):
+        spec = JobSpec(experiment="syn", fn="repro.engine.jobspec:JobSpec.__doc__")
+        with pytest.raises(EngineError):
+            spec.resolve()
+
+    def test_describe_prefers_label(self):
+        spec = JobSpec(experiment="f2", fn="m:f", label="f2 n=10 r=0")
+        assert spec.describe() == "f2 n=10 r=0"
+        bare = JobSpec(experiment="f2", fn="repro.engine.synthetic:cpu_cell")
+        assert "f2" in bare.describe()
+
+    def test_execute_spec_runs_and_normalizes(self):
+        spec = JobSpec(
+            experiment="syn",
+            fn="repro.engine.synthetic:cpu_cell",
+            params={"iterations": 100, "cell": 3},
+            seed=7,
+        )
+        rows = execute_spec(spec)
+        assert rows == execute_spec(spec)
+        assert rows[0]["cell"] == 3
+        assert isinstance(rows[0]["value"], float)
+
+
+class TestNormalize:
+    def test_numpy_scalars_become_native(self):
+        assert normalize_value(np.int64(4)) == 4
+        assert type(normalize_value(np.int64(4))) is int
+        assert type(normalize_value(np.float64(0.5))) is float
+        assert normalize_value(np.bool_(True)) is True
+
+    def test_tuples_become_lists(self):
+        assert normalize_value((1, np.int32(2))) == [1, 2]
+
+    def test_passthrough_scalars(self):
+        for value in ("s", True, 3, 2.5, None):
+            assert normalize_value(value) == value
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(EngineError):
+            normalize_value(object())
+
+    def test_normalize_rows_shape_checks(self):
+        with pytest.raises(ValidationError):
+            normalize_rows({"not": "a list"})
+        with pytest.raises(ValidationError):
+            normalize_rows(["not a dict"])
+        assert normalize_rows([{"a": np.float32(1.0)}]) == [{"a": 1.0}]
+
+    def test_finite_or_nan(self):
+        assert finite_or_nan(2.0) == 2.0
+        assert math.isnan(finite_or_nan(math.inf))
+        assert math.isnan(finite_or_nan(math.nan))

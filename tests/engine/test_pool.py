@@ -1,0 +1,76 @@
+"""Tests for the worker pool: inline vs forked, failures, timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.jobspec import JobSpec
+from repro.engine.pool import run_jobs_pooled
+
+
+def cpu_specs(n: int) -> "list[JobSpec]":
+    return [
+        JobSpec(
+            experiment="syn",
+            fn="repro.engine.synthetic:cpu_cell",
+            params={"iterations": 500, "cell": i},
+            seed=100 + i,
+            label=f"cpu {i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestRunJobsPooled:
+    def test_inline_results_in_spec_order(self):
+        outcomes = run_jobs_pooled(cpu_specs(4), workers=1)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.ok for o in outcomes)
+        assert [o.rows[0]["cell"] for o in outcomes] == [0, 1, 2, 3]
+
+    def test_pooled_matches_inline(self):
+        specs = cpu_specs(6)
+        inline = run_jobs_pooled(specs, workers=1)
+        pooled = run_jobs_pooled(specs, workers=4)
+        assert [o.rows for o in inline] == [o.rows for o in pooled]
+
+    def test_on_outcome_fires_once_per_job(self):
+        seen = []
+        run_jobs_pooled(cpu_specs(5), workers=2, on_outcome=lambda o: seen.append(o.index))
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_failure_is_captured_not_raised(self):
+        specs = cpu_specs(1) + [
+            JobSpec(experiment="syn", fn="repro.engine.synthetic:failing_cell", seed=9)
+        ]
+        outcomes = run_jobs_pooled(specs, workers=2)
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "synthetic failure (seed 9)" in outcomes[1].error
+
+    def test_failure_in_inline_mode(self):
+        spec = JobSpec(experiment="syn", fn="repro.engine.synthetic:failing_cell", seed=3)
+        (outcome,) = run_jobs_pooled([spec], workers=1)
+        assert not outcome.ok
+        assert "RuntimeError" in outcome.error
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_timeout_interrupts_hanging_cell(self, workers):
+        specs = [
+            JobSpec(
+                experiment="syn",
+                fn="repro.engine.synthetic:failing_cell",
+                params={"hang_s": 30.0},
+                seed=1,
+                label="hang",
+            )
+        ] * workers  # at least one per worker mode
+        outcomes = run_jobs_pooled(specs, workers=workers, timeout_s=0.2)
+        assert all(not o.ok for o in outcomes)
+        assert all("timeout" in o.error.lower() for o in outcomes)
+        assert all(o.duration_s < 5.0 for o in outcomes)
+
+    def test_durations_recorded(self):
+        (outcome,) = run_jobs_pooled(cpu_specs(1), workers=1)
+        assert outcome.duration_s >= 0.0
+        assert outcome.queue_wait_s >= 0.0

@@ -1,0 +1,34 @@
+"""Tests for the throttled progress reporter."""
+
+from __future__ import annotations
+
+import io
+
+from repro.engine.progress import ProgressReporter
+
+
+class TestProgressReporter:
+    def test_final_update_always_emits(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, stream=stream, min_interval_s=999.0)
+        reporter.update()
+        reporter.update(cached=True)
+        lines = stream.getvalue().strip().splitlines()
+        assert lines[-1].startswith("engine: 2/2 jobs (cached 1, failed 0)")
+
+    def test_throttles_intermediate_updates(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=100, stream=stream, min_interval_s=999.0)
+        for _ in range(99):
+            reporter.update()
+        # nothing but the first line (emitted at interval start) so far
+        assert len(stream.getvalue().strip().splitlines()) <= 1
+        reporter.update()
+        assert "100/100" in stream.getvalue()
+
+    def test_disabled_reporter_is_silent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, enabled=False, stream=stream)
+        reporter.update(failed=True)
+        assert stream.getvalue() == ""
+        assert reporter.failed == 1  # still counts

@@ -1,0 +1,154 @@
+"""Tests for the cache-aware engine front door (run_jobs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine import EngineOptions, JobSpec, ResultCache, job_key, run_jobs
+from repro.errors import EngineError
+
+
+def specs(n: int = 4) -> "list[JobSpec]":
+    return [
+        JobSpec(
+            experiment="syn",
+            fn="repro.engine.synthetic:cpu_cell",
+            params={"iterations": 400, "cell": i},
+            seed=50 + i,
+            label=f"cpu {i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestRunJobs:
+    def test_default_options_serial_uncached(self):
+        rows = run_jobs(specs(3))
+        assert len(rows) == 3
+        assert [r[0]["cell"] for r in rows] == [0, 1, 2]
+
+    def test_serial_parallel_cached_identical(self, tmp_path):
+        grid = specs(6)
+        serial = run_jobs(grid, EngineOptions(jobs=1))
+        parallel = run_jobs(
+            grid, EngineOptions(jobs=4, cache_dir=tmp_path / "cache")
+        )
+        cached = EngineOptions(jobs=4, cache_dir=tmp_path / "cache")
+        second = run_jobs(grid, cached)
+        assert serial == parallel == second
+        assert cached.last_report.cache.hits == 6
+        assert cached.last_report.cache.hit_ratio == 1.0
+
+    def test_no_cache_overrides_cache_dir(self, tmp_path):
+        options = EngineOptions(jobs=1, cache_dir=tmp_path / "cache", no_cache=True)
+        run_jobs(specs(2), options)
+        assert not (tmp_path / "cache").exists()
+        assert options.last_report.cache.hits == 0
+
+    def test_corrupt_entry_recomputed_not_returned(self, tmp_path):
+        grid = specs(2)
+        options = EngineOptions(jobs=1, cache_dir=tmp_path / "cache")
+        first = run_jobs(grid, options)
+        # flip a value inside one entry without updating its checksum
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.path_for(job_key(grid[0]))
+        entry = json.loads(path.read_text())
+        entry["rows"][0]["value"] = -123.0
+        path.write_text(json.dumps(entry))
+        again = EngineOptions(jobs=1, cache_dir=tmp_path / "cache")
+        second = run_jobs(grid, again)
+        assert second == first  # the poisoned value never surfaces
+        assert again.last_report.cache.corrupt == 1
+        assert again.last_report.cache.hits == 1  # the untouched entry
+
+    def test_failures_raise_engine_error_listing_jobs(self):
+        grid = specs(1) + [
+            JobSpec(
+                experiment="syn",
+                fn="repro.engine.synthetic:failing_cell",
+                seed=9,
+                label="boom",
+            )
+        ]
+        with pytest.raises(EngineError, match="boom"):
+            run_jobs(grid, EngineOptions(jobs=1))
+
+    def test_partial_results_cached_before_failure(self, tmp_path):
+        grid = specs(2) + [
+            JobSpec(experiment="syn", fn="repro.engine.synthetic:failing_cell", seed=1)
+        ]
+        options = EngineOptions(jobs=1, cache_dir=tmp_path / "cache")
+        with pytest.raises(EngineError):
+            run_jobs(grid, options)
+        # the two good cells were persisted, so a fixed re-run resumes
+        retry = EngineOptions(jobs=1, cache_dir=tmp_path / "cache")
+        rows = run_jobs(grid[:2], retry)
+        assert len(rows) == 2
+        assert retry.last_report.cache.hits == 2
+
+    def test_rejects_nonpositive_jobs(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            run_jobs(specs(1), EngineOptions(jobs=0))
+
+    def test_report_fields(self, tmp_path):
+        options = EngineOptions(jobs=2, cache_dir=tmp_path / "cache")
+        run_jobs(specs(4), options)
+        report = options.last_report
+        assert report.scheduled == 4
+        assert report.completed == 4
+        assert report.failed == 0
+        assert report.workers == 2
+        assert 0.0 <= report.worker_utilization <= 1.0
+        summary = report.summary()
+        assert "4 jobs" in summary and "cache hits: 0" in summary
+
+    def test_obs_counters_recorded(self, tmp_path):
+        with obs.observed() as session:
+            options = EngineOptions(jobs=1, cache_dir=tmp_path / "cache")
+            run_jobs(specs(3), options)
+            run_jobs(specs(3), EngineOptions(jobs=1, cache_dir=tmp_path / "cache"))
+            snapshot = session.snapshot()
+        counters = snapshot["counters"]
+        assert counters["engine/jobs_scheduled"] == 6.0
+        assert counters["engine/jobs_completed"] == 6.0
+        assert counters["engine/cache_misses"] == 3.0
+        assert counters["engine/cache_hits"] == 3.0
+        assert "engine/job_runtime_s" in snapshot["timers"]
+
+
+class TestExperimentDeterminism:
+    """A real experiment produces identical tables on every engine path."""
+
+    def test_f2_serial_vs_parallel_vs_cached(self, tmp_path, monkeypatch):
+        from repro.experiments import configs, f2_devices
+        from repro.experiments.configs import Scale
+
+        micro = Scale(
+            repeats=2,
+            params={"n_devices": [8], "n_servers": 2, "n_routers": 10},
+            solver_kwargs={
+                "tacc": {"episodes": 10},
+                "qlearning": {"episodes": 10},
+                "annealing": {"steps": 200},
+                "genetic": {"population": 6, "generations": 4},
+            },
+        )
+        monkeypatch.setattr(
+            configs, "_CONFIGS", {"f2": {"quick": micro, "full": micro}}
+        )
+        serial = f2_devices.run("quick", seed=3)
+        parallel = f2_devices.run(
+            "quick",
+            seed=3,
+            engine=EngineOptions(jobs=4, cache_dir=tmp_path / "cache"),
+        )
+        cached = EngineOptions(jobs=4, cache_dir=tmp_path / "cache")
+        second = f2_devices.run("quick", seed=3, engine=cached)
+        assert serial.rows == parallel.rows == second.rows
+        assert serial.columns == parallel.columns
+        assert cached.last_report.cache.hit_ratio == 1.0

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import time
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.experiments.harness import (
     ResultTable,
     normalized_cost,
     run_solver_field,
+    run_sweep,
     sweep_seeds,
 )
 from repro.solvers.base import SolverResult
@@ -81,6 +83,30 @@ class TestResultTable:
         assert loaded.rows == table.rows
         assert loaded.title == "demo"
 
+    def test_save_json_is_atomic(self, tmp_path):
+        table = self.make()
+        path = tmp_path / "table.json"
+        table.save_json(path)
+        table.save_json(path)  # overwrite in place
+        assert ResultTable.load_json(path).rows == table.rows
+        # no temp-file droppings next to the table
+        assert [p.name for p in tmp_path.iterdir()] == ["table.json"]
+
+    def test_aggregate_scales_linearly(self):
+        """A few thousand rows group in one pass, order-stable."""
+        table = ResultTable(["solver", "n", "cost"])
+        groups = [(f"s{i % 40}", ((i // 40) % 25) * 10) for i in range(5000)]
+        for index, (solver, n) in enumerate(groups):
+            table.add_row(solver=solver, n=n, cost=float(index % 17))
+        started = time.perf_counter()
+        agg = table.aggregate(["solver", "n"], ["cost"])
+        elapsed = time.perf_counter() - started
+        assert elapsed < 1.0  # the old per-key rescan took quadratic time
+        assert len(agg) == 1000  # 40 solvers x 25 sizes
+        # first-seen order: the first few groups come straight from row order
+        seen_in_rows = list(dict.fromkeys(groups))
+        assert [(r["solver"], r["n"]) for r in agg.rows] == seen_in_rows
+
 
 class TestSweepSeeds:
     def test_distinct_and_reproducible(self):
@@ -111,6 +137,43 @@ class TestRunSolverField:
         a = run_solver_field(small_problem, ["random"], seed=5)
         b = run_solver_field(small_problem, ["random"], seed=5)
         assert a["random"].assignment == b["random"].assignment
+
+    def test_caller_kwargs_never_mutated(self, small_problem):
+        """The per-solver kwargs are deep-copied before seeding."""
+        kwargs = {"tacc": {"episodes": 15}}
+        run_solver_field(small_problem, ["tacc"], seed=1, solver_kwargs=kwargs)
+        run_solver_field(small_problem, ["tacc"], seed=2, solver_kwargs=kwargs)
+        assert kwargs == {"tacc": {"episodes": 15}}  # no injected "seed" key
+
+
+class TestRunSweep:
+    def make_specs(self, n=3):
+        from repro.engine import JobSpec
+
+        return [
+            JobSpec(
+                experiment="syn",
+                fn="repro.engine.synthetic:cpu_cell",
+                params={"iterations": 200, "cell": i},
+                seed=i,
+            )
+            for i in range(n)
+        ]
+
+    def test_collects_rows_in_spec_order(self):
+        table = run_sweep(self.make_specs(), ["cell", "seed", "value"], title="syn")
+        assert table.title == "syn"
+        assert table.column("cell") == [0, 1, 2]
+
+    def test_engine_options_forwarded(self, tmp_path):
+        from repro.engine import EngineOptions
+
+        options = EngineOptions(jobs=2, cache_dir=tmp_path / "cache")
+        first = run_sweep(self.make_specs(), ["cell", "seed", "value"], engine=options)
+        again = EngineOptions(jobs=2, cache_dir=tmp_path / "cache")
+        second = run_sweep(self.make_specs(), ["cell", "seed", "value"], engine=again)
+        assert first.rows == second.rows
+        assert again.last_report.cache.hits == 3
 
 
 class TestNormalizedCost:

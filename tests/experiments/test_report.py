@@ -69,8 +69,8 @@ class TestRenderSection:
         assert "n/a" in section
 
     def test_every_experiment_has_metadata(self):
-        # 10 paper artifacts + X1-X6 extensions + G1 obs-overhead guard
-        assert len(EXPERIMENTS) == 17
+        # 10 paper artifacts + X1-X6 extensions + G1 obs / G2 engine guards
+        assert len(EXPERIMENTS) == 18
         for meta in EXPERIMENTS.values():
             assert meta.expected
             assert callable(meta.observe)

@@ -1,0 +1,42 @@
+"""Tests for atomic file writes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.fileio import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        assert atomic_write_text(target, "{}") == target
+        assert target.read_text() == "{}"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "deep")
+        assert target.read_text() == "deep"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        for _ in range(3):
+            atomic_write_text(target, "content")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failure_cleans_up_temp(self, tmp_path, monkeypatch):
+        import repro.utils.fileio as fileio
+
+        def boom(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(fileio.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated"):
+            atomic_write_text(tmp_path / "out.txt", "content")
+        assert list(tmp_path.iterdir()) == []  # temp removed, target absent
