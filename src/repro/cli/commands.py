@@ -24,28 +24,32 @@ from repro.utils.tables import format_table
 
 
 def _engine_options(args):
-    """EngineOptions from the --jobs/--cache-dir/--no-cache flags.
+    """EngineOptions from the --jobs/--cache-dir/--no-cache/--profile flags.
 
     Returns ``None`` when the flags ask for the historical behavior
-    (one in-process worker, no cache) so those invocations skip the
-    engine report line entirely.
+    (one in-process worker, no cache, no profiling) so those
+    invocations skip the engine report line entirely.
     """
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache_dir", None)
     no_cache = getattr(args, "no_cache", False)
-    if jobs == 1 and (cache_dir is None or no_cache):
+    profile = getattr(args, "profile", False)
+    if jobs == 1 and (cache_dir is None or no_cache) and not profile:
         return None
     from repro.engine import EngineOptions
 
-    return EngineOptions(jobs=jobs, cache_dir=cache_dir, no_cache=no_cache)
+    return EngineOptions(
+        jobs=jobs, cache_dir=cache_dir, no_cache=no_cache, profile=profile
+    )
 
 
 def _print_engine_report(engine) -> None:
-    """Echo the engine summary (worker/cache stats) to stderr."""
+    """Echo the engine summary (and profile, if collected) to stderr."""
     if engine is not None:
-        from repro.engine import print_report
+        from repro.engine import print_profile, print_report
 
         print_report(engine)
+        print_profile(engine)
 
 
 def _rl_kwargs(args) -> dict:
@@ -311,6 +315,104 @@ def cmd_obs(args) -> int:
         return 0
     print(obs.render_dashboard(data, width=args.width))
     return 0
+
+
+def cmd_ledger(args) -> int:
+    """Summarize (and optionally dump) a run-ledger JSONL file."""
+    from repro.obs.ledger import read_ledger, render_ledger_summary
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such ledger file: {path}")
+        return 1
+    try:
+        records = read_ledger(path)
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"error: {path} is not a repro-obs ledger ({exc})")
+        return 1
+    print(render_ledger_summary(records))
+    if getattr(args, "events", False):
+        for record in records:
+            extras = {
+                key: value for key, value in record.items()
+                if key not in ("type", "event", "run_id", "t")
+            }
+            detail = " ".join(f"{key}={value}" for key, value in extras.items())
+            print(f"{record.get('t', 0.0):.3f} {record['event']} {detail}".rstrip())
+    return 0
+
+
+def cmd_perf_record(args) -> int:
+    """Run the perf probes and append a history record."""
+    from repro.perf import record_run
+
+    record = record_run(
+        history_path=args.history,
+        probes=_probe_names(args),
+        repeats=args.repeats,
+        baseline=args.baseline,
+    )
+    rows = [[name, value * 1e3] for name, value in sorted(record["probes"].items())]
+    print(format_table(["probe", "best of "
+                        f"{args.repeats} (ms)"], rows))
+    marker = " (baseline)" if record.get("baseline") else ""
+    print(f"recorded {record['recorded_at']} @ {record['git_sha']}"
+          f"{marker} -> {args.history}")
+    return 0
+
+
+def cmd_perf_check(args) -> int:
+    """Measure now, compare to the baseline, exit nonzero on regression."""
+    from repro.perf import check_against_baseline
+
+    result = check_against_baseline(
+        history_path=args.history,
+        probes=_probe_names(args),
+        repeats=args.repeats,
+        max_regression=args.max_regression,
+    )
+    rows = [
+        [c["probe"], c["baseline_s"] * 1e3, c["measured_s"] * 1e3,
+         f"{c['ratio']:.2f}x", "REGRESSED" if c["regressed"] else "ok"]
+        for c in result["comparisons"]
+    ]
+    print(format_table(
+        ["probe", "baseline (ms)", "measured (ms)", "ratio", "verdict"], rows
+    ))
+    if result["regressions"]:
+        print(f"perf check FAILED: {len(result['regressions'])} probe(s) exceeded "
+              f"baseline * {1.0 + args.max_regression:.2f}")
+        return 3
+    print(f"perf check passed against baseline {result['baseline']['git_sha']} "
+          f"({result['baseline']['recorded_at']})")
+    return 0
+
+
+def cmd_perf_list(args) -> int:
+    """Print the recorded perf history."""
+    from repro.perf import load_history
+
+    records = load_history(args.history)
+    if not records:
+        print(f"no history at {args.history} (run `repro perf record` first)")
+        return 1
+    rows = [
+        [record["recorded_at"], record["git_sha"][:12],
+         record.get("fingerprint", ""), len(record["probes"]),
+         "yes" if record.get("baseline") else ""]
+        for record in records
+    ]
+    print(format_table(
+        ["recorded at", "git sha", "fingerprint", "probes", "baseline"], rows
+    ))
+    return 0
+
+
+def _probe_names(args) -> "list[str] | None":
+    raw = getattr(args, "probes", None)
+    if not raw:
+        return None
+    return [name.strip() for name in raw.split(",") if name.strip()]
 
 
 def cmd_info(args) -> int:

@@ -33,6 +33,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="enable observability and write the metrics/span JSONL here "
             "(render it with `repro obs PATH`)",
         )
+        subparser.add_argument(
+            "--ledger",
+            default=None,
+            metavar="PATH",
+            help="append run-lifecycle events (jobs, cache hits, faults, "
+            "retries) as JSONL here (summarize with `repro ledger PATH`)",
+        )
 
     def add_engine_flags(subparser) -> None:
         """Sweep-shaped commands can fan out on the execution engine."""
@@ -54,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache",
             action="store_true",
             help="ignore --cache-dir: recompute every cell and write nothing",
+        )
+        subparser.add_argument(
+            "--profile",
+            action="store_true",
+            help="run every executed cell under cProfile and print a top-15 "
+            "cumulative-time table (cache hits are not profiled)",
         )
 
     generate = sub.add_parser("generate", help="generate an instance JSON")
@@ -162,6 +175,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.set_defaults(handler=commands.cmd_obs)
 
+    ledger = sub.add_parser(
+        "ledger", help="summarize a run-ledger JSONL file written by --ledger"
+    )
+    ledger.add_argument("path", help="JSONL file written by --ledger")
+    ledger.add_argument(
+        "--events",
+        action="store_true",
+        help="also print every event record, one line each",
+    )
+    ledger.set_defaults(handler=commands.cmd_ledger)
+
+    perf = sub.add_parser(
+        "perf", help="benchmark history: record runs, gate regressions"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_record = perf_sub.add_parser(
+        "record", help="run the perf probes and append results to the history"
+    )
+    perf_record.add_argument(
+        "--history",
+        default="benchmarks/results/history.jsonl",
+        metavar="PATH",
+        help="history JSONL to append to (default: benchmarks/results/history.jsonl)",
+    )
+    perf_record.add_argument(
+        "--probes", default=None, metavar="NAMES",
+        help="comma-separated probe subset (default: all probes)",
+    )
+    perf_record.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions per probe; the minimum is recorded (default: 3)",
+    )
+    perf_record.add_argument(
+        "--baseline", action="store_true",
+        help="mark this record as the comparison baseline for `perf check`",
+    )
+    perf_record.set_defaults(handler=commands.cmd_perf_record)
+    perf_check = perf_sub.add_parser(
+        "check", help="measure now and compare against the recorded baseline"
+    )
+    perf_check.add_argument(
+        "--history",
+        default="benchmarks/results/history.jsonl",
+        metavar="PATH",
+        help="history JSONL holding the baseline",
+    )
+    perf_check.add_argument(
+        "--probes", default=None, metavar="NAMES",
+        help="comma-separated probe subset (default: all probes)",
+    )
+    perf_check.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions per probe; the minimum is compared (default: 3)",
+    )
+    perf_check.add_argument(
+        "--max-regression", type=float, default=0.5, metavar="FRAC",
+        help="fail when a probe is slower than baseline * (1 + FRAC) "
+        "(default: 0.5 = 50%% headroom)",
+    )
+    perf_check.set_defaults(handler=commands.cmd_perf_check)
+    perf_list = perf_sub.add_parser(
+        "list", help="show the recorded history and which record is the baseline"
+    )
+    perf_list.add_argument(
+        "--history",
+        default="benchmarks/results/history.jsonl",
+        metavar="PATH",
+        help="history JSONL to list",
+    )
+    perf_list.set_defaults(handler=commands.cmd_perf_list)
+
     report = sub.add_parser("report", help="render EXPERIMENTS.md from results")
     report.add_argument("--results", default="benchmarks/results/full")
     report.add_argument("--output", default="EXPERIMENTS.md")
@@ -183,12 +267,21 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     obs_path = getattr(args, "obs", None)
+    ledger_path = getattr(args, "ledger", None)
     session = None
     if obs_path:
         from repro import obs as obs_module
 
         session = obs_module.enable()
     try:
+        if ledger_path:
+            from repro.obs import runtime as obs_runtime
+
+            with obs_runtime.ledgered(ledger_path):
+                code = args.handler(args)
+            print(f"run ledger written to {ledger_path} "
+                  f"(summarize with `repro ledger {ledger_path}`)")
+            return code
         return args.handler(args)
     except repro.errors.ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

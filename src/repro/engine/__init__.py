@@ -32,7 +32,13 @@ from repro.engine.hashing import (
 from repro.engine.jobspec import JobSpec, execute_spec, normalize_rows
 from repro.engine.pool import JobOutcome, run_jobs_pooled
 from repro.engine.progress import ProgressReporter
-from repro.engine.runner import EngineOptions, EngineReport, print_report, run_jobs
+from repro.engine.runner import (
+    EngineOptions,
+    EngineReport,
+    print_profile,
+    print_report,
+    run_jobs,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -49,6 +55,7 @@ __all__ = [
     "execute_spec",
     "job_key",
     "normalize_rows",
+    "print_profile",
     "print_report",
     "run_jobs",
     "run_jobs_pooled",

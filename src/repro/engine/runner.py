@@ -9,7 +9,14 @@ cache.
 
 Engine telemetry (jobs scheduled/completed/failed, cache hits and
 misses, queue wait, job runtime, worker utilization) is recorded on
-the parent's :mod:`repro.obs` registry; workers stay obs-silent.
+the parent's :mod:`repro.obs` registry.  When observability is
+enabled, each worker's own solver/sim/RL telemetry — collected under
+a worker-local registry (see :mod:`repro.engine.pool`) — is folded
+into the parent registry as outcomes arrive, and worker span trees
+are adopted by the parent tracer; cache hits recompute nothing and
+therefore contribute no solver/sim samples.  Run-lifecycle events
+(``run_start``, per-job ``job_start``/``job_end``, ``cache_hit``,
+``run_end``) stream to the active :mod:`repro.obs.ledger`.
 """
 
 from __future__ import annotations
@@ -38,7 +45,9 @@ class EngineOptions:
     behavior exactly: one in-process worker, no cache, no progress
     output.  ``jobs`` is the worker-pool width; ``cache_dir`` enables
     the content-addressed result cache (``no_cache`` wins over it);
-    ``timeout_s`` bounds each job's runtime.
+    ``timeout_s`` bounds each job's runtime; ``profile`` wraps every
+    executed cell in cProfile and aggregates the stats into
+    :attr:`last_profile` (cache hits are not profiled — nothing runs).
     """
 
     jobs: int = 1
@@ -46,8 +55,11 @@ class EngineOptions:
     no_cache: bool = False
     timeout_s: "float | None" = None
     progress: bool = False
+    profile: bool = False
     #: filled in by :func:`run_jobs` after each execution
     last_report: "EngineReport | None" = field(default=None, repr=False, compare=False)
+    #: merged cProfile stats of the last execution (``profile=True`` only)
+    last_profile: "dict | None" = field(default=None, repr=False, compare=False)
 
     def make_cache(self) -> "ResultCache | NullCache":
         """The cache this configuration asks for."""
@@ -98,9 +110,16 @@ def run_jobs(
     options = options or EngineOptions()
     require(options.jobs >= 1, f"jobs must be >= 1, got {options.jobs}")
     registry = obs_runtime.metrics()
+    ledger = obs_runtime.ledger()
     cache = options.make_cache()
     started = time.monotonic()
     registry.counter(obs_names.ENGINE_JOBS_SCHEDULED).inc(len(specs))
+    ledger.emit(
+        "run_start",
+        jobs=len(specs),
+        workers=options.jobs,
+        experiment=specs[0].experiment if specs else "",
+    )
     progress = ProgressReporter(
         total=len(specs), enabled=options.progress and len(specs) > 0
     )
@@ -113,6 +132,7 @@ def run_jobs(
         hit = cache.get(key)
         if hit is not None:
             rows_by_index[index] = hit
+            ledger.emit("cache_hit", job=spec.describe(), seed=spec.seed)
             progress.update(cached=True)
         else:
             pending.append((index, spec, key))
@@ -120,16 +140,39 @@ def run_jobs(
     # execute the misses
     busy_s = 0.0
     failures: "list[JobOutcome]" = []
+    profiles: "list[dict]" = []
     if pending:
         # outcomes come back with pool-local indices (0..len(pending));
         # these two maps translate back to cache keys and spec order
         pool_keys = [key for _, _, key in pending]
         queue_wait = registry.timer(obs_names.ENGINE_QUEUE_WAIT)
         job_runtime = registry.timer(obs_names.ENGINE_JOB_RUNTIME)
+        for _, spec, _ in pending:
+            ledger.emit("job_start", job=spec.describe(), seed=spec.seed)
 
         def on_outcome(outcome: JobOutcome) -> None:
             queue_wait.observe(outcome.queue_wait_s)
             job_runtime.observe(outcome.duration_s)
+            # fold the worker-local telemetry into the parent session
+            # before anything can read the registry, so partial states
+            # are never visible
+            if outcome.obs_state:
+                registry.merge_state(outcome.obs_state)
+            if outcome.spans:
+                obs_runtime.tracer().adopt(outcome.spans)
+            if outcome.profile:
+                profiles.append(outcome.profile)
+            status = "ok" if outcome.ok else (
+                "timeout" if outcome.timed_out else "error"
+            )
+            ledger.emit(
+                "job_end",
+                job=outcome.spec.describe(),
+                seed=outcome.spec.seed,
+                status=status,
+                duration_s=outcome.duration_s,
+                queue_wait_s=outcome.queue_wait_s,
+            )
             if outcome.ok:
                 cache.put(pool_keys[outcome.index], outcome.spec, outcome.rows)
             progress.update(failed=not outcome.ok)
@@ -162,6 +205,19 @@ def run_jobs(
     )
     registry.gauge(obs_names.ENGINE_WORKER_UTILIZATION).set(report.worker_utilization)
     options.last_report = report
+    if options.profile:
+        from repro.obs.profile import merge_profiles
+
+        options.last_profile = merge_profiles(profiles)
+    ledger.emit(
+        "run_end",
+        jobs=report.scheduled,
+        completed=report.completed,
+        failed=report.failed,
+        cache_hits=cache.stats.hits,
+        cache_misses=cache.stats.misses,
+        wall_s=wall_s,
+    )
     if failures:
         details = "; ".join(
             f"{outcome.spec.describe()} (seed {outcome.spec.seed}): "
@@ -179,6 +235,8 @@ def _run_pending(pending, options: EngineOptions, on_outcome) -> "list[JobOutcom
         workers=options.jobs,
         timeout_s=options.timeout_s,
         on_outcome=on_outcome,
+        collect_obs=obs_runtime.is_enabled(),
+        profile=options.profile,
     )
 
 
@@ -186,3 +244,11 @@ def print_report(options: "EngineOptions | None", stream=None) -> None:
     """Print the last engine summary, if any (CLI helper)."""
     if options is not None and options.last_report is not None:
         print(options.last_report.summary(), file=stream or sys.stderr)
+
+
+def print_profile(options: "EngineOptions | None", top: int = 15, stream=None) -> None:
+    """Print the last merged cell profile, if one was collected."""
+    if options is not None and options.last_profile is not None:
+        from repro.obs.profile import render_profile
+
+        print(render_profile(options.last_profile, top=top), file=stream or sys.stderr)

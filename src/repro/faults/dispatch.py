@@ -96,6 +96,7 @@ class TaskDispatcher:
         self._obs_retries = metrics.counter(obs_names.FAULTS_TASK_RETRIES)
         self._obs_failovers = metrics.counter(obs_names.FAULTS_TASK_FAILOVERS)
         self._obs_lost = metrics.counter(obs_names.FAULTS_TASKS_LOST)
+        self._ledger = obs_runtime.ledger()
         for queue in queues:
             queue.bind(
                 on_complete=self._on_complete,
@@ -182,6 +183,12 @@ class TaskDispatcher:
             return  # completed/re-sent in the same instant; event raced
         self._timeout_events.pop(task.task_id, None)
         self._obs_timeouts.inc()
+        self._ledger.emit(
+            "task_timeout",
+            task=task.task_id,
+            server=task.server_id,
+            sim_t=self._sim.now,
+        )
         self._recorder.on_timeout(task)
         # the attempt may be queued or in service; pull it back
         self._queues[self._target[task.task_id]].withdraw(task)
@@ -200,9 +207,24 @@ class TaskDispatcher:
         if self.mode == "failover":
             target = self._failover_target(task, avoid=target)
             self._obs_failovers.inc()
+            self._ledger.emit(
+                "task_failover",
+                task=task.task_id,
+                reason=reason,
+                attempt=retries_done + 1,
+                target=self._queues[target].server.server_id,
+                sim_t=self._sim.now,
+            )
             self._recorder.on_failover(task)
         else:
             self._obs_retries.inc()
+            self._ledger.emit(
+                "task_retry",
+                task=task.task_id,
+                reason=reason,
+                attempt=retries_done + 1,
+                sim_t=self._sim.now,
+            )
             self._recorder.on_retry(task)
         backoff = self.policy.backoff_s(retries_done, self._rng)
         # a fresh clone per attempt: the old object may survive in a link
@@ -234,6 +256,7 @@ class TaskDispatcher:
         self._forget(task.task_id)
         self.tasks_lost += 1
         self._obs_lost.inc()
+        self._ledger.emit("task_lost", task=task.task_id, sim_t=self._sim.now)
         self._recorder.on_lost(task)
 
     def _forget(self, task_id: int) -> None:

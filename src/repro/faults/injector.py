@@ -47,6 +47,7 @@ class FaultInjector:
         self._crashes = metrics.counter(obs_names.FAULTS_SERVER_CRASHES)
         self._repairs = metrics.counter(obs_names.FAULTS_SERVER_REPAIRS)
         self._degradations = metrics.counter(obs_names.FAULTS_LINK_DEGRADATIONS)
+        self._ledger = obs_runtime.ledger()
         self._validate()
 
     def _validate(self) -> None:
@@ -82,6 +83,12 @@ class FaultInjector:
         obs_runtime.metrics().counter(
             obs_names.FAULTS_INJECTED, {"kind": spec.kind}
         ).inc()
+        self._ledger.emit(
+            "fault",
+            kind=spec.kind,
+            server=spec.server,
+            sim_t=self._sim.now,
+        )
         if spec.kind == "server_crash":
             self._crashes.inc()
             self._queues[spec.server].fail()

@@ -24,6 +24,14 @@ semantics is ``docs/observability.md``.
 
 from repro.obs import names
 from repro.obs.dashboard import render_dashboard, render_span_tree
+from repro.obs.ledger import (
+    NullLedger,
+    RunLedger,
+    new_run_id,
+    read_ledger,
+    render_ledger_summary,
+    summarize_ledger,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -34,14 +42,18 @@ from repro.obs.metrics import (
     default_buckets,
     snapshot_delta,
 )
+from repro.obs.profile import merge_profiles, profile_call, render_profile
 from repro.obs.runtime import (
     ObsSession,
     disable,
     enable,
     is_enabled,
+    ledger,
+    ledgered,
     metrics,
     observed,
     tracer,
+    unledgered,
 )
 from repro.obs.sinks import collect, load_jsonl, to_prometheus_text, write_jsonl
 from repro.obs.tracing import NullTracer, Span, Tracer
@@ -65,10 +77,24 @@ __all__ = [
     "ObsSession",
     "metrics",
     "tracer",
+    "ledger",
     "is_enabled",
     "enable",
     "disable",
     "observed",
+    "ledgered",
+    "unledgered",
+    # run ledger
+    "RunLedger",
+    "NullLedger",
+    "new_run_id",
+    "read_ledger",
+    "summarize_ledger",
+    "render_ledger_summary",
+    # profiling
+    "profile_call",
+    "merge_profiles",
+    "render_profile",
     # sinks & rendering
     "collect",
     "write_jsonl",

@@ -83,6 +83,49 @@ def _bucket_chart(key: str, summary: dict, width: int) -> "str | None":
     )
 
 
+def _render_engine_section(metrics: dict) -> "str | None":
+    """Sweep-engine summary: jobs, cache hit ratio, queue wait, utilization."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    timers = metrics.get("timers", {})
+    touched = any(
+        key.startswith("engine/")
+        for group in (counters, gauges, timers)
+        for key in group
+    )
+    if not touched:
+        return None
+    rows: list[list] = []
+    for label, key in (
+        ("jobs scheduled", "engine/jobs_scheduled"),
+        ("jobs completed", "engine/jobs_completed"),
+        ("jobs failed", "engine/jobs_failed"),
+        ("cache hits", "engine/cache_hits"),
+        ("cache misses", "engine/cache_misses"),
+    ):
+        if key in counters:
+            rows.append([label, int(counters[key])])
+    hits = counters.get("engine/cache_hits", 0)
+    misses = counters.get("engine/cache_misses", 0)
+    if hits + misses > 0:
+        rows.append(["cache hit ratio", f"{hits / (hits + misses):.0%}"])
+    wait = timers.get("engine/queue_wait_s")
+    if wait and wait.get("count", 0) > 0:
+        rows.append(["queue wait p50", _fmt_seconds(wait.get("p50", math.nan))])
+        rows.append(["queue wait max", _fmt_seconds(wait.get("max", math.nan))])
+    runtime = timers.get("engine/job_runtime_s")
+    if runtime and runtime.get("count", 0) > 0:
+        rows.append(["job runtime p50", _fmt_seconds(runtime.get("p50", math.nan))])
+        rows.append(["job runtime max", _fmt_seconds(runtime.get("max", math.nan))])
+    if "engine/worker_utilization" in gauges:
+        rows.append(
+            ["worker utilization", f"{float(gauges['engine/worker_utilization']):.0%}"]
+        )
+    if not rows:
+        return None
+    return format_table(["engine", "value"], rows)
+
+
 def render_dashboard(data: dict, width: int = 64) -> str:
     """Render the full dashboard; sections with no data are omitted."""
     metrics = data.get("metrics", {})
@@ -93,6 +136,12 @@ def render_dashboard(data: dict, width: int = 64) -> str:
         sections.append("")
         sections.append("## spans")
         sections.append(render_span_tree(spans))
+
+    engine_section = _render_engine_section(metrics)
+    if engine_section:
+        sections.append("")
+        sections.append("## engine")
+        sections.append(engine_section)
 
     counters = metrics.get("counters", {})
     if counters:

@@ -15,11 +15,44 @@ are identified by ``(name, labels)``.  The :class:`NullRegistry` is
 the disabled twin: it hands out shared no-op instruments so that
 instrumented hot loops pay exactly one attribute call per sample and
 zero allocation when observability is off.
+
+Concurrency contract
+--------------------
+``MetricsRegistry`` instrument creation and every mutating sample path
+(``Counter.inc``, ``Gauge.set``/``inc``, ``Histogram.observe`` and
+therefore ``Timer.observe``) are thread-safe: the registry serializes
+get-or-create under one lock and each instrument serializes its
+samples under its own re-entrant lock, so concurrent increments from
+the fault-dispatch retry path, worker-snapshot folds, and the main
+thread never lose updates.  Two things remain single-threaded by
+contract: the ``Timer`` *context-manager* face (its start stack is
+per-instrument, so share one timer across threads via ``observe()``
+only), and ``snapshot()``/``dump_state()``, which read instruments
+without freezing the world — call them at quiescent points (end of a
+run, end of a job), as the engine does.
+
+Cross-process merge
+-------------------
+:meth:`MetricsRegistry.dump_state` freezes a registry into one plain
+picklable dict and :meth:`MetricsRegistry.load_state` rebuilds it, so
+a pool worker can ship its local registry to the parent inside a job
+result.  :meth:`MetricsRegistry.merge` folds another registry in
+deterministically: counters sum; gauges keep the write with the
+latest ``updated_at`` timestamp (ties broken toward the non-NaN,
+then the larger value — a total order, so merging is associative and
+commutative); histograms and timers require identical bucket bounds
+and add counts, sums and per-bucket tallies while their reservoirs
+take the *sorted multiset union* (may exceed ``reservoir_size``;
+quantiles stay exact over every retained sample).  Merging N worker
+registries in any order therefore yields the same totals as one
+serial run.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+import time
 from typing import Iterable
 
 __all__ = [
@@ -62,38 +95,97 @@ def instrument_key(name: str, labels: "dict[str, str] | None") -> str:
 class Counter:
     """Monotonic total."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: "dict[str, str] | None" = None) -> None:
         self.name = name
         self.labels = dict(labels or {})
         self.value = 0.0
+        self._lock = threading.RLock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0; counters never go down)."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+    # -- merge / serialization -----------------------------------------
+    def dump_state(self) -> dict:
+        """Picklable state (see the module docstring's merge contract)."""
+        return {"kind": "counter", "name": self.name, "labels": dict(self.labels),
+                "value": self.value}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Counter":
+        """Rebuild from :meth:`dump_state` output."""
+        counter = cls(state["name"], state.get("labels"))
+        counter.value = float(state["value"])
+        return counter
+
+    def merge_from(self, other: "Counter") -> None:
+        """Fold another counter in: totals sum."""
+        with self._lock:
+            self.value += other.value
+
+
+def _gauge_order(updated_at: float, value: float) -> tuple:
+    """Total order over gauge writes: timestamp, then non-NaN, then value."""
+    nan = isinstance(value, float) and math.isnan(value)
+    return (updated_at, 0 if nan else 1, 0.0 if nan else value)
 
 
 class Gauge:
-    """Last-write-wins value."""
+    """Last-write-wins value.
 
-    __slots__ = ("name", "labels", "value")
+    ``updated_at`` (wall-clock seconds) timestamps the latest write so
+    gauges from different processes merge by recency, not merge order.
+    """
+
+    __slots__ = ("name", "labels", "value", "updated_at", "_lock")
 
     def __init__(self, name: str, labels: "dict[str, str] | None" = None) -> None:
         self.name = name
         self.labels = dict(labels or {})
         self.value = math.nan
+        self.updated_at = 0.0
+        self._lock = threading.RLock()
 
     def set(self, value: float) -> None:
         """Record the current level."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+            self.updated_at = time.time()
 
     def inc(self, amount: float = 1.0) -> None:
         """Adjust the level relative to its current value (NaN -> 0)."""
-        base = 0.0 if math.isnan(self.value) else self.value
-        self.value = base + amount
+        with self._lock:
+            base = 0.0 if math.isnan(self.value) else self.value
+            self.value = base + amount
+            self.updated_at = time.time()
+
+    # -- merge / serialization -----------------------------------------
+    def dump_state(self) -> dict:
+        """Picklable state (see the module docstring's merge contract)."""
+        return {"kind": "gauge", "name": self.name, "labels": dict(self.labels),
+                "value": self.value, "updated_at": self.updated_at}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Gauge":
+        """Rebuild from :meth:`dump_state` output."""
+        gauge = cls(state["name"], state.get("labels"))
+        gauge.value = float(state["value"])
+        gauge.updated_at = float(state.get("updated_at", 0.0))
+        return gauge
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold another gauge in: the most recent write wins."""
+        with self._lock:
+            if _gauge_order(other.updated_at, other.value) > _gauge_order(
+                self.updated_at, self.value
+            ):
+                self.value = other.value
+                self.updated_at = other.updated_at
 
 
 class Histogram:
@@ -118,6 +210,7 @@ class Histogram:
         "_reservoir",
         "_reservoir_size",
         "_lcg",
+        "_lock",
     )
 
     def __init__(
@@ -141,32 +234,36 @@ class Histogram:
         # deterministic private LCG; seeded from the name so two
         # histograms never share a stream
         self._lcg = (hash(name) & 0xFFFFFFFFFFFFFFFF) | 1
+        self._lock = threading.RLock()
 
     def observe(self, value: float) -> None:
         """Record one sample."""
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        # bucket: first bound >= value (linear scan is fine at ~30 bounds,
-        # bisect would allocate a closure-free path anyway)
-        index = len(self._bounds)
-        for i, bound in enumerate(self._bounds):
-            if value <= bound:
-                index = i
-                break
-        self._bucket_counts[index] += 1
-        # reservoir (algorithm R)
-        if len(self._reservoir) < self._reservoir_size:
-            self._reservoir.append(value)
-        else:
-            self._lcg = (self._lcg * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
-            j = self._lcg % self.count
-            if j < self._reservoir_size:
-                self._reservoir[j] = value
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            # bucket: first bound >= value (linear scan is fine at ~30
+            # bounds, bisect would allocate a closure-free path anyway)
+            index = len(self._bounds)
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    index = i
+                    break
+            self._bucket_counts[index] += 1
+            # reservoir (algorithm R)
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(value)
+            else:
+                self._lcg = (
+                    self._lcg * 6364136223846793005 + 1442695040888963407
+                ) & 0xFFFFFFFFFFFFFFFF
+                j = self._lcg % self.count
+                if j < self._reservoir_size:
+                    self._reservoir[j] = value
 
     def quantile(self, q: float) -> float:
         """Linear-interpolated quantile from the reservoir (NaN if empty)."""
@@ -214,6 +311,63 @@ class Histogram:
                 [bound, cumulative] for bound, cumulative in self.cumulative_buckets()
             ],
         }
+
+    # -- merge / serialization -----------------------------------------
+    def dump_state(self) -> dict:
+        """Picklable state (see the module docstring's merge contract)."""
+        with self._lock:
+            return {
+                "kind": "timer" if isinstance(self, Timer) else "histogram",
+                "name": self.name,
+                "labels": dict(self.labels),
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "bounds": list(self._bounds),
+                "bucket_counts": list(self._bucket_counts),
+                "reservoir": list(self._reservoir),
+                "reservoir_size": self._reservoir_size,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        """Rebuild from :meth:`dump_state` output."""
+        hist = cls(
+            state["name"],
+            state.get("labels"),
+            buckets=state["bounds"],
+            reservoir_size=state.get("reservoir_size", 2048),
+        )
+        hist.count = int(state["count"])
+        hist.sum = float(state["sum"])
+        hist.min = float(state["min"])
+        hist.max = float(state["max"])
+        hist._bucket_counts = [int(c) for c in state["bucket_counts"]]
+        hist._reservoir = [float(v) for v in state["reservoir"]]
+        return hist
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram in (identical bucket bounds required).
+
+        Counts, sums and per-bucket tallies add; min/max combine; the
+        reservoir becomes the sorted multiset union of both reservoirs
+        (associative and deterministic, may exceed ``reservoir_size`` —
+        merged registries are terminal aggregates, not sample sinks).
+        """
+        if self._bounds != other._bounds:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge differing bucket bounds"
+            )
+        with self._lock:
+            self.count += other.count
+            self.sum += other.sum
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            self._bucket_counts = [
+                a + b for a, b in zip(self._bucket_counts, other._bucket_counts)
+            ]
+            self._reservoir = sorted(self._reservoir + other._reservoir)
 
 
 class Timer(Histogram):
@@ -283,21 +437,35 @@ class _NullInstrument:
 _NULL_INSTRUMENT = _NullInstrument()
 
 
+#: instrument class per state-record ``kind`` (for load_state / merge)
+_STATE_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+                  "timer": Timer}
+
+
 class MetricsRegistry:
-    """Owns every live instrument; get-or-create by ``(kind, name, labels)``."""
+    """Owns every live instrument; get-or-create by ``(kind, name, labels)``.
+
+    Creation is serialized under one registry lock and each instrument
+    locks its own sample path — see the module docstring for the full
+    concurrency contract.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._instruments: dict[tuple, object] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _get(self, factory, kind: str, name: str, labels: "dict | None", **kwargs):
         key = (kind, name, tuple(sorted((labels or {}).items())))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = factory(name, labels, **kwargs)
-            self._instruments[key] = instrument
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = factory(name, labels, **kwargs)
+                    self._instruments[key] = instrument
         return instrument
 
     def counter(self, name: str, labels: "dict[str, str] | None" = None) -> Counter:
@@ -345,7 +513,66 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every instrument (a fresh start for the next run)."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
+
+    # -- cross-process merge -------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Deterministically fold ``other``'s instruments into this registry.
+
+        Counters sum, gauges keep the latest-timestamped write,
+        histograms and timers merge bucket-wise (see the module
+        docstring).  Instruments absent here are copied in.  Returns
+        ``self`` so merges chain; merging is associative and
+        commutative up to gauge-timestamp ties, which break on a total
+        order, so any merge order yields identical snapshots.
+        """
+        with self._lock:
+            for key, instrument in sorted(
+                other._instruments.items(), key=lambda item: item[0]
+            ):
+                mine = self._instruments.get(key)
+                if mine is None:
+                    state = instrument.dump_state()
+                    self._instruments[key] = _STATE_CLASSES[state["kind"]].from_state(
+                        state
+                    )
+                else:
+                    mine.merge_from(instrument)
+        return self
+
+    def dump_state(self) -> dict:
+        """Freeze every instrument into one plain picklable dict."""
+        return {
+            "version": 1,
+            "instruments": [
+                instrument.dump_state()
+                for _, instrument in sorted(
+                    self._instruments.items(), key=lambda item: item[0]
+                )
+            ],
+        }
+
+    @classmethod
+    def load_state(cls, state: dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`dump_state` output."""
+        registry = cls()
+        for record in state.get("instruments", []):
+            klass = _STATE_CLASSES[record["kind"]]
+            instrument = klass.from_state(record)
+            key = (
+                record["kind"],
+                instrument.name,
+                tuple(sorted(instrument.labels.items())),
+            )
+            registry._instruments[key] = instrument
+        return registry
+
+    def merge_state(self, state: "dict | None") -> "MetricsRegistry":
+        """Fold a :meth:`dump_state` payload in (no-op on ``None``)."""
+        if state:
+            self.merge(MetricsRegistry.load_state(state))
+        return self
 
 
 class NullRegistry:
@@ -384,6 +611,14 @@ class NullRegistry:
 
     def reset(self) -> None:
         """No-op."""
+
+    def dump_state(self) -> dict:
+        """Always empty."""
+        return {}
+
+    def merge_state(self, state=None) -> "NullRegistry":
+        """No-op."""
+        return self
 
 
 #: the module-level singleton instrumented code sees when obs is off

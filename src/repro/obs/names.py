@@ -16,6 +16,7 @@ SOLVER_RUNTIME = "solver/runtime_s"
 SOLVER_ITERATIONS = "solver/iterations"
 SOLVER_INFEASIBLE = "solver/infeasible_results"
 SOLVER_IMPROVEMENT = "solver/objective_improvement"
+SOLVER_PHASE_RUNTIME = "solver/phase_runtime_s"
 
 # -- RL trainers ------------------------------------------------------
 RL_EPISODES = "rl/episodes"
@@ -79,6 +80,7 @@ CATALOG: tuple[str, ...] = (
     SOLVER_ITERATIONS,
     SOLVER_INFEASIBLE,
     SOLVER_IMPROVEMENT,
+    SOLVER_PHASE_RUNTIME,
     RL_EPISODES,
     RL_EPISODE_COST,
     RL_EPSILON,

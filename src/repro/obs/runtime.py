@@ -17,6 +17,7 @@ from __future__ import annotations
 import contextlib
 from pathlib import Path
 
+from repro.obs.ledger import NULL_LEDGER, NullLedger, RunLedger
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 
@@ -24,15 +25,19 @@ __all__ = [
     "ObsSession",
     "metrics",
     "tracer",
+    "ledger",
     "is_enabled",
     "enable",
     "disable",
     "observed",
+    "ledgered",
+    "unledgered",
 ]
 
 _registry: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
 _tracer: "Tracer | NullTracer" = NULL_TRACER
 _session: "ObsSession | None" = None
+_ledger: "RunLedger | NullLedger" = NULL_LEDGER
 
 
 class ObsSession:
@@ -80,6 +85,11 @@ def tracer() -> "Tracer | NullTracer":
     return _tracer
 
 
+def ledger() -> "RunLedger | NullLedger":
+    """The active run ledger (the null ledger when none is attached)."""
+    return _ledger
+
+
 def is_enabled() -> bool:
     """Whether a live observability session is active."""
     return _registry.enabled
@@ -109,6 +119,8 @@ def observed():
 
     Restores whatever was active before (including a previous live
     session), so tests and nested tools cannot leak global state.
+    Pool workers use exactly this to run each job under a fresh local
+    registry whose state is then shipped back to the parent.
     """
     global _registry, _tracer, _session
     previous = (_registry, _tracer, _session)
@@ -119,3 +131,41 @@ def observed():
         yield _session
     finally:
         _registry, _tracer, _session = previous
+
+
+@contextlib.contextmanager
+def ledgered(path, run_id: "str | None" = None):
+    """``with ledgered(path) as led:`` — attach a run ledger, then restore.
+
+    Instrumented code reaches the active ledger through :func:`ledger`
+    (one no-op method call when none is attached), mirroring the
+    metrics switch.  The ledger is closed on exit and the previous one
+    (usually the null ledger) restored.
+    """
+    global _ledger
+    previous = _ledger
+    _ledger = RunLedger(path, run_id=run_id)
+    try:
+        yield _ledger
+    finally:
+        _ledger.close()
+        _ledger = previous
+
+
+@contextlib.contextmanager
+def unledgered():
+    """Silence the run ledger for a scope (the previous one is restored).
+
+    Engine job cells run under this in *both* the serial inline path
+    and pool workers: the parent is the ledger's single writer, so a
+    ``--jobs 4`` run and a serial run of the same sweep produce the
+    same event stream.  The silenced ledger is not closed — it still
+    belongs to whoever attached it.
+    """
+    global _ledger
+    previous = _ledger
+    _ledger = NULL_LEDGER
+    try:
+        yield
+    finally:
+        _ledger = previous

@@ -53,23 +53,24 @@ def _summary_safe(summary: dict) -> dict:
     return out
 
 
-def _summary_load(summary: dict) -> dict:
-    def num(v):
-        """Return num."""
-        if v == "Infinity":
-            return math.inf
-        if v == "-Infinity":
-            return -math.inf
-        if v == "NaN":
-            return math.nan
-        return v
+def _json_load(value):
+    """Inverse of :func:`_json_safe`: revive stringified non-finites."""
+    if value == "Infinity":
+        return math.inf
+    if value == "-Infinity":
+        return -math.inf
+    if value == "NaN":
+        return math.nan
+    return value
 
+
+def _summary_load(summary: dict) -> dict:
     out = {}
     for key, value in summary.items():
         if key == "buckets":
-            out[key] = [[num(b), c] for b, c in value]
+            out[key] = [[_json_load(b), c] for b, c in value]
         else:
-            out[key] = num(value)
+            out[key] = _json_load(value)
     return out
 
 
@@ -120,9 +121,9 @@ def load_jsonl(path: "str | Path") -> dict:
             continue
         key = instrument_key(record["name"], record.get("labels"))
         if kind == "counter":
-            metrics["counters"][key] = record["value"]
+            metrics["counters"][key] = _json_load(record["value"])
         elif kind == "gauge":
-            metrics["gauges"][key] = record["value"]
+            metrics["gauges"][key] = _json_load(record["value"])
         elif kind == "histogram":
             metrics["histograms"][key] = _summary_load(record["summary"])
         elif kind == "timer":

@@ -115,6 +115,16 @@ class Tracer:
             if top is span:
                 break
 
+    def adopt(self, trees: "list[dict]") -> None:
+        """Append finished span trees recorded elsewhere (pool workers).
+
+        Trees are ``Span.as_dict`` payloads; their ``start_s`` values
+        are relative to the *recording* process's epoch, so durations
+        and nesting are meaningful but cross-process start offsets are
+        not comparable.
+        """
+        self.roots.extend(Span.from_dict(tree) for tree in trees)
+
     # ------------------------------------------------------------------
     @property
     def depth(self) -> int:
@@ -157,6 +167,9 @@ class NullTracer:
     def span(self, name: str, **attributes) -> _NullScope:
         """Shared no-op scope."""
         return _NULL_SCOPE
+
+    def adopt(self, trees: "list[dict]") -> None:
+        """No-op."""
 
     @property
     def depth(self) -> int:

@@ -1,0 +1,33 @@
+"""Benchmark-history subsystem: record probe timings, gate regressions.
+
+``repro perf record`` appends best-of-N timings of the fast probes in
+:mod:`repro.perf.probes` to a JSONL history keyed by git SHA + code
+fingerprint; ``repro perf check`` re-measures and exits nonzero when
+any probe breaches ``baseline * (1 + max_regression)``.  See
+docs/observability.md for the workflow.
+"""
+
+from repro.perf.check import check_against_baseline, compare_to_baseline
+from repro.perf.history import (
+    append_record,
+    baseline_record,
+    git_sha,
+    load_history,
+    make_record,
+    record_run,
+)
+from repro.perf.probes import PROBES, measure, probe_names
+
+__all__ = [
+    "PROBES",
+    "measure",
+    "probe_names",
+    "record_run",
+    "make_record",
+    "append_record",
+    "load_history",
+    "baseline_record",
+    "git_sha",
+    "check_against_baseline",
+    "compare_to_baseline",
+]

@@ -1,0 +1,68 @@
+"""The perf regression gate: fresh measurements vs the recorded baseline.
+
+A probe regresses when its fresh best-of-N time exceeds
+``baseline * (1 + max_regression)``.  The default headroom of 0.5
+(50%) tolerates shared-runner noise on sub-100ms probes; tighten it
+for dedicated hardware.  ``max_regression`` may be negative — at
+``-1.0`` the allowance is zero seconds and every probe fails, which
+is how CI exercises the breached path without doctoring history
+files.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.perf.history import baseline_record, load_history
+
+__all__ = ["compare_to_baseline", "check_against_baseline"]
+
+
+def compare_to_baseline(
+    baseline: dict, measured: "dict[str, float]", max_regression: float
+) -> "list[dict]":
+    """Per-probe comparison rows for probes present on both sides."""
+    comparisons = []
+    for name, measured_s in measured.items():
+        baseline_s = baseline["probes"].get(name)
+        if baseline_s is None:
+            continue  # new probe: nothing to gate against yet
+        allowed_s = baseline_s * (1.0 + max_regression)
+        comparisons.append({
+            "probe": name,
+            "baseline_s": float(baseline_s),
+            "measured_s": float(measured_s),
+            "ratio": (measured_s / baseline_s) if baseline_s > 0 else float("inf"),
+            "allowed_s": allowed_s,
+            "regressed": measured_s > allowed_s,
+        })
+    return comparisons
+
+
+def check_against_baseline(
+    history_path,
+    probes: "list[str] | None" = None,
+    repeats: int = 3,
+    max_regression: float = 0.5,
+) -> dict:
+    """Measure now and gate against the baseline in ``history_path``.
+
+    Raises :class:`~repro.errors.ReproError` when there is no usable
+    baseline; returns ``{"baseline", "measured", "comparisons",
+    "regressions"}`` otherwise.
+    """
+    from repro.perf.probes import measure
+
+    baseline = baseline_record(load_history(history_path))
+    if baseline is None:
+        raise ReproError(
+            f"no perf history at {history_path}; run `repro perf record "
+            f"--baseline` first"
+        )
+    measured = measure(probes, repeats=repeats)
+    comparisons = compare_to_baseline(baseline, measured, max_regression)
+    return {
+        "baseline": baseline,
+        "measured": measured,
+        "comparisons": comparisons,
+        "regressions": [c for c in comparisons if c["regressed"]],
+    }

@@ -1,0 +1,109 @@
+"""Benchmark history: append-only JSONL of probe timings per commit.
+
+One record per ``repro perf record`` invocation::
+
+    {"version": 1, "recorded_at": "...", "git_sha": "...",
+     "fingerprint": "repro-0.x/cache-v1", "baseline": true,
+     "repeats": 3, "probes": {"solve_greedy": 0.0123, ...}}
+
+Records are keyed by the git SHA *and* the engine's
+:func:`~repro.engine.hashing.code_fingerprint` — the fingerprint
+catches version bumps between commits, the SHA pins the exact tree.
+The **baseline** is the most recent record flagged ``baseline: true``
+(falling back to the most recent record of any kind), so promoting a
+new baseline is just recording with ``--baseline`` — history is never
+rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from repro.engine.hashing import code_fingerprint
+
+__all__ = [
+    "HISTORY_VERSION",
+    "git_sha",
+    "make_record",
+    "append_record",
+    "load_history",
+    "baseline_record",
+    "record_run",
+]
+
+HISTORY_VERSION = 1
+
+
+def git_sha() -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def make_record(
+    probes: "dict[str, float]", repeats: int, baseline: bool = False
+) -> dict:
+    """A history record for the given probe timings."""
+    return {
+        "version": HISTORY_VERSION,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_sha": git_sha(),
+        "fingerprint": code_fingerprint(),
+        "baseline": bool(baseline),
+        "repeats": int(repeats),
+        "probes": {name: float(value) for name, value in probes.items()},
+    }
+
+
+def append_record(path: "str | Path", record: dict) -> Path:
+    """Append one record to the history file (created on first use)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: "str | Path") -> "list[dict]":
+    """Every record in the history file, oldest first ([] if missing)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def baseline_record(records: "list[dict]") -> "dict | None":
+    """The comparison baseline: last ``baseline: true``, else last record."""
+    for record in reversed(records):
+        if record.get("baseline"):
+            return record
+    return records[-1] if records else None
+
+
+def record_run(
+    history_path: "str | Path",
+    probes: "list[str] | None" = None,
+    repeats: int = 3,
+    baseline: bool = False,
+) -> dict:
+    """Measure the probes and append the result; returns the record."""
+    from repro.perf.probes import measure
+
+    record = make_record(measure(probes, repeats=repeats), repeats, baseline=baseline)
+    append_record(history_path, record)
+    return record

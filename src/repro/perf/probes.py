@@ -1,0 +1,115 @@
+"""Fast deterministic performance probes.
+
+Each probe is a self-contained callable exercising one hot path of
+the library on a fixed tiny workload (fixed seeds, quick-scale sizes)
+so a full sweep of all probes stays in low single-digit seconds.
+Probes measure *relative* speed across commits, not absolute paper
+numbers — the benchmark suite under ``benchmarks/`` owns those.
+
+Timing discipline: :func:`measure` runs each probe once unmeasured to
+warm imports and caches, then ``repeats`` measured times, and reports
+the **minimum** wall time — the standard noise-rejection estimator
+for short benchmarks (interference only ever adds time).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.validation import require
+
+__all__ = ["PROBES", "probe_names", "measure"]
+
+
+def _tiny_problem():
+    from repro.model.instances import topology_instance
+
+    return topology_instance(
+        family="random_geometric",
+        n_routers=24,
+        n_devices=20,
+        n_servers=4,
+        tightness=0.75,
+        seed=7,
+        deadline_s=0.05,
+    )
+
+
+def probe_solve_greedy() -> None:
+    """One greedy solve on a tiny topology instance."""
+    from repro.solvers.registry import get_solver
+
+    get_solver("greedy", seed=7).solve(_tiny_problem())
+
+
+def probe_solve_local_search() -> None:
+    """One local-search solve (the iterative-improvement hot loop)."""
+    from repro.solvers.registry import get_solver
+
+    get_solver("local_search", seed=7).solve(_tiny_problem())
+
+
+def probe_sim_short() -> None:
+    """A short DES replay of a solved assignment (event loop + network)."""
+    from repro.sim.runner import simulate_assignment
+    from repro.solvers.registry import get_solver
+
+    result = get_solver("greedy", seed=7).solve(_tiny_problem())
+    simulate_assignment(result.assignment, duration_s=4.0, seed=11)
+
+
+def probe_engine_grid() -> None:
+    """A 4-cell serial engine sweep (spec hashing + dispatch overhead)."""
+    from repro.engine import EngineOptions, JobSpec, run_jobs
+
+    instance_json = _tiny_problem().to_json()
+    specs = [
+        JobSpec(
+            experiment="perf-probe",
+            fn="repro.cli.commands:compare_cell",
+            params={"solver": name, "instance_json": instance_json},
+            seed=7,
+            label=f"probe {name}",
+        )
+        for name in ("greedy", "regret", "greedy", "regret")
+    ]
+    run_jobs(specs, EngineOptions(jobs=1))
+
+
+#: probe name -> zero-argument callable (insertion order is report order)
+PROBES = {
+    "solve_greedy": probe_solve_greedy,
+    "solve_local_search": probe_solve_local_search,
+    "sim_short": probe_sim_short,
+    "engine_grid": probe_engine_grid,
+}
+
+
+def probe_names() -> "list[str]":
+    """All registered probe names, in report order."""
+    return list(PROBES)
+
+
+def measure(
+    probes: "list[str] | None" = None, repeats: int = 3
+) -> "dict[str, float]":
+    """Best-of-``repeats`` wall seconds per probe.
+
+    ``probes=None`` runs all of them; unknown names raise early so a
+    CI typo fails loudly instead of silently gating nothing.
+    """
+    require(repeats >= 1, f"repeats must be >= 1, got {repeats}")
+    names = probe_names() if probes is None else list(probes)
+    unknown = sorted(set(names) - set(PROBES))
+    require(not unknown, f"unknown perf probes {unknown}; known: {probe_names()}")
+    results: dict[str, float] = {}
+    for name in names:
+        fn = PROBES[name]
+        fn()  # warm-up: imports, matrix caches
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        results[name] = best
+    return results

@@ -148,40 +148,45 @@ class QLearningSolver(Solver):
         mask_blocked = registry.counter(obs_names.RL_MASK_BLOCKED, labels)
         dead_end_total = registry.counter(obs_names.RL_DEAD_ENDS, labels)
 
-        for episode in range(self.episodes):
-            eps = float(self.epsilon(episode))
-            epsilon_gauge.set(eps)
-            state = env.reset()
-            while not env.done:
-                actions = env.feasible_actions()
-                if actions.size == 0:  # pragma: no cover - env ends episodes itself
-                    break
-                mask_blocked.inc(n_actions - actions.size)
-                row = q_row(state)
-                if rng.random() < eps:
-                    action = self._explore_action(env, actions, rng)
-                else:
-                    action = self._exploit_action(env, row, actions, rng)
-                next_state, reward, done, _ = env.step(action)
-                if done:
-                    target = reward
-                else:
-                    next_actions = env.feasible_actions()
-                    next_row = q_row(next_state)
-                    target = reward + self.gamma * float(np.max(next_row[next_actions]))
-                row[action] += self.alpha * (target - row[action])
-                state = next_state
-            result = env.rollout_result()
-            episodes_total.inc()
-            if result.dead_end:
-                dead_ends += 1
-                dead_end_total.inc()
-            episode_costs.append(result.total_delay if result.feasible else math.nan)
-            if result.feasible:
-                episode_cost_hist.observe(result.total_delay)
-                if result.total_delay < best_cost:
-                    best_cost = result.total_delay
-                    best_vector = result.vector
+        with self.phase("train"):
+            for episode in range(self.episodes):
+                eps = float(self.epsilon(episode))
+                epsilon_gauge.set(eps)
+                state = env.reset()
+                while not env.done:
+                    actions = env.feasible_actions()
+                    if actions.size == 0:  # pragma: no cover - env ends episodes itself
+                        break
+                    mask_blocked.inc(n_actions - actions.size)
+                    row = q_row(state)
+                    if rng.random() < eps:
+                        action = self._explore_action(env, actions, rng)
+                    else:
+                        action = self._exploit_action(env, row, actions, rng)
+                    next_state, reward, done, _ = env.step(action)
+                    if done:
+                        target = reward
+                    else:
+                        next_actions = env.feasible_actions()
+                        next_row = q_row(next_state)
+                        target = reward + self.gamma * float(
+                            np.max(next_row[next_actions])
+                        )
+                    row[action] += self.alpha * (target - row[action])
+                    state = next_state
+                result = env.rollout_result()
+                episodes_total.inc()
+                if result.dead_end:
+                    dead_ends += 1
+                    dead_end_total.inc()
+                episode_costs.append(
+                    result.total_delay if result.feasible else math.nan
+                )
+                if result.feasible:
+                    episode_cost_hist.observe(result.total_delay)
+                    if result.total_delay < best_cost:
+                        best_cost = result.total_delay
+                        best_vector = result.vector
 
         registry.gauge(obs_names.RL_Q_STATES, labels).set(len(q_table))
         if best_vector is None:
@@ -192,7 +197,8 @@ class QLearningSolver(Solver):
                 "dead_ends": dead_ends,
                 "fallback": True,
             }
-        best_vector = self._post_process(problem, best_vector)
+        with self.phase("polish"):
+            best_vector = self._post_process(problem, best_vector)
         return Assignment(problem, best_vector), {
             "iterations": self.episodes,
             "episode_costs": episode_costs,

@@ -10,6 +10,7 @@ lets the benchmark harness sweep a dozen algorithms with one loop.
 from __future__ import annotations
 
 import abc
+import contextlib
 import math
 import time
 from dataclasses import dataclass, field
@@ -116,6 +117,25 @@ class Solver(abc.ABC):
             lower_bound=info.pop("lower_bound", None),
             extra=info,
         )
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        """Time one named phase of the algorithm body (profiling hook).
+
+        ``with self.phase("descend"):`` opens a ``solve/<solver>/<name>``
+        child span and streams the duration into the
+        ``solver/phase_runtime_s`` timer labeled ``{solver, phase}`` —
+        so phase breakdowns show up in both the span tree and the
+        merged cross-process metrics.  Costs two no-op calls per phase
+        when observability is off.
+        """
+        timer = obs_runtime.metrics().timer(
+            obs_names.SOLVER_PHASE_RUNTIME, {"solver": self.name, "phase": name}
+        )
+        with obs_runtime.tracer().span(
+            f"{obs_names.SPAN_SOLVE}/{self.name}/{name}"
+        ), timer:
+            yield
 
     def _record_improvements(self, registry, labels: dict, info: dict) -> None:
         """Incumbent-improvement telemetry for iterative solvers.

@@ -98,7 +98,8 @@ class LocalSearchSolver(Solver):
         return feasible_start(problem, rng)
 
     def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
-        assignment = self._initial(problem, rng)
+        with self.phase("construct"):
+            assignment = self._initial(problem, rng)
         if not assignment.is_complete:
             return assignment, {"iterations": 0}
         vector = assignment.vector
@@ -107,32 +108,33 @@ class LocalSearchSolver(Solver):
         passes = 0
         moves = 0
         improved = True
-        while improved and passes < self.max_passes:
-            passes += 1
-            improved = False
-            best_delta = -1e-15
-            best_move = None
-            for device in range(n):
-                for server in range(m):
-                    delta = _shift_delta(problem, vector, loads, device, server)
-                    if delta is not None and delta < best_delta:
-                        best_delta = delta
-                        best_move = ("shift", device, server)
-            if self.use_swaps:
-                for a in range(n):
-                    for b in range(a + 1, n):
-                        delta = _swap_delta(problem, vector, loads, a, b)
+        with self.phase("descend"):
+            while improved and passes < self.max_passes:
+                passes += 1
+                improved = False
+                best_delta = -1e-15
+                best_move = None
+                for device in range(n):
+                    for server in range(m):
+                        delta = _shift_delta(problem, vector, loads, device, server)
                         if delta is not None and delta < best_delta:
                             best_delta = delta
-                            best_move = ("swap", a, b)
-            if best_move is not None:
-                kind, x, y = best_move
-                if kind == "shift":
-                    _apply_shift(problem, vector, loads, x, y)
-                else:
-                    _apply_swap(problem, vector, loads, x, y)
-                moves += 1
-                improved = True
+                            best_move = ("shift", device, server)
+                if self.use_swaps:
+                    for a in range(n):
+                        for b in range(a + 1, n):
+                            delta = _swap_delta(problem, vector, loads, a, b)
+                            if delta is not None and delta < best_delta:
+                                best_delta = delta
+                                best_move = ("swap", a, b)
+                if best_move is not None:
+                    kind, x, y = best_move
+                    if kind == "shift":
+                        _apply_shift(problem, vector, loads, x, y)
+                    else:
+                        _apply_swap(problem, vector, loads, x, y)
+                    moves += 1
+                    improved = True
         return Assignment(problem, vector), {"iterations": moves, "passes": passes}
 
 
@@ -155,7 +157,8 @@ class TabuSearchSolver(Solver):
         self.tenure = tenure
 
     def _solve(self, problem: AssignmentProblem, rng) -> tuple[Assignment, dict]:
-        assignment = feasible_start(problem, rng)
+        with self.phase("construct"):
+            assignment = feasible_start(problem, rng)
         if not assignment.is_complete:
             return assignment, {"iterations": 0}
         vector = assignment.vector
@@ -167,33 +170,34 @@ class TabuSearchSolver(Solver):
         tabu: deque[tuple[int, int]] = deque()
         tabu_set: set[tuple[int, int]] = set()
         iterations = 0
-        for _ in range(self.max_iters):
-            iterations += 1
-            best_delta = np.inf
-            best_move = None
-            for device in range(n):
-                for server in range(m):
-                    delta = _shift_delta(problem, vector, loads, device, server)
-                    if delta is None:
-                        continue
-                    is_tabu = (device, server) in tabu_set
-                    aspires = cost + delta < best_cost - 1e-15
-                    if is_tabu and not aspires:
-                        continue
-                    if delta < best_delta:
-                        best_delta = delta
-                        best_move = (device, server)
-            if best_move is None:
-                break  # every move tabu and non-aspiring: stagnated
-            device, server = best_move
-            previous = int(vector[device])
-            _apply_shift(problem, vector, loads, device, server)
-            cost += best_delta
-            tabu.append((device, previous))
-            tabu_set.add((device, previous))
-            while len(tabu) > self.tenure:
-                tabu_set.discard(tabu.popleft())
-            if cost < best_cost - 1e-15:
-                best_cost = cost
-                best_vector = vector.copy()
+        with self.phase("search"):
+            for _ in range(self.max_iters):
+                iterations += 1
+                best_delta = np.inf
+                best_move = None
+                for device in range(n):
+                    for server in range(m):
+                        delta = _shift_delta(problem, vector, loads, device, server)
+                        if delta is None:
+                            continue
+                        is_tabu = (device, server) in tabu_set
+                        aspires = cost + delta < best_cost - 1e-15
+                        if is_tabu and not aspires:
+                            continue
+                        if delta < best_delta:
+                            best_delta = delta
+                            best_move = (device, server)
+                if best_move is None:
+                    break  # every move tabu and non-aspiring: stagnated
+                device, server = best_move
+                previous = int(vector[device])
+                _apply_shift(problem, vector, loads, device, server)
+                cost += best_delta
+                tabu.append((device, previous))
+                tabu_set.add((device, previous))
+                while len(tabu) > self.tenure:
+                    tabu_set.discard(tabu.popleft())
+                if cost < best_cost - 1e-15:
+                    best_cost = cost
+                    best_vector = vector.copy()
         return Assignment(problem, best_vector), {"iterations": iterations}

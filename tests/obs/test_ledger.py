@@ -1,0 +1,133 @@
+"""Run-ledger tests: record format, runtime switch, summaries."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.ledger import (
+    LEDGER_FORMAT,
+    LEDGER_VERSION,
+    NULL_LEDGER,
+    RunLedger,
+    new_run_id,
+    read_ledger,
+    render_ledger_summary,
+    summarize_ledger,
+)
+
+
+class TestRunLedger:
+    def test_first_emit_writes_meta_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path, run_id="r-1") as ledger:
+            ledger.emit("run_start", jobs=3)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {
+            "type": "meta",
+            "format": LEDGER_FORMAT,
+            "version": LEDGER_VERSION,
+            "run_id": "r-1",
+        }
+        assert lines[1]["type"] == "event"
+        assert lines[1]["event"] == "run_start"
+        assert lines[1]["run_id"] == "r-1"
+        assert lines[1]["jobs"] == 3
+        assert isinstance(lines[1]["t"], float)
+
+    def test_append_keeps_single_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path, run_id="r-1") as ledger:
+            ledger.emit("run_start")
+        with RunLedger(path, run_id="r-2") as ledger:
+            ledger.emit("run_start")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert sum(1 for r in records if r["type"] == "meta") == 1
+        assert [r["run_id"] for r in records if r["type"] == "event"] == ["r-1", "r-2"]
+
+    def test_non_finite_fields_stringify(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path, run_id="r") as ledger:
+            ledger.emit("job_end", duration_s=math.inf, ratio=math.nan)
+        (record,) = read_ledger(path)
+        assert record["duration_s"] == "Infinity"
+        assert record["ratio"] == "NaN"
+
+    def test_emit_after_close_reopens(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ledger = RunLedger(path, run_id="r")
+        ledger.emit("a")
+        ledger.close()
+        ledger.emit("b")
+        ledger.close()
+        assert [r["event"] for r in read_ledger(path)] == ["a", "b"]
+
+    def test_run_ids_are_unique(self):
+        assert new_run_id() != new_run_id()
+
+    def test_null_ledger_is_silent(self):
+        NULL_LEDGER.emit("anything", x=1)  # must not raise or write
+        NULL_LEDGER.close()
+        assert not NULL_LEDGER.enabled
+
+
+class TestRuntimeSwitch:
+    def test_default_is_null(self):
+        assert obs_runtime.ledger() is NULL_LEDGER
+
+    def test_ledgered_swaps_and_restores(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs_runtime.ledgered(path, run_id="r") as ledger:
+            assert obs_runtime.ledger() is ledger
+            obs_runtime.ledger().emit("inside")
+        assert obs_runtime.ledger() is NULL_LEDGER
+        assert [r["event"] for r in read_ledger(path)] == ["inside"]
+
+    def test_unledgered_silences_active_ledger(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs_runtime.ledgered(path, run_id="r"):
+            with obs_runtime.unledgered():
+                obs_runtime.ledger().emit("silenced")
+            obs_runtime.ledger().emit("kept")
+        assert [r["event"] for r in read_ledger(path)] == ["kept"]
+
+    def test_ledgered_restores_on_exception(self, tmp_path):
+        try:
+            with obs_runtime.ledgered(tmp_path / "run.jsonl"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert obs_runtime.ledger() is NULL_LEDGER
+
+
+class TestSummaries:
+    def _records(self):
+        return [
+            {"type": "event", "event": "run_start", "run_id": "r", "t": 10.0},
+            {"type": "event", "event": "job_end", "run_id": "r", "t": 11.5},
+            {"type": "event", "event": "job_end", "run_id": "r", "t": 12.0},
+        ]
+
+    def test_summarize_counts_and_span(self):
+        summary = summarize_ledger(self._records())
+        assert summary["events"] == 3
+        assert summary["event_counts"] == {"run_start": 1, "job_end": 2}
+        assert summary["run_ids"] == ["r"]
+        assert summary["wall_s"] == 2.0
+
+    def test_render_contains_counts(self):
+        text = render_ledger_summary(self._records())
+        assert "job_end" in text
+        assert "run_start" in text
+
+    def test_read_ledger_skips_meta_and_blanks(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "format": LEDGER_FORMAT, "version": 1,
+                        "run_id": "r"})
+            + "\n\n"
+            + json.dumps({"type": "event", "event": "x", "run_id": "r", "t": 1.0})
+            + "\n"
+        )
+        assert [r["event"] for r in read_ledger(path)] == ["x"]

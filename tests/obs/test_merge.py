@@ -1,0 +1,179 @@
+"""Properties and unit tests of the cross-process registry merge."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, Timer
+
+# integral sample values keep float sums exact, so snapshot equality
+# across merge orders is a clean == rather than an approx dance
+_NAMES = st.sampled_from(["m/alpha", "m/beta", "m/gamma"])
+_INT_VALUES = st.integers(min_value=0, max_value=1000).map(float)
+_GAUGE_VALUES = st.one_of(_INT_VALUES, st.just(math.nan))
+_STAMPS = st.integers(min_value=0, max_value=10**6).map(float)
+
+_OPS = st.one_of(
+    st.tuples(st.just("counter"), _NAMES, _INT_VALUES),
+    st.tuples(st.just("gauge"), _NAMES, st.tuples(_GAUGE_VALUES, _STAMPS)),
+    st.tuples(st.just("histogram"), _NAMES, _INT_VALUES),
+    st.tuples(st.just("timer"), _NAMES, _INT_VALUES),
+)
+_OP_LISTS = st.lists(_OPS, max_size=25)
+
+
+def build(ops) -> MetricsRegistry:
+    """A registry holding the final state of an operation list."""
+    registry = MetricsRegistry()
+    for kind, name, payload in ops:
+        if kind == "counter":
+            registry.counter(name).inc(payload)
+        elif kind == "gauge":
+            value, stamp = payload
+            gauge = registry.gauge(name)
+            gauge.set(value)
+            gauge.updated_at = stamp  # deterministic recency for the test
+        elif kind == "histogram":
+            registry.histogram(name).observe(payload)
+        else:
+            registry.timer(name).observe(payload)
+    return registry
+
+
+def clone(registry: MetricsRegistry) -> MetricsRegistry:
+    """Independent copy via the dump/load state round-trip."""
+    return MetricsRegistry.load_state(registry.dump_state())
+
+
+def canon(snapshot: dict):
+    """NaN-comparable form of a snapshot (NaN != NaN breaks plain ==)."""
+    if isinstance(snapshot, dict):
+        return {key: canon(value) for key, value in snapshot.items()}
+    if isinstance(snapshot, list):
+        return [canon(item) for item in snapshot]
+    if isinstance(snapshot, float) and math.isnan(snapshot):
+        return "NaN"
+    return snapshot
+
+
+class TestMergeProperties:
+    """Merge is an associative, commutative monoid on registry states."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(_OP_LISTS)
+    def test_empty_registry_is_identity(self, ops):
+        registry = build(ops)
+        expected = canon(registry.snapshot())
+        assert canon(clone(registry).merge(MetricsRegistry()).snapshot()) == expected
+        assert canon(MetricsRegistry().merge(clone(registry)).snapshot()) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(_OP_LISTS, _OP_LISTS)
+    def test_commutative(self, ops_a, ops_b):
+        a, b = build(ops_a), build(ops_b)
+        ab = clone(a).merge(clone(b)).snapshot()
+        ba = clone(b).merge(clone(a)).snapshot()
+        assert canon(ab) == canon(ba)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_OP_LISTS, _OP_LISTS, _OP_LISTS)
+    def test_associative(self, ops_a, ops_b, ops_c):
+        a, b, c = build(ops_a), build(ops_b), build(ops_c)
+        left = clone(a).merge(clone(b)).merge(clone(c)).snapshot()
+        right = clone(a).merge(clone(b).merge(clone(c))).snapshot()
+        assert canon(left) == canon(right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.lists(st.tuples(_NAMES, _INT_VALUES), max_size=10), max_size=5))
+    def test_counters_sum_exactly(self, per_registry_incs):
+        expected: dict[str, float] = {}
+        merged = MetricsRegistry()
+        for incs in per_registry_incs:
+            registry = MetricsRegistry()
+            for name, amount in incs:
+                registry.counter(name).inc(amount)
+                expected[name] = expected.get(name, 0.0) + amount
+            merged.merge(registry)
+        for name, total in expected.items():
+            assert merged.counter(name).value == total
+
+
+class TestMergeUnits:
+    def test_gauge_latest_timestamp_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        a.gauge("g").updated_at = 100.0
+        b.gauge("g").set(2.0)
+        b.gauge("g").updated_at = 50.0
+        assert a.merge(b).gauge("g").value == 1.0  # a's write is newer
+        c = MetricsRegistry()
+        c.gauge("g").set(3.0)
+        c.gauge("g").updated_at = 200.0
+        assert a.merge(c).gauge("g").value == 3.0
+
+    def test_gauge_tie_prefers_non_nan(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(math.nan)
+        a.gauge("g").updated_at = 10.0
+        b.gauge("g").set(5.0)
+        b.gauge("g").updated_at = 10.0
+        assert a.merge(b).gauge("g").value == 5.0
+
+    def test_histogram_merge_sums_counts_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (0.5, 2.0):
+            a.histogram("h").observe(value)
+        for value in (1.0, 8.0, 3.0):
+            b.histogram("h").observe(value)
+        merged = a.merge(b).histogram("h")
+        assert merged.count == 5
+        assert merged.sum == pytest.approx(14.5)
+        assert merged.min == 0.5
+        assert merged.max == 8.0
+
+    def test_histogram_bounds_mismatch_raises(self):
+        from repro.obs.metrics import Histogram
+
+        one = MetricsRegistry()
+        one.histogram("clash").observe(1.0)
+        other = Histogram("clash", buckets=[1.0, 2.0])
+        other.observe(1.5)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            one.histogram("clash").merge_from(other)
+
+    def test_merged_reservoir_is_sorted_union(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (3.0, 1.0):
+            a.histogram("h").observe(value)
+        for value in (2.0, 4.0):
+            b.histogram("h").observe(value)
+        merged = a.merge(b).histogram("h")
+        assert merged._reservoir == [1.0, 2.0, 3.0, 4.0]
+
+    def test_timer_round_trips_as_timer(self):
+        a = MetricsRegistry()
+        a.timer("t").observe(0.25)
+        rebuilt = MetricsRegistry.load_state(a.dump_state())
+        assert isinstance(rebuilt.timer("t"), Timer)
+        assert rebuilt.timer("t").count == 1
+        assert "t" in rebuilt.snapshot()["timers"]
+
+    def test_merge_state_none_is_noop(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.merge_state(None)
+        registry.merge_state({})
+        assert registry.counter("c").value == 1.0
+
+    def test_labeled_instruments_merge_independently(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", {"solver": "greedy"}).inc(2)
+        b.counter("c", {"solver": "greedy"}).inc(3)
+        b.counter("c", {"solver": "tacc"}).inc(7)
+        merged = a.merge(b)
+        assert merged.counter("c", {"solver": "greedy"}).value == 5.0
+        assert merged.counter("c", {"solver": "tacc"}).value == 7.0

@@ -1,0 +1,81 @@
+"""Profiling-hook tests: capture, cross-process merge, rendering."""
+
+from __future__ import annotations
+
+from repro.obs.profile import (
+    merge_profiles,
+    profile_call,
+    render_profile,
+    stats_from_profiler,
+)
+
+
+def _busy(n: int) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestProfileCall:
+    def test_returns_result_and_stats(self):
+        result, stats = profile_call(_busy, 1000)
+        assert result == _busy(1000)
+        assert isinstance(stats, dict) and stats
+        for ncalls, tottime, cumtime in stats.values():
+            assert ncalls >= 1
+            assert tottime >= 0.0
+            assert cumtime >= 0.0
+
+    def test_locations_are_trimmed(self):
+        _, stats = profile_call(_busy, 10)
+        assert any("test_profile.py" in key and "(_busy)" in key for key in stats)
+        # trimmed keys keep at most the last three path segments
+        for key in stats:
+            filename = key.rsplit(":", 1)[0]
+            assert filename.count("/") <= 2
+
+    def test_exception_still_stops_profiler(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            profile_call(lambda: (_ for _ in ()).throw(ValueError("x")).__next__())
+
+    def test_stats_from_profiler_direct(self):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _busy(100)
+        profiler.disable()
+        stats = stats_from_profiler(profiler)
+        assert all(len(record) == 3 for record in stats.values())
+
+
+class TestMergeProfiles:
+    def test_sums_across_processes(self):
+        a = {"f.py:1(f)": [2, 0.5, 1.0], "g.py:2(g)": [1, 0.1, 0.1]}
+        b = {"f.py:1(f)": [3, 0.5, 2.0]}
+        merged = merge_profiles([a, b])
+        assert merged["f.py:1(f)"] == [5, 1.0, 3.0]
+        assert merged["g.py:2(g)"] == [1, 0.1, 0.1]
+
+    def test_order_independent(self):
+        a = {"f.py:1(f)": [2, 0.5, 1.0]}
+        b = {"f.py:1(f)": [3, 0.25, 2.0]}
+        assert merge_profiles([a, b]) == merge_profiles([b, a])
+
+    def test_skips_empty_entries(self):
+        assert merge_profiles([{}, None, {"k": [1, 0.0, 0.0]}]) == {"k": [1, 0.0, 0.0]}
+
+    def test_empty_input(self):
+        assert merge_profiles([]) == {}
+
+
+class TestRenderProfile:
+    def test_empty_stats_message(self):
+        assert "no profile data" in render_profile({})
+
+    def test_top_n_by_cumulative(self):
+        stats = {f"f{i}.py:1(f{i})": [1, 0.0, float(i)] for i in range(20)}
+        text = render_profile(stats, top=5)
+        assert "top 5" in text
+        assert "f19.py" in text  # highest cumtime present
+        assert "f0.py" not in text  # lowest cut off

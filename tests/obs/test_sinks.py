@@ -61,6 +61,20 @@ class TestJsonl:
         assert live["metrics"]["counters"] == loaded["metrics"]["counters"]
         assert live["metrics"]["gauges"] == loaded["metrics"]["gauges"]
 
+    def test_non_finite_values_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("m/inf").inc(math.inf)
+        registry.gauge("m/nan").set(math.nan)
+        registry.gauge("m/neg").set(-math.inf)
+        loaded = load_jsonl(write_jsonl(tmp_path / "run.jsonl", registry))
+        metrics = loaded["metrics"]
+        assert math.isinf(metrics["counters"]["m/inf"])
+        assert metrics["counters"]["m/inf"] > 0
+        assert math.isnan(metrics["gauges"]["m/nan"])
+        assert metrics["gauges"]["m/neg"] == -math.inf
+        # downstream consumers keep working on the revived floats
+        assert "repro_m_inf_total +Inf" in prometheus_from_collected(loaded)
+
 
 class TestPrometheus:
     def test_name_sanitization(self):

@@ -1,0 +1,160 @@
+"""Perf subsystem: probes, history ledger, regression gate, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.errors import ReproError
+from repro.perf import (
+    PROBES,
+    append_record,
+    baseline_record,
+    check_against_baseline,
+    compare_to_baseline,
+    load_history,
+    make_record,
+    measure,
+    probe_names,
+    record_run,
+)
+
+# the two cheapest probes — every test here should stay sub-second
+_QUICK = ["solve_greedy", "sim_short"]
+
+
+class TestMeasure:
+    def test_measures_requested_subset(self):
+        results = measure(_QUICK, repeats=1)
+        assert sorted(results) == sorted(_QUICK)
+        assert all(value > 0.0 for value in results.values())
+
+    def test_default_runs_all_probes(self):
+        assert probe_names() == list(PROBES)
+
+    def test_unknown_probe_raises(self):
+        with pytest.raises(ReproError, match="unknown perf probes"):
+            measure(["solve_greedy", "nope"], repeats=1)
+
+    def test_bad_repeats_raises(self):
+        with pytest.raises(ReproError, match="repeats"):
+            measure(_QUICK, repeats=0)
+
+
+class TestHistory:
+    def _record(self, **overrides):
+        record = make_record({"solve_greedy": 0.01}, repeats=1, baseline=False)
+        record.update(overrides)
+        return record
+
+    def test_make_record_shape(self):
+        record = self._record()
+        assert record["probes"] == {"solve_greedy": 0.01}
+        assert record["repeats"] == 1
+        assert isinstance(record["git_sha"], str)
+        assert isinstance(record["fingerprint"], str)
+        assert "T" in record["recorded_at"]
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        append_record(path, self._record(tag="a"))
+        append_record(path, self._record(tag="b"))
+        records = load_history(path)
+        assert [r["tag"] for r in records] == ["a", "b"]
+
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_baseline_prefers_last_marked_record(self):
+        records = [
+            self._record(tag="old", baseline=True),
+            self._record(tag="marked", baseline=True),
+            self._record(tag="latest"),
+        ]
+        assert baseline_record(records)["tag"] == "marked"
+
+    def test_baseline_falls_back_to_last_record(self):
+        records = [self._record(tag="a"), self._record(tag="b")]
+        assert baseline_record(records)["tag"] == "b"
+        assert baseline_record([]) is None
+
+    def test_record_run_measures_and_appends(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        record = record_run(path, probes=_QUICK, repeats=1, baseline=True)
+        assert sorted(record["probes"]) == sorted(_QUICK)
+        assert load_history(path) == [record]
+        assert json.loads(path.read_text().splitlines()[0]) == record
+
+
+class TestGate:
+    def _baseline(self):
+        return make_record({"solve_greedy": 0.1, "sim_short": 0.2}, repeats=1,
+                           baseline=True)
+
+    def test_within_allowance_passes(self):
+        rows = compare_to_baseline(self._baseline(),
+                                   {"solve_greedy": 0.12}, max_regression=0.5)
+        (row,) = rows
+        assert row["ratio"] == pytest.approx(1.2)
+        assert not row["regressed"]
+
+    def test_breach_detected(self):
+        (row,) = compare_to_baseline(self._baseline(),
+                                     {"solve_greedy": 0.2}, max_regression=0.5)
+        assert row["regressed"]
+
+    def test_negative_allowance_fails_everything(self):
+        rows = compare_to_baseline(
+            self._baseline(),
+            {"solve_greedy": 0.0001, "sim_short": 0.0001},
+            max_regression=-1.0,
+        )
+        assert all(row["regressed"] for row in rows)
+
+    def test_new_probe_is_skipped(self):
+        rows = compare_to_baseline(self._baseline(),
+                                   {"brand_new": 1.0}, max_regression=0.5)
+        assert rows == []
+
+    def test_check_against_recorded_history(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        record_run(path, probes=_QUICK, repeats=1, baseline=True)
+        result = check_against_baseline(path, probes=_QUICK, repeats=1,
+                                        max_regression=10.0)
+        assert result["regressions"] == []
+        breached = check_against_baseline(path, probes=_QUICK, repeats=1,
+                                          max_regression=-1.0)
+        assert len(breached["regressions"]) == len(_QUICK)
+
+    def test_check_without_history_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no perf history"):
+            check_against_baseline(tmp_path / "absent.jsonl", probes=_QUICK,
+                                   repeats=1)
+
+
+class TestCli:
+    def test_record_check_list_round_trip(self, tmp_path, capsys):
+        history = str(tmp_path / "history.jsonl")
+        assert main(["perf", "record", "--history", history, "--probes",
+                     ",".join(_QUICK), "--repeats", "1", "--baseline"]) == 0
+        assert main(["perf", "check", "--history", history, "--probes",
+                     ",".join(_QUICK), "--repeats", "1",
+                     "--max-regression", "10.0"]) == 0
+        assert "perf check passed" in capsys.readouterr().out
+        assert main(["perf", "list", "--history", history]) == 0
+
+    def test_breached_check_exits_3(self, tmp_path, capsys):
+        history = str(tmp_path / "history.jsonl")
+        main(["perf", "record", "--history", history, "--probes",
+              "solve_greedy", "--repeats", "1", "--baseline"])
+        code = main(["perf", "check", "--history", history, "--probes",
+                     "solve_greedy", "--repeats", "1",
+                     "--max-regression", "-1.0"])
+        assert code == 3
+        assert "perf check FAILED" in capsys.readouterr().out
+
+    def test_list_without_history_fails(self, tmp_path):
+        assert main(["perf", "list", "--history",
+                     str(tmp_path / "absent.jsonl")]) == 1
