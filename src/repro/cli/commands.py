@@ -297,6 +297,135 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def _serving_problem(args) -> AssignmentProblem:
+    """The instance a serving command runs over (file or topology params)."""
+    if getattr(args, "instance", None):
+        return _load_problem(args.instance)
+    return topology_instance(
+        family=args.family,
+        n_routers=args.routers,
+        n_devices=args.devices,
+        n_servers=args.servers,
+        tightness=args.tightness,
+        seed=args.seed,
+    )
+
+
+def _service_config(args):
+    """ServiceConfig from the serve CLI flags."""
+    from repro.serve import ServiceConfig
+
+    return ServiceConfig(
+        rule=args.rule,
+        headroom=args.headroom,
+        max_batch=args.batch_max,
+        max_wait_s=args.batch_wait_ms / 1e3,
+        max_queue=args.queue_max,
+        watermark=args.watermark,
+        reopt_interval_s=args.reopt_interval,
+        reopt_solver=args.reopt_solver,
+        reopt_seed=derive_seed(args.seed, "reopt"),
+    )
+
+
+def cmd_serve(args) -> int:
+    """Run the assignment service until stopped (signal or --max-seconds)."""
+    import asyncio
+
+    from repro.serve import AssignmentService, TCPServer
+
+    problem = _serving_problem(args)
+    service = AssignmentService(problem, _service_config(args))
+
+    async def run() -> None:
+        import contextlib
+        import signal
+
+        await service.start()
+        server = TCPServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"serving {problem.name} ({problem.n_devices} devices x "
+            f"{problem.n_servers} servers, rule={args.rule}) on "
+            f"{args.host}:{server.port}",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        if args.max_seconds is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=args.max_seconds)
+        else:
+            await stop.wait()
+        await server.stop()
+        await service.stop()
+        rows = [[key, value] for key, value in service._stats().items()]
+        print(format_table(["stat", "value"], rows))
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    """Drive a service (remote or in-process) and report the latency table."""
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.serve import (
+        AssignmentService,
+        InProcessClient,
+        LoadTestConfig,
+        Request,
+        ServiceConfig,
+        open_client,
+        run_loadtest,
+    )
+
+    if args.port is None and not args.in_process:
+        print("error: give --port of a running `repro serve`, or --in-process")
+        return 1
+    config = LoadTestConfig(
+        n_requests=args.requests,
+        rate_hz=args.rate,
+        profile=args.profile,
+        concurrency=args.concurrency,
+        seed=args.load_seed,
+        release_ratio=args.release_ratio,
+    )
+
+    async def run():
+        if args.in_process:
+            problem = _serving_problem(args)
+            service = AssignmentService(problem, ServiceConfig())
+            await service.start()
+            client = InProcessClient(service)
+            try:
+                return await run_loadtest(client, problem.n_devices, config)
+            finally:
+                await service.stop()
+        client = await open_client(args.host, args.port)
+        try:
+            stats = (await client.request(Request(op="stats"))).stats
+            if not stats:
+                raise ReproError("service did not answer the stats probe")
+            return await run_loadtest(client, int(stats["devices"]), config)
+        finally:
+            await client.close()
+
+    report = asyncio.run(run())
+    print(report.to_text())
+    if args.json:
+        report.save_json(args.json)
+        print(f"report written to {args.json}")
+    if report.errors:
+        print(f"loadtest FAILED: {report.errors} protocol-error responses")
+        return 3
+    return 0
+
+
 def cmd_obs(args) -> int:
     """Render an observability JSONL export as an ASCII dashboard."""
     path = Path(args.snapshot)

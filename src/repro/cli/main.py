@@ -7,6 +7,8 @@ import sys
 
 import repro
 from repro.cli import commands
+from repro.cluster.online import ONLINE_RULES
+from repro.serve.loadtest import PROFILES
 from repro.solvers.registry import available_solvers
 from repro.topology.generators import TOPOLOGY_FAMILIES
 from repro.topology.placement import PLACEMENT_STRATEGIES
@@ -162,6 +164,88 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flag(experiment)
     add_engine_flags(experiment)
     experiment.set_defaults(handler=commands.cmd_experiment)
+
+    def add_instance_flags(subparser) -> None:
+        """Commands that build a serving instance share these knobs."""
+        subparser.add_argument(
+            "--instance", default=None, metavar="PATH",
+            help="instance JSON from `repro generate` (overrides the "
+            "topology parameters below)",
+        )
+        subparser.add_argument(
+            "--family", choices=sorted(TOPOLOGY_FAMILIES),
+            default="random_geometric",
+        )
+        subparser.add_argument("--routers", type=int, default=40)
+        subparser.add_argument("--devices", type=int, default=120)
+        subparser.add_argument("--servers", type=int, default=8)
+        subparser.add_argument("--tightness", type=float, default=0.7)
+        subparser.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="run the online assignment service (line-JSON over TCP)"
+    )
+    add_instance_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: 0 = pick a free one and print it)")
+    serve.add_argument("--rule", choices=ONLINE_RULES, default="reserve",
+                       help="online assignment rule (default: reserve)")
+    serve.add_argument("--headroom", type=float, default=0.85,
+                       help="reserve-rule utilization headroom (default: 0.85)")
+    serve.add_argument("--batch-max", type=int, default=32,
+                       help="micro-batch size bound (default: 32)")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="micro-batch deadline in ms (default: 2.0)")
+    serve.add_argument("--queue-max", type=int, default=1024,
+                       help="admission hard queue bound (default: 1024)")
+    serve.add_argument("--watermark", type=float, default=0.5,
+                       help="queue fraction where low-priority shedding starts "
+                       "(default: 0.5)")
+    serve.add_argument("--reopt-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="run the background re-optimization loop every "
+                       "SECONDS (default: off)")
+    serve.add_argument("--reopt-solver", default="local_search",
+                       choices=available_solvers(),
+                       help="solver for re-optimization snapshots "
+                       "(default: local_search)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="stop after this long (default: run until "
+                       "SIGINT/SIGTERM)")
+    add_obs_flag(serve)
+    serve.set_defaults(handler=commands.cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive an assignment service and measure latency"
+    )
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, default=None,
+                          help="port of a running `repro serve` (omit with "
+                          "--in-process)")
+    loadtest.add_argument("--in-process", action="store_true",
+                          help="spin up the service inside the load generator "
+                          "(measures the service without the TCP hop)")
+    add_instance_flags(loadtest)
+    loadtest.add_argument("--requests", type=int, default=1000,
+                          help="total requests to issue (default: 1000)")
+    loadtest.add_argument("--rate", type=float, default=2000.0,
+                          help="offered rate in req/s for open-loop profiles "
+                          "(default: 2000)")
+    loadtest.add_argument("--profile", choices=sorted(PROFILES),
+                          default="poisson",
+                          help="arrival profile (default: poisson)")
+    loadtest.add_argument("--concurrency", type=int, default=32,
+                          help="closed-loop worker count (default: 32)")
+    loadtest.add_argument("--release-ratio", type=float, default=0.45,
+                          help="fraction of ops that release a held device "
+                          "(default: 0.45)")
+    loadtest.add_argument("--load-seed", type=int, default=0,
+                          help="seed for the load generator's RNG (default: 0)")
+    loadtest.add_argument("--json", default=None, metavar="PATH",
+                          help="also save the report JSON here")
+    add_obs_flag(loadtest)
+    loadtest.set_defaults(handler=commands.cmd_loadtest)
 
     obs = sub.add_parser(
         "obs", help="render an observability JSONL file as an ASCII dashboard"

@@ -12,7 +12,10 @@ irrevocably — the online restriction of the paper's offline problem.
   cheapest-fitting when none qualifies.
 
 The F8/online experiment compares these against the offline optimum on
-the same instance (the competitive-ratio view).
+the same instance (the competitive-ratio view).  The serving layer
+(:mod:`repro.serve`) additionally drives the assigner as a *churning*
+state machine: :meth:`release` returns a departed device's capacity,
+and :meth:`reset_to` atomically adopts a re-optimized assignment.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import numpy as np
 
 from repro.errors import InfeasibleSolutionError
 from repro.model.problem import AssignmentProblem
-from repro.model.solution import Assignment
+from repro.model.solution import UNASSIGNED, Assignment
 from repro.obs import names as obs_names
 from repro.obs import runtime as obs_runtime
 from repro.utils.validation import check_probability, require
@@ -44,25 +47,40 @@ class OnlineAssigner:
         self.headroom = check_probability(headroom, "headroom")
         self.assignment = Assignment(problem)
         self._residual = problem.capacity.copy()
+        # a failed server advertises zero capacity; it must never be a
+        # candidate and must never poison utilization with a 0/0
+        self._usable = np.array(
+            [
+                j not in problem.failed_servers and problem.capacity[j] > 0
+                for j in range(problem.n_servers)
+            ],
+            dtype=bool,
+        )
+        if not np.any(self._usable):
+            raise InfeasibleSolutionError(
+                "no usable server: every server is failed or has zero capacity"
+            )
 
     # ------------------------------------------------------------------
     @property
     def utilization(self) -> np.ndarray:
-        """Per-server load divided by capacity."""
-        return 1.0 - self._residual / self.problem.capacity
+        """Per-server load divided by capacity (0 for zero-capacity servers)."""
+        capacity = self.problem.capacity
+        safe = np.where(capacity > 0, capacity, 1.0)
+        return np.where(capacity > 0, 1.0 - self._residual / safe, 0.0)
 
     def assign(self, device: int) -> int:
         """Place ``device`` now; returns the chosen server.
 
         Raises :class:`~repro.errors.InfeasibleSolutionError` when no
-        server can take the device — in the online setting there is
-        nothing to undo, so the failure is surfaced to the caller
+        usable server can take the device — in the online setting there
+        is nothing to undo, so the failure is surfaced to the caller
         (admission control).
         """
         registry = obs_runtime.metrics()
         labels = {"rule": self.rule}
         demand = self.problem.demand[device]
-        fits = np.flatnonzero(demand <= self._residual + 1e-12)
+        fits = np.flatnonzero(self._usable & (demand <= self._residual + 1e-12))
         if fits.size == 0:
             registry.counter(obs_names.ONLINE_REJECTIONS, labels).inc()
             raise InfeasibleSolutionError(
@@ -74,11 +92,53 @@ class OnlineAssigner:
         registry.counter(obs_names.ONLINE_ASSIGNMENTS, labels).inc()
         return chosen
 
+    def release(self, device: int) -> int:
+        """Return a departed ``device``'s capacity; returns its old server.
+
+        Raises :class:`~repro.errors.InfeasibleSolutionError` when the
+        device is not currently assigned — releasing an unknown device
+        is a protocol error the serving layer must surface, not absorb.
+        """
+        require(
+            0 <= device < self.problem.n_devices,
+            f"device {device} out of range [0, {self.problem.n_devices})",
+        )
+        server = self.assignment.server_of(device)
+        if server == UNASSIGNED:
+            raise InfeasibleSolutionError(
+                f"device {device} is not assigned; nothing to release"
+            )
+        self._residual[server] += self.problem.demand[device, server]
+        self.assignment.unassign(device)
+        return server
+
     def assign_stream(self, order: "list[int] | np.ndarray") -> Assignment:
         """Assign every device in arrival ``order``; returns the result."""
         for device in order:
             self.assign(int(device))
         return self.assignment
+
+    def reset_to(self, vector: "np.ndarray | list[int]") -> None:
+        """Adopt ``vector`` (UNASSIGNED entries stay free) atomically.
+
+        Used by the serving layer's re-optimization loop to swap in an
+        improved assignment: residuals are recomputed from scratch so
+        the assigner's view is exactly the adopted vector's loads.
+        Rejects vectors that overload any server or touch unusable ones.
+        """
+        adopted = Assignment(self.problem, vector)
+        loads = adopted.loads()
+        require(
+            bool(np.all(loads <= self.problem.capacity + 1e-9)),
+            "reset_to vector overloads at least one server",
+        )
+        occupied = np.unique(adopted.vector[adopted.vector != UNASSIGNED])
+        require(
+            bool(np.all(self._usable[occupied])) if occupied.size else True,
+            "reset_to vector places devices on failed/zero-capacity servers",
+        )
+        self.assignment = adopted
+        self._residual = self.problem.capacity - loads
 
     # ------------------------------------------------------------------
     def _choose(self, device: int, fits: np.ndarray) -> int:
@@ -87,7 +147,8 @@ class OnlineAssigner:
             return int(fits[np.argmin(delays)])
         utilization = self.utilization
         if self.rule == "balanced":
-            below_mean = fits[utilization[fits] <= float(np.mean(utilization)) + 1e-12]
+            mean_util = float(np.mean(utilization[self._usable]))
+            below_mean = fits[utilization[fits] <= mean_util + 1e-12]
             pool = below_mean if below_mean.size else fits
             return int(pool[np.argmin(self.problem.delay[device, pool])])
         # reserve: keep every server under the headroom threshold if possible

@@ -380,6 +380,23 @@ EXPERIMENTS: dict[str, ExperimentMeta] = {
             for row in t.rows
         ],
     ),
+    "serve_loadtest": ExperimentMeta(
+        "G3",
+        "Online serving latency/throughput under load (guard, not a paper figure)",
+        "Zero protocol errors on every profile; batched results identical to "
+        "the serial OnlineAssigner replay; sustainable rates shed nothing "
+        "while the overload case sheds via explicit admission rejections "
+        "with served-request latency still bounded by the queue.",
+        lambda t: [
+            f"{row['case']}: {_fmt(row['throughput_rps'], 0)} req/s "
+            f"(offered {_fmt(row['offered_rate_hz'], 0)}), p50/p95/p99 "
+            f"{_fmt(row['p50_ms'], 2)}/{_fmt(row['p95_ms'], 2)}/"
+            f"{_fmt(row['p99_ms'], 2)} ms, {row['ok']} ok / "
+            f"{row['rejected']} rejected / {row['errors']} errors, "
+            f"matches serial: {'yes' if row['matches_serial'] else 'NO'}."
+            for row in t.rows
+        ],
+    ),
 }
 
 

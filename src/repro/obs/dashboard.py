@@ -126,6 +126,81 @@ def _render_engine_section(metrics: dict) -> "str | None":
     return format_table(["engine", "value"], rows)
 
 
+def _sum_metric(counters: dict, name: str) -> float:
+    """Total across the unlabeled series and every labeled variant."""
+    return sum(
+        value
+        for key, value in counters.items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+def _label_breakdown(counters: dict, name: str, label: str) -> str:
+    """Compact ``value=count`` listing for one labeled counter family."""
+    prefix = f"{name}{{{label}="
+    parts = [
+        f"{key[len(prefix):-1]}={int(value)}"
+        for key, value in sorted(counters.items())
+        if key.startswith(prefix)
+    ]
+    return " ".join(parts)
+
+
+def _render_serve_section(metrics: dict) -> "str | None":
+    """Serving summary: admission, batching, latency, re-optimization."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    timers = metrics.get("timers", {})
+    histograms = metrics.get("histograms", {})
+    touched = any(
+        key.startswith("serve/")
+        for group in (counters, gauges, timers, histograms)
+        for key in group
+    )
+    if not touched:
+        return None
+    rows: list[list] = []
+    requests = _sum_metric(counters, "serve/requests")
+    admitted = _sum_metric(counters, "serve/admitted")
+    rejected = _sum_metric(counters, "serve/rejected")
+    if requests:
+        rows.append(["requests", int(requests)])
+    if admitted or rejected:
+        rows.append(["admitted", int(admitted)])
+        rows.append(["rejected", int(rejected)])
+        rows.append(["rejection ratio", f"{rejected / (admitted + rejected):.1%}"])
+    for label, key in (
+        ("assigns", "serve/assigned"),
+        ("releases", "serve/released"),
+        ("errors", "serve/errors"),
+    ):
+        if key in counters:
+            rows.append([label, int(counters[key])])
+    flushes = _label_breakdown(counters, "serve/batch_flushes", "reason")
+    if flushes:
+        rows.append(["batch flushes", flushes])
+    batch = histograms.get("serve/batch_size")
+    if batch and batch.get("count", 0) > 0:
+        rows.append(["batch size p50", f"{batch.get('p50', math.nan):.3g}"])
+        rows.append(["batch size max", f"{batch.get('max', math.nan):.3g}"])
+    latency = timers.get("serve/assign_latency_s")
+    if latency and latency.get("count", 0) > 0:
+        rows.append(["assign latency p50", _fmt_seconds(latency.get("p50", math.nan))])
+        rows.append(["assign latency p99", _fmt_seconds(latency.get("p99", math.nan))])
+    if "serve/queue_depth" in gauges:
+        rows.append(["queue depth", int(gauges["serve/queue_depth"])])
+    if "serve/active_devices" in gauges:
+        rows.append(["active devices", int(gauges["serve/active_devices"])])
+    reopt = _label_breakdown(counters, "serve/reopt_runs", "outcome")
+    if reopt:
+        rows.append(["reopt runs", reopt])
+    if "serve/reopt_gain_ms" in gauges:
+        rows.append(["last reopt gain", f"{float(gauges['serve/reopt_gain_ms']):.3f} ms"])
+    if not rows:
+        return None
+    return format_table(["serve", "value"], rows)
+
+
 def render_dashboard(data: dict, width: int = 64) -> str:
     """Render the full dashboard; sections with no data are omitted."""
     metrics = data.get("metrics", {})
@@ -142,6 +217,12 @@ def render_dashboard(data: dict, width: int = 64) -> str:
         sections.append("")
         sections.append("## engine")
         sections.append(engine_section)
+
+    serve_section = _render_serve_section(metrics)
+    if serve_section:
+        sections.append("")
+        sections.append("## serve")
+        sections.append(serve_section)
 
     counters = metrics.get("counters", {})
     if counters:

@@ -55,6 +55,21 @@ ENGINE_QUEUE_WAIT = "engine/queue_wait_s"
 ENGINE_JOB_RUNTIME = "engine/job_runtime_s"
 ENGINE_WORKER_UTILIZATION = "engine/worker_utilization"
 
+# -- online assignment service ---------------------------------------
+SERVE_REQUESTS = "serve/requests"
+SERVE_ADMITTED = "serve/admitted"
+SERVE_REJECTED = "serve/rejected"
+SERVE_ASSIGNED = "serve/assigned"
+SERVE_RELEASED = "serve/released"
+SERVE_ERRORS = "serve/errors"
+SERVE_QUEUE_DEPTH = "serve/queue_depth"
+SERVE_ACTIVE_DEVICES = "serve/active_devices"
+SERVE_BATCH_SIZE = "serve/batch_size"
+SERVE_BATCH_FLUSHES = "serve/batch_flushes"
+SERVE_ASSIGN_LATENCY = "serve/assign_latency_s"
+SERVE_REOPT_RUNS = "serve/reopt_runs"
+SERVE_REOPT_GAIN = "serve/reopt_gain_ms"
+
 # -- fault injection and task-lifecycle resilience --------------------
 FAULTS_INJECTED = "faults/injected"
 FAULTS_SERVER_CRASHES = "faults/server_crashes"
@@ -72,6 +87,7 @@ SPAN_SIM_RUN = "sim/run"
 SPAN_RECONFIG = "cluster/reconfigure"
 SPAN_DEGRADED = "cluster/degraded"
 SPAN_CHAOS = "faults/run"
+SPAN_REOPT = "serve/reopt"
 
 #: every registered metric name, for the docs/tests cross-check
 CATALOG: tuple[str, ...] = (
@@ -101,6 +117,19 @@ CATALOG: tuple[str, ...] = (
     CLUSTER_LOAD_SHED,
     ONLINE_ASSIGNMENTS,
     ONLINE_REJECTIONS,
+    SERVE_REQUESTS,
+    SERVE_ADMITTED,
+    SERVE_REJECTED,
+    SERVE_ASSIGNED,
+    SERVE_RELEASED,
+    SERVE_ERRORS,
+    SERVE_QUEUE_DEPTH,
+    SERVE_ACTIVE_DEVICES,
+    SERVE_BATCH_SIZE,
+    SERVE_BATCH_FLUSHES,
+    SERVE_ASSIGN_LATENCY,
+    SERVE_REOPT_RUNS,
+    SERVE_REOPT_GAIN,
     ENGINE_JOBS_SCHEDULED,
     ENGINE_JOBS_COMPLETED,
     ENGINE_JOBS_FAILED,

@@ -76,12 +76,57 @@ def probe_engine_grid() -> None:
     run_jobs(specs, EngineOptions(jobs=1))
 
 
+def _tiny_loadtest(n_requests: int):
+    """One fixed-seed in-process loadtest run; returns the report."""
+    import asyncio
+
+    from repro.serve import (
+        AssignmentService,
+        InProcessClient,
+        LoadTestConfig,
+        ServiceConfig,
+        run_loadtest,
+    )
+
+    problem = _tiny_problem()
+    config = LoadTestConfig(
+        n_requests=n_requests, rate_hz=50_000.0, profile="poisson", seed=7
+    )
+
+    async def scenario():
+        service = AssignmentService(problem, ServiceConfig(max_queue=100_000))
+        await service.start()
+        try:
+            return await run_loadtest(
+                InProcessClient(service),
+                problem.n_devices,
+                config,
+                collect_stats=False,
+            )
+        finally:
+            await service.stop()
+
+    return asyncio.run(scenario())
+
+
+def probe_serve_loadtest_p99() -> float:
+    """p99 request latency (seconds) of a fixed-seed in-process loadtest."""
+    return _tiny_loadtest(300).latency_ms["p99"] / 1e3
+
+
+def probe_serve_throughput() -> None:
+    """Wall time to serve a fixed-size loadtest (inverse throughput)."""
+    _tiny_loadtest(500)
+
+
 #: probe name -> zero-argument callable (insertion order is report order)
 PROBES = {
     "solve_greedy": probe_solve_greedy,
     "solve_local_search": probe_solve_local_search,
     "sim_short": probe_sim_short,
     "engine_grid": probe_engine_grid,
+    "serve_loadtest_p99": probe_serve_loadtest_p99,
+    "serve_throughput": probe_serve_throughput,
 }
 
 
@@ -93,7 +138,13 @@ def probe_names() -> "list[str]":
 def measure(
     probes: "list[str] | None" = None, repeats: int = 3
 ) -> "dict[str, float]":
-    """Best-of-``repeats`` wall seconds per probe.
+    """Best-of-``repeats`` seconds per probe (lower is always better).
+
+    A probe that returns ``None`` is timed (wall seconds).  A probe
+    that returns a float reports that value instead — for latency
+    probes whose interesting number is a percentile the probe itself
+    computed, not its own wall time.  Either way the minimum over
+    ``repeats`` is kept: interference only ever adds time.
 
     ``probes=None`` runs all of them; unknown names raise early so a
     CI typo fails loudly instead of silently gating nothing.
@@ -109,7 +160,8 @@ def measure(
         best = float("inf")
         for _ in range(repeats):
             started = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - started)
+            value = fn()
+            elapsed = time.perf_counter() - started
+            best = min(best, float(value) if value is not None else elapsed)
         results[name] = best
     return results

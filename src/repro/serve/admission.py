@@ -1,0 +1,103 @@
+"""Admission control and backpressure for the assignment service.
+
+The service's request queue is bounded; an unbounded queue under
+overload just converts every request into a timeout.  The controller
+makes the cheap, deterministic decision *before* a request is queued:
+
+* queue below the **watermark** — everyone gets in;
+* between watermark and hard capacity — shed by priority class,
+  lowest first, exactly the degradation order of
+  :func:`repro.cluster.degradation.solve_degraded` and the fault
+  layer's load shedding (``low`` sheds first, ``high`` last);
+* at hard capacity — reject everything, whatever the class.
+
+Between the watermark and the full queue the shed threshold moves
+linearly: ``low`` is shed from the watermark up, ``normal`` from the
+midpoint of the remaining band, ``high`` only when the queue is full.
+A rejection carries a ``retry_after_ms`` hint derived from the drain
+rate, so a well-behaved client backs off instead of hammering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.protocol import PRIORITY_CLASSES
+from repro.utils.validation import check_positive, check_probability, require
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = ""  # "", "watermark", "queue_full"
+    retry_after_ms: float = 0.0
+
+
+class AdmissionController:
+    """Bounded-queue gatekeeper with priority-class shedding."""
+
+    def __init__(
+        self,
+        max_queue: int = 1024,
+        watermark: float = 0.5,
+        drain_rate_hz: float = 1000.0,
+    ) -> None:
+        require(max_queue >= 1, f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self.watermark = check_probability(watermark, "watermark")
+        self._drain_rate_hz = check_positive(drain_rate_hz, "drain_rate_hz")
+        #: lifetime decision counts, per (outcome, priority)
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    # ------------------------------------------------------------------
+    def shed_threshold(self, priority: str) -> int:
+        """Queue depth at which ``priority`` requests start being shed."""
+        require(
+            priority in PRIORITY_CLASSES,
+            f"unknown priority {priority!r}; known: {PRIORITY_CLASSES}",
+        )
+        low_mark = int(self.watermark * self.max_queue)
+        if priority == "low":
+            return low_mark
+        if priority == "normal":
+            return low_mark + (self.max_queue - low_mark) // 2
+        return self.max_queue  # "high": only the hard bound stops it
+
+    def check(self, queue_depth: int, priority: str = "normal") -> AdmissionDecision:
+        """Admit or reject a request given the current queue depth."""
+        require(queue_depth >= 0, "queue_depth must be >= 0")
+        if queue_depth >= self.max_queue:
+            self.rejected_total += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="queue_full",
+                retry_after_ms=self._retry_after_ms(queue_depth),
+            )
+        if queue_depth >= self.shed_threshold(priority):
+            self.rejected_total += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="watermark",
+                retry_after_ms=self._retry_after_ms(queue_depth),
+            )
+        self.admitted_total += 1
+        return AdmissionDecision(admitted=True)
+
+    # ------------------------------------------------------------------
+    def observe_drain_rate(self, rate_hz: float) -> None:
+        """Feed a fresh measured drain rate into the retry-after hint.
+
+        The service updates this after every batch flush (EWMA on the
+        caller's side keeps it smooth); the controller only needs a
+        positive number to size the hint.
+        """
+        if rate_hz > 0:
+            self._drain_rate_hz = float(rate_hz)
+
+    def _retry_after_ms(self, queue_depth: int) -> float:
+        """How long until the queue is plausibly below the watermark."""
+        excess = queue_depth - int(self.watermark * self.max_queue) + 1
+        return max(1.0, 1e3 * excess / self._drain_rate_hz)

@@ -1,0 +1,398 @@
+"""Load generation against the assignment service, open- and closed-loop.
+
+Three traffic profiles:
+
+* ``poisson`` — open-loop memoryless arrivals at ``rate_hz`` via
+  :class:`~repro.workload.arrivals.PoissonProcess`: the generator does
+  not wait for responses, so queueing delay shows up in the measured
+  latency exactly as real overload would;
+* ``burst`` — open-loop two-state MMPP
+  (:class:`~repro.workload.arrivals.MMPPProcess`) with the same mean
+  rate but 6x calm-to-burst rate spread: the micro-batcher's reason to
+  exist;
+* ``closed`` — ``concurrency`` workers each waiting for their response
+  before sending the next request: measures saturation throughput.
+
+The driver is a *device actor* model: it releases only devices whose
+``assign`` was confirmed ``ok``, so admission rejections under
+overload never cascade into protocol errors.  For determinism work,
+:func:`generate_trace` produces a fixed op sequence instead, and
+:func:`replay_serial` replays it through a bare
+:class:`~repro.serve.state.ServiceState` — the unbatched baseline the
+equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.protocol import PRIORITY_CLASSES, Request, Response
+from repro.serve.state import ServiceState
+from repro.utils.fileio import atomic_write_text
+from repro.utils.tables import format_table
+from repro.utils.validation import check_positive, check_probability, require
+from repro.workload.arrivals import ArrivalProcess, MMPPProcess, PoissonProcess
+
+#: arrival profiles the CLI exposes
+PROFILES = ("poisson", "burst", "closed")
+
+#: transport flush cadence for open-loop pipelining
+_FLUSH_EVERY = 128
+
+
+@dataclass(frozen=True)
+class LoadTestConfig:
+    """One load-test run's knobs."""
+
+    n_requests: int = 1000
+    rate_hz: float = 2000.0
+    profile: str = "poisson"
+    concurrency: int = 32
+    seed: int = 0
+    release_ratio: float = 0.45
+    priority_mix: "tuple[float, float, float]" = (0.2, 0.6, 0.2)  # low/normal/high
+
+    def __post_init__(self) -> None:
+        require(self.n_requests >= 1, "n_requests must be >= 1")
+        check_positive(self.rate_hz, "rate_hz")
+        require(self.profile in PROFILES,
+                f"unknown profile {self.profile!r}; known: {PROFILES}")
+        require(self.concurrency >= 1, "concurrency must be >= 1")
+        check_probability(self.release_ratio, "release_ratio")
+        require(
+            len(self.priority_mix) == len(PRIORITY_CLASSES)
+            and abs(sum(self.priority_mix) - 1.0) < 1e-9,
+            "priority_mix must be one probability per class, summing to 1",
+        )
+
+
+@dataclass
+class LoadTestReport:
+    """What a run measured; renders as a table and serializes to JSON."""
+
+    profile: str
+    n_requests: int
+    offered_rate_hz: float
+    duration_s: float
+    throughput_rps: float
+    latency_ms: "dict[str, float]"  # p50/p95/p99/mean/max over answered requests
+    statuses: "dict[str, int]"  # status -> count
+    ops: "dict[str, int]"  # op -> count
+    stats: "dict | None" = field(default=None)  # final service stats snapshot
+
+    @property
+    def errors(self) -> int:
+        """Protocol-error responses (must be 0 in a healthy run)."""
+        return self.statuses.get("error", 0)
+
+    @property
+    def rejected(self) -> int:
+        """Admission-control rejections (expected under overload)."""
+        return self.statuses.get("rejected", 0)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form."""
+        return {
+            "profile": self.profile,
+            "n_requests": self.n_requests,
+            "offered_rate_hz": self.offered_rate_hz,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_ms,
+            "statuses": self.statuses,
+            "ops": self.ops,
+            "stats": self.stats,
+        }
+
+    def save_json(self, path) -> None:
+        """Persist the report (atomic write, like every repro artifact)."""
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    def to_text(self) -> str:
+        """Human-readable latency/throughput table."""
+        rows = [
+            ["profile", self.profile],
+            ["requests", self.n_requests],
+            ["offered rate (req/s)", f"{self.offered_rate_hz:.0f}"],
+            ["duration (s)", f"{self.duration_s:.3f}"],
+            ["throughput (req/s)", f"{self.throughput_rps:.0f}"],
+            ["latency p50 (ms)", f"{self.latency_ms['p50']:.3f}"],
+            ["latency p95 (ms)", f"{self.latency_ms['p95']:.3f}"],
+            ["latency p99 (ms)", f"{self.latency_ms['p99']:.3f}"],
+            ["latency max (ms)", f"{self.latency_ms['max']:.3f}"],
+            ["ok / rejected / infeasible / error",
+             " / ".join(str(self.statuses.get(s, 0))
+                        for s in ("ok", "rejected", "infeasible", "error"))],
+        ]
+        return format_table(["metric", "value"], rows)
+
+
+# ----------------------------------------------------------------------
+# fixed traces (the determinism path)
+# ----------------------------------------------------------------------
+def generate_trace(
+    n_devices: int,
+    n_requests: int,
+    seed: int = 0,
+    release_ratio: float = 0.45,
+    max_active_fraction: float = 0.6,
+    priority_mix: "tuple[float, float, float]" = (0.2, 0.6, 0.2),
+) -> "list[Request]":
+    """A deterministic assign/release op sequence over ``n_devices``.
+
+    The generator tracks its own view of the active set and only ever
+    releases devices it assigned earlier, keeping occupancy under
+    ``max_active_fraction`` so a moderately provisioned cluster can
+    serve the whole trace without infeasibilities.  Identical
+    ``(n_devices, n_requests, seed, ...)`` always yields the identical
+    request list — the replay contract of the equivalence tests.
+    """
+    require(n_devices >= 1, "n_devices must be >= 1")
+    require(n_requests >= 1, "n_requests must be >= 1")
+    check_probability(release_ratio, "release_ratio")
+    check_probability(max_active_fraction, "max_active_fraction")
+    rng = np.random.default_rng(seed)
+    active: "list[int]" = []
+    inactive = list(range(n_devices))
+    max_active = max(1, int(max_active_fraction * n_devices))
+    trace: "list[Request]" = []
+    for index in range(n_requests):
+        priority = PRIORITY_CLASSES[
+            int(rng.choice(len(PRIORITY_CLASSES), p=priority_mix))
+        ]
+        want_release = active and (
+            len(active) >= max_active or float(rng.random()) < release_ratio
+        )
+        if want_release or not inactive:
+            position = int(rng.integers(len(active)))
+            device = active.pop(position)
+            inactive.append(device)
+            trace.append(Request(op="release", id=index + 1, device=device,
+                                 priority=priority))
+        else:
+            position = int(rng.integers(len(inactive)))
+            device = inactive.pop(position)
+            active.append(device)
+            trace.append(Request(op="assign", id=index + 1, device=device,
+                                 priority=priority))
+    return trace
+
+
+def replay_serial(
+    problem,
+    trace: "list[Request]",
+    rule: str = "reserve",
+    headroom: float = 0.85,
+) -> "tuple[np.ndarray, list[str]]":
+    """The unbatched baseline: the trace applied one op at a time.
+
+    Returns the final assignment vector and the per-request status
+    list.  A batched service run over the same trace must match both
+    exactly (see ``tests/serve/test_service.py``).
+    """
+    from repro.errors import InfeasibleSolutionError, ValidationError
+
+    state = ServiceState(problem, rule=rule, headroom=headroom)
+    statuses: "list[str]" = []
+    for request in trace:
+        try:
+            if request.op == "assign":
+                state.assign(int(request.device))
+            else:
+                state.release(int(request.device))
+            statuses.append("ok")
+        except ValidationError:
+            statuses.append("error")
+        except InfeasibleSolutionError:
+            statuses.append("error" if request.op == "release" else "infeasible")
+    return state.vector, statuses
+
+
+async def drive_trace(client, trace: "list[Request]") -> "list[Response]":
+    """Send a fixed trace in order through ``client``; await every answer."""
+    futures = []
+    for index, request in enumerate(trace):
+        futures.append(client.send(request))
+        if (index + 1) % _FLUSH_EVERY == 0:
+            await client.flush()
+    await client.flush()
+    return list(await asyncio.gather(*futures))
+
+
+# ----------------------------------------------------------------------
+# live load generation (the measurement path)
+# ----------------------------------------------------------------------
+def _arrival_process(config: LoadTestConfig) -> ArrivalProcess:
+    if config.profile == "burst":
+        return MMPPProcess(
+            base_rate_hz=0.5 * config.rate_hz,
+            burst_rate_hz=3.0 * config.rate_hz,
+            mean_calm_s=2.0,
+            mean_burst_s=0.5,
+        )
+    return PoissonProcess(config.rate_hz)
+
+
+class _DeviceActors:
+    """Response-aware device bookkeeping shared by both loop modes."""
+
+    def __init__(self, n_devices: int, config: LoadTestConfig) -> None:
+        self.rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.held: "list[int]" = []  # assign confirmed ok
+        self.pending: "set[int]" = set()  # assign in flight
+        self.idle = list(range(n_devices))
+
+    def next_request(self) -> "Request | None":
+        """The next op, or ``None`` when no device can act right now."""
+        priority = PRIORITY_CLASSES[
+            int(self.rng.choice(len(PRIORITY_CLASSES), p=self.config.priority_mix))
+        ]
+        want_release = self.held and (
+            not self.idle or float(self.rng.random()) < self.config.release_ratio
+        )
+        if want_release:
+            device = self.held.pop(int(self.rng.integers(len(self.held))))
+            self.pending.add(device)
+            return Request(op="release", device=device, priority=priority)
+        if not self.idle:
+            return None
+        device = self.idle.pop(int(self.rng.integers(len(self.idle))))
+        self.pending.add(device)
+        return Request(op="assign", device=device, priority=priority)
+
+    def settle(self, request: Request, response: Response) -> None:
+        """Fold one response back into the actor state."""
+        device = int(request.device)
+        self.pending.discard(device)
+        if request.op == "assign":
+            (self.held if response.ok else self.idle).append(device)
+        else:
+            (self.idle if response.ok else self.held).append(device)
+
+
+async def run_loadtest(
+    client,
+    n_devices: int,
+    config: LoadTestConfig,
+    collect_stats: bool = True,
+) -> LoadTestReport:
+    """Drive ``client`` with the configured profile; measure what came back."""
+    started = time.perf_counter()
+    if config.profile == "closed":
+        outcomes = await _closed_loop(client, n_devices, config)
+    else:
+        outcomes = await _open_loop(client, n_devices, config)
+    duration_s = time.perf_counter() - started
+
+    latencies = np.array([latency for latency, _, _ in outcomes], dtype=np.float64)
+    statuses: "dict[str, int]" = {}
+    ops: "dict[str, int]" = {}
+    for _, status, op in outcomes:
+        statuses[status] = statuses.get(status, 0) + 1
+        ops[op] = ops.get(op, 0) + 1
+    stats = None
+    if collect_stats:
+        stats_response = await client.request(Request(op="stats"))
+        stats = stats_response.stats
+    return LoadTestReport(
+        profile=config.profile,
+        n_requests=len(outcomes),
+        offered_rate_hz=config.rate_hz,
+        duration_s=duration_s,
+        throughput_rps=len(outcomes) / max(duration_s, 1e-9),
+        latency_ms={
+            "mean": float(np.mean(latencies)) if latencies.size else 0.0,
+            "p50": float(np.percentile(latencies, 50)) if latencies.size else 0.0,
+            "p95": float(np.percentile(latencies, 95)) if latencies.size else 0.0,
+            "p99": float(np.percentile(latencies, 99)) if latencies.size else 0.0,
+            "max": float(np.max(latencies)) if latencies.size else 0.0,
+        },
+        statuses=statuses,
+        ops=ops,
+        stats=stats,
+    )
+
+
+async def _open_loop(
+    client, n_devices: int, config: LoadTestConfig
+) -> "list[tuple[float, str, str]]":
+    """Send on the arrival clock, never waiting for responses."""
+    actors = _DeviceActors(n_devices, config)
+    process = _arrival_process(config)
+    arrival_rng = np.random.default_rng(config.seed + 1)
+    loop = asyncio.get_running_loop()
+    outcomes: "list[tuple[float, str, str]]" = []
+    waiting: "list[asyncio.Future]" = []
+    start = loop.time()
+    next_arrival = 0.0
+    sent = 0
+    while sent < config.n_requests:
+        next_arrival += process.next_interval(arrival_rng)
+        delay = start + next_arrival - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        request = actors.next_request()
+        if request is None:  # every device in flight: give responses a beat
+            await client.flush()
+            await asyncio.sleep(0)
+            continue
+        sent += 1
+        sent_t = time.perf_counter()
+        future = client.send(request)
+
+        def settle(fut, request=request, sent_t=sent_t):
+            response = fut.result()
+            actors.settle(request, response)
+            outcomes.append(
+                ((time.perf_counter() - sent_t) * 1e3, response.status, request.op)
+            )
+
+        future.add_done_callback(settle)
+        waiting.append(future)
+        if sent % _FLUSH_EVERY == 0:
+            await client.flush()
+    await client.flush()
+    await asyncio.gather(*waiting)
+    await asyncio.sleep(0)  # let the last done-callbacks run
+    return outcomes
+
+
+async def _closed_loop(
+    client, n_devices: int, config: LoadTestConfig
+) -> "list[tuple[float, str, str]]":
+    """``concurrency`` workers in lock-step with their own responses."""
+    actors = _DeviceActors(n_devices, config)
+    outcomes: "list[tuple[float, str, str]]" = []
+    remaining = config.n_requests
+    lock = asyncio.Lock()
+
+    async def worker() -> None:
+        nonlocal remaining
+        while True:
+            async with lock:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+                request = actors.next_request()
+            if request is None:
+                await asyncio.sleep(0)
+                async with lock:
+                    remaining += 1
+                continue
+            sent_t = time.perf_counter()
+            response = await client.request(request)
+            async with lock:
+                actors.settle(request, response)
+                outcomes.append(
+                    ((time.perf_counter() - sent_t) * 1e3,
+                     response.status, request.op)
+                )
+
+    await asyncio.gather(*(worker() for _ in range(config.concurrency)))
+    return outcomes

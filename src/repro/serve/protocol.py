@@ -1,0 +1,172 @@
+"""The wire protocol of the assignment service: line-delimited JSON.
+
+One request per line, one response per line, matched by ``id`` so a
+client may pipeline arbitrarily many requests over one connection.
+The same dataclasses travel the in-process path, so a TCP client and
+an embedded client observe byte-identical semantics.
+
+Request line::
+
+    {"id": 7, "op": "assign", "device": 12, "priority": "normal"}
+
+Response line::
+
+    {"id": 7, "status": "ok", "server": 3, "latency_ms": 0.41}
+
+Operations: ``assign`` (place a device), ``release`` (return its
+capacity), ``stats`` (service snapshot, answered off the batch path).
+Statuses: ``ok``; ``rejected`` (admission control said no — carries
+``retry_after_ms``); ``infeasible`` (no server fits the device);
+``error`` (malformed request or protocol misuse, e.g. releasing a
+device that is not assigned).
+
+Priority classes mirror the shedding semantics of
+:mod:`repro.cluster.degradation` and the fault-injection layer: under
+pressure the service sheds ``low`` first, then ``normal``; ``high``
+is rejected only when the queue is hard-full.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import SerializationError
+from repro.utils.validation import require
+
+#: admission priority classes, most-sheddable first (degradation order)
+PRIORITY_CLASSES = ("low", "normal", "high")
+
+#: request operations the service understands
+OPS = ("assign", "release", "stats")
+
+#: response statuses
+STATUSES = ("ok", "rejected", "infeasible", "error")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request (one JSON line on the wire)."""
+
+    op: str
+    id: int = 0
+    device: "int | None" = None
+    priority: str = "normal"
+
+    def __post_init__(self) -> None:
+        require(self.op in OPS, f"unknown op {self.op!r}; known: {OPS}")
+        require(
+            self.priority in PRIORITY_CLASSES,
+            f"unknown priority {self.priority!r}; known: {PRIORITY_CLASSES}",
+        )
+        if self.op in ("assign", "release"):
+            require(
+                self.device is not None and int(self.device) >= 0,
+                f"op {self.op!r} needs a nonnegative device index",
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (omits unset optionals)."""
+        payload: dict = {"id": int(self.id), "op": self.op}
+        if self.device is not None:
+            payload["device"] = int(self.device)
+        if self.priority != "normal":
+            payload["priority"] = self.priority
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Request":
+        """Inverse of :meth:`to_dict`; raises SerializationError on junk."""
+        try:
+            device = payload.get("device")
+            return cls(
+                op=str(payload["op"]),
+                id=int(payload.get("id", 0)),
+                device=None if device is None else int(device),
+                priority=str(payload.get("priority", "normal")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad request payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Response:
+    """One service response (one JSON line on the wire)."""
+
+    id: int
+    status: str
+    server: "int | None" = None
+    latency_ms: "float | None" = None
+    retry_after_ms: "float | None" = None
+    detail: str = ""
+    stats: "dict | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        require(self.status in STATUSES,
+                f"unknown status {self.status!r}; known: {STATUSES}")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was served."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (omits unset optionals)."""
+        payload: dict = {"id": int(self.id), "status": self.status}
+        if self.server is not None:
+            payload["server"] = int(self.server)
+        if self.latency_ms is not None:
+            payload["latency_ms"] = round(float(self.latency_ms), 4)
+        if self.retry_after_ms is not None:
+            payload["retry_after_ms"] = round(float(self.retry_after_ms), 4)
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.stats is not None:
+            payload["stats"] = self.stats
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Response":
+        """Inverse of :meth:`to_dict`; raises SerializationError on junk."""
+        try:
+            server = payload.get("server")
+            return cls(
+                id=int(payload.get("id", 0)),
+                status=str(payload["status"]),
+                server=None if server is None else int(server),
+                latency_ms=payload.get("latency_ms"),
+                retry_after_ms=payload.get("retry_after_ms"),
+                detail=str(payload.get("detail", "")),
+                stats=payload.get("stats"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad response payload: {exc}") from exc
+
+
+def encode_line(message: "Request | Response") -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(message.to_dict(), sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_request(line: "bytes | str") -> Request:
+    """Parse one request line; raises SerializationError on junk."""
+    return Request.from_dict(_decode(line))
+
+
+def decode_response(line: "bytes | str") -> Response:
+    """Parse one response line; raises SerializationError on junk."""
+    return Response.from_dict(_decode(line))
+
+
+def _decode(line: "bytes | str") -> dict:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"request line is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"protocol line must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload

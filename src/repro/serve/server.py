@@ -1,0 +1,237 @@
+"""Line-delimited-JSON TCP front end and the matching clients.
+
+The server speaks :mod:`repro.serve.protocol` over asyncio streams —
+one request per line, one response per line, pipelining allowed,
+responses matched by ``id``.  A malformed line is answered with an
+``error`` response instead of dropping the connection, so one buggy
+client request cannot silence its own earlier pipeline.
+
+Two clients share the same surface:
+
+* :class:`InProcessClient` — wraps a local
+  :class:`~repro.serve.service.AssignmentService` with zero transport
+  cost (what the load generator uses to measure the service itself);
+* :class:`TCPClient` — the network path, with a reader task that
+  resolves pipelined futures by response id.
+
+``send`` is the ordering primitive on both: it hands the request over
+synchronously (enqueue or socket write) and returns a future, so
+callers that invoke it in trace order get FIFO processing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ReproError, SerializationError
+from repro.serve.protocol import (
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_line,
+)
+from repro.serve.service import AssignmentService
+from repro.utils.validation import require
+
+
+class TCPServer:
+    """Serve one :class:`AssignmentService` over asyncio TCP streams."""
+
+    def __init__(
+        self,
+        service: AssignmentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; the real port appears after start()
+        self._server: "asyncio.base_events.Server | None" = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (service must be started)."""
+        require(self.service.started, "start the service before the server")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close open connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # one writer task per connection keeps response lines whole and
+        # in future-resolution order, however many requests are in flight
+        out: "asyncio.Queue[bytes | None]" = asyncio.Queue()
+
+        async def pump() -> None:
+            while (line := await out.get()) is not None:
+                writer.write(line)
+                await writer.drain()
+
+        pump_task = asyncio.create_task(pump())
+        try:
+            while line := await reader.readline():
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line)
+                except SerializationError as exc:
+                    out.put_nowait(
+                        encode_line(Response(id=0, status="error", detail=str(exc)))
+                    )
+                    continue
+                future = self.service.submit_nowait(request)
+                future.add_done_callback(
+                    lambda fut: out.put_nowait(encode_line(fut.result()))
+                )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            out.put_nowait(None)
+            try:
+                await pump_task
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+class InProcessClient:
+    """Drive a local service directly — the zero-transport client."""
+
+    def __init__(self, service: AssignmentService) -> None:
+        self.service = service
+
+    def send(self, request: Request) -> "asyncio.Future[Response]":
+        """Submit now; the future resolves when the batch lands."""
+        return self.service.submit_nowait(request)
+
+    async def flush(self) -> None:
+        """No transport, nothing to flush."""
+
+    async def request(self, request: Request) -> Response:
+        """Submit one request and await its response."""
+        return await self.send(request)
+
+    async def close(self) -> None:
+        """The service's lifecycle belongs to its owner; nothing to do."""
+
+
+class TCPClient:
+    """Pipelined line-JSON client matching responses by id."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._reader_task: "asyncio.Task | None" = None
+        self._pending: "dict[int, asyncio.Future[Response]]" = {}
+        self._next_id = 0
+
+    async def connect(self) -> None:
+        """Open the connection and start the response dispatcher."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(self._dispatch_responses())
+
+    def send(self, request: Request) -> "asyncio.Future[Response]":
+        """Write one request line now; the future resolves on its response.
+
+        A request with ``id == 0`` is stamped with a fresh client id so
+        pipelined responses can be matched.
+        """
+        require(self._writer is not None, "client is not connected")
+        if request.id == 0:
+            self._next_id += 1
+            request = Request(
+                op=request.op, id=self._next_id,
+                device=request.device, priority=request.priority,
+            )
+        require(
+            request.id not in self._pending,
+            f"request id {request.id} already in flight",
+        )
+        future: "asyncio.Future[Response]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request.id] = future
+        self._writer.write(encode_line(request))
+        return future
+
+    async def flush(self) -> None:
+        """Apply transport backpressure (awaits the socket buffer)."""
+        if self._writer is not None:
+            await self._writer.drain()
+
+    async def request(self, request: Request) -> Response:
+        """Submit one request and await its response."""
+        future = self.send(request)
+        await self.flush()
+        return await future
+
+    async def close(self) -> None:
+        """Close the connection; unresolved futures get an error response."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+        self._fail_pending("connection closed")
+
+    async def _dispatch_responses(self) -> None:
+        assert self._reader is not None
+        try:
+            while line := await self._reader.readline():
+                if not line.strip():
+                    continue
+                try:
+                    response = decode_response(line)
+                except SerializationError:
+                    continue  # a garbled line cannot be matched to anyone
+                future = self._pending.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._fail_pending("server closed the connection")
+
+    def _fail_pending(self, detail: str) -> None:
+        for request_id, future in list(self._pending.items()):
+            if not future.done():
+                future.set_result(
+                    Response(id=request_id, status="error", detail=detail)
+                )
+        self._pending.clear()
+
+
+async def open_client(host: str, port: int) -> TCPClient:
+    """Connect a :class:`TCPClient`; raises ReproError when unreachable."""
+    client = TCPClient(host, port)
+    try:
+        await client.connect()
+    except OSError as exc:
+        raise ReproError(f"cannot connect to {host}:{port}: {exc}") from exc
+    return client

@@ -1,0 +1,134 @@
+"""The live cluster state behind the assignment service.
+
+:class:`ServiceState` owns one :class:`~repro.cluster.online.OnlineAssigner`
+over one :class:`~repro.model.problem.AssignmentProblem` and exposes the
+three operations the protocol speaks — ``assign``, ``release``,
+``stats`` — plus the snapshot/swap pair the re-optimization loop uses
+to improve the standing assignment off the hot path.
+
+The state is deliberately synchronous and single-writer: the service's
+batch consumer is the only mutator, so a batched run over a fixed
+arrival trace is *by construction* the same sequence of
+``OnlineAssigner`` calls a serial replay would make (the equivalence
+the determinism tests pin down).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.online import OnlineAssigner
+from repro.errors import InfeasibleSolutionError
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import UNASSIGNED
+from repro.utils.validation import require
+
+
+class ServiceState:
+    """Current cluster occupancy: who is placed where, what is free."""
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        rule: str = "reserve",
+        headroom: float = 0.85,
+    ) -> None:
+        self.problem = problem
+        self.assigner = OnlineAssigner(problem, rule=rule, headroom=headroom)
+        self.epoch = 0  # mutation counter: bumped on every assign/release/swap
+        self._assigns = 0
+        self._releases = 0
+
+    # ------------------------------------------------------------------
+    # protocol operations (called only from the batch consumer)
+    # ------------------------------------------------------------------
+    def assign(self, device: int) -> int:
+        """Place ``device``; returns the server.  Raises when impossible.
+
+        A device that is already placed is a protocol error — the
+        client must release it first (InfeasibleSolutionError carries
+        the distinction in its message).
+        """
+        require(
+            0 <= device < self.problem.n_devices,
+            f"device {device} out of range [0, {self.problem.n_devices})",
+        )
+        if self.assigner.assignment.server_of(device) != UNASSIGNED:
+            raise InfeasibleSolutionError(
+                f"device {device} is already assigned; release it first"
+            )
+        server = self.assigner.assign(device)
+        self._assigns += 1
+        self.epoch += 1
+        return server
+
+    def release(self, device: int) -> int:
+        """Return ``device``'s capacity; returns its old server."""
+        server = self.assigner.release(device)
+        self._releases += 1
+        self.epoch += 1
+        return server
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot of occupancy and lifetime totals."""
+        utilization = self.assigner.utilization
+        return {
+            "devices": int(self.problem.n_devices),
+            "servers": int(self.problem.n_servers),
+            "active_devices": self.active_count,
+            "assigns_total": self._assigns,
+            "releases_total": self._releases,
+            "epoch": self.epoch,
+            "mean_utilization": round(float(np.mean(utilization)), 6),
+            "max_utilization": round(float(np.max(utilization)), 6),
+            "total_delay_ms": round(self.total_delay_s * 1e3, 6),
+        }
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def vector(self) -> np.ndarray:
+        """The standing assignment vector (UNASSIGNED = not placed)."""
+        return self.assigner.assignment.vector
+
+    @property
+    def active_count(self) -> int:
+        """How many devices are currently placed."""
+        return int(np.count_nonzero(self.vector != UNASSIGNED))
+
+    @property
+    def total_delay_s(self) -> float:
+        """Total communication delay of the standing assignment."""
+        vector = self.vector
+        active = np.flatnonzero(vector != UNASSIGNED)
+        if not active.size:
+            return 0.0
+        return float(np.sum(self.problem.delay[active, vector[active]]))
+
+    # ------------------------------------------------------------------
+    # re-optimization handshake
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "tuple[int, np.ndarray]":
+        """``(epoch, vector)`` for an off-path solver to improve on."""
+        return self.epoch, self.vector
+
+    def try_swap(self, epoch: int, vector: np.ndarray) -> bool:
+        """Adopt ``vector`` iff the state is unchanged since ``epoch``.
+
+        The re-optimizer solved a *copy* of the state; any assign or
+        release that landed meanwhile invalidates its answer, so the
+        swap is compare-and-set on the mutation counter: stale
+        improvements are discarded (the loop simply tries again next
+        period) rather than clobbering fresher occupancy.
+        """
+        if epoch != self.epoch:
+            return False
+        vector = np.asarray(vector, dtype=np.int64).reshape(-1)
+        require(
+            vector.shape[0] == self.problem.n_devices,
+            f"swap vector must have length {self.problem.n_devices}",
+        )
+        self.assigner.reset_to(vector)
+        self.epoch += 1
+        return True

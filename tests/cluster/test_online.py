@@ -79,6 +79,100 @@ class TestRuleSemantics:
         assert loads[0] == loads[1]
 
 
+class TestReleaseAndChurn:
+    def test_release_restores_capacity(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 5.0], [1.0, 5.0]],
+            demand=[60.0, 60.0],
+            capacity=[100.0, 100.0],
+        )
+        assigner = OnlineAssigner(problem, rule="greedy_delay")
+        server = assigner.assign(0)
+        assert assigner.release(0) == server
+        # the freed capacity is usable again: device 1 lands on the same server
+        assert assigner.assign(1) == server
+
+    def test_release_unknown_device_raises(self):
+        problem = random_instance(5, 2, tightness=0.5, seed=9)
+        assigner = OnlineAssigner(problem)
+        with pytest.raises(InfeasibleSolutionError, match="not assigned"):
+            assigner.release(0)
+
+    def test_release_out_of_range_raises(self):
+        problem = random_instance(5, 2, tightness=0.5, seed=9)
+        with pytest.raises(ValidationError):
+            OnlineAssigner(problem).release(99)
+
+    def test_double_release_raises(self):
+        problem = random_instance(5, 2, tightness=0.5, seed=9)
+        assigner = OnlineAssigner(problem)
+        assigner.assign(0)
+        assigner.release(0)
+        with pytest.raises(InfeasibleSolutionError):
+            assigner.release(0)
+
+    def test_reset_to_adopts_vector_and_residuals(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 5.0], [1.0, 5.0]],
+            demand=[40.0, 40.0],
+            capacity=[100.0, 100.0],
+        )
+        assigner = OnlineAssigner(problem, rule="greedy_delay")
+        assigner.assign(0)
+        assigner.assign(1)  # both land on server 0
+        assigner.reset_to([0, 1])
+        assert assigner.assignment.server_of(1) == 1
+        np.testing.assert_allclose(assigner.utilization, [0.4, 0.4])
+
+    def test_reset_to_rejects_overload(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 5.0], [1.0, 5.0]],
+            demand=[80.0, 80.0],
+            capacity=[100.0, 100.0],
+        )
+        with pytest.raises(ValidationError, match="overload"):
+            OnlineAssigner(problem).reset_to([0, 0])
+
+
+class TestZeroCapacityServers:
+    def _failed_server_problem(self):
+        return AssignmentProblem(
+            delay=[[1.0, 5.0], [1.0, 5.0]],
+            demand=[60.0, 60.0],
+            capacity=[0.0, 100.0],
+            failed_servers=frozenset({0}),
+        )
+
+    def test_zero_capacity_never_chosen_and_no_divide_by_zero(self):
+        problem = self._failed_server_problem()
+        assigner = OnlineAssigner(problem, rule="balanced")
+        with np.errstate(divide="raise", invalid="raise"):
+            assert assigner.assign(0) == 1
+            assert np.all(np.isfinite(assigner.utilization))
+        assert assigner.utilization[0] == 0.0
+
+    @pytest.mark.parametrize("rule", ONLINE_RULES)
+    def test_infeasible_raised_when_only_zero_capacity_remains(self, rule):
+        problem = self._failed_server_problem()
+        assigner = OnlineAssigner(problem, rule=rule)
+        assigner.assign(0)  # takes the lone healthy server past the point
+        with np.errstate(divide="raise", invalid="raise"), pytest.raises(
+            InfeasibleSolutionError
+        ):
+            assigner.assign(1)
+
+    def test_all_servers_unusable_raises_at_construction(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 5.0]],
+            demand=[10.0],
+            capacity=[0.0, 100.0],
+            failed_servers=frozenset({0}),
+        )
+        problem.capacity = np.array([0.0, 0.0])  # bypass post-init validation
+        with pytest.raises(InfeasibleSolutionError, match="no usable server"):
+            OnlineAssigner(problem)
+
+
 class TestAdmissionControl:
     def test_raises_when_no_server_fits(self):
         problem = AssignmentProblem(

@@ -69,8 +69,9 @@ class TestRenderSection:
         assert "n/a" in section
 
     def test_every_experiment_has_metadata(self):
-        # 10 paper artifacts + X1-X6 extensions + G1 obs / G2 engine guards
-        assert len(EXPERIMENTS) == 18
+        # 10 paper artifacts + X1-X6 extensions + G1 obs / G2 engine /
+        # G3 serving guards
+        assert len(EXPERIMENTS) == 19
         for meta in EXPERIMENTS.values():
             assert meta.expected
             assert callable(meta.observe)

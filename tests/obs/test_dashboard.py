@@ -57,6 +57,34 @@ class TestRenderDashboard:
         text = render_dashboard(collect(registry))
         assert "distribution: sim/queue_wait_s" in text
 
+    def test_serve_section_renders(self):
+        registry = MetricsRegistry()
+        registry.counter("serve/requests", {"op": "assign"}).inc(90)
+        registry.counter("serve/requests", {"op": "release"}).inc(10)
+        registry.counter("serve/admitted", {"priority": "normal"}).inc(75)
+        registry.counter(
+            "serve/rejected", {"priority": "low", "reason": "watermark"}
+        ).inc(25)
+        registry.counter("serve/batch_flushes", {"reason": "size"}).inc(3)
+        registry.counter("serve/batch_flushes", {"reason": "deadline"}).inc(2)
+        registry.counter("serve/reopt_runs", {"outcome": "swapped"}).inc()
+        registry.gauge("serve/queue_depth").set(4)
+        registry.gauge("serve/reopt_gain_ms").set(12.5)
+        registry.histogram("serve/batch_size").observe(16)
+        registry.timer("serve/assign_latency_s").observe(0.002)
+        text = render_dashboard(collect(registry))
+        assert "## serve" in text
+        assert "100" in text  # requests summed across op labels
+        assert "25.0%" in text  # rejection ratio
+        assert "size=3 deadline=2" in text or "deadline=2 size=3" in text
+        assert "swapped=1" in text
+        assert "12.5" in text
+
+    def test_serve_section_absent_without_serve_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("engine/jobs_scheduled").inc()
+        assert "## serve" not in render_dashboard(collect(registry))
+
     def test_sections_without_data_are_omitted(self):
         registry = MetricsRegistry()
         registry.counter("only/counter").inc()

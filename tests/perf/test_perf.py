@@ -42,6 +42,28 @@ class TestMeasure:
         with pytest.raises(ReproError, match="repeats"):
             measure(_QUICK, repeats=0)
 
+    def test_serve_probes_registered(self):
+        assert "serve_loadtest_p99" in PROBES
+        assert "serve_throughput" in PROBES
+
+    def test_value_returning_probe_reports_its_value(self, monkeypatch):
+        from repro.perf import probes as probes_mod
+
+        values = iter([9.0, 0.25, 0.5, 0.75])  # warm-up, then 3 repeats
+        monkeypatch.setitem(probes_mod.PROBES, "value_probe", lambda: next(values))
+        results = measure(["value_probe"], repeats=3)
+        assert results["value_probe"] == 0.25  # min of returns, not wall time
+
+    def test_serve_loadtest_p99_reports_latency_not_runtime(self):
+        import time
+
+        started = time.perf_counter()
+        results = measure(["serve_loadtest_p99"], repeats=1)
+        wall = time.perf_counter() - started
+        # the probe's number is a per-request percentile: far below the
+        # wall time of running the whole loadtest twice (warm-up + once)
+        assert 0.0 < results["serve_loadtest_p99"] < wall / 2
+
 
 class TestHistory:
     def _record(self, **overrides):

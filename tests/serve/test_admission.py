@@ -1,0 +1,86 @@
+"""Admission control: watermark shedding by priority and backpressure hints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve.admission import AdmissionController
+
+
+class TestShedThresholds:
+    def test_priority_order(self):
+        control = AdmissionController(max_queue=100, watermark=0.5)
+        low = control.shed_threshold("low")
+        normal = control.shed_threshold("normal")
+        high = control.shed_threshold("high")
+        assert low == 50
+        assert low < normal < high
+        assert high == 100
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValidationError, match="unknown priority"):
+            AdmissionController().shed_threshold("urgent")
+
+
+class TestCheck:
+    def test_below_watermark_everyone_admitted(self):
+        control = AdmissionController(max_queue=100, watermark=0.5)
+        for priority in ("low", "normal", "high"):
+            assert control.check(49, priority).admitted
+
+    def test_between_watermark_and_full_sheds_low_first(self):
+        control = AdmissionController(max_queue=100, watermark=0.5)
+        decision = control.check(60, "low")
+        assert not decision.admitted
+        assert decision.reason == "watermark"
+        assert control.check(60, "normal").admitted
+        assert control.check(60, "high").admitted
+
+    def test_normal_shed_above_midpoint(self):
+        control = AdmissionController(max_queue=100, watermark=0.5)
+        assert not control.check(80, "normal").admitted
+        assert control.check(80, "high").admitted
+
+    def test_hard_full_rejects_even_high(self):
+        control = AdmissionController(max_queue=100, watermark=0.5)
+        decision = control.check(100, "high")
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+
+    def test_retry_after_positive_and_scales_with_excess(self):
+        control = AdmissionController(
+            max_queue=100, watermark=0.5, drain_rate_hz=1000.0
+        )
+        shallow = control.check(60, "low").retry_after_ms
+        deep = control.check(100, "low").retry_after_ms
+        assert shallow >= 1.0
+        assert deep > shallow
+
+    def test_totals_track_decisions(self):
+        control = AdmissionController(max_queue=10, watermark=0.5)
+        control.check(0, "normal")
+        control.check(10, "normal")
+        assert control.admitted_total == 1
+        assert control.rejected_total == 1
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValidationError):
+            AdmissionController().check(-1)
+
+
+class TestDrainRateFeedback:
+    def test_faster_drain_shrinks_the_hint(self):
+        control = AdmissionController(
+            max_queue=100, watermark=0.5, drain_rate_hz=100.0
+        )
+        slow = control.check(90, "low").retry_after_ms
+        control.observe_drain_rate(10_000.0)
+        fast = control.check(90, "low").retry_after_ms
+        assert fast < slow
+
+    def test_nonpositive_rate_ignored(self):
+        control = AdmissionController(drain_rate_hz=100.0)
+        control.observe_drain_rate(0.0)
+        control.observe_drain_rate(-5.0)
+        assert control.check(1024, "high").retry_after_ms > 0

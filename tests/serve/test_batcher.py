@@ -1,0 +1,88 @@
+"""Micro-batcher flush triggers: size, deadline, drain."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import FLUSH_REASONS, MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlushTriggers:
+    def test_size_flush(self):
+        async def scenario():
+            queue: asyncio.Queue = asyncio.Queue()
+            for item in range(8):
+                queue.put_nowait(item)
+            batcher = MicroBatcher(queue, max_batch=4, max_wait_s=10.0)
+            return await batcher.next_batch()
+
+        batch, reason = run(scenario())
+        assert batch == [0, 1, 2, 3]
+        assert reason == "size"
+
+    def test_deadline_flush_releases_partial_batch(self):
+        async def scenario():
+            queue: asyncio.Queue = asyncio.Queue()
+            queue.put_nowait("only")
+            batcher = MicroBatcher(queue, max_batch=64, max_wait_s=0.01)
+            return await batcher.next_batch()
+
+        batch, reason = run(scenario())
+        assert batch == ["only"]
+        assert reason == "deadline"
+
+    def test_drain_flush_on_close(self):
+        async def scenario():
+            queue: asyncio.Queue = asyncio.Queue()
+            queue.put_nowait("pending")
+            batcher = MicroBatcher(queue, max_batch=64, max_wait_s=10.0)
+            await batcher.close()
+            first = await batcher.next_batch()
+            second = await batcher.next_batch()
+            return first, second
+
+        first, second = run(scenario())
+        assert first == (["pending"], "drain")
+        assert second is None
+
+    def test_close_with_empty_queue_returns_none(self):
+        async def scenario():
+            queue: asyncio.Queue = asyncio.Queue()
+            batcher = MicroBatcher(queue, max_batch=4, max_wait_s=10.0)
+            await batcher.close()
+            return await batcher.next_batch()
+
+        assert run(scenario()) is None
+
+    def test_order_is_fifo_across_batches(self):
+        async def scenario():
+            queue: asyncio.Queue = asyncio.Queue()
+            for item in range(10):
+                queue.put_nowait(item)
+            batcher = MicroBatcher(queue, max_batch=3, max_wait_s=0.001)
+            await batcher.close()
+            seen = []
+            while (flushed := await batcher.next_batch()) is not None:
+                seen.extend(flushed[0])
+            return seen
+
+        assert run(scenario()) == list(range(10))
+
+    def test_reasons_catalog(self):
+        assert FLUSH_REASONS == ("size", "deadline", "drain")
+
+
+class TestValidation:
+    def test_bad_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(asyncio.Queue(), max_batch=0)
+
+    def test_bad_max_wait(self):
+        with pytest.raises(ValueError, match="max_wait_s"):
+            MicroBatcher(asyncio.Queue(), max_wait_s=-1.0)

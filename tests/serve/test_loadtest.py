@@ -1,0 +1,137 @@
+"""Load generation: trace determinism, live profiles, report plumbing."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.instances import random_instance
+from repro.serve import (
+    AssignmentService,
+    InProcessClient,
+    LoadTestConfig,
+    ServiceConfig,
+    generate_trace,
+    run_loadtest,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestGenerateTrace:
+    def test_same_seed_same_trace(self):
+        assert generate_trace(20, 200, seed=4) == generate_trace(20, 200, seed=4)
+
+    def test_different_seed_different_trace(self):
+        assert generate_trace(20, 200, seed=4) != generate_trace(20, 200, seed=5)
+
+    def test_releases_only_previously_assigned_devices(self):
+        held = set()
+        for request in generate_trace(15, 300, seed=2):
+            if request.op == "assign":
+                assert request.device not in held
+                held.add(request.device)
+            else:
+                assert request.device in held
+                held.remove(request.device)
+
+    def test_occupancy_capped(self):
+        held = set()
+        peak = 0
+        for request in generate_trace(20, 400, seed=3, max_active_fraction=0.5):
+            if request.op == "assign":
+                held.add(request.device)
+            else:
+                held.discard(request.device)
+            peak = max(peak, len(held))
+        assert peak <= 10
+
+    def test_ids_are_sequential(self):
+        trace = generate_trace(10, 50, seed=1)
+        assert [r.id for r in trace] == list(range(1, 51))
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_trace(0, 10)
+        with pytest.raises(ValidationError):
+            generate_trace(10, 10, release_ratio=1.5)
+
+
+class TestLoadTestConfig:
+    def test_defaults_valid(self):
+        assert LoadTestConfig().profile == "poisson"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValidationError, match="unknown profile"):
+            LoadTestConfig(profile="ramp")
+
+    def test_priority_mix_must_sum_to_one(self):
+        with pytest.raises(ValidationError, match="priority_mix"):
+            LoadTestConfig(priority_mix=(0.5, 0.5, 0.5))
+
+
+@pytest.mark.parametrize("profile", ["poisson", "burst", "closed"])
+class TestLiveProfiles:
+    def test_run_completes_with_zero_errors(self, profile):
+        problem = random_instance(40, 5, tightness=0.6, seed=11)
+        config = LoadTestConfig(
+            n_requests=200, rate_hz=20_000.0, profile=profile, concurrency=8, seed=1
+        )
+
+        async def scenario():
+            service = AssignmentService(problem, ServiceConfig(max_queue=10_000))
+            await service.start()
+            try:
+                return await run_loadtest(
+                    InProcessClient(service), problem.n_devices, config
+                )
+            finally:
+                await service.stop()
+
+        report = run(scenario())
+        assert report.n_requests == 200
+        assert report.errors == 0
+        assert report.statuses.get("ok", 0) > 0
+        assert report.throughput_rps > 0
+        assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+        assert report.stats is not None
+        assert report.stats["queue_depth"] == 0  # fully drained at the end
+
+
+class TestReport:
+    @staticmethod
+    def _report():
+        problem = random_instance(20, 4, tightness=0.6, seed=11)
+        config = LoadTestConfig(n_requests=50, rate_hz=50_000.0, seed=2)
+
+        async def scenario():
+            service = AssignmentService(problem)
+            await service.start()
+            try:
+                return await run_loadtest(
+                    InProcessClient(service), problem.n_devices, config
+                )
+            finally:
+                await service.stop()
+
+        return run(scenario())
+
+    def test_text_table_has_percentiles(self):
+        text = self._report().to_text()
+        for needle in ("p50", "p95", "p99", "throughput"):
+            assert needle in text
+
+    def test_json_roundtrip(self, tmp_path):
+        report = self._report()
+        path = tmp_path / "report.json"
+        report.save_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["n_requests"] == 50
+        assert set(payload["latency_ms"]) == {"mean", "p50", "p95", "p99", "max"}
+        assert sum(payload["statuses"].values()) == 50
+        assert sum(payload["ops"].values()) == 50

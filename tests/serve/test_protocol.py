@@ -1,0 +1,89 @@
+"""Wire-protocol encode/decode and validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError, ValidationError
+from repro.serve.protocol import (
+    OPS,
+    PRIORITY_CLASSES,
+    STATUSES,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_line,
+)
+
+
+class TestRequest:
+    def test_roundtrip_all_fields(self):
+        request = Request(op="assign", id=7, device=12, priority="high")
+        assert decode_request(encode_line(request)) == request
+
+    def test_stats_needs_no_device(self):
+        request = Request(op="stats", id=1)
+        assert decode_request(encode_line(request)) == request
+
+    def test_default_priority_omitted_on_wire(self):
+        payload = json.loads(encode_line(Request(op="assign", id=1, device=0)))
+        assert "priority" not in payload
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValidationError, match="unknown op"):
+            Request(op="destroy", device=0)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValidationError, match="unknown priority"):
+            Request(op="assign", device=0, priority="urgent")
+
+    def test_assign_requires_device(self):
+        with pytest.raises(ValidationError, match="device"):
+            Request(op="assign")
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(ValidationError, match="device"):
+            Request(op="release", device=-1)
+
+    @pytest.mark.parametrize(
+        "line", [b"not json", b"[1, 2]", b'{"op": "assign"}', b'{"id": 3}']
+    )
+    def test_bad_lines_raise_serialization_error(self, line):
+        with pytest.raises(SerializationError):
+            decode_request(line)
+
+
+class TestResponse:
+    def test_roundtrip_all_fields(self):
+        response = Response(
+            id=7, status="rejected", retry_after_ms=12.5, detail="watermark"
+        )
+        assert decode_response(encode_line(response)) == response
+
+    def test_ok_property(self):
+        assert Response(id=1, status="ok").ok
+        assert not Response(id=1, status="infeasible").ok
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValidationError, match="unknown status"):
+            Response(id=1, status="maybe")
+
+    def test_stats_payload_travels(self):
+        response = Response(id=2, status="ok", stats={"devices": 4})
+        assert decode_response(encode_line(response)).stats == {"devices": 4}
+
+    def test_bad_line_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            decode_response(b'{"id": 1}')
+
+
+class TestConstants:
+    def test_priority_order_is_degradation_order(self):
+        assert PRIORITY_CLASSES == ("low", "normal", "high")
+
+    def test_catalog_constants(self):
+        assert set(OPS) == {"assign", "release", "stats"}
+        assert set(STATUSES) == {"ok", "rejected", "infeasible", "error"}

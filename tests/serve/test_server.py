@@ -1,0 +1,149 @@
+"""TCP front end: pipelining, malformed lines, clean shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError, ValidationError
+from repro.model.instances import random_instance
+from repro.serve import (
+    AssignmentService,
+    Request,
+    ServiceConfig,
+    TCPServer,
+    decode_response,
+    open_client,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _started_stack():
+    problem = random_instance(30, 4, tightness=0.6, seed=8)
+    service = AssignmentService(problem, ServiceConfig(max_queue=1000))
+    await service.start()
+    server = TCPServer(service)  # port 0: ephemeral
+    await server.start()
+    return service, server
+
+
+class TestEndToEnd:
+    def test_assign_release_stats_over_tcp(self):
+        async def scenario():
+            service, server = await _started_stack()
+            client = await open_client(server.host, server.port)
+            try:
+                assign = await client.request(Request(op="assign", device=3))
+                release = await client.request(Request(op="release", device=3))
+                stats = await client.request(Request(op="stats"))
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+            return assign, release, stats
+
+        assign, release, stats = run(scenario())
+        assert assign.ok and assign.server is not None
+        assert release.ok and release.server == assign.server
+        assert stats.stats["assigns_total"] == 1
+        assert stats.stats["releases_total"] == 1
+
+    def test_pipelined_requests_matched_by_id(self):
+        async def scenario():
+            service, server = await _started_stack()
+            client = await open_client(server.host, server.port)
+            try:
+                futures = [
+                    client.send(Request(op="assign", device=device))
+                    for device in range(10)
+                ]
+                await client.flush()
+                responses = await asyncio.gather(*futures)
+            finally:
+                await client.close()
+                await server.stop()
+                await service.stop()
+            return responses
+
+        responses = run(scenario())
+        assert [r.status for r in responses] == ["ok"] * 10
+        assert len({r.id for r in responses}) == 10  # every id distinct
+
+    def test_malformed_line_answered_not_dropped(self):
+        async def scenario():
+            service, server = await _started_stack()
+            reader, writer = await asyncio.open_connection(server.host, server.port)
+            try:
+                writer.write(b"this is not json\n")
+                writer.write(b'{"id": 5, "op": "assign", "device": 1}\n')
+                await writer.drain()
+                garbled = decode_response(await reader.readline())
+                answered = decode_response(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                await server.stop()
+                await service.stop()
+            return garbled, answered
+
+        garbled, answered = run(scenario())
+        assert garbled.status == "error"
+        assert garbled.id == 0  # unmatchable line gets the null id
+        assert answered.id == 5 and answered.ok
+
+    def test_clean_shutdown_under_open_connection(self):
+        async def scenario():
+            service, server = await _started_stack()
+            client = await open_client(server.host, server.port)
+            response = await client.request(Request(op="assign", device=0))
+            await server.stop()  # server goes first, connection still open
+            await service.stop()
+            await client.close()
+            return response
+
+        assert run(scenario()).ok
+
+
+class TestClientEdges:
+    def test_open_client_unreachable_raises(self):
+        async def scenario():
+            with pytest.raises(ReproError, match="cannot connect"):
+                await open_client("127.0.0.1", 1)  # nothing listens on port 1
+
+        run(scenario())
+
+    def test_close_fails_pending_futures(self):
+        async def scenario():
+            service, server = await _started_stack()
+            client = await open_client(server.host, server.port)
+            # a future the server will never answer (we close first)
+            await server.stop()
+            await service.stop()
+            future = client.send(Request(op="stats"))
+            await client.close()
+            return await future
+
+        response = run(scenario())
+        assert response.status == "error"
+
+    def test_send_before_connect_rejected(self):
+        async def scenario():
+            from repro.serve import TCPClient
+
+            with pytest.raises(ValidationError, match="not connected"):
+                TCPClient().send(Request(op="stats"))
+
+        run(scenario())
+
+    def test_server_requires_started_service(self):
+        async def scenario():
+            problem = random_instance(10, 3, tightness=0.5, seed=1)
+            service = AssignmentService(problem)
+            with pytest.raises(ValidationError, match="start the service"):
+                await TCPServer(service).start()
+
+        run(scenario())

@@ -1,0 +1,286 @@
+"""AssignmentService: determinism vs the serial baseline, backpressure, reopt."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.model.instances import random_instance
+from repro.serve import (
+    AssignmentService,
+    InProcessClient,
+    Request,
+    ServiceConfig,
+    drive_trace,
+    generate_trace,
+    replay_serial,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _serve_trace(problem, trace, config):
+    service = AssignmentService(problem, config)
+    await service.start()
+    try:
+        responses = await drive_trace(InProcessClient(service), trace)
+    finally:
+        await service.stop()
+    return service, responses
+
+
+class TestBatchedEqualsSerial:
+    """The acceptance-criteria equivalence: batching never changes results."""
+
+    @pytest.mark.parametrize("max_batch,max_wait_s", [(1, 0.0), (7, 0.0005), (64, 0.002)])
+    def test_vector_and_statuses_identical(self, max_batch, max_wait_s):
+        problem = random_instance(40, 5, tightness=0.7, seed=2)
+        trace = generate_trace(problem.n_devices, 600, seed=3)
+        serial_vector, serial_statuses = replay_serial(problem, trace)
+        config = ServiceConfig(
+            max_batch=max_batch, max_wait_s=max_wait_s, max_queue=100_000
+        )
+        service, responses = run(_serve_trace(problem, trace, config))
+        assert [r.status for r in responses] == serial_statuses
+        np.testing.assert_array_equal(service.state.vector, serial_vector)
+
+    def test_responses_keep_request_ids(self):
+        problem = random_instance(20, 4, tightness=0.6, seed=1)
+        trace = generate_trace(problem.n_devices, 100, seed=1)
+        _, responses = run(_serve_trace(problem, trace, ServiceConfig(max_queue=1000)))
+        assert [r.id for r in responses] == [r.id for r in trace]
+
+    def test_tight_instance_still_equivalent(self):
+        # an under-provisioned cluster (12 unit-demand slots for 30
+        # devices, trace occupancy up to 27): infeasible assigns must
+        # replay identically too
+        from repro.model.problem import AssignmentProblem
+
+        rng = np.random.default_rng(7)
+        problem = AssignmentProblem(
+            delay=rng.uniform(1e-3, 20e-3, size=(30, 3)),
+            demand=np.ones(30),
+            capacity=np.full(3, 4.0),
+        )
+        trace = generate_trace(
+            problem.n_devices, 400, seed=9, max_active_fraction=0.9
+        )
+        serial_vector, serial_statuses = replay_serial(problem, trace)
+        service, responses = run(
+            _serve_trace(problem, trace, ServiceConfig(max_batch=16, max_queue=10_000))
+        )
+        assert "infeasible" in serial_statuses  # the scenario exercises failures
+        assert [r.status for r in responses] == serial_statuses
+        np.testing.assert_array_equal(service.state.vector, serial_vector)
+
+
+class TestBackpressure:
+    """At 2x the admission watermark the service sheds, never crashes."""
+
+    def test_burst_at_twice_watermark_sheds_explicitly(self):
+        problem = random_instance(200, 8, tightness=0.3, seed=4)
+        config = ServiceConfig(max_queue=32, watermark=0.5, max_batch=8)
+        burst = 2 * int(config.watermark * config.max_queue) + config.max_queue
+
+        async def scenario():
+            service = AssignmentService(problem, config)
+            await service.start()
+            # submit the whole burst without yielding: the consumer cannot
+            # drain, so depth climbs exactly as fast as we submit
+            futures = [
+                service.submit_nowait(
+                    Request(op="assign", id=i + 1, device=i, priority="low")
+                )
+                for i in range(burst)
+            ]
+            depth_at_peak = service._pending
+            responses = await asyncio.gather(*futures)
+            await service.stop()
+            return service, depth_at_peak, responses
+
+        service, depth_at_peak, responses = run(scenario())
+        rejected = [r for r in responses if r.status == "rejected"]
+        served = [r for r in responses if r.status == "ok"]
+        # low priority sheds at the watermark: everything past it bounced
+        assert len(served) == int(config.watermark * config.max_queue)
+        assert len(rejected) == burst - len(served)
+        assert depth_at_peak <= config.max_queue  # the queue stayed bounded
+        assert all(r.retry_after_ms > 0 for r in rejected)
+        assert all(r.detail in ("watermark", "queue_full") for r in rejected)
+
+    def test_high_priority_survives_past_watermark(self):
+        problem = random_instance(100, 8, tightness=0.3, seed=4)
+        config = ServiceConfig(max_queue=16, watermark=0.5)
+
+        async def scenario():
+            service = AssignmentService(problem, config)
+            await service.start()
+            futures = [
+                service.submit_nowait(
+                    Request(op="assign", id=i + 1, device=i, priority="high")
+                )
+                for i in range(2 * config.max_queue)
+            ]
+            responses = await asyncio.gather(*futures)
+            await service.stop()
+            return responses
+
+        responses = run(scenario())
+        served = sum(r.status == "ok" for r in responses)
+        rejected = [r for r in responses if r.status == "rejected"]
+        assert served == config.max_queue  # high is shed only at the hard bound
+        assert all(r.detail == "queue_full" for r in rejected)
+
+    def test_stats_answered_even_under_full_queue(self):
+        problem = random_instance(50, 4, tightness=0.5, seed=3)
+        config = ServiceConfig(max_queue=8)
+
+        async def scenario():
+            service = AssignmentService(problem, config)
+            await service.start()
+            for i in range(8):
+                service.submit_nowait(
+                    Request(op="assign", id=i + 1, device=i, priority="high")
+                )
+            # the stats future resolves synchronously, off the batch path
+            stats_future = service.submit_nowait(Request(op="stats", id=99))
+            assert stats_future.done()
+            stats = stats_future.result()
+            await service.stop()
+            return stats
+
+        stats = run(scenario())
+        assert stats.status == "ok"
+        assert stats.stats["queue_depth"] == 8
+
+
+class TestLifecycle:
+    def test_stop_answers_everything_in_flight(self):
+        problem = random_instance(30, 4, tightness=0.5, seed=6)
+
+        async def scenario():
+            service = AssignmentService(problem, ServiceConfig(max_wait_s=10.0))
+            await service.start()
+            futures = [
+                service.submit_nowait(Request(op="assign", id=i + 1, device=i))
+                for i in range(5)
+            ]
+            await service.stop()  # drain flush must resolve the futures
+            return await asyncio.gather(*futures)
+
+        responses = run(scenario())
+        assert [r.status for r in responses] == ["ok"] * 5
+
+    def test_submit_before_start_rejected(self):
+        from repro.errors import ValidationError
+
+        problem = random_instance(10, 3, tightness=0.5, seed=1)
+
+        async def scenario():
+            service = AssignmentService(problem)
+            with pytest.raises(ValidationError, match="not started"):
+                service.submit_nowait(Request(op="stats"))
+
+        run(scenario())
+
+    def test_double_start_rejected(self):
+        from repro.errors import ValidationError
+
+        problem = random_instance(10, 3, tightness=0.5, seed=1)
+
+        async def scenario():
+            service = AssignmentService(problem)
+            await service.start()
+            try:
+                with pytest.raises(ValidationError, match="already started"):
+                    await service.start()
+            finally:
+                await service.stop()
+
+        run(scenario())
+
+
+class TestReoptimization:
+    """The off-path improve loop: swap on gain, reject stale snapshots."""
+
+    @staticmethod
+    def _contended_service():
+        # a greedy-filled, tight instance leaves real slack for an offline
+        # solver to claw back, so the reopt round has a demonstrable gain
+        problem = random_instance(40, 5, tightness=0.9, seed=2)
+        return AssignmentService(
+            problem, ServiceConfig(rule="reserve", headroom=0.5, max_queue=10_000)
+        )
+
+    def test_reopt_swaps_and_improves_total_delay(self):
+        async def scenario():
+            service = self._contended_service()
+            problem = service.state.problem
+            trace = generate_trace(
+                problem.n_devices, 300, seed=5, max_active_fraction=0.8
+            )
+            await service.start()
+            await drive_trace(InProcessClient(service), trace)
+            before = service.state.total_delay_s
+            swapped = await service.reoptimize_once()
+            after = service.state.total_delay_s
+            await service.stop()
+            return swapped, before, after, service
+
+        swapped, before, after, service = run(scenario())
+        assert swapped
+        assert after < before
+        assert service.reopt_swaps == 1
+        assert service.reopt_gain_ms_total == pytest.approx((before - after) * 1e3)
+
+    def test_interleaved_mutation_makes_swap_stale(self, monkeypatch):
+        import threading
+
+        import repro.serve.service as service_mod
+
+        gate = threading.Event()
+        original = service_mod._solve_snapshot
+
+        def gated_solve(*args):
+            gate.wait(timeout=10.0)
+            return original(*args)
+
+        monkeypatch.setattr(service_mod, "_solve_snapshot", gated_solve)
+
+        async def scenario():
+            service = self._contended_service()
+            problem = service.state.problem
+            trace = generate_trace(
+                problem.n_devices, 300, seed=5, max_active_fraction=0.8
+            )
+            await service.start()
+            client = InProcessClient(service)
+            await drive_trace(client, trace)
+
+            reopt = asyncio.create_task(service.reoptimize_once())
+            await asyncio.sleep(0)  # let the reopt task take its snapshot
+            # land a mutation while the solver is held at the gate
+            idle = int(np.flatnonzero(service.state.vector == -1)[0])
+            await client.request(Request(op="assign", device=idle))
+            gate.set()
+            swapped = await reopt
+            await service.stop()
+            return swapped, service.reopt_swaps
+
+        swapped, swaps = run(scenario())
+        assert not swapped
+        assert swaps == 0
+
+    def test_reopt_on_empty_state_keeps(self):
+        async def scenario():
+            service = self._contended_service()
+            await service.start()
+            swapped = await service.reoptimize_once()
+            await service.stop()
+            return swapped
+
+        assert run(scenario()) is False

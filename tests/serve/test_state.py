@@ -1,0 +1,72 @@
+"""ServiceState: protocol ops, epochs, and the snapshot/swap handshake."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleSolutionError, ValidationError
+from repro.model.instances import random_instance
+from repro.model.solution import UNASSIGNED
+from repro.serve.state import ServiceState
+
+
+@pytest.fixture
+def state():
+    return ServiceState(random_instance(20, 4, tightness=0.6, seed=5))
+
+
+class TestProtocolOps:
+    def test_assign_then_release_roundtrip(self, state):
+        server = state.assign(3)
+        assert 0 <= server < state.problem.n_servers
+        assert state.release(3) == server
+        assert state.vector[3] == UNASSIGNED
+
+    def test_double_assign_is_protocol_misuse(self, state):
+        state.assign(3)
+        with pytest.raises(InfeasibleSolutionError, match="already assigned"):
+            state.assign(3)
+
+    def test_out_of_range_device_rejected(self, state):
+        with pytest.raises(ValidationError, match="out of range"):
+            state.assign(99)
+
+    def test_stats_shape(self, state):
+        state.assign(0)
+        stats = state.stats()
+        assert stats["active_devices"] == 1
+        assert stats["assigns_total"] == 1
+        assert stats["releases_total"] == 0
+        assert stats["epoch"] == 1
+        assert stats["total_delay_ms"] > 0
+        assert 0.0 <= stats["mean_utilization"] <= stats["max_utilization"] <= 1.0
+
+
+class TestEpochAndSwap:
+    def test_every_mutation_bumps_epoch(self, state):
+        assert state.epoch == 0
+        state.assign(0)
+        state.assign(1)
+        state.release(0)
+        assert state.epoch == 3
+
+    def test_swap_applies_when_epoch_unchanged(self, state):
+        state.assign(0)
+        epoch, vector = state.snapshot()
+        moved = vector.copy()
+        moved[0] = (moved[0] + 1) % state.problem.n_servers
+        assert state.try_swap(epoch, moved)
+        assert state.vector[0] == moved[0]
+        assert state.epoch == epoch + 1
+
+    def test_stale_swap_rejected(self, state):
+        state.assign(0)
+        epoch, vector = state.snapshot()
+        state.assign(1)  # interleaved mutation invalidates the snapshot
+        assert not state.try_swap(epoch, vector)
+
+    def test_swap_vector_length_validated(self, state):
+        epoch, _ = state.snapshot()
+        with pytest.raises(ValidationError, match="length"):
+            state.try_swap(epoch, np.zeros(3, dtype=np.int64))
