@@ -341,6 +341,13 @@ def cmd_serve(args) -> int:
         import contextlib
         import signal
 
+        # trap signals before announcing readiness: a supervisor may
+        # SIGTERM the instant the port line appears
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
         await service.start()
         server = TCPServer(service, host=args.host, port=args.port)
         await server.start()
@@ -350,11 +357,6 @@ def cmd_serve(args) -> int:
             f"{args.host}:{server.port}",
             flush=True,
         )
-        stop = asyncio.Event()
-        loop = asyncio.get_running_loop()
-        for signum in (signal.SIGINT, signal.SIGTERM):
-            with contextlib.suppress(NotImplementedError, RuntimeError):
-                loop.add_signal_handler(signum, stop.set)
         if args.max_seconds is not None:
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(stop.wait(), timeout=args.max_seconds)
@@ -542,6 +544,263 @@ def _probe_names(args) -> "list[str] | None":
     if not raw:
         return None
     return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _shard_plan(args):
+    """(problem, plan) from the shared shard CLI flags."""
+    from repro.shard import build_plan
+
+    problem = _serving_problem(args)
+    plan = build_plan(
+        problem, args.shards, vnodes=args.vnodes, seed=args.plan_seed
+    )
+    return problem, plan
+
+
+def cmd_shard_plan(args) -> int:
+    """Print (and optionally save) the deterministic shard plan."""
+    problem, plan = _shard_plan(args)
+    print(
+        f"{problem.name}: {problem.n_devices} devices x "
+        f"{problem.n_servers} servers -> {plan.n_shards} shard(s) "
+        f"(requested {args.shards}, vnodes={plan.vnodes}, "
+        f"seed={plan.seed})"
+    )
+    rows = []
+    for spec in plan.shards:
+        home = plan.devices_of_shard(spec.name)
+        rows.append([
+            spec.name,
+            ", ".join(str(r) for r in spec.regions),
+            len(spec.servers),
+            len(home),
+        ])
+    print(format_table(["shard", "regions", "servers", "home devices"], rows))
+    if args.json:
+        plan.save(args.json)
+        print(f"plan written to {args.json}")
+    return 0
+
+
+def cmd_shard_serve(args) -> int:
+    """Serve one shard's slice of the cluster over TCP."""
+    import asyncio
+
+    from repro.serve import AssignmentService, ServiceConfig, TCPServer
+
+    problem, plan = _shard_plan(args)
+    names = [spec.name for spec in plan.shards]
+    if args.shard not in names:
+        print(
+            f"error: shard {args.shard!r} is not in the plan "
+            f"(surviving shards: {', '.join(names)})"
+        )
+        return 1
+    sub = plan.subproblem(problem, args.shard)
+    service = AssignmentService(
+        sub,
+        ServiceConfig(
+            rule=args.rule,
+            headroom=args.headroom,
+            max_wait_s=args.batch_wait_ms / 1e3,
+        ),
+    )
+
+    async def run() -> None:
+        import contextlib
+        import signal
+
+        # trap signals before announcing readiness: the cluster harness
+        # SIGTERMs the instant the port line appears
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        await service.start()
+        server = TCPServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"serving shard {args.shard} of {problem.name} "
+            f"({sub.n_servers} of {problem.n_servers} servers, "
+            f"{plan.n_shards} shards) on {args.host}:{server.port}",
+            flush=True,
+        )
+        if args.max_seconds is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=args.max_seconds)
+        else:
+            await stop.wait()
+        await server.stop()
+        await service.stop()
+        rows = [[key, value] for key, value in service._stats().items()]
+        print(format_table(["stat", "value"], rows))
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_shard_router(args) -> int:
+    """Front already-running shard processes with a TCP router."""
+    import asyncio
+
+    from repro.serve import TCPServer
+    from repro.shard import RouterConfig, ShardRouter, TCPBackend
+
+    problem, plan = _shard_plan(args)
+    addresses: "dict[str, tuple[str, int]]" = {}
+    for item in args.backend:
+        try:
+            name, _, hostport = item.partition("=")
+            host, _, port = hostport.rpartition(":")
+            addresses[name] = (host or "127.0.0.1", int(port))
+        except ValueError:
+            print(f"error: bad --backend {item!r} (want NAME=HOST:PORT)")
+            return 1
+    missing = [s.name for s in plan.shards if s.name not in addresses]
+    if missing:
+        print(f"error: no --backend given for shard(s): {', '.join(missing)}")
+        return 1
+    backends = {
+        name: TCPBackend(name, host, port)
+        for name, (host, port) in addresses.items()
+        if name in {s.name for s in plan.shards}
+    }
+    router = ShardRouter(
+        plan,
+        backends,
+        RouterConfig(rebalance_interval_s=args.rebalance_interval),
+    )
+
+    async def run() -> None:
+        import contextlib
+        import signal
+
+        # trap signals before announcing readiness: a supervisor may
+        # SIGTERM the instant the port line appears
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        await router.start()
+        server = TCPServer(router, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"routing {plan.n_shards} shards of {problem.name} "
+            f"({problem.n_devices} devices) on {args.host}:{server.port}",
+            flush=True,
+        )
+        if args.max_seconds is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=args.max_seconds)
+        else:
+            await stop.wait()
+        await server.stop()
+        stats = await router._stats()
+        rows = [
+            [key, value] for key, value in stats.items()
+            if key != "per_shard"
+        ]
+        await router.close()
+        print(format_table(["stat", "value"], rows))
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_shard_loadtest(args) -> int:
+    """Spawn a sharded cluster, load it, optionally kill a shard mid-run."""
+    import asyncio
+
+    from repro.faults.scenario import FaultEventSpec, FaultScenario
+    from repro.serve import LoadTestConfig
+    from repro.shard.harness import HarnessConfig, run_sharded_loadtest
+
+    config = HarnessConfig(
+        n_shards=args.shards,
+        family=args.family,
+        routers=args.routers,
+        devices=args.devices,
+        servers=args.servers,
+        tightness=args.tightness,
+        seed=args.seed,
+        vnodes=args.vnodes,
+        plan_seed=args.plan_seed,
+        batch_wait_ms=args.batch_wait_ms,
+        rebalance_interval_s=args.rebalance_interval,
+    )
+    load = LoadTestConfig(
+        n_requests=args.requests,
+        rate_hz=args.rate,
+        profile=args.profile,
+        concurrency=args.concurrency,
+        seed=args.load_seed,
+        release_ratio=args.release_ratio,
+    )
+    scenario = None
+    if args.kill_shard is not None:
+        events = [FaultEventSpec(at_s=args.kill_at, kind="server_crash",
+                                 server=args.kill_shard)]
+        if args.repair_at is not None:
+            events.append(FaultEventSpec(at_s=args.repair_at,
+                                         kind="server_repair",
+                                         server=args.kill_shard))
+        scenario = FaultScenario(name="shard-kill", events=tuple(events))
+    elif args.scenario:
+        scenario = FaultScenario.load(args.scenario)
+
+    result = asyncio.run(
+        run_sharded_loadtest(config, load, scenario, window_s=args.window)
+    )
+    print(result.report.to_text())
+    print(format_table(
+        ["window t0 (s)", "ok", "total", "goodput"],
+        [[w["t0"], w["ok"], w["total"], f"{w['goodput']:.3f}"]
+         for w in result.timeline],
+    ))
+    for entry in result.fault_log:
+        print(f"fault @ {entry['t']:.3f}s: {entry['event']} {entry['shard']}")
+    # a shard whose last scripted event was a kill is *supposed* to be
+    # dead; every other shard must have exited 0 on SIGTERM
+    last_event: "dict[str, str]" = {}
+    for entry in result.fault_log:
+        last_event[entry["shard"]] = entry["event"]
+    clean = all(
+        code == 0
+        for name, code in result.shutdown_codes.items()
+        if last_event.get(name) != "kill"
+    )
+    print(
+        "shutdown codes: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(result.shutdown_codes.items()))
+    )
+    if args.json:
+        from repro.utils.fileio import atomic_write_text
+
+        atomic_write_text(
+            args.json, json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"report written to {args.json}")
+    if scenario is None and result.report.errors:
+        print(f"loadtest FAILED: {result.report.errors} protocol-error responses")
+        return 3
+    if not clean:
+        print("loadtest FAILED: shard processes exited uncleanly")
+        return 3
+    if args.min_goodput is not None:
+        ok = sum(w["ok"] for w in result.timeline)
+        total = sum(w["total"] for w in result.timeline)
+        overall = ok / total if total else 1.0
+        print(f"overall goodput: {overall:.4f} (floor {args.min_goodput})")
+        if result.report.errors:
+            print(f"loadtest FAILED: {result.report.errors} protocol-error "
+                  "responses (crash recovery must reconcile, not error)")
+            return 3
+        if overall < args.min_goodput:
+            print("loadtest FAILED: goodput below floor")
+            return 3
+    return 0
 
 
 def cmd_info(args) -> int:

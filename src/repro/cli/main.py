@@ -247,6 +247,108 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flag(loadtest)
     loadtest.set_defaults(handler=commands.cmd_loadtest)
 
+    shard = sub.add_parser(
+        "shard", help="topology-sharded serving tier (plan/serve/router/loadtest)"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    def add_shard_flags(subparser) -> None:
+        """Flags that pin the deterministic shard plan."""
+        add_instance_flags(subparser)
+        subparser.add_argument("--shards", type=int, default=3,
+                               help="requested shard count (default: 3; "
+                               "empty shards are eliminated)")
+        subparser.add_argument("--vnodes", type=int, default=64,
+                               help="virtual nodes per shard on the hash ring "
+                               "(default: 64)")
+        subparser.add_argument("--plan-seed", type=int, default=0,
+                               help="seed of the consistent-hash ring "
+                               "(default: 0)")
+
+    shard_plan = shard_sub.add_parser(
+        "plan", help="print the deterministic region -> shard cut"
+    )
+    add_shard_flags(shard_plan)
+    shard_plan.add_argument("--json", default=None, metavar="PATH",
+                            help="also save the plan JSON here")
+    shard_plan.set_defaults(handler=commands.cmd_shard_plan)
+
+    shard_serve = shard_sub.add_parser(
+        "serve", help="serve one shard's slice of the cluster over TCP"
+    )
+    add_shard_flags(shard_serve)
+    shard_serve.add_argument("--shard", required=True, metavar="NAME",
+                             help="shard to serve (e.g. shard-0; see "
+                             "`repro shard plan`)")
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument("--port", type=int, default=0,
+                             help="TCP port (default: 0 = pick a free one "
+                             "and print it)")
+    shard_serve.add_argument("--rule", choices=ONLINE_RULES, default="reserve")
+    shard_serve.add_argument("--headroom", type=float, default=0.85)
+    shard_serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                             help="micro-batch deadline in ms (default: 2.0)")
+    shard_serve.add_argument("--max-seconds", type=float, default=None,
+                             help="stop after this long (default: run until "
+                             "SIGINT/SIGTERM)")
+    shard_serve.set_defaults(handler=commands.cmd_shard_serve)
+
+    shard_router = shard_sub.add_parser(
+        "router", help="front running shard processes with a TCP router"
+    )
+    add_shard_flags(shard_router)
+    shard_router.add_argument("--backend", action="append", default=[],
+                              metavar="NAME=HOST:PORT",
+                              help="address of one running shard "
+                              "(repeat per shard)")
+    shard_router.add_argument("--host", default="127.0.0.1")
+    shard_router.add_argument("--port", type=int, default=0)
+    shard_router.add_argument("--rebalance-interval", type=float, default=None,
+                              metavar="SECONDS",
+                              help="run the cross-shard rebalance loop every "
+                              "SECONDS (default: off)")
+    shard_router.add_argument("--max-seconds", type=float, default=None)
+    shard_router.set_defaults(handler=commands.cmd_shard_router)
+
+    shard_loadtest = shard_sub.add_parser(
+        "loadtest",
+        help="spawn a sharded cluster, load it, optionally kill a shard",
+    )
+    add_shard_flags(shard_loadtest)
+    shard_loadtest.add_argument("--requests", type=int, default=1000)
+    shard_loadtest.add_argument("--rate", type=float, default=2000.0)
+    shard_loadtest.add_argument("--profile", choices=sorted(PROFILES),
+                                default="poisson")
+    shard_loadtest.add_argument("--concurrency", type=int, default=32)
+    shard_loadtest.add_argument("--release-ratio", type=float, default=0.45)
+    shard_loadtest.add_argument("--load-seed", type=int, default=0)
+    shard_loadtest.add_argument("--batch-wait-ms", type=float, default=2.0)
+    shard_loadtest.add_argument("--rebalance-interval", type=float,
+                                default=None, metavar="SECONDS")
+    shard_loadtest.add_argument("--kill-shard", type=int, default=None,
+                                metavar="INDEX",
+                                help="SIGKILL this shard index mid-run")
+    shard_loadtest.add_argument("--kill-at", type=float, default=1.0,
+                                metavar="SECONDS",
+                                help="when to kill it (default: 1.0s)")
+    shard_loadtest.add_argument("--repair-at", type=float, default=None,
+                                metavar="SECONDS",
+                                help="restart the killed shard at this time "
+                                "(default: leave it dead)")
+    shard_loadtest.add_argument("--scenario", default=None, metavar="PATH",
+                                help="fault scenario JSON driving kills/"
+                                "repairs (server = shard index)")
+    shard_loadtest.add_argument("--window", type=float, default=0.5,
+                                help="goodput timeline window in seconds "
+                                "(default: 0.5)")
+    shard_loadtest.add_argument("--min-goodput", type=float, default=None,
+                                metavar="FLOOR",
+                                help="fail (exit 3) when overall goodput "
+                                "drops below FLOOR or any response errors")
+    shard_loadtest.add_argument("--json", default=None, metavar="PATH",
+                                help="also save the full report JSON here")
+    shard_loadtest.set_defaults(handler=commands.cmd_shard_loadtest)
+
     obs = sub.add_parser(
         "obs", help="render an observability JSONL file as an ASCII dashboard"
     )

@@ -78,3 +78,11 @@ class JobTimeoutError(EngineError):
 
 class SerializationError(ReproError):
     """A problem/solution/trace could not be (de)serialized."""
+
+
+class ShardError(ReproError):
+    """The sharded serving tier failed (routing, backend, or plan)."""
+
+
+class ShardUnavailableError(ShardError):
+    """A shard backend cannot take requests right now (down or circuit open)."""

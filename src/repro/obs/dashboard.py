@@ -201,6 +201,50 @@ def _render_serve_section(metrics: dict) -> "str | None":
     return format_table(["serve", "value"], rows)
 
 
+def _render_shard_section(metrics: dict) -> "str | None":
+    """Sharded-tier summary: routing, failover, and migration traffic."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    timers = metrics.get("timers", {})
+    touched = any(
+        key.startswith("shard/")
+        for group in (counters, gauges, timers)
+        for key in group
+    )
+    if not touched:
+        return None
+    rows: list[list] = []
+    routed = _sum_metric(counters, "shard/routed")
+    if routed:
+        rows.append(["routed", int(routed)])
+    for label, key in (
+        ("spillovers", "shard/spillovers"),
+        ("unroutable", "shard/unroutable"),
+        ("migrated devices", "shard/migrated_devices"),
+        ("migration lost", "shard/migration_lost_devices"),
+    ):
+        if key in counters:
+            rows.append([label, int(counters[key])])
+    trips = _sum_metric(counters, "shard/breaker_trips")
+    if trips:
+        rows.append(["breaker trips", int(trips)])
+        by_shard = _label_breakdown(counters, "shard/breaker_trips", "shard")
+        if by_shard:
+            rows.append(["trips by shard", by_shard])
+    rounds = _label_breakdown(counters, "shard/migration_rounds", "outcome")
+    if rounds:
+        rows.append(["migration rounds", rounds])
+    latency = timers.get("shard/route_latency_s")
+    if latency and latency.get("count", 0) > 0:
+        rows.append(["route latency p50", _fmt_seconds(latency.get("p50", math.nan))])
+        rows.append(["route latency p99", _fmt_seconds(latency.get("p99", math.nan))])
+    if "shard/active_devices" in gauges:
+        rows.append(["active devices", int(gauges["shard/active_devices"])])
+    if not rows:
+        return None
+    return format_table(["shard", "value"], rows)
+
+
 def render_dashboard(data: dict, width: int = 64) -> str:
     """Render the full dashboard; sections with no data are omitted."""
     metrics = data.get("metrics", {})
@@ -223,6 +267,12 @@ def render_dashboard(data: dict, width: int = 64) -> str:
         sections.append("")
         sections.append("## serve")
         sections.append(serve_section)
+
+    shard_section = _render_shard_section(metrics)
+    if shard_section:
+        sections.append("")
+        sections.append("## shard")
+        sections.append(shard_section)
 
     counters = metrics.get("counters", {})
     if counters:

@@ -70,6 +70,17 @@ SERVE_ASSIGN_LATENCY = "serve/assign_latency_s"
 SERVE_REOPT_RUNS = "serve/reopt_runs"
 SERVE_REOPT_GAIN = "serve/reopt_gain_ms"
 
+# -- topology-sharded serving tier -----------------------------------
+SHARD_ROUTED = "shard/routed"
+SHARD_SPILLOVERS = "shard/spillovers"
+SHARD_UNROUTABLE = "shard/unroutable"
+SHARD_BREAKER_TRIPS = "shard/breaker_trips"
+SHARD_MIGRATIONS = "shard/migrated_devices"
+SHARD_MIGRATION_ROUNDS = "shard/migration_rounds"
+SHARD_MIGRATION_LOST = "shard/migration_lost_devices"
+SHARD_ACTIVE_DEVICES = "shard/active_devices"
+SHARD_ROUTE_LATENCY = "shard/route_latency_s"
+
 # -- fault injection and task-lifecycle resilience --------------------
 FAULTS_INJECTED = "faults/injected"
 FAULTS_SERVER_CRASHES = "faults/server_crashes"
@@ -88,6 +99,7 @@ SPAN_RECONFIG = "cluster/reconfigure"
 SPAN_DEGRADED = "cluster/degraded"
 SPAN_CHAOS = "faults/run"
 SPAN_REOPT = "serve/reopt"
+SPAN_REBALANCE = "shard/rebalance"
 
 #: every registered metric name, for the docs/tests cross-check
 CATALOG: tuple[str, ...] = (
@@ -130,6 +142,15 @@ CATALOG: tuple[str, ...] = (
     SERVE_ASSIGN_LATENCY,
     SERVE_REOPT_RUNS,
     SERVE_REOPT_GAIN,
+    SHARD_ROUTED,
+    SHARD_SPILLOVERS,
+    SHARD_UNROUTABLE,
+    SHARD_BREAKER_TRIPS,
+    SHARD_MIGRATIONS,
+    SHARD_MIGRATION_ROUNDS,
+    SHARD_MIGRATION_LOST,
+    SHARD_ACTIVE_DEVICES,
+    SHARD_ROUTE_LATENCY,
     ENGINE_JOBS_SCHEDULED,
     ENGINE_JOBS_COMPLETED,
     ENGINE_JOBS_FAILED,

@@ -119,6 +119,60 @@ def probe_serve_throughput() -> None:
     _tiny_loadtest(500)
 
 
+def _tiny_sharded_loadtest(n_requests: int):
+    """The same fixed-seed loadtest through an in-process shard router."""
+    import asyncio
+
+    from repro.serve import (
+        AssignmentService,
+        LoadTestConfig,
+        ServiceConfig,
+        run_loadtest,
+    )
+    from repro.shard import InProcessBackend, ShardRouter, build_plan
+
+    problem = _tiny_problem()
+    plan = build_plan(problem, 3)
+    config = LoadTestConfig(
+        n_requests=n_requests, rate_hz=50_000.0, profile="poisson", seed=7
+    )
+
+    async def scenario():
+        services = {}
+        backends = {}
+        for spec in plan.shards:
+            service = AssignmentService(
+                plan.subproblem(problem, spec.name),
+                ServiceConfig(max_queue=100_000),
+            )
+            await service.start()
+            services[spec.name] = service
+            backends[spec.name] = InProcessBackend(spec.name, service)
+        router = ShardRouter(plan, backends)
+        await router.start()
+        try:
+            return await run_loadtest(
+                router, problem.n_devices, config, collect_stats=False
+            )
+        finally:
+            await router.stop()
+            for service in services.values():
+                if service.started:
+                    await service.stop()
+
+    return asyncio.run(scenario())
+
+
+def probe_shard_loadtest_p99() -> float:
+    """p99 request latency (seconds) through the sharded front end."""
+    return _tiny_sharded_loadtest(300).latency_ms["p99"] / 1e3
+
+
+def probe_shard_route_throughput() -> None:
+    """Wall time to route a fixed-size loadtest across shards."""
+    _tiny_sharded_loadtest(500)
+
+
 #: probe name -> zero-argument callable (insertion order is report order)
 PROBES = {
     "solve_greedy": probe_solve_greedy,
@@ -127,6 +181,8 @@ PROBES = {
     "engine_grid": probe_engine_grid,
     "serve_loadtest_p99": probe_serve_loadtest_p99,
     "serve_throughput": probe_serve_throughput,
+    "shard_loadtest_p99": probe_shard_loadtest_p99,
+    "shard_route_throughput": probe_shard_route_throughput,
 }
 
 

@@ -241,12 +241,22 @@ def _arrival_process(config: LoadTestConfig) -> ArrivalProcess:
 class _DeviceActors:
     """Response-aware device bookkeeping shared by both loop modes."""
 
-    def __init__(self, n_devices: int, config: LoadTestConfig) -> None:
+    def __init__(
+        self,
+        n_devices: int,
+        config: LoadTestConfig,
+        device_ids: "list[int] | None" = None,
+    ) -> None:
         self.rng = np.random.default_rng(config.seed)
         self.config = config
         self.held: "list[int]" = []  # assign confirmed ok
         self.pending: "set[int]" = set()  # assign in flight
-        self.idle = list(range(n_devices))
+        # device_ids restricts the actor pool to a slice of the device
+        # space (parallel load workers each drive a disjoint slice)
+        self.idle = (
+            list(range(n_devices)) if device_ids is None
+            else [int(d) for d in device_ids]
+        )
 
     def next_request(self) -> "Request | None":
         """The next op, or ``None`` when no device can act right now."""
@@ -281,13 +291,18 @@ async def run_loadtest(
     n_devices: int,
     config: LoadTestConfig,
     collect_stats: bool = True,
+    device_ids: "list[int] | None" = None,
 ) -> LoadTestReport:
-    """Drive ``client`` with the configured profile; measure what came back."""
+    """Drive ``client`` with the configured profile; measure what came back.
+
+    ``device_ids`` restricts the run to a slice of the device space so
+    several load workers can share one cluster without colliding.
+    """
     started = time.perf_counter()
     if config.profile == "closed":
-        outcomes = await _closed_loop(client, n_devices, config)
+        outcomes = await _closed_loop(client, n_devices, config, device_ids)
     else:
-        outcomes = await _open_loop(client, n_devices, config)
+        outcomes = await _open_loop(client, n_devices, config, device_ids)
     duration_s = time.perf_counter() - started
 
     latencies = np.array([latency for latency, _, _ in outcomes], dtype=np.float64)
@@ -320,10 +335,11 @@ async def run_loadtest(
 
 
 async def _open_loop(
-    client, n_devices: int, config: LoadTestConfig
+    client, n_devices: int, config: LoadTestConfig,
+    device_ids: "list[int] | None" = None,
 ) -> "list[tuple[float, str, str]]":
     """Send on the arrival clock, never waiting for responses."""
-    actors = _DeviceActors(n_devices, config)
+    actors = _DeviceActors(n_devices, config, device_ids)
     process = _arrival_process(config)
     arrival_rng = np.random.default_rng(config.seed + 1)
     loop = asyncio.get_running_loop()
@@ -364,10 +380,11 @@ async def _open_loop(
 
 
 async def _closed_loop(
-    client, n_devices: int, config: LoadTestConfig
+    client, n_devices: int, config: LoadTestConfig,
+    device_ids: "list[int] | None" = None,
 ) -> "list[tuple[float, str, str]]":
     """``concurrency`` workers in lock-step with their own responses."""
-    actors = _DeviceActors(n_devices, config)
+    actors = _DeviceActors(n_devices, config, device_ids)
     outcomes: "list[tuple[float, str, str]]" = []
     remaining = config.n_requests
     lock = asyncio.Lock()

@@ -14,7 +14,11 @@ Response line::
     {"id": 7, "status": "ok", "server": 3, "latency_ms": 0.41}
 
 Operations: ``assign`` (place a device), ``release`` (return its
-capacity), ``stats`` (service snapshot, answered off the batch path).
+capacity), ``stats`` (service snapshot, answered off the batch path),
+``migrate`` (release a batch of devices iff the service epoch still
+matches — the donor half of the cross-shard rebalance handshake in
+:mod:`repro.shard`; carries ``devices`` and ``epoch``, answers with
+the devices actually freed in ``stats["released"]``).
 Statuses: ``ok``; ``rejected`` (admission control said no — carries
 ``retry_after_ms``); ``infeasible`` (no server fits the device);
 ``error`` (malformed request or protocol misuse, e.g. releasing a
@@ -38,7 +42,7 @@ from repro.utils.validation import require
 PRIORITY_CLASSES = ("low", "normal", "high")
 
 #: request operations the service understands
-OPS = ("assign", "release", "stats")
+OPS = ("assign", "release", "stats", "migrate")
 
 #: response statuses
 STATUSES = ("ok", "rejected", "infeasible", "error")
@@ -52,6 +56,8 @@ class Request:
     id: int = 0
     device: "int | None" = None
     priority: str = "normal"
+    devices: "tuple[int, ...] | None" = None
+    epoch: "int | None" = None
 
     def __post_init__(self) -> None:
         require(self.op in OPS, f"unknown op {self.op!r}; known: {OPS}")
@@ -64,6 +70,11 @@ class Request:
                 self.device is not None and int(self.device) >= 0,
                 f"op {self.op!r} needs a nonnegative device index",
             )
+        if self.op == "migrate":
+            require(
+                self.devices is not None and self.epoch is not None,
+                "op 'migrate' needs 'devices' and 'epoch'",
+            )
 
     def to_dict(self) -> dict:
         """Plain-JSON form (omits unset optionals)."""
@@ -72,6 +83,10 @@ class Request:
             payload["device"] = int(self.device)
         if self.priority != "normal":
             payload["priority"] = self.priority
+        if self.devices is not None:
+            payload["devices"] = [int(d) for d in self.devices]
+        if self.epoch is not None:
+            payload["epoch"] = int(self.epoch)
         return payload
 
     @classmethod
@@ -79,11 +94,15 @@ class Request:
         """Inverse of :meth:`to_dict`; raises SerializationError on junk."""
         try:
             device = payload.get("device")
+            devices = payload.get("devices")
+            epoch = payload.get("epoch")
             return cls(
                 op=str(payload["op"]),
                 id=int(payload.get("id", 0)),
                 device=None if device is None else int(device),
                 priority=str(payload.get("priority", "normal")),
+                devices=None if devices is None else tuple(int(d) for d in devices),
+                epoch=None if epoch is None else int(epoch),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"bad request payload: {exc}") from exc

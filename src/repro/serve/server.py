@@ -139,12 +139,14 @@ class TCPClient:
         self._reader_task: "asyncio.Task | None" = None
         self._pending: "dict[int, asyncio.Future[Response]]" = {}
         self._next_id = 0
+        self._connected_once = False
 
     async def connect(self) -> None:
         """Open the connection and start the response dispatcher."""
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
+        self._connected_once = True
         self._reader_task = asyncio.create_task(self._dispatch_responses())
 
     def send(self, request: Request) -> "asyncio.Future[Response]":
@@ -153,12 +155,19 @@ class TCPClient:
         A request with ``id == 0`` is stamped with a fresh client id so
         pipelined responses can be matched.
         """
-        require(self._writer is not None, "client is not connected")
+        if self._writer is None:
+            if self._connected_once:
+                # closed under a concurrent sender (e.g. the peer died
+                # and a failure handler dropped the connection): surface
+                # as the transport failure it is, not an API misuse
+                raise ConnectionResetError("client connection is closed")
+            require(False, "client is not connected")
         if request.id == 0:
             self._next_id += 1
             request = Request(
                 op=request.op, id=self._next_id,
                 device=request.device, priority=request.priority,
+                devices=request.devices, epoch=request.epoch,
             )
         require(
             request.id not in self._pending,

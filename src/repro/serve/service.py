@@ -244,6 +244,23 @@ class AssignmentService:
                     id=request.id, status="ok", server=server,
                     latency_ms=latency_ms(),
                 )
+            if request.op == "migrate":
+                released = self.state.migrate_out(
+                    list(request.devices or ()), int(request.epoch)
+                )
+                if released is None:
+                    # epoch moved on: the router retries with fresh gossip
+                    return Response(
+                        id=request.id, status="rejected",
+                        detail="stale epoch",
+                        latency_ms=latency_ms(),
+                    )
+                registry.counter(obs_names.SERVE_RELEASED).inc(len(released))
+                return Response(
+                    id=request.id, status="ok",
+                    latency_ms=latency_ms(),
+                    stats={"released": released, "epoch": self.state.epoch},
+                )
         except ValidationError as exc:
             registry.counter(obs_names.SERVE_ERRORS).inc()
             return Response(

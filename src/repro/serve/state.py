@@ -38,6 +38,9 @@ class ServiceState:
         self.epoch = 0  # mutation counter: bumped on every assign/release/swap
         self._assigns = 0
         self._releases = 0
+        # total delay is maintained incrementally (O(1) per mutation) so
+        # stats() stays flat as device counts grow; try_swap recomputes
+        self._total_delay_s = 0.0
 
     # ------------------------------------------------------------------
     # protocol operations (called only from the batch consumer)
@@ -60,6 +63,7 @@ class ServiceState:
         server = self.assigner.assign(device)
         self._assigns += 1
         self.epoch += 1
+        self._total_delay_s += float(self.problem.delay[device, server])
         return server
 
     def release(self, device: int) -> int:
@@ -67,6 +71,7 @@ class ServiceState:
         server = self.assigner.release(device)
         self._releases += 1
         self.epoch += 1
+        self._total_delay_s -= float(self.problem.delay[device, server])
         return server
 
     def stats(self) -> dict:
@@ -99,7 +104,16 @@ class ServiceState:
 
     @property
     def total_delay_s(self) -> float:
-        """Total communication delay of the standing assignment."""
+        """Total communication delay of the standing assignment.
+
+        Maintained incrementally on assign/release and recomputed on
+        swap; :meth:`recompute_total_delay_s` is the from-scratch
+        reference the tests pin this against.
+        """
+        return self._total_delay_s
+
+    def recompute_total_delay_s(self) -> float:
+        """Full fancy-index recomputation (the incremental oracle)."""
         vector = self.vector
         active = np.flatnonzero(vector != UNASSIGNED)
         if not active.size:
@@ -131,4 +145,41 @@ class ServiceState:
         )
         self.assigner.reset_to(vector)
         self.epoch += 1
+        # a swap rewrites the whole vector: re-anchor the incremental sum
+        self._total_delay_s = self.recompute_total_delay_s()
         return True
+
+    # ------------------------------------------------------------------
+    # cross-shard migration (see repro.shard.router)
+    # ------------------------------------------------------------------
+    def migrate_out(
+        self, devices: "list[int]", epoch: int
+    ) -> "list[int] | None":
+        """Release a migration batch iff the state matches ``epoch``.
+
+        The donor half of the cross-shard rebalance handshake: the
+        router snapshots the shard's epoch through ``stats``, picks a
+        bounded batch, and asks for it back conditioned on that epoch.
+        Any assign/release that landed in between invalidates the
+        router's picture, so the batch is rejected (``None``) and the
+        router retries with fresher gossip — migrations yield to
+        foreground traffic instead of clobbering it.  Devices already
+        released by their owner are skipped, not errors.  Returns the
+        devices actually freed.
+        """
+        snap_epoch, vector = self.snapshot()
+        if epoch != snap_epoch:
+            return None
+        held = [
+            d for d in devices
+            if 0 <= int(d) < self.problem.n_devices
+            and vector[int(d)] != UNASSIGNED
+        ]
+        if not held:
+            return []
+        new_vector = vector.copy()
+        new_vector[held] = UNASSIGNED
+        swapped = self.try_swap(snap_epoch, new_vector)
+        assert swapped  # single-writer: nothing can land in between
+        self._releases += len(held)
+        return [int(d) for d in held]

@@ -1,0 +1,217 @@
+"""Shard backends: how the router talks to one shard.
+
+Two transports behind one surface (mirroring the client split in
+:mod:`repro.serve.server`):
+
+* :class:`InProcessBackend` — the shard's
+  :class:`~repro.serve.service.AssignmentService` lives in the same
+  event loop (tests, single-process demos);
+* :class:`TCPBackend` — the shard is a separate process reached over
+  the line-JSON protocol, with lazy connect and automatic reconnect
+  after a connection death.
+
+Every backend carries a :class:`CircuitBreaker`.  The breaker is what
+turns a crashed shard from a per-request timeout storm into a fast
+local decision: after ``failure_threshold`` consecutive transport
+failures the circuit opens and the router skips the shard outright,
+sending its traffic down the ring's preference order instead.  After
+``reset_after_s`` the circuit goes half-open and admits one probe
+request; success closes it again, failure re-opens it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import ShardUnavailableError
+from repro.serve.protocol import Request, Response
+from repro.serve.server import TCPClient
+from repro.serve.service import AssignmentService
+from repro.utils.validation import require
+
+#: breaker defaults: trip fast, probe again after a short cooldown
+DEFAULT_FAILURE_THRESHOLD = 3
+DEFAULT_RESET_AFTER_S = 1.0
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit with a half-open probe state."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        reset_after_s: float = DEFAULT_RESET_AFTER_S,
+        clock=time.monotonic,
+    ) -> None:
+        require(failure_threshold >= 1, "failure_threshold must be >= 1")
+        require(reset_after_s > 0, "reset_after_s must be > 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self.trips = 0  # lifetime open transitions (observability)
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when cooled down."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allows(self) -> bool:
+        """Whether a request may be attempted right now."""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        """A request went through: close the circuit."""
+        self._failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """A transport failure: count it; trip when the threshold hits.
+
+        A failure during half-open re-opens immediately — the probe
+        said the shard is still down.
+        """
+        self._failures += 1
+        if (
+            self._state == self.HALF_OPEN
+            or self._failures >= self.failure_threshold
+        ):
+            if self._state != self.OPEN:
+                self.trips += 1
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self._failures = 0
+
+
+class InProcessBackend:
+    """A shard service living in the router's own event loop."""
+
+    def __init__(
+        self,
+        name: str,
+        service: AssignmentService,
+        breaker: "CircuitBreaker | None" = None,
+    ) -> None:
+        self.name = name
+        self.service = service
+        self.breaker = breaker or CircuitBreaker()
+
+    async def request(self, request: Request) -> Response:
+        """Forward one request; raises ShardUnavailableError when down."""
+        if not self.service.started:
+            self.breaker.record_failure()
+            raise ShardUnavailableError(f"shard {self.name!r} is stopped")
+        try:
+            response = await self.service.submit_nowait(request)
+        except Exception as exc:
+            self.breaker.record_failure()
+            raise ShardUnavailableError(
+                f"shard {self.name!r} failed: {exc}"
+            ) from exc
+        self.breaker.record_success()
+        return response
+
+    async def close(self) -> None:
+        """The service's lifecycle belongs to its owner; nothing to do."""
+
+
+class TCPBackend:
+    """A shard process reached over line-JSON TCP, with reconnect."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        breaker: "CircuitBreaker | None" = None,
+        connect_timeout_s: float = 2.0,
+        request_timeout_s: float = 5.0,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = int(port)
+        self.breaker = breaker or CircuitBreaker()
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.request_timeout_s = float(request_timeout_s)
+        self._client: "TCPClient | None" = None
+        self._connect_lock = asyncio.Lock()
+
+    async def _ensure_client(self) -> TCPClient:
+        # serialized: concurrent requests racing a reconnect must share
+        # one client, not each open (and mostly leak) their own
+        async with self._connect_lock:
+            if self._client is None:
+                client = TCPClient(self.host, self.port)
+                try:
+                    await asyncio.wait_for(
+                        client.connect(), timeout=self.connect_timeout_s
+                    )
+                except (OSError, TimeoutError) as exc:
+                    # a timeout can cancel connect() after the socket
+                    # opened: close the half-built client so nothing leaks
+                    try:
+                        await client.close()
+                    except (OSError, RuntimeError):
+                        pass
+                    raise ShardUnavailableError(
+                        f"shard {self.name!r} unreachable at "
+                        f"{self.host}:{self.port}: {exc}"
+                    ) from exc
+                self._client = client
+            return self._client
+
+    async def request(self, request: Request) -> Response:
+        """Forward one request; transport failure drops the connection.
+
+        The dead client is discarded so the next attempt reconnects —
+        which is what lets a restarted shard rejoin without router
+        intervention.
+        """
+        try:
+            client = await self._ensure_client()
+            response = await asyncio.wait_for(
+                client.request(request), timeout=self.request_timeout_s
+            )
+        except ShardUnavailableError:
+            self.breaker.record_failure()
+            raise
+        except (OSError, TimeoutError) as exc:
+            self.breaker.record_failure()
+            await self._drop_client()
+            raise ShardUnavailableError(
+                f"shard {self.name!r} transport failed: {exc}"
+            ) from exc
+        if response.status == "error" and "connection" in response.detail:
+            # the client's reader resolved the future with a synthetic
+            # connection-death response: treat as transport failure
+            self.breaker.record_failure()
+            await self._drop_client()
+            raise ShardUnavailableError(
+                f"shard {self.name!r} dropped the connection"
+            )
+        self.breaker.record_success()
+        return response
+
+    async def _drop_client(self) -> None:
+        if self._client is not None:
+            client, self._client = self._client, None
+            try:
+                await client.close()
+            except (OSError, RuntimeError):
+                pass
+
+    async def close(self) -> None:
+        """Close the connection if one is open."""
+        await self._drop_client()

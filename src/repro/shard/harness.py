@@ -1,0 +1,435 @@
+"""Multi-process shard harness: spawn, load, kill, measure.
+
+Everything the sharded demos need to run a real cluster on one box:
+
+* :class:`ShardProcess` — supervises one ``repro shard serve``
+  subprocess: spawns it, parses the ``... on host:port`` line it
+  prints, and can SIGKILL (a crash), restart (a repair, on the same
+  port so backends reconnect), or SIGTERM it (clean shutdown);
+* :class:`RecordingClient` — wraps any protocol client and timestamps
+  every response, producing the windowed goodput timeline that the
+  failover experiments are judged on;
+* :func:`run_sharded_loadtest` — the whole experiment in one call:
+  build the plan, spawn one process per shard, put a
+  :class:`~repro.shard.router.ShardRouter` in front, drive the
+  standard load generator through it while a
+  :class:`~repro.faults.scenario.FaultScenario` kills and repairs
+  shard processes at its scheduled times (``server_crash`` /
+  ``server_repair`` events, ``server`` = shard index, ``at_s`` =
+  seconds of wall clock after the load starts).
+
+The harness recomputes the :class:`~repro.shard.partition.ShardPlan`
+from the same instance parameters it passes each subprocess, and the
+plan is deterministic, so router and shards agree on the cut without
+shipping matrices around.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ShardError
+from repro.faults.scenario import FaultScenario
+from repro.model.instances import topology_instance
+from repro.serve.loadtest import LoadTestConfig, LoadTestReport, run_loadtest
+from repro.shard.backend import TCPBackend
+from repro.shard.partition import ShardPlan, build_plan
+from repro.shard.ring import DEFAULT_VNODES
+from repro.shard.router import RouterConfig, ShardRouter
+from repro.utils.validation import require
+
+_PORT_LINE = re.compile(r" on ([\d.]+):(\d+)\s*$")
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """One sharded-cluster run: instance, cut, and process knobs."""
+
+    n_shards: int = 3
+    family: str = "edge_hierarchy"
+    routers: int = 40
+    devices: int = 120
+    servers: int = 8
+    tightness: float = 0.7
+    seed: int = 0
+    vnodes: int = DEFAULT_VNODES
+    plan_seed: int = 0
+    host: str = "127.0.0.1"
+    batch_wait_ms: float = 2.0
+    rebalance_interval_s: "float | None" = None
+    startup_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        require(self.n_shards >= 1, "n_shards must be >= 1")
+        require(self.startup_timeout_s > 0, "startup_timeout_s must be > 0")
+
+    def instance_argv(self) -> "list[str]":
+        """The shared instance flags every shard process receives."""
+        return [
+            "--family", self.family,
+            "--routers", str(self.routers),
+            "--devices", str(self.devices),
+            "--servers", str(self.servers),
+            "--tightness", str(self.tightness),
+            "--seed", str(self.seed),
+        ]
+
+    def problem(self):
+        """The instance, built locally (identical in every process)."""
+        return topology_instance(
+            family=self.family,
+            n_routers=self.routers,
+            n_devices=self.devices,
+            n_servers=self.servers,
+            tightness=self.tightness,
+            seed=self.seed,
+        )
+
+    def plan(self, problem=None) -> ShardPlan:
+        """The deterministic shard plan for this configuration."""
+        return build_plan(
+            problem if problem is not None else self.problem(),
+            self.n_shards,
+            vnodes=self.vnodes,
+            seed=self.plan_seed,
+        )
+
+
+class ShardProcess:
+    """One ``repro shard serve`` subprocess under supervision."""
+
+    def __init__(
+        self,
+        name: str,
+        config: HarnessConfig,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.port = 0  # assigned on first start, pinned on restart
+        self.log: "list[str]" = []
+        self._proc: "asyncio.subprocess.Process | None" = None
+        self._drain_task: "asyncio.Task | None" = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the subprocess is currently running."""
+        return self._proc is not None and self._proc.returncode is None
+
+    def _argv(self) -> "list[str]":
+        return [
+            sys.executable, "-m", "repro", "shard", "serve",
+            "--shard", self.name,
+            "--shards", str(self.config.n_shards),
+            "--vnodes", str(self.config.vnodes),
+            "--plan-seed", str(self.config.plan_seed),
+            "--host", self.config.host,
+            "--port", str(self.port),
+            "--batch-wait-ms", str(self.config.batch_wait_ms),
+            *self.config.instance_argv(),
+        ]
+
+    async def start(self) -> int:
+        """Spawn and wait for the listening line; returns the port."""
+        require(not self.alive, f"shard {self.name!r} is already running")
+        self._proc = await asyncio.create_subprocess_exec(
+            *self._argv(),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+        )
+        deadline = time.monotonic() + self.config.startup_timeout_s
+        while True:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise ShardError(
+                    f"shard {self.name!r} did not report a port within "
+                    f"{self.config.startup_timeout_s}s; log: {self.log[-5:]}"
+                )
+            try:
+                raw = await asyncio.wait_for(
+                    self._proc.stdout.readline(), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                continue
+            if not raw:
+                raise ShardError(
+                    f"shard {self.name!r} exited during startup "
+                    f"(rc={self._proc.returncode}); log: {self.log[-5:]}"
+                )
+            line = raw.decode("utf-8", errors="replace").rstrip()
+            self.log.append(line)
+            match = _PORT_LINE.search(line)
+            if match:
+                self.port = int(match.group(2))
+                break
+        self._drain_task = asyncio.create_task(self._drain())
+        return self.port
+
+    async def _drain(self) -> None:
+        # keep the pipe flowing so the child never blocks on stdout
+        assert self._proc is not None
+        while raw := await self._proc.stdout.readline():
+            self.log.append(raw.decode("utf-8", errors="replace").rstrip())
+
+    def kill(self) -> None:
+        """SIGKILL — the crash the failover experiments inject."""
+        if self.alive:
+            try:
+                self._proc.send_signal(signal.SIGKILL)
+            except ProcessLookupError:
+                pass  # already gone
+
+    async def restart(self) -> int:
+        """Bring a killed shard back on its original port."""
+        await self._reap()
+        return await self.start()
+
+    async def terminate(self, timeout_s: float = 10.0) -> "int | None":
+        """SIGTERM, wait; escalate to SIGKILL on timeout.  Returns rc."""
+        if self._proc is None:
+            return None
+        if self.alive:
+            try:
+                self._proc.send_signal(signal.SIGTERM)
+                await asyncio.wait_for(self._proc.wait(), timeout=timeout_s)
+            except asyncio.TimeoutError:
+                self._proc.send_signal(signal.SIGKILL)
+            except ProcessLookupError:
+                pass  # raced with its own death
+        rc = await self._reap()
+        return rc
+
+    async def _reap(self) -> "int | None":
+        if self._proc is None:
+            return None
+        rc = await self._proc.wait()
+        if self._drain_task is not None:
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        self._proc = None
+        return rc
+
+
+class RecordingClient:
+    """Timestamp every response of an inner client (goodput timelines)."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.t0 = time.perf_counter()
+        self.records: "list[tuple[float, str, str]]" = []  # (t, status, op)
+
+    def send(self, request):
+        """Forward and record the response's completion time and status."""
+        future = self.inner.send(request)
+
+        def _done(fut, op=request.op):
+            if fut.cancelled() or fut.exception() is not None:
+                return
+            response = fut.result()
+            self.records.append(
+                (time.perf_counter() - self.t0, response.status, op)
+            )
+
+        future.add_done_callback(_done)
+        return future
+
+    async def flush(self) -> None:
+        """Return flush."""
+        await self.inner.flush()
+
+    async def request(self, request):
+        """Submit one request and await its (recorded) response."""
+        future = self.send(request)
+        await self.flush()
+        return await future
+
+    async def close(self) -> None:
+        """Return close."""
+        await self.inner.close()
+
+    # ------------------------------------------------------------------
+    def timeline(self, window_s: float = 0.5) -> "list[dict]":
+        """Per-window goodput: ``[{t0, ok, total, goodput}, ...]``.
+
+        ``stats`` responses are bookkeeping, not offered load, and are
+        excluded.
+        """
+        require(window_s > 0, "window_s must be > 0")
+        buckets: "dict[int, list[int]]" = {}
+        for t, status, op in self.records:
+            if op == "stats":
+                continue
+            bucket = buckets.setdefault(int(t / window_s), [0, 0])
+            bucket[1] += 1
+            if status == "ok":
+                bucket[0] += 1
+        return [
+            {
+                "t0": round(index * window_s, 6),
+                "ok": ok,
+                "total": total,
+                "goodput": round(ok / total, 6) if total else 1.0,
+            }
+            for index, (ok, total) in sorted(buckets.items())
+        ]
+
+    def goodput_over(self, t_start: float, t_end: float) -> float:
+        """ok / answered over ``[t_start, t_end)`` (1.0 when silent)."""
+        ok = total = 0
+        for t, status, op in self.records:
+            if op == "stats" or not t_start <= t < t_end:
+                continue
+            total += 1
+            ok += status == "ok"
+        return ok / total if total else 1.0
+
+
+@dataclass
+class ShardLoadTestReport:
+    """One sharded run: the load report plus failover evidence."""
+
+    report: LoadTestReport
+    plan_shards: "list[str]"
+    ports: "dict[str, int]"
+    timeline: "list[dict]"
+    fault_log: "list[dict]" = field(default_factory=list)
+    shutdown_codes: "dict[str, int | None]" = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form."""
+        return {
+            "report": self.report.to_dict(),
+            "plan_shards": self.plan_shards,
+            "ports": self.ports,
+            "timeline": self.timeline,
+            "fault_log": self.fault_log,
+            "shutdown_codes": self.shutdown_codes,
+        }
+
+
+async def drive_faults(
+    scenario: FaultScenario,
+    procs: "list[ShardProcess]",
+    t0: float,
+    fault_log: "list[dict]",
+    stop: "asyncio.Event | None" = None,
+) -> None:
+    """Replay ``scenario`` against shard processes on the wall clock.
+
+    ``server_crash`` SIGKILLs the shard at index ``server`` (mod the
+    shard count); ``server_repair`` restarts it on its original port.
+    Other event kinds are ignored — they describe simulator faults.
+    Setting ``stop`` abandons events that have not fired yet while
+    letting an in-flight restart finish (so no half-started process is
+    left behind).
+    """
+    for event in scenario.events:
+        if event.kind not in ("server_crash", "server_repair"):
+            continue
+        delay = t0 + event.at_s - time.perf_counter()
+        if stop is not None and stop.is_set():
+            return
+        if delay > 0:
+            if stop is not None:
+                waiter = asyncio.create_task(stop.wait())
+                done, _ = await asyncio.wait({waiter}, timeout=delay)
+                waiter.cancel()
+                if done:
+                    return
+            else:
+                await asyncio.sleep(delay)
+        proc = procs[int(event.server) % len(procs)]
+        if event.kind == "server_crash":
+            proc.kill()
+            fault_log.append(
+                {"t": round(time.perf_counter() - t0, 6),
+                 "event": "kill", "shard": proc.name}
+            )
+        else:
+            try:
+                await proc.restart()
+                fault_log.append(
+                    {"t": round(time.perf_counter() - t0, 6),
+                     "event": "restart", "shard": proc.name}
+                )
+            except ShardError as exc:
+                fault_log.append(
+                    {"t": round(time.perf_counter() - t0, 6),
+                     "event": "restart_failed", "shard": proc.name,
+                     "detail": str(exc)}
+                )
+
+
+async def run_sharded_loadtest(
+    config: HarnessConfig,
+    load: LoadTestConfig,
+    scenario: "FaultScenario | None" = None,
+    window_s: float = 0.5,
+) -> ShardLoadTestReport:
+    """Spawn the cluster, drive it, optionally break it, measure it."""
+    problem = config.problem()
+    plan = config.plan(problem)
+    procs = [ShardProcess(spec.name, config) for spec in plan.shards]
+    fault_log: "list[dict]" = []
+    try:
+        await asyncio.gather(*(proc.start() for proc in procs))
+        backends = {
+            proc.name: TCPBackend(proc.name, config.host, proc.port)
+            for proc in procs
+        }
+        router = ShardRouter(
+            plan,
+            backends,
+            RouterConfig(rebalance_interval_s=config.rebalance_interval_s),
+        )
+        await router.start()
+        client = RecordingClient(router)
+        fault_task = None
+        stop_faults = asyncio.Event()
+        if scenario is not None:
+            fault_task = asyncio.create_task(
+                drive_faults(scenario, procs, client.t0, fault_log,
+                             stop=stop_faults)
+            )
+        try:
+            report = await run_loadtest(
+                client, problem.n_devices, load, collect_stats=True
+            )
+        finally:
+            if fault_task is not None:
+                # abandon unfired events; let an in-flight restart land
+                stop_faults.set()
+                try:
+                    await asyncio.wait_for(
+                        fault_task, timeout=config.startup_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    fault_task.cancel()
+                    try:
+                        await fault_task
+                    except asyncio.CancelledError:
+                        pass
+            await router.stop()
+        codes = {}
+        for proc in procs:
+            codes[proc.name] = await proc.terminate()
+        return ShardLoadTestReport(
+            report=report,
+            plan_shards=[spec.name for spec in plan.shards],
+            ports={proc.name: proc.port for proc in procs},
+            timeline=client.timeline(window_s),
+            fault_log=fault_log,
+            shutdown_codes=codes,
+        )
+    finally:
+        for proc in procs:
+            if proc.alive:
+                proc.kill()
+                await proc._reap()

@@ -1,0 +1,326 @@
+"""Partitioning a cluster into topology-region shards.
+
+A :class:`ShardPlan` is the static half of the sharded tier: given an
+assignment problem it decides, deterministically,
+
+* which **region** every device and server belongs to — read straight
+  off the topology graph when the instance carries region labels
+  (hierarchical families annotate subtrees; devices and servers
+  inherit their attachment router's label), and otherwise derived as
+  *pseudo-regions*: each server is its own region and a device belongs
+  to the region of its minimum-delay server, so locality still shapes
+  the cut;
+* which **shard** every region maps to, by consistent hashing of the
+  region id over the shard names (:mod:`repro.shard.ring`) — so region
+  → shard is stable under shard join/leave and identical in every
+  process that holds the same plan;
+* each shard's **sub-problem**: all devices × only that shard's
+  servers.  Keeping every device row means any shard can host any
+  device — which is exactly what failover spillover and cross-shard
+  migration need — while the capacity a shard manages is strictly its
+  own (shared-nothing).
+
+Shards that end up owning no servers are eliminated and the ring is
+rebuilt without them; consistent hashing guarantees only the removed
+shards' regions move.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError, ValidationError
+from repro.model.problem import AssignmentProblem
+from repro.shard.ring import DEFAULT_VNODES, ConsistentHashRing
+from repro.utils.validation import require
+
+
+def shard_name(index: int) -> str:
+    """Canonical shard name for slot ``index`` (``shard-0``, ...)."""
+    return f"shard-{int(index)}"
+
+
+def extract_regions(
+    problem: AssignmentProblem,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """``(device_regions, server_regions)`` for ``problem``.
+
+    Prefers the topology's own region labels; instances without them
+    (matrix-only, flat families) fall back to pseudo-regions where
+    server ``j`` is region ``j`` and each device joins its
+    minimum-delay server's region.
+    """
+    graph = problem.graph
+    if (
+        graph is not None
+        and graph.has_regions()
+        and problem.devices is not None
+        and problem.servers is not None
+    ):
+        server_regions = np.array(
+            [
+                -1 if (r := graph.region_of(s.node_id)) is None else int(r)
+                for s in problem.servers
+            ],
+            dtype=np.int64,
+        )
+        device_regions = np.array(
+            [
+                -1 if (r := graph.region_of(d.node_id)) is None else int(r)
+                for d in problem.devices
+            ],
+            dtype=np.int64,
+        )
+        return device_regions, server_regions
+    server_regions = np.arange(problem.n_servers, dtype=np.int64)
+    device_regions = np.argmin(problem.delay, axis=1).astype(np.int64)
+    return device_regions, server_regions
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's slice of the plan."""
+
+    name: str
+    regions: "tuple[int, ...]"
+    servers: "tuple[int, ...]"  # global server column indices, sorted
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic device/server → shard mapping for one cluster."""
+
+    shards: "tuple[ShardSpec, ...]"
+    device_regions: np.ndarray = field(repr=False)
+    n_servers: int = 0
+    vnodes: int = DEFAULT_VNODES
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ring = ConsistentHashRing(
+            [s.name for s in self.shards], vnodes=self.vnodes, seed=self.seed
+        )
+        object.__setattr__(self, "_ring", ring)
+        object.__setattr__(
+            self, "_by_name", {s.name: s for s in self.shards}
+        )
+        region_to_shard: "dict[int, str]" = {}
+        for spec in self.shards:
+            for region in spec.regions:
+                region_to_shard[int(region)] = spec.name
+        object.__setattr__(self, "_region_to_shard", region_to_shard)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> ConsistentHashRing:
+        """The ring over shard names (drives failover preference)."""
+        return self._ring  # type: ignore[attr-defined]
+
+    @property
+    def n_shards(self) -> int:
+        """Return n shards."""
+        return len(self.shards)
+
+    @property
+    def n_devices(self) -> int:
+        """Return n devices."""
+        return int(self.device_regions.shape[0])
+
+    def shard(self, name: str) -> ShardSpec:
+        """The spec named ``name``."""
+        spec = self._by_name.get(name)  # type: ignore[attr-defined]
+        if spec is None:
+            raise ValidationError(f"unknown shard {name!r}")
+        return spec
+
+    def shard_of_device(self, device: int) -> str:
+        """The shard owning ``device`` (via its region)."""
+        require(
+            0 <= device < self.n_devices,
+            f"device {device} out of range [0, {self.n_devices})",
+        )
+        region = int(self.device_regions[device])
+        owner = self._region_to_shard.get(region)  # type: ignore[attr-defined]
+        if owner is None:  # region unseen at plan time: ring decides
+            owner = self.ring.lookup(region)
+        return owner
+
+    def preference_of_device(self, device: int) -> "list[str]":
+        """Failover order for ``device``: owner first, ring successors after."""
+        require(
+            0 <= device < self.n_devices,
+            f"device {device} out of range [0, {self.n_devices})",
+        )
+        return self.ring.preference(int(self.device_regions[device]))
+
+    def devices_of_shard(self, name: str) -> np.ndarray:
+        """Global device indices whose home shard is ``name``."""
+        spec = self.shard(name)
+        regions = set(int(r) for r in spec.regions)
+        mask = np.array(
+            [int(r) in regions for r in self.device_regions], dtype=bool
+        )
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------
+    # sub-problem slicing
+    # ------------------------------------------------------------------
+    def subproblem(
+        self, problem: AssignmentProblem, name: str
+    ) -> AssignmentProblem:
+        """``name``'s shared-nothing slice: all devices × its servers.
+
+        Columns are that shard's servers only (its capacity is its
+        own); rows are *all* devices so spillover and migration can
+        land any device here.  ``failed_servers`` indices are remapped
+        to the slice's local columns.
+        """
+        spec = self.shard(name)
+        cols = np.array(spec.servers, dtype=np.int64)
+        require(cols.size >= 1, f"shard {name!r} has no servers")
+        local_failed = frozenset(
+            i for i, j in enumerate(spec.servers)
+            if j in problem.failed_servers
+        )
+        return AssignmentProblem(
+            delay=problem.delay[:, cols],
+            demand=problem.demand[:, cols],
+            capacity=problem.capacity[cols],
+            failed_servers=local_failed,
+            name=f"{problem.name}|{name}",
+        )
+
+    def global_server(self, name: str, local_server: int) -> int:
+        """Map a shard-local server column back to the global index."""
+        spec = self.shard(name)
+        require(
+            0 <= local_server < len(spec.servers),
+            f"local server {local_server} out of range for {name!r}",
+        )
+        return int(spec.servers[local_server])
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form (device regions as a flat int list)."""
+        return {
+            "vnodes": int(self.vnodes),
+            "seed": int(self.seed),
+            "n_servers": int(self.n_servers),
+            "device_regions": [int(r) for r in self.device_regions],
+            "shards": [
+                {
+                    "name": s.name,
+                    "regions": [int(r) for r in s.regions],
+                    "servers": [int(j) for j in s.servers],
+                }
+                for s in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardPlan":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            shards = tuple(
+                ShardSpec(
+                    name=str(s["name"]),
+                    regions=tuple(int(r) for r in s["regions"]),
+                    servers=tuple(int(j) for j in s["servers"]),
+                )
+                for s in payload["shards"]
+            )
+            return cls(
+                shards=shards,
+                device_regions=np.asarray(
+                    payload["device_regions"], dtype=np.int64
+                ),
+                n_servers=int(payload["n_servers"]),
+                vnodes=int(payload.get("vnodes", DEFAULT_VNODES)),
+                seed=int(payload.get("seed", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad shard plan payload: {exc}") from exc
+
+    def save(self, path: "str | Path") -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ShardPlan":
+        """Read a plan previously written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid shard plan JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(
+            f"{s.name}:{len(s.servers)}srv" for s in self.shards
+        )
+        return f"ShardPlan({self.n_devices} devices; {sizes})"
+
+
+def build_plan(
+    problem: AssignmentProblem,
+    n_shards: int,
+    vnodes: int = DEFAULT_VNODES,
+    seed: int = 0,
+) -> ShardPlan:
+    """Cut ``problem`` into at most ``n_shards`` region shards.
+
+    Regions come from :func:`extract_regions`; each region's shard is
+    its consistent-hash owner among ``shard-0 .. shard-{n-1}``.  Shards
+    left with no servers are dropped from the ring and their regions
+    re-looked-up (only those regions move), so every surviving shard
+    can actually host devices.
+    """
+    require(n_shards >= 1, f"n_shards must be >= 1, got {n_shards}")
+    device_regions, server_regions = extract_regions(problem)
+    names = [shard_name(i) for i in range(n_shards)]
+    ring = ConsistentHashRing(names, vnodes=vnodes, seed=seed)
+    regions = sorted(set(int(r) for r in server_regions))
+    while True:
+        owner = {r: ring.lookup(r) for r in regions}
+        servers_by_shard: "dict[str, list[int]]" = {n: [] for n in ring.shards}
+        for j, region in enumerate(server_regions):
+            servers_by_shard[owner[int(region)]].append(int(j))
+        empty = [n for n, js in servers_by_shard.items() if not js]
+        if not empty or len(ring) == 1:
+            break
+        for name in empty:
+            ring.remove_shard(name)
+    require(
+        any(servers_by_shard.values()),
+        "no shard received any servers",
+    )
+    regions_by_shard: "dict[str, list[int]]" = {n: [] for n in ring.shards}
+    all_regions = sorted(
+        set(int(r) for r in server_regions)
+        | set(int(r) for r in device_regions)
+    )
+    for region in all_regions:
+        regions_by_shard[ring.lookup(region)].append(region)
+    shards = tuple(
+        ShardSpec(
+            name=name,
+            regions=tuple(regions_by_shard[name]),
+            servers=tuple(sorted(servers_by_shard[name])),
+        )
+        for name in ring.shards
+    )
+    return ShardPlan(
+        shards=shards,
+        device_regions=device_regions,
+        n_servers=problem.n_servers,
+        vnodes=vnodes,
+        seed=seed,
+    )

@@ -1,0 +1,138 @@
+"""Consistent-hash ring mapping region ids to shards.
+
+The router must send every request for a device to the shard that owns
+the device's topology region — and keep doing so across router
+restarts, across processes, and across shard failures.  A consistent
+hash ring gives all three:
+
+* **deterministic** — positions are seeded sha256 digests, so every
+  router built with the same ``(shards, vnodes, seed)`` produces the
+  same ring (Python's built-in ``hash`` is salted per process and
+  cannot be used here);
+* **stable** — adding or removing one shard moves only the keys that
+  hashed into the arcs it owned, roughly ``1/n_shards`` of them, which
+  is what bounds the blast radius of a shard join/leave (the property
+  tests pin this);
+* **failover-ready** — :meth:`preference` walks the ring clockwise
+  from a key's position, yielding each shard exactly once; the first
+  entry is the owner and the rest are the spillover order the router
+  uses when the owner's circuit is open.
+
+Virtual nodes smooth the arc-length distribution: each shard is hashed
+onto the ring ``vnodes`` times, so the largest shard's share of key
+space concentrates toward ``1/n_shards`` as ``vnodes`` grows.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.utils.validation import require
+
+#: default virtual nodes per shard (arc-length smoothing)
+DEFAULT_VNODES = 64
+
+
+def _digest(seed: int, payload: str) -> int:
+    """Stable 64-bit ring position for ``payload`` under ``seed``."""
+    raw = hashlib.sha256(f"{seed}:{payload}".encode("utf-8")).digest()
+    return int.from_bytes(raw[:8], "big")
+
+
+class ConsistentHashRing:
+    """Seeded consistent-hash ring over string shard names."""
+
+    def __init__(
+        self,
+        shards: "list[str]",
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ) -> None:
+        require(len(shards) >= 1, "ring needs at least one shard")
+        require(len(set(shards)) == len(shards), "shard names must be unique")
+        require(vnodes >= 1, f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        self._shards: "list[str]" = sorted(shards)
+        self._positions: "list[int]" = []
+        self._owners: "list[str]" = []
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> "list[str]":
+        """Current member shards, sorted by name."""
+        return list(self._shards)
+
+    def add_shard(self, name: str) -> None:
+        """Join ``name``; only keys on its new arcs change owner."""
+        require(name not in self._shards, f"shard {name!r} already in ring")
+        self._shards = sorted(self._shards + [name])
+        self._rebuild()
+
+    def remove_shard(self, name: str) -> None:
+        """Leave ``name``; only its former keys change owner."""
+        require(name in self._shards, f"shard {name!r} not in ring")
+        require(len(self._shards) > 1, "cannot remove the last shard")
+        self._shards = [s for s in self._shards if s != name]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points: "list[tuple[int, str]]" = []
+        for shard in self._shards:
+            for v in range(self.vnodes):
+                # ties broken by name so the ring is order-independent
+                points.append((_digest(self.seed, f"{shard}#{v}"), shard))
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: "int | str") -> str:
+        """The shard owning ``key`` (first vnode clockwise of its hash)."""
+        index = bisect.bisect_right(
+            self._positions, _digest(self.seed, f"key:{key}")
+        ) % len(self._positions)
+        return self._owners[index]
+
+    def preference(self, key: "int | str") -> "list[str]":
+        """Failover order for ``key``: owner first, then ring successors.
+
+        Walks clockwise from the key's position and yields each
+        distinct shard once — the router tries these in order when a
+        shard's circuit breaker is open.
+        """
+        start = bisect.bisect_right(
+            self._positions, _digest(self.seed, f"key:{key}")
+        ) % len(self._positions)
+        seen: "set[str]" = set()
+        order: "list[str]" = []
+        for i in range(len(self._owners)):
+            owner = self._owners[(start + i) % len(self._owners)]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == len(self._shards):
+                    break
+        return order
+
+    def ownership(self, keys: "list[int | str]") -> "dict[str, int]":
+        """How many of ``keys`` each shard owns (diagnostics / tests)."""
+        counts = {shard: 0 for shard in self._shards}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConsistentHashRing({len(self._shards)} shards, "
+            f"vnodes={self.vnodes}, seed={self.seed})"
+        )

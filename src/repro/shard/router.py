@@ -1,0 +1,496 @@
+"""The shard router: one protocol front end over many shard backends.
+
+:class:`ShardRouter` is deliberately shaped like an
+:class:`~repro.serve.service.AssignmentService` — it exposes
+``started`` and ``submit_nowait`` — so the existing
+:class:`~repro.serve.server.TCPServer` serves it unchanged, and it is
+simultaneously shaped like a client (``send``/``flush``/``request``/
+``close``) so the existing load generator drives it unchanged.  The
+sharded tier is therefore invisible on the wire: same line-JSON
+protocol, same semantics, more cores behind it.
+
+Routing
+-------
+A device's **home shard** is the consistent-hash owner of its topology
+region (:class:`~repro.shard.partition.ShardPlan`).  An assign walks
+the ring's preference order starting at home: the first shard whose
+circuit breaker admits the request and answers ``ok`` wins.  A shard
+that is down (transport failure, circuit open) or full (``infeasible``)
+spills the device to the next ring successor — this is the failover
+path a shard kill exercises.  The router remembers where every device
+actually landed, so releases and migrations always reach the shard
+that holds the device, wherever it spilled.
+
+Shard sub-problems index servers locally; the router rewrites each
+``ok`` assign response's ``server`` back to the global index, so
+clients observe one coherent cluster.
+
+Rebalance
+---------
+A periodic loop gossips ``stats`` from every shard, then moves one
+bounded batch of devices per round: devices stranded off their home
+shard are repatriated first (failover debt), then load is shaved from
+the most- to the least-utilized shard when the utilization gap exceeds
+the configured threshold.  Each batch uses the ``migrate`` op's
+epoch compare-and-set — a donor whose state moved since the gossip
+snapshot rejects the batch and the round simply retries later, so
+migration always yields to foreground traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.errors import ShardUnavailableError
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.serve.protocol import Request, Response
+from repro.shard.partition import ShardPlan
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Every router knob in one place (see docs/serve.md)."""
+
+    rebalance_interval_s: "float | None" = None  # None disables the loop
+    migration_batch: int = 32
+    utilization_gap: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rebalance_interval_s is not None:
+            require(self.rebalance_interval_s > 0,
+                    "rebalance_interval_s must be > 0")
+        require(self.migration_batch >= 1, "migration_batch must be >= 1")
+        require(0 < self.utilization_gap <= 1,
+                "utilization_gap must be in (0, 1]")
+
+
+class ShardRouter:
+    """Consistent-hash front end over per-region shard backends."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        backends: "dict[str, object]",
+        config: "RouterConfig | None" = None,
+    ) -> None:
+        require(
+            set(backends) == {s.name for s in plan.shards},
+            "backends must cover exactly the plan's shards",
+        )
+        self.plan = plan
+        self.backends = dict(backends)
+        self.config = config or RouterConfig()
+        self._locations: "dict[int, str]" = {}  # device -> holding shard
+        self._gossip: "dict[str, dict]" = {}    # shard -> last stats seen
+        self._trips_seen: "dict[str, int]" = {}  # breaker trips published
+        self._rebalance_task: "asyncio.Task | None" = None
+        self._started = False
+        self.spillovers_total = 0
+        self.unroutable_total = 0
+        self.migrated_total = 0
+        self.migration_lost_total = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (service-shaped, so TCPServer can wrap the router)
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the router is accepting requests."""
+        return self._started
+
+    async def start(self) -> None:
+        """Accept requests; spawn the rebalance loop when configured."""
+        require(not self._started, "router is already started")
+        self._started = True
+        if self.config.rebalance_interval_s is not None:
+            self._rebalance_task = asyncio.create_task(
+                self._rebalance_loop(), name="shard-rebalance"
+            )
+
+    async def stop(self) -> None:
+        """Stop the rebalance loop and close every backend."""
+        self._started = False
+        if self._rebalance_task is not None:
+            self._rebalance_task.cancel()
+            try:
+                await self._rebalance_task
+            except asyncio.CancelledError:
+                pass
+            self._rebalance_task = None
+        for backend in self.backends.values():
+            await backend.close()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit_nowait(self, request: Request) -> "asyncio.Future[Response]":
+        """Route one request; the future resolves with the response."""
+        require(self._started, "router is not started")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Response]" = loop.create_future()
+        task = loop.create_task(self._route(request))
+
+        def _finish(t: "asyncio.Task") -> None:
+            if future.done():
+                return
+            exc = t.exception()
+            if exc is not None:
+                future.set_result(
+                    Response(
+                        id=request.id, status="error",
+                        detail=f"router failure: {exc}",
+                    )
+                )
+            else:
+                future.set_result(t.result())
+
+        task.add_done_callback(_finish)
+        return future
+
+    # client-shaped aliases so the load generator drives the router
+    # exactly like an InProcessClient
+    def send(self, request: Request) -> "asyncio.Future[Response]":
+        """Alias of :meth:`submit_nowait` (client surface)."""
+        return self.submit_nowait(request)
+
+    async def flush(self) -> None:
+        """No client-side buffering, nothing to flush."""
+
+    async def request(self, request: Request) -> Response:
+        """Submit one request and await its response."""
+        return await self.submit_nowait(request)
+
+    async def close(self) -> None:
+        """Client-surface alias of :meth:`stop`."""
+        if self._started:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(self, request: Request) -> Response:
+        registry = obs_runtime.metrics()
+        start_t = time.perf_counter()
+        try:
+            if request.op == "stats":
+                return Response(
+                    id=request.id, status="ok", stats=await self._stats()
+                )
+            if request.op == "assign":
+                return await self._route_assign(request)
+            if request.op == "release":
+                return await self._route_release(request)
+            return Response(
+                id=request.id, status="error",
+                detail=f"router does not accept op {request.op!r}",
+            )
+        finally:
+            registry.timer(obs_names.SHARD_ROUTE_LATENCY).observe(
+                time.perf_counter() - start_t
+            )
+
+    async def _route_assign(self, request: Request) -> Response:
+        registry = obs_runtime.metrics()
+        device = int(request.device)
+        if not 0 <= device < self.plan.n_devices:
+            return Response(
+                id=request.id, status="error",
+                detail=f"device {device} out of range "
+                       f"[0, {self.plan.n_devices})",
+            )
+        preference = self.plan.preference_of_device(device)
+        for rank, name in enumerate(preference):
+            backend = self.backends[name]
+            if not backend.breaker.allows():
+                continue
+            try:
+                response = await backend.request(request)
+            except ShardUnavailableError:
+                self._note_breaker(name)
+                continue
+            if response.status == "infeasible":
+                # this shard is full for the device: spill to successor
+                continue
+            if response.ok:
+                registry.counter(
+                    obs_names.SHARD_ROUTED, {"shard": name, "op": "assign"}
+                ).inc()
+                if rank > 0:
+                    self.spillovers_total += 1
+                    registry.counter(obs_names.SHARD_SPILLOVERS).inc()
+                self._locations[device] = name
+                registry.gauge(obs_names.SHARD_ACTIVE_DEVICES).set(
+                    len(self._locations)
+                )
+                return self._globalize(name, response)
+            return response  # rejected/error pass through untranslated
+        self.unroutable_total += 1
+        registry.counter(obs_names.SHARD_UNROUTABLE).inc()
+        return Response(
+            id=request.id, status="rejected",
+            detail="no shard available for device",
+            retry_after_ms=50.0,
+        )
+
+    async def _route_release(self, request: Request) -> Response:
+        registry = obs_runtime.metrics()
+        device = int(request.device)
+        name = self._locations.get(device)
+        if name is None:
+            # not tracked: let the home shard produce the protocol error
+            name = self.plan.shard_of_device(device) \
+                if 0 <= device < self.plan.n_devices \
+                else self.plan.shards[0].name
+        backend = self.backends[name]
+        tracked = device in self._locations
+        try:
+            response = await backend.request(request)
+        except ShardUnavailableError:
+            self._note_breaker(name)
+            # the holder died and its state died with it: the device
+            # IS released, just by crash instead of by request
+            self._locations.pop(device, None)
+            return Response(
+                id=request.id, status="ok",
+                detail=f"released by failure of shard {name}",
+            )
+        if response.ok:
+            registry.counter(
+                obs_names.SHARD_ROUTED, {"shard": name, "op": "release"}
+            ).inc()
+            self._locations.pop(device, None)
+            registry.gauge(obs_names.SHARD_ACTIVE_DEVICES).set(
+                len(self._locations)
+            )
+            return self._globalize(name, response)
+        if tracked and response.status == "error":
+            # the router saw this device assigned but the shard no
+            # longer holds it — the shard crashed and came back empty.
+            # Reconcile: the assignment is gone, so the release is done.
+            self._locations.pop(device, None)
+            return Response(
+                id=request.id, status="ok",
+                detail=f"reconciled after restart of shard {name}",
+            )
+        return response
+
+    def _globalize(self, name: str, response: Response) -> Response:
+        """Rewrite a shard-local server index to the global one."""
+        if response.server is None:
+            return response
+        return Response(
+            id=response.id,
+            status=response.status,
+            server=self.plan.global_server(name, int(response.server)),
+            latency_ms=response.latency_ms,
+            retry_after_ms=response.retry_after_ms,
+            detail=response.detail,
+            stats=response.stats,
+        )
+
+    def _note_breaker(self, name: str) -> None:
+        """Publish any new breaker trips for ``name`` as counter increments."""
+        trips = self.backends[name].breaker.trips
+        seen = self._trips_seen.get(name, 0)
+        if trips > seen:
+            self._trips_seen[name] = trips
+            obs_runtime.metrics().counter(
+                obs_names.SHARD_BREAKER_TRIPS, {"shard": name}
+            ).inc(trips - seen)
+
+    # ------------------------------------------------------------------
+    # stats aggregation
+    # ------------------------------------------------------------------
+    async def _stats(self) -> dict:
+        """Cluster-wide snapshot: per-shard stats plus aggregates."""
+        per_shard: "dict[str, dict]" = {}
+        results = await asyncio.gather(
+            *(self._shard_stats(name) for name in self.backends),
+            return_exceptions=True,
+        )
+        for name, result in zip(self.backends, results):
+            if isinstance(result, dict):
+                per_shard[name] = result
+                self._gossip[name] = result
+        totals = {
+            "devices": int(self.plan.n_devices),
+            "servers": int(self.plan.n_servers),
+            "shards": len(self.backends),
+            "shards_up": len(per_shard),
+            "active_devices": sum(
+                s.get("active_devices", 0) for s in per_shard.values()
+            ),
+            "assigns_total": sum(
+                s.get("assigns_total", 0) for s in per_shard.values()
+            ),
+            "releases_total": sum(
+                s.get("releases_total", 0) for s in per_shard.values()
+            ),
+            "total_delay_ms": round(
+                sum(s.get("total_delay_ms", 0.0) for s in per_shard.values()),
+                6,
+            ),
+            "spillovers_total": self.spillovers_total,
+            "unroutable_total": self.unroutable_total,
+            "migrated_total": self.migrated_total,
+            "migration_lost_total": self.migration_lost_total,
+            "breaker_states": {
+                name: backend.breaker.state
+                for name, backend in self.backends.items()
+            },
+            "per_shard": per_shard,
+        }
+        return totals
+
+    async def _shard_stats(self, name: str) -> dict:
+        backend = self.backends[name]
+        if not backend.breaker.allows():
+            raise ShardUnavailableError(f"shard {name!r} circuit open")
+        response = await backend.request(Request(op="stats"))
+        if not response.ok or response.stats is None:
+            raise ShardUnavailableError(f"shard {name!r} gave no stats")
+        return response.stats
+
+    # ------------------------------------------------------------------
+    # rebalance loop
+    # ------------------------------------------------------------------
+    async def _rebalance_loop(self) -> None:
+        assert self.config.rebalance_interval_s is not None
+        while True:
+            await asyncio.sleep(self.config.rebalance_interval_s)
+            try:
+                with obs_runtime.tracer().span(obs_names.SPAN_REBALANCE):
+                    await self.rebalance_once()
+            except ShardUnavailableError:
+                obs_runtime.metrics().counter(
+                    obs_names.SHARD_MIGRATION_ROUNDS, {"outcome": "failed"}
+                ).inc()
+
+    async def rebalance_once(self) -> int:
+        """One gossip + bounded-migration round; returns devices moved."""
+        registry = obs_runtime.metrics()
+        # gossip: refresh every reachable shard's stats (epochs included)
+        await self._stats()
+        batch = self._pick_migration_batch()
+        if not batch:
+            registry.counter(
+                obs_names.SHARD_MIGRATION_ROUNDS, {"outcome": "skipped"}
+            ).inc()
+            return 0
+        donor, target, devices = batch
+        gossip = self._gossip.get(donor)
+        if gossip is None or "epoch" not in gossip:
+            registry.counter(
+                obs_names.SHARD_MIGRATION_ROUNDS, {"outcome": "skipped"}
+            ).inc()
+            return 0
+        migrate = Request(
+            op="migrate",
+            devices=tuple(int(d) for d in devices),
+            epoch=int(gossip["epoch"]),
+        )
+        try:
+            response = await self.backends[donor].request(migrate)
+        except ShardUnavailableError:
+            registry.counter(
+                obs_names.SHARD_MIGRATION_ROUNDS, {"outcome": "failed"}
+            ).inc()
+            return 0
+        if response.status == "rejected":
+            # epoch CAS lost to foreground traffic: retry next round
+            registry.counter(
+                obs_names.SHARD_MIGRATION_ROUNDS, {"outcome": "stale"}
+            ).inc()
+            return 0
+        if not response.ok or response.stats is None:
+            registry.counter(
+                obs_names.SHARD_MIGRATION_ROUNDS, {"outcome": "failed"}
+            ).inc()
+            return 0
+        released = [int(d) for d in response.stats.get("released", ())]
+        moved = 0
+        for device in released:
+            self._locations.pop(device, None)
+            landed = await self._readmit(device, target, donor)
+            if landed is None:
+                self.migration_lost_total += 1
+                registry.counter(obs_names.SHARD_MIGRATION_LOST).inc()
+            else:
+                self._locations[device] = landed
+                if landed == target:
+                    moved += 1
+        self.migrated_total += moved
+        registry.counter(obs_names.SHARD_MIGRATIONS).inc(moved)
+        registry.counter(
+            obs_names.SHARD_MIGRATION_ROUNDS,
+            {"outcome": "moved" if moved else "failed"},
+        ).inc()
+        return moved
+
+    async def _readmit(
+        self, device: int, target: str, donor: str
+    ) -> "str | None":
+        """Re-place a released device: target first, donor as rollback,
+        then the rest of the ring.  Returns the shard that took it."""
+        order = [target, donor] + [
+            n for n in self.plan.preference_of_device(device)
+            if n not in (target, donor)
+        ]
+        request = Request(op="assign", device=device)
+        for name in order:
+            backend = self.backends[name]
+            if not backend.breaker.allows():
+                continue
+            try:
+                response = await backend.request(request)
+            except ShardUnavailableError:
+                continue
+            if response.ok:
+                return name
+        return None
+
+    def _pick_migration_batch(
+        self,
+    ) -> "tuple[str, str, list[int]] | None":
+        """Choose (donor, target, devices) for this round, or ``None``.
+
+        Priority 1 — repatriation: devices stranded off their home
+        shard (failover debt) go home as soon as home is reachable.
+        Priority 2 — load shaving: when the gossip utilization gap
+        exceeds the threshold, move the most-loaded shard's devices
+        toward the least-loaded one.
+        """
+        limit = self.config.migration_batch
+        # repatriation: group strays by (current shard, home shard)
+        strays: "dict[tuple[str, str], list[int]]" = {}
+        for device, current in self._locations.items():
+            home = self.plan.shard_of_device(device)
+            if home != current and self.backends[home].breaker.allows():
+                strays.setdefault((current, home), []).append(device)
+        if strays:
+            (donor, home), devices = max(
+                strays.items(), key=lambda kv: (len(kv[1]), kv[0])
+            )
+            return donor, home, sorted(devices)[:limit]
+        # load shaving needs fresh gossip from at least two shards
+        utils = {
+            name: float(g.get("mean_utilization", 0.0))
+            for name, g in self._gossip.items()
+            if self.backends[name].breaker.allows()
+        }
+        if len(utils) < 2:
+            return None
+        donor = max(utils, key=lambda n: (utils[n], n))
+        target = min(utils, key=lambda n: (utils[n], n))
+        if utils[donor] - utils[target] < self.config.utilization_gap:
+            return None
+        devices = sorted(
+            d for d, where in self._locations.items() if where == donor
+        )[:limit]
+        if not devices:
+            return None
+        return donor, target, devices

@@ -33,7 +33,7 @@ from repro.topology.generators import (
     watts_strogatz,
     waxman,
 )
-from repro.topology.graph import Link, NetworkGraph, Node, NodeKind
+from repro.topology.graph import CORE_REGION, Link, NetworkGraph, Node, NodeKind
 from repro.topology.measurement import ProbeDelayEstimator, noisy_problem
 from repro.topology.placement import PLACEMENT_STRATEGIES, place_edge_servers
 from repro.topology.routing import Path, all_pairs_delay, dijkstra, shortest_path
@@ -61,6 +61,7 @@ __all__ = [
     "random_geometric",
     "watts_strogatz",
     "waxman",
+    "CORE_REGION",
     "Link",
     "NetworkGraph",
     "Node",

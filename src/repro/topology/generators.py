@@ -38,7 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import TopologyError
-from repro.topology.graph import NetworkGraph, NodeKind
+from repro.topology.graph import CORE_REGION, NetworkGraph, NodeKind
 from repro.utils.rng import make_rng
 from repro.utils.validation import check_nonnegative, check_positive, check_probability, require
 
@@ -323,11 +323,16 @@ def edge_hierarchy(
     hierarchical deployment where a device near one leaf is many hops
     from a server under a different aggregation subtree even though the
     two can be geometrically adjacent.
+
+    Every router under the same top-level subtree (child of the root)
+    is stamped with that subtree's index as its ``region``; the root
+    itself carries :data:`~repro.topology.graph.CORE_REGION`.  Region
+    labels are what :mod:`repro.shard` partitions the cluster along.
     """
     require(depth >= 1, f"depth must be >= 1, got {depth}")
     require(fanout >= 1, f"fanout must be >= 1, got {fanout}")
     graph = NetworkGraph()
-    root = graph.add_node(NodeKind.ROUTER, (0.5, 0.95))
+    root = graph.add_node(NodeKind.ROUTER, (0.5, 0.95), region=CORE_REGION)
     frontier = [root]
     for level in range(1, depth):
         next_frontier: list[int] = []
@@ -335,9 +340,12 @@ def edge_hierarchy(
         y = 0.95 - 0.9 * level / max(depth - 1, 1)
         slot = 0
         for parent in frontier:
+            parent_region = graph.region_of(parent)
             for _ in range(fanout):
                 x = (slot + 0.5) / width
-                child = graph.add_node(NodeKind.ROUTER, (x, y))
+                # level-1 children found the regions; deeper tiers inherit
+                region = slot if level == 1 else parent_region
+                child = graph.add_node(NodeKind.ROUTER, (x, y), region=region)
                 _connect(graph, parent, child, profile)
                 next_frontier.append(child)
                 slot += 1
@@ -349,7 +357,9 @@ def fat_tree(k: int = 4, profile: LinkProfile = BACKBONE) -> NetworkGraph:
     """k-ary fat tree (Al-Fares et al.): (k/2)^2 core, k pods of k switches.
 
     ``k`` must be even and >= 2.  Edge-tier switches are the leaves
-    devices and servers attach to.
+    devices and servers attach to.  Pod switches carry their pod index
+    as ``region``; core switches carry
+    :data:`~repro.topology.graph.CORE_REGION`.
     """
     require(k >= 2 and k % 2 == 0, f"k must be an even integer >= 2, got {k}")
     graph = NetworkGraph()
@@ -357,14 +367,14 @@ def fat_tree(k: int = 4, profile: LinkProfile = BACKBONE) -> NetworkGraph:
     core_ids = []
     for i in range(half * half):
         x = (i + 0.5) / (half * half)
-        core_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.95)))
+        core_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.95), region=CORE_REGION))
     for pod in range(k):
         agg_ids = []
         edge_ids = []
         for s in range(half):
             x = (pod + (s + 0.5) / half) / k
-            agg_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.6)))
-            edge_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.25)))
+            agg_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.6), region=pod))
+            edge_ids.append(graph.add_node(NodeKind.ROUTER, (x, 0.25), region=pod))
         for agg in agg_ids:
             for edge in edge_ids:
                 _connect(graph, agg, edge, profile)
@@ -403,12 +413,15 @@ def attach_iot_devices(
     router_pos = np.array([graph.node(r).position for r in routers])
     for _ in range(n_devices):
         position = tuple(rng.random(2))
-        device = graph.add_node(NodeKind.IOT_DEVICE, position)
         if strategy == "nearest":
             deltas = router_pos - np.asarray(position)
             gateway = routers[int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))]
         else:
             gateway = routers[int(rng.integers(len(routers)))]
+        # a device's region is its gateway's: shard routing keys off it
+        device = graph.add_node(
+            NodeKind.IOT_DEVICE, position, region=graph.region_of(gateway)
+        )
         _connect(graph, device, gateway, profile)
         device_ids.append(device)
     return device_ids

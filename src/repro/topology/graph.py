@@ -34,6 +34,10 @@ class NodeKind(enum.Enum):
     IOT_DEVICE = "iot_device"
 
 
+#: region label of core/root nodes that belong to no specific subtree
+CORE_REGION = -1
+
+
 @dataclass(frozen=True)
 class Node:
     """A vertex of the network graph.
@@ -41,11 +45,20 @@ class Node:
     ``position`` is a point in the unit square; geometric generators
     use it for link lengths, and the Euclidean ablation delay model
     reads it directly.
+
+    ``region`` is the topology-region (subtree / pod) label assigned
+    by the hierarchical generators: every node under the same
+    top-level subtree shares a region id, core nodes carry
+    :data:`CORE_REGION`, and flat families leave it ``None``.  Devices
+    and servers inherit the region of the router they attach to, so
+    shard boundaries (:mod:`repro.shard`) are read straight off the
+    graph instead of recomputed downstream.
     """
 
     node_id: int
     kind: NodeKind
     position: tuple[float, float] = (0.0, 0.0)
+    region: "int | None" = None
 
 
 @dataclass(frozen=True)
@@ -104,6 +117,7 @@ class NetworkGraph:
         kind: NodeKind,
         position: tuple[float, float] = (0.0, 0.0),
         node_id: "int | None" = None,
+        region: "int | None" = None,
     ) -> int:
         """Add a node and return its id.
 
@@ -112,7 +126,10 @@ class NetworkGraph:
         if node_id is None:
             node_id = self._next_id
         require(node_id not in self._nodes, f"node {node_id} already exists")
-        self._nodes[node_id] = Node(node_id, kind, (float(position[0]), float(position[1])))
+        self._nodes[node_id] = Node(
+            node_id, kind, (float(position[0]), float(position[1])),
+            region=None if region is None else int(region),
+        )
         self._adj[node_id] = {}
         self._next_id = max(self._next_id, node_id + 1)
         return node_id
@@ -145,6 +162,27 @@ class NetworkGraph:
         """Update a node's position (used by the mobility model)."""
         node = self.node(node_id)
         self._nodes[node_id] = replace(node, position=(float(position[0]), float(position[1])))
+
+    def set_region(self, node_id: int, region: "int | None") -> None:
+        """Stamp a node with its topology-region label."""
+        node = self.node(node_id)
+        self._nodes[node_id] = replace(
+            node, region=None if region is None else int(region)
+        )
+
+    def region_of(self, node_id: int) -> "int | None":
+        """The node's region label (``None`` on unlabeled graphs)."""
+        return self.node(node_id).region
+
+    def regions(self, kind: "NodeKind | None" = None) -> "list[int]":
+        """Distinct region labels present (sorted; ``None`` excluded)."""
+        return sorted(
+            {n.region for n in self.nodes(kind) if n.region is not None}
+        )
+
+    def has_regions(self) -> bool:
+        """Whether any node carries a region label."""
+        return any(n.region is not None for n in self._nodes.values())
 
     # ------------------------------------------------------------------
     # queries

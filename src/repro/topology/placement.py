@@ -119,7 +119,10 @@ def place_edge_servers(
     server_ids: list[int] = []
     for host in hosts:
         hx, hy = graph.node(host).position
-        server = graph.add_node(NodeKind.EDGE_SERVER, (hx, hy))
+        # servers inherit their host router's region for shard slicing
+        server = graph.add_node(
+            NodeKind.EDGE_SERVER, (hx, hy), region=graph.region_of(host)
+        )
         graph.add_link(
             server,
             host,

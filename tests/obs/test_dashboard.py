@@ -80,6 +80,30 @@ class TestRenderDashboard:
         assert "swapped=1" in text
         assert "12.5" in text
 
+    def test_shard_section_renders(self):
+        registry = MetricsRegistry()
+        registry.counter("shard/routed", {"shard": "shard-0", "op": "assign"}).inc(60)
+        registry.counter("shard/routed", {"shard": "shard-1", "op": "assign"}).inc(40)
+        registry.counter("shard/spillovers").inc(5)
+        registry.counter("shard/unroutable").inc(1)
+        registry.counter("shard/migrated_devices").inc(8)
+        registry.counter("shard/breaker_trips", {"shard": "shard-0"}).inc(2)
+        registry.counter("shard/migration_rounds", {"outcome": "moved"}).inc(3)
+        registry.gauge("shard/active_devices").set(17)
+        registry.timer("shard/route_latency_s").observe(0.001)
+        text = render_dashboard(collect(registry))
+        assert "## shard" in text
+        assert "100" in text  # routed summed across shards and ops
+        assert "spillovers" in text
+        assert "shard-0=2" in text
+        assert "moved=3" in text
+        assert "17" in text
+
+    def test_shard_section_absent_without_shard_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("serve/requests").inc()
+        assert "## shard" not in render_dashboard(collect(registry))
+
     def test_serve_section_absent_without_serve_metrics(self):
         registry = MetricsRegistry()
         registry.counter("engine/jobs_scheduled").inc()

@@ -46,6 +46,10 @@ class TestMeasure:
         assert "serve_loadtest_p99" in PROBES
         assert "serve_throughput" in PROBES
 
+    def test_shard_probes_registered(self):
+        assert "shard_loadtest_p99" in PROBES
+        assert "shard_route_throughput" in PROBES
+
     def test_value_returning_probe_reports_its_value(self, monkeypatch):
         from repro.perf import probes as probes_mod
 

@@ -44,6 +44,19 @@ class TestRequest:
         with pytest.raises(ValidationError, match="device"):
             Request(op="assign")
 
+    def test_migrate_roundtrip(self):
+        request = Request(op="migrate", id=9, devices=(3, 1, 4), epoch=17)
+        decoded = decode_request(encode_line(request))
+        assert decoded == request
+        assert decoded.devices == (3, 1, 4)
+        assert decoded.epoch == 17
+
+    def test_migrate_requires_devices_and_epoch(self):
+        with pytest.raises(ValidationError, match="devices"):
+            Request(op="migrate", epoch=1)
+        with pytest.raises(ValidationError, match="epoch"):
+            Request(op="migrate", devices=(0,))
+
     def test_negative_device_rejected(self):
         with pytest.raises(ValidationError, match="device"):
             Request(op="release", device=-1)
@@ -85,5 +98,5 @@ class TestConstants:
         assert PRIORITY_CLASSES == ("low", "normal", "high")
 
     def test_catalog_constants(self):
-        assert set(OPS) == {"assign", "release", "stats"}
+        assert set(OPS) == {"assign", "release", "stats", "migrate"}
         assert set(STATUSES) == {"ok", "rejected", "infeasible", "error"}

@@ -139,6 +139,21 @@ class TestClientEdges:
 
         run(scenario())
 
+    def test_send_after_close_is_transport_failure(self):
+        # a connection torn down under a concurrent sender must look
+        # like the peer dying (OSError), not like an API misuse — the
+        # shard backend relies on this to spill over instead of erroring
+        async def scenario():
+            service, server = await _started_stack()
+            client = await open_client(server.host, server.port)
+            await client.close()
+            with pytest.raises(ConnectionResetError, match="closed"):
+                client.send(Request(op="stats"))
+            await server.stop()
+            await service.stop()
+
+        run(scenario())
+
     def test_server_requires_started_service(self):
         async def scenario():
             problem = random_instance(10, 3, tightness=0.5, seed=1)

@@ -70,3 +70,73 @@ class TestEpochAndSwap:
         epoch, _ = state.snapshot()
         with pytest.raises(ValidationError, match="length"):
             state.try_swap(epoch, np.zeros(3, dtype=np.int64))
+
+
+class TestIncrementalTotalDelay:
+    def test_tracks_recomputation_through_mutations(self, state):
+        rng = np.random.default_rng(11)
+        held: "list[int]" = []
+        for _ in range(200):
+            if held and rng.random() < 0.45:
+                state.release(held.pop(int(rng.integers(len(held)))))
+            else:
+                candidates = [d for d in range(state.problem.n_devices)
+                              if d not in held]
+                if not candidates:
+                    continue
+                device = candidates[int(rng.integers(len(candidates)))]
+                state.assign(device)
+                held.append(device)
+            assert state.total_delay_s == pytest.approx(
+                state.recompute_total_delay_s(), rel=1e-12, abs=1e-15
+            )
+
+    def test_swap_reanchors_the_sum(self, state):
+        state.assign(0)
+        state.assign(1)
+        epoch, vector = state.snapshot()
+        moved = vector.copy()
+        moved[0] = (moved[0] + 1) % state.problem.n_servers
+        assert state.try_swap(epoch, moved)
+        assert state.total_delay_s == pytest.approx(
+            state.recompute_total_delay_s(), rel=1e-12
+        )
+
+    def test_empty_state_has_zero_delay(self, state):
+        assert state.total_delay_s == 0.0
+        state.assign(2)
+        state.release(2)
+        assert state.total_delay_s == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMigrateOut:
+    def test_releases_requested_devices_on_matching_epoch(self, state):
+        state.assign(0)
+        state.assign(1)
+        state.assign(2)
+        released = state.migrate_out([0, 2], state.epoch)
+        assert released == [0, 2]
+        assert state.vector[0] == UNASSIGNED
+        assert state.vector[2] == UNASSIGNED
+        assert state.vector[1] != UNASSIGNED
+        assert state.total_delay_s == pytest.approx(
+            state.recompute_total_delay_s(), rel=1e-12
+        )
+
+    def test_stale_epoch_rejected(self, state):
+        state.assign(0)
+        epoch = state.epoch
+        state.assign(1)  # foreground traffic invalidates the snapshot
+        assert state.migrate_out([0], epoch) is None
+        assert state.vector[0] != UNASSIGNED
+
+    def test_unassigned_devices_skipped_not_errors(self, state):
+        state.assign(0)
+        released = state.migrate_out([0, 5, 99999], state.epoch)
+        assert released == [0]
+
+    def test_empty_batch_is_a_noop(self, state):
+        state.assign(0)
+        epoch = state.epoch
+        assert state.migrate_out([5], epoch) == []
+        assert state.epoch == epoch  # nothing held, nothing swapped

@@ -1,0 +1,98 @@
+"""Circuit breaker state machine and the in-process backend."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ShardUnavailableError, ValidationError
+from repro.model.instances import random_instance
+from repro.serve.protocol import Request
+from repro.serve.service import AssignmentService, ServiceConfig
+from repro.shard.backend import CircuitBreaker, InProcessBackend
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allows()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allows()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allows()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allows()
+        clock.t = 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allows()  # one probe admitted
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_after_s=5.0, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.t = 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValidationError):
+            CircuitBreaker(reset_after_s=0)
+
+
+class TestInProcessBackend:
+    def test_forwards_and_closes_breaker_loop(self):
+        async def scenario():
+            problem = random_instance(10, 3, tightness=0.6, seed=2)
+            service = AssignmentService(problem, ServiceConfig(max_wait_s=0.0))
+            await service.start()
+            backend = InProcessBackend("shard-0", service)
+            response = await backend.request(Request(op="assign", device=0))
+            assert response.ok
+            assert backend.breaker.state == CircuitBreaker.CLOSED
+            await service.stop()
+            with pytest.raises(ShardUnavailableError):
+                await backend.request(Request(op="assign", device=1))
+
+        run(scenario())

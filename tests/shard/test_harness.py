@@ -1,0 +1,110 @@
+"""Harness pieces: goodput bookkeeping, plan agreement, and one real
+multi-process cluster smoke (subprocess spawn, TCP load, clean stop)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.loadtest import LoadTestConfig
+from repro.shard.harness import (
+    HarnessConfig,
+    RecordingClient,
+    run_sharded_loadtest,
+)
+from repro.utils.validation import ValidationError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRecordingClient:
+    def make(self, records):
+        client = RecordingClient(inner=object())
+        client.records = records
+        return client
+
+    def test_timeline_buckets_and_goodput(self):
+        client = self.make([
+            (0.1, "ok", "assign"),
+            (0.2, "ok", "release"),
+            (0.3, "rejected", "assign"),
+            (0.6, "ok", "assign"),
+            (0.7, "error", "assign"),
+        ])
+        timeline = client.timeline(window_s=0.5)
+        assert timeline == [
+            {"t0": 0.0, "ok": 2, "total": 3, "goodput": round(2 / 3, 6)},
+            {"t0": 0.5, "ok": 1, "total": 2, "goodput": 0.5},
+        ]
+
+    def test_stats_responses_excluded(self):
+        client = self.make([
+            (0.1, "ok", "stats"),
+            (0.2, "ok", "assign"),
+        ])
+        assert client.timeline(0.5) == [
+            {"t0": 0.0, "ok": 1, "total": 1, "goodput": 1.0}
+        ]
+        assert client.goodput_over(0.0, 1.0) == 1.0
+
+    def test_goodput_over_window(self):
+        client = self.make([
+            (0.1, "ok", "assign"),
+            (0.4, "error", "assign"),
+            (0.9, "error", "assign"),
+        ])
+        assert client.goodput_over(0.0, 0.5) == 0.5
+        assert client.goodput_over(0.5, 1.0) == 0.0
+        assert client.goodput_over(5.0, 6.0) == 1.0  # silence counts clean
+
+    def test_bad_window_rejected(self):
+        client = self.make([])
+        with pytest.raises(ValidationError):
+            client.timeline(0.0)
+
+
+class TestHarnessConfig:
+    def test_plan_is_deterministic_across_builds(self):
+        config = HarnessConfig(n_shards=3, seed=5)
+        assert config.plan().to_dict() == config.plan().to_dict()
+
+    def test_instance_argv_matches_problem(self):
+        config = HarnessConfig(devices=50, servers=6, seed=9)
+        argv = config.instance_argv()
+        assert "--devices" in argv and "50" in argv
+        assert config.problem().n_devices == 50
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HarnessConfig(n_shards=0)
+
+
+class TestSubprocessCluster:
+    """Spawns real ``repro shard serve`` processes — the slowest test
+    in the suite, kept to one small cluster and one short run."""
+
+    def test_loadtest_smoke_clean_run(self):
+        async def scenario():
+            config = HarnessConfig(
+                n_shards=2, routers=15, devices=40, servers=4,
+                tightness=0.7, seed=1,
+            )
+            load = LoadTestConfig(
+                n_requests=200, profile="closed", concurrency=8,
+                rate_hz=2000.0, seed=1,
+            )
+            return await run_sharded_loadtest(config, load)
+
+        result = run(scenario())
+        assert result.report.n_requests == 200
+        assert result.report.errors == 0
+        assert len(result.plan_shards) >= 1
+        assert set(result.ports) == set(result.plan_shards)
+        assert result.fault_log == []
+        # every shard exited 0 on SIGTERM
+        assert all(code == 0 for code in result.shutdown_codes.values())
+        # the run produced a goodput timeline with real traffic in it
+        assert sum(w["total"] for w in result.timeline) == 200

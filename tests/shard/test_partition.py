@@ -1,0 +1,149 @@
+"""Shard plans: region extraction, slicing, and the JSON round-trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError, ValidationError
+from repro.model.instances import random_instance, topology_instance
+from repro.model.problem import AssignmentProblem
+from repro.shard.partition import ShardPlan, build_plan, extract_regions, shard_name
+
+
+@pytest.fixture
+def labeled_problem():
+    """A hierarchical instance whose graph carries region labels."""
+    return topology_instance(
+        family="edge_hierarchy", n_routers=40, n_devices=60,
+        n_servers=8, tightness=0.7, seed=3,
+    )
+
+
+@pytest.fixture
+def matrix_problem():
+    """A matrix-only instance: no graph, pseudo-regions apply."""
+    return random_instance(30, 5, tightness=0.6, seed=7)
+
+
+class TestExtractRegions:
+    def test_labeled_graph_regions_used(self, labeled_problem):
+        device_regions, server_regions = extract_regions(labeled_problem)
+        graph = labeled_problem.graph
+        for i, d in enumerate(labeled_problem.devices):
+            assert device_regions[i] == graph.region_of(d.node_id)
+        for j, s in enumerate(labeled_problem.servers):
+            assert server_regions[j] == graph.region_of(s.node_id)
+
+    def test_matrix_fallback_is_pseudo_regions(self, matrix_problem):
+        device_regions, server_regions = extract_regions(matrix_problem)
+        assert list(server_regions) == list(range(matrix_problem.n_servers))
+        expected = np.argmin(matrix_problem.delay, axis=1)
+        assert list(device_regions) == list(expected)
+
+
+class TestBuildPlan:
+    def test_every_server_in_exactly_one_shard(self, labeled_problem):
+        plan = build_plan(labeled_problem, 3)
+        owned = sorted(j for s in plan.shards for j in s.servers)
+        assert owned == list(range(labeled_problem.n_servers))
+
+    def test_no_empty_shards_survive(self, matrix_problem):
+        # asking for more shards than regions forces elimination
+        plan = build_plan(matrix_problem, 4)
+        assert all(len(s.servers) >= 1 for s in plan.shards)
+        assert 1 <= plan.n_shards <= 4
+
+    def test_deterministic(self, labeled_problem):
+        a = build_plan(labeled_problem, 3, seed=1)
+        b = build_plan(labeled_problem, 3, seed=1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_home_shard_consistent_with_devices_of_shard(self, labeled_problem):
+        plan = build_plan(labeled_problem, 3)
+        for spec in plan.shards:
+            for device in plan.devices_of_shard(spec.name):
+                assert plan.shard_of_device(int(device)) == spec.name
+
+    def test_preference_starts_at_home(self, labeled_problem):
+        plan = build_plan(labeled_problem, 3)
+        for device in range(plan.n_devices):
+            order = plan.preference_of_device(device)
+            assert order[0] == plan.shard_of_device(device)
+            assert sorted(order) == sorted(s.name for s in plan.shards)
+
+    def test_invalid_shard_count_rejected(self, matrix_problem):
+        with pytest.raises(ValidationError):
+            build_plan(matrix_problem, 0)
+
+
+class TestSubproblem:
+    def test_slice_shapes_and_values(self, labeled_problem):
+        plan = build_plan(labeled_problem, 3)
+        spec = plan.shards[0]
+        sub = plan.subproblem(labeled_problem, spec.name)
+        cols = np.array(spec.servers)
+        assert sub.n_devices == labeled_problem.n_devices
+        assert sub.n_servers == len(spec.servers)
+        assert np.array_equal(sub.delay, labeled_problem.delay[:, cols])
+        assert np.array_equal(sub.demand, labeled_problem.demand[:, cols])
+        assert np.array_equal(sub.capacity, labeled_problem.capacity[cols])
+        assert spec.name in sub.name
+
+    def test_failed_servers_remapped_to_local_columns(self, matrix_problem):
+        plan = build_plan(matrix_problem, 2)
+        spec = max(plan.shards, key=lambda s: len(s.servers))
+        failed_global = spec.servers[-1]
+        broken = AssignmentProblem(
+            delay=matrix_problem.delay,
+            demand=matrix_problem.demand,
+            capacity=matrix_problem.capacity,
+            failed_servers=frozenset({failed_global}),
+        )
+        sub = plan.subproblem(broken, spec.name)
+        assert sub.failed_servers == frozenset({len(spec.servers) - 1})
+
+    def test_global_server_roundtrip(self, labeled_problem):
+        plan = build_plan(labeled_problem, 3)
+        for spec in plan.shards:
+            for local, global_j in enumerate(spec.servers):
+                assert plan.global_server(spec.name, local) == global_j
+
+    def test_global_server_out_of_range(self, labeled_problem):
+        plan = build_plan(labeled_problem, 3)
+        name = plan.shards[0].name
+        with pytest.raises(ValidationError):
+            plan.global_server(name, len(plan.shards[0].servers))
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, labeled_problem):
+        plan = build_plan(labeled_problem, 3)
+        clone = ShardPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert all(
+            clone.shard_of_device(d) == plan.shard_of_device(d)
+            for d in range(plan.n_devices)
+        )
+
+    def test_file_roundtrip(self, matrix_problem, tmp_path):
+        plan = build_plan(matrix_problem, 2)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert ShardPlan.load(path).to_dict() == plan.to_dict()
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(SerializationError):
+            ShardPlan.from_dict({"shards": "nope"})
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            ShardPlan.load(path)
+
+
+class TestNames:
+    def test_canonical_names(self):
+        assert shard_name(0) == "shard-0"
+        assert shard_name(11) == "shard-11"

@@ -1,0 +1,117 @@
+"""Consistent-hash ring: determinism, stability, preference order."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.shard.ring import ConsistentHashRing
+
+
+def names(n: int) -> "list[str]":
+    return [f"shard-{i}" for i in range(n)]
+
+
+ring_params = st.tuples(
+    st.integers(min_value=2, max_value=8),     # shards
+    st.integers(min_value=1, max_value=128),   # vnodes
+    st.integers(min_value=0, max_value=2**31), # seed
+)
+
+
+class TestDeterminism:
+    @given(ring_params)
+    def test_same_parameters_same_ring(self, params):
+        n, vnodes, seed = params
+        a = ConsistentHashRing(names(n), vnodes=vnodes, seed=seed)
+        b = ConsistentHashRing(names(n), vnodes=vnodes, seed=seed)
+        assert all(a.lookup(k) == b.lookup(k) for k in range(200))
+        assert all(a.preference(k) == b.preference(k) for k in range(50))
+
+    @given(ring_params)
+    def test_insertion_order_irrelevant(self, params):
+        n, vnodes, seed = params
+        forward = ConsistentHashRing(names(n), vnodes=vnodes, seed=seed)
+        backward = ConsistentHashRing(
+            list(reversed(names(n))), vnodes=vnodes, seed=seed
+        )
+        assert all(
+            forward.lookup(k) == backward.lookup(k) for k in range(200)
+        )
+
+    def test_different_seeds_differ(self):
+        a = ConsistentHashRing(names(4), seed=0)
+        b = ConsistentHashRing(names(4), seed=1)
+        assert any(a.lookup(k) != b.lookup(k) for k in range(200))
+
+
+class TestStability:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=2**31))
+    def test_join_moves_bounded_key_fraction(self, n, seed):
+        """Adding one shard remaps roughly 1/(n+1) of keys, never most."""
+        keys = list(range(2000))
+        before = ConsistentHashRing(names(n), seed=seed)
+        after = ConsistentHashRing(names(n), seed=seed)
+        after.add_shard(f"shard-{n}")
+        moved = sum(before.lookup(k) != after.lookup(k) for k in keys)
+        expected = len(keys) / (n + 1)
+        assert moved <= 3 * expected
+        # every key that moved landed on the new shard
+        assert all(
+            after.lookup(k) == f"shard-{n}"
+            for k in keys
+            if before.lookup(k) != after.lookup(k)
+        )
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=3, max_value=8),
+           st.integers(min_value=0, max_value=2**31))
+    def test_leave_moves_only_departed_keys(self, n, seed):
+        keys = list(range(2000))
+        before = ConsistentHashRing(names(n), seed=seed)
+        after = ConsistentHashRing(names(n), seed=seed)
+        after.remove_shard("shard-0")
+        for k in keys:
+            if before.lookup(k) != "shard-0":
+                assert after.lookup(k) == before.lookup(k)
+            else:
+                assert after.lookup(k) != "shard-0"
+
+    def test_vnodes_smooth_the_distribution(self):
+        keys = list(range(5000))
+        counts = ConsistentHashRing(names(4), vnodes=128, seed=0).ownership(keys)
+        assert max(counts.values()) < 2.0 * len(keys) / 4
+
+
+class TestPreference:
+    @given(ring_params, st.integers(min_value=0, max_value=999))
+    def test_preference_is_a_permutation_starting_at_owner(self, params, key):
+        n, vnodes, seed = params
+        ring = ConsistentHashRing(names(n), vnodes=vnodes, seed=seed)
+        order = ring.preference(key)
+        assert order[0] == ring.lookup(key)
+        assert sorted(order) == sorted(ring.shards)
+
+
+class TestValidation:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValidationError):
+            ConsistentHashRing([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ConsistentHashRing(["a", "a"])
+
+    def test_cannot_remove_last_shard(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValidationError):
+            ring.remove_shard("a")
+
+    def test_double_add_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValidationError):
+            ring.add_shard("a")

@@ -165,3 +165,39 @@ class TestCopy:
         graph, _ = triangle
         clone = graph.copy()
         assert clone.add_node(NodeKind.ROUTER) == graph.n_nodes
+
+
+class TestRegions:
+    def test_unlabeled_graph_has_no_regions(self, triangle):
+        graph, (a, _, _) = triangle
+        assert not graph.has_regions()
+        assert graph.regions() == []
+        assert graph.region_of(a) is None
+
+    def test_set_region_stamps_and_lists(self, triangle):
+        graph, (a, b, c) = triangle
+        graph.set_region(a, 0)
+        graph.set_region(b, 1)
+        graph.set_region(c, 1)
+        assert graph.has_regions()
+        assert graph.regions() == [0, 1]
+        assert graph.region_of(c) == 1
+
+    def test_set_region_none_clears(self, triangle):
+        graph, (a, _, _) = triangle
+        graph.set_region(a, 3)
+        graph.set_region(a, None)
+        assert not graph.has_regions()
+
+    def test_regions_filter_by_kind(self, triangle):
+        graph, (a, _, _) = triangle
+        graph.set_region(a, 0)
+        device = graph.add_node(NodeKind.IOT_DEVICE, region=7)
+        assert graph.regions(NodeKind.IOT_DEVICE) == [7]
+        assert graph.regions(NodeKind.ROUTER) == [0]
+        assert graph.region_of(device) == 7
+
+    def test_copy_preserves_regions(self, triangle):
+        graph, (a, _, _) = triangle
+        graph.set_region(a, 4)
+        assert graph.copy().region_of(a) == 4

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.topology.generators import edge_hierarchy, fat_tree, grid
-from repro.topology.graph import NodeKind
+from repro.topology.generators import attach_iot_devices, edge_hierarchy, fat_tree, grid
+from repro.topology.graph import CORE_REGION, NodeKind
+from repro.topology.placement import place_edge_servers
 from repro.topology.routing import dijkstra, shortest_path
 
 
@@ -98,3 +99,41 @@ class TestGridStructure:
         graph = grid(2, 5)
         assert graph.n_nodes == 10
         assert graph.n_links == 2 * 4 + 5 * 1
+
+
+class TestRegionLabels:
+    def test_hierarchy_subtrees_are_regions(self):
+        graph = edge_hierarchy(depth=3, fanout=3)
+        root = 0
+        assert graph.region_of(root) == CORE_REGION
+        # one region per top-level subtree (plus the core label),
+        # and every deeper router inherits its subtree's label
+        assert graph.regions(NodeKind.ROUTER) == [CORE_REGION, 0, 1, 2]
+        for child in graph.neighbors(root):
+            region = graph.region_of(child)
+            for grandchild in graph.neighbors(child):
+                if grandchild != root:
+                    assert graph.region_of(grandchild) == region
+
+    def test_fat_tree_pods_are_regions(self):
+        k = 4
+        graph = fat_tree(k)
+        assert graph.regions(NodeKind.ROUTER) == [CORE_REGION] + list(range(k))
+        core = [n for n in graph.nodes(NodeKind.ROUTER) if n.region == CORE_REGION]
+        assert len(core) == (k // 2) ** 2
+
+    def test_devices_inherit_gateway_region(self):
+        graph = edge_hierarchy(depth=3, fanout=2)
+        attach_iot_devices(graph, 20, seed=3)
+        for node in graph.nodes(NodeKind.IOT_DEVICE):
+            gateways = list(graph.neighbors(node.node_id))
+            assert len(gateways) == 1
+            assert node.region == graph.region_of(gateways[0])
+
+    def test_servers_inherit_host_region(self):
+        graph = fat_tree(4)
+        place_edge_servers(graph, 4, strategy="spread", seed=1)
+        for node in graph.nodes(NodeKind.EDGE_SERVER):
+            hosts = list(graph.neighbors(node.node_id))
+            assert len(hosts) == 1
+            assert node.region == graph.region_of(hosts[0])
