@@ -140,6 +140,7 @@ class TCPClient:
         self._pending: "dict[int, asyncio.Future[Response]]" = {}
         self._next_id = 0
         self._connected_once = False
+        self._dead = False  # dispatcher exited: nothing will ever resolve
 
     async def connect(self) -> None:
         """Open the connection and start the response dispatcher."""
@@ -147,6 +148,7 @@ class TCPClient:
             self.host, self.port
         )
         self._connected_once = True
+        self._dead = False
         self._reader_task = asyncio.create_task(self._dispatch_responses())
 
     def send(self, request: Request) -> "asyncio.Future[Response]":
@@ -155,11 +157,13 @@ class TCPClient:
         A request with ``id == 0`` is stamped with a fresh client id so
         pipelined responses can be matched.
         """
-        if self._writer is None:
+        if self._writer is None or self._dead:
             if self._connected_once:
                 # closed under a concurrent sender (e.g. the peer died
-                # and a failure handler dropped the connection): surface
-                # as the transport failure it is, not an API misuse
+                # and a failure handler dropped the connection), or the
+                # dispatcher already exited — a write would "succeed"
+                # into a dead transport and the future would only ever
+                # time out.  Surface the transport failure immediately.
                 raise ConnectionResetError("client connection is closed")
             require(False, "client is not connected")
         if request.id == 0:
@@ -225,6 +229,7 @@ class TCPClient:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self._dead = True
             self._fail_pending("server closed the connection")
 
     def _fail_pending(self, detail: str) -> None:

@@ -35,6 +35,7 @@ from repro.shard.harness import (
     run_sharded_loadtest,
 )
 from repro.shard.partition import (
+    NO_REGION,
     ShardPlan,
     ShardSpec,
     build_plan,
@@ -53,6 +54,7 @@ __all__ = [
     "ShardLoadTestReport",
     "ShardProcess",
     "run_sharded_loadtest",
+    "NO_REGION",
     "ShardPlan",
     "ShardSpec",
     "build_plan",

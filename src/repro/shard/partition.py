@@ -39,6 +39,13 @@ from repro.shard.ring import DEFAULT_VNODES, ConsistentHashRing
 from repro.utils.validation import require
 
 
+#: region label for nodes the graph leaves unlabeled.  Distinct from
+#: :data:`repro.topology.graph.CORE_REGION` (-1), which is a *real*
+#: region (the backbone) — conflating the two would silently merge
+#: core-attached capacity with genuinely unlabeled nodes.
+NO_REGION = -2
+
+
 def shard_name(index: int) -> str:
     """Canonical shard name for slot ``index`` (``shard-0``, ...)."""
     return f"shard-{int(index)}"
@@ -63,14 +70,16 @@ def extract_regions(
     ):
         server_regions = np.array(
             [
-                -1 if (r := graph.region_of(s.node_id)) is None else int(r)
+                NO_REGION if (r := graph.region_of(s.node_id)) is None
+                else int(r)
                 for s in problem.servers
             ],
             dtype=np.int64,
         )
         device_regions = np.array(
             [
-                -1 if (r := graph.region_of(d.node_id)) is None else int(r)
+                NO_REGION if (r := graph.region_of(d.node_id)) is None
+                else int(r)
                 for d in problem.devices
             ],
             dtype=np.int64,

@@ -31,7 +31,9 @@ A periodic loop gossips ``stats`` from every shard, then moves one
 bounded batch of devices per round: devices stranded off their home
 shard are repatriated first (failover debt), then load is shaved from
 the most- to the least-utilized shard when the utilization gap exceeds
-the configured threshold.  Each batch uses the ``migrate`` op's
+the configured threshold.  Shaved devices are marked and exempted
+from repatriation so the two policies never ping-pong the same
+devices between donor and target.  Each batch uses the ``migrate`` op's
 epoch compare-and-set — a donor whose state moved since the gossip
 snapshot rejects the batch and the round simply retries later, so
 migration always yields to foreground traffic.
@@ -41,7 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ShardUnavailableError
 from repro.obs import names as obs_names
@@ -85,6 +87,7 @@ class ShardRouter:
         self.backends = dict(backends)
         self.config = config or RouterConfig()
         self._locations: "dict[int, str]" = {}  # device -> holding shard
+        self._shaved: "set[int]" = set()  # deliberately moved off home
         self._gossip: "dict[str, dict]" = {}    # shard -> last stats seen
         self._trips_seen: "dict[str, int]" = {}  # breaker trips published
         self._rebalance_task: "asyncio.Task | None" = None
@@ -172,6 +175,22 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    async def _forward(self, name: str, request: Request) -> Response:
+        """Forward to one backend with a transport-local request id.
+
+        Client ids are only unique per client connection; a TCP
+        backend multiplexes every connection (and the router's own
+        gossip/migrate traffic) over one pipelined client, so a
+        verbatim forward would collide in its in-flight table.  Send
+        id 0 — "stamp me" — and restore the caller's id on the way
+        back so its pipeline still matches the response.
+        """
+        outbound = replace(request, id=0) if request.id != 0 else request
+        response = await self.backends[name].request(outbound)
+        if response.id != request.id:
+            response = replace(response, id=request.id)
+        return response
+
     async def _route(self, request: Request) -> Response:
         registry = obs_runtime.metrics()
         start_t = time.perf_counter()
@@ -204,11 +223,10 @@ class ShardRouter:
             )
         preference = self.plan.preference_of_device(device)
         for rank, name in enumerate(preference):
-            backend = self.backends[name]
-            if not backend.breaker.allows():
+            if not self.backends[name].breaker.allows():
                 continue
             try:
-                response = await backend.request(request)
+                response = await self._forward(name, request)
             except ShardUnavailableError:
                 self._note_breaker(name)
                 continue
@@ -223,6 +241,7 @@ class ShardRouter:
                     self.spillovers_total += 1
                     registry.counter(obs_names.SHARD_SPILLOVERS).inc()
                 self._locations[device] = name
+                self._shaved.discard(device)  # fresh assign resets intent
                 registry.gauge(obs_names.SHARD_ACTIVE_DEVICES).set(
                     len(self._locations)
                 )
@@ -245,15 +264,13 @@ class ShardRouter:
             name = self.plan.shard_of_device(device) \
                 if 0 <= device < self.plan.n_devices \
                 else self.plan.shards[0].name
-        backend = self.backends[name]
-        tracked = device in self._locations
         try:
-            response = await backend.request(request)
+            response = await self._forward(name, request)
         except ShardUnavailableError:
             self._note_breaker(name)
             # the holder died and its state died with it: the device
             # IS released, just by crash instead of by request
-            self._locations.pop(device, None)
+            self._forget(device)
             return Response(
                 id=request.id, status="ok",
                 detail=f"released by failure of shard {name}",
@@ -262,21 +279,33 @@ class ShardRouter:
             registry.counter(
                 obs_names.SHARD_ROUTED, {"shard": name, "op": "release"}
             ).inc()
-            self._locations.pop(device, None)
+            self._forget(device)
             registry.gauge(obs_names.SHARD_ACTIVE_DEVICES).set(
                 len(self._locations)
             )
             return self._globalize(name, response)
-        if tracked and response.status == "error":
+        if (
+            response.status == "error"
+            and "not assigned" in response.detail
+            and self._locations.get(device) == name
+        ):
             # the router saw this device assigned but the shard no
             # longer holds it — the shard crashed and came back empty.
             # Reconcile: the assignment is gone, so the release is done.
-            self._locations.pop(device, None)
+            # The post-await re-check keeps a concurrent release's
+            # legitimate duplicate-release error from being rewritten,
+            # and the detail match keeps real shard faults visible.
+            self._forget(device)
             return Response(
                 id=request.id, status="ok",
                 detail=f"reconciled after restart of shard {name}",
             )
         return response
+
+    def _forget(self, device: int) -> None:
+        """Drop all per-device routing state (location + shave mark)."""
+        self._locations.pop(device, None)
+        self._shaved.discard(device)
 
     def _globalize(self, name: str, response: Response) -> Response:
         """Rewrite a shard-local server index to the global one."""
@@ -381,7 +410,7 @@ class ShardRouter:
                 obs_names.SHARD_MIGRATION_ROUNDS, {"outcome": "skipped"}
             ).inc()
             return 0
-        donor, target, devices = batch
+        donor, target, devices, kind = batch
         gossip = self._gossip.get(donor)
         if gossip is None or "epoch" not in gossip:
             registry.counter(
@@ -414,13 +443,20 @@ class ShardRouter:
         released = [int(d) for d in response.stats.get("released", ())]
         moved = 0
         for device in released:
-            self._locations.pop(device, None)
+            self._forget(device)
             landed = await self._readmit(device, target, donor)
             if landed is None:
                 self.migration_lost_total += 1
                 registry.counter(obs_names.SHARD_MIGRATION_LOST).inc()
             else:
                 self._locations[device] = landed
+                if kind == "shave" and landed != self.plan.shard_of_device(
+                    device
+                ):
+                    # deliberately off home: exempt from repatriation so
+                    # the next round doesn't drag it straight back to
+                    # the donor and undo the shave
+                    self._shaved.add(device)
                 if landed == target:
                     moved += 1
         self.migrated_total += moved
@@ -455,19 +491,24 @@ class ShardRouter:
 
     def _pick_migration_batch(
         self,
-    ) -> "tuple[str, str, list[int]] | None":
-        """Choose (donor, target, devices) for this round, or ``None``.
+    ) -> "tuple[str, str, list[int], str] | None":
+        """Choose (donor, target, devices, kind) for this round, or ``None``.
 
         Priority 1 — repatriation: devices stranded off their home
-        shard (failover debt) go home as soon as home is reachable.
+        shard (failover debt) go home as soon as home is reachable —
+        except devices the shaver moved on purpose, which would
+        otherwise ping-pong between donor and target forever.
         Priority 2 — load shaving: when the gossip utilization gap
         exceeds the threshold, move the most-loaded shard's devices
-        toward the least-loaded one.
+        toward the least-loaded one, preferring devices not homed on
+        the donor so a shave retires failover debt first.
         """
         limit = self.config.migration_batch
         # repatriation: group strays by (current shard, home shard)
         strays: "dict[tuple[str, str], list[int]]" = {}
         for device, current in self._locations.items():
+            if device in self._shaved:
+                continue
             home = self.plan.shard_of_device(device)
             if home != current and self.backends[home].breaker.allows():
                 strays.setdefault((current, home), []).append(device)
@@ -475,7 +516,7 @@ class ShardRouter:
             (donor, home), devices = max(
                 strays.items(), key=lambda kv: (len(kv[1]), kv[0])
             )
-            return donor, home, sorted(devices)[:limit]
+            return donor, home, sorted(devices)[:limit], "repatriate"
         # load shaving needs fresh gossip from at least two shards
         utils = {
             name: float(g.get("mean_utilization", 0.0))
@@ -488,9 +529,13 @@ class ShardRouter:
         target = min(utils, key=lambda n: (utils[n], n))
         if utils[donor] - utils[target] < self.config.utilization_gap:
             return None
-        devices = sorted(
+        held = sorted(
             d for d, where in self._locations.items() if where == donor
+        )
+        devices = (
+            [d for d in held if self.plan.shard_of_device(d) != donor]
+            + [d for d in held if self.plan.shard_of_device(d) == donor]
         )[:limit]
         if not devices:
             return None
-        return donor, target, devices
+        return donor, target, devices, "shave"

@@ -154,6 +154,34 @@ class TestClientEdges:
 
         run(scenario())
 
+    def test_send_fails_fast_after_peer_drops_connection(self):
+        # once the dispatcher has observed the peer's death, a send
+        # must raise immediately — a write into the dead transport
+        # would otherwise create a future nothing resolves, burning a
+        # full request timeout per attempt before the breaker trips
+        async def scenario():
+            async def slam_the_door(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(
+                slam_the_door, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = await open_client("127.0.0.1", port)
+            try:
+                for _ in range(200):  # wait for the dispatcher's EOF
+                    if client._dead:
+                        break
+                    await asyncio.sleep(0.005)
+                assert client._dead
+                with pytest.raises(ConnectionResetError, match="closed"):
+                    client.send(Request(op="stats"))
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
     def test_server_requires_started_service(self):
         async def scenario():
             problem = random_instance(10, 3, tightness=0.5, seed=1)

@@ -8,7 +8,14 @@ import pytest
 from repro.errors import SerializationError, ValidationError
 from repro.model.instances import random_instance, topology_instance
 from repro.model.problem import AssignmentProblem
-from repro.shard.partition import ShardPlan, build_plan, extract_regions, shard_name
+from repro.shard.partition import (
+    NO_REGION,
+    ShardPlan,
+    build_plan,
+    extract_regions,
+    shard_name,
+)
+from repro.topology.graph import CORE_REGION
 
 
 @pytest.fixture
@@ -34,6 +41,19 @@ class TestExtractRegions:
             assert device_regions[i] == graph.region_of(d.node_id)
         for j, s in enumerate(labeled_problem.servers):
             assert server_regions[j] == graph.region_of(s.node_id)
+
+    def test_unlabeled_nodes_distinct_from_core_region(self, labeled_problem):
+        # core-attached capacity (region -1) must not be lumped with
+        # genuinely unlabeled nodes
+        graph = labeled_problem.graph
+        core = labeled_problem.servers[0]
+        bare = labeled_problem.servers[1]
+        graph.set_region(core.node_id, CORE_REGION)
+        graph.set_region(bare.node_id, None)
+        _, server_regions = extract_regions(labeled_problem)
+        assert server_regions[0] == CORE_REGION
+        assert server_regions[1] == NO_REGION
+        assert NO_REGION != CORE_REGION
 
     def test_matrix_fallback_is_pseudo_regions(self, matrix_problem):
         device_regions, server_regions = extract_regions(matrix_problem)

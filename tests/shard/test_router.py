@@ -11,8 +11,9 @@ import pytest
 from repro.model.instances import topology_instance
 from repro.serve.loadtest import generate_trace, replay_serial
 from repro.serve.protocol import Request
+from repro.serve.server import TCPServer, open_client
 from repro.serve.service import AssignmentService, ServiceConfig
-from repro.shard.backend import CircuitBreaker, InProcessBackend
+from repro.shard.backend import CircuitBreaker, InProcessBackend, TCPBackend
 from repro.shard.partition import build_plan
 from repro.shard.router import RouterConfig, ShardRouter
 
@@ -105,6 +106,54 @@ class TestRouting:
                 # released: the shard state agrees
                 stats = await router.request(Request(op="stats"))
                 assert stats.stats["active_devices"] == 0
+            finally:
+                await shutdown(services, router)
+
+        run(scenario())
+
+    def test_client_ids_never_reach_backends_but_come_back(self):
+        # clients stamp ids per connection; the router must not leak
+        # them into its shared backend transports (they would collide
+        # in a TCP client's in-flight table) yet must echo them back
+        async def scenario():
+            problem = make_problem()
+            plan, services, backends, router = await make_cluster(problem)
+            try:
+                # two "connections" both using id=1, plus a higher id
+                for request in (
+                    Request(op="assign", device=0, id=1),
+                    Request(op="assign", device=1, id=1),
+                    Request(op="release", device=0, id=7),
+                ):
+                    response = await router.request(request)
+                    assert response.ok
+                    assert response.id == request.id
+                forwarded = [
+                    r for b in backends.values() for r in b.forwarded
+                ]
+                assert len(forwarded) == 3
+                assert all(r.id == 0 for r in forwarded)
+            finally:
+                await shutdown(services, router)
+
+        run(scenario())
+
+    def test_concurrent_duplicate_release_loser_keeps_its_error(self):
+        # both releases read the location before either resolves; the
+        # loser's legitimate 'not assigned' error must NOT be rewritten
+        # into a reconciled 'ok'
+        async def scenario():
+            problem = make_problem()
+            plan, services, backends, router = await make_cluster(problem)
+            try:
+                assert (await router.request(
+                    Request(op="assign", device=4))).ok
+                first = router.send(Request(op="release", device=4))
+                second = router.send(Request(op="release", device=4))
+                responses = await asyncio.gather(first, second)
+                statuses = sorted(r.status for r in responses)
+                assert statuses == ["error", "ok"]
+                assert 4 not in router._locations
             finally:
                 await shutdown(services, router)
 
@@ -284,6 +333,59 @@ class TestRebalance:
 
         run(scenario())
 
+    def test_shaved_devices_are_not_repatriated_back(self):
+        # a load-shave moves devices OFF their home shard; the next
+        # round's repatriation must not drag them straight back (the
+        # donor/target ping-pong the reviewer called churn)
+        async def scenario():
+            problem = make_problem()
+            plan, services, backends, router = await make_cluster(problem)
+            try:
+                donor = plan.shards[0].name
+                devices = [
+                    int(d) for d in plan.devices_of_shard(donor)][:4]
+                assert devices, "plan gave shard-0 no home devices"
+                for device in devices:
+                    assert (await router.request(
+                        Request(op="assign", device=device))).ok
+
+                # doctor gossip to demand a shave from the donor, and
+                # pin it by disabling the refresh inside rebalance_once
+                async def frozen_stats():
+                    return {}
+
+                router._stats = frozen_stats
+                router._gossip = {
+                    name: {
+                        "mean_utilization": 1.0 if name == donor else 0.0,
+                        "epoch": services[name].state.epoch,
+                    }
+                    for name in backends
+                }
+                moved = await router.rebalance_once()
+                assert moved >= 1
+                shaved = set(router._shaved)
+                assert shaved and shaved <= set(devices)
+                assert all(
+                    router._locations[d] != donor for d in shaved)
+                # next round: no repatriation batch for shaved devices
+                batch = router._pick_migration_batch()
+                if batch is not None:
+                    _, _, picked, kind = batch
+                    assert kind != "repatriate" or not (
+                        set(picked) & shaved)
+                # a fresh release+assign clears the shave mark again
+                probe = sorted(shaved)[0]
+                assert (await router.request(
+                    Request(op="release", device=probe))).ok
+                assert (await router.request(
+                    Request(op="assign", device=probe))).ok
+                assert probe not in router._shaved
+            finally:
+                await shutdown(services, router)
+
+        run(scenario())
+
     def test_stale_epoch_migration_rejected(self):
         async def scenario():
             problem = make_problem()
@@ -314,6 +416,59 @@ class TestRebalance:
                 assert await router.rebalance_once() == 0
             finally:
                 await shutdown(services, router)
+
+        run(scenario())
+
+
+class TestTCPRouterEndToEnd:
+    def test_concurrent_clients_with_colliding_ids(self):
+        # every client stamps ids from 1 on its own connection, so two
+        # pipelining clients collide on the wire; forwarded verbatim
+        # into the per-shard TCP clients those ids would clash in the
+        # shared in-flight table and surface as 'router failure' errors
+        async def scenario():
+            problem = make_problem()
+            plan = build_plan(problem, 3)
+            services, servers, backends = {}, {}, {}
+            for spec in plan.shards:
+                service = AssignmentService(
+                    plan.subproblem(problem, spec.name),
+                    ServiceConfig(max_wait_s=0.0),
+                )
+                await service.start()
+                server = TCPServer(service)
+                await server.start()
+                services[spec.name] = service
+                servers[spec.name] = server
+                backends[spec.name] = TCPBackend(
+                    spec.name, server.host, server.port)
+            router = ShardRouter(plan, backends)
+            await router.start()
+            front = TCPServer(router)
+            await front.start()
+            clients = [
+                await open_client(front.host, front.port)
+                for _ in range(2)
+            ]
+            try:
+                futures = []
+                for k, client in enumerate(clients):
+                    for device in range(k * 20, k * 20 + 20):
+                        futures.append(client.send(
+                            Request(op="assign", device=device)))
+                    await client.flush()
+                responses = await asyncio.gather(*futures)
+                errors = [
+                    r.detail for r in responses if r.status == "error"]
+                assert not errors, errors
+            finally:
+                for client in clients:
+                    await client.close()
+                await front.stop()
+                await router.stop()  # closes the TCP backends
+                for name in servers:
+                    await servers[name].stop()
+                    await services[name].stop()
 
         run(scenario())
 
