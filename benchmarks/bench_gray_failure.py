@@ -1,0 +1,189 @@
+"""Gray-failure bench (G5): goodput and tail latency under wire chaos.
+
+Two cases run the *same* gray-failure schedule against the same
+3-shard multi-process cluster — a lossy edge to shard-2, a gray
+shard-1 (4x slow, and a third of its requests held past the
+deadline), background delay on every edge, and a mid-run SIGKILL of
+shard-0 with WAL recovery on restart:
+
+* **hedged** — the full defense stack: absolute deadlines propagated
+  on the wire, p95-derived hedged requests (assigns race a ring
+  successor, releases re-send to the holder), latency-aware outlier
+  ejection, and WAL-backed crash recovery;
+* **no_hedge** — the same deadlines (without them a dropped message
+  would hang a closed slot forever) but hedging disabled: every lost
+  or slow message rides the full deadline before surfacing as a
+  ``timeout``.
+
+Expected shape: the hedged case holds goodput >= 0.9 with a p99 far
+below the deadline, while the no-hedge baseline's p99 is pegged at
+the deadline and its goodput drops with the loss rate.  Both cases
+must finish with **zero protocol errors** — chaos surfaces as
+``timeout``/``rejected`` statuses, never as broken framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+
+from conftest import emit
+
+from repro.experiments.harness import ResultTable
+from repro.faults.scenario import FaultEventSpec, FaultScenario
+from repro.netem import NetemRule, NetemScript
+from repro.serve import LoadTestConfig
+from repro.shard import HarnessConfig, run_sharded_loadtest
+
+#: shards for every case (matches the CI gray-smoke job)
+N_SHARDS = 3
+#: open-loop offered rate (requests/second) — deliberately below a
+#: single-core host's capacity so timeouts measure chaos, not overload
+RATE_HZ = 120.0
+#: absolute per-request budget carried on the wire
+DEADLINE_MS = 2000.0
+
+
+def _gray_script(seed: int) -> NetemScript:
+    """The gray schedule: loss, slowness, and background jitter."""
+    return NetemScript(
+        name="g5-gray",
+        seed=seed,
+        rules=(
+            # a lossy edge: a tenth of requests to shard-2 vanish
+            NetemRule(kind="drop", edge="*->shard-2", direction="forward",
+                      p=0.1),
+            # the gray shard: shard-1 answers everything, 4x slower,
+            # and holds a third of its requests past the deadline —
+            # alive on every probe, yet dragging the tail
+            NetemRule(kind="slow", edge="*->shard-1", factor=4.0),
+            NetemRule(kind="reorder", edge="*->shard-1",
+                      direction="forward", p=0.35,
+                      extra_s=DEADLINE_MS / 1e3 + 0.5),
+            # background wire noise on every edge
+            NetemRule(kind="delay", edge="*", direction="forward",
+                      delay_s=0.002, jitter_s=0.002),
+        ),
+    )
+
+
+def run(scale: str, seed: int = 0) -> ResultTable:
+    """Build the gray-failure table (see module docstring)."""
+    n_requests = 600 if scale == "quick" else 2400
+    expected_s = n_requests / RATE_HZ
+    # the outage is a fixed 1.5 s whatever the run length — a SIGKILL
+    # plus WAL recovery does not take longer because the load test does
+    crash_at_s = 0.4 * expected_s
+    scenario = FaultScenario(
+        name="g5-kill-shard-0",
+        events=(
+            FaultEventSpec(at_s=crash_at_s, kind="server_crash", server=0),
+            FaultEventSpec(at_s=crash_at_s + 1.5, kind="server_repair",
+                           server=0),
+        ),
+    )
+    load = LoadTestConfig(
+        n_requests=n_requests, rate_hz=RATE_HZ, profile="poisson",
+        concurrency=32, seed=seed,
+    )
+
+    table = ResultTable(
+        [
+            "case",
+            "requests",
+            "duration_s",
+            "throughput_rps",
+            "p50_ms",
+            "p99_ms",
+            "ok",
+            "timeouts",
+            "rejected",
+            "errors",
+            "goodput",
+            "hedges",
+            "hedge_wins",
+            "ejections",
+            "ghost_releases",
+            "netem_lost",
+            "recovery_ms",
+        ],
+        title="gray failure: goodput and p99, hedging+deadlines on vs off",
+    )
+
+    for case, hedge in (("hedged", True), ("no_hedge", False)):
+        with tempfile.TemporaryDirectory(prefix="g5-wal-") as wal_root:
+            config = HarnessConfig(
+                n_shards=N_SHARDS,
+                # the flat family gets per-server pseudo-regions, so the
+                # ring populates all three shards (edge_hierarchy has
+                # only 3 coarse regions and collapses to 2)
+                family="random_geometric",
+                routers=40,
+                devices=90,
+                servers=9,
+                tightness=0.7,
+                seed=seed,
+                wal_root=wal_root,
+                default_deadline_ms=DEADLINE_MS,
+                hedge=hedge,
+            )
+            result = asyncio.run(
+                run_sharded_loadtest(
+                    config, load, scenario, netem=_gray_script(seed)
+                )
+            )
+        report = result.report
+        router = result.router_stats or {}
+        netem = result.netem_stats or {}
+        recovery_ms = max(
+            (entry["ms"] for entry in result.wal_recovery.values()
+             if entry["records"]),
+            default=0.0,
+        )
+        ok = report.statuses.get("ok", 0)
+        table.add_row(
+            case=case,
+            requests=report.n_requests,
+            duration_s=report.duration_s,
+            throughput_rps=report.throughput_rps,
+            p50_ms=report.latency_ms["p50"],
+            p99_ms=report.latency_ms["p99"],
+            ok=ok,
+            timeouts=report.statuses.get("timeout", 0),
+            rejected=report.rejected,
+            errors=report.errors,
+            goodput=round(ok / report.n_requests, 4),
+            hedges=router.get("hedges_total", 0),
+            hedge_wins=router.get("hedge_wins_total", 0),
+            ejections=router.get("ejections_total", 0),
+            ghost_releases=router.get("ghost_releases_total", 0),
+            netem_lost=netem.get("lost_total", 0),
+            recovery_ms=round(recovery_ms, 2),
+        )
+
+    return table
+
+
+def test_gray_failure(benchmark, scale, results_dir):
+    table = benchmark.pedantic(
+        run, args=(scale,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    emit(table, results_dir, "gray_failure")
+    by_case = {row["case"]: row for row in table.rows}
+    hedged, baseline = by_case["hedged"], by_case["no_hedge"]
+
+    # chaos must never surface as protocol errors
+    for row in table.rows:
+        assert row["errors"] == 0, f"{row['case']}: protocol errors"
+
+    # the defense stack holds goodput and keeps the tail off the deadline
+    assert hedged["goodput"] >= 0.9, hedged
+    assert hedged["p99_ms"] < DEADLINE_MS, hedged
+    assert hedged["hedges"] > 0, "gray schedule never triggered a hedge"
+
+    # the no-hedge baseline degrades: lower goodput, deadline-bound tail
+    assert baseline["goodput"] < hedged["goodput"], (baseline, hedged)
+    assert hedged["p99_ms"] < baseline["p99_ms"], (baseline, hedged)
+
+    # the SIGKILLed shard came back through WAL replay
+    assert hedged["recovery_ms"] > 0.0, "no WAL recovery observed"

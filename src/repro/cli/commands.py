@@ -325,6 +325,8 @@ def _service_config(args):
         reopt_interval_s=args.reopt_interval,
         reopt_solver=args.reopt_solver,
         reopt_seed=derive_seed(args.seed, "reopt"),
+        wal_dir=getattr(args, "wal_dir", None),
+        wal_snapshot_every=getattr(args, "snapshot_every", 256),
     )
 
 
@@ -349,6 +351,15 @@ def cmd_serve(args) -> int:
             with contextlib.suppress(NotImplementedError, RuntimeError):
                 loop.add_signal_handler(signum, stop.set)
         await service.start()
+        if args.wal_dir is not None:
+            # recovery is announced before the port line: supervisors
+            # treat the port as readiness, and a recovered state must be
+            # in place before the first request lands
+            print(
+                f"recovered {service.state.recovered_records} wal records "
+                f"in {service.recovery_ms:.1f} ms from {args.wal_dir}",
+                flush=True,
+            )
         server = TCPServer(service, host=args.host, port=args.port)
         await server.start()
         print(
@@ -603,6 +614,8 @@ def cmd_shard_serve(args) -> int:
             rule=args.rule,
             headroom=args.headroom,
             max_wait_s=args.batch_wait_ms / 1e3,
+            wal_dir=args.wal_dir,
+            wal_snapshot_every=args.snapshot_every,
         ),
     )
 
@@ -618,6 +631,14 @@ def cmd_shard_serve(args) -> int:
             with contextlib.suppress(NotImplementedError, RuntimeError):
                 loop.add_signal_handler(signum, stop.set)
         await service.start()
+        if args.wal_dir is not None:
+            # before the port line: the harness scrapes this, and the
+            # replayed state must be live before readiness is announced
+            print(
+                f"recovered {service.state.recovered_records} wal records "
+                f"in {service.recovery_ms:.1f} ms from {args.wal_dir}",
+                flush=True,
+            )
         server = TCPServer(service, host=args.host, port=args.port)
         await server.start()
         print(
@@ -729,6 +750,9 @@ def cmd_shard_loadtest(args) -> int:
         plan_seed=args.plan_seed,
         batch_wait_ms=args.batch_wait_ms,
         rebalance_interval_s=args.rebalance_interval,
+        wal_root=args.wal_root,
+        default_deadline_ms=args.deadline_ms,
+        hedge=not args.no_hedge,
     )
     load = LoadTestConfig(
         n_requests=args.requests,
@@ -749,11 +773,34 @@ def cmd_shard_loadtest(args) -> int:
         scenario = FaultScenario(name="shard-kill", events=tuple(events))
     elif args.scenario:
         scenario = FaultScenario.load(args.scenario)
+    netem = None
+    if args.netem:
+        from repro.netem import load_script
+
+        shard_names = [spec.name for spec in config.plan().shards]
+        netem = load_script(args.netem, shard_names=shard_names)
 
     result = asyncio.run(
-        run_sharded_loadtest(config, load, scenario, window_s=args.window)
+        run_sharded_loadtest(config, load, scenario, window_s=args.window,
+                             netem=netem)
     )
     print(result.report.to_text())
+    if result.netem_stats:
+        print(
+            "netem: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(
+                result.netem_stats.items()) if not isinstance(v, dict))
+        )
+    if result.router_stats:
+        print(
+            "router: "
+            + ", ".join(f"{k}={v}"
+                        for k, v in sorted(result.router_stats.items()))
+        )
+    for name, info in sorted(result.wal_recovery.items()):
+        if info["records"]:
+            print(f"wal: {name} recovered {info['records']} records "
+                  f"in {info['ms']:.1f} ms")
     print(format_table(
         ["window t0 (s)", "ok", "total", "goodput"],
         [[w["t0"], w["ok"], w["total"], f"{w['goodput']:.3f}"]
@@ -799,6 +846,19 @@ def cmd_shard_loadtest(args) -> int:
             return 3
         if overall < args.min_goodput:
             print("loadtest FAILED: goodput below floor")
+            return 3
+    if args.max_recovery_ms is not None:
+        slow = {
+            name: info["ms"]
+            for name, info in result.wal_recovery.items()
+            if info["ms"] > args.max_recovery_ms
+        }
+        if slow:
+            print(
+                "loadtest FAILED: WAL recovery over "
+                f"{args.max_recovery_ms} ms: "
+                + ", ".join(f"{k}={v:.1f}ms" for k, v in sorted(slow.items()))
+            )
             return 3
     return 0
 

@@ -213,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="stop after this long (default: run until "
                        "SIGINT/SIGTERM)")
+    serve.add_argument("--wal-dir", default=None, metavar="DIR",
+                       help="journal every assignment mutation here and "
+                       "replay it on restart (default: no durability)")
+    serve.add_argument("--snapshot-every", type=int, default=256,
+                       metavar="N",
+                       help="roll a WAL snapshot every N records "
+                       "(default: 256)")
     add_obs_flag(serve)
     serve.set_defaults(handler=commands.cmd_serve)
 
@@ -291,6 +298,13 @@ def build_parser() -> argparse.ArgumentParser:
     shard_serve.add_argument("--max-seconds", type=float, default=None,
                              help="stop after this long (default: run until "
                              "SIGINT/SIGTERM)")
+    shard_serve.add_argument("--wal-dir", default=None, metavar="DIR",
+                             help="journal this shard's mutations here and "
+                             "replay them on restart (default: none)")
+    shard_serve.add_argument("--snapshot-every", type=int, default=256,
+                             metavar="N",
+                             help="roll a WAL snapshot every N records "
+                             "(default: 256)")
     shard_serve.set_defaults(handler=commands.cmd_shard_serve)
 
     shard_router = shard_sub.add_parser(
@@ -338,6 +352,26 @@ def build_parser() -> argparse.ArgumentParser:
     shard_loadtest.add_argument("--scenario", default=None, metavar="PATH",
                                 help="fault scenario JSON driving kills/"
                                 "repairs (server = shard index)")
+    shard_loadtest.add_argument("--netem", default=None, metavar="PATH",
+                                help="network-emulation script JSON (or a "
+                                "scenario with an embedded 'netem' object) "
+                                "injecting on-wire drop/delay/partition "
+                                "chaos between router and shards")
+    shard_loadtest.add_argument("--wal-root", default=None, metavar="DIR",
+                                help="give each shard a WAL under DIR so a "
+                                "restarted shard replays its pre-crash "
+                                "state (default: restart empty)")
+    shard_loadtest.add_argument("--deadline-ms", type=float, default=None,
+                                metavar="BUDGET",
+                                help="absolute per-request deadline budget "
+                                "stamped by the router (default: none)")
+    shard_loadtest.add_argument("--no-hedge", action="store_true",
+                                help="disable hedged requests and latency "
+                                "ejection (the gray-failure baseline)")
+    shard_loadtest.add_argument("--max-recovery-ms", type=float, default=None,
+                                metavar="BOUND",
+                                help="fail (exit 3) when any shard's WAL "
+                                "replay takes longer than BOUND ms")
     shard_loadtest.add_argument("--window", type=float, default=0.5,
                                 help="goodput timeline window in seconds "
                                 "(default: 0.5)")

@@ -86,3 +86,20 @@ class ShardError(ReproError):
 
 class ShardUnavailableError(ShardError):
     """A shard backend cannot take requests right now (down or circuit open)."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's absolute deadline passed before the awaited step finished.
+
+    Raised by the deadline-bounded awaits on the serve/shard request
+    path (:mod:`repro.serve.deadline`) so a slow hop fails fast and
+    typed instead of hanging the caller.
+    """
+
+
+class NetemError(ReproError):
+    """A network-emulation script or engine operation is invalid."""
+
+
+class WalError(ReproError):
+    """The assignment write-ahead log is corrupt or cannot be replayed."""

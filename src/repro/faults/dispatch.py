@@ -87,6 +87,8 @@ class TaskDispatcher:
         self._target: dict[int, int] = {}
         #: failures seen so far per task id (= retries already spent)
         self._attempts: dict[int, int] = {}
+        #: last backoff drawn per task id (decorrelated jitter feeds on it)
+        self._prev_backoff: dict[int, float] = {}
         self._timeout_events: dict[int, Event] = {}
         self._paths: dict[tuple[int, int], Path] = {}
         self.tasks_lost = 0
@@ -226,7 +228,11 @@ class TaskDispatcher:
                 sim_t=self._sim.now,
             )
             self._recorder.on_retry(task)
-        backoff = self.policy.backoff_s(retries_done, self._rng)
+        backoff = self.policy.backoff_s(
+            retries_done, self._rng,
+            prev_delay_s=self._prev_backoff.get(task.task_id),
+        )
+        self._prev_backoff[task.task_id] = backoff
         # a fresh clone per attempt: the old object may survive in a link
         # queue, and identity is what _admit screens on
         clone = dataclasses.replace(task, arrived_at=None, completed_at=None)
@@ -263,6 +269,7 @@ class TaskDispatcher:
         self._live.pop(task_id, None)
         self._target.pop(task_id, None)
         self._attempts.pop(task_id, None)
+        self._prev_backoff.pop(task_id, None)
         self._cancel_timeout(task_id)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""Deterministic seeded network-fault injection for the serving tier.
+
+``repro.netem`` degrades the live line-JSON transport the way
+:mod:`repro.faults` degrades the simulated cluster: a JSON script
+(:class:`NetemScript`) describes per-edge drop, delay, duplication,
+reordering, asymmetric partitions and gray slow-shard degradation; a
+seeded :class:`NetemEngine` turns it into reproducible per-message
+decisions; :class:`NetemBackend`/:class:`NetemClient` apply those
+decisions around the existing backends and clients without either side
+knowing.  See ``docs/robustness.md``.
+"""
+
+from repro.netem.engine import NetemDecision, NetemEngine
+from repro.netem.script import (
+    DIRECTIONS,
+    RULE_KINDS,
+    NetemRule,
+    NetemScript,
+    load_script,
+    script_from_scenario,
+)
+from repro.netem.transport import NetemBackend, NetemClient
+
+__all__ = [
+    "DIRECTIONS",
+    "RULE_KINDS",
+    "NetemDecision",
+    "NetemEngine",
+    "NetemBackend",
+    "NetemClient",
+    "NetemRule",
+    "NetemScript",
+    "load_script",
+    "script_from_scenario",
+]

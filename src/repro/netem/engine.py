@@ -1,0 +1,163 @@
+"""Deterministic decision engine behind a netem script.
+
+:class:`NetemEngine` answers one question, one message at a time:
+*what happens to the n-th message on this edge in this direction?*
+The answer — drop, added delay, duplication, reorder hold, slow
+factor — is a pure function of ``(script.seed, edge, direction, n)``
+plus the set of rules active at the decision's wall-clock offset.
+Each decision draws from a fresh generator seeded with
+:func:`~repro.utils.rng.derive_seed` over exactly those labels, so:
+
+* two engines running the same script against the same clock produce
+  **identical decision traces** (the Hypothesis property the tests
+  pin down) — independent of asyncio scheduling, host load, or how
+  many other edges interleave;
+* decisions on different edges come from statistically independent
+  streams, not one shared cursor that any new traffic would shift.
+
+The clock is injectable (tests freeze it); only the rule *windows*
+consult it, never the draws.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.netem.script import NetemScript
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.utils.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class NetemDecision:
+    """What the wire does to one message."""
+
+    edge: str
+    direction: str
+    n: int                    # per-(edge, direction) message counter
+    drop: bool = False        # message lost (probabilistic drop)
+    partitioned: bool = False  # message lost (partition rule)
+    delay_s: float = 0.0      # injected latency before delivery
+    duplicate: bool = False   # a second copy is emitted
+    hold_s: float = 0.0       # reorder hold (later messages overtake)
+    slow_factor: float = 1.0  # gray degradation: stretch service time
+
+    @property
+    def lost(self) -> bool:
+        """Whether the message never arrives."""
+        return self.drop or self.partitioned
+
+    @property
+    def sleep_s(self) -> float:
+        """Total injected sleep before delivery (delay + reorder hold)."""
+        return self.delay_s + self.hold_s
+
+    def trace_entry(self) -> tuple:
+        """Byte-stable tuple for determinism comparisons."""
+        return (
+            self.edge, self.direction, self.n,
+            self.lost, round(self.delay_s, 9),
+            self.duplicate, round(self.hold_s, 9),
+            round(self.slow_factor, 9),
+        )
+
+
+class NetemEngine:
+    """Turn a :class:`NetemScript` into per-message decisions."""
+
+    def __init__(
+        self,
+        script: NetemScript,
+        clock=time.monotonic,
+        record_trace: bool = False,
+    ) -> None:
+        self.script = script
+        self._clock = clock
+        self._t0 = clock()
+        self._counters: "dict[tuple[str, str], int]" = {}
+        self.record_trace = record_trace
+        self.trace: "list[tuple]" = []
+        self.decisions_total = 0
+        self.lost_total = 0
+
+    def elapsed_s(self) -> float:
+        """Seconds since the engine started (rule-window time base)."""
+        return self._clock() - self._t0
+
+    def decide(self, edge: str, direction: str) -> NetemDecision:
+        """One message's fate; advances the (edge, direction) counter."""
+        key = (edge, direction)
+        n = self._counters.get(key, 0)
+        self._counters[key] = n + 1
+        active = self.script.matching(edge, direction, self.elapsed_s())
+        decision = self._decide(edge, direction, n, active)
+        self.decisions_total += 1
+        if decision.lost:
+            self.lost_total += 1
+        if self.record_trace:
+            self.trace.append(decision.trace_entry())
+        self._observe(decision)
+        return decision
+
+    def _decide(
+        self, edge: str, direction: str, n: int, active: "list"
+    ) -> NetemDecision:
+        if not active:
+            return NetemDecision(edge=edge, direction=direction, n=n)
+        # one independent stream per message: immune to cross-edge
+        # interleaving and to how many draws each rule set consumes
+        rng = make_rng(
+            derive_seed(self.script.seed, "netem", edge, direction, n)
+        )
+        drop = partitioned = duplicate = False
+        delay_s = hold_s = 0.0
+        slow_factor = 1.0
+        for rule in active:
+            if rule.kind == "partition":
+                partitioned = True
+            elif rule.kind == "drop":
+                if float(rng.random()) < rule.p:
+                    drop = True
+            elif rule.kind == "delay":
+                delay_s += rule.delay_s + rule.jitter_s * float(rng.random())
+            elif rule.kind == "duplicate":
+                if float(rng.random()) < rule.p:
+                    duplicate = True
+            elif rule.kind == "reorder":
+                if float(rng.random()) < rule.p:
+                    hold_s += rule.extra_s
+            elif rule.kind == "slow":
+                slow_factor *= rule.factor
+        return NetemDecision(
+            edge=edge, direction=direction, n=n,
+            drop=drop, partitioned=partitioned,
+            delay_s=delay_s * slow_factor,
+            duplicate=duplicate, hold_s=hold_s,
+            slow_factor=slow_factor,
+        )
+
+    def _observe(self, decision: NetemDecision) -> None:
+        registry = obs_runtime.metrics()
+        if decision.partitioned:
+            registry.counter(obs_names.NETEM_PARTITIONED).inc()
+        elif decision.drop:
+            registry.counter(obs_names.NETEM_DROPPED).inc()
+        if decision.delay_s > 0 or decision.hold_s > 0:
+            registry.counter(obs_names.NETEM_DELAYED).inc()
+            registry.timer(obs_names.NETEM_INJECTED_DELAY).observe(
+                decision.sleep_s
+            )
+        if decision.duplicate:
+            registry.counter(obs_names.NETEM_DUPLICATED).inc()
+        if decision.hold_s > 0:
+            registry.counter(obs_names.NETEM_REORDERED).inc()
+
+    def stats(self) -> dict:
+        """Lifetime totals (JSON-ready)."""
+        return {
+            "decisions_total": self.decisions_total,
+            "lost_total": self.lost_total,
+            "edges": sorted(f"{e}#{d}" for e, d in self._counters),
+        }

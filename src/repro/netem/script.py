@@ -1,0 +1,329 @@
+"""Scriptable wire chaos: which edges misbehave, how, and when.
+
+A :class:`NetemScript` is the on-wire sibling of
+:class:`~repro.faults.scenario.FaultScenario` — an inert, sorted,
+JSON-round-trippable description of network faults that the
+:class:`~repro.netem.engine.NetemEngine` turns into deterministic
+per-message decisions.  Where the fault scenario mutates the *simulated*
+cluster (crash a server, degrade a link inside the DES), a netem script
+degrades the *real transport* between live processes: the line-JSON
+edges ``client->router`` and ``router->shard-N``.
+
+JSON schema (see ``docs/robustness.md`` for the full reference)::
+
+    {
+      "name": "gray-edge",
+      "seed": 7,
+      "rules": [
+        {"kind": "drop", "edge": "router->shard-0", "p": 0.2},
+        {"kind": "delay", "edge": "*->shard-1", "delay_s": 0.02,
+         "jitter_s": 0.01},
+        {"kind": "slow", "edge": "router->shard-1", "factor": 4.0},
+        {"kind": "partition", "edge": "router->shard-2",
+         "direction": "forward", "at_s": 2.0, "duration_s": 3.0},
+        {"kind": "duplicate", "edge": "*", "p": 0.05},
+        {"kind": "reorder", "edge": "*", "p": 0.1, "extra_s": 0.02}
+      ]
+    }
+
+Edges are ``src->dst`` strings matched with shell-style wildcards per
+side; ``direction`` selects the request path (``forward``), the
+response path (``reverse``) or ``both``, which is how *asymmetric*
+partitions are expressed.  ``at_s``/``duration_s`` window a rule
+relative to engine start, so one script describes a whole gray-failure
+schedule.
+
+One JSON file can drive both chaos layers: :func:`load_script` reads a
+bare script, a fault-scenario file carrying an embedded ``"netem"``
+object, or (fallback) converts a scenario's ``server_slowdown`` /
+``server_crash`` events into wire rules via
+:func:`script_from_scenario`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from repro.errors import NetemError, SerializationError
+from repro.faults.scenario import FaultScenario
+from repro.utils.validation import check_nonnegative, check_positive, require
+
+#: every rule kind the engine understands
+RULE_KINDS = ("drop", "delay", "duplicate", "reorder", "partition", "slow")
+
+#: message directions a rule may apply to
+DIRECTIONS = ("forward", "reverse", "both")
+
+
+@dataclass(frozen=True)
+class NetemRule:
+    """One wire-fault rule.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`RULE_KINDS`.  ``drop`` loses a message with
+        probability ``p``; ``delay`` adds ``delay_s`` plus a uniform
+        extra in ``[0, jitter_s)``; ``duplicate`` emits a second copy
+        with probability ``p`` (materialized only for idempotent ops —
+        see docs/robustness.md); ``reorder`` holds a message back an
+        extra ``extra_s`` with probability ``p`` so later messages
+        overtake it; ``partition`` drops *everything* in the matched
+        direction(s); ``slow`` stretches the matched edge by
+        ``factor`` (gray slow-shard degradation: injected delays are
+        multiplied and the observed service time is padded to
+        ``factor×``).
+    edge:
+        ``src->dst`` pattern; each side supports shell wildcards.
+    direction:
+        ``forward`` (requests), ``reverse`` (responses) or ``both``.
+    at_s / duration_s:
+        Activity window relative to engine start; ``duration_s=None``
+        means the rule stays active forever.
+    """
+
+    kind: str
+    edge: str = "*"
+    direction: str = "both"
+    p: float = 1.0
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    extra_s: float = 0.0
+    factor: float = 1.0
+    at_s: float = 0.0
+    duration_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        require(self.kind in RULE_KINDS,
+                f"unknown netem rule kind {self.kind!r}; known: {RULE_KINDS}")
+        require(self.direction in DIRECTIONS,
+                f"unknown direction {self.direction!r}; known: {DIRECTIONS}")
+        require(self.edge == "*" or "->" in self.edge,
+                f"edge pattern must look like 'src->dst', got {self.edge!r}")
+        require(0.0 <= self.p <= 1.0, "p must be in [0, 1]")
+        check_nonnegative(self.delay_s, "delay_s")
+        check_nonnegative(self.jitter_s, "jitter_s")
+        check_nonnegative(self.extra_s, "extra_s")
+        check_positive(self.factor, "factor")
+        check_nonnegative(self.at_s, "at_s")
+        if self.duration_s is not None:
+            check_positive(self.duration_s, "duration_s")
+        if self.kind == "reorder":
+            require(self.extra_s > 0, "reorder needs extra_s > 0")
+
+    def matches(self, edge: str, direction: str) -> bool:
+        """Whether this rule applies to ``edge`` in ``direction``."""
+        if self.direction != "both" and self.direction != direction:
+            return False
+        if self.edge == "*":
+            return True
+        want_src, want_dst = self.edge.split("->", 1)
+        have_src, have_dst = edge.split("->", 1)
+        return (fnmatchcase(have_src, want_src)
+                and fnmatchcase(have_dst, want_dst))
+
+    def active(self, elapsed_s: float) -> bool:
+        """Whether the rule's time window covers ``elapsed_s``."""
+        if elapsed_s < self.at_s:
+            return False
+        if self.duration_s is None:
+            return True
+        return elapsed_s < self.at_s + self.duration_s
+
+    def to_dict(self) -> dict:
+        """JSON payload with defaulted fields omitted."""
+        payload: dict = {"kind": self.kind}
+        if self.edge != "*":
+            payload["edge"] = self.edge
+        if self.direction != "both":
+            payload["direction"] = self.direction
+        if self.p != 1.0:
+            payload["p"] = self.p
+        if self.delay_s:
+            payload["delay_s"] = self.delay_s
+        if self.jitter_s:
+            payload["jitter_s"] = self.jitter_s
+        if self.extra_s:
+            payload["extra_s"] = self.extra_s
+        if self.factor != 1.0:
+            payload["factor"] = self.factor
+        if self.at_s:
+            payload["at_s"] = self.at_s
+        if self.duration_s is not None:
+            payload["duration_s"] = self.duration_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NetemRule":
+        """Inverse of :meth:`to_dict`; raises SerializationError on junk."""
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                edge=str(payload.get("edge", "*")),
+                direction=str(payload.get("direction", "both")),
+                p=float(payload.get("p", 1.0)),
+                delay_s=float(payload.get("delay_s", 0.0)),
+                jitter_s=float(payload.get("jitter_s", 0.0)),
+                extra_s=float(payload.get("extra_s", 0.0)),
+                factor=float(payload.get("factor", 1.0)),
+                at_s=float(payload.get("at_s", 0.0)),
+                duration_s=payload.get("duration_s"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad netem rule payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class NetemScript:
+    """An ordered, inert set of wire-fault rules plus the chaos seed."""
+
+    rules: tuple[NetemRule, ...] = ()
+    seed: int = 0
+    name: str = "netem"
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.rules,
+                               key=lambda r: (r.at_s, r.kind, r.edge)))
+        object.__setattr__(self, "rules", ordered)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def matching(self, edge: str, direction: str,
+                 elapsed_s: float) -> "list[NetemRule]":
+        """Rules active for one message, in the script's stable order."""
+        return [
+            rule for rule in self.rules
+            if rule.matches(edge, direction) and rule.active(elapsed_s)
+        ]
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "name": self.name,
+            "seed": int(self.seed),
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "NetemScript":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            rules = tuple(NetemRule.from_dict(r) for r in payload["rules"])
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(
+                f"invalid netem script payload: {exc}") from exc
+        return cls(
+            rules=rules,
+            seed=int(payload.get("seed", 0)),
+            name=str(payload.get("name", "netem")),
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetemScript":
+        """Parse a script previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid netem JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the script as JSON; returns the path."""
+        target = Path(path)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
+
+
+def script_from_scenario(
+    scenario: FaultScenario,
+    shard_names: "list[str]",
+    seed: int = 0,
+    slow_base_delay_s: float = 0.0,
+) -> NetemScript:
+    """Project a sim fault scenario onto the wire.
+
+    ``server_slowdown`` (service-rate multiplier ``factor``) becomes a
+    ``slow`` rule of factor ``1/factor`` on the shard's edge for the
+    event's window; a ``server_crash``/``server_repair`` pair becomes a
+    both-direction ``partition`` window.  Link events stay in-sim (the
+    wire has no per-topology-link identity) and are skipped.  This is
+    what lets one scenario JSON drive the DES injector and the live
+    transport at once.
+    """
+    require(len(shard_names) >= 1, "need at least one shard name")
+    rules: "list[NetemRule]" = []
+    crash_open: "dict[str, float]" = {}
+    for event in scenario.events:
+        if event.server is None:
+            continue
+        shard = shard_names[int(event.server) % len(shard_names)]
+        edge = f"*->{shard}"
+        if event.kind == "server_slowdown":
+            rules.append(NetemRule(
+                kind="slow", edge=edge, factor=1.0 / float(event.factor),
+                at_s=event.at_s, duration_s=event.duration_s,
+            ))
+            if slow_base_delay_s > 0:
+                rules.append(NetemRule(
+                    kind="delay", edge=edge, delay_s=slow_base_delay_s,
+                    at_s=event.at_s, duration_s=event.duration_s,
+                ))
+        elif event.kind == "server_crash":
+            crash_open[shard] = event.at_s
+        elif event.kind == "server_repair" and shard in crash_open:
+            start = crash_open.pop(shard)
+            if event.at_s > start:
+                rules.append(NetemRule(
+                    kind="partition", edge=edge,
+                    at_s=start, duration_s=event.at_s - start,
+                ))
+    for shard, start in crash_open.items():  # unrepaired: partition forever
+        rules.append(NetemRule(kind="partition", edge=f"*->{shard}",
+                               at_s=start))
+    return NetemScript(rules=tuple(rules), seed=seed,
+                       name=f"netem:{scenario.name}")
+
+
+def load_script(
+    path: "str | Path",
+    shard_names: "list[str] | None" = None,
+) -> NetemScript:
+    """Read a netem script from any of the accepted JSON shapes.
+
+    Accepts (in order): a bare script (has ``"rules"``), a fault
+    scenario carrying an embedded ``"netem"`` object, or a plain fault
+    scenario (converted with :func:`script_from_scenario`, which needs
+    ``shard_names``).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid netem JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError("netem file must hold a JSON object")
+    if "rules" in payload:
+        return NetemScript.from_dict(payload)
+    if isinstance(payload.get("netem"), dict):
+        return NetemScript.from_dict(payload["netem"])
+    if "events" in payload:
+        if shard_names is None:
+            raise NetemError(
+                "converting a fault scenario to wire rules needs the "
+                "shard names; pass shard_names or embed a 'netem' object"
+            )
+        return script_from_scenario(
+            FaultScenario.from_dict(payload), shard_names)
+    raise SerializationError(
+        "netem file has neither 'rules', 'netem' nor 'events'")

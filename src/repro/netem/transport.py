@@ -1,0 +1,195 @@
+"""Netem wrappers for the line-JSON transports.
+
+Two wrappers, one per side of the sharded tier:
+
+* :class:`NetemBackend` wraps a shard backend
+  (:class:`~repro.shard.backend.InProcessBackend` /
+  :class:`~repro.shard.backend.TCPBackend`) and degrades the
+  ``router->shard`` edge;
+* :class:`NetemClient` wraps a protocol client
+  (:class:`~repro.serve.server.InProcessClient` /
+  :class:`~repro.serve.server.TCPClient`) and degrades the
+  ``client->server`` edge.
+
+Semantics (both wrappers):
+
+* **forward drop / partition** — the request never reaches the peer.
+  The backend raises :class:`~repro.errors.ShardUnavailableError`
+  (and records a breaker failure) so the router's failover machinery
+  reacts exactly as it would to a dead shard; the client reports a
+  ``timeout`` response, which is what the caller would eventually
+  observe.
+* **reverse drop / partition** — the request *was applied* but the
+  answer is lost: the gray-failure ambiguity.  Same surface as a
+  forward drop; the router additionally fires a best-effort cleanup
+  release for lost assigns (see :mod:`repro.shard.router`).
+* **delay / reorder hold** — an ``asyncio.sleep`` before the hop;
+  held messages are overtaken by later traffic, which is precisely
+  how reordering manifests on a pipelined connection.
+* **slow** — gray degradation: the measured service time is padded to
+  ``factor×`` and injected delays are stretched, so the shard looks
+  alive-but-slow rather than dead (what hedging is for).
+* **duplicate** — materialized only for idempotent ops (``stats``):
+  a second copy is sent and its response discarded, exercising the
+  id-matching absorb path.  Non-idempotent ops (assign/release/
+  migrate) are counted but not re-applied — the wire may duplicate,
+  an at-most-once server must not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import ShardUnavailableError
+from repro.netem.engine import NetemEngine
+from repro.serve.protocol import Request, Response
+
+#: ops a duplicate may actually re-send without corrupting state
+_IDEMPOTENT_OPS = ("stats",)
+
+
+class NetemBackend:
+    """Degrade the ``router->shard`` edge in front of a real backend."""
+
+    def __init__(
+        self,
+        inner,
+        engine: NetemEngine,
+        edge: "str | None" = None,
+    ) -> None:
+        self.inner = inner
+        self.engine = engine
+        self.edge = edge or f"router->{inner.name}"
+
+    @property
+    def name(self) -> str:
+        """The wrapped backend's shard name."""
+        return self.inner.name
+
+    @property
+    def breaker(self):
+        """The wrapped backend's circuit breaker (shared, not copied)."""
+        return self.inner.breaker
+
+    async def request(self, request: Request) -> Response:
+        """Forward one request through the scripted wire."""
+        forward = self.engine.decide(self.edge, "forward")
+        if forward.sleep_s > 0:
+            await asyncio.sleep(forward.sleep_s)
+        if forward.lost:
+            # same failure surface as a dead shard: breaker + typed raise
+            self.breaker.record_failure()
+            raise ShardUnavailableError(
+                f"netem dropped request to shard {self.name!r}"
+            )
+        if forward.duplicate and request.op in _IDEMPOTENT_OPS:
+            asyncio.ensure_future(self._absorb(request))
+        started = time.perf_counter()
+        response = await self.inner.request(request)
+        service_s = time.perf_counter() - started
+        reverse = self.engine.decide(self.edge, "reverse")
+        slow = max(forward.slow_factor, reverse.slow_factor)
+        extra_s = reverse.sleep_s + service_s * (slow - 1.0)
+        if extra_s > 0:
+            await asyncio.sleep(extra_s)
+        if reverse.lost:
+            # the shard applied the request; only the answer is gone
+            self.breaker.record_failure()
+            raise ShardUnavailableError(
+                f"netem dropped response from shard {self.name!r}"
+            )
+        return response
+
+    async def _absorb(self, request: Request) -> None:
+        # the duplicate's response is unmatched at the caller; whatever
+        # happens to it must stay invisible
+        try:
+            await self.inner.request(request)
+        except ShardUnavailableError:
+            return
+
+    async def close(self) -> None:
+        """Close the wrapped backend."""
+        await self.inner.close()
+
+
+class NetemClient:
+    """Degrade the ``client->server`` edge in front of a protocol client.
+
+    Keeps the client surface (``send``/``flush``/``request``/``close``)
+    so the load generator drives it unchanged; lost messages surface as
+    ``timeout`` responses, never as hangs or protocol errors.
+    """
+
+    def __init__(
+        self,
+        inner,
+        engine: NetemEngine,
+        edge: str = "client->server",
+    ) -> None:
+        self.inner = inner
+        self.engine = engine
+        self.edge = edge
+
+    def send(self, request: Request) -> "asyncio.Future[Response]":
+        """Route one request through the wire; resolves like the inner send."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Response]" = loop.create_future()
+        task = loop.create_task(self._relay(request))
+
+        def _finish(t: "asyncio.Task") -> None:
+            if future.done():
+                return
+            exc = t.exception()
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(t.result())
+
+        task.add_done_callback(_finish)
+        return future
+
+    async def _relay(self, request: Request) -> Response:
+        forward = self.engine.decide(self.edge, "forward")
+        if forward.sleep_s > 0:
+            await asyncio.sleep(forward.sleep_s)
+        if forward.lost:
+            return Response(
+                id=request.id, status="timeout",
+                detail="netem: request dropped",
+            )
+        if forward.duplicate and request.op in _IDEMPOTENT_OPS:
+            asyncio.ensure_future(self._absorb(request))
+        started = time.perf_counter()
+        response = await self.inner.request(request)
+        service_s = time.perf_counter() - started
+        reverse = self.engine.decide(self.edge, "reverse")
+        slow = max(forward.slow_factor, reverse.slow_factor)
+        extra_s = reverse.sleep_s + service_s * (slow - 1.0)
+        if extra_s > 0:
+            await asyncio.sleep(extra_s)
+        if reverse.lost:
+            return Response(
+                id=request.id, status="timeout",
+                detail="netem: response dropped",
+            )
+        return response
+
+    async def _absorb(self, request: Request) -> None:
+        try:
+            await self.inner.request(request)
+        except (ConnectionError, OSError):
+            return
+
+    async def flush(self) -> None:
+        """Flush the wrapped client."""
+        await self.inner.flush()
+
+    async def request(self, request: Request) -> Response:
+        """Submit one request and await its (possibly degraded) response."""
+        return await self.send(request)
+
+    async def close(self) -> None:
+        """Close the wrapped client."""
+        await self.inner.close()

@@ -222,9 +222,27 @@ def _render_shard_section(metrics: dict) -> "str | None":
         ("unroutable", "shard/unroutable"),
         ("migrated devices", "shard/migrated_devices"),
         ("migration lost", "shard/migration_lost_devices"),
+        ("deadline timeouts", "shard/deadline_timeouts"),
     ):
         if key in counters:
             rows.append([label, int(counters[key])])
+    hedges = _sum_metric(counters, "shard/hedged_requests")
+    if hedges:
+        wins = _sum_metric(counters, "shard/hedge_wins")
+        rows.append(["hedges (wins)", f"{int(hedges)} ({int(wins)})"])
+    cleanups = _sum_metric(counters, "shard/hedge_cleanups")
+    if cleanups:
+        rows.append(["hedge cleanups", int(cleanups)])
+    ghosts = _sum_metric(counters, "shard/ghost_releases")
+    if ghosts:
+        rows.append(["ghost releases", int(ghosts)])
+    ejections = _sum_metric(counters, "shard/latency_ejections")
+    if ejections:
+        rows.append(["latency ejections", int(ejections)])
+        by_shard = _label_breakdown(counters, "shard/latency_ejections",
+                                    "shard")
+        if by_shard:
+            rows.append(["ejections by shard", by_shard])
     trips = _sum_metric(counters, "shard/breaker_trips")
     if trips:
         rows.append(["breaker trips", int(trips)])
@@ -243,6 +261,55 @@ def _render_shard_section(metrics: dict) -> "str | None":
     if not rows:
         return None
     return format_table(["shard", "value"], rows)
+
+
+def _render_netem_section(metrics: dict) -> "str | None":
+    """Network-emulation summary: what chaos actually hit the wire."""
+    counters = metrics.get("counters", {})
+    timers = metrics.get("timers", {})
+    rows: list[list] = []
+    for label, key in (
+        ("dropped", "netem/dropped_messages"),
+        ("partition drops", "netem/partition_drops"),
+        ("delayed", "netem/delayed_messages"),
+        ("duplicated", "netem/duplicated_messages"),
+        ("reordered", "netem/reordered_messages"),
+    ):
+        if key in counters:
+            rows.append([label, int(counters[key])])
+    injected = timers.get("netem/injected_delay_s")
+    if injected and injected.get("count", 0) > 0:
+        rows.append(["injected delay p50",
+                     _fmt_seconds(injected.get("p50", math.nan))])
+        rows.append(["injected delay p99",
+                     _fmt_seconds(injected.get("p99", math.nan))])
+    if not rows:
+        return None
+    return format_table(["netem", "value"], rows)
+
+
+def _render_wal_section(metrics: dict) -> "str | None":
+    """Durability summary: journal traffic and crash recoveries."""
+    counters = metrics.get("counters", {})
+    timers = metrics.get("timers", {})
+    rows: list[list] = []
+    for label, key in (
+        ("records appended", "wal/records_appended"),
+        ("snapshots written", "wal/snapshots_written"),
+        ("records replayed", "wal/records_replayed"),
+        ("recoveries", "wal/recoveries"),
+    ):
+        if key in counters:
+            rows.append([label, int(counters[key])])
+    recovery = timers.get("wal/recovery_time_s")
+    if recovery and recovery.get("count", 0) > 0:
+        rows.append(["recovery time p50",
+                     _fmt_seconds(recovery.get("p50", math.nan))])
+        rows.append(["recovery time max",
+                     _fmt_seconds(recovery.get("max", math.nan))])
+    if not rows:
+        return None
+    return format_table(["wal", "value"], rows)
 
 
 def render_dashboard(data: dict, width: int = 64) -> str:
@@ -273,6 +340,18 @@ def render_dashboard(data: dict, width: int = 64) -> str:
         sections.append("")
         sections.append("## shard")
         sections.append(shard_section)
+
+    netem_section = _render_netem_section(metrics)
+    if netem_section:
+        sections.append("")
+        sections.append("## netem")
+        sections.append(netem_section)
+
+    wal_section = _render_wal_section(metrics)
+    if wal_section:
+        sections.append("")
+        sections.append("## wal")
+        sections.append(wal_section)
 
     counters = metrics.get("counters", {})
     if counters:

@@ -69,6 +69,9 @@ SERVE_BATCH_FLUSHES = "serve/batch_flushes"
 SERVE_ASSIGN_LATENCY = "serve/assign_latency_s"
 SERVE_REOPT_RUNS = "serve/reopt_runs"
 SERVE_REOPT_GAIN = "serve/reopt_gain_ms"
+SERVE_DEADLINE_EXCEEDED = "serve/deadline_exceeded"
+SERVE_CLIENT_RETRIES = "serve/client_retries"
+SERVE_RETRY_BUDGET_EXHAUSTED = "serve/retry_budget_exhausted"
 
 # -- topology-sharded serving tier -----------------------------------
 SHARD_ROUTED = "shard/routed"
@@ -80,6 +83,27 @@ SHARD_MIGRATION_ROUNDS = "shard/migration_rounds"
 SHARD_MIGRATION_LOST = "shard/migration_lost_devices"
 SHARD_ACTIVE_DEVICES = "shard/active_devices"
 SHARD_ROUTE_LATENCY = "shard/route_latency_s"
+SHARD_HEDGES = "shard/hedged_requests"
+SHARD_HEDGE_WINS = "shard/hedge_wins"
+SHARD_HEDGE_CLEANUPS = "shard/hedge_cleanups"
+SHARD_EJECTIONS = "shard/latency_ejections"
+SHARD_TIMEOUTS = "shard/deadline_timeouts"
+SHARD_GHOST_RELEASES = "shard/ghost_releases"
+
+# -- on-wire network fault injection ----------------------------------
+NETEM_DROPPED = "netem/dropped_messages"
+NETEM_DELAYED = "netem/delayed_messages"
+NETEM_INJECTED_DELAY = "netem/injected_delay_s"
+NETEM_DUPLICATED = "netem/duplicated_messages"
+NETEM_REORDERED = "netem/reordered_messages"
+NETEM_PARTITIONED = "netem/partition_drops"
+
+# -- assignment write-ahead log ---------------------------------------
+WAL_APPENDS = "wal/records_appended"
+WAL_SNAPSHOTS = "wal/snapshots_written"
+WAL_REPLAYED = "wal/records_replayed"
+WAL_RECOVERIES = "wal/recoveries"
+WAL_RECOVERY_TIME = "wal/recovery_time_s"
 
 # -- fault injection and task-lifecycle resilience --------------------
 FAULTS_INJECTED = "faults/injected"
@@ -142,6 +166,9 @@ CATALOG: tuple[str, ...] = (
     SERVE_ASSIGN_LATENCY,
     SERVE_REOPT_RUNS,
     SERVE_REOPT_GAIN,
+    SERVE_DEADLINE_EXCEEDED,
+    SERVE_CLIENT_RETRIES,
+    SERVE_RETRY_BUDGET_EXHAUSTED,
     SHARD_ROUTED,
     SHARD_SPILLOVERS,
     SHARD_UNROUTABLE,
@@ -151,6 +178,23 @@ CATALOG: tuple[str, ...] = (
     SHARD_MIGRATION_LOST,
     SHARD_ACTIVE_DEVICES,
     SHARD_ROUTE_LATENCY,
+    SHARD_HEDGES,
+    SHARD_HEDGE_WINS,
+    SHARD_HEDGE_CLEANUPS,
+    SHARD_EJECTIONS,
+    SHARD_TIMEOUTS,
+    SHARD_GHOST_RELEASES,
+    NETEM_DROPPED,
+    NETEM_DELAYED,
+    NETEM_INJECTED_DELAY,
+    NETEM_DUPLICATED,
+    NETEM_REORDERED,
+    NETEM_PARTITIONED,
+    WAL_APPENDS,
+    WAL_SNAPSHOTS,
+    WAL_REPLAYED,
+    WAL_RECOVERIES,
+    WAL_RECOVERY_TIME,
     ENGINE_JOBS_SCHEDULED,
     ENGINE_JOBS_COMPLETED,
     ENGINE_JOBS_FAILED,

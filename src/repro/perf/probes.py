@@ -173,6 +173,106 @@ def probe_shard_route_throughput() -> None:
     _tiny_sharded_loadtest(500)
 
 
+def probe_serve_gray_p99() -> float:
+    """p99 latency (seconds) of the defense stack under a gray wire.
+
+    A fixed-seed sharded loadtest with deadlines and hedging on, over a
+    scripted netem wire that drops a tenth of one shard's requests and
+    holds another shard gray-slow — the serving tier's worst day,
+    reduced to one number the perf gate can watch.
+    """
+    import asyncio
+
+    from repro.netem import NetemBackend, NetemEngine, NetemRule, NetemScript
+    from repro.serve import (
+        AssignmentService,
+        LoadTestConfig,
+        ServiceConfig,
+        run_loadtest,
+    )
+    from repro.shard import (
+        InProcessBackend,
+        RouterConfig,
+        ShardRouter,
+        build_plan,
+    )
+
+    problem = _tiny_problem()
+    plan = build_plan(problem, 3)
+    shard_names = [s.name for s in plan.shards]
+    engine = NetemEngine(NetemScript(seed=7, rules=(
+        NetemRule(kind="drop", edge=f"*->{shard_names[0]}",
+                  direction="forward", p=0.1),
+        NetemRule(kind="slow", edge=f"*->{shard_names[-1]}", factor=3.0),
+        NetemRule(kind="delay", edge="*", direction="forward",
+                  delay_s=0.0005, jitter_s=0.0005),
+    )))
+    config = LoadTestConfig(
+        n_requests=300, rate_hz=2_000.0, profile="poisson", seed=7
+    )
+
+    async def scenario():
+        services = {}
+        backends = {}
+        for spec in plan.shards:
+            service = AssignmentService(
+                plan.subproblem(problem, spec.name),
+                ServiceConfig(max_queue=100_000),
+            )
+            await service.start()
+            services[spec.name] = service
+            backends[spec.name] = NetemBackend(
+                InProcessBackend(spec.name, service), engine
+            )
+        router = ShardRouter(
+            plan, backends,
+            RouterConfig(default_deadline_ms=2_000.0, hedge=True),
+        )
+        await router.start()
+        try:
+            return await run_loadtest(
+                router, problem.n_devices, config, collect_stats=False
+            )
+        finally:
+            await router.stop()
+            for service in services.values():
+                if service.started:
+                    await service.stop()
+
+    return asyncio.run(scenario()).latency_ms["p99"] / 1e3
+
+
+def probe_shard_recovery_time() -> float:
+    """Seconds to rebuild a shard's state from its WAL after a crash.
+
+    Journals a fixed mutation workload (assigns, releases, a swap and a
+    snapshot roll), then times a fresh state's snapshot + journal
+    replay — the recovery cost the gray-failure experiments bound.
+    """
+    import tempfile
+    import time as _time
+
+    from repro.model.instances import random_instance
+    from repro.serve.state import ServiceState
+    from repro.wal import WriteAheadLog
+
+    problem = random_instance(200, 8, tightness=0.6, seed=7)
+    with tempfile.TemporaryDirectory(prefix="probe-wal-") as wal_dir:
+        state = ServiceState(
+            problem, wal=WriteAheadLog(wal_dir, snapshot_every=256)
+        )
+        for _ in range(4):
+            for device in range(0, 200, 2):
+                state.assign(device)
+            for device in range(0, 200, 2):
+                state.release(device)
+        state._wal.close()
+        fresh = ServiceState(problem, wal=WriteAheadLog(wal_dir))
+        started = _time.perf_counter()
+        fresh.recover()
+        return _time.perf_counter() - started
+
+
 #: probe name -> zero-argument callable (insertion order is report order)
 PROBES = {
     "solve_greedy": probe_solve_greedy,
@@ -183,6 +283,8 @@ PROBES = {
     "serve_throughput": probe_serve_throughput,
     "shard_loadtest_p99": probe_shard_loadtest_p99,
     "shard_route_throughput": probe_shard_route_throughput,
+    "serve_gray_p99": probe_serve_gray_p99,
+    "shard_recovery_time": probe_shard_recovery_time,
 }
 
 

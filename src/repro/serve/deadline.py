@@ -1,0 +1,75 @@
+"""Absolute deadlines on the request path: stamp, propagate, enforce.
+
+A deadline travels the wire as ``deadline_ms`` — absolute Unix epoch
+milliseconds — on every :class:`~repro.serve.protocol.Request`.  Being
+absolute is the point: the budget shrinks as the request crosses hops
+(client → router → shard → batch queue), so a request that already
+spent its budget queueing is failed *fast* at the next hop instead of
+consuming a full per-hop timeout there.  Every await on the serve and
+shard request path is bounded through :func:`bounded`, which converts
+``asyncio.TimeoutError`` into the typed
+:class:`~repro.errors.DeadlineExceededError` the callers handle.
+
+The clock is ``time.time`` (the one clock processes share); helpers
+take an injectable clock for tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import DeadlineExceededError
+from repro.utils.validation import require
+
+
+def deadline_ms_in(budget_ms: float, clock=time.time) -> float:
+    """Absolute wire deadline ``budget_ms`` from now."""
+    require(budget_ms > 0, "budget_ms must be > 0")
+    return clock() * 1e3 + float(budget_ms)
+
+
+def remaining_s(deadline_ms: "float | None", clock=time.time) -> "float | None":
+    """Seconds of budget left (negative = expired); None when unset."""
+    if deadline_ms is None:
+        return None
+    return float(deadline_ms) / 1e3 - clock()
+
+
+def expired(deadline_ms: "float | None", clock=time.time) -> bool:
+    """Whether the deadline has already passed (False when unset)."""
+    rem = remaining_s(deadline_ms, clock)
+    return rem is not None and rem <= 0
+
+
+async def bounded(
+    awaitable,
+    deadline_ms: "float | None" = None,
+    timeout_s: "float | None" = None,
+    where: str = "await",
+    clock=time.time,
+):
+    """Await with the tighter of the deadline budget and a fixed timeout.
+
+    With neither bound set this is a plain await.  An already-expired
+    deadline raises before the awaitable is scheduled at all — the
+    fail-fast half of deadline propagation.
+    """
+    budget = remaining_s(deadline_ms, clock)
+    if budget is not None and budget <= 0:
+        # drop the coroutine without running it (avoids the
+        # "never awaited" warning for the common create-then-check path)
+        asyncio.ensure_future(awaitable).cancel()
+        raise DeadlineExceededError(
+            f"{where}: deadline passed {-budget * 1e3:.1f} ms ago"
+        )
+    if timeout_s is not None:
+        budget = timeout_s if budget is None else min(budget, timeout_s)
+    if budget is None:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, timeout=budget)
+    except (asyncio.TimeoutError, TimeoutError):
+        raise DeadlineExceededError(
+            f"{where}: no answer within {budget * 1e3:.1f} ms"
+        ) from None

@@ -22,7 +22,9 @@ the devices actually freed in ``stats["released"]``).
 Statuses: ``ok``; ``rejected`` (admission control said no — carries
 ``retry_after_ms``); ``infeasible`` (no server fits the device);
 ``error`` (malformed request or protocol misuse, e.g. releasing a
-device that is not assigned).
+device that is not assigned); ``timeout`` (the request's propagated
+``deadline_ms`` expired before it could be served — not a protocol
+error: the caller may retry with a fresh deadline).
 
 Priority classes mirror the shedding semantics of
 :mod:`repro.cluster.degradation` and the fault-injection layer: under
@@ -45,12 +47,19 @@ PRIORITY_CLASSES = ("low", "normal", "high")
 OPS = ("assign", "release", "stats", "migrate")
 
 #: response statuses
-STATUSES = ("ok", "rejected", "infeasible", "error")
+STATUSES = ("ok", "rejected", "infeasible", "error", "timeout")
 
 
 @dataclass(frozen=True)
 class Request:
-    """One client request (one JSON line on the wire)."""
+    """One client request (one JSON line on the wire).
+
+    ``deadline_ms`` is an *absolute* Unix-epoch-milliseconds deadline
+    (see :mod:`repro.serve.deadline`): it is stamped once by the
+    client (or the router's default budget) and propagated verbatim
+    through every hop, so downstream stages inherit the shrinking
+    budget instead of each granting a fresh one.
+    """
 
     op: str
     id: int = 0
@@ -58,6 +67,7 @@ class Request:
     priority: str = "normal"
     devices: "tuple[int, ...] | None" = None
     epoch: "int | None" = None
+    deadline_ms: "float | None" = None
 
     def __post_init__(self) -> None:
         require(self.op in OPS, f"unknown op {self.op!r}; known: {OPS}")
@@ -75,6 +85,11 @@ class Request:
                 self.devices is not None and self.epoch is not None,
                 "op 'migrate' needs 'devices' and 'epoch'",
             )
+        if self.deadline_ms is not None:
+            require(
+                float(self.deadline_ms) > 0,
+                "deadline_ms must be a positive absolute epoch-ms instant",
+            )
 
     def to_dict(self) -> dict:
         """Plain-JSON form (omits unset optionals)."""
@@ -87,6 +102,8 @@ class Request:
             payload["devices"] = [int(d) for d in self.devices]
         if self.epoch is not None:
             payload["epoch"] = int(self.epoch)
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = round(float(self.deadline_ms), 3)
         return payload
 
     @classmethod
@@ -96,6 +113,7 @@ class Request:
             device = payload.get("device")
             devices = payload.get("devices")
             epoch = payload.get("epoch")
+            deadline_ms = payload.get("deadline_ms")
             return cls(
                 op=str(payload["op"]),
                 id=int(payload.get("id", 0)),
@@ -103,6 +121,7 @@ class Request:
                 priority=str(payload.get("priority", "normal")),
                 devices=None if devices is None else tuple(int(d) for d in devices),
                 epoch=None if epoch is None else int(epoch),
+                deadline_ms=None if deadline_ms is None else float(deadline_ms),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"bad request payload: {exc}") from exc

@@ -22,6 +22,7 @@ callers that invoke it in trace order get FIFO processing.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 
 from repro.errors import ReproError, SerializationError
 from repro.serve.protocol import (
@@ -33,6 +34,10 @@ from repro.serve.protocol import (
 )
 from repro.serve.service import AssignmentService
 from repro.utils.validation import require
+
+#: upper bound on one socket-buffer drain; a peer that stops reading
+#: for this long is treated as gone (the unbounded-await audit's bound)
+_DRAIN_TIMEOUT_S = 30.0
 
 
 class TCPServer:
@@ -74,7 +79,10 @@ class TCPServer:
         async def pump() -> None:
             while (line := await out.get()) is not None:
                 writer.write(line)
-                await writer.drain()
+                # a peer that stops reading must not pin this task (and
+                # the responses queued behind it) forever: a stuck drain
+                # means the connection is effectively dead, so cut it
+                await asyncio.wait_for(writer.drain(), timeout=_DRAIN_TIMEOUT_S)
 
         pump_task = asyncio.create_task(pump())
         try:
@@ -98,7 +106,8 @@ class TCPServer:
             out.put_nowait(None)
             try:
                 await pump_task
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.TimeoutError, TimeoutError):
                 pass
             writer.close()
             try:
@@ -168,11 +177,7 @@ class TCPClient:
             require(False, "client is not connected")
         if request.id == 0:
             self._next_id += 1
-            request = Request(
-                op=request.op, id=self._next_id,
-                device=request.device, priority=request.priority,
-                devices=request.devices, epoch=request.epoch,
-            )
+            request = dataclasses.replace(request, id=self._next_id)
         require(
             request.id not in self._pending,
             f"request id {request.id} already in flight",

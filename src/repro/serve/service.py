@@ -39,9 +39,11 @@ from repro.obs import names as obs_names
 from repro.obs import runtime as obs_runtime
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import MicroBatcher
+from repro.serve.deadline import expired
 from repro.serve.protocol import Request, Response
 from repro.serve.state import ServiceState
 from repro.utils.validation import require
+from repro.wal import WriteAheadLog
 
 #: EWMA weight for the measured drain rate fed back into admission
 _DRAIN_EWMA_ALPHA = 0.3
@@ -60,6 +62,8 @@ class ServiceConfig:
     reopt_interval_s: "float | None" = None  # None disables the loop
     reopt_solver: str = "local_search"
     reopt_seed: int = 0
+    wal_dir: "str | None" = None  # None = no durability
+    wal_snapshot_every: int = 256
 
     def __post_init__(self) -> None:
         require(self.max_batch >= 1, "max_batch must be >= 1")
@@ -67,6 +71,8 @@ class ServiceConfig:
         require(self.max_queue >= 1, "max_queue must be >= 1")
         if self.reopt_interval_s is not None:
             require(self.reopt_interval_s > 0, "reopt_interval_s must be > 0")
+        require(self.wal_snapshot_every >= 1,
+                "wal_snapshot_every must be >= 1")
 
 
 class AssignmentService:
@@ -78,9 +84,21 @@ class AssignmentService:
         config: "ServiceConfig | None" = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        wal = None
+        if self.config.wal_dir is not None:
+            wal = WriteAheadLog(
+                self.config.wal_dir,
+                snapshot_every=self.config.wal_snapshot_every,
+            )
         self.state = ServiceState(
-            problem, rule=self.config.rule, headroom=self.config.headroom
+            problem, rule=self.config.rule, headroom=self.config.headroom,
+            wal=wal,
         )
+        self.recovery_ms = 0.0
+        if wal is not None:
+            started = time.perf_counter()
+            self.state.recover()
+            self.recovery_ms = (time.perf_counter() - started) * 1e3
         self.admission = AdmissionController(
             max_queue=self.config.max_queue,
             watermark=self.config.watermark,
@@ -229,6 +247,15 @@ class AssignmentService:
         def latency_ms() -> float:
             return (time.perf_counter() - enqueued_t) * 1e3
 
+        if expired(request.deadline_ms):
+            # the budget died in the queue: answer fast, mutate nothing —
+            # the client has already given up on this response
+            registry.counter(obs_names.SERVE_DEADLINE_EXCEEDED).inc()
+            return Response(
+                id=request.id, status="timeout",
+                detail="deadline expired before apply",
+                latency_ms=latency_ms(),
+            )
         try:
             if request.op == "assign":
                 server = self.state.assign(int(request.device))
@@ -286,7 +313,7 @@ class AssignmentService:
 
     def _stats(self) -> dict:
         """Service-level snapshot (state + queue + admission + reopt)."""
-        return {
+        stats = {
             **self.state.stats(),
             "queue_depth": self._pending,
             "queue_max": self.admission.max_queue,
@@ -296,6 +323,10 @@ class AssignmentService:
             "reopt_swaps": self.reopt_swaps,
             "reopt_gain_ms_total": round(self.reopt_gain_ms_total, 6),
         }
+        if self.config.wal_dir is not None:
+            stats["wal_recovered_records"] = self.state.recovered_records
+            stats["wal_recovery_ms"] = round(self.recovery_ms, 3)
+        return stats
 
     # ------------------------------------------------------------------
     # re-optimization loop

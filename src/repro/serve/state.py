@@ -11,16 +11,27 @@ batch consumer is the only mutator, so a batched run over a fixed
 arrival trace is *by construction* the same sequence of
 ``OnlineAssigner`` calls a serial replay would make (the equivalence
 the determinism tests pin down).
+
+Durability is opt-in: hand the constructor a
+:class:`~repro.wal.WriteAheadLog` and every mutation is journaled
+(snapshots roll automatically); :meth:`recover` replays snapshot +
+journal on restart, restoring the exact pre-crash state — the
+byte-identical guarantee the WAL tests pin down.  Single-writer is
+what makes replay exact: the journal *is* the mutation order.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.cluster.online import OnlineAssigner
-from repro.errors import InfeasibleSolutionError
+from repro.errors import InfeasibleSolutionError, WalError
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import UNASSIGNED
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
 from repro.utils.validation import require
 
 
@@ -32,6 +43,7 @@ class ServiceState:
         problem: AssignmentProblem,
         rule: str = "reserve",
         headroom: float = 0.85,
+        wal=None,
     ) -> None:
         self.problem = problem
         self.assigner = OnlineAssigner(problem, rule=rule, headroom=headroom)
@@ -41,6 +53,9 @@ class ServiceState:
         # total delay is maintained incrementally (O(1) per mutation) so
         # stats() stays flat as device counts grow; try_swap recomputes
         self._total_delay_s = 0.0
+        self._wal = wal
+        self._mute_wal = False  # True while replaying (or inside migrate)
+        self.recovered_records = 0
 
     # ------------------------------------------------------------------
     # protocol operations (called only from the batch consumer)
@@ -64,6 +79,8 @@ class ServiceState:
         self._assigns += 1
         self.epoch += 1
         self._total_delay_s += float(self.problem.delay[device, server])
+        self._log({"op": "assign", "device": int(device),
+                   "server": int(server)})
         return server
 
     def release(self, device: int) -> int:
@@ -72,6 +89,8 @@ class ServiceState:
         self._releases += 1
         self.epoch += 1
         self._total_delay_s -= float(self.problem.delay[device, server])
+        self._log({"op": "release", "device": int(device),
+                   "server": int(server)})
         return server
 
     def stats(self) -> dict:
@@ -147,6 +166,7 @@ class ServiceState:
         self.epoch += 1
         # a swap rewrites the whole vector: re-anchor the incremental sum
         self._total_delay_s = self.recompute_total_delay_s()
+        self._log({"op": "swap", "vector": [int(v) for v in vector]})
         return True
 
     # ------------------------------------------------------------------
@@ -179,7 +199,128 @@ class ServiceState:
             return []
         new_vector = vector.copy()
         new_vector[held] = UNASSIGNED
-        swapped = self.try_swap(snap_epoch, new_vector)
+        # one 'migrate' record stands in for the inner swap: replaying
+        # the batch is cheaper than journaling the whole rewritten vector
+        self._mute_wal = True
+        try:
+            swapped = self.try_swap(snap_epoch, new_vector)
+        finally:
+            self._mute_wal = False
         assert swapped  # single-writer: nothing can land in between
         self._releases += len(held)
+        self._log({"op": "migrate", "devices": [int(d) for d in held]})
         return [int(d) for d in held]
+
+    # ------------------------------------------------------------------
+    # durability (see repro.wal)
+    # ------------------------------------------------------------------
+    def _log(self, record: dict) -> None:
+        if self._wal is None or self._mute_wal:
+            return
+        self._wal.append(record)
+        if self._wal.should_snapshot():
+            self._wal.write_snapshot(self.snapshot_payload())
+
+    def snapshot_payload(self) -> dict:
+        """Everything :meth:`recover` needs to rebuild this state.
+
+        ``total_delay_s`` ships verbatim (repr round-trip) rather than
+        being recomputed on load: the incremental sum may differ from a
+        fresh recomputation by float drift, and recovery must restore
+        the state *byte-identical*, drift included.
+        """
+        return {
+            "vector": [int(v) for v in self.vector],
+            "epoch": int(self.epoch),
+            "assigns": int(self._assigns),
+            "releases": int(self._releases),
+            "total_delay_s": float(self._total_delay_s),
+        }
+
+    def recover(self) -> int:
+        """Replay the WAL (snapshot + journal) into this fresh state.
+
+        Must run before any traffic.  Returns the number of journal
+        records replayed; records and replays are also published as
+        ``wal/*`` metrics.  Replay drives the same public mutators the
+        live path uses, so counters, epoch and the incremental delay
+        sum evolve exactly as they did pre-crash.
+        """
+        require(self._wal is not None, "recover() needs a WAL")
+        require(self.epoch == 0 and self.active_count == 0,
+                "recover() must run on a fresh state")
+        registry = obs_runtime.metrics()
+        started = time.perf_counter()
+        snapshot, records = self._wal.load()
+        self._mute_wal = True
+        try:
+            if snapshot is not None:
+                self._restore_snapshot(snapshot)
+            for record in records:
+                self._apply_wal_record(record)
+        finally:
+            self._mute_wal = False
+        self.recovered_records = len(records)
+        if snapshot is not None or records:
+            registry.counter(obs_names.WAL_RECOVERIES).inc()
+            registry.counter(obs_names.WAL_REPLAYED).inc(len(records))
+            registry.timer(obs_names.WAL_RECOVERY_TIME).observe(
+                time.perf_counter() - started
+            )
+        return len(records)
+
+    def _restore_snapshot(self, snapshot: dict) -> None:
+        try:
+            vector = np.asarray(snapshot["vector"], dtype=np.int64)
+            epoch = int(snapshot["epoch"])
+            assigns = int(snapshot["assigns"])
+            releases = int(snapshot["releases"])
+            total_delay_s = float(snapshot["total_delay_s"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalError(f"malformed WAL snapshot payload: {exc}") from exc
+        if vector.shape[0] != self.problem.n_devices:
+            raise WalError(
+                f"WAL snapshot is for {vector.shape[0]} devices, "
+                f"this problem has {self.problem.n_devices}"
+            )
+        self.assigner.reset_to(vector)
+        self.epoch = epoch
+        self._assigns = assigns
+        self._releases = releases
+        self._total_delay_s = total_delay_s
+
+    def _apply_wal_record(self, record: dict) -> None:
+        op = record.get("op")
+        try:
+            if op == "assign":
+                server = self.assign(int(record["device"]))
+                if server != int(record["server"]):
+                    raise WalError(
+                        f"WAL replay diverged: assign({record['device']}) "
+                        f"landed on {server}, journal says {record['server']}"
+                    )
+            elif op == "release":
+                self.release(int(record["device"]))
+            elif op == "migrate":
+                held = [int(d) for d in record["devices"]]
+                vector = self.vector.copy()
+                vector[held] = UNASSIGNED
+                self.assigner.reset_to(vector)
+                self.epoch += 1
+                self._total_delay_s = self.recompute_total_delay_s()
+                self._releases += len(held)
+            elif op == "swap":
+                vector = np.asarray(record["vector"], dtype=np.int64)
+                self.assigner.reset_to(vector)
+                self.epoch += 1
+                self._total_delay_s = self.recompute_total_delay_s()
+            else:
+                raise WalError(f"unknown WAL record op {op!r}")
+        except WalError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalError(f"malformed WAL record {record!r}: {exc}") from exc
+        except InfeasibleSolutionError as exc:
+            raise WalError(
+                f"WAL replay diverged on {record!r}: {exc}"
+            ) from exc

@@ -24,7 +24,8 @@ from __future__ import annotations
 import asyncio
 import time
 
-from repro.errors import ShardUnavailableError
+from repro.errors import DeadlineExceededError, ShardUnavailableError
+from repro.serve.deadline import bounded, remaining_s
 from repro.serve.protocol import Request, Response
 from repro.serve.server import TCPClient
 from repro.serve.service import AssignmentService
@@ -56,6 +57,7 @@ class CircuitBreaker:
         self._failures = 0
         self._state = self.CLOSED
         self._opened_at = 0.0
+        self._probe_in_flight = False  # half-open admits exactly one trial
         self.trips = 0  # lifetime open transitions (observability)
 
     @property
@@ -66,16 +68,42 @@ class CircuitBreaker:
             and self._clock() - self._opened_at >= self.reset_after_s
         ):
             self._state = self.HALF_OPEN
+            self._probe_in_flight = False
         return self._state
 
     def allows(self) -> bool:
-        """Whether a request may be attempted right now."""
+        """Whether a request *could* be attempted right now (pure check).
+
+        Read-only: used by gossip / migration planning to ask "is this
+        shard reachable in principle".  The request path must use
+        :meth:`acquire` instead, which also reserves the half-open
+        probe slot.
+        """
         return self.state != self.OPEN
+
+    def acquire(self) -> bool:
+        """Claim permission to send one request (consumes the probe slot).
+
+        In half-open state exactly one caller wins until the probe's
+        :meth:`record_success`/:meth:`record_failure` settles it — two
+        concurrent requests racing the cooldown boundary must not both
+        probe a shard that is presumed down (the half-open race the
+        tests pin).  Closed state admits everyone; open admits no one.
+        """
+        state = self.state
+        if state == self.OPEN:
+            return False
+        if state == self.HALF_OPEN:
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+        return True
 
     def record_success(self) -> None:
         """A request went through: close the circuit."""
         self._failures = 0
         self._state = self.CLOSED
+        self._probe_in_flight = False
 
     def record_failure(self) -> None:
         """A transport failure: count it; trip when the threshold hits.
@@ -84,6 +112,7 @@ class CircuitBreaker:
         said the shard is still down.
         """
         self._failures += 1
+        self._probe_in_flight = False
         if (
             self._state == self.HALF_OPEN
             or self._failures >= self.failure_threshold
@@ -109,12 +138,24 @@ class InProcessBackend:
         self.breaker = breaker or CircuitBreaker()
 
     async def request(self, request: Request) -> Response:
-        """Forward one request; raises ShardUnavailableError when down."""
+        """Forward one request; raises ShardUnavailableError when down.
+
+        A request deadline bounds the await; its expiry raises the
+        typed :class:`~repro.errors.DeadlineExceededError` *without*
+        tripping the breaker — a short budget is the client's problem,
+        not evidence the shard is down.
+        """
         if not self.service.started:
             self.breaker.record_failure()
             raise ShardUnavailableError(f"shard {self.name!r} is stopped")
         try:
-            response = await self.service.submit_nowait(request)
+            response = await bounded(
+                self.service.submit_nowait(request),
+                deadline_ms=request.deadline_ms,
+                where=f"shard {self.name!r}",
+            )
+        except DeadlineExceededError:
+            raise
         except Exception as exc:
             self.breaker.record_failure()
             raise ShardUnavailableError(
@@ -177,17 +218,42 @@ class TCPBackend:
 
         The dead client is discarded so the next attempt reconnects —
         which is what lets a restarted shard rejoin without router
-        intervention.
+        intervention.  The await is bounded by the *tighter* of the
+        fixed transport timeout and the request's propagated deadline;
+        when the deadline is the binding constraint its expiry raises
+        :class:`~repro.errors.DeadlineExceededError` and does **not**
+        trip the breaker or drop the connection — the shard may be
+        healthy, the budget just ran out.
         """
+        timeout_s = self.request_timeout_s
+        remaining = remaining_s(request.deadline_ms)
+        if remaining is not None:
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"shard {self.name!r}: deadline passed before send"
+                )
+            timeout_s = min(timeout_s, remaining)
         try:
             client = await self._ensure_client()
             response = await asyncio.wait_for(
-                client.request(request), timeout=self.request_timeout_s
+                client.request(request), timeout=timeout_s
             )
         except ShardUnavailableError:
             self.breaker.record_failure()
             raise
-        except (OSError, TimeoutError) as exc:
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            if timeout_s < self.request_timeout_s:
+                # the deadline was the binding bound: typed fail-fast,
+                # connection kept (pipelined siblings are still live)
+                raise DeadlineExceededError(
+                    f"shard {self.name!r}: no answer within the deadline"
+                ) from exc
+            self.breaker.record_failure()
+            await self._drop_client()
+            raise ShardUnavailableError(
+                f"shard {self.name!r} transport failed: {exc}"
+            ) from exc
+        except OSError as exc:
             self.breaker.record_failure()
             await self._drop_client()
             raise ShardUnavailableError(

@@ -32,10 +32,12 @@ import signal
 import sys
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ShardError
 from repro.faults.scenario import FaultScenario
 from repro.model.instances import topology_instance
+from repro.netem import NetemBackend, NetemEngine, NetemScript
 from repro.serve.loadtest import LoadTestConfig, LoadTestReport, run_loadtest
 from repro.shard.backend import TCPBackend
 from repro.shard.partition import ShardPlan, build_plan
@@ -44,6 +46,13 @@ from repro.shard.router import RouterConfig, ShardRouter
 from repro.utils.validation import require
 
 _PORT_LINE = re.compile(r" on ([\d.]+):(\d+)\s*$")
+_RECOVERY_LINE = re.compile(
+    r"recovered (\d+) wal records? in ([\d.]+) ms"
+)
+
+#: bound on reaping a signalled child — a SIGKILLed process that does
+#: not exit within this is a harness bug, not something to hang on
+_REAP_TIMEOUT_S = 30.0
 
 
 @dataclass(frozen=True)
@@ -63,6 +72,13 @@ class HarnessConfig:
     batch_wait_ms: float = 2.0
     rebalance_interval_s: "float | None" = None
     startup_timeout_s: float = 30.0
+    #: directory receiving one WAL subdirectory per shard (None = no WAL);
+    #: a restarted shard replays its WAL and rejoins with its pre-crash state
+    wal_root: "str | None" = None
+    #: absolute per-request budget stamped by the router (None = unbounded)
+    default_deadline_ms: "float | None" = None
+    #: race hedged assigns against slow shards (see docs/robustness.md)
+    hedge: bool = True
 
     def __post_init__(self) -> None:
         require(self.n_shards >= 1, "n_shards must be >= 1")
@@ -112,6 +128,8 @@ class ShardProcess:
         self.config = config
         self.port = 0  # assigned on first start, pinned on restart
         self.log: "list[str]" = []
+        self.recovered_records = 0  # WAL records replayed on last start
+        self.recovery_ms = 0.0
         self._proc: "asyncio.subprocess.Process | None" = None
         self._drain_task: "asyncio.Task | None" = None
 
@@ -121,7 +139,7 @@ class ShardProcess:
         return self._proc is not None and self._proc.returncode is None
 
     def _argv(self) -> "list[str]":
-        return [
+        argv = [
             sys.executable, "-m", "repro", "shard", "serve",
             "--shard", self.name,
             "--shards", str(self.config.n_shards),
@@ -132,6 +150,10 @@ class ShardProcess:
             "--batch-wait-ms", str(self.config.batch_wait_ms),
             *self.config.instance_argv(),
         ]
+        if self.config.wal_root is not None:
+            argv += ["--wal-dir",
+                     str(Path(self.config.wal_root) / self.name)]
+        return argv
 
     async def start(self) -> int:
         """Spawn and wait for the listening line; returns the port."""
@@ -162,6 +184,12 @@ class ShardProcess:
                 )
             line = raw.decode("utf-8", errors="replace").rstrip()
             self.log.append(line)
+            recovery = _RECOVERY_LINE.search(line)
+            if recovery:
+                # the serve command replays its WAL before announcing the
+                # port, so this line always precedes readiness
+                self.recovered_records = int(recovery.group(1))
+                self.recovery_ms = float(recovery.group(2))
             match = _PORT_LINE.search(line)
             if match:
                 self.port = int(match.group(2))
@@ -206,10 +234,27 @@ class ShardProcess:
     async def _reap(self) -> "int | None":
         if self._proc is None:
             return None
-        rc = await self._proc.wait()
+        try:
+            rc = await asyncio.wait_for(
+                self._proc.wait(), timeout=_REAP_TIMEOUT_S
+            )
+        except asyncio.TimeoutError:
+            # no unbounded await on a child that ignores its signal:
+            # escalate to SIGKILL, which cannot be ignored
+            try:
+                self._proc.send_signal(signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            rc = await self._proc.wait()
         if self._drain_task is not None:
             try:
-                await self._drain_task
+                await asyncio.wait_for(self._drain_task, timeout=5.0)
+            except asyncio.TimeoutError:
+                self._drain_task.cancel()
+                try:
+                    await self._drain_task
+                except asyncio.CancelledError:
+                    pass
             except asyncio.CancelledError:
                 pass
             self._drain_task = None
@@ -301,6 +346,9 @@ class ShardLoadTestReport:
     timeline: "list[dict]"
     fault_log: "list[dict]" = field(default_factory=list)
     shutdown_codes: "dict[str, int | None]" = field(default_factory=dict)
+    netem_stats: "dict | None" = None  # chaos actually injected on the wire
+    wal_recovery: "dict[str, dict]" = field(default_factory=dict)
+    router_stats: "dict | None" = None  # hedges/timeouts/ghost releases
 
     def to_dict(self) -> dict:
         """Plain-JSON form."""
@@ -311,6 +359,9 @@ class ShardLoadTestReport:
             "timeline": self.timeline,
             "fault_log": self.fault_log,
             "shutdown_codes": self.shutdown_codes,
+            "netem_stats": self.netem_stats,
+            "wal_recovery": self.wal_recovery,
+            "router_stats": self.router_stats,
         }
 
 
@@ -372,22 +423,39 @@ async def run_sharded_loadtest(
     load: LoadTestConfig,
     scenario: "FaultScenario | None" = None,
     window_s: float = 0.5,
+    netem: "NetemScript | None" = None,
 ) -> ShardLoadTestReport:
-    """Spawn the cluster, drive it, optionally break it, measure it."""
+    """Spawn the cluster, drive it, optionally break it, measure it.
+
+    ``netem`` wraps every router→shard backend in a
+    :class:`~repro.netem.NetemBackend` sharing one seeded engine, so
+    the same script injects identical on-wire chaos run over run.
+    """
     problem = config.problem()
     plan = config.plan(problem)
     procs = [ShardProcess(spec.name, config) for spec in plan.shards]
     fault_log: "list[dict]" = []
+    engine: "NetemEngine | None" = None
     try:
         await asyncio.gather(*(proc.start() for proc in procs))
-        backends = {
+        backends: "dict[str, object]" = {
             proc.name: TCPBackend(proc.name, config.host, proc.port)
             for proc in procs
         }
+        if netem is not None:
+            engine = NetemEngine(netem)
+            backends = {
+                name: NetemBackend(backend, engine)
+                for name, backend in backends.items()
+            }
         router = ShardRouter(
             plan,
             backends,
-            RouterConfig(rebalance_interval_s=config.rebalance_interval_s),
+            RouterConfig(
+                rebalance_interval_s=config.rebalance_interval_s,
+                default_deadline_ms=config.default_deadline_ms,
+                hedge=config.hedge,
+            ),
         )
         await router.start()
         client = RecordingClient(router)
@@ -416,6 +484,15 @@ async def run_sharded_loadtest(
                         await fault_task
                     except asyncio.CancelledError:
                         pass
+            router_stats = {
+                "spillovers_total": router.spillovers_total,
+                "unroutable_total": router.unroutable_total,
+                "hedges_total": router.hedges_total,
+                "hedge_wins_total": router.hedge_wins_total,
+                "timeouts_total": router.timeouts_total,
+                "ghost_releases_total": router.ghost_releases_total,
+                "ejections_total": router.latency.ejections_total,
+            }
             await router.stop()
         codes = {}
         for proc in procs:
@@ -427,6 +504,15 @@ async def run_sharded_loadtest(
             timeline=client.timeline(window_s),
             fault_log=fault_log,
             shutdown_codes=codes,
+            netem_stats=engine.stats() if engine is not None else None,
+            wal_recovery={
+                proc.name: {
+                    "records": proc.recovered_records,
+                    "ms": proc.recovery_ms,
+                }
+                for proc in procs
+            } if config.wal_root is not None else {},
+            router_stats=router_stats,
         )
     finally:
         for proc in procs:

@@ -1,0 +1,132 @@
+"""Per-shard latency tracking: hedge timing and gray-outlier ejection.
+
+The circuit breaker answers "is this shard *dead*"; this tracker
+answers "is this shard *slow*" — the gray half of the failure model.
+Each shard keeps a bounded sliding window of observed request
+latencies; from it the router derives:
+
+* **hedge delay** — how long to wait on a primary before racing a
+  second request to the clockwise-failover shard: the shard's own
+  p95 stretched by a multiplier, floored so a healthy fast shard is
+  never hedged on scheduler noise;
+* **outlier ejection** — a shard whose p95 exceeds a multiple of the
+  median p95 of its peers is *soft-ejected*: moved to the back of the
+  preference order for a cooldown, so traffic prefers healthy shards
+  while the breaker (which only sees hard failures) stays closed.
+
+Ejection is deliberately advisory — the ejected shard still serves as
+the last resort, so a cluster that is uniformly slow keeps working.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.utils.validation import require
+
+
+class LatencyTracker:
+    """Sliding-window latency stats per shard, with soft ejection."""
+
+    def __init__(
+        self,
+        window: int = 64,
+        min_samples: int = 8,
+        default_hedge_delay_s: float = 0.05,
+        hedge_multiplier: float = 1.5,
+        min_hedge_delay_s: float = 0.01,
+        ejection_multiplier: float = 3.0,
+        ejection_cooldown_s: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        require(window >= 1, "window must be >= 1")
+        require(min_samples >= 1, "min_samples must be >= 1")
+        require(hedge_multiplier > 0, "hedge_multiplier must be > 0")
+        require(ejection_multiplier > 1, "ejection_multiplier must be > 1")
+        require(ejection_cooldown_s > 0, "ejection_cooldown_s must be > 0")
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.default_hedge_delay_s = float(default_hedge_delay_s)
+        self.hedge_multiplier = float(hedge_multiplier)
+        self.min_hedge_delay_s = float(min_hedge_delay_s)
+        self.ejection_multiplier = float(ejection_multiplier)
+        self.ejection_cooldown_s = float(ejection_cooldown_s)
+        self._clock = clock
+        self._samples: "dict[str, deque]" = {}
+        self._ejected_until: "dict[str, float]" = {}
+        self.ejections_total = 0
+
+    def observe(self, shard: str, latency_s: float) -> None:
+        """Record one completed request's latency."""
+        window = self._samples.get(shard)
+        if window is None:
+            window = self._samples[shard] = deque(maxlen=self.window)
+        window.append(float(latency_s))
+
+    def p95(self, shard: str) -> "float | None":
+        """Window p95 for ``shard``; None below ``min_samples``."""
+        window = self._samples.get(shard)
+        if window is None or len(window) < self.min_samples:
+            return None
+        ordered = sorted(window)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+    def hedge_delay_s(self, shard: str) -> float:
+        """How long to wait on ``shard`` before firing a hedge."""
+        p95 = self.p95(shard)
+        if p95 is None:
+            return self.default_hedge_delay_s
+        return max(self.min_hedge_delay_s, p95 * self.hedge_multiplier)
+
+    # ------------------------------------------------------------------
+    # gray-outlier ejection
+    # ------------------------------------------------------------------
+    def is_ejected(self, shard: str) -> bool:
+        """Whether ``shard`` is currently soft-ejected (updates expiry)."""
+        until = self._ejected_until.get(shard)
+        if until is None:
+            return False
+        if self._clock() >= until:
+            del self._ejected_until[shard]
+            return False
+        return True
+
+    def refresh_ejections(self) -> "set[str]":
+        """Re-derive the ejected set from the current windows.
+
+        A shard is ejected when its p95 exceeds
+        ``ejection_multiplier ×`` the median p95 of the *other* shards
+        (at least two peers must have enough samples — a lone shard
+        cannot be an outlier).  Returns the currently ejected names.
+        """
+        p95s = {
+            name: p95
+            for name in self._samples
+            if (p95 := self.p95(name)) is not None
+        }
+        now = self._clock()
+        for name, p95 in p95s.items():
+            peers = sorted(v for k, v in p95s.items() if k != name)
+            if len(peers) < 2:
+                continue
+            median = peers[len(peers) // 2]
+            if median > 0 and p95 > self.ejection_multiplier * median:
+                if not self.is_ejected(name):
+                    self.ejections_total += 1
+                    obs_runtime.metrics().counter(
+                        obs_names.SHARD_EJECTIONS, {"shard": name}
+                    ).inc()
+                self._ejected_until[name] = now + self.ejection_cooldown_s
+        return {name for name in self._ejected_until
+                if self.is_ejected(name)}
+
+    def demote_ejected(self, preference: "list[str]") -> "list[str]":
+        """Stable-reorder: healthy shards first, ejected ones last."""
+        if not self._ejected_until:
+            return preference
+        healthy = [n for n in preference if not self.is_ejected(n)]
+        ejected = [n for n in preference if self.is_ejected(n)]
+        return healthy + ejected

@@ -25,6 +25,31 @@ Shard sub-problems index servers locally; the router rewrites each
 ``ok`` assign response's ``server`` back to the global index, so
 clients observe one coherent cluster.
 
+Gray failures
+-------------
+Crashes trip circuit breakers; *slowness* does not — a gray shard
+answers every probe yet drags the tail.  Three defenses compose here
+(see ``docs/robustness.md``):
+
+* **deadlines** — every request carries an absolute ``deadline_ms``
+  (stamped from ``default_deadline_ms`` when the client sent none) and
+  no forward awaits past it; an expired budget yields a ``timeout``
+  response, never an unbounded hang;
+* **hedged requests** — when a primary shard exceeds its own
+  p95-derived hedge delay (:class:`~repro.shard.latency.LatencyTracker`),
+  the router races a second copy of the assign to the next admitting
+  ring successor; first ``ok`` wins, and the loser's eventual landing
+  is released fire-and-forget so no ghost capacity accumulates;
+* **outlier ejection** — a shard whose latency p95 is a configured
+  multiple of its peers' median is demoted to the back of every
+  preference walk for a cooldown, complementing the breaker (which
+  only sees hard failures) with a latency-aware signal.
+
+The request path claims breaker admission via
+:meth:`~repro.shard.backend.CircuitBreaker.acquire` (half-open admits
+exactly one probe); planning code keeps the pure
+:meth:`~repro.shard.backend.CircuitBreaker.allows` check.
+
 Rebalance
 ---------
 A periodic loop gossips ``stats`` from every shard, then moves one
@@ -45,12 +70,33 @@ import asyncio
 import time
 from dataclasses import dataclass, replace
 
-from repro.errors import ShardUnavailableError
+from repro.errors import DeadlineExceededError, ShardUnavailableError
 from repro.obs import names as obs_names
 from repro.obs import runtime as obs_runtime
+from repro.serve.deadline import deadline_ms_in, expired, remaining_s
 from repro.serve.protocol import Request, Response
+from repro.shard.latency import LatencyTracker
 from repro.shard.partition import ShardPlan
 from repro.utils.validation import require
+
+#: how many assigns between latency-outlier ejection refreshes
+_EJECTION_REFRESH_EVERY = 16
+
+#: total copies of one release the router may put on a gray edge
+_RELEASE_COPIES_MAX = 4
+
+#: same-shard re-sends an assign may add when no fresh candidate admits
+_ASSIGN_RESENDS_MAX = 3
+
+#: concurrent copies of one assign the router may keep in flight
+_ASSIGN_INFLIGHT_MAX = 4
+
+
+def _swallow_result(task: "asyncio.Task") -> None:
+    """Reap an abandoned duplicate-release task without side effects."""
+    if task.cancelled():
+        return
+    task.exception()
 
 
 @dataclass(frozen=True)
@@ -60,6 +106,14 @@ class RouterConfig:
     rebalance_interval_s: "float | None" = None  # None disables the loop
     migration_batch: int = 32
     utilization_gap: float = 0.25
+    #: budget stamped on requests that arrive without a deadline
+    #: (relative, in ms); ``None`` leaves undated requests unbounded
+    default_deadline_ms: "float | None" = None
+    #: race a second assign to the ring successor when the primary
+    #: exceeds its p95-derived hedge delay
+    hedge: bool = True
+    #: bound on the gossip stats fan-out per shard
+    stats_timeout_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.rebalance_interval_s is not None:
@@ -68,6 +122,10 @@ class RouterConfig:
         require(self.migration_batch >= 1, "migration_batch must be >= 1")
         require(0 < self.utilization_gap <= 1,
                 "utilization_gap must be in (0, 1]")
+        if self.default_deadline_ms is not None:
+            require(self.default_deadline_ms > 0,
+                    "default_deadline_ms must be > 0")
+        require(self.stats_timeout_s > 0, "stats_timeout_s must be > 0")
 
 
 class ShardRouter:
@@ -78,6 +136,7 @@ class ShardRouter:
         plan: ShardPlan,
         backends: "dict[str, object]",
         config: "RouterConfig | None" = None,
+        latency: "LatencyTracker | None" = None,
     ) -> None:
         require(
             set(backends) == {s.name for s in plan.shards},
@@ -86,16 +145,23 @@ class ShardRouter:
         self.plan = plan
         self.backends = dict(backends)
         self.config = config or RouterConfig()
+        self.latency = latency or LatencyTracker()
         self._locations: "dict[int, str]" = {}  # device -> holding shard
         self._shaved: "set[int]" = set()  # deliberately moved off home
         self._gossip: "dict[str, dict]" = {}    # shard -> last stats seen
         self._trips_seen: "dict[str, int]" = {}  # breaker trips published
         self._rebalance_task: "asyncio.Task | None" = None
+        self._cleanup_tasks: "set[asyncio.Task]" = set()
         self._started = False
+        self._assign_seq = 0
         self.spillovers_total = 0
         self.unroutable_total = 0
         self.migrated_total = 0
         self.migration_lost_total = 0
+        self.hedges_total = 0
+        self.hedge_wins_total = 0
+        self.timeouts_total = 0
+        self.ghost_releases_total = 0
 
     # ------------------------------------------------------------------
     # lifecycle (service-shaped, so TCPServer can wrap the router)
@@ -124,6 +190,12 @@ class ShardRouter:
             except asyncio.CancelledError:
                 pass
             self._rebalance_task = None
+        if self._cleanup_tasks:
+            # let in-flight hedge-loser / ghost releases settle so they
+            # don't race the backend close below
+            await asyncio.gather(
+                *tuple(self._cleanup_tasks), return_exceptions=True
+            )
         for backend in self.backends.values():
             await backend.close()
 
@@ -133,6 +205,14 @@ class ShardRouter:
     def submit_nowait(self, request: Request) -> "asyncio.Future[Response]":
         """Route one request; the future resolves with the response."""
         require(self._started, "router is not started")
+        if (
+            request.deadline_ms is None
+            and self.config.default_deadline_ms is not None
+        ):
+            request = replace(
+                request,
+                deadline_ms=deadline_ms_in(self.config.default_deadline_ms),
+            )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Response]" = loop.create_future()
         task = loop.create_task(self._route(request))
@@ -191,10 +271,33 @@ class ShardRouter:
             response = replace(response, id=request.id)
         return response
 
+    async def _timed_forward(self, name: str, request: Request) -> Response:
+        """Forward and feed the round-trip into the latency tracker.
+
+        Only completed round trips are observed — hard failures are
+        the breaker's signal; the tracker exists to see the *slow*
+        successes a breaker is blind to.
+        """
+        start_t = time.perf_counter()
+        response = await self._forward(name, request)
+        self.latency.observe(name, time.perf_counter() - start_t)
+        return response
+
+    def _timeout(self, request: Request, where: str) -> Response:
+        """A deadline ran out: answer ``timeout`` (not a protocol error)."""
+        self.timeouts_total += 1
+        obs_runtime.metrics().counter(obs_names.SHARD_TIMEOUTS).inc()
+        return Response(
+            id=request.id, status="timeout",
+            detail=f"deadline expired {where}",
+        )
+
     async def _route(self, request: Request) -> Response:
         registry = obs_runtime.metrics()
         start_t = time.perf_counter()
         try:
+            if expired(request.deadline_ms):
+                return self._timeout(request, "before routing")
             if request.op == "stats":
                 return Response(
                     id=request.id, status="ok", stats=await self._stats()
@@ -221,32 +324,139 @@ class ShardRouter:
                 detail=f"device {device} out of range "
                        f"[0, {self.plan.n_devices})",
             )
-        preference = self.plan.preference_of_device(device)
-        for rank, name in enumerate(preference):
-            if not self.backends[name].breaker.allows():
+        self._assign_seq += 1
+        if self._assign_seq % _EJECTION_REFRESH_EVERY == 0:
+            self.latency.refresh_ejections()
+        preference = self.latency.demote_ejected(
+            self.plan.preference_of_device(device)
+        )
+        rank_of = {name: i for i, name in enumerate(preference)}
+        tried: "set[str]" = set()
+
+        def next_candidate() -> "str | None":
+            # first untried shard whose breaker admits the request;
+            # acquire() (not allows()) so a half-open circuit hands out
+            # exactly one probe even with a hedge racing the primary
+            for name in preference:
+                if name in tried:
+                    continue
+                tried.add(name)
+                if self.backends[name].breaker.acquire():
+                    return name
+            return None
+
+        # One loop owns the whole attempt: launch the first admitting
+        # shard, hedge another copy (up to ``_ASSIGN_INFLIGHT_MAX`` in
+        # flight) whenever the oldest copy exceeds its hedge delay,
+        # walk on when a copy spills (full/unreachable), and bound
+        # every wait by the remaining deadline budget.  A copy that
+        # fails while another is stuck re-arms hedging, so a held
+        # message can never pin the request past its deadline.
+        tasks: "dict[asyncio.Task, tuple[str, bool]]" = {}
+        resends = 0
+        while True:
+            if expired(request.deadline_ms):
+                self._abandon(tasks, device)
+                return self._timeout(request, "while routing assign")
+            if not tasks:
+                primary = next_candidate()
+                if primary is None:
+                    break  # nothing in flight and nowhere left to try
+                tasks[asyncio.create_task(
+                    self._timed_forward(primary, request)
+                )] = (primary, False)
+            timeout = remaining_s(request.deadline_ms)
+            may_hedge = (
+                self.config.hedge
+                and 1 <= len(tasks) < _ASSIGN_INFLIGHT_MAX
+                and (len(tried) < len(preference)
+                     or resends < _ASSIGN_RESENDS_MAX)
+            )
+            if may_hedge:
+                slowest = next(iter(tasks.values()))[0]
+                delay = self.latency.hedge_delay_s(slowest)
+                if timeout is not None:
+                    # never schedule the hedge past the budget: a
+                    # p95-derived delay wider than what's left would
+                    # doom the request to its primary
+                    delay = min(delay, timeout / 2)
+                timeout = delay
+            done, _ = await asyncio.wait(
+                set(tasks), timeout=timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if not done:
+                if may_hedge and not expired(request.deadline_ms):
+                    backup = next_candidate()
+                    if backup is None and resends < _ASSIGN_RESENDS_MAX:
+                        # no fresh shard admits the request, but the
+                        # copy in flight may just be one held message:
+                        # duplicate it on the same shard — the shard
+                        # rejects a duplicate assign as infeasible, so
+                        # this can never double-apply
+                        backup = slowest
+                        resends += 1
+                    if backup is not None:
+                        self.hedges_total += 1
+                        registry.counter(
+                            obs_names.SHARD_HEDGES, {"shard": slowest}
+                        ).inc()
+                        tasks[asyncio.create_task(
+                            self._timed_forward(backup, request)
+                        )] = (backup, True)
                 continue
-            try:
-                response = await self._forward(name, request)
-            except ShardUnavailableError:
-                self._note_breaker(name)
-                continue
-            if response.status == "infeasible":
-                # this shard is full for the device: spill to successor
-                continue
-            if response.ok:
-                registry.counter(
-                    obs_names.SHARD_ROUTED, {"shard": name, "op": "assign"}
-                ).inc()
-                if rank > 0:
-                    self.spillovers_total += 1
-                    registry.counter(obs_names.SHARD_SPILLOVERS).inc()
-                self._locations[device] = name
-                self._shaved.discard(device)  # fresh assign resets intent
-                registry.gauge(obs_names.SHARD_ACTIVE_DEVICES).set(
-                    len(self._locations)
-                )
-                return self._globalize(name, response)
-            return response  # rejected/error pass through untranslated
+            for task in done:
+                name, is_hedge = tasks.pop(task)
+                try:
+                    response = task.result()
+                except ShardUnavailableError:
+                    self._note_breaker(name)
+                    # ambiguous: the request may have applied before the
+                    # answer was lost — best-effort release so a ghost
+                    # assignment can't hold capacity forever
+                    self._spawn_cleanup(
+                        name, device, obs_names.SHARD_GHOST_RELEASES
+                    )
+                    if tasks:
+                        # a copy is still in flight (a held primary):
+                        # transport failures are transient, so let the
+                        # hedging path re-try this shard later instead
+                        # of burning the candidate for good — each
+                        # retry is paced by the hedge delay and gated
+                        # by the breaker
+                        tried.discard(name)
+                    continue
+                except DeadlineExceededError:
+                    self._spawn_cleanup(
+                        name, device, obs_names.SHARD_GHOST_RELEASES
+                    )
+                    self._abandon(tasks, device)
+                    return self._timeout(request, f"at shard {name!r}")
+                if response.status == "infeasible":
+                    continue  # this shard is full for the device: spill
+                if response.ok:
+                    if is_hedge:
+                        self.hedge_wins_total += 1
+                        registry.counter(
+                            obs_names.SHARD_HEDGE_WINS, {"shard": name}
+                        ).inc()
+                    self._abandon(tasks, device)
+                    registry.counter(
+                        obs_names.SHARD_ROUTED,
+                        {"shard": name, "op": "assign"},
+                    ).inc()
+                    if rank_of[name] > 0:
+                        self.spillovers_total += 1
+                        registry.counter(obs_names.SHARD_SPILLOVERS).inc()
+                    self._locations[device] = name
+                    self._shaved.discard(device)  # fresh assign resets intent
+                    registry.gauge(obs_names.SHARD_ACTIVE_DEVICES).set(
+                        len(self._locations)
+                    )
+                    return self._globalize(name, response)
+                # rejected/error pass through untranslated
+                self._abandon(tasks, device)
+                return response
         self.unroutable_total += 1
         registry.counter(obs_names.SHARD_UNROUTABLE).inc()
         return Response(
@@ -254,6 +464,133 @@ class ShardRouter:
             detail="no shard available for device",
             retry_after_ms=50.0,
         )
+
+    def _abandon(
+        self, tasks: "dict[asyncio.Task, tuple[str, bool]]", device: int
+    ) -> None:
+        """Detach still-racing copies; release any that land ``ok``.
+
+        A hedge loser is never cancelled — a pipelined TCP client has
+        already sent the bytes, so cancelling the task would only orphan
+        the in-flight future.  Instead the loser runs to completion and
+        a done-callback releases its landing (the winner's shard holds
+        the device; a second landing is ghost capacity).
+        """
+        for task, (name, _) in tasks.items():
+            def _reap(t: "asyncio.Task", name: str = name) -> None:
+                if t.cancelled():
+                    return
+                exc = t.exception()
+                if exc is not None:
+                    if isinstance(exc, ShardUnavailableError):
+                        self._note_breaker(name)
+                    return
+                if t.result().ok:
+                    self._spawn_cleanup(
+                        name, device, obs_names.SHARD_HEDGE_CLEANUPS
+                    )
+            task.add_done_callback(_reap)
+        tasks.clear()
+
+    def _spawn_cleanup(self, name: str, device: int, metric: str) -> None:
+        """Fire-and-forget a release of ``device`` on shard ``name``."""
+        if metric == obs_names.SHARD_GHOST_RELEASES:
+            self.ghost_releases_total += 1
+        obs_runtime.metrics().counter(metric, {"shard": name}).inc()
+
+        async def _cleanup() -> None:
+            # a lost cleanup is a capacity leak until the rebalancer
+            # notices, so ride out transient drops with a few paced
+            # attempts before giving up
+            for pause_s in (0.0, 0.05, 0.2):
+                if pause_s:
+                    await asyncio.sleep(pause_s)
+                try:
+                    await self._forward(
+                        name, Request(op="release", device=device)
+                    )
+                    return
+                except (ShardUnavailableError, DeadlineExceededError,
+                        OSError):
+                    continue  # best effort: the shard may be gone
+
+        task = asyncio.create_task(_cleanup(), name=f"cleanup-{name}")
+        self._cleanup_tasks.add(task)
+        task.add_done_callback(self._cleanup_tasks.discard)
+
+    async def _hedged_release(self, name: str, request: Request) -> Response:
+        """Forward a release, re-sending to the *same* shard (up to
+        :data:`_RELEASE_COPIES_MAX` copies) while every copy in flight
+        exceeds the shard's hedge delay.
+
+        Unlike assign hedging this never changes shards — the device
+        lives on ``name`` — it just rides out dropped or long-held
+        messages on a gray edge.  Duplicate releases are safe: if an
+        earlier copy already applied, the shard answers the next with a
+        ``not assigned`` error, which the reconcile path in
+        :meth:`_route_release` rewrites to ``ok``.
+        """
+        first = asyncio.ensure_future(self._timed_forward(name, request))
+        tasks = {first}
+        copies = 1
+        deadline_exc: "DeadlineExceededError | None" = None
+        unavailable_exc: "ShardUnavailableError | None" = None
+        while tasks:
+            remaining = remaining_s(request.deadline_ms)
+            if remaining is not None and remaining <= 0:
+                for loser in tasks:
+                    loser.add_done_callback(_swallow_result)
+                raise deadline_exc or DeadlineExceededError(
+                    f"release to shard {name!r} ran out of budget"
+                )
+            timeout = remaining
+            resend = self.config.hedge and copies < _RELEASE_COPIES_MAX
+            if resend:
+                delay = self.latency.hedge_delay_s(name)
+                if remaining is not None:
+                    # as for assigns: re-sends scheduled past the
+                    # budget would never happen at all
+                    delay = min(delay, remaining / 2)
+                timeout = delay
+            done, tasks = await asyncio.wait(
+                tasks, timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not done:
+                if not resend or expired(request.deadline_ms):
+                    continue  # the top of the loop settles the verdict
+                # every copy in flight is stuck past the hedge delay
+                copies += 1
+                self.hedges_total += 1
+                obs_runtime.metrics().counter(
+                    obs_names.SHARD_HEDGES, {"shard": name}
+                ).inc()
+                tasks.add(
+                    asyncio.ensure_future(self._timed_forward(name, request))
+                )
+                continue
+            for task in done:
+                try:
+                    response = task.result()
+                except DeadlineExceededError as exc:
+                    deadline_exc = exc
+                    continue
+                except ShardUnavailableError as exc:
+                    self._note_breaker(name)
+                    unavailable_exc = exc
+                    continue
+                if task is not first:
+                    self.hedge_wins_total += 1
+                    obs_runtime.metrics().counter(
+                        obs_names.SHARD_HEDGE_WINS, {"shard": name}
+                    ).inc()
+                for loser in tasks:
+                    # the loser is a duplicate of the same release: its
+                    # eventual landing needs no cleanup, only reaping
+                    loser.add_done_callback(_swallow_result)
+                return response
+        # every copy failed: prefer the conservative verdict (deadline
+        # keeps the location for a retry; unavailability forgets it)
+        raise deadline_exc or unavailable_exc
 
     async def _route_release(self, request: Request) -> Response:
         registry = obs_runtime.metrics()
@@ -265,7 +602,11 @@ class ShardRouter:
                 if 0 <= device < self.plan.n_devices \
                 else self.plan.shards[0].name
         try:
-            response = await self._forward(name, request)
+            response = await self._hedged_release(name, request)
+        except DeadlineExceededError:
+            # unknown whether the shard applied it: keep the location so
+            # a retry (or the rebalancer) still reaches the holder
+            return self._timeout(request, f"at shard {name!r}")
         except ShardUnavailableError:
             self._note_breaker(name)
             # the holder died and its state died with it: the device
@@ -345,6 +686,7 @@ class ShardRouter:
             if isinstance(result, dict):
                 per_shard[name] = result
                 self._gossip[name] = result
+        ejected = self.latency.refresh_ejections()
         totals = {
             "devices": int(self.plan.n_devices),
             "servers": int(self.plan.n_servers),
@@ -367,6 +709,11 @@ class ShardRouter:
             "unroutable_total": self.unroutable_total,
             "migrated_total": self.migrated_total,
             "migration_lost_total": self.migration_lost_total,
+            "hedges_total": self.hedges_total,
+            "hedge_wins_total": self.hedge_wins_total,
+            "timeouts_total": self.timeouts_total,
+            "ghost_releases_total": self.ghost_releases_total,
+            "ejected_shards": sorted(ejected),
             "breaker_states": {
                 name: backend.breaker.state
                 for name, backend in self.backends.items()
@@ -377,9 +724,20 @@ class ShardRouter:
 
     async def _shard_stats(self, name: str) -> dict:
         backend = self.backends[name]
-        if not backend.breaker.allows():
+        # acquire(), not allows(): a gossip probe through a half-open
+        # circuit IS the one trial that decides whether it closes
+        if not backend.breaker.acquire():
             raise ShardUnavailableError(f"shard {name!r} circuit open")
-        response = await backend.request(Request(op="stats"))
+        probe = Request(
+            op="stats",
+            deadline_ms=deadline_ms_in(self.config.stats_timeout_s * 1e3),
+        )
+        try:
+            response = await backend.request(probe)
+        except DeadlineExceededError as exc:
+            raise ShardUnavailableError(
+                f"shard {name!r} stats timed out"
+            ) from exc
         if not response.ok or response.stats is None:
             raise ShardUnavailableError(f"shard {name!r} gave no stats")
         return response.stats
@@ -479,7 +837,7 @@ class ShardRouter:
         request = Request(op="assign", device=device)
         for name in order:
             backend = self.backends[name]
-            if not backend.breaker.allows():
+            if not backend.breaker.acquire():
                 continue
             try:
                 response = await backend.request(request)
@@ -502,6 +860,9 @@ class ShardRouter:
         exceeds the threshold, move the most-loaded shard's devices
         toward the least-loaded one, preferring devices not homed on
         the donor so a shave retires failover debt first.
+
+        Pure planning: breaker reads here stay :meth:`allows` — no
+        probe slot is consumed by *considering* a shard.
         """
         limit = self.config.migration_batch
         # repatriation: group strays by (current shard, home shard)

@@ -1,0 +1,12 @@
+"""Durable crash recovery for the serving tier.
+
+An append-only assignment journal plus periodic snapshots
+(:class:`WriteAheadLog`) that :class:`~repro.serve.state.ServiceState`
+writes through and replays on restart, so a SIGKILLed shard comes back
+with its exact pre-crash assignment instead of starting empty.  See
+``docs/robustness.md``.
+"""
+
+from repro.wal.log import DEFAULT_SNAPSHOT_EVERY, WriteAheadLog
+
+__all__ = ["DEFAULT_SNAPSHOT_EVERY", "WriteAheadLog"]

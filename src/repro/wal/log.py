@@ -1,0 +1,182 @@
+"""Append-only assignment WAL with periodic snapshots.
+
+One directory per service instance, two files:
+
+* ``snapshot.json`` — the full :class:`~repro.serve.state.ServiceState`
+  payload as of journal sequence ``seq`` (written atomically:
+  temp-file + rename, so a crash mid-snapshot leaves the previous one
+  intact);
+* ``journal.jsonl`` — one JSON record per state mutation since that
+  snapshot (``assign``/``release``/``migrate``/``swap``, each stamped
+  with a monotonically increasing ``seq``).  Writing a snapshot
+  truncates the journal, so recovery cost is bounded by
+  ``snapshot_every`` regardless of uptime.
+
+Crash discipline: records are flushed per append (``fsync`` optional —
+the crash the experiments inject is SIGKILL, which loses nothing that
+reached the kernel).  A SIGKILL mid-append leaves a torn final line;
+:meth:`WriteAheadLog.load` drops exactly that line and replays the
+rest.  A torn line anywhere *else* means real corruption and raises
+:class:`~repro.errors.WalError` instead of silently replaying a hole.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.errors import WalError
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.utils.validation import require
+
+SNAPSHOT_FILE = "snapshot.json"
+JOURNAL_FILE = "journal.jsonl"
+
+#: default mutations between snapshots (bounds replay length)
+DEFAULT_SNAPSHOT_EVERY = 256
+
+
+class WriteAheadLog:
+    """Durable journal + snapshot pair for one service's assignments."""
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync: bool = False,
+    ) -> None:
+        require(snapshot_every >= 1, "snapshot_every must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_every = int(snapshot_every)
+        self.fsync = bool(fsync)
+        self._journal = None  # opened lazily, append mode
+        self._seq = 0
+        self._since_snapshot = 0
+        self.appends_total = 0
+        self.snapshots_total = 0
+
+    @property
+    def snapshot_path(self) -> Path:
+        """Where the latest snapshot lives."""
+        return self.directory / SNAPSHOT_FILE
+
+    @property
+    def journal_path(self) -> Path:
+        """Where the journal lives."""
+        return self.directory / JOURNAL_FILE
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last record written or loaded."""
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> int:
+        """Write one mutation record; returns its sequence number."""
+        require("seq" not in record, "the WAL stamps seq itself")
+        self._seq += 1
+        stamped = {"seq": self._seq, **record}
+        if self._journal is None:
+            self._journal = open(  # noqa: SIM115 — long-lived handle
+                self.journal_path, "a", encoding="utf-8"
+            )
+        self._journal.write(json.dumps(stamped, sort_keys=True) + "\n")
+        self._journal.flush()
+        if self.fsync:
+            os.fsync(self._journal.fileno())
+        self._since_snapshot += 1
+        self.appends_total += 1
+        obs_runtime.metrics().counter(obs_names.WAL_APPENDS).inc()
+        return self._seq
+
+    def should_snapshot(self) -> bool:
+        """Whether enough mutations accumulated to roll a snapshot."""
+        return self._since_snapshot >= self.snapshot_every
+
+    def write_snapshot(self, state: dict) -> None:
+        """Atomically persist ``state`` and truncate the journal."""
+        payload = {
+            "seq": self._seq,
+            "written_at": time.time(),
+            "state": state,
+        }
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        # journal restarts empty: everything up to seq lives in the snapshot
+        if self._journal is not None:
+            self._journal.close()
+        self._journal = open(  # noqa: SIM115 — long-lived handle
+            self.journal_path, "w", encoding="utf-8"
+        )
+        self._since_snapshot = 0
+        self.snapshots_total += 1
+        obs_runtime.metrics().counter(obs_names.WAL_SNAPSHOTS).inc()
+
+    def close(self) -> None:
+        """Close the journal handle (records already on disk stay)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def load(self) -> "tuple[dict | None, list[dict]]":
+        """Read ``(snapshot_state, journal_records)`` for replay.
+
+        Returns ``(None, [])`` for a fresh directory.  Also primes this
+        instance's sequence counter so post-recovery appends continue
+        the numbering instead of colliding with replayed records.
+        """
+        require(self._journal is None and self._seq == 0,
+                "load() must run before any append")
+        state: "dict | None" = None
+        base_seq = 0
+        if self.snapshot_path.exists():
+            try:
+                payload = json.loads(
+                    self.snapshot_path.read_text(encoding="utf-8")
+                )
+                state = payload["state"]
+                base_seq = int(payload["seq"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise WalError(
+                    f"corrupt WAL snapshot {self.snapshot_path}: {exc}"
+                ) from exc
+        records: "list[dict]" = []
+        if self.journal_path.exists():
+            lines = self.journal_path.read_text(
+                encoding="utf-8"
+            ).splitlines()
+            for index, line in enumerate(lines):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if index == len(lines) - 1:
+                        break  # torn tail: the append SIGKILL interrupted
+                    raise WalError(
+                        f"corrupt WAL journal {self.journal_path} "
+                        f"at line {index + 1}: {exc}"
+                    ) from exc
+                if int(record.get("seq", 0)) <= base_seq:
+                    continue  # predates the snapshot (pre-truncate leftover)
+                records.append(record)
+        last_seq = max(
+            [base_seq] + [int(r["seq"]) for r in records]
+        )
+        self._seq = last_seq
+        self._since_snapshot = len(records)
+        return state, records

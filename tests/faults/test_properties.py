@@ -24,7 +24,7 @@ def test_backoff_is_bounded(policy, attempt, seed):
 
 @settings(max_examples=100, deadline=None)
 @given(
-    policy=retry_policies(),
+    policy=retry_policies(backoff="exponential"),
     attempt=st.integers(min_value=0, max_value=20),
     seed_early=st.integers(min_value=0, max_value=2**31 - 1),
     seed_late=st.integers(min_value=0, max_value=2**31 - 1),
@@ -32,10 +32,39 @@ def test_backoff_is_bounded(policy, attempt, seed):
 def test_backoff_is_monotone_in_attempt(policy, attempt, seed_early, seed_late):
     """A later attempt never backs off less than an earlier one, even when
     the earlier draw got maximal jitter and the later one got none —
-    guaranteed by the constructor's ``multiplier >= 1 + jitter``."""
+    guaranteed by the constructor's ``multiplier >= 1 + jitter``.
+    Exponential-mode only: decorrelated jitter forgets the attempt
+    number on purpose (that's what decorrelates the herd)."""
     early = policy.backoff_s(attempt, np.random.default_rng(seed_early))
     late = policy.backoff_s(attempt + 1, np.random.default_rng(seed_late))
     assert late >= early - 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    policy=retry_policies(backoff="decorrelated"),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_draws=st.integers(min_value=1, max_value=10),
+)
+def test_decorrelated_backoff_chains_within_envelope(policy, seed, n_draws):
+    """Chained decorrelated draws stay in [base, min(cap, 3·prev)] and the
+    same seed reproduces the identical chain."""
+    def chain(rng):
+        prev = None
+        out = []
+        for _ in range(n_draws):
+            delay = policy.backoff_s(0, rng, prev_delay_s=prev)
+            out.append(delay)
+            prev = delay
+        return out
+
+    draws = chain(np.random.default_rng(seed))
+    prev = policy.base_delay_s
+    for delay in draws:
+        assert policy.base_delay_s - 1e-12 <= delay <= policy.max_delay_s
+        assert delay <= max(policy.base_delay_s, 3.0 * prev) + 1e-12
+        prev = delay
+    assert draws == chain(np.random.default_rng(seed))
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,165 @@
+"""NetemScript validation, matching, and JSON round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import NetemError, SerializationError, ValidationError
+from repro.faults.scenario import FaultEventSpec, FaultScenario
+from repro.netem import (
+    NetemRule,
+    NetemScript,
+    load_script,
+    script_from_scenario,
+)
+from tests.strategies import netem_scripts
+
+
+class TestNetemRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError, match="unknown netem rule kind"):
+            NetemRule(kind="explode")
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ValidationError, match="unknown direction"):
+            NetemRule(kind="drop", direction="sideways")
+
+    def test_rejects_malformed_edge(self):
+        with pytest.raises(ValidationError, match="src->dst"):
+            NetemRule(kind="drop", edge="router")
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ValidationError, match="p must be"):
+            NetemRule(kind="drop", p=1.5)
+
+    def test_reorder_needs_a_hold(self):
+        with pytest.raises(ValidationError, match="extra_s"):
+            NetemRule(kind="reorder", extra_s=0.0)
+
+    def test_edge_wildcards_match_per_side(self):
+        rule = NetemRule(kind="drop", edge="*->shard-1")
+        assert rule.matches("router->shard-1", "forward")
+        assert rule.matches("client->shard-1", "reverse")
+        assert not rule.matches("router->shard-0", "forward")
+
+    def test_direction_filters(self):
+        rule = NetemRule(kind="drop", direction="forward")
+        assert rule.matches("a->b", "forward")
+        assert not rule.matches("a->b", "reverse")
+
+    def test_window_gates_activity(self):
+        rule = NetemRule(kind="drop", at_s=2.0, duration_s=3.0)
+        assert not rule.active(1.9)
+        assert rule.active(2.0)
+        assert rule.active(4.9)
+        assert not rule.active(5.0)
+
+    def test_open_ended_window(self):
+        rule = NetemRule(kind="partition", at_s=1.0)
+        assert rule.active(1e9)
+
+
+class TestNetemScript:
+    def test_rules_are_sorted_by_onset(self):
+        late = NetemRule(kind="drop", at_s=5.0)
+        early = NetemRule(kind="slow", factor=2.0, at_s=1.0)
+        script = NetemScript(rules=(late, early))
+        assert script.rules == (early, late)
+
+    def test_matching_respects_edge_direction_and_time(self):
+        script = NetemScript(rules=(
+            NetemRule(kind="drop", edge="*->shard-0", direction="forward"),
+            NetemRule(kind="slow", edge="*->shard-0", factor=2.0, at_s=10.0),
+        ))
+        now = script.matching("router->shard-0", "forward", elapsed_s=0.0)
+        assert [r.kind for r in now] == ["drop"]
+        later = script.matching("router->shard-0", "forward", elapsed_s=11.0)
+        assert sorted(r.kind for r in later) == ["drop", "slow"]
+        assert script.matching("router->shard-0", "reverse", 0.0) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(script=netem_scripts())
+    def test_json_round_trip_is_identity(self, script):
+        assert NetemScript.from_json(script.to_json()) == script
+
+    def test_from_json_rejects_junk(self):
+        with pytest.raises(SerializationError):
+            NetemScript.from_json("not json")
+        with pytest.raises(SerializationError):
+            NetemScript.from_json('{"no": "rules"}')
+        with pytest.raises(SerializationError):
+            NetemScript.from_json('{"rules": [{"kind": "explode"}]}')
+
+
+class TestLoadScript:
+    def test_loads_bare_script(self, tmp_path):
+        script = NetemScript(
+            rules=(NetemRule(kind="drop", edge="*->shard-0", p=0.5),),
+            seed=7, name="gray",
+        )
+        path = script.save(tmp_path / "netem.json")
+        assert load_script(path) == script
+
+    def test_loads_scenario_with_embedded_netem(self, tmp_path):
+        script = NetemScript(rules=(NetemRule(kind="slow", factor=2.0),))
+        payload = {
+            "name": "combo", "events": [],
+            "netem": script.to_dict(),
+        }
+        path = tmp_path / "combo.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert load_script(path) == script
+
+    def test_converts_plain_scenario_when_given_shard_names(self, tmp_path):
+        scenario = FaultScenario(name="s", events=(
+            FaultEventSpec(at_s=1.0, kind="server_crash", server=0),
+            FaultEventSpec(at_s=3.0, kind="server_repair", server=0),
+        ))
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(scenario.to_dict()), encoding="utf-8")
+        script = load_script(path, shard_names=["shard-0", "shard-1"])
+        assert [r.kind for r in script.rules] == ["partition"]
+        with pytest.raises(NetemError, match="shard names"):
+            load_script(path)
+
+    def test_rejects_shapeless_payload(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"neither": true}', encoding="utf-8")
+        with pytest.raises(SerializationError, match="neither"):
+            load_script(path)
+
+
+class TestScriptFromScenario:
+    def test_slowdown_becomes_inverse_slow_rule(self):
+        scenario = FaultScenario(name="s", events=(
+            FaultEventSpec(at_s=2.0, kind="server_slowdown", server=1,
+                           factor=0.25, duration_s=4.0),
+        ))
+        script = script_from_scenario(scenario, ["shard-0", "shard-1"])
+        (rule,) = script.rules
+        assert rule.kind == "slow"
+        assert rule.edge == "*->shard-1"
+        assert rule.factor == pytest.approx(4.0)
+        assert (rule.at_s, rule.duration_s) == (2.0, 4.0)
+
+    def test_crash_repair_pair_becomes_partition_window(self):
+        scenario = FaultScenario(name="s", events=(
+            FaultEventSpec(at_s=1.0, kind="server_crash", server=0),
+            FaultEventSpec(at_s=4.0, kind="server_repair", server=0),
+        ))
+        script = script_from_scenario(scenario, ["shard-0"])
+        (rule,) = script.rules
+        assert rule.kind == "partition"
+        assert (rule.at_s, rule.duration_s) == (1.0, 3.0)
+
+    def test_unrepaired_crash_partitions_forever(self):
+        scenario = FaultScenario(name="s", events=(
+            FaultEventSpec(at_s=1.0, kind="server_crash", server=0),
+        ))
+        script = script_from_scenario(scenario, ["shard-0"])
+        (rule,) = script.rules
+        assert rule.kind == "partition"
+        assert rule.duration_s is None

@@ -1,0 +1,107 @@
+"""NetemBackend: scripted chaos around a real in-process shard."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ShardUnavailableError
+from repro.model.instances import random_instance
+from repro.netem import NetemBackend, NetemEngine, NetemRule, NetemScript
+from repro.serve.protocol import Request
+from repro.serve.service import AssignmentService, ServiceConfig
+from repro.shard.backend import InProcessBackend
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _engine(*rules: NetemRule, seed: int = 0) -> NetemEngine:
+    return NetemEngine(NetemScript(rules=tuple(rules), seed=seed))
+
+
+async def _backend():
+    problem = random_instance(10, 3, tightness=0.6, seed=2)
+    service = AssignmentService(problem, ServiceConfig(max_wait_s=0.0))
+    await service.start()
+    return service, InProcessBackend("shard-0", service)
+
+
+class TestNetemBackend:
+    def test_forward_drop_is_fast_failure_plus_breaker_hit(self):
+        async def scenario():
+            service, inner = await _backend()
+            wire = NetemBackend(inner, _engine(
+                NetemRule(kind="drop", p=1.0, direction="forward"),
+            ))
+            with pytest.raises(ShardUnavailableError, match="dropped request"):
+                await wire.request(Request(op="assign", device=0))
+            # the request never reached the shard
+            stats = (await inner.request(Request(op="stats"))).stats
+            assert stats["assigns_total"] == 0
+            await service.stop()
+
+        run(scenario())
+
+    def test_reverse_drop_loses_the_answer_after_the_apply(self):
+        async def scenario():
+            service, inner = await _backend()
+            wire = NetemBackend(inner, _engine(
+                NetemRule(kind="drop", p=1.0, direction="reverse"),
+            ))
+            with pytest.raises(ShardUnavailableError,
+                               match="dropped response"):
+                await wire.request(Request(op="assign", device=0))
+            # the gray ambiguity: the shard *did* apply the assign
+            stats = (await inner.request(Request(op="stats"))).stats
+            assert stats["assigns_total"] == 1
+            await service.stop()
+
+        run(scenario())
+
+    def test_partition_window_heals(self):
+        async def scenario():
+            service, inner = await _backend()
+            engine = NetemEngine(NetemScript(rules=(
+                NetemRule(kind="partition", duration_s=0.05),
+            )))
+            wire = NetemBackend(inner, engine)
+            with pytest.raises(ShardUnavailableError):
+                await wire.request(Request(op="stats"))
+            await asyncio.sleep(0.06)
+            inner.breaker.record_success()  # close what the drop opened
+            response = await wire.request(Request(op="stats"))
+            assert response.ok
+            await service.stop()
+
+        run(scenario())
+
+    def test_clean_wire_passes_through(self):
+        async def scenario():
+            service, inner = await _backend()
+            wire = NetemBackend(inner, _engine())
+            assert wire.name == "shard-0"
+            assert wire.breaker is inner.breaker
+            response = await wire.request(Request(op="assign", device=3))
+            assert response.ok
+            await service.stop()
+
+        run(scenario())
+
+    def test_duplicate_never_reapplies_non_idempotent_ops(self):
+        async def scenario():
+            service, inner = await _backend()
+            wire = NetemBackend(inner, _engine(
+                NetemRule(kind="duplicate", p=1.0, direction="forward"),
+            ))
+            response = await wire.request(Request(op="assign", device=0))
+            assert response.ok
+            await asyncio.sleep(0)  # let any stray duplicate land
+            stats = (await inner.request(Request(op="stats"))).stats
+            # the wire may duplicate; an at-most-once server must not
+            assert stats["assigns_total"] == 1
+            await service.stop()
+
+        run(scenario())

@@ -1,0 +1,108 @@
+"""Deadline helpers: stamping, budget arithmetic, bounded awaits."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import DeadlineExceededError, ValidationError
+from repro.serve.deadline import bounded, deadline_ms_in, expired, remaining_s
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    def __init__(self, t: float = 100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestBudgetArithmetic:
+    def test_deadline_is_absolute_epoch_ms(self):
+        clock = FakeClock(t=100.0)
+        assert deadline_ms_in(250.0, clock=clock) == 100.0 * 1e3 + 250.0
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            deadline_ms_in(0.0)
+
+    def test_remaining_shrinks_with_the_clock(self):
+        clock = FakeClock(t=100.0)
+        deadline = deadline_ms_in(500.0, clock=clock)
+        assert remaining_s(deadline, clock=clock) == pytest.approx(0.5)
+        clock.t = 100.4
+        assert remaining_s(deadline, clock=clock) == pytest.approx(0.1)
+        clock.t = 101.0
+        assert remaining_s(deadline, clock=clock) == pytest.approx(-0.5)
+
+    def test_unset_deadline_never_expires(self):
+        assert remaining_s(None) is None
+        assert not expired(None)
+
+    def test_expired_flips_exactly_at_zero(self):
+        clock = FakeClock(t=100.0)
+        deadline = deadline_ms_in(500.0, clock=clock)
+        assert not expired(deadline, clock=clock)
+        clock.t = 100.5
+        assert expired(deadline, clock=clock)
+
+
+class TestBounded:
+    def test_plain_await_without_bounds(self):
+        async def value():
+            return 42
+
+        async def scenario():
+            return await bounded(value())
+
+        assert run(scenario()) == 42
+
+    def test_pre_expired_deadline_fails_fast_without_running(self):
+        ran = []
+
+        async def work():
+            ran.append(True)
+
+        async def scenario():
+            clock = FakeClock(t=100.0)
+            deadline = deadline_ms_in(100.0, clock=clock)
+            clock.t = 101.0
+            with pytest.raises(DeadlineExceededError, match="passed"):
+                await bounded(work(), deadline_ms=deadline, clock=clock)
+            await asyncio.sleep(0)
+
+        run(scenario())
+        assert ran == []  # the coroutine was cancelled, not awaited
+
+    def test_budget_converts_timeout_to_typed_error(self):
+        async def scenario():
+            deadline = deadline_ms_in(20.0)
+            with pytest.raises(DeadlineExceededError, match="no answer"):
+                await bounded(asyncio.sleep(5.0), deadline_ms=deadline,
+                              where="test await")
+
+        run(scenario())
+
+    def test_fixed_timeout_tightens_a_loose_deadline(self):
+        async def scenario():
+            deadline = deadline_ms_in(60_000.0)
+            with pytest.raises(DeadlineExceededError):
+                await bounded(asyncio.sleep(5.0), deadline_ms=deadline,
+                              timeout_s=0.02)
+
+        run(scenario())
+
+    def test_result_passes_through_within_budget(self):
+        async def value():
+            return "ok"
+
+        async def scenario():
+            return await bounded(value(), deadline_ms=deadline_ms_in(1000.0),
+                                 timeout_s=1.0)
+
+        assert run(scenario()) == "ok"

@@ -99,4 +99,6 @@ class TestConstants:
 
     def test_catalog_constants(self):
         assert set(OPS) == {"assign", "release", "stats", "migrate"}
-        assert set(STATUSES) == {"ok", "rejected", "infeasible", "error"}
+        assert set(STATUSES) == {
+            "ok", "rejected", "infeasible", "error", "timeout"
+        }

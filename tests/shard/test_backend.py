@@ -74,6 +74,49 @@ class TestCircuitBreaker:
         assert breaker.state == CircuitBreaker.OPEN
         assert breaker.trips == 2
 
+    def test_half_open_race_admits_exactly_one_probe(self):
+        """Two requests racing the cooldown boundary: acquire() hands
+        the single half-open probe slot to exactly one of them."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.t = 5.0
+
+        async def scenario():
+            # both coroutines see HALF_OPEN before either settles the
+            # probe — the interleaving a router hedge produces when the
+            # primary and the hedge both reach a cooling shard
+            grants = await asyncio.gather(
+                asyncio.to_thread(breaker.acquire),
+                asyncio.to_thread(breaker.acquire),
+            )
+            return grants
+
+        grants = run(scenario())
+        assert sorted(grants) == [False, True]
+        # allows() stays permissive (it is the read-only check) but
+        # further acquire() calls are refused until the probe settles
+        assert breaker.allows()
+        assert not breaker.acquire()
+        breaker.record_success()
+        assert breaker.acquire()  # closed again: everyone admitted
+
+    def test_half_open_probe_failure_frees_the_slot_for_later(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.t = 5.0
+        assert breaker.acquire()
+        breaker.record_failure()  # probe said: still down
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.t = 10.0
+        assert breaker.acquire()  # next cooldown hands out a fresh probe
+        assert not breaker.acquire()
+
     def test_validation(self):
         with pytest.raises(ValidationError):
             CircuitBreaker(failure_threshold=0)

@@ -1,0 +1,78 @@
+"""LatencyTracker: hedge delays and gray-outlier ejection."""
+
+from __future__ import annotations
+
+from repro.shard.latency import LatencyTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _feed(tracker: LatencyTracker, shard: str, latency_s: float,
+          n: int = 16) -> None:
+    for _ in range(n):
+        tracker.observe(shard, latency_s)
+
+
+class TestHedgeDelay:
+    def test_default_until_enough_samples(self):
+        tracker = LatencyTracker(min_samples=8, default_hedge_delay_s=0.05)
+        tracker.observe("shard-0", 0.001)
+        assert tracker.p95("shard-0") is None
+        assert tracker.hedge_delay_s("shard-0") == 0.05
+
+    def test_delay_tracks_the_shards_own_p95(self):
+        tracker = LatencyTracker(hedge_multiplier=1.5)
+        _feed(tracker, "shard-0", 0.1)
+        assert tracker.p95("shard-0") == 0.1
+        assert tracker.hedge_delay_s("shard-0") == 0.1 * 1.5
+
+    def test_fast_shard_is_floored_not_hedged_on_noise(self):
+        tracker = LatencyTracker(min_hedge_delay_s=0.01)
+        _feed(tracker, "shard-0", 1e-4)
+        assert tracker.hedge_delay_s("shard-0") == 0.01
+
+
+class TestEjection:
+    def test_slow_outlier_is_ejected_and_demoted(self):
+        clock = FakeClock()
+        tracker = LatencyTracker(ejection_multiplier=3.0,
+                                 ejection_cooldown_s=5.0, clock=clock)
+        _feed(tracker, "shard-0", 0.01)
+        _feed(tracker, "shard-1", 0.01)
+        _feed(tracker, "shard-2", 0.2)  # 20x its peers: gray
+        assert tracker.refresh_ejections() == {"shard-2"}
+        assert tracker.is_ejected("shard-2")
+        assert tracker.ejections_total == 1
+        order = tracker.demote_ejected(["shard-2", "shard-0", "shard-1"])
+        assert order == ["shard-0", "shard-1", "shard-2"]
+
+    def test_ejection_expires_after_cooldown(self):
+        clock = FakeClock()
+        tracker = LatencyTracker(ejection_cooldown_s=5.0, clock=clock)
+        _feed(tracker, "shard-0", 0.01)
+        _feed(tracker, "shard-1", 0.01)
+        _feed(tracker, "shard-2", 0.2)
+        tracker.refresh_ejections()
+        clock.t = 5.0
+        assert not tracker.is_ejected("shard-2")
+        order = tracker.demote_ejected(["shard-2", "shard-0"])
+        assert order[0] == "shard-2"  # back to its ring position
+
+    def test_two_shards_cannot_call_each_other_outliers(self):
+        # with one peer there is no median to be an outlier against
+        tracker = LatencyTracker(clock=FakeClock())
+        _feed(tracker, "shard-0", 0.01)
+        _feed(tracker, "shard-1", 0.5)
+        assert tracker.refresh_ejections() == set()
+
+    def test_uniformly_slow_cluster_keeps_all_shards(self):
+        tracker = LatencyTracker(clock=FakeClock())
+        for name in ("shard-0", "shard-1", "shard-2"):
+            _feed(tracker, name, 0.2)
+        assert tracker.refresh_ejections() == set()

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.faults.policies import RetryPolicy
 from repro.model.instances import ensure_feasible_capacity
 from repro.model.problem import AssignmentProblem
+from repro.netem import NetemRule, NetemScript
 
 
 @st.composite
@@ -40,18 +41,68 @@ def small_problems(
 
 
 @st.composite
-def retry_policies(draw):
-    """Valid :class:`RetryPolicy` instances across the whole knob space."""
+def retry_policies(draw, backoff: "str | None" = None):
+    """Valid :class:`RetryPolicy` instances across the whole knob space.
+
+    ``backoff`` pins the mode; ``None`` draws it, so mode-agnostic
+    properties (boundedness, retry caps) cover both shapes.
+    """
     jitter = draw(st.floats(min_value=0.0, max_value=1.0))
+    if backoff is None:
+        backoff = draw(st.sampled_from(["decorrelated", "exponential"]))
     return RetryPolicy(
         max_retries=draw(st.integers(min_value=0, max_value=10)),
         timeout_s=draw(st.floats(min_value=1e-3, max_value=5.0)),
         base_delay_s=draw(st.floats(min_value=1e-4, max_value=0.5)),
         # monotone growth needs multiplier >= 1 + jitter (enforced by the
-        # policy itself); draw from the valid region only
+        # policy itself for the exponential mode); draw from the valid
+        # region only
         multiplier=draw(st.floats(min_value=1.0 + jitter, max_value=8.0)),
         max_delay_s=draw(st.floats(min_value=0.5, max_value=30.0)),
         jitter=jitter,
+        backoff=backoff,
+    )
+
+
+#: edge patterns a netem rule may carry — a mix of exact edges,
+#: one-sided wildcards and the catch-all
+_NETEM_EDGES = (
+    "*", "*->shard-0", "*->shard-1", "router->*",
+    "router->shard-0", "client->server",
+)
+
+
+@st.composite
+def netem_rules(draw):
+    """Valid :class:`NetemRule` instances across every kind."""
+    kind = draw(st.sampled_from(
+        ["drop", "delay", "duplicate", "reorder", "partition", "slow"]
+    ))
+    duration_s = draw(st.one_of(
+        st.none(), st.floats(min_value=0.1, max_value=10.0)
+    ))
+    return NetemRule(
+        kind=kind,
+        edge=draw(st.sampled_from(_NETEM_EDGES)),
+        direction=draw(st.sampled_from(["forward", "reverse", "both"])),
+        p=draw(st.floats(min_value=0.0, max_value=1.0)),
+        delay_s=draw(st.floats(min_value=0.0, max_value=0.5)),
+        jitter_s=draw(st.floats(min_value=0.0, max_value=0.5)),
+        # reorder validation requires extra_s > 0
+        extra_s=draw(st.floats(min_value=1e-6, max_value=0.5)),
+        factor=draw(st.floats(min_value=0.25, max_value=8.0)),
+        at_s=draw(st.floats(min_value=0.0, max_value=5.0)),
+        duration_s=duration_s,
+    )
+
+
+@st.composite
+def netem_scripts(draw, max_rules: int = 6):
+    """Valid :class:`NetemScript` instances (possibly empty)."""
+    return NetemScript(
+        rules=tuple(draw(st.lists(netem_rules(), max_size=max_rules))),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        name=draw(st.sampled_from(["netem", "gray", "chaos-a"])),
     )
 
 

@@ -1,0 +1,52 @@
+"""The request-path swallowed-exception lint, and the tree it guards."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint_except_pass import (  # noqa: E402
+    REQUEST_PATH_ROOTS,
+    check_source,
+    check_tree,
+)
+
+
+class TestRule:
+    def test_flags_except_exception_pass(self):
+        source = "try:\n    x()\nexcept Exception:\n    pass\n"
+        (violation,) = check_source(source)
+        assert ":3:" in violation
+
+    def test_flags_bare_except_pass(self):
+        source = "try:\n    x()\nexcept:\n    pass\n"
+        assert len(check_source(source)) == 1
+
+    def test_flags_ellipsis_body_and_tuple_types(self):
+        source = "try:\n    x()\nexcept (ValueError, Exception):\n    ...\n"
+        assert len(check_source(source)) == 1
+
+    def test_narrow_swallow_is_legal(self):
+        source = "try:\n    x()\nexcept ValueError:\n    pass\n"
+        assert check_source(source) == []
+
+    def test_broad_handler_that_acts_is_legal(self):
+        source = (
+            "try:\n    x()\nexcept Exception as exc:\n"
+            "    log(exc)\n    raise\n"
+        )
+        assert check_source(source) == []
+
+
+class TestRequestPathIsClean:
+    def test_no_swallowed_exceptions_on_the_request_path(self):
+        roots = [
+            str(REPO_ROOT / root)
+            for root in REQUEST_PATH_ROOTS
+            if (REPO_ROOT / root).exists()
+        ]
+        assert roots, "request-path packages moved; update the lint"
+        assert check_tree(roots) == []

@@ -1,0 +1,100 @@
+"""WriteAheadLog file mechanics: append, snapshot roll, torn tails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WalError
+from repro.wal import WriteAheadLog
+
+
+class TestAppend:
+    def test_appends_are_stamped_and_ordered(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        assert wal.append({"op": "assign", "device": 1, "server": 0}) == 1
+        assert wal.append({"op": "release", "device": 1, "server": 0}) == 2
+        wal.close()
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [1, 2]
+
+    def test_caller_may_not_stamp_seq(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        with pytest.raises(Exception, match="stamps seq"):
+            wal.append({"seq": 99, "op": "assign"})
+
+
+class TestSnapshotRoll:
+    def test_snapshot_truncates_the_journal(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, snapshot_every=2)
+        wal.append({"op": "assign", "device": 0, "server": 0})
+        wal.append({"op": "assign", "device": 1, "server": 1})
+        assert wal.should_snapshot()
+        wal.write_snapshot({"vector": [0, 1], "epoch": 2})
+        assert not wal.should_snapshot()
+        wal.append({"op": "release", "device": 0, "server": 0})
+        wal.close()
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 1  # only the post-snapshot record remains
+        assert json.loads(lines[0])["seq"] == 3
+
+    def test_load_combines_snapshot_and_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, snapshot_every=2)
+        wal.append({"op": "assign", "device": 0, "server": 0})
+        wal.append({"op": "assign", "device": 1, "server": 1})
+        wal.write_snapshot({"epoch": 2})
+        wal.append({"op": "release", "device": 0, "server": 0})
+        wal.close()
+        fresh = WriteAheadLog(tmp_path)
+        state, records = fresh.load()
+        assert state == {"epoch": 2}
+        assert [r["op"] for r in records] == ["release"]
+        # post-recovery appends continue the numbering
+        assert fresh.append({"op": "assign", "device": 0, "server": 0}) == 4
+
+
+class TestRecoveryEdges:
+    def test_fresh_directory_loads_empty(self, tmp_path):
+        state, records = WriteAheadLog(tmp_path).load()
+        assert state is None and records == []
+
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"op": "assign", "device": 0, "server": 0})
+        wal.close()
+        with open(tmp_path / "journal.jsonl", "a", encoding="utf-8") as f:
+            f.write('{"seq": 2, "op": "rel')  # SIGKILL mid-append
+        state, records = WriteAheadLog(tmp_path).load()
+        assert [r["seq"] for r in records] == [1]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"op": "assign", "device": 0, "server": 0})
+        wal.close()
+        journal = tmp_path / "journal.jsonl"
+        good = journal.read_text()
+        journal.write_text('{"torn\n' + good, encoding="utf-8")
+        with pytest.raises(WalError, match="line 1"):
+            WriteAheadLog(tmp_path).load()
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        (tmp_path / "snapshot.json").write_text("{oops", encoding="utf-8")
+        with pytest.raises(WalError, match="corrupt WAL snapshot"):
+            WriteAheadLog(tmp_path).load()
+
+    def test_load_must_precede_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append({"op": "assign", "device": 0, "server": 0})
+        with pytest.raises(Exception, match="before any append"):
+            wal.load()
+
+    def test_crash_mid_snapshot_keeps_the_previous_one(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, snapshot_every=1)
+        wal.append({"op": "assign", "device": 0, "server": 0})
+        wal.write_snapshot({"epoch": 1})
+        wal.close()
+        # a temp file left behind by a crash mid-write must be ignored
+        (tmp_path / "snapshot.json.tmp").write_text("{half", encoding="utf-8")
+        state, _ = WriteAheadLog(tmp_path).load()
+        assert state == {"epoch": 1}

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Forbid silently-swallowed exceptions on the serving request path.
+
+``except Exception: pass`` (or a bare ``except: pass``) on the serve/
+shard request path turns a gray failure into an invisible one: the
+request neither succeeds nor surfaces as a typed error, which is
+exactly the failure mode the robustness work exists to kill.  Narrow
+handlers (``except ShardUnavailableError: pass``) stay legal — they
+document which failure is being absorbed and why it is safe.
+
+Usage::
+
+    python tools/lint_except_pass.py [ROOT ...]
+
+Walks the given roots (default: the request-path packages under
+``src/repro``), AST-parses every ``*.py`` file, and reports each
+swallowing handler as ``path:line: message``.  Exit 1 when any are
+found, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: packages forming the serve/shard request path
+REQUEST_PATH_ROOTS = (
+    "src/repro/serve",
+    "src/repro/shard",
+    "src/repro/netem",
+    "src/repro/wal",
+)
+
+#: exception names too broad to silently swallow
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(node: "ast.expr | None") -> bool:
+    """Whether an ``except`` clause catches everything (or close to)."""
+    if node is None:  # bare except:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in BROAD_NAMES
+    if isinstance(node, ast.Attribute):  # builtins.Exception
+        return node.attr in BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(element) for element in node.elts)
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing at all."""
+    return all(
+        isinstance(statement, ast.Pass)
+        or (isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis)
+        for statement in handler.body
+    )
+
+
+def check_source(source: str, path: str = "<string>") -> "list[str]":
+    """All violations in one source text, as ``path:line: msg`` lines."""
+    violations = []
+    for node in ast.walk(ast.parse(source, filename=path)):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_broad(node.type) and _swallows(node):
+            shown = ast.unparse(node.type) if node.type is not None else ""
+            violations.append(
+                f"{path}:{node.lineno}: except "
+                f"{shown or '<bare>'}: pass swallows failures on the "
+                f"request path — handle, re-raise, or narrow the type"
+            )
+    return violations
+
+
+def check_tree(roots: "list[str]") -> "list[str]":
+    """All violations under the given root directories."""
+    violations = []
+    for root in roots:
+        base = Path(root)
+        files = sorted(base.rglob("*.py")) if base.is_dir() else [base]
+        for path in files:
+            violations.extend(
+                check_source(path.read_text(encoding="utf-8"), str(path))
+            )
+    return violations
+
+
+def main(argv: "list[str]") -> int:
+    roots = argv or [
+        root for root in REQUEST_PATH_ROOTS if Path(root).exists()
+    ]
+    violations = check_tree(roots)
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} swallowed-exception violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
