@@ -25,8 +25,10 @@ import repro
 from repro.engine.jobspec import JobSpec
 from repro.errors import EngineError
 
-#: bump to invalidate every existing cache entry (payload format changes)
-CACHE_SCHEMA_VERSION = 1
+#: bump to invalidate every existing cache entry (payload format changes,
+#: or a default-behavior change that alters rows for unchanged params —
+#: v2: RetryPolicy's default backoff moved to decorrelated jitter)
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical(value):

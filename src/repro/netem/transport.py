@@ -41,12 +41,22 @@ from __future__ import annotations
 import asyncio
 import time
 
-from repro.errors import ShardUnavailableError
+from repro.errors import DeadlineExceededError, ShardUnavailableError
 from repro.netem.engine import NetemEngine
 from repro.serve.protocol import Request, Response
 
 #: ops a duplicate may actually re-send without corrupting state
 _IDEMPOTENT_OPS = ("stats",)
+
+#: a duplicate's outcome must stay invisible: these are the failures a
+#: second copy of an idempotent op can legitimately hit (dropped again
+#: by netem, deadline-stamped stats probe expiring, transport death)
+_ABSORBED_ERRORS = (
+    ShardUnavailableError,
+    DeadlineExceededError,
+    ConnectionError,
+    OSError,
+)
 
 
 class NetemBackend:
@@ -61,6 +71,7 @@ class NetemBackend:
         self.inner = inner
         self.engine = engine
         self.edge = edge or f"router->{inner.name}"
+        self._absorb_tasks: "set[asyncio.Task]" = set()
 
     @property
     def name(self) -> str:
@@ -84,7 +95,7 @@ class NetemBackend:
                 f"netem dropped request to shard {self.name!r}"
             )
         if forward.duplicate and request.op in _IDEMPOTENT_OPS:
-            asyncio.ensure_future(self._absorb(request))
+            self._spawn_absorb(request)
         started = time.perf_counter()
         response = await self.inner.request(request)
         service_s = time.perf_counter() - started
@@ -101,12 +112,19 @@ class NetemBackend:
             )
         return response
 
+    def _spawn_absorb(self, request: Request) -> None:
+        # hold a strong reference: a bare ensure_future can be GC'd
+        # mid-flight, and an unretrieved exception would log noise
+        task = asyncio.ensure_future(self._absorb(request))
+        self._absorb_tasks.add(task)
+        task.add_done_callback(self._absorb_tasks.discard)
+
     async def _absorb(self, request: Request) -> None:
         # the duplicate's response is unmatched at the caller; whatever
         # happens to it must stay invisible
         try:
             await self.inner.request(request)
-        except ShardUnavailableError:
+        except _ABSORBED_ERRORS:
             return
 
     async def close(self) -> None:
@@ -131,6 +149,7 @@ class NetemClient:
         self.inner = inner
         self.engine = engine
         self.edge = edge
+        self._absorb_tasks: "set[asyncio.Task]" = set()
 
     def send(self, request: Request) -> "asyncio.Future[Response]":
         """Route one request through the wire; resolves like the inner send."""
@@ -160,7 +179,9 @@ class NetemClient:
                 detail="netem: request dropped",
             )
         if forward.duplicate and request.op in _IDEMPOTENT_OPS:
-            asyncio.ensure_future(self._absorb(request))
+            task = asyncio.ensure_future(self._absorb(request))
+            self._absorb_tasks.add(task)
+            task.add_done_callback(self._absorb_tasks.discard)
         started = time.perf_counter()
         response = await self.inner.request(request)
         service_s = time.perf_counter() - started
@@ -179,7 +200,7 @@ class NetemClient:
     async def _absorb(self, request: Request) -> None:
         try:
             await self.inner.request(request)
-        except (ConnectionError, OSError):
+        except _ABSORBED_ERRORS:
             return
 
     async def flush(self) -> None:

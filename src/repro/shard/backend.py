@@ -85,7 +85,8 @@ class CircuitBreaker:
         """Claim permission to send one request (consumes the probe slot).
 
         In half-open state exactly one caller wins until the probe's
-        :meth:`record_success`/:meth:`record_failure` settles it — two
+        :meth:`record_success`/:meth:`record_failure` settles it (or
+        :meth:`release_probe` frees it without a verdict) — two
         concurrent requests racing the cooldown boundary must not both
         probe a shard that is presumed down (the half-open race the
         tests pin).  Closed state admits everyone; open admits no one.
@@ -98,6 +99,20 @@ class CircuitBreaker:
                 return False
             self._probe_in_flight = True
         return True
+
+    def release_probe(self) -> None:
+        """Free the half-open probe slot without a verdict.
+
+        A deadline-expired probe proves nothing about shard health —
+        the budget ran out, not the shard — so the breaker must neither
+        close nor re-open.  But the probe slot was consumed by
+        :meth:`acquire`, and only success/failure clears it; without
+        this release a deadline-cut probe would wedge the breaker in
+        half-open with the slot taken forever, and the shard could
+        never be probed again.  Every ``DeadlineExceededError`` path
+        after an :meth:`acquire` must call this.
+        """
+        self._probe_in_flight = False
 
     def record_success(self) -> None:
         """A request went through: close the circuit."""
@@ -143,7 +158,8 @@ class InProcessBackend:
         A request deadline bounds the await; its expiry raises the
         typed :class:`~repro.errors.DeadlineExceededError` *without*
         tripping the breaker — a short budget is the client's problem,
-        not evidence the shard is down.
+        not evidence the shard is down — but it must still free the
+        half-open probe slot the caller acquired.
         """
         if not self.service.started:
             self.breaker.record_failure()
@@ -155,6 +171,7 @@ class InProcessBackend:
                 where=f"shard {self.name!r}",
             )
         except DeadlineExceededError:
+            self.breaker.release_probe()
             raise
         except Exception as exc:
             self.breaker.record_failure()
@@ -229,6 +246,7 @@ class TCPBackend:
         remaining = remaining_s(request.deadline_ms)
         if remaining is not None:
             if remaining <= 0:
+                self.breaker.release_probe()
                 raise DeadlineExceededError(
                     f"shard {self.name!r}: deadline passed before send"
                 )
@@ -244,7 +262,9 @@ class TCPBackend:
         except (asyncio.TimeoutError, TimeoutError) as exc:
             if timeout_s < self.request_timeout_s:
                 # the deadline was the binding bound: typed fail-fast,
-                # connection kept (pipelined siblings are still live)
+                # connection kept (pipelined siblings are still live),
+                # probe slot freed (no verdict on shard health)
+                self.breaker.release_probe()
                 raise DeadlineExceededError(
                     f"shard {self.name!r}: no answer within the deadline"
                 ) from exc

@@ -120,7 +120,8 @@ class LatencyTracker:
                         obs_names.SHARD_EJECTIONS, {"shard": name}
                     ).inc()
                 self._ejected_until[name] = now + self.ejection_cooldown_s
-        return {name for name in self._ejected_until
+        # is_ejected() deletes expired entries, so iterate a snapshot
+        return {name for name in list(self._ejected_until)
                 if self.is_ejected(name)}
 
     def demote_ejected(self, preference: "list[str]") -> "list[str]":

@@ -468,13 +468,16 @@ class ShardRouter:
     def _abandon(
         self, tasks: "dict[asyncio.Task, tuple[str, bool]]", device: int
     ) -> None:
-        """Detach still-racing copies; release any that land ``ok``.
+        """Detach still-racing copies; release any possible landing.
 
         A hedge loser is never cancelled — a pipelined TCP client has
         already sent the bytes, so cancelling the task would only orphan
         the in-flight future.  Instead the loser runs to completion and
         a done-callback releases its landing (the winner's shard holds
-        the device; a second landing is ghost capacity).
+        the device; a second landing is ghost capacity).  A loser that
+        *fails* with a lost answer or a deadline cut is just as
+        ambiguous — the assign may have applied before the failure —
+        so those spawn the same best-effort ghost release.
         """
         for task, (name, _) in tasks.items():
             def _reap(t: "asyncio.Task", name: str = name) -> None:
@@ -484,6 +487,15 @@ class ShardRouter:
                 if exc is not None:
                     if isinstance(exc, ShardUnavailableError):
                         self._note_breaker(name)
+                    if isinstance(
+                        exc, (ShardUnavailableError, DeadlineExceededError)
+                    ):
+                        # as ambiguous as the in-loop handlers: the
+                        # request may have applied before the answer
+                        # was lost or the deadline cut the await
+                        self._spawn_cleanup(
+                            name, device, obs_names.SHARD_GHOST_RELEASES
+                        )
                     return
                 if t.result().ok:
                     self._spawn_cleanup(

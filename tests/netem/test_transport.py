@@ -6,7 +6,7 @@ import asyncio
 
 import pytest
 
-from repro.errors import ShardUnavailableError
+from repro.errors import DeadlineExceededError, ShardUnavailableError
 from repro.model.instances import random_instance
 from repro.netem import NetemBackend, NetemEngine, NetemRule, NetemScript
 from repro.serve.protocol import Request
@@ -86,6 +86,26 @@ class TestNetemBackend:
             assert wire.breaker is inner.breaker
             response = await wire.request(Request(op="assign", device=3))
             assert response.ok
+            await service.stop()
+
+        run(scenario())
+
+    def test_duplicate_of_deadlined_probe_is_absorbed_silently(self):
+        # a duplicated stats probe carries the router's deadline; when
+        # the budget expires the duplicate's DeadlineExceededError must
+        # be swallowed inside the tracked absorb task, not surface as
+        # 'Task exception was never retrieved' noise
+        async def scenario():
+            service, inner = await _backend()
+            wire = NetemBackend(inner, _engine(
+                NetemRule(kind="duplicate", p=1.0, direction="forward"),
+            ))
+            probe = Request(op="stats", deadline_ms=1.0)  # long expired
+            with pytest.raises(DeadlineExceededError):
+                await wire.request(probe)
+            assert wire._absorb_tasks  # strong reference held
+            await asyncio.gather(*tuple(wire._absorb_tasks))
+            assert not wire._absorb_tasks
             await service.stop()
 
         run(scenario())

@@ -6,11 +6,15 @@ import asyncio
 
 import pytest
 
-from repro.errors import ShardUnavailableError, ValidationError
+from repro.errors import (
+    DeadlineExceededError,
+    ShardUnavailableError,
+    ValidationError,
+)
 from repro.model.instances import random_instance
 from repro.serve.protocol import Request
 from repro.serve.service import AssignmentService, ServiceConfig
-from repro.shard.backend import CircuitBreaker, InProcessBackend
+from repro.shard.backend import CircuitBreaker, InProcessBackend, TCPBackend
 
 
 def run(coro):
@@ -117,11 +121,87 @@ class TestCircuitBreaker:
         assert breaker.acquire()  # next cooldown hands out a fresh probe
         assert not breaker.acquire()
 
+    def test_release_probe_frees_the_slot_without_a_verdict(self):
+        # a deadline-cut probe proves nothing: the breaker must stay
+        # half-open (neither close nor re-open) with the slot free, or
+        # the shard could never be probed again (regression: wedged
+        # half_open with _probe_in_flight stuck True)
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.t = 5.0
+        assert breaker.acquire()
+        assert not breaker.acquire()  # slot taken
+        breaker.release_probe()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.acquire()  # the next caller can probe again
+
+    def test_release_probe_is_a_noop_when_closed(self):
+        breaker = CircuitBreaker()
+        breaker.release_probe()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.acquire()
+
     def test_validation(self):
         with pytest.raises(ValidationError):
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValidationError):
             CircuitBreaker(reset_after_s=0)
+
+
+class TestDeadlineReleasesProbe:
+    """Every DeadlineExceededError a backend raises after acquire()
+    must hand the half-open probe slot back (the wedge the reviewer
+    reproduced: a deadline-expired recovery probe left the breaker
+    half-open with the slot taken forever)."""
+
+    PAST_DEADLINE_MS = 1.0  # epoch 1970: expired on any real clock
+
+    def _half_open_breaker(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_s=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.t = 5.0
+        return breaker
+
+    def test_in_process_deadline_expiry(self):
+        async def scenario():
+            problem = random_instance(10, 3, tightness=0.6, seed=2)
+            service = AssignmentService(problem, ServiceConfig(max_wait_s=0.0))
+            await service.start()
+            breaker = self._half_open_breaker()
+            backend = InProcessBackend("shard-0", service, breaker=breaker)
+            assert breaker.acquire()  # the router claims the probe slot
+            with pytest.raises(DeadlineExceededError):
+                await backend.request(Request(
+                    op="assign", device=0,
+                    deadline_ms=self.PAST_DEADLINE_MS,
+                ))
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+            assert breaker.acquire()  # slot free: probe again later
+            await service.stop()
+
+        run(scenario())
+
+    def test_tcp_pre_send_deadline_expiry(self):
+        async def scenario():
+            breaker = self._half_open_breaker()
+            # port 9 (discard) is never dialed: the pre-send deadline
+            # check raises before any connect attempt
+            backend = TCPBackend("shard-0", "127.0.0.1", 9, breaker=breaker)
+            assert breaker.acquire()
+            with pytest.raises(DeadlineExceededError):
+                await backend.request(Request(
+                    op="stats", deadline_ms=self.PAST_DEADLINE_MS,
+                ))
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+            assert breaker.acquire()
+
+        run(scenario())
 
 
 class TestInProcessBackend:

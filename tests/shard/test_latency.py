@@ -76,3 +76,20 @@ class TestEjection:
         for name in ("shard-0", "shard-1", "shard-2"):
             _feed(tracker, name, 0.2)
         assert tracker.refresh_ejections() == set()
+
+    def test_refresh_survives_expired_cooldowns(self):
+        # refresh must not crash when is_ejected() prunes an expired
+        # entry from the dict the result set is built from (regression:
+        # RuntimeError('dictionary changed size during iteration') on
+        # the request path once any cooldown lapsed)
+        clock = FakeClock()
+        tracker = LatencyTracker(ejection_cooldown_s=5.0, clock=clock)
+        _feed(tracker, "shard-0", 0.01)
+        _feed(tracker, "shard-1", 0.01)
+        _feed(tracker, "shard-2", 0.2)
+        assert tracker.refresh_ejections() == {"shard-2"}
+        # the outlier heals, so the next refresh does not renew it...
+        _feed(tracker, "shard-2", 0.01, n=64)
+        clock.t = 5.0  # ...and its cooldown has already expired
+        assert tracker.refresh_ejections() == set()
+        assert not tracker.is_ejected("shard-2")

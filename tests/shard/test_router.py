@@ -8,6 +8,7 @@ import asyncio
 import numpy as np
 import pytest
 
+from repro.errors import DeadlineExceededError
 from repro.model.instances import topology_instance
 from repro.serve.loadtest import generate_trace, replay_serial
 from repro.serve.protocol import Request
@@ -261,6 +262,44 @@ class TestFailover:
                     Request(op="release", device=device))
                 assert response.ok
                 assert "reconciled" in response.detail
+            finally:
+                await shutdown(services, router)
+
+        run(scenario())
+
+
+class TestHedgeLoserReap:
+    def test_deadline_cut_loser_releases_its_possible_landing(self):
+        # a hedge loser whose await was deadline-cut is exactly as
+        # ambiguous as one whose answer was lost: the assign may have
+        # applied before the cut, so _abandon's reaper must spawn the
+        # same best-effort ghost release (regression: the landing held
+        # shard capacity until the rebalancer noticed)
+        async def scenario():
+            problem = make_problem()
+            plan, services, backends, router = await make_cluster(problem)
+            try:
+                name = plan.shards[0].name
+                device = int(plan.devices_of_shard(name)[0])
+                # the loser's landing: the shard holds the device
+                assert (await router.request(
+                    Request(op="assign", device=device))).ok
+
+                async def cut_loser():
+                    raise DeadlineExceededError("deadline cut the await")
+
+                task = asyncio.create_task(cut_loser())
+                await asyncio.wait({task})
+                router._abandon({task: (name, True)}, device)
+                await asyncio.sleep(0)  # run the done-callback
+                while router._cleanup_tasks:
+                    await asyncio.gather(
+                        *tuple(router._cleanup_tasks),
+                        return_exceptions=True,
+                    )
+                assert router.ghost_releases_total == 1
+                stats = (await router.request(Request(op="stats"))).stats
+                assert stats["per_shard"][name]["active_devices"] == 0
             finally:
                 await shutdown(services, router)
 
