@@ -297,6 +297,28 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def _tracing_stack(args, process: str):
+    """An ExitStack holding the --trace-dir recorder (empty when off).
+
+    The span sink flushes per line, so even a SIGKILLed process leaves
+    a readable (possibly torn-tail) file behind; closing the stack
+    restores whatever recorder was active before.
+    """
+    from contextlib import ExitStack
+
+    from repro.obs import runtime as obs_runtime
+
+    stack = ExitStack()
+    if getattr(args, "trace_dir", None):
+        stack.enter_context(obs_runtime.traced(
+            args.trace_dir,
+            process,
+            sample=getattr(args, "trace_sample", 1.0),
+            seed=getattr(args, "seed", 0),
+        ))
+    return stack
+
+
 def _serving_problem(args) -> AssignmentProblem:
     """The instance a serving command runs over (file or topology params)."""
     if getattr(args, "instance", None):
@@ -337,6 +359,7 @@ def cmd_serve(args) -> int:
     from repro.serve import AssignmentService, TCPServer
 
     problem = _serving_problem(args)
+    tracing = _tracing_stack(args, "serve")
     service = AssignmentService(problem, _service_config(args))
 
     async def run() -> None:
@@ -378,7 +401,10 @@ def cmd_serve(args) -> int:
         rows = [[key, value] for key, value in service._stats().items()]
         print(format_table(["stat", "value"], rows))
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        tracing.close()
     return 0
 
 
@@ -407,6 +433,7 @@ def cmd_loadtest(args) -> int:
         concurrency=args.concurrency,
         seed=args.load_seed,
         release_ratio=args.release_ratio,
+        deadline_ms=getattr(args, "deadline_ms", None),
     )
 
     async def run():
@@ -428,8 +455,15 @@ def cmd_loadtest(args) -> int:
         finally:
             await client.close()
 
-    report = asyncio.run(run())
+    tracing = _tracing_stack(args, "client")
+    try:
+        report = asyncio.run(run())
+    finally:
+        tracing.close()
     print(report.to_text())
+    if args.trace_dir:
+        print(f"trace spans written under {args.trace_dir} "
+              f"(stitch with `repro trace {args.trace_dir}`)")
     if args.json:
         report.save_json(args.json)
         print(f"report written to {args.json}")
@@ -608,6 +642,7 @@ def cmd_shard_serve(args) -> int:
         )
         return 1
     sub = plan.subproblem(problem, args.shard)
+    tracing = _tracing_stack(args, args.shard)
     service = AssignmentService(
         sub,
         ServiceConfig(
@@ -657,7 +692,10 @@ def cmd_shard_serve(args) -> int:
         rows = [[key, value] for key, value in service._stats().items()]
         print(format_table(["stat", "value"], rows))
 
-    asyncio.run(run())
+    try:
+        asyncio.run(run())
+    finally:
+        tracing.close()
     return 0
 
 
@@ -753,6 +791,8 @@ def cmd_shard_loadtest(args) -> int:
         wal_root=args.wal_root,
         default_deadline_ms=args.deadline_ms,
         hedge=not args.no_hedge,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
     )
     load = LoadTestConfig(
         n_requests=args.requests,
@@ -761,6 +801,7 @@ def cmd_shard_loadtest(args) -> int:
         concurrency=args.concurrency,
         seed=args.load_seed,
         release_ratio=args.release_ratio,
+        deadline_ms=args.deadline_ms,
     )
     scenario = None
     if args.kill_shard is not None:
@@ -801,6 +842,9 @@ def cmd_shard_loadtest(args) -> int:
         if info["records"]:
             print(f"wal: {name} recovered {info['records']} records "
                   f"in {info['ms']:.1f} ms")
+    if result.trace_dir:
+        print(f"trace spans written under {result.trace_dir} "
+              f"(stitch with `repro trace {result.trace_dir}`)")
     print(format_table(
         ["window t0 (s)", "ok", "total", "goodput"],
         [[w["t0"], w["ok"], w["total"], f"{w['goodput']:.3f}"]
@@ -860,6 +904,101 @@ def cmd_shard_loadtest(args) -> int:
                 + ", ".join(f"{k}={v:.1f}ms" for k, v in sorted(slow.items()))
             )
             return 3
+    return 0
+
+
+def _report_p99_ms(path: str) -> float:
+    """p99 latency from a loadtest report JSON (plain or sharded)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "report" in data and isinstance(data["report"], dict):
+        data = data["report"]  # ShardLoadTestReport wraps the load report
+    return float(data["latency_ms"]["p99"])
+
+
+def _trace_overhead(args) -> int:
+    """Bound tracing overhead: diff traced vs untraced report p99."""
+    traced_path, untraced_path = args.overhead
+    traced_p99 = _report_p99_ms(traced_path)
+    untraced_p99 = _report_p99_ms(untraced_path)
+    ratio = traced_p99 / max(untraced_p99, 1e-9)
+    print(format_table(
+        ["report", "p99 (ms)"],
+        [["traced", f"{traced_p99:.3f}"],
+         ["untraced", f"{untraced_p99:.3f}"],
+         ["ratio", f"{ratio:.3f}x"]],
+    ))
+    if args.max_overhead is not None and ratio > 1.0 + args.max_overhead:
+        print(f"trace overhead FAILED: traced p99 is {ratio:.3f}x untraced "
+              f"(bound {1.0 + args.max_overhead:.3f}x)")
+        return 3
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Stitch span files: list traces, render waterfalls/critical paths."""
+    from repro.obs.trace import (
+        build_trace,
+        critical_path,
+        load_trace_dir,
+        render_critical_path,
+        render_waterfall,
+        trace_ids,
+    )
+
+    if args.overhead is not None:
+        return _trace_overhead(args)
+    if args.trace_dir is None:
+        print("error: give a trace directory (or --overhead A.json B.json)")
+        return 1
+    records = load_trace_dir(args.trace_dir)
+    if not records:
+        print(f"no spans under {args.trace_dir} (expected spans-*.jsonl "
+              "written via --trace-dir)")
+        return 1
+    if args.trace_id is None:
+        rows = []
+        for trace_id in trace_ids(records):
+            roots, orphans = build_trace(records, trace_id)
+            spans = sum(1 for r in records if r.trace_id == trace_id)
+            t0 = min(r.start_ms for r in records if r.trace_id == trace_id)
+            t1 = max(r.end_ms for r in records if r.trace_id == trace_id)
+            rows.append([
+                trace_id,
+                roots[0].record.name if roots else "?",
+                spans,
+                f"{t1 - t0:.3f}",
+                len(orphans),
+            ])
+        print(format_table(
+            ["trace id", "root", "spans", "span (ms)", "orphans"], rows
+        ))
+        print(f"{len(rows)} trace(s), {len(records)} span(s); render one "
+              "with --trace-id ID [--critical-path]")
+        return 0
+    roots, orphans = build_trace(records, args.trace_id)
+    if not roots:
+        print(f"error: no spans for trace id {args.trace_id!r}")
+        return 1
+    if args.critical_path:
+        worst_coverage = 1.0
+        for root in roots:
+            print(render_critical_path(root))
+            _, attributed = critical_path(root)
+            total = max(root.record.duration_ms, 1e-9)
+            worst_coverage = min(worst_coverage, attributed / total)
+        if orphans:
+            print(f"warning: {len(orphans)} span(s) had unresolved parents "
+                  "(treated as extra roots)")
+        if (args.min_attribution is not None
+                and worst_coverage < args.min_attribution):
+            print(f"critical path FAILED: attributed "
+                  f"{worst_coverage:.1%} < floor {args.min_attribution:.1%}")
+            return 3
+        return 0
+    print(render_waterfall(roots))
+    if orphans:
+        print(f"warning: {len(orphans)} span(s) had unresolved parents "
+              "(treated as extra roots)")
     return 0
 
 

@@ -43,6 +43,25 @@ def build_parser() -> argparse.ArgumentParser:
             "retries) as JSONL here (summarize with `repro ledger PATH`)",
         )
 
+    def add_trace_flags(subparser) -> None:
+        """Serving-tier commands can export distributed-trace spans."""
+        subparser.add_argument(
+            "--trace-dir",
+            default=None,
+            metavar="DIR",
+            help="export trace spans as per-process JSONL files under DIR "
+            "(stitch them with `repro trace DIR`)",
+        )
+        subparser.add_argument(
+            "--trace-sample",
+            type=float,
+            default=1.0,
+            metavar="RATE",
+            help="head-based sampling rate in [0, 1]; the decision is "
+            "seeded and rides the wire, so a trace is either recorded "
+            "everywhere or nowhere (default: 1.0)",
+        )
+
     def add_engine_flags(subparser) -> None:
         """Sweep-shaped commands can fan out on the execution engine."""
         subparser.add_argument(
@@ -221,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="roll a WAL snapshot every N records "
                        "(default: 256)")
     add_obs_flag(serve)
+    add_trace_flags(serve)
     serve.set_defaults(handler=commands.cmd_serve)
 
     loadtest = sub.add_parser(
@@ -249,9 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: 0.45)")
     loadtest.add_argument("--load-seed", type=int, default=0,
                           help="seed for the load generator's RNG (default: 0)")
+    loadtest.add_argument("--deadline-ms", type=float, default=None,
+                          metavar="BUDGET",
+                          help="stamp every request with this absolute "
+                          "deadline budget and report per-request "
+                          "remaining-at-completion (default: none)")
     loadtest.add_argument("--json", default=None, metavar="PATH",
                           help="also save the report JSON here")
     add_obs_flag(loadtest)
+    add_trace_flags(loadtest)
     loadtest.set_defaults(handler=commands.cmd_loadtest)
 
     shard = sub.add_parser(
@@ -305,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="N",
                              help="roll a WAL snapshot every N records "
                              "(default: 256)")
+    add_trace_flags(shard_serve)
     shard_serve.set_defaults(handler=commands.cmd_shard_serve)
 
     shard_router = shard_sub.add_parser(
@@ -381,7 +408,36 @@ def build_parser() -> argparse.ArgumentParser:
                                 "drops below FLOOR or any response errors")
     shard_loadtest.add_argument("--json", default=None, metavar="PATH",
                                 help="also save the full report JSON here")
+    add_trace_flags(shard_loadtest)
     shard_loadtest.set_defaults(handler=commands.cmd_shard_loadtest)
+
+    trace = sub.add_parser(
+        "trace",
+        help="stitch per-process span files into waterfall/critical-path "
+        "views",
+    )
+    trace.add_argument("trace_dir", nargs="?", default=None,
+                       help="directory holding spans-*.jsonl files "
+                       "(written by --trace-dir)")
+    trace.add_argument("--trace-id", default=None, metavar="ID",
+                       help="trace to render (default: list every trace)")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="render the critical path instead of the "
+                       "waterfall")
+    trace.add_argument("--min-attribution", type=float, default=None,
+                       metavar="FRAC",
+                       help="with --critical-path: fail (exit 3) when less "
+                       "than FRAC of end-to-end latency is attributed to "
+                       "named spans (broken links or clock skew)")
+    trace.add_argument("--overhead", nargs=2, default=None,
+                       metavar=("TRACED.json", "UNTRACED.json"),
+                       help="diff two loadtest report JSONs and bound the "
+                       "tracing overhead on p99 latency")
+    trace.add_argument("--max-overhead", type=float, default=None,
+                       metavar="FRAC",
+                       help="with --overhead: fail (exit 3) when the traced "
+                       "p99 exceeds untraced * (1 + FRAC)")
+    trace.set_defaults(handler=commands.cmd_trace)
 
     obs = sub.add_parser(
         "obs", help="render an observability JSONL file as an ASCII dashboard"

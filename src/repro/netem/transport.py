@@ -41,8 +41,13 @@ from __future__ import annotations
 import asyncio
 import time
 
+import dataclasses
+
 from repro.errors import DeadlineExceededError, ShardUnavailableError
-from repro.netem.engine import NetemEngine
+from repro.netem.engine import NetemDecision, NetemEngine
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.obs.trace import context_from_wire as trace_context_from_wire
 from repro.serve.protocol import Request, Response
 
 #: ops a duplicate may actually re-send without corrupting state
@@ -57,6 +62,25 @@ _ABSORBED_ERRORS = (
     ConnectionError,
     OSError,
 )
+
+
+def _decision_event(span, when: str, decision: NetemDecision) -> None:
+    """Annotate the wire span with one netem rule hit (no-ops when the
+    decision passed the message through untouched)."""
+    if (
+        not decision.lost
+        and not decision.duplicate
+        and decision.sleep_s <= 0
+        and decision.slow_factor == 1.0
+    ):
+        return
+    span.event(
+        f"netem_{when}",
+        lost=decision.lost,
+        delay_ms=round(decision.sleep_s * 1e3, 3),
+        duplicate=decision.duplicate,
+        slow_factor=round(decision.slow_factor, 3),
+    )
 
 
 class NetemBackend:
@@ -85,32 +109,47 @@ class NetemBackend:
 
     async def request(self, request: Request) -> Response:
         """Forward one request through the scripted wire."""
-        forward = self.engine.decide(self.edge, "forward")
-        if forward.sleep_s > 0:
-            await asyncio.sleep(forward.sleep_s)
-        if forward.lost:
-            # same failure surface as a dead shard: breaker + typed raise
-            self.breaker.record_failure()
-            raise ShardUnavailableError(
-                f"netem dropped request to shard {self.name!r}"
-            )
-        if forward.duplicate and request.op in _IDEMPOTENT_OPS:
-            self._spawn_absorb(request)
-        started = time.perf_counter()
-        response = await self.inner.request(request)
-        service_s = time.perf_counter() - started
-        reverse = self.engine.decide(self.edge, "reverse")
-        slow = max(forward.slow_factor, reverse.slow_factor)
-        extra_s = reverse.sleep_s + service_s * (slow - 1.0)
-        if extra_s > 0:
-            await asyncio.sleep(extra_s)
-        if reverse.lost:
-            # the shard applied the request; only the answer is gone
-            self.breaker.record_failure()
-            raise ShardUnavailableError(
-                f"netem dropped response from shard {self.name!r}"
-            )
-        return response
+        recorder = obs_runtime.spans()
+        with recorder.start_span(
+            obs_names.XSPAN_NETEM,
+            trace_context_from_wire(request.trace),
+            edge=self.edge,
+        ) as span:
+            if span.context is not None:
+                # the shard parents onto the wire span, so injected
+                # delay shows as wire time, not shard service time
+                request = dataclasses.replace(
+                    request, trace=span.context.to_dict()
+                )
+            forward = self.engine.decide(self.edge, "forward")
+            _decision_event(span, "forward", forward)
+            if forward.sleep_s > 0:
+                await asyncio.sleep(forward.sleep_s)
+            if forward.lost:
+                # same failure surface as a dead shard: breaker + typed
+                # raise
+                self.breaker.record_failure()
+                raise ShardUnavailableError(
+                    f"netem dropped request to shard {self.name!r}"
+                )
+            if forward.duplicate and request.op in _IDEMPOTENT_OPS:
+                self._spawn_absorb(request)
+            started = time.perf_counter()
+            response = await self.inner.request(request)
+            service_s = time.perf_counter() - started
+            reverse = self.engine.decide(self.edge, "reverse")
+            _decision_event(span, "reverse", reverse)
+            slow = max(forward.slow_factor, reverse.slow_factor)
+            extra_s = reverse.sleep_s + service_s * (slow - 1.0)
+            if extra_s > 0:
+                await asyncio.sleep(extra_s)
+            if reverse.lost:
+                # the shard applied the request; only the answer is gone
+                self.breaker.record_failure()
+                raise ShardUnavailableError(
+                    f"netem dropped response from shard {self.name!r}"
+                )
+            return response
 
     def _spawn_absorb(self, request: Request) -> None:
         # hold a strong reference: a bare ensure_future can be GC'd
@@ -170,32 +209,44 @@ class NetemClient:
         return future
 
     async def _relay(self, request: Request) -> Response:
-        forward = self.engine.decide(self.edge, "forward")
-        if forward.sleep_s > 0:
-            await asyncio.sleep(forward.sleep_s)
-        if forward.lost:
-            return Response(
-                id=request.id, status="timeout",
-                detail="netem: request dropped",
-            )
-        if forward.duplicate and request.op in _IDEMPOTENT_OPS:
-            task = asyncio.ensure_future(self._absorb(request))
-            self._absorb_tasks.add(task)
-            task.add_done_callback(self._absorb_tasks.discard)
-        started = time.perf_counter()
-        response = await self.inner.request(request)
-        service_s = time.perf_counter() - started
-        reverse = self.engine.decide(self.edge, "reverse")
-        slow = max(forward.slow_factor, reverse.slow_factor)
-        extra_s = reverse.sleep_s + service_s * (slow - 1.0)
-        if extra_s > 0:
-            await asyncio.sleep(extra_s)
-        if reverse.lost:
-            return Response(
-                id=request.id, status="timeout",
-                detail="netem: response dropped",
-            )
-        return response
+        recorder = obs_runtime.spans()
+        with recorder.start_span(
+            obs_names.XSPAN_NETEM,
+            trace_context_from_wire(request.trace),
+            edge=self.edge,
+        ) as span:
+            if span.context is not None:
+                request = dataclasses.replace(
+                    request, trace=span.context.to_dict()
+                )
+            forward = self.engine.decide(self.edge, "forward")
+            _decision_event(span, "forward", forward)
+            if forward.sleep_s > 0:
+                await asyncio.sleep(forward.sleep_s)
+            if forward.lost:
+                return Response(
+                    id=request.id, status="timeout",
+                    detail="netem: request dropped",
+                )
+            if forward.duplicate and request.op in _IDEMPOTENT_OPS:
+                task = asyncio.ensure_future(self._absorb(request))
+                self._absorb_tasks.add(task)
+                task.add_done_callback(self._absorb_tasks.discard)
+            started = time.perf_counter()
+            response = await self.inner.request(request)
+            service_s = time.perf_counter() - started
+            reverse = self.engine.decide(self.edge, "reverse")
+            _decision_event(span, "reverse", reverse)
+            slow = max(forward.slow_factor, reverse.slow_factor)
+            extra_s = reverse.sleep_s + service_s * (slow - 1.0)
+            if extra_s > 0:
+                await asyncio.sleep(extra_s)
+            if reverse.lost:
+                return Response(
+                    id=request.id, status="timeout",
+                    detail="netem: response dropped",
+                )
+            return response
 
     async def _absorb(self, request: Request) -> None:
         try:

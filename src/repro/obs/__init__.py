@@ -46,16 +46,39 @@ from repro.obs.profile import merge_profiles, profile_call, render_profile
 from repro.obs.runtime import (
     ObsSession,
     disable,
+    disable_tracing,
     enable,
+    enable_tracing,
     is_enabled,
+    is_tracing,
     ledger,
     ledgered,
     metrics,
     observed,
+    spans,
+    traced,
     tracer,
     unledgered,
 )
 from repro.obs.sinks import collect, load_jsonl, to_prometheus_text, write_jsonl
+from repro.obs.slo import BurnRateMonitor, SLOConfig, summarize_slo
+from repro.obs.trace import (
+    NullSpanRecorder,
+    SpanRecord,
+    SpanRecorder,
+    SpanSink,
+    TraceContext,
+    TraceSampler,
+    build_trace,
+    context_from_wire,
+    critical_path,
+    load_span_file,
+    load_trace_dir,
+    new_trace_id,
+    render_critical_path,
+    render_waterfall,
+    trace_ids,
+)
 from repro.obs.tracing import NullTracer, Span, Tracer
 
 __all__ = [
@@ -73,6 +96,26 @@ __all__ = [
     "Span",
     "Tracer",
     "NullTracer",
+    # distributed tracing (cross-process spans)
+    "TraceContext",
+    "TraceSampler",
+    "SpanRecord",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "SpanSink",
+    "new_trace_id",
+    "context_from_wire",
+    "build_trace",
+    "load_span_file",
+    "load_trace_dir",
+    "trace_ids",
+    "critical_path",
+    "render_critical_path",
+    "render_waterfall",
+    # SLO burn rates
+    "SLOConfig",
+    "BurnRateMonitor",
+    "summarize_slo",
     # runtime switch
     "ObsSession",
     "metrics",
@@ -84,6 +127,11 @@ __all__ = [
     "observed",
     "ledgered",
     "unledgered",
+    "spans",
+    "is_tracing",
+    "enable_tracing",
+    "disable_tracing",
+    "traced",
     # run ledger
     "RunLedger",
     "NullLedger",

@@ -173,6 +173,9 @@ def _render_serve_section(metrics: dict) -> "str | None":
         ("assigns", "serve/assigned"),
         ("releases", "serve/released"),
         ("errors", "serve/errors"),
+        ("deadline exceeded", "serve/deadline_exceeded"),
+        ("client retries", "serve/client_retries"),
+        ("retry budget exhausted", "serve/retry_budget_exhausted"),
     ):
         if key in counters:
             rows.append([label, int(counters[key])])
@@ -312,6 +315,39 @@ def _render_wal_section(metrics: dict) -> "str | None":
     return format_table(["wal", "value"], rows)
 
 
+def _render_trace_section(metrics: dict) -> "str | None":
+    """Tracing summary: sampled traces and exported spans."""
+    counters = metrics.get("counters", {})
+    rows: list[list] = []
+    for label, key in (
+        ("traces sampled", "trace/traces_sampled"),
+        ("spans exported", "trace/spans_exported"),
+    ):
+        if key in counters:
+            rows.append([label, int(counters[key])])
+    if not rows:
+        return None
+    return format_table(["trace", "value"], rows)
+
+
+def _render_slo_section(metrics: dict) -> "str | None":
+    """Error-budget summary: multi-window burn rates and pages."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    rows: list[list] = []
+    for label, key in (
+        ("fast burn rate", "slo/fast_burn_rate"),
+        ("slow burn rate", "slo/slow_burn_rate"),
+    ):
+        if key in gauges:
+            rows.append([label, f"{float(gauges[key]):.2f}x"])
+    if "slo/pages" in counters:
+        rows.append(["pages fired", int(counters["slo/pages"])])
+    if not rows:
+        return None
+    return format_table(["slo", "value"], rows)
+
+
 def render_dashboard(data: dict, width: int = 64) -> str:
     """Render the full dashboard; sections with no data are omitted."""
     metrics = data.get("metrics", {})
@@ -352,6 +388,18 @@ def render_dashboard(data: dict, width: int = 64) -> str:
         sections.append("")
         sections.append("## wal")
         sections.append(wal_section)
+
+    trace_section = _render_trace_section(metrics)
+    if trace_section:
+        sections.append("")
+        sections.append("## trace")
+        sections.append(trace_section)
+
+    slo_section = _render_slo_section(metrics)
+    if slo_section:
+        sections.append("")
+        sections.append("## slo")
+        sections.append(slo_section)
 
     counters = metrics.get("counters", {})
     if counters:

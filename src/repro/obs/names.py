@@ -105,6 +105,15 @@ WAL_REPLAYED = "wal/records_replayed"
 WAL_RECOVERIES = "wal/recoveries"
 WAL_RECOVERY_TIME = "wal/recovery_time_s"
 
+# -- cross-process distributed tracing --------------------------------
+TRACE_TRACES_SAMPLED = "trace/traces_sampled"
+TRACE_SPANS_EXPORTED = "trace/spans_exported"
+
+# -- SLO burn-rate monitoring -----------------------------------------
+SLO_FAST_BURN = "slo/fast_burn_rate"
+SLO_SLOW_BURN = "slo/slow_burn_rate"
+SLO_PAGES = "slo/pages"
+
 # -- fault injection and task-lifecycle resilience --------------------
 FAULTS_INJECTED = "faults/injected"
 FAULTS_SERVER_CRASHES = "faults/server_crashes"
@@ -124,6 +133,16 @@ SPAN_DEGRADED = "cluster/degraded"
 SPAN_CHAOS = "faults/run"
 SPAN_REOPT = "serve/reopt"
 SPAN_REBALANCE = "shard/rebalance"
+
+#: cross-process span names (see repro.obs.trace; docs/observability.md)
+XSPAN_CLIENT = "client/request"
+XSPAN_RETRY = "client/retry"
+XSPAN_ROUTE = "router/route"
+XSPAN_FORWARD = "router/forward"
+XSPAN_NETEM = "netem/wire"
+XSPAN_SERVE = "serve/request"
+XSPAN_BATCH = "serve/batch"
+XSPAN_WAL_REPLAY = "wal/replay"
 
 #: every registered metric name, for the docs/tests cross-check
 CATALOG: tuple[str, ...] = (
@@ -195,6 +214,11 @@ CATALOG: tuple[str, ...] = (
     WAL_REPLAYED,
     WAL_RECOVERIES,
     WAL_RECOVERY_TIME,
+    TRACE_TRACES_SAMPLED,
+    TRACE_SPANS_EXPORTED,
+    SLO_FAST_BURN,
+    SLO_SLOW_BURN,
+    SLO_PAGES,
     ENGINE_JOBS_SCHEDULED,
     ENGINE_JOBS_COMPLETED,
     ENGINE_JOBS_FAILED,

@@ -19,6 +19,14 @@ from pathlib import Path
 
 from repro.obs.ledger import NULL_LEDGER, NullLedger, RunLedger
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.obs.trace import (
+    NULL_SPAN_RECORDER,
+    SPAN_FILE_PREFIX,
+    NullSpanRecorder,
+    SpanRecorder,
+    SpanSink,
+    TraceSampler,
+)
 from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -26,18 +34,24 @@ __all__ = [
     "metrics",
     "tracer",
     "ledger",
+    "spans",
     "is_enabled",
+    "is_tracing",
     "enable",
     "disable",
     "observed",
     "ledgered",
     "unledgered",
+    "enable_tracing",
+    "disable_tracing",
+    "traced",
 ]
 
 _registry: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
 _tracer: "Tracer | NullTracer" = NULL_TRACER
 _session: "ObsSession | None" = None
 _ledger: "RunLedger | NullLedger" = NULL_LEDGER
+_spans: "SpanRecorder | NullSpanRecorder" = NULL_SPAN_RECORDER
 
 
 class ObsSession:
@@ -90,9 +104,25 @@ def ledger() -> "RunLedger | NullLedger":
     return _ledger
 
 
+def spans() -> "SpanRecorder | NullSpanRecorder":
+    """The active span recorder (the null recorder when tracing is off).
+
+    Cross-process tracing is switched independently of metrics: a
+    serving process can trace without a metrics session and vice
+    versa.  Instrumented code follows the registry discipline — fetch
+    once per unit of work, then one attribute call per span.
+    """
+    return _spans
+
+
 def is_enabled() -> bool:
     """Whether a live observability session is active."""
     return _registry.enabled
+
+
+def is_tracing() -> bool:
+    """Whether a live cross-process span recorder is attached."""
+    return _spans.enabled
 
 
 def enable() -> ObsSession:
@@ -150,6 +180,63 @@ def ledgered(path, run_id: "str | None" = None):
     finally:
         _ledger.close()
         _ledger = previous
+
+
+def enable_tracing(
+    directory: "str | Path",
+    process: str,
+    sample: float = 1.0,
+    seed: int = 0,
+) -> SpanRecorder:
+    """Attach a live span recorder writing ``spans-<process>.jsonl``.
+
+    Idempotent per (directory, process): calling again with the same
+    target returns the live recorder.  Long-running servers call this
+    once at startup and :func:`disable_tracing` on shutdown; scoped
+    code prefers :func:`traced`.
+    """
+    global _spans
+    directory = Path(directory)
+    path = directory / f"{SPAN_FILE_PREFIX}{process}.jsonl"
+    if isinstance(_spans, SpanRecorder) and _spans.sink.path == path:
+        return _spans
+    sink = SpanSink(path, process)
+    _spans = SpanRecorder(sink, process, TraceSampler(sample, seed))
+    return _spans
+
+
+def disable_tracing() -> None:
+    """Detach and close the span recorder (idempotent)."""
+    global _spans
+    _spans.close()
+    _spans = NULL_SPAN_RECORDER
+
+
+@contextlib.contextmanager
+def traced(
+    directory: "str | Path",
+    process: str,
+    sample: float = 1.0,
+    seed: int = 0,
+):
+    """``with traced(dir, "client") as rec:`` — trace a scope, then restore.
+
+    Mirrors :func:`ledgered`: the previous recorder (usually the null
+    one) is restored on exit and the sink is closed, so tests and
+    nested tools cannot leak the global.
+    """
+    global _spans
+    previous = _spans
+    path = Path(directory) / f"{SPAN_FILE_PREFIX}{process}.jsonl"
+    recorder = SpanRecorder(
+        SpanSink(path, process), process, TraceSampler(sample, seed)
+    )
+    _spans = recorder
+    try:
+        yield recorder
+    finally:
+        recorder.close()
+        _spans = previous
 
 
 @contextlib.contextmanager

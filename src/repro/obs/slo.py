@@ -1,0 +1,236 @@
+"""Multi-window error-budget burn rates for the serving tier.
+
+An SLO of, say, 99% goodput leaves a 1% error budget.  The **burn
+rate** of a window is ``error_rate / error_budget``: burn 1.0 spends
+the budget exactly at the sustainable pace, burn 14 exhausts a 30-day
+budget in ~2 days.  Single-window alerts are either noisy (short
+window) or slow (long window); the standard fix is the multi-window
+rule — page only when a *fast* window and a *slow* window both burn
+hot, so a transient blip (fast only) and a long-recovered incident
+(slow only) both stay quiet.
+
+:class:`BurnRateMonitor` tracks two objectives over the same event
+stream: **goodput** (requests answered ``ok``) and **deadline fit**
+(requests finishing inside their propagated deadline).  Events enter
+via :meth:`record`; windows are pruned lazily; the clock is
+injectable, so tests drive time explicitly.  The loadtests feed their
+outcome streams through :func:`summarize_slo` to bolt a burn-rate
+verdict onto every report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.utils.validation import require
+
+__all__ = ["SLOConfig", "BurnRateMonitor", "summarize_slo"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives and window geometry for one monitored stream.
+
+    The default thresholds are the classic fast/slow pairing: the fast
+    window catches a budget-in-hours fire, the slow window confirms it
+    is not a blip.  Loadtests shrink the windows to seconds — the math
+    only cares about the ratio.
+    """
+
+    goodput_target: float = 0.99       # fraction of requests served ok
+    deadline_target: float = 0.99      # fraction finishing in budget
+    fast_window_s: float = 5.0
+    slow_window_s: float = 60.0
+    fast_burn_threshold: float = 14.0
+    slow_burn_threshold: float = 6.0
+
+    def __post_init__(self) -> None:
+        require(0.0 < self.goodput_target < 1.0,
+                "goodput_target must be in (0, 1)")
+        require(0.0 < self.deadline_target < 1.0,
+                "deadline_target must be in (0, 1)")
+        require(self.fast_window_s > 0, "fast_window_s must be > 0")
+        require(self.slow_window_s >= self.fast_window_s,
+                "slow_window_s must be >= fast_window_s")
+        require(self.fast_burn_threshold > 0, "fast threshold must be > 0")
+        require(self.slow_burn_threshold > 0, "slow threshold must be > 0")
+
+
+class _Window:
+    """One sliding window of (t, bad) events with lazy pruning."""
+
+    __slots__ = ("horizon_s", "events", "bad")
+
+    def __init__(self, horizon_s: float) -> None:
+        self.horizon_s = horizon_s
+        self.events: deque = deque()   # (t, bad: bool)
+        self.bad = 0
+
+    def add(self, t: float, bad: bool) -> None:
+        self.events.append((t, bad))
+        if bad:
+            self.bad += 1
+
+    def prune(self, now: float) -> None:
+        cutoff = now - self.horizon_s
+        while self.events and self.events[0][0] < cutoff:
+            _, bad = self.events.popleft()
+            if bad:
+                self.bad -= 1
+
+    def error_rate(self, now: float) -> float:
+        self.prune(now)
+        if not self.events:
+            return 0.0
+        return self.bad / len(self.events)
+
+
+class _Objective:
+    """Fast + slow windows over one bad/good stream, plus lifetime totals."""
+
+    def __init__(self, target: float, config: SLOConfig) -> None:
+        self.target = target
+        self.fast = _Window(config.fast_window_s)
+        self.slow = _Window(config.slow_window_s)
+        self.total = 0
+        self.bad_total = 0
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+    def record(self, t: float, bad: bool) -> None:
+        self.total += 1
+        if bad:
+            self.bad_total += 1
+        self.fast.add(t, bad)
+        self.slow.add(t, bad)
+
+    def burn(self, window: _Window, now: float) -> float:
+        return window.error_rate(now) / self.budget
+
+    def snapshot(self, now: float, config: SLOConfig) -> dict:
+        fast_burn = self.burn(self.fast, now)
+        slow_burn = self.burn(self.slow, now)
+        remaining = 1.0
+        if self.total:
+            remaining = 1.0 - (self.bad_total / self.total) / self.budget
+        return {
+            "target": self.target,
+            "fast_burn": round(fast_burn, 4),
+            "slow_burn": round(slow_burn, 4),
+            "burning": bool(
+                fast_burn >= config.fast_burn_threshold
+                and slow_burn >= config.slow_burn_threshold
+            ),
+            "total": self.total,
+            "bad_total": self.bad_total,
+            "budget_remaining": round(remaining, 4),
+        }
+
+
+class BurnRateMonitor:
+    """Live multi-window burn-rate accounting over request outcomes.
+
+    Feed every finished request through :meth:`record`; read the
+    verdict with :meth:`snapshot`.  ``pages_total`` counts rising
+    edges of the page condition (both objectives OR'd), not samples —
+    a sustained burn is one page, not thousands.
+    """
+
+    def __init__(
+        self,
+        config: "SLOConfig | None" = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self.goodput = _Objective(self.config.goodput_target, self.config)
+        self.deadline = _Objective(self.config.deadline_target, self.config)
+        self.pages_total = 0
+        self._paging = False
+
+    def record(
+        self,
+        ok: bool,
+        deadline_missed: bool = False,
+        t: "float | None" = None,
+    ) -> None:
+        """One finished request: served ok? inside its deadline?"""
+        now = self._clock() if t is None else float(t)
+        self.goodput.record(now, bad=not ok)
+        self.deadline.record(now, bad=deadline_missed)
+        self._update_paging(now)
+
+    def _update_paging(self, now: float) -> None:
+        burning = (
+            self.goodput.snapshot(now, self.config)["burning"]
+            or self.deadline.snapshot(now, self.config)["burning"]
+        )
+        if burning and not self._paging:
+            self.pages_total += 1
+            obs_runtime.metrics().counter(obs_names.SLO_PAGES).inc()
+        self._paging = burning
+        registry = obs_runtime.metrics()
+        registry.gauge(obs_names.SLO_FAST_BURN).set(
+            self.goodput.burn(self.goodput.fast, now)
+        )
+        registry.gauge(obs_names.SLO_SLOW_BURN).set(
+            self.goodput.burn(self.goodput.slow, now)
+        )
+
+    @property
+    def paging(self) -> bool:
+        """Whether the page condition currently holds."""
+        return self._paging
+
+    def snapshot(self, t: "float | None" = None) -> dict:
+        """JSON-ready verdict: both objectives plus page accounting."""
+        now = self._clock() if t is None else float(t)
+        return {
+            "goodput": self.goodput.snapshot(now, self.config),
+            "deadline": self.deadline.snapshot(now, self.config),
+            "pages_total": self.pages_total,
+            "paging": self._paging,
+            "windows_s": {
+                "fast": self.config.fast_window_s,
+                "slow": self.config.slow_window_s,
+            },
+        }
+
+
+def summarize_slo(
+    outcomes: "list[tuple[float, bool, bool]]",
+    config: "SLOConfig | None" = None,
+) -> dict:
+    """Post-hoc burn-rate verdict for a finished run.
+
+    ``outcomes`` is ``(t, ok, deadline_missed)`` per request, any
+    order.  Replays them through a :class:`BurnRateMonitor` in time
+    order and returns the final snapshot extended with the *worst*
+    burn seen at any point during the run — a loadtest that recovered
+    by the end still reports how hot it got.
+    """
+    config = config or SLOConfig()
+    ordered = sorted(outcomes, key=lambda item: item[0])
+    monitor = BurnRateMonitor(config, clock=lambda: 0.0)
+    worst_fast = worst_slow = 0.0
+    for t, ok, missed in ordered:
+        monitor.record(ok, deadline_missed=missed, t=t)
+        worst_fast = max(
+            worst_fast, monitor.goodput.burn(monitor.goodput.fast, t),
+            monitor.deadline.burn(monitor.deadline.fast, t),
+        )
+        worst_slow = max(
+            worst_slow, monitor.goodput.burn(monitor.goodput.slow, t),
+            monitor.deadline.burn(monitor.deadline.slow, t),
+        )
+    final_t = ordered[-1][0] if ordered else 0.0
+    snapshot = monitor.snapshot(t=final_t)
+    snapshot["worst_fast_burn"] = round(worst_fast, 4)
+    snapshot["worst_slow_burn"] = round(worst_slow, 4)
+    return snapshot

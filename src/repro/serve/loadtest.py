@@ -27,10 +27,15 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.obs.slo import summarize_slo
+from repro.obs.trace import new_trace_id
+from repro.serve.deadline import deadline_ms_in, remaining_s
 from repro.serve.protocol import PRIORITY_CLASSES, Request, Response
 from repro.serve.state import ServiceState
 from repro.utils.fileio import atomic_write_text
@@ -56,10 +61,13 @@ class LoadTestConfig:
     seed: int = 0
     release_ratio: float = 0.45
     priority_mix: "tuple[float, float, float]" = (0.2, 0.6, 0.2)  # low/normal/high
+    deadline_ms: "float | None" = None  # per-request budget stamped at send
 
     def __post_init__(self) -> None:
         require(self.n_requests >= 1, "n_requests must be >= 1")
         check_positive(self.rate_hz, "rate_hz")
+        if self.deadline_ms is not None:
+            check_positive(self.deadline_ms, "deadline_ms")
         require(self.profile in PROFILES,
                 f"unknown profile {self.profile!r}; known: {PROFILES}")
         require(self.concurrency >= 1, "concurrency must be >= 1")
@@ -84,6 +92,11 @@ class LoadTestReport:
     statuses: "dict[str, int]"  # status -> count
     ops: "dict[str, int]"  # op -> count
     stats: "dict | None" = field(default=None)  # final service stats snapshot
+    #: per-request budget left at completion (completion order); ``None``
+    #: when the run stamped no deadlines
+    deadline_remaining_ms: "list[float] | None" = None
+    deadline_misses: int = 0
+    slo: "dict | None" = None  # burn-rate summary (see repro.obs.slo)
 
     @property
     def errors(self) -> int:
@@ -107,6 +120,9 @@ class LoadTestReport:
             "statuses": self.statuses,
             "ops": self.ops,
             "stats": self.stats,
+            "deadline_remaining_ms": self.deadline_remaining_ms,
+            "deadline_misses": self.deadline_misses,
+            "slo": self.slo,
         }
 
     def save_json(self, path) -> None:
@@ -129,6 +145,14 @@ class LoadTestReport:
              " / ".join(str(self.statuses.get(s, 0))
                         for s in ("ok", "rejected", "infeasible", "error"))],
         ]
+        if self.deadline_remaining_ms is not None:
+            rows.append(["deadline misses", self.deadline_misses])
+        if self.slo is not None:
+            rows.append([
+                "slo burn (fast/slow, worst)",
+                f"{self.slo['worst_fast_burn']:.2f}"
+                f" / {self.slo['worst_slow_burn']:.2f}",
+            ])
         return format_table(["metric", "value"], rows)
 
 
@@ -214,9 +238,17 @@ def replay_serial(
 
 
 async def drive_trace(client, trace: "list[Request]") -> "list[Response]":
-    """Send a fixed trace in order through ``client``; await every answer."""
+    """Send a fixed trace in order through ``client``; await every answer.
+
+    When tracing is enabled each request carries a trace context derived
+    from its request id, so replays stitch identically run over run.
+    """
+    recorder = obs_runtime.spans()
     futures = []
     for index, request in enumerate(trace):
+        if recorder.enabled:
+            context = recorder.new_context(new_trace_id(0, int(request.id)))
+            request = replace(request, trace=context.to_dict())
         futures.append(client.send(request))
         if (index + 1) % _FLUSH_EVERY == 0:
             await client.flush()
@@ -286,6 +318,55 @@ class _DeviceActors:
             (self.idle if response.ok else self.held).append(device)
 
 
+#: one measured completion: (latency_ms, status, op,
+#: deadline_remaining_ms | None, completion time on the perf clock)
+_Outcome = "tuple[float, str, str, float | None, float]"
+
+
+def _prepare(request: Request, index: int, config: LoadTestConfig, recorder):
+    """Stamp deadline and trace context on one outgoing request.
+
+    Returns the (possibly re-stamped) request plus the root client span
+    — a manual span because in open loop the send and the completion
+    live in different callbacks, so no ``with`` block can bracket them.
+    The trace id derives from ``(seed, index)``, so a seeded run traces
+    the same ids every time; unsampled contexts still ride the wire so
+    downstream hops inherit the head-based decision.
+    """
+    if config.deadline_ms is not None:
+        request = replace(
+            request, deadline_ms=deadline_ms_in(config.deadline_ms)
+        )
+    context = (
+        recorder.new_context(new_trace_id(config.seed, index))
+        if recorder.enabled else None
+    )
+    span = recorder.start_manual(
+        obs_names.XSPAN_CLIENT, context, op=request.op
+    )
+    if span.context is not None:
+        request = replace(request, trace=span.context.to_dict())
+    elif context is not None:
+        request = replace(request, trace=context.to_dict())
+    return request, span
+
+
+def _settle_outcome(request: Request, response: Response, span,
+                    sent_t: float) -> _Outcome:
+    """Close the client span and fold one completion into an outcome."""
+    done_t = time.perf_counter()
+    remaining_ms = (
+        None if request.deadline_ms is None
+        else round(remaining_s(request.deadline_ms) * 1e3, 3)
+    )
+    span.annotate(status=response.status)
+    if remaining_ms is not None:
+        span.annotate(deadline_remaining_ms=remaining_ms)
+    span.finish()
+    return ((done_t - sent_t) * 1e3, response.status, request.op,
+            remaining_ms, done_t)
+
+
 async def run_loadtest(
     client,
     n_devices: int,
@@ -305,12 +386,27 @@ async def run_loadtest(
         outcomes = await _open_loop(client, n_devices, config, device_ids)
     duration_s = time.perf_counter() - started
 
-    latencies = np.array([latency for latency, _, _ in outcomes], dtype=np.float64)
+    latencies = np.array([o[0] for o in outcomes], dtype=np.float64)
     statuses: "dict[str, int]" = {}
     ops: "dict[str, int]" = {}
-    for _, status, op in outcomes:
+    for _, status, op, _, _ in outcomes:
         statuses[status] = statuses.get(status, 0) + 1
         ops[op] = ops.get(op, 0) + 1
+    # SLO verdict over the run: errors/timeouts burn budget, policy
+    # outcomes (rejected/infeasible) do not; replayed on completion
+    # timestamps so windowed burn rates mean what they say
+    misses = [
+        (remaining is not None and remaining < 0) or status == "timeout"
+        for _, status, _, remaining, _ in outcomes
+    ]
+    slo = summarize_slo([
+        (done_t, status not in ("error", "timeout"), missed)
+        for (_, status, _, _, done_t), missed in zip(outcomes, misses)
+    ]) if outcomes else None
+    remaining_values = (
+        [o[3] for o in outcomes if o[3] is not None]
+        if config.deadline_ms is not None else None
+    )
     stats = None
     if collect_stats:
         stats_response = await client.request(Request(op="stats"))
@@ -331,19 +427,23 @@ async def run_loadtest(
         statuses=statuses,
         ops=ops,
         stats=stats,
+        deadline_remaining_ms=remaining_values,
+        deadline_misses=sum(misses),
+        slo=slo,
     )
 
 
 async def _open_loop(
     client, n_devices: int, config: LoadTestConfig,
     device_ids: "list[int] | None" = None,
-) -> "list[tuple[float, str, str]]":
+) -> "list[_Outcome]":
     """Send on the arrival clock, never waiting for responses."""
     actors = _DeviceActors(n_devices, config, device_ids)
     process = _arrival_process(config)
     arrival_rng = np.random.default_rng(config.seed + 1)
+    recorder = obs_runtime.spans()
     loop = asyncio.get_running_loop()
-    outcomes: "list[tuple[float, str, str]]" = []
+    outcomes: "list[_Outcome]" = []
     waiting: "list[asyncio.Future]" = []
     start = loop.time()
     next_arrival = 0.0
@@ -358,16 +458,15 @@ async def _open_loop(
             await client.flush()
             await asyncio.sleep(0)
             continue
+        request, span = _prepare(request, sent, config, recorder)
         sent += 1
         sent_t = time.perf_counter()
         future = client.send(request)
 
-        def settle(fut, request=request, sent_t=sent_t):
+        def settle(fut, request=request, sent_t=sent_t, span=span):
             response = fut.result()
             actors.settle(request, response)
-            outcomes.append(
-                ((time.perf_counter() - sent_t) * 1e3, response.status, request.op)
-            )
+            outcomes.append(_settle_outcome(request, response, span, sent_t))
 
         future.add_done_callback(settle)
         waiting.append(future)
@@ -382,21 +481,26 @@ async def _open_loop(
 async def _closed_loop(
     client, n_devices: int, config: LoadTestConfig,
     device_ids: "list[int] | None" = None,
-) -> "list[tuple[float, str, str]]":
+) -> "list[_Outcome]":
     """``concurrency`` workers in lock-step with their own responses."""
     actors = _DeviceActors(n_devices, config, device_ids)
-    outcomes: "list[tuple[float, str, str]]" = []
+    recorder = obs_runtime.spans()
+    outcomes: "list[_Outcome]" = []
     remaining = config.n_requests
+    sent = 0
     lock = asyncio.Lock()
 
     async def worker() -> None:
-        nonlocal remaining
+        nonlocal remaining, sent
         while True:
             async with lock:
                 if remaining <= 0:
                     return
                 remaining -= 1
                 request = actors.next_request()
+                if request is not None:
+                    request, span = _prepare(request, sent, config, recorder)
+                    sent += 1
             if request is None:
                 await asyncio.sleep(0)
                 async with lock:
@@ -407,8 +511,7 @@ async def _closed_loop(
             async with lock:
                 actors.settle(request, response)
                 outcomes.append(
-                    ((time.perf_counter() - sent_t) * 1e3,
-                     response.status, request.op)
+                    _settle_outcome(request, response, span, sent_t)
                 )
 
     await asyncio.gather(*(worker() for _ in range(config.concurrency)))

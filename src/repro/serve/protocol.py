@@ -59,6 +59,13 @@ class Request:
     client (or the router's default budget) and propagated verbatim
     through every hop, so downstream stages inherit the shrinking
     budget instead of each granting a fresh one.
+
+    ``trace`` is the distributed-tracing context — a
+    :class:`~repro.obs.trace.TraceContext` wire dict ``(trace_id,
+    span_id, sampled)`` — stamped by the tracing client and rewritten
+    at every hop so the receiver's spans parent onto the sender's.
+    It is omitted from the wire form when unset: a run with tracing
+    off emits byte-identical protocol lines.
     """
 
     op: str
@@ -68,6 +75,7 @@ class Request:
     devices: "tuple[int, ...] | None" = None
     epoch: "int | None" = None
     deadline_ms: "float | None" = None
+    trace: "dict | None" = None
 
     def __post_init__(self) -> None:
         require(self.op in OPS, f"unknown op {self.op!r}; known: {OPS}")
@@ -104,6 +112,8 @@ class Request:
             payload["epoch"] = int(self.epoch)
         if self.deadline_ms is not None:
             payload["deadline_ms"] = round(float(self.deadline_ms), 3)
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
         return payload
 
     @classmethod
@@ -114,6 +124,11 @@ class Request:
             devices = payload.get("devices")
             epoch = payload.get("epoch")
             deadline_ms = payload.get("deadline_ms")
+            trace = payload.get("trace")
+            if trace is not None and not isinstance(trace, dict):
+                raise SerializationError(
+                    f"trace must be an object, got {type(trace).__name__}"
+                )
             return cls(
                 op=str(payload["op"]),
                 id=int(payload.get("id", 0)),
@@ -122,6 +137,7 @@ class Request:
                 devices=None if devices is None else tuple(int(d) for d in devices),
                 epoch=None if epoch is None else int(epoch),
                 deadline_ms=None if deadline_ms is None else float(deadline_ms),
+                trace=None if trace is None else dict(trace),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SerializationError(f"bad request payload: {exc}") from exc

@@ -30,7 +30,8 @@ import dataclasses
 
 from repro.obs import names as obs_names
 from repro.obs import runtime as obs_runtime
-from repro.serve.deadline import deadline_ms_in, expired
+from repro.obs.trace import context_from_wire as trace_context_from_wire
+from repro.serve.deadline import deadline_ms_in, expired, remaining_s
 from repro.serve.protocol import Request, Response
 from repro.utils.rng import derive_seed, make_rng
 from repro.utils.validation import require
@@ -134,25 +135,49 @@ class RetryingClient:
     async def request(self, request: Request) -> Response:
         """Send with retries under one absolute deadline."""
         registry = obs_runtime.metrics()
+        recorder = obs_runtime.spans()
         if request.deadline_ms is None and self.deadline_budget_ms is not None:
             # the whole retry sequence shares this one deadline: retries
             # spend the remaining budget, they don't reset it
             request = dataclasses.replace(
                 request, deadline_ms=deadline_ms_in(self.deadline_budget_ms)
             )
+        with recorder.start_span(
+            obs_names.XSPAN_RETRY,
+            trace_context_from_wire(request.trace),
+            op=request.op,
+        ) as span:
+            if span.context is not None:
+                # downstream spans parent onto the retry scope, so all
+                # attempts of one request stitch under one node
+                request = dataclasses.replace(
+                    request, trace=span.context.to_dict()
+                )
+            response = await self._request_with_retries(
+                registry, span, request
+            )
+            span.annotate(status=response.status)
+            return response
+
+    async def _request_with_retries(
+        self, registry, span, request: Request
+    ) -> Response:
         self.budget.earn()
         prev_backoff_s = self.base_backoff_s
+        attempts = 1
         response = await self.inner.request(request)
         for _ in range(self.max_attempts - 1):
             if response.status not in RETRYABLE_STATUSES:
-                return response
+                break
             if expired(request.deadline_ms):
-                return response
+                span.event("deadline_expired", attempts=attempts)
+                break
             if not self.budget.try_spend():
                 registry.counter(
                     obs_names.SERVE_RETRY_BUDGET_EXHAUSTED
                 ).inc()
-                return response
+                span.event("retry_budget_exhausted", attempts=attempts)
+                break
             backoff_s = decorrelated_jitter_s(
                 prev_backoff_s, self.base_backoff_s, self.max_backoff_s,
                 self._rng,
@@ -164,8 +189,20 @@ class RetryingClient:
             prev_backoff_s = backoff_s
             await asyncio.sleep(backoff_s)
             self.retries_total += 1
+            attempts += 1
             registry.counter(obs_names.SERVE_CLIENT_RETRIES).inc()
+            span.event(
+                "retry",
+                attempt=attempts,
+                after=response.status,
+                backoff_ms=round(backoff_s * 1e3, 3),
+                deadline_remaining_ms=(
+                    None if request.deadline_ms is None
+                    else round(remaining_s(request.deadline_ms) * 1e3, 3)
+                ),
+            )
             response = await self.inner.request(request)
+        span.annotate(attempts=attempts)
         return response
 
     async def close(self) -> None:

@@ -37,6 +37,7 @@ from repro.model.problem import AssignmentProblem
 from repro.model.solution import UNASSIGNED
 from repro.obs import names as obs_names
 from repro.obs import runtime as obs_runtime
+from repro.obs.trace import context_from_wire as trace_context_from_wire
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import MicroBatcher
 from repro.serve.deadline import expired
@@ -212,13 +213,16 @@ class AssignmentService:
                 return
             batch, reason = flushed
             registry = obs_runtime.metrics()
+            recorder = obs_runtime.spans()
             registry.counter(
                 obs_names.SERVE_BATCH_FLUSHES, {"reason": reason}
             ).inc()
             registry.histogram(obs_names.SERVE_BATCH_SIZE).observe(len(batch))
             latency = registry.timer(obs_names.SERVE_ASSIGN_LATENCY)
             for request, future, enqueued_t in batch:
-                response = self._apply(request, enqueued_t)
+                response = self._serve_one(
+                    recorder, request, enqueued_t, reason, len(batch)
+                )
                 self._pending -= 1
                 if response.latency_ms is not None:
                     latency.observe(response.latency_ms / 1e3)
@@ -239,6 +243,47 @@ class AssignmentService:
             registry.gauge(obs_names.SERVE_ACTIVE_DEVICES).set(self.state.active_count)
             # yield once per batch so submitters/readers interleave fairly
             await asyncio.sleep(0)
+
+    def _serve_one(
+        self,
+        recorder,
+        request: Request,
+        enqueued_t: float,
+        reason: str,
+        batch_size: int,
+    ) -> Response:
+        """One request through its (traced) application.
+
+        The ``serve/request`` span parents onto the wire context the
+        sender stamped, covering queue exit through state mutation;
+        the inner ``serve/batch`` span isolates the batcher's share
+        and carries the flush reason — the two hops the stitched
+        waterfall shows on the shard side.
+        """
+        context = trace_context_from_wire(request.trace)
+        with recorder.start_span(
+            obs_names.XSPAN_SERVE, context, op=request.op
+        ) as span:
+            span.event(
+                "dequeued",
+                queue_wait_ms=round(
+                    (time.perf_counter() - enqueued_t) * 1e3, 3
+                ),
+            )
+            if request.deadline_ms is not None:
+                span.event(
+                    "deadline",
+                    remaining_ms=round(
+                        float(request.deadline_ms) - time.time() * 1e3, 3
+                    ),
+                )
+            with recorder.start_span(
+                obs_names.XSPAN_BATCH, span.context,
+                reason=reason, size=batch_size,
+            ):
+                response = self._apply(request, enqueued_t)
+            span.annotate(status=response.status)
+            return response
 
     def _apply(self, request: Request, enqueued_t: float) -> Response:
         """Execute one admitted request against the state."""
@@ -326,6 +371,16 @@ class AssignmentService:
         if self.config.wal_dir is not None:
             stats["wal_recovered_records"] = self.state.recovered_records
             stats["wal_recovery_ms"] = round(self.recovery_ms, 3)
+            stats["wal_seq"] = self.state.wal_seq
+            stats["wal_appends_total"] = self.state.wal_appends_total
+            stats["wal_snapshots_total"] = self.state.wal_snapshots_total
+        registry = obs_runtime.metrics()
+        if registry.enabled:
+            # a compact live-metrics snapshot rides the stats response so
+            # `repro shard stats` sees each process's counters without a
+            # side channel; the null registry keeps this off the request
+            # path entirely when obs is disabled
+            stats["metrics"] = registry.snapshot()
         return stats
 
     # ------------------------------------------------------------------

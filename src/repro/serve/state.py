@@ -32,6 +32,7 @@ from repro.model.problem import AssignmentProblem
 from repro.model.solution import UNASSIGNED
 from repro.obs import names as obs_names
 from repro.obs import runtime as obs_runtime
+from repro.obs.trace import TraceContext
 from repro.utils.validation import require
 
 
@@ -130,6 +131,21 @@ class ServiceState:
         reference the tests pin this against.
         """
         return self._total_delay_s
+
+    @property
+    def wal_seq(self) -> int:
+        """Journal position: sequence of the last record written/loaded."""
+        return 0 if self._wal is None else self._wal.seq
+
+    @property
+    def wal_appends_total(self) -> int:
+        """Lifetime journal appends (0 without a WAL)."""
+        return 0 if self._wal is None else self._wal.appends_total
+
+    @property
+    def wal_snapshots_total(self) -> int:
+        """Lifetime snapshot rolls (0 without a WAL)."""
+        return 0 if self._wal is None else self._wal.snapshots_total
 
     def recompute_total_delay_s(self) -> float:
         """Full fancy-index recomputation (the incremental oracle)."""
@@ -250,16 +266,28 @@ class ServiceState:
         require(self.epoch == 0 and self.active_count == 0,
                 "recover() must run on a fresh state")
         registry = obs_runtime.metrics()
+        recorder = obs_runtime.spans()
         started = time.perf_counter()
-        snapshot, records = self._wal.load()
-        self._mute_wal = True
-        try:
-            if snapshot is not None:
-                self._restore_snapshot(snapshot)
-            for record in records:
-                self._apply_wal_record(record)
-        finally:
-            self._mute_wal = False
+        # replay has no inbound request, so it roots its own trace,
+        # named after the WAL directory to be findable in the sink
+        context = TraceContext(
+            trace_id=f"wal:{self._wal.directory.name}", sampled=True
+        )
+        with recorder.start_span(
+            obs_names.XSPAN_WAL_REPLAY, context
+        ) as span:
+            snapshot, records = self._wal.load()
+            span.event("loaded", snapshot=snapshot is not None,
+                       journal_records=len(records))
+            self._mute_wal = True
+            try:
+                if snapshot is not None:
+                    self._restore_snapshot(snapshot)
+                for record in records:
+                    self._apply_wal_record(record)
+            finally:
+                self._mute_wal = False
+            span.annotate(replayed=len(records), seq=self._wal.seq)
         self.recovered_records = len(records)
         if snapshot is not None or records:
             registry.counter(obs_names.WAL_RECOVERIES).inc()

@@ -31,10 +31,12 @@ import re
 import signal
 import sys
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ShardError
+from repro.obs import runtime as obs_runtime
 from repro.faults.scenario import FaultScenario
 from repro.model.instances import topology_instance
 from repro.netem import NetemBackend, NetemEngine, NetemScript
@@ -79,6 +81,11 @@ class HarnessConfig:
     default_deadline_ms: "float | None" = None
     #: race hedged assigns against slow shards (see docs/robustness.md)
     hedge: bool = True
+    #: directory receiving per-process span files (None = tracing off);
+    #: each shard subprocess and the harness itself export spans there
+    trace_dir: "str | None" = None
+    #: head-based sampling rate forwarded to every process
+    trace_sample: float = 1.0
 
     def __post_init__(self) -> None:
         require(self.n_shards >= 1, "n_shards must be >= 1")
@@ -153,6 +160,9 @@ class ShardProcess:
         if self.config.wal_root is not None:
             argv += ["--wal-dir",
                      str(Path(self.config.wal_root) / self.name)]
+        if self.config.trace_dir is not None:
+            argv += ["--trace-dir", str(self.config.trace_dir),
+                     "--trace-sample", str(self.config.trace_sample)]
         return argv
 
     async def start(self) -> int:
@@ -349,6 +359,7 @@ class ShardLoadTestReport:
     netem_stats: "dict | None" = None  # chaos actually injected on the wire
     wal_recovery: "dict[str, dict]" = field(default_factory=dict)
     router_stats: "dict | None" = None  # hedges/timeouts/ghost releases
+    trace_dir: "str | None" = None  # where per-process span files landed
 
     def to_dict(self) -> dict:
         """Plain-JSON form."""
@@ -362,6 +373,7 @@ class ShardLoadTestReport:
             "netem_stats": self.netem_stats,
             "wal_recovery": self.wal_recovery,
             "router_stats": self.router_stats,
+            "trace_dir": self.trace_dir,
         }
 
 
@@ -436,6 +448,14 @@ async def run_sharded_loadtest(
     procs = [ShardProcess(spec.name, config) for spec in plan.shards]
     fault_log: "list[dict]" = []
     engine: "NetemEngine | None" = None
+    # the harness process hosts router + client spans; shard subprocesses
+    # export their own files into the same directory (see _argv)
+    tracing = ExitStack()
+    if config.trace_dir is not None:
+        tracing.enter_context(obs_runtime.traced(
+            config.trace_dir, "harness",
+            sample=config.trace_sample, seed=config.seed,
+        ))
     try:
         await asyncio.gather(*(proc.start() for proc in procs))
         backends: "dict[str, object]" = {
@@ -513,8 +533,10 @@ async def run_sharded_loadtest(
                 for proc in procs
             } if config.wal_root is not None else {},
             router_stats=router_stats,
+            trace_dir=config.trace_dir,
         )
     finally:
+        tracing.close()
         for proc in procs:
             if proc.alive:
                 proc.kill()

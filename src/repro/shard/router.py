@@ -73,6 +73,7 @@ from dataclasses import dataclass, replace
 from repro.errors import DeadlineExceededError, ShardUnavailableError
 from repro.obs import names as obs_names
 from repro.obs import runtime as obs_runtime
+from repro.obs.trace import context_from_wire as trace_context_from_wire
 from repro.serve.deadline import deadline_ms_in, expired, remaining_s
 from repro.serve.protocol import Request, Response
 from repro.shard.latency import LatencyTracker
@@ -266,7 +267,19 @@ class ShardRouter:
         back so its pipeline still matches the response.
         """
         outbound = replace(request, id=0) if request.id != 0 else request
-        response = await self.backends[name].request(outbound)
+        recorder = obs_runtime.spans()
+        with recorder.start_span(
+            obs_names.XSPAN_FORWARD,
+            trace_context_from_wire(request.trace),
+            shard=name,
+            breaker=self.backends[name].breaker.state,
+        ) as span:
+            if span.context is not None:
+                # the shard's spans parent onto this forward, so each
+                # racing copy stitches as its own subtree
+                outbound = replace(outbound, trace=span.context.to_dict())
+            response = await self.backends[name].request(outbound)
+            span.annotate(status=response.status)
         if response.id != request.id:
             response = replace(response, id=request.id)
         return response
@@ -294,29 +307,49 @@ class ShardRouter:
 
     async def _route(self, request: Request) -> Response:
         registry = obs_runtime.metrics()
+        recorder = obs_runtime.spans()
         start_t = time.perf_counter()
-        try:
-            if expired(request.deadline_ms):
-                return self._timeout(request, "before routing")
-            if request.op == "stats":
-                return Response(
-                    id=request.id, status="ok", stats=await self._stats()
+        with recorder.start_span(
+            obs_names.XSPAN_ROUTE,
+            trace_context_from_wire(request.trace),
+            op=request.op,
+        ) as span:
+            if span.context is not None:
+                # every forward below parents onto the route span;
+                # hedge/spill/breaker events land here via the recorder's
+                # current-span context variable
+                request = replace(request, trace=span.context.to_dict())
+            try:
+                if expired(request.deadline_ms):
+                    span.event("deadline_expired", where="before routing")
+                    return self._timeout(request, "before routing")
+                if request.op == "stats":
+                    return Response(
+                        id=request.id, status="ok", stats=await self._stats()
+                    )
+                if request.op == "assign":
+                    response = await self._route_assign(request)
+                elif request.op == "release":
+                    response = await self._route_release(request)
+                else:
+                    response = Response(
+                        id=request.id, status="error",
+                        detail=f"router does not accept op {request.op!r}",
+                    )
+                span.annotate(status=response.status)
+                if request.deadline_ms is not None:
+                    span.annotate(deadline_remaining_ms=round(
+                        float(request.deadline_ms) - time.time() * 1e3, 3
+                    ))
+                return response
+            finally:
+                registry.timer(obs_names.SHARD_ROUTE_LATENCY).observe(
+                    time.perf_counter() - start_t
                 )
-            if request.op == "assign":
-                return await self._route_assign(request)
-            if request.op == "release":
-                return await self._route_release(request)
-            return Response(
-                id=request.id, status="error",
-                detail=f"router does not accept op {request.op!r}",
-            )
-        finally:
-            registry.timer(obs_names.SHARD_ROUTE_LATENCY).observe(
-                time.perf_counter() - start_t
-            )
 
     async def _route_assign(self, request: Request) -> Response:
         registry = obs_runtime.metrics()
+        recorder = obs_runtime.spans()
         device = int(request.device)
         if not 0 <= device < self.plan.n_devices:
             return Response(
@@ -343,6 +376,10 @@ class ShardRouter:
                 tried.add(name)
                 if self.backends[name].breaker.acquire():
                     return name
+                recorder.event(
+                    "breaker_denied", shard=name,
+                    state=self.backends[name].breaker.state,
+                )
             return None
 
         # One loop owns the whole attempt: launch the first admitting
@@ -401,6 +438,11 @@ class ShardRouter:
                         registry.counter(
                             obs_names.SHARD_HEDGES, {"shard": slowest}
                         ).inc()
+                        recorder.event(
+                            "hedge", slow=slowest, to=backup,
+                            resend=backup == slowest,
+                            inflight=len(tasks) + 1,
+                        )
                         tasks[asyncio.create_task(
                             self._timed_forward(backup, request)
                         )] = (backup, True)
@@ -411,6 +453,10 @@ class ShardRouter:
                     response = task.result()
                 except ShardUnavailableError:
                     self._note_breaker(name)
+                    recorder.event(
+                        "shard_unavailable", shard=name,
+                        breaker=self.backends[name].breaker.state,
+                    )
                     # ambiguous: the request may have applied before the
                     # answer was lost — best-effort release so a ghost
                     # assignment can't hold capacity forever
@@ -433,6 +479,7 @@ class ShardRouter:
                     self._abandon(tasks, device)
                     return self._timeout(request, f"at shard {name!r}")
                 if response.status == "infeasible":
+                    recorder.event("spill", shard=name)
                     continue  # this shard is full for the device: spill
                 if response.ok:
                     if is_hedge:
@@ -440,6 +487,7 @@ class ShardRouter:
                         registry.counter(
                             obs_names.SHARD_HEDGE_WINS, {"shard": name}
                         ).inc()
+                        recorder.event("hedge_win", shard=name)
                     self._abandon(tasks, device)
                     registry.counter(
                         obs_names.SHARD_ROUTED,
@@ -576,6 +624,10 @@ class ShardRouter:
                 obs_runtime.metrics().counter(
                     obs_names.SHARD_HEDGES, {"shard": name}
                 ).inc()
+                obs_runtime.spans().event(
+                    "hedge", slow=name, to=name, resend=True,
+                    inflight=len(tasks) + 1,
+                )
                 tasks.add(
                     asyncio.ensure_future(self._timed_forward(name, request))
                 )

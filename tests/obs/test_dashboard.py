@@ -80,6 +80,40 @@ class TestRenderDashboard:
         assert "swapped=1" in text
         assert "12.5" in text
 
+    def test_serve_section_covers_deadline_and_retry_families(self):
+        registry = MetricsRegistry()
+        registry.counter("serve/requests", {"op": "assign"}).inc(50)
+        registry.counter("serve/deadline_exceeded").inc(4)
+        registry.counter("serve/client_retries").inc(9)
+        registry.counter("serve/retry_budget_exhausted").inc(2)
+        text = render_dashboard(collect(registry))
+        assert "deadline exceeded" in text
+        assert "client retries" in text
+        assert "retry budget exhausted" in text
+
+    def test_trace_and_slo_sections_render(self):
+        registry = MetricsRegistry()
+        registry.counter("trace/traces_sampled").inc(12)
+        registry.counter("trace/spans_exported").inc(48)
+        registry.gauge("slo/fast_burn_rate").set(14.5)
+        registry.gauge("slo/slow_burn_rate").set(6.25)
+        registry.counter("slo/pages").inc(1)
+        text = render_dashboard(collect(registry))
+        assert "## trace" in text
+        assert "traces sampled" in text
+        assert "spans exported" in text
+        assert "## slo" in text
+        assert "14.50x" in text
+        assert "6.25x" in text
+        assert "pages fired" in text
+
+    def test_trace_and_slo_sections_absent_without_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("serve/requests").inc()
+        text = render_dashboard(collect(registry))
+        assert "## trace" not in text
+        assert "## slo" not in text
+
     def test_shard_section_renders(self):
         registry = MetricsRegistry()
         registry.counter("shard/routed", {"shard": "shard-0", "op": "assign"}).inc(60)

@@ -1,0 +1,159 @@
+"""Multi-window error-budget burn rates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.slo import BurnRateMonitor, SLOConfig, summarize_slo
+
+#: tight geometry for tests: 1% budget, 1s fast / 10s slow windows
+CONFIG = SLOConfig(
+    goodput_target=0.99, deadline_target=0.99,
+    fast_window_s=1.0, slow_window_s=10.0,
+    fast_burn_threshold=14.0, slow_burn_threshold=6.0,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestConfig:
+    def test_validates_targets_and_windows(self):
+        with pytest.raises(ValidationError):
+            SLOConfig(goodput_target=1.0)
+        with pytest.raises(ValidationError):
+            SLOConfig(fast_window_s=0.0)
+        with pytest.raises(ValidationError):
+            SLOConfig(fast_window_s=10.0, slow_window_s=5.0)
+
+
+class TestBurnRates:
+    def test_burn_is_error_rate_over_budget(self):
+        clock = FakeClock()
+        monitor = BurnRateMonitor(CONFIG, clock=clock)
+        for i in range(100):
+            monitor.record(ok=(i % 10 != 0))  # 10% errors, 1% budget
+        snapshot = monitor.snapshot()
+        assert snapshot["goodput"]["fast_burn"] == pytest.approx(10.0)
+        assert snapshot["goodput"]["slow_burn"] == pytest.approx(10.0)
+        assert snapshot["deadline"]["fast_burn"] == 0.0
+
+    def test_clean_stream_burns_nothing(self):
+        monitor = BurnRateMonitor(CONFIG, clock=FakeClock())
+        for _ in range(50):
+            monitor.record(ok=True)
+        snapshot = monitor.snapshot()
+        assert snapshot["goodput"]["fast_burn"] == 0.0
+        assert snapshot["goodput"]["budget_remaining"] == 1.0
+        assert not snapshot["paging"]
+
+    def test_windows_prune_old_events(self):
+        clock = FakeClock()
+        monitor = BurnRateMonitor(CONFIG, clock=clock)
+        for _ in range(10):
+            monitor.record(ok=False)  # a burst of failures at t=0
+        clock.now = 2.0  # past the 1s fast window, inside the 10s slow one
+        monitor.record(ok=True)
+        snapshot = monitor.snapshot()
+        assert snapshot["goodput"]["fast_burn"] == 0.0
+        assert snapshot["goodput"]["slow_burn"] > 0.0
+        clock.now = 20.0  # past the slow window too
+        monitor.record(ok=True)
+        assert monitor.snapshot()["goodput"]["slow_burn"] == 0.0
+
+    def test_lifetime_totals_survive_pruning(self):
+        clock = FakeClock()
+        monitor = BurnRateMonitor(CONFIG, clock=clock)
+        for _ in range(4):
+            monitor.record(ok=False)
+        clock.now = 100.0
+        monitor.record(ok=True)
+        snapshot = monitor.snapshot()["goodput"]
+        assert snapshot["total"] == 5
+        assert snapshot["bad_total"] == 4
+
+
+class TestPaging:
+    def test_a_transient_blip_does_not_page(self):
+        # a dense healthy history dilutes the slow window: one failure
+        # makes the fast window hot (1 bad / 5 -> 20x >= 14) while the
+        # slow window stays cold (1 bad / 41 -> ~2.4x < 6) -> no page
+        clock = FakeClock()
+        monitor = BurnRateMonitor(CONFIG, clock=clock)
+        for t in range(40):
+            clock.now = t * 0.25
+            monitor.record(ok=True)
+        clock.now = 10.0
+        monitor.record(ok=False)
+        assert monitor.snapshot()["goodput"]["fast_burn"] >= 14.0
+        assert not monitor.paging
+
+    def test_pages_when_both_windows_burn(self):
+        # sparse history: the same single failure is 1 bad / 9 in the
+        # slow window (~11x >= 6) AND hot in the fast window -> page
+        clock = FakeClock()
+        monitor = BurnRateMonitor(CONFIG, clock=clock)
+        for t in range(8):
+            clock.now = float(t)
+            monitor.record(ok=True)
+        clock.now = 9.0
+        monitor.record(ok=False)
+        assert monitor.paging
+
+    def test_pages_count_rising_edges_not_samples(self):
+        clock = FakeClock()
+        monitor = BurnRateMonitor(CONFIG, clock=clock)
+        for _ in range(20):
+            monitor.record(ok=False)  # sustained burn
+        assert monitor.paging
+        assert monitor.pages_total == 1  # one incident, not twenty pages
+        clock.now = 50.0
+        for _ in range(10):
+            monitor.record(ok=True)  # recovery clears the condition
+        assert not monitor.paging
+        clock.now = 51.0
+        for _ in range(20):
+            monitor.record(ok=False)  # second incident
+        assert monitor.pages_total == 2
+
+    def test_deadline_objective_can_page_alone(self):
+        monitor = BurnRateMonitor(CONFIG, clock=FakeClock())
+        for _ in range(20):
+            monitor.record(ok=True, deadline_missed=True)
+        snapshot = monitor.snapshot()
+        assert snapshot["goodput"]["fast_burn"] == 0.0
+        assert snapshot["deadline"]["burning"]
+        assert monitor.paging
+
+
+class TestSummarize:
+    def test_reports_the_worst_burn_not_the_final_one(self):
+        # a burst of failures early, full recovery by the end
+        outcomes = [(float(t) * 0.1, t >= 10, False) for t in range(110)]
+        summary = summarize_slo(outcomes, CONFIG)
+        assert summary["goodput"]["fast_burn"] == 0.0  # recovered
+        assert summary["worst_fast_burn"] >= summary["goodput"]["fast_burn"]
+        assert summary["worst_fast_burn"] > 50.0
+        assert summary["pages_total"] >= 1
+
+    def test_orders_outcomes_by_time(self):
+        shuffled = [(2.0, True, False), (0.0, False, False), (1.0, True, False)]
+        summary = summarize_slo(shuffled, CONFIG)
+        assert summary["goodput"]["total"] == 3
+        assert summary["goodput"]["bad_total"] == 1
+
+    def test_deadline_misses_feed_the_worst_burn(self):
+        outcomes = [(float(t), True, t == 0) for t in range(3)]
+        summary = summarize_slo(outcomes, CONFIG)
+        assert summary["worst_fast_burn"] == pytest.approx(100.0)
+
+    def test_empty_stream(self):
+        summary = summarize_slo([], CONFIG)
+        assert summary["goodput"]["total"] == 0
+        assert summary["worst_fast_burn"] == 0.0

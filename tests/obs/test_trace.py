@@ -1,0 +1,343 @@
+"""Cross-process tracing: contexts, sampling, sinks, stitching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError, ValidationError
+from repro.obs import runtime as obs_runtime
+from repro.obs.trace import (
+    SPAN_FILE_PREFIX,
+    NullSpanRecorder,
+    SpanRecord,
+    SpanRecorder,
+    SpanSink,
+    TraceContext,
+    TraceSampler,
+    build_trace,
+    context_from_wire,
+    critical_path,
+    load_span_file,
+    load_trace_dir,
+    new_trace_id,
+    render_critical_path,
+    render_waterfall,
+    trace_ids,
+)
+
+
+def make_recorder(tmp_path, process="test", **sampler_kwargs):
+    sink = SpanSink(tmp_path / f"{SPAN_FILE_PREFIX}{process}.jsonl", process)
+    return SpanRecorder(sink, process, TraceSampler(**sampler_kwargs))
+
+
+class TestTraceContext:
+    def test_round_trip(self):
+        context = TraceContext(trace_id="t1", span_id="p:3", sampled=False)
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    def test_wire_form_omits_defaults(self):
+        assert TraceContext(trace_id="t1").to_dict() == {"trace_id": "t1"}
+        assert TraceContext(trace_id="t1", sampled=False).to_dict() == {
+            "trace_id": "t1", "sampled": False,
+        }
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(SerializationError):
+            TraceContext.from_dict({"span_id": "p:1"})
+
+    def test_context_from_wire_is_lenient(self):
+        assert context_from_wire(None) is None
+        assert context_from_wire({}) is None
+        assert context_from_wire({"span_id": "p:1"}) is None
+        parsed = context_from_wire({"trace_id": "t1", "span_id": "p:2"})
+        assert parsed == TraceContext(trace_id="t1", span_id="p:2")
+
+
+class TestSampling:
+    def test_trace_ids_are_deterministic(self):
+        assert new_trace_id(7, 3) == new_trace_id(7, 3)
+        assert new_trace_id(7, 3) != new_trace_id(7, 4)
+        assert new_trace_id(8, 3) != new_trace_id(7, 3)
+        assert len(new_trace_id(0, 0)) == 16
+
+    def test_sampler_is_a_pure_function_of_the_id(self):
+        a = TraceSampler(rate=0.5, seed=3)
+        b = TraceSampler(rate=0.5, seed=3)
+        ids = [new_trace_id(0, n) for n in range(200)]
+        assert [a.sampled(t) for t in ids] == [b.sampled(t) for t in ids]
+
+    def test_rate_extremes(self):
+        always = TraceSampler(rate=1.0)
+        never = TraceSampler(rate=0.0)
+        for n in range(20):
+            trace_id = new_trace_id(0, n)
+            assert always.sampled(trace_id)
+            assert not never.sampled(trace_id)
+
+    def test_partial_rate_hits_roughly_the_target(self):
+        sampler = TraceSampler(rate=0.3, seed=1)
+        hits = sum(sampler.sampled(new_trace_id(0, n)) for n in range(1000))
+        assert 200 < hits < 400
+
+    def test_rate_is_validated(self):
+        with pytest.raises(ValidationError):
+            TraceSampler(rate=1.5)
+
+
+class TestSpanSink:
+    def test_emit_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "spans-a.jsonl"
+        sink = SpanSink(path, "a")
+        record = SpanRecord(
+            trace_id="t1", span_id="a:1", parent_id="c:9",
+            name="serve/request", process="a", start_ms=100.0,
+            duration_ms=2.5, events=[{"name": "dequeued", "t_ms": 1.0}],
+            attributes={"op": "assign"},
+        )
+        sink.emit(record)
+        sink.close()
+        (loaded,) = load_span_file(path)
+        assert loaded == record
+
+    def test_header_line_is_stamped_once_and_skipped(self, tmp_path):
+        path = tmp_path / "spans-a.jsonl"
+        for _ in range(2):
+            sink = SpanSink(path, "a")
+            sink.emit(SpanRecord(
+                trace_id="t1", span_id="a:1", parent_id="",
+                name="x", process="a", start_ms=0.0,
+            ))
+            sink.close()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["format"] == "repro-trace"
+        assert len(lines) == 3  # one header + two spans
+        assert len(load_span_file(path)) == 2
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "spans-a.jsonl"
+        sink = SpanSink(path, "a")
+        sink.emit(SpanRecord(
+            trace_id="t1", span_id="a:1", parent_id="",
+            name="x", process="a", start_ms=0.0,
+        ))
+        sink.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"trace_id": "t1", "span')  # SIGKILL mid-append
+        assert len(load_span_file(path)) == 1
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        path = tmp_path / "spans-a.jsonl"
+        path.write_text('not json\n{"trace_id": "t"}\n')
+        with pytest.raises(SerializationError, match="line 1"):
+            load_span_file(path)
+
+    def test_load_trace_dir_merges_per_process_files(self, tmp_path):
+        for process in ("a", "b"):
+            sink = SpanSink(
+                tmp_path / f"{SPAN_FILE_PREFIX}{process}.jsonl", process
+            )
+            sink.emit(SpanRecord(
+                trace_id="t1", span_id=f"{process}:1", parent_id="",
+                name="x", process=process, start_ms=0.0,
+            ))
+            sink.close()
+        records = load_trace_dir(tmp_path)
+        assert {r.process for r in records} == {"a", "b"}
+
+    def test_load_trace_dir_rejects_non_directories(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_trace_dir(tmp_path / "missing")
+
+
+class TestSpanRecorder:
+    def test_with_bound_span_exports_on_exit(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        context = recorder.new_context("t1")
+        with recorder.start_span("serve/request", context, op="assign") as span:
+            span.event("dequeued", batch=3)
+            span.annotate(device=7)
+        recorder.close()
+        (record,) = load_span_file(recorder.sink.path)
+        assert record.name == "serve/request"
+        assert record.span_id == "test:1"
+        assert record.parent_id == ""
+        assert record.status == "ok"
+        assert record.attributes == {"op": "assign", "device": 7}
+        assert record.events[0]["name"] == "dequeued"
+        assert record.events[0]["batch"] == 3
+        assert recorder.spans_exported == 1
+
+    def test_child_span_links_to_parent(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        context = recorder.new_context("t1")
+        with recorder.start_span("router/route", context) as parent:
+            with recorder.start_span("router/forward", parent.context) as child:
+                assert child.span_id == "test:2"
+        recorder.close()
+        records = load_span_file(recorder.sink.path)
+        by_name = {r.name: r for r in records}
+        assert by_name["router/forward"].parent_id == by_name["router/route"].span_id
+
+    def test_exception_sets_error_status(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        context = recorder.new_context("t1")
+        with pytest.raises(RuntimeError):
+            with recorder.start_span("serve/request", context):
+                raise RuntimeError("boom")
+        recorder.close()
+        (record,) = load_span_file(recorder.sink.path)
+        assert record.status == "error:RuntimeError"
+
+    def test_unsampled_context_gets_the_null_span(self, tmp_path):
+        recorder = make_recorder(tmp_path, rate=0.0)
+        context = recorder.new_context("t1")
+        assert not context.sampled
+        with recorder.start_span("serve/request", context) as span:
+            span.event("never recorded")
+        assert recorder.spans_exported == 0
+        assert recorder.traces_started == 0
+
+    def test_current_span_follows_nesting(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        context = recorder.new_context("t1")
+        assert recorder.current().span_id == ""
+        with recorder.start_span("outer", context) as outer:
+            assert recorder.current() is outer
+            with recorder.start_span("inner", outer.context) as inner:
+                assert recorder.current() is inner
+                recorder.event("hit", rule="drop")
+            assert recorder.current() is outer
+        assert recorder.current().span_id == ""
+        recorder.close()
+        by_name = {r.name: r for r in load_span_file(recorder.sink.path)}
+        assert by_name["inner"].events[0]["rule"] == "drop"
+
+    def test_manual_span_finish_is_idempotent(self, tmp_path):
+        recorder = make_recorder(tmp_path)
+        context = recorder.new_context("t1")
+        span = recorder.start_manual("client/request", context, op="assign")
+        span.annotate(status="ok")
+        span.finish()
+        span.finish("error")  # second call must not re-export or restamp
+        recorder.close()
+        (record,) = load_span_file(recorder.sink.path)
+        assert record.status == "ok"
+        assert recorder.spans_exported == 1
+
+    def test_null_recorder_is_inert(self):
+        recorder = NullSpanRecorder()
+        assert not recorder.enabled
+        assert recorder.new_context("t1") is None
+        with recorder.start_span("x", None) as span:
+            span.event("nothing")
+        recorder.start_manual("x", None).finish()
+        recorder.close()
+
+    def test_runtime_traced_scopes_the_global(self, tmp_path):
+        assert not obs_runtime.is_tracing()
+        with obs_runtime.traced(tmp_path, "client") as recorder:
+            assert obs_runtime.is_tracing()
+            assert obs_runtime.spans() is recorder
+            context = recorder.new_context("t1")
+            with recorder.start_span("client/request", context):
+                pass
+        assert not obs_runtime.is_tracing()
+        (record,) = load_trace_dir(tmp_path)
+        assert record.process == "client"
+
+
+def span(trace_id, span_id, parent_id, name, start_ms, duration_ms,
+         process="p", status="ok"):
+    return SpanRecord(
+        trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+        name=name, process=process, start_ms=start_ms,
+        duration_ms=duration_ms, status=status,
+    )
+
+
+class TestStitching:
+    def chain(self):
+        return [
+            span("t1", "c:1", "", "client/request", 0.0, 100.0, "client"),
+            span("t1", "r:1", "c:1", "router/route", 10.0, 80.0, "router"),
+            span("t1", "s:1", "r:1", "serve/request", 20.0, 40.0, "shard-0"),
+        ]
+
+    def test_build_trace_stitches_across_processes(self):
+        roots, orphans = build_trace(self.chain(), "t1")
+        assert orphans == []
+        (root,) = roots
+        assert root.record.name == "client/request"
+        (child,) = root.children
+        assert child.record.name == "router/route"
+        (grandchild,) = child.children
+        assert grandchild.record.name == "serve/request"
+
+    def test_unresolved_parent_becomes_root_and_orphan(self):
+        records = self.chain()[::2]  # drop the router span file
+        roots, orphans = build_trace(records, "t1")
+        assert [r.record.name for r in roots] == [
+            "client/request", "serve/request",
+        ]
+        assert [o.name for o in orphans] == ["serve/request"]
+
+    def test_build_trace_filters_by_trace_id(self):
+        records = self.chain() + [
+            span("t2", "c:9", "", "client/request", 5.0, 1.0)
+        ]
+        roots, _ = build_trace(records, "t2")
+        assert len(roots) == 1 and roots[0].record.span_id == "c:9"
+
+    def test_trace_ids_ordered_by_first_span_start(self):
+        records = [
+            span("late", "a:1", "", "x", 50.0, 1.0),
+            span("early", "a:2", "", "x", 1.0, 1.0),
+            span("late", "a:3", "", "x", 0.5, 1.0),  # re-dates "late"
+        ]
+        assert trace_ids(records) == ["late", "early"]
+
+    def test_render_waterfall_shows_every_span(self):
+        roots, _ = build_trace(self.chain(), "t1")
+        text = render_waterfall(roots)
+        assert "3 spans" in text
+        for name in ("client/request", "router/route", "serve/request"):
+            assert name in text
+        assert render_waterfall([]) == "(no spans)"
+
+    def test_critical_path_telescopes_to_the_root_duration(self):
+        roots, _ = build_trace(self.chain(), "t1")
+        segments, attributed = critical_path(roots[0])
+        assert [s.name for s in segments] == [
+            "client/request", "router/route", "serve/request",
+        ]
+        assert [s.self_ms for s in segments] == [20.0, 40.0, 40.0]
+        assert attributed == pytest.approx(100.0)
+        text = render_critical_path(roots[0])
+        assert text.endswith(
+            "attributed 100.0% of end-to-end latency to 3 named spans"
+        )
+
+    def test_critical_path_follows_the_latest_finishing_child(self):
+        records = [
+            span("t1", "r:1", "", "router/route", 0.0, 100.0),
+            span("t1", "h:1", "r:1", "hedge-a", 10.0, 20.0),
+            span("t1", "h:2", "r:1", "hedge-b", 15.0, 80.0),
+        ]
+        roots, _ = build_trace(records, "t1")
+        segments, _ = critical_path(roots[0])
+        assert [s.name for s in segments] == ["router/route", "hedge-b"]
+
+    def test_skewed_child_is_clipped_to_the_parent_interval(self):
+        records = [
+            span("t1", "r:1", "", "router/route", 0.0, 50.0),
+            # clock skew: the child claims to end after its parent
+            span("t1", "s:1", "r:1", "serve/request", 40.0, 60.0),
+        ]
+        roots, _ = build_trace(records, "t1")
+        segments, attributed = critical_path(roots[0])
+        # child contributes only its overlap (10ms), never more than elapsed
+        assert segments[0].self_ms == pytest.approx(40.0)
+        assert attributed <= 50.0 + 60.0

@@ -68,6 +68,25 @@ class TestRequest:
         with pytest.raises(SerializationError):
             decode_request(line)
 
+    def test_trace_context_round_trips(self):
+        request = Request(
+            op="assign", id=7, device=12,
+            trace={"trace_id": "3d49f874c907d8f6", "span_id": "client:1"},
+        )
+        decoded = decode_request(encode_line(request))
+        assert decoded == request
+        assert decoded.trace == {
+            "trace_id": "3d49f874c907d8f6", "span_id": "client:1",
+        }
+
+    def test_untraced_request_omits_the_trace_key(self):
+        payload = json.loads(encode_line(Request(op="assign", id=1, device=0)))
+        assert "trace" not in payload
+
+    def test_non_object_trace_rejected(self):
+        with pytest.raises(SerializationError, match="trace must be an object"):
+            decode_request(b'{"op": "stats", "id": 1, "trace": "t1"}')
+
 
 class TestResponse:
     def test_roundtrip_all_fields(self):

@@ -1,0 +1,184 @@
+"""Enabling tracing never changes results — only observes them.
+
+The tracing PR's regression gate: the span recorder must not feed back
+into scheduling or state.  Traced and untraced runs of the same seeded
+workload produce identical assignment vectors, statuses, wire bytes,
+and cached-experiment row bytes, across the serial, parallel-engine,
+and sharded paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import replace
+
+import numpy as np
+
+from repro.engine import EngineOptions, JobSpec, run_jobs
+from repro.model.instances import random_instance, topology_instance
+from repro.obs import runtime as obs_runtime
+from repro.obs.trace import load_trace_dir, new_trace_id
+from repro.serve import (
+    AssignmentService,
+    InProcessClient,
+    Request,
+    ServiceConfig,
+    drive_trace,
+    generate_trace,
+)
+from repro.shard.backend import CircuitBreaker, InProcessBackend
+from repro.shard.partition import build_plan
+from repro.shard.router import ShardRouter
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _serve_trace(problem, trace):
+    service = AssignmentService(
+        problem, ServiceConfig(max_batch=16, max_wait_s=0.0005,
+                               max_queue=100_000)
+    )
+    await service.start()
+    try:
+        responses = await drive_trace(InProcessClient(service), trace)
+    finally:
+        await service.stop()
+    return service.state.vector, [r.status for r in responses]
+
+
+async def _shard_trace(problem, trace, n_shards=3):
+    plan = build_plan(problem, n_shards)
+    services, backends = {}, {}
+    for spec in plan.shards:
+        service = AssignmentService(
+            plan.subproblem(problem, spec.name), ServiceConfig(max_wait_s=0.0)
+        )
+        await service.start()
+        services[spec.name] = service
+        backends[spec.name] = InProcessBackend(
+            spec.name, service, CircuitBreaker()
+        )
+    router = ShardRouter(plan, backends)
+    await router.start()
+    recorder = obs_runtime.spans()
+    try:
+        statuses = []
+        for request in trace:
+            if recorder.enabled:
+                context = recorder.new_context(
+                    new_trace_id(0, int(request.id))
+                )
+                request = replace(request, trace=context.to_dict())
+            statuses.append((await router.request(request)).status)
+        vectors = {
+            spec.name: services[spec.name].state.vector.tolist()
+            for spec in plan.shards
+        }
+    finally:
+        await router.stop()
+        for service in services.values():
+            await service.stop()
+    return vectors, statuses
+
+
+class TestServePath:
+    def test_traced_run_matches_untraced(self, tmp_path):
+        problem = random_instance(40, 5, tightness=0.7, seed=2)
+        trace = generate_trace(problem.n_devices, 400, seed=3)
+        plain_vector, plain_statuses = run(_serve_trace(problem, trace))
+        with obs_runtime.traced(tmp_path, "service"):
+            traced_vector, traced_statuses = run(_serve_trace(problem, trace))
+        assert traced_statuses == plain_statuses
+        np.testing.assert_array_equal(traced_vector, plain_vector)
+        assert load_trace_dir(tmp_path)  # the traced run really traced
+
+    def test_sampling_rate_does_not_change_results(self, tmp_path):
+        problem = random_instance(30, 4, tightness=0.7, seed=5)
+        trace = generate_trace(problem.n_devices, 200, seed=5)
+        results = []
+        for sample, label in ((1.0, "all"), (0.25, "some"), (0.0, "none")):
+            with obs_runtime.traced(tmp_path / label, "service",
+                                    sample=sample):
+                vector, statuses = run(_serve_trace(problem, trace))
+            results.append((vector.tolist(), statuses))
+        assert results[0] == results[1] == results[2]
+
+
+class TestShardedPath:
+    def test_traced_cluster_matches_untraced(self, tmp_path):
+        problem = topology_instance(
+            family="edge_hierarchy", n_routers=40, n_devices=60,
+            n_servers=8, tightness=0.7, seed=3,
+        )
+        trace = generate_trace(problem.n_devices, 300, seed=7)
+        plain = run(_shard_trace(problem, trace))
+        with obs_runtime.traced(tmp_path, "router"):
+            traced = run(_shard_trace(problem, trace))
+        assert traced == plain
+        assert load_trace_dir(tmp_path)
+
+
+class TestWireBytes:
+    def test_untraced_request_bytes_are_unchanged(self):
+        # pinned: an untraced request must serialize with no trace key
+        # at all, so untraced runs emit byte-identical protocol lines
+        request = Request(op="assign", id=7, device=12, priority="high")
+        line = json.dumps(request.to_dict(), sort_keys=True)
+        assert line == (
+            '{"device": 12, "id": 7, "op": "assign", "priority": "high"}'
+        )
+
+    def test_stripping_the_trace_field_restores_the_bytes(self):
+        plain = Request(op="assign", id=7, device=12)
+        traced = Request(op="assign", id=7, device=12,
+                         trace={"trace_id": "t1", "span_id": "c:1"})
+        stripped = dict(traced.to_dict())
+        assert stripped.pop("trace") == {"trace_id": "t1", "span_id": "c:1"}
+        assert stripped == plain.to_dict()
+
+
+class TestEngineRows:
+    SPECS = [
+        JobSpec(
+            experiment="syn",
+            fn="repro.engine.synthetic:cpu_cell",
+            params={"iterations": 1000, "cell": cell},
+            seed=cell,
+        )
+        for cell in range(4)
+    ]
+
+    @staticmethod
+    def _row_bytes(engine):
+        return json.dumps(run_jobs(TestEngineRows.SPECS, engine),
+                          sort_keys=True)
+
+    def test_serial_and_parallel_rows_unchanged_by_tracing(self, tmp_path):
+        baseline = {
+            jobs: self._row_bytes(EngineOptions(jobs=jobs, progress=False))
+            for jobs in (1, 2)
+        }
+        with obs_runtime.traced(tmp_path, "engine"):
+            for jobs in (1, 2):
+                traced = self._row_bytes(
+                    EngineOptions(jobs=jobs, progress=False)
+                )
+                assert traced == baseline[jobs]
+
+    def test_cached_entry_bytes_unchanged_by_tracing(self, tmp_path):
+        def cache_bytes(cache_dir):
+            run_jobs(self.SPECS, EngineOptions(
+                jobs=1, cache_dir=cache_dir, progress=False
+            ))
+            return sorted(
+                (path.name, path.read_bytes())
+                for path in cache_dir.rglob("*.json")
+            )
+
+        plain = cache_bytes(tmp_path / "plain")
+        with obs_runtime.traced(tmp_path / "spans", "engine"):
+            traced = cache_bytes(tmp_path / "traced")
+        assert traced == plain

@@ -108,3 +108,54 @@ class TestSubprocessCluster:
         assert all(code == 0 for code in result.shutdown_codes.values())
         # the run produced a goodput timeline with real traffic in it
         assert sum(w["total"] for w in result.timeline) == 200
+
+    def test_traced_loadtest_stitches_across_processes(self, tmp_path):
+        """The tracing acceptance path: a netem'd subprocess cluster
+        yields one stitched trace covering client, router, wire, shard
+        service, and batcher with parent/child links intact."""
+        from repro.netem import NetemScript
+        from repro.obs.trace import build_trace, load_trace_dir, trace_ids
+
+        async def scenario():
+            config = HarnessConfig(
+                n_shards=2, routers=15, devices=40, servers=4,
+                tightness=0.7, seed=1, trace_dir=str(tmp_path),
+                default_deadline_ms=5000.0,
+            )
+            load = LoadTestConfig(
+                n_requests=60, profile="closed", concurrency=4,
+                rate_hz=2000.0, seed=1, deadline_ms=5000.0,
+            )
+            netem = NetemScript.from_dict({
+                "name": "trace-smoke", "seed": 3,
+                "rules": [{"kind": "delay", "edge": "*",
+                           "delay_s": 0.001}],
+            })
+            return await run_sharded_loadtest(config, load, netem=netem)
+
+        result = run(scenario())
+        assert result.report.errors == 0
+        assert result.trace_dir == str(tmp_path)
+        records = load_trace_dir(tmp_path)
+        # harness-side spans and shard-subprocess spans both landed
+        assert {r.process for r in records} >= {"harness"} and any(
+            r.process.startswith("shard-") for r in records
+        )
+        full_chains = 0
+        for trace_id in trace_ids(records):
+            roots, orphans = build_trace(records, trace_id)
+            if orphans or len(roots) != 1:
+                continue
+            names = set()
+            stack = list(roots)
+            while stack:
+                node = stack.pop()
+                names.add(node.record.name)
+                stack.extend(node.children)
+            if names >= {"client/request", "router/route", "netem/wire",
+                         "serve/request", "serve/batch"}:
+                full_chains += 1
+        assert full_chains > 0, (
+            "no stitched trace covered client -> router -> wire -> "
+            "shard -> batcher with intact links"
+        )

@@ -41,6 +41,46 @@ class TestRule:
         assert check_source(source) == []
 
 
+class TestSpanRule:
+    def test_flags_start_span_outside_with(self):
+        source = "span = recorder.start_span('serve/request', ctx)\n"
+        (violation,) = check_source(source)
+        assert "start_span" in violation and ":1:" in violation
+
+    def test_with_bound_start_span_is_legal(self):
+        source = (
+            "with recorder.start_span('serve/request', ctx) as span:\n"
+            "    span.event('dequeued')\n"
+        )
+        assert check_source(source) == []
+
+    def test_async_with_bound_start_span_is_legal(self):
+        source = (
+            "async def f():\n"
+            "    async with recorder.start_span('x', ctx) as span:\n"
+            "        pass\n"
+        )
+        assert check_source(source) == []
+
+    def test_flags_start_manual_outside_harness_files(self):
+        source = "span = recorder.start_manual('client/request', ctx)\n"
+        (violation,) = check_source(source, "src/repro/serve/service.py")
+        assert "start_manual" in violation
+
+    def test_start_manual_legal_in_measurement_harnesses(self):
+        source = "span = recorder.start_manual('client/request', ctx)\n"
+        assert check_source(source, "src/repro/serve/loadtest.py") == []
+        assert check_source(source, "src/repro/shard/harness.py") == []
+
+    def test_with_does_not_bless_a_nested_start_span(self):
+        # the with-item is lock(); the span call inside the body still leaks
+        source = (
+            "with lock():\n"
+            "    span = recorder.start_span('x', ctx)\n"
+        )
+        assert len(check_source(source)) == 1
+
+
 class TestRequestPathIsClean:
     def test_no_swallowed_exceptions_on_the_request_path(self):
         roots = [

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
-"""Forbid silently-swallowed exceptions on the serving request path.
+"""Forbid silent failure modes on the serving request path.
 
-``except Exception: pass`` (or a bare ``except: pass``) on the serve/
-shard request path turns a gray failure into an invisible one: the
-request neither succeeds nor surfaces as a typed error, which is
-exactly the failure mode the robustness work exists to kill.  Narrow
-handlers (``except ShardUnavailableError: pass``) stay legal — they
-document which failure is being absorbed and why it is safe.
+Two rules, both AST-enforced:
+
+* ``except Exception: pass`` (or a bare ``except: pass``) turns a gray
+  failure into an invisible one: the request neither succeeds nor
+  surfaces as a typed error, which is exactly the failure mode the
+  robustness work exists to kill.  Narrow handlers
+  (``except ShardUnavailableError: pass``) stay legal — they document
+  which failure is being absorbed and why it is safe.
+* ``start_span(...)`` outside a ``with`` statement drops the span
+  context: the span is opened but nothing guarantees it closes, so the
+  trace silently loses a hop.  On the request path every
+  ``start_span`` call must be a ``with`` item.  The explicit-finish
+  escape hatch ``start_manual`` is for measurement harnesses whose
+  send and completion live in different callbacks
+  (``loadtest.py``/``harness.py``) and is forbidden everywhere else.
 
 Usage::
 
@@ -14,8 +23,8 @@ Usage::
 
 Walks the given roots (default: the request-path packages under
 ``src/repro``), AST-parses every ``*.py`` file, and reports each
-swallowing handler as ``path:line: message``.  Exit 1 when any are
-found, 0 otherwise.
+violation as ``path:line: message``.  Exit 1 when any are found, 0
+otherwise.
 """
 
 from __future__ import annotations
@@ -34,6 +43,10 @@ REQUEST_PATH_ROOTS = (
 
 #: exception names too broad to silently swallow
 BROAD_NAMES = {"Exception", "BaseException"}
+
+#: files allowed to open explicit-finish spans (measurement harnesses
+#: whose send and completion live in different callbacks)
+MANUAL_SPAN_FILES = {"loadtest.py", "harness.py"}
 
 
 def _is_broad(node: "ast.expr | None") -> bool:
@@ -60,18 +73,55 @@ def _swallows(handler: ast.ExceptHandler) -> bool:
     )
 
 
+def _span_method(node: ast.Call) -> "str | None":
+    """The recorder span-opening method a call invokes, if any."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    else:
+        return None
+    return name if name in ("start_span", "start_manual") else None
+
+
 def check_source(source: str, path: str = "<string>") -> "list[str]":
     """All violations in one source text, as ``path:line: msg`` lines."""
     violations = []
-    for node in ast.walk(ast.parse(source, filename=path)):
-        if not isinstance(node, ast.ExceptHandler):
+    tree = ast.parse(source, filename=path)
+    with_contexts: "set[int]" = {
+        id(item.context_expr)
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.With, ast.AsyncWith))
+        for item in node.items
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            if _is_broad(node.type) and _swallows(node):
+                shown = (
+                    ast.unparse(node.type) if node.type is not None else ""
+                )
+                violations.append(
+                    f"{path}:{node.lineno}: except "
+                    f"{shown or '<bare>'}: pass swallows failures on the "
+                    f"request path — handle, re-raise, or narrow the type"
+                )
             continue
-        if _is_broad(node.type) and _swallows(node):
-            shown = ast.unparse(node.type) if node.type is not None else ""
+        if not isinstance(node, ast.Call):
+            continue
+        method = _span_method(node)
+        if method == "start_span" and id(node) not in with_contexts:
             violations.append(
-                f"{path}:{node.lineno}: except "
-                f"{shown or '<bare>'}: pass swallows failures on the "
-                f"request path — handle, re-raise, or narrow the type"
+                f"{path}:{node.lineno}: start_span(...) outside a "
+                f"`with` statement drops the span context — open request"
+                f"-path spans as `with recorder.start_span(...) as span:`"
+            )
+        elif (method == "start_manual"
+              and Path(path).name not in MANUAL_SPAN_FILES):
+            violations.append(
+                f"{path}:{node.lineno}: start_manual(...) is reserved "
+                f"for measurement harnesses ({', '.join(sorted(MANUAL_SPAN_FILES))}) "
+                f"— request-path spans must use `with ... start_span(...)`"
             )
     return violations
 
@@ -97,7 +147,7 @@ def main(argv: "list[str]") -> int:
     for line in violations:
         print(line)
     if violations:
-        print(f"{len(violations)} swallowed-exception violation(s)")
+        print(f"{len(violations)} request-path lint violation(s)")
         return 1
     return 0
 
