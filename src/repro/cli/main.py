@@ -175,7 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "name",
         choices=["t1", "f2", "f3", "f4", "f5", "f6", "t2", "f7", "f8", "t3",
-                 "x1", "x2", "x3", "x4", "x5", "x6"],
+                 "x1", "x2", "x3", "x4", "x5", "x6", "x7"],
     )
     experiment.add_argument("--scale", choices=["quick", "full"], default="quick")
     experiment.add_argument("--seed", type=int, default=0)
@@ -527,6 +527,45 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="EXPERIMENTS.md")
     report.add_argument("--note", default="", help="scale note to embed")
     report.set_defaults(handler=commands.cmd_report)
+
+    contention = sub.add_parser(
+        "contention",
+        help="per-link utilization report under the flow-based cost model",
+    )
+    contention.add_argument(
+        "--family", choices=sorted(TOPOLOGY_FAMILIES), default="edge_hierarchy"
+    )
+    contention.add_argument("--routers", type=int, default=40)
+    contention.add_argument("--devices", type=int, default=40)
+    contention.add_argument("--servers", type=int, default=5)
+    contention.add_argument("--tightness", type=float, default=0.8)
+    contention.add_argument("--seed", type=int, default=0)
+    contention.add_argument(
+        "--oversubscription", type=float, default=8.0,
+        help="bandwidth-thinning factor applied to tier-crossing uplinks "
+        "(default: 8.0; 1.0 leaves the topology untouched)",
+    )
+    contention.add_argument(
+        "--flow-scale", type=float, default=300.0,
+        help="multiplier on every device's offered flow (default: 300.0)",
+    )
+    contention.add_argument(
+        "--solver", default="congestion_local_search",
+        choices=available_solvers(),
+        help="configuration to evaluate (default: congestion_local_search)",
+    )
+    contention.add_argument(
+        "--baseline", default="local_search", choices=available_solvers(),
+        help="delay-only reference configuration (default: local_search)",
+    )
+    contention.add_argument(
+        "--top", type=int, default=5,
+        help="bottleneck links to list per configuration (default: 5)",
+    )
+    contention.add_argument("--json", default=None,
+                            help="also write the comparison as JSON here")
+    add_obs_flag(contention)
+    contention.set_defaults(handler=commands.cmd_contention)
 
     inspect = sub.add_parser("inspect", help="difficulty diagnostics of an instance")
     inspect.add_argument("instance", help="instance JSON from `repro generate`")

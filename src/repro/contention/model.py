@@ -1,0 +1,417 @@
+"""Flow-based contention cost model.
+
+The static delay matrix prices a (device, server) pair as if its
+packets traveled alone.  This module prices what actually happens when
+an assignment routes many flows over shared links:
+
+* per-link **offered load** — the sum of the bit rates of every flow
+  whose routed path crosses the link;
+* per-link **utilization** ``rho = load / bandwidth``;
+* per-flow **queueing wait** on each link, M/M/1-style
+  ``rho / (1 - rho) * service_time`` (linearized past a utilization
+  cap so the cost stays finite, monotone and convex even when a link
+  is offered more than its capacity), or a budget-style overload
+  penalty;
+* per-device **effective delay** — the unloaded routed-path delay plus
+  the queueing waits of every link on the path.
+
+The solver-facing total cost is the sum of per-device effective
+delays, reorganized as a sum of *per-link* terms::
+
+    total = sum_i base[i, a(i)]  +  sum_l  n_l * wait_l(load_l)
+
+where ``n_l`` counts the flows crossing link ``l``.  Both ``load_l``
+and ``n_l`` change only on the links of the paths a move touches, so a
+shift or swap re-prices O(links-on-path) links instead of the whole
+network — the :class:`IncrementalEvaluator` below is what makes
+congestion-aware local search affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.contention.incidence import PathIncidence, build_incidence
+from repro.errors import ContentionError
+from repro.model.problem import AssignmentProblem
+from repro.model.solution import UNASSIGNED, Assignment
+from repro.obs import names as obs_names
+from repro.obs import runtime as obs_runtime
+from repro.topology.delay import DEFAULT_PACKET_BITS, DelayModel
+from repro.utils.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class ContentionConfig:
+    """Knobs of the congestion penalty.
+
+    Attributes
+    ----------
+    packet_bits:
+        Reference packet size; a device's flow rate is
+        ``rate_hz * packet_bits * flow_scale`` bits/second.
+    mode:
+        ``"mm1"`` — queueing wait ``rho/(1-rho) * service_time`` per
+        link traversal, linearized past :attr:`utilization_cap`;
+        ``"budget"`` — zero below capacity, ``overload_penalty_s``
+        scaled by the relative overload above it (the shared-bottleneck
+        budget formulation).
+    utilization_cap:
+        Where the M/M/1 curve switches to its tangent line.  Keeps the
+        cost finite at ``rho >= 1`` while preserving value, slope,
+        monotonicity and convexity.
+    overload_penalty_s:
+        Budget-mode penalty (seconds per traversal per unit of
+        relative overload).
+    flow_scale:
+        Multiplier on every device's flow.  Experiments use it to
+        position the saturation knee inside an oversubscription sweep
+        without touching the simulator-facing device rates.
+    """
+
+    packet_bits: float = DEFAULT_PACKET_BITS
+    mode: str = "mm1"
+    utilization_cap: float = 0.95
+    overload_penalty_s: float = 0.05
+    flow_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.packet_bits, "packet_bits")
+        require(self.mode in ("mm1", "budget"),
+                f"unknown contention mode {self.mode!r}")
+        require(0.0 < self.utilization_cap < 1.0,
+                f"utilization_cap must be in (0, 1), got {self.utilization_cap}")
+        check_positive(self.overload_penalty_s, "overload_penalty_s")
+        check_positive(self.flow_scale, "flow_scale")
+
+
+@dataclass(frozen=True)
+class ContentionEvaluation:
+    """Full evaluation of one assignment under the contention model."""
+
+    total_cost: float
+    base_total: float
+    contention_total: float
+    effective_delay: np.ndarray
+    link_load: np.ndarray
+    link_flows: np.ndarray
+    utilization: np.ndarray
+
+    @property
+    def p99_effective_delay(self) -> float:
+        """99th percentile of per-device effective delay (seconds)."""
+        return float(np.percentile(self.effective_delay, 99))
+
+    @property
+    def mean_effective_delay(self) -> float:
+        """Mean per-device effective delay (seconds)."""
+        return float(np.mean(self.effective_delay))
+
+    @property
+    def max_utilization(self) -> float:
+        """Utilization of the most loaded link."""
+        return float(np.max(self.utilization)) if self.utilization.size else 0.0
+
+    @property
+    def saturated_links(self) -> int:
+        """Number of links offered at least their capacity."""
+        return int(np.sum(self.utilization >= 1.0))
+
+
+class ContentionModel:
+    """Exact oracle for the flow-based cost of an assignment.
+
+    Holds the routed incidence, per-device flows, and the per-link wait
+    curve; :class:`IncrementalEvaluator` layers O(links-on-path) move
+    deltas on top of it.
+    """
+
+    def __init__(
+        self,
+        problem: AssignmentProblem,
+        config: "ContentionConfig | None" = None,
+        delay_model: "DelayModel | None" = None,
+        incidence: "PathIncidence | None" = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config if config is not None else ContentionConfig()
+        self.incidence = (
+            incidence if incidence is not None
+            else build_incidence(problem, delay_model)
+        )
+        if problem.devices is None:
+            raise ContentionError("contention model needs device entities")
+        self.flows = np.array(
+            [
+                d.rate_hz * self.config.packet_bits * self.config.flow_scale
+                for d in problem.devices
+            ],
+            dtype=np.float64,
+        )
+        #: per-traversal service time of the reference packet, per link
+        self.service_s = self.config.packet_bits / self.incidence.bandwidth
+        cap = self.config.utilization_cap
+        self._cap_value = cap / (1.0 - cap)
+        self._cap_slope = 1.0 / (1.0 - cap) ** 2
+
+    # ------------------------------------------------------------------
+    # per-link physics
+    # ------------------------------------------------------------------
+    def link_wait(self, load: np.ndarray) -> np.ndarray:
+        """Per-traversal queueing wait (seconds) of each link at ``load``.
+
+        Vectorized over the link axis; also accepts scalars.
+        """
+        rho = load / self.incidence.bandwidth
+        if self.config.mode == "budget":
+            return self.config.overload_penalty_s * np.maximum(0.0, rho - 1.0)
+        cap = self.config.utilization_cap
+        factor = np.where(
+            rho < cap,
+            rho / np.maximum(1.0 - rho, 1e-12),
+            self._cap_value + self._cap_slope * (rho - cap),
+        )
+        return factor * self.service_s
+
+    def _link_cost(self, load: float, flows: int, index: int) -> float:
+        """Solver-objective term of one link: flows × per-traversal wait."""
+        if flows == 0:
+            return 0.0
+        rho = load / self.incidence.bandwidth[index]
+        if self.config.mode == "budget":
+            wait = self.config.overload_penalty_s * max(0.0, rho - 1.0)
+        else:
+            cap = self.config.utilization_cap
+            if rho < cap:
+                factor = rho / max(1.0 - rho, 1e-12)
+            else:
+                factor = self._cap_value + self._cap_slope * (rho - cap)
+            wait = factor * self.service_s[index]
+        return flows * wait
+
+    # ------------------------------------------------------------------
+    # exact recompute oracle
+    # ------------------------------------------------------------------
+    def link_loads(self, vector: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Offered load (bits/s) and flow count per link under ``vector``."""
+        load = np.zeros(self.incidence.n_links, dtype=np.float64)
+        count = np.zeros(self.incidence.n_links, dtype=np.int64)
+        for device, server in enumerate(vector):
+            if server == UNASSIGNED:
+                continue
+            indices = self.incidence.path_links[device][server]
+            load[indices] += self.flows[device]
+            count[indices] += 1
+        return load, count
+
+    def utilization(self, vector: np.ndarray) -> np.ndarray:
+        """Per-link utilization ``load / bandwidth`` under ``vector``."""
+        load, _ = self.link_loads(vector)
+        return load / self.incidence.bandwidth
+
+    def total_cost(self, vector: np.ndarray) -> float:
+        """Exact solver objective: base delays plus per-link congestion."""
+        load, count = self.link_loads(vector)
+        assigned = vector != UNASSIGNED
+        base = float(
+            np.sum(self.incidence.base_delay[np.nonzero(assigned)[0],
+                                             vector[assigned]])
+        )
+        contention = float(np.sum(count * self.link_wait(load)))
+        return base + contention
+
+    def evaluate(self, vector: np.ndarray) -> ContentionEvaluation:
+        """Full exact evaluation: totals, per-device delays, link stats."""
+        load, count = self.link_loads(vector)
+        wait = self.link_wait(load)
+        utilization = load / self.incidence.bandwidth
+        effective = np.zeros(len(vector), dtype=np.float64)
+        base_total = 0.0
+        for device, server in enumerate(vector):
+            if server == UNASSIGNED:
+                continue
+            base = self.incidence.base_delay[device, server]
+            base_total += base
+            indices = self.incidence.path_links[device][server]
+            effective[device] = base + float(np.sum(wait[indices]))
+        contention_total = float(np.sum(count * wait))
+        registry = obs_runtime.metrics()
+        registry.counter(obs_names.CONTENTION_EVALUATIONS).inc()
+        if utilization.size:
+            registry.gauge(obs_names.CONTENTION_MAX_UTILIZATION).set(
+                float(np.max(utilization))
+            )
+            registry.gauge(obs_names.CONTENTION_SATURATED_LINKS).set(
+                int(np.sum(utilization >= 1.0))
+            )
+        return ContentionEvaluation(
+            total_cost=base_total + contention_total,
+            base_total=base_total,
+            contention_total=contention_total,
+            effective_delay=effective,
+            link_load=load,
+            link_flows=count,
+            utilization=utilization,
+        )
+
+    def evaluate_assignment(self, assignment: Assignment) -> ContentionEvaluation:
+        """Convenience wrapper over :meth:`evaluate`."""
+        return self.evaluate(assignment.vector)
+
+    def bottleneck_links(
+        self, vector: np.ndarray, top: int = 5
+    ) -> list[dict]:
+        """The ``top`` most-utilized links, as report-ready dicts."""
+        load, count = self.link_loads(vector)
+        utilization = load / self.incidence.bandwidth
+        order = np.argsort(-utilization, kind="stable")[:top]
+        rows = []
+        for idx in order:
+            link = self.incidence.links[int(idx)]
+            rows.append({
+                "u": link.u,
+                "v": link.v,
+                "bandwidth_bps": float(link.bandwidth_bps),
+                "load_bps": float(load[idx]),
+                "utilization": float(utilization[idx]),
+                "flows": int(count[idx]),
+            })
+        return rows
+
+
+@dataclass
+class IncrementalEvaluator:
+    """Running link state with O(links-on-path) move/swap deltas.
+
+    Maintains per-link load, flow count and congestion cost for one
+    assignment vector.  ``shift_delta`` / ``swap_delta`` price a move
+    by re-costing only the links the affected paths traverse;
+    ``apply_*`` commit it.  The running :attr:`total_cost` always
+    equals ``ContentionModel.total_cost`` of the same vector (the
+    Hypothesis suite pins this to ~1e-9 relative).
+    """
+
+    model: ContentionModel
+    vector: np.ndarray
+    load: np.ndarray = field(init=False)
+    count: np.ndarray = field(init=False)
+    link_cost: np.ndarray = field(init=False)
+    total_cost: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.vector = np.asarray(self.vector, dtype=np.int64).copy()
+        self.load, self.count = self.model.link_loads(self.vector)
+        wait = self.model.link_wait(self.load)
+        self.link_cost = self.count * wait
+        assigned = self.vector != UNASSIGNED
+        base = float(
+            np.sum(self.model.incidence.base_delay[np.nonzero(assigned)[0],
+                                                   self.vector[assigned]])
+        )
+        self.total_cost = base + float(np.sum(self.link_cost))
+
+    # ------------------------------------------------------------------
+    def _path(self, device: int, server: int) -> np.ndarray:
+        if server == UNASSIGNED:
+            return _EMPTY
+        return self.model.incidence.path_links[device][server]
+
+    def _changes(self, moves: list[tuple[int, int, int]]) -> dict[int, tuple[float, int]]:
+        """Net (load, flow-count) change per affected link for ``moves``.
+
+        Each move is ``(device, from_server, to_server)``.  Links shared
+        by a device's old and new path net out to zero and drop from
+        the re-pricing entirely.
+        """
+        changes: dict[int, tuple[float, int]] = {}
+        for device, old, new in moves:
+            flow = self.model.flows[device]
+            for idx in self._path(device, old):
+                d_load, d_count = changes.get(idx, (0.0, 0))
+                changes[idx] = (d_load - flow, d_count - 1)
+            for idx in self._path(device, new):
+                d_load, d_count = changes.get(idx, (0.0, 0))
+                changes[idx] = (d_load + flow, d_count + 1)
+        return changes
+
+    def _cost_delta(self, changes: dict[int, tuple[float, int]]) -> float:
+        delta = 0.0
+        for idx, (d_load, d_count) in changes.items():
+            if d_load == 0.0 and d_count == 0:
+                continue
+            new_cost = self.model._link_cost(
+                self.load[idx] + d_load, int(self.count[idx]) + d_count, idx
+            )
+            delta += new_cost - self.link_cost[idx]
+        return delta
+
+    def _base_delta(self, device: int, old: int, new: int) -> float:
+        base = self.model.incidence.base_delay
+        delta = 0.0
+        if new != UNASSIGNED:
+            delta += base[device, new]
+        if old != UNASSIGNED:
+            delta -= base[device, old]
+        return delta
+
+    def _commit(self, changes: dict[int, tuple[float, int]]) -> None:
+        for idx, (d_load, d_count) in changes.items():
+            self.load[idx] += d_load
+            self.count[idx] += d_count
+            self.link_cost[idx] = self.model._link_cost(
+                self.load[idx], int(self.count[idx]), idx
+            )
+        obs_runtime.metrics().counter(obs_names.CONTENTION_DELTA_EVALS).inc()
+
+    # ------------------------------------------------------------------
+    def shift_delta(self, device: int, server: int) -> float:
+        """Cost change of reassigning ``device`` to ``server``."""
+        current = int(self.vector[device])
+        if current == server:
+            return 0.0
+        moves = [(device, current, server)]
+        return (self._base_delta(device, current, server)
+                + self._cost_delta(self._changes(moves)))
+
+    def apply_shift(self, device: int, server: int) -> None:
+        """Commit a shift, updating link state and the running total."""
+        current = int(self.vector[device])
+        if current == server:
+            return
+        moves = [(device, current, server)]
+        changes = self._changes(moves)
+        self.total_cost += (self._base_delta(device, current, server)
+                            + self._cost_delta(changes))
+        self._commit(changes)
+        self.vector[device] = server
+
+    def swap_delta(self, first: int, second: int) -> float:
+        """Cost change of exchanging the servers of two devices."""
+        a = int(self.vector[first])
+        b = int(self.vector[second])
+        if a == b:
+            return 0.0
+        moves = [(first, a, b), (second, b, a)]
+        return (self._base_delta(first, a, b)
+                + self._base_delta(second, b, a)
+                + self._cost_delta(self._changes(moves)))
+
+    def apply_swap(self, first: int, second: int) -> None:
+        """Commit a swap, updating link state and the running total."""
+        a = int(self.vector[first])
+        b = int(self.vector[second])
+        if a == b:
+            return
+        moves = [(first, a, b), (second, b, a)]
+        changes = self._changes(moves)
+        self.total_cost += (self._base_delta(first, a, b)
+                            + self._base_delta(second, b, a)
+                            + self._cost_delta(changes))
+        self._commit(changes)
+        self.vector[first] = b
+        self.vector[second] = a
+
+
+_EMPTY = np.asarray([], dtype=np.intp)

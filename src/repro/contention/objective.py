@@ -1,0 +1,44 @@
+"""The contention objective: flow-based effective delay of an assignment.
+
+Adapts :class:`~repro.contention.model.ContentionModel` to the standard
+:class:`~repro.model.objectives.Objective` interface so a problem
+declaring ``objective="congestion"`` is scored by effective delay no
+matter which solver produced the assignment — delay-only and
+congestion-aware solvers compete under the same metric.
+"""
+
+from __future__ import annotations
+
+from repro.contention.model import ContentionConfig, ContentionModel
+from repro.model.objectives import Objective
+from repro.model.solution import Assignment
+
+__all__ = ["ContentionObjective"]
+
+
+class ContentionObjective(Objective):
+    """Total effective delay: propagation + transmission + contention.
+
+    Building the underlying contention model means routing every
+    device/server pair, so models are cached per problem identity —
+    evaluating many assignments of the same instance (the common case
+    in experiment sweeps) routes once.
+    """
+
+    name = "effective_delay"
+
+    def __init__(self, config: "ContentionConfig | None" = None) -> None:
+        self.config = config if config is not None else ContentionConfig()
+        self._models: dict[int, ContentionModel] = {}
+
+    def _model(self, assignment: Assignment) -> ContentionModel:
+        key = id(assignment.problem)
+        model = self._models.get(key)
+        if model is None:
+            model = ContentionModel(assignment.problem, self.config)
+            self._models[key] = model
+        return model
+
+    def evaluate(self, assignment: Assignment) -> float:
+        """Objective value of ``assignment`` (lower is better)."""
+        return self._model(assignment).total_cost(assignment.vector)

@@ -97,6 +97,15 @@ class DeadlineExceededError(ReproError):
     """
 
 
+class ContentionError(ReproError):
+    """The flow-based contention model cannot be built or evaluated.
+
+    Raised when a problem lacks the topology backing (graph, entity
+    lists) the link-level cost model needs, or when a configuration is
+    internally inconsistent.
+    """
+
+
 class NetemError(ReproError):
     """A network-emulation script or engine operation is invalid."""
 

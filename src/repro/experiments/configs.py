@@ -288,6 +288,22 @@ _CONFIGS: dict[str, dict[str, Scale]] = {
                     "window_s": 5.0},
         ),
     },
+    "x7": {
+        "quick": Scale(
+            repeats=4,
+            params={"family": "edge_hierarchy", "n_routers": 25,
+                    "n_devices": 30, "n_servers": 3, "tightness": 0.8,
+                    "flow_scale": 500.0,
+                    "oversubscription_factors": [1.0, 8.0, 32.0]},
+        ),
+        "full": Scale(
+            repeats=5,
+            params={"family": "edge_hierarchy", "n_routers": 40,
+                    "n_devices": 40, "n_servers": 5, "tightness": 0.8,
+                    "flow_scale": 300.0,
+                    "oversubscription_factors": [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]},
+        ),
+    },
     "t3": {
         "quick": Scale(
             repeats=3,

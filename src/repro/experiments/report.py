@@ -446,6 +446,28 @@ EXPERIMENTS: dict[str, ExperimentMeta] = {
             for row in t.rows
         ],
     ),
+    "contention_tail": ExperimentMeta(
+        "G6",
+        "Tail amplification vs inter-rack oversubscription: delay-only vs "
+        "contention-aware assignment (guard, not a paper figure)",
+        "At oversubscription 1-4x both configurations score the same p99 "
+        "effective delay (contention is negligible and the static delay "
+        "matrix is an adequate model). Past the knee the delay-only "
+        "assignment keeps funneling flows through the thinned tier-crossing "
+        "uplinks: its max link utilization crosses 1.0 and its p99 effective "
+        "delay amplifies several-fold, while congestion-aware local search "
+        "spreads flows across subtrees and holds the tail nearly flat — "
+        "p99_gain_ms is ~0 before the knee and grows monotonically after it.",
+        lambda t: [
+            f"{row['solver']} @ {_fmt(row['oversubscription'], 0)}x: p99 "
+            f"{_fmt(row['p99_ms_mean'], 2)} ms, mean "
+            f"{_fmt(row['mean_ms_mean'], 2)} ms, max utilization "
+            f"{_fmt(row['max_utilization_mean'], 2)}, "
+            f"{_fmt(row['saturated_links_mean'], 1)} saturated link(s), "
+            f"p99 gain over delay-only {_fmt(row['p99_gain_ms_mean'], 2)} ms."
+            for row in t.rows
+        ],
+    ),
 }
 
 

@@ -28,7 +28,11 @@ from repro.model.entities import EdgeServer, IoTDevice
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
 from repro.topology.delay import DelayModel
-from repro.topology.generators import attach_iot_devices, make_topology
+from repro.topology.generators import (
+    apply_oversubscription,
+    attach_iot_devices,
+    make_topology,
+)
 from repro.topology.placement import place_edge_servers
 from repro.utils.rng import derive_seed, make_rng
 from repro.utils.validation import check_in_range, check_positive, require
@@ -190,6 +194,7 @@ def topology_instance(
     heterogeneous_servers: bool = False,
     deadline_s: "float | None" = None,
     mean_rate_hz: float = 2.0,
+    oversubscription: float = 1.0,
     name: "str | None" = None,
 ) -> AssignmentProblem:
     """The full paper pipeline: topology → cluster → devices → instance.
@@ -200,7 +205,11 @@ def topology_instance(
     ``heterogeneous_servers`` the demand matrix becomes genuinely
     server-dependent (GAP in its general form) via per-server speed
     factors.  ``deadline_s`` stamps every device with a latency budget
-    for the deadline-miss experiments.
+    for the deadline-miss experiments.  ``oversubscription`` thins
+    every tier-crossing uplink's bandwidth by that factor (1.0 is an
+    exact no-op, keeping the default pipeline byte-identical); only
+    hierarchical families carry region labels, so flat families are
+    unaffected.
     """
     require(n_devices >= 1 and n_servers >= 1, "sizes must be >= 1")
     check_in_range(tightness, "tightness", 0.05, 1.0, high_inclusive=False)
@@ -213,6 +222,7 @@ def topology_instance(
     device_nodes = attach_iot_devices(
         graph, n_devices, seed=derive_seed(base_seed, "attach"), strategy=attach
     )
+    apply_oversubscription(graph, oversubscription)
     rng = make_rng(derive_seed(base_seed, "workload"))
     demands = rng.uniform(*DEMAND_RANGE, size=n_devices)
     rates = rng.uniform(0.5, 1.5, size=n_devices) * mean_rate_hz

@@ -49,6 +49,12 @@ class AssignmentProblem:
         device: assignments targeting one are invalid regardless of
         numeric capacity (see :meth:`Assignment.validate`).  Failed
         servers are the only ones allowed a zero capacity.
+    objective:
+        Cost-model mode: ``"delay"`` (the default static per-path
+        scalar) or ``"congestion"`` (flow-based effective delay; see
+        :mod:`repro.contention`).  Solvers that understand the mode
+        read it as a hint; everything else treats the instance exactly
+        as before.
     name:
         Label used in tables and experiment logs.
     """
@@ -60,6 +66,7 @@ class AssignmentProblem:
     servers: "list[EdgeServer] | None" = None
     graph: "NetworkGraph | None" = field(default=None, repr=False)
     failed_servers: frozenset[int] = frozenset()
+    objective: str = "delay"
     name: str = "instance"
 
     def __post_init__(self) -> None:
@@ -95,6 +102,11 @@ class AssignmentProblem:
         require(np.all(capacity[healthy] > 0),
                 "healthy servers must have positive capacity")
         self.capacity = capacity
+        require(
+            self.objective in ("delay", "congestion"),
+            f"unknown objective mode {self.objective!r}; "
+            f"expected 'delay' or 'congestion'",
+        )
         if self.devices is not None:
             require(len(self.devices) == n, "devices list length must equal N")
         if self.servers is not None:
@@ -121,21 +133,50 @@ class AssignmentProblem:
         mean_demand = float(np.sum(np.mean(self.demand, axis=1)))
         return mean_demand / float(np.sum(self.capacity))
 
+    def healthy_mask(self) -> np.ndarray:
+        """Boolean ``(M,)`` mask of servers that are up."""
+        mask = np.ones(self.n_servers, dtype=bool)
+        for server in self.failed_servers:
+            mask[server] = False
+        return mask
+
     def delay_lower_bound(self) -> float:
         """Capacity-relaxed lower bound: every device takes its best server.
 
         Admissible for branch-and-bound and a sanity floor for every
-        solver's objective.
+        solver's objective.  Failed servers are masked out — no valid
+        assignment may use them, so their (possibly very small) delay
+        columns must not drag the bound down.
         """
-        return float(np.sum(np.min(self.delay, axis=1)))
+        if not self.failed_servers:
+            return float(np.sum(np.min(self.delay, axis=1)))
+        usable = self.delay[:, self.healthy_mask()]
+        return float(np.sum(np.min(usable, axis=1)))
 
     def normalized_delay(self) -> np.ndarray:
-        """Delay matrix scaled to [0, 1] (used by RL features)."""
-        low = float(np.min(self.delay))
-        span = float(np.max(self.delay)) - low
+        """Delay matrix scaled to [0, 1] (used by RL features).
+
+        Scaling statistics come from healthy columns only; failed
+        servers' columns are pinned to 1.0 (the worst value) so the
+        feature encoding marks them as maximally unattractive instead
+        of letting a down server distort the scale.
+        """
+        if not self.failed_servers:
+            low = float(np.min(self.delay))
+            span = float(np.max(self.delay)) - low
+            if span <= 0:
+                return np.zeros_like(self.delay)
+            return (self.delay - low) / span
+        mask = self.healthy_mask()
+        usable = self.delay[:, mask]
+        low = float(np.min(usable))
+        span = float(np.max(usable)) - low
         if span <= 0:
-            return np.zeros_like(self.delay)
-        return (self.delay - low) / span
+            scaled = np.zeros_like(self.delay)
+        else:
+            scaled = np.clip((self.delay - low) / span, 0.0, 1.0)
+        scaled[:, ~mask] = 1.0
+        return scaled
 
     # ------------------------------------------------------------------
     @classmethod
@@ -186,6 +227,8 @@ class AssignmentProblem:
         }
         if self.failed_servers:
             payload["failed_servers"] = sorted(self.failed_servers)
+        if self.objective != "delay":
+            payload["objective"] = self.objective
         return payload
 
     @classmethod
@@ -197,6 +240,7 @@ class AssignmentProblem:
                 demand=np.asarray(payload["demand"], dtype=np.float64),
                 capacity=np.asarray(payload["capacity"], dtype=np.float64),
                 failed_servers=frozenset(payload.get("failed_servers", ())),
+                objective=str(payload.get("objective", "delay")),
                 name=str(payload.get("name", "instance")),
             )
         except KeyError as exc:

@@ -291,6 +291,31 @@ def _render_netem_section(metrics: dict) -> "str | None":
     return format_table(["netem", "value"], rows)
 
 
+def _render_contention_section(metrics: dict) -> "str | None":
+    """Contention-model summary: evaluations and link pressure."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    rows: list[list] = []
+    for label, key in (
+        ("full evaluations", "contention/evaluations"),
+        ("incremental deltas", "contention/delta_evals"),
+    ):
+        if key in counters:
+            rows.append([label, int(counters[key])])
+    if "contention/max_utilization" in gauges:
+        rows.append(
+            ["max link utilization",
+             f"{float(gauges['contention/max_utilization']):.3f}"]
+        )
+    if "contention/saturated_links" in gauges:
+        rows.append(
+            ["saturated links", int(gauges["contention/saturated_links"])]
+        )
+    if not rows:
+        return None
+    return format_table(["contention", "value"], rows)
+
+
 def _render_wal_section(metrics: dict) -> "str | None":
     """Durability summary: journal traffic and crash recoveries."""
     counters = metrics.get("counters", {})
@@ -382,6 +407,12 @@ def render_dashboard(data: dict, width: int = 64) -> str:
         sections.append("")
         sections.append("## netem")
         sections.append(netem_section)
+
+    contention_section = _render_contention_section(metrics)
+    if contention_section:
+        sections.append("")
+        sections.append("## contention")
+        sections.append(contention_section)
 
     wal_section = _render_wal_section(metrics)
     if wal_section:

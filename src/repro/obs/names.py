@@ -114,6 +114,12 @@ SLO_FAST_BURN = "slo/fast_burn_rate"
 SLO_SLOW_BURN = "slo/slow_burn_rate"
 SLO_PAGES = "slo/pages"
 
+# -- flow-based contention cost model ---------------------------------
+CONTENTION_EVALUATIONS = "contention/evaluations"
+CONTENTION_DELTA_EVALS = "contention/delta_evals"
+CONTENTION_MAX_UTILIZATION = "contention/max_utilization"
+CONTENTION_SATURATED_LINKS = "contention/saturated_links"
+
 # -- fault injection and task-lifecycle resilience --------------------
 FAULTS_INJECTED = "faults/injected"
 FAULTS_SERVER_CRASHES = "faults/server_crashes"
@@ -219,6 +225,10 @@ CATALOG: tuple[str, ...] = (
     SLO_FAST_BURN,
     SLO_SLOW_BURN,
     SLO_PAGES,
+    CONTENTION_EVALUATIONS,
+    CONTENTION_DELTA_EVALS,
+    CONTENTION_MAX_UTILIZATION,
+    CONTENTION_SATURATED_LINKS,
     ENGINE_JOBS_SCHEDULED,
     ENGINE_JOBS_COMPLETED,
     ENGINE_JOBS_FAILED,

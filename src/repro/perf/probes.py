@@ -273,6 +273,57 @@ def probe_shard_recovery_time() -> float:
         return _time.perf_counter() - started
 
 
+def _contention_setup():
+    """Oversubscribed tiny instance + contention model (shared by probes)."""
+    from repro.contention import ContentionConfig, ContentionModel
+    from repro.model.instances import topology_instance
+
+    problem = topology_instance(
+        family="edge_hierarchy",
+        n_routers=25,
+        n_devices=30,
+        n_servers=3,
+        tightness=0.8,
+        seed=7,
+        oversubscription=8.0,
+    )
+    model = ContentionModel(problem, ContentionConfig(flow_scale=300.0))
+    return problem, model
+
+
+def probe_contention_delta_eval() -> None:
+    """A burst of incremental shift deltas on a congested instance.
+
+    2000 ``shift_delta`` evaluations (every 10th committed) — the inner
+    loop of every congestion-aware solver.  The CI smoke job separately
+    asserts this path beats the full-recompute oracle by >= 10x; this
+    probe guards its absolute speed across commits.
+    """
+    from repro.contention import IncrementalEvaluator
+    from repro.solvers.greedy import greedy_feasible_assignment
+
+    problem, model = _contention_setup()
+    vector = greedy_feasible_assignment(problem).vector
+    evaluator = IncrementalEvaluator(model, vector)
+    n_servers = problem.n_servers
+    for step in range(2000):
+        device = step % problem.n_devices
+        server = (step * 7 + device) % n_servers
+        evaluator.shift_delta(device, server)
+        if step % 10 == 0:
+            evaluator.apply_shift(device, server)
+
+
+def probe_contention_solve() -> None:
+    """One congestion-aware local-search solve on a congested instance."""
+    from repro.solvers.registry import get_solver
+
+    problem, model = _contention_setup()
+    get_solver("congestion_local_search", seed=7, config=model.config).solve(
+        problem
+    )
+
+
 #: probe name -> zero-argument callable (insertion order is report order)
 PROBES = {
     "solve_greedy": probe_solve_greedy,
@@ -285,6 +336,8 @@ PROBES = {
     "shard_route_throughput": probe_shard_route_throughput,
     "serve_gray_p99": probe_serve_gray_p99,
     "shard_recovery_time": probe_shard_recovery_time,
+    "contention_delta_eval": probe_contention_delta_eval,
+    "contention_solve": probe_contention_solve,
 }
 
 

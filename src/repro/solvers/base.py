@@ -15,7 +15,7 @@ import math
 import time
 from dataclasses import dataclass, field
 
-from repro.model.objectives import Objective, resolve_objective
+from repro.model.objectives import Objective, TotalDelay, resolve_objective
 from repro.model.problem import AssignmentProblem
 from repro.model.solution import Assignment
 from repro.obs import names as obs_names
@@ -97,7 +97,7 @@ class Solver(abc.ABC):
             runtime = time.perf_counter() - start
         feasible = assignment.is_feasible()
         if assignment.is_complete:
-            value = self.objective.evaluate(assignment)
+            value = self._scoring_objective(problem).evaluate(assignment)
         else:
             value = math.inf
         iterations = int(info.pop("iterations", 0))
@@ -117,6 +117,29 @@ class Solver(abc.ABC):
             lower_bound=info.pop("lower_bound", None),
             extra=info,
         )
+
+    def _scoring_objective(self, problem: AssignmentProblem) -> Objective:
+        """The objective a result is scored with.
+
+        A problem declaring ``objective="congestion"`` (and carrying a
+        topology to route over) is scored by flow-based effective delay
+        unless the solver was constructed with an explicit non-default
+        objective.  Default-mode problems always use the solver's own
+        resolved objective, so the pre-existing behaviour — including
+        serialized results — is byte-identical.
+        """
+        if (
+            problem.objective == "congestion"
+            and problem.graph is not None
+            and problem.devices is not None
+            and problem.servers is not None
+            and isinstance(self.objective, TotalDelay)
+        ):
+            # lazy: repro.contention imports this module
+            from repro.contention.objective import ContentionObjective
+
+            return ContentionObjective()
+        return self.objective
 
     @contextlib.contextmanager
     def phase(self, name: str):

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.contention.solvers import (
+    CongestionBottleneckSolver,
+    CongestionGreedySolver,
+    CongestionLocalSearchSolver,
+)
 from repro.errors import SolverError
 from repro.solvers.annealing import SimulatedAnnealingSolver
 from repro.solvers.auction import AuctionSolver
@@ -87,6 +92,9 @@ _REGISTRY: dict[str, Callable[..., Solver]] = {
     LagrangianSolver.name: LagrangianSolver,
     AuctionSolver.name: AuctionSolver,
     BottleneckSolver.name: BottleneckSolver,
+    CongestionGreedySolver.name: CongestionGreedySolver,
+    CongestionLocalSearchSolver.name: CongestionLocalSearchSolver,
+    CongestionBottleneckSolver.name: CongestionBottleneckSolver,
     PortfolioSolver.name: PortfolioSolver,
     ResilientSolver.name: ResilientSolver,
     BruteForceSolver.name: BruteForceSolver,

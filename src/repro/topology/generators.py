@@ -481,3 +481,48 @@ def make_topology(
     if not graph.is_connected():
         raise TopologyError(f"{family} generator produced a disconnected graph")
     return graph
+
+
+def tier_crossing_links(graph: NetworkGraph) -> list:
+    """Links whose endpoints carry different region labels.
+
+    On hierarchical families these are exactly the thin uplinks —
+    root/core to subtree, pod to core — that real deployments
+    oversubscribe; flat families without region labels have none.
+    Links with an unlabeled endpoint are excluded: an attachment link
+    into an unlabeled node is not a tier crossing.
+    """
+    crossing = []
+    for link in graph.links():
+        ru = graph.region_of(link.u)
+        rv = graph.region_of(link.v)
+        if ru is not None and rv is not None and ru != rv:
+            crossing.append(link)
+    return crossing
+
+
+def apply_oversubscription(graph: NetworkGraph, factor: float) -> int:
+    """Thin every tier-crossing link's bandwidth by ``factor``, in place.
+
+    Models the classic oversubscribed uplink: intra-rack (same-region)
+    edges keep their fat profile bandwidth while inter-region uplinks
+    are divided by ``factor``.  ``factor == 1.0`` is an exact no-op —
+    the graph is untouched, preserving byte-identity of the default
+    pipeline.  Returns the number of links thinned.
+    """
+    check_positive(factor, "oversubscription factor")
+    require(factor >= 1.0, f"oversubscription factor must be >= 1, got {factor}")
+    if factor == 1.0:
+        return 0
+    thinned = 0
+    for link in tier_crossing_links(graph):
+        graph.remove_link(link.u, link.v)
+        graph.add_link(
+            link.u,
+            link.v,
+            latency_s=link.latency_s,
+            bandwidth_bps=link.bandwidth_bps / factor,
+            processing_s=link.processing_s,
+        )
+        thinned += 1
+    return thinned

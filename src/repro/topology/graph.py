@@ -206,6 +206,19 @@ class NetworkGraph:
             raise TopologyError(f"link ({u}, {v}) does not exist")
         return self._adj[u][v]
 
+    def links_on_path(self, nodes: "tuple[int, ...] | list[int]") -> list[Link]:
+        """Resolve a node sequence to the links it traverses.
+
+        Shared by routing (:meth:`repro.topology.routing.Path.links`)
+        and the contention incidence builder so both validate edges the
+        same way: a missing edge raises :class:`TopologyError` naming
+        the offending hop instead of a raw ``KeyError``.
+        """
+        require(len(nodes) >= 1, "path must contain at least one node")
+        for node_id in nodes:
+            self._require_node(node_id)
+        return [self.link(u, v) for u, v in zip(nodes, nodes[1:])]
+
     def neighbors(self, node_id: int) -> list[int]:
         """Return neighbors."""
         self._require_node(node_id)

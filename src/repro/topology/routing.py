@@ -42,7 +42,7 @@ class Path:
 
     def links(self, graph: NetworkGraph) -> list[Link]:
         """Resolve the path's node sequence to its links in ``graph``."""
-        return [graph.link(u, v) for u, v in zip(self.nodes, self.nodes[1:])]
+        return graph.links_on_path(self.nodes)
 
 
 def dijkstra(

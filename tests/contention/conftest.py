@@ -1,0 +1,67 @@
+"""Shared fixtures for the contention-model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import ContentionConfig, ContentionModel
+from repro.model.entities import EdgeServer, IoTDevice
+from repro.model.instances import topology_instance
+from repro.model.problem import AssignmentProblem
+from repro.topology.graph import NetworkGraph, NodeKind
+
+
+@pytest.fixture(scope="session")
+def congested_problem():
+    """Oversubscribed hierarchy — thin uplinks carry real load."""
+    return topology_instance(
+        family="edge_hierarchy",
+        n_routers=15,
+        n_devices=10,
+        n_servers=3,
+        tightness=0.7,
+        seed=11,
+        oversubscription=8.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def congested_model(congested_problem):
+    """Contention model scaled so the uplinks actually queue."""
+    return ContentionModel(
+        congested_problem, ContentionConfig(flow_scale=200.0)
+    )
+
+
+@pytest.fixture
+def line_problem():
+    """Two devices and one server across a single shared backbone link.
+
+    Every quantity is hand-computable: both flows traverse their own
+    access link, the shared ``r0--r1`` backbone link, and the server's
+    attach link.
+    """
+    graph = NetworkGraph()
+    r0 = graph.add_node(NodeKind.ROUTER, (0.0, 0.0))
+    r1 = graph.add_node(NodeKind.ROUTER, (1.0, 0.0))
+    graph.add_link(r0, r1, latency_s=1e-3, bandwidth_bps=1e6)
+    d0 = graph.add_node(NodeKind.IOT_DEVICE, (0.0, 0.1))
+    d1 = graph.add_node(NodeKind.IOT_DEVICE, (0.0, 0.2))
+    s0 = graph.add_node(NodeKind.EDGE_SERVER, (1.0, 0.1))
+    graph.add_link(d0, r0, latency_s=1e-4, bandwidth_bps=1e7)
+    graph.add_link(d1, r0, latency_s=1e-4, bandwidth_bps=1e7)
+    graph.add_link(s0, r1, latency_s=1e-4, bandwidth_bps=1e7)
+    devices = [
+        IoTDevice(device_id=0, node_id=d0, demand=1.0, rate_hz=100.0),
+        IoTDevice(device_id=1, node_id=d1, demand=1.0, rate_hz=100.0),
+    ]
+    servers = [EdgeServer(server_id=0, node_id=s0, capacity=10.0)]
+    return AssignmentProblem(
+        delay=np.ones((2, 1)),
+        demand=[1.0, 1.0],
+        capacity=[10.0],
+        graph=graph,
+        devices=devices,
+        servers=servers,
+    )

@@ -1,0 +1,74 @@
+"""Tests for the path→link incidence structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import build_incidence
+from repro.errors import ContentionError
+from repro.model.instances import random_instance
+from repro.topology.delay import DelayModel
+
+
+class TestBuildIncidence:
+    def test_base_delay_matches_problem_matrix(self, congested_problem):
+        # topology_instance fills problem.delay from the same routed
+        # TransmissionDelayModel, so the incidence must agree exactly
+        incidence = build_incidence(congested_problem)
+        assert np.allclose(incidence.base_delay, congested_problem.delay)
+
+    def test_shapes_and_alignment(self, congested_problem):
+        incidence = build_incidence(congested_problem)
+        assert incidence.n_devices == congested_problem.n_devices
+        assert incidence.n_servers == congested_problem.n_servers
+        assert incidence.bandwidth.shape == (incidence.n_links,)
+        for idx, link in enumerate(incidence.links):
+            assert incidence.bandwidth[idx] == link.bandwidth_bps
+            key = (min(link.u, link.v), max(link.u, link.v))
+            assert incidence.link_index[key] == idx
+
+    def test_path_indices_in_range(self, congested_problem):
+        incidence = build_incidence(congested_problem)
+        for row in incidence.path_links:
+            assert len(row) == incidence.n_servers
+            for indices in row:
+                if indices.size:
+                    assert indices.min() >= 0
+                    assert indices.max() < incidence.n_links
+
+    def test_path_weights_sum_to_base_delay(self, line_problem):
+        incidence = build_incidence(line_problem)
+        # device 0 -> server 0 crosses exactly three links
+        indices = incidence.path_links[0][0]
+        assert indices.size == 3
+        from repro.topology.delay import TransmissionDelayModel
+
+        model = TransmissionDelayModel()
+        total = sum(model.link_weight(incidence.links[i]) for i in indices)
+        assert incidence.base_delay[0, 0] == pytest.approx(total)
+
+    def test_deterministic(self, congested_problem):
+        first = build_incidence(congested_problem)
+        second = build_incidence(congested_problem)
+        assert [(l.u, l.v) for l in first.links] == [
+            (l.u, l.v) for l in second.links
+        ]
+        assert np.array_equal(first.base_delay, second.base_delay)
+
+
+class TestIncidenceErrors:
+    def test_matrix_only_problem_rejected(self):
+        with pytest.raises(ContentionError):
+            build_incidence(random_instance(5, 2, seed=1))
+
+    def test_model_without_link_weight_rejected(self, congested_problem):
+        class MatrixOnlyModel(DelayModel):
+            name = "matrix_only"
+
+            def matrix(self, graph, sources, targets):
+                """Return matrix."""
+                return np.zeros((len(sources), len(targets)))
+
+        with pytest.raises(ContentionError):
+            build_incidence(congested_problem, MatrixOnlyModel())

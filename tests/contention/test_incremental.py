@@ -1,0 +1,145 @@
+"""Property suite: the incremental evaluator equals the exact oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contention import (
+    ContentionConfig,
+    ContentionModel,
+    IncrementalEvaluator,
+)
+from repro.model.instances import topology_instance
+from repro.model.solution import UNASSIGNED
+
+#: one shared routed instance — Hypothesis draws move sequences, not
+#: topologies, so the slow routing step runs once per module
+_PROBLEM = topology_instance(
+    family="edge_hierarchy",
+    n_routers=15,
+    n_devices=10,
+    n_servers=3,
+    tightness=0.7,
+    seed=11,
+    oversubscription=8.0,
+)
+_MODELS = {
+    mode: ContentionModel(
+        _PROBLEM, ContentionConfig(flow_scale=200.0, mode=mode)
+    )
+    for mode in ("mm1", "budget")
+}
+
+N, M = _PROBLEM.n_devices, _PROBLEM.n_servers
+
+shifts = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, M - 1)),
+    min_size=1,
+    max_size=30,
+)
+swaps = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+    max_size=15,
+)
+start_vectors = st.lists(
+    st.integers(-1, M - 1), min_size=N, max_size=N
+).map(lambda v: np.array(v, dtype=np.int64))
+
+
+@settings(max_examples=40, deadline=None)
+@given(start=start_vectors, moves=shifts, mode=st.sampled_from(["mm1", "budget"]))
+def test_property_running_total_tracks_oracle(start, moves, mode):
+    """After any shift sequence the running total equals a fresh recompute."""
+    model = _MODELS[mode]
+    evaluator = IncrementalEvaluator(model, start)
+    for device, server in moves:
+        evaluator.apply_shift(device, server)
+    assert evaluator.total_cost == pytest.approx(
+        model.total_cost(evaluator.vector), rel=1e-9, abs=1e-12
+    )
+    load, count = model.link_loads(evaluator.vector)
+    assert np.allclose(evaluator.load, load)
+    assert np.array_equal(evaluator.count, count)
+
+
+@settings(max_examples=40, deadline=None)
+@given(start=start_vectors, moves=shifts)
+def test_property_shift_delta_matches_oracle_difference(start, moves):
+    """An uncommitted delta equals the oracle cost difference exactly."""
+    model = _MODELS["mm1"]
+    evaluator = IncrementalEvaluator(model, start)
+    before = model.total_cost(evaluator.vector)
+    for device, server in moves:
+        delta = evaluator.shift_delta(device, server)
+        probe = evaluator.vector.copy()
+        probe[device] = server
+        assert delta == pytest.approx(
+            model.total_cost(probe) - before, rel=1e-9, abs=1e-12
+        )
+        evaluator.apply_shift(device, server)
+        before = model.total_cost(evaluator.vector)
+
+
+@settings(max_examples=40, deadline=None)
+@given(start=start_vectors, pairs=swaps)
+def test_property_swap_delta_matches_oracle_difference(start, pairs):
+    model = _MODELS["mm1"]
+    evaluator = IncrementalEvaluator(model, start)
+    for first, second in pairs:
+        before = model.total_cost(evaluator.vector)
+        delta = evaluator.swap_delta(first, second)
+        probe = evaluator.vector.copy()
+        probe[first], probe[second] = probe[second], probe[first]
+        assert delta == pytest.approx(
+            model.total_cost(probe) - before, rel=1e-9, abs=1e-12
+        )
+        evaluator.apply_swap(first, second)
+        assert evaluator.total_cost == pytest.approx(
+            model.total_cost(evaluator.vector), rel=1e-9, abs=1e-12
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vector=st.lists(st.integers(0, M - 1), min_size=N, max_size=N),
+    order_seed=st.integers(0, 2**31 - 1),
+)
+def test_property_utilization_invariant_under_device_order(vector, order_seed):
+    """Link loads are a sum over devices — arrival order cannot matter."""
+    model = _MODELS["mm1"]
+    target = np.array(vector, dtype=np.int64)
+    direct = model.utilization(target)
+    # build the same assignment one shift at a time, in a random order
+    evaluator = IncrementalEvaluator(
+        model, np.full(N, UNASSIGNED, dtype=np.int64)
+    )
+    order = np.random.default_rng(order_seed).permutation(N)
+    for device in order:
+        evaluator.apply_shift(int(device), int(target[device]))
+    assert np.allclose(evaluator.load / model.incidence.bandwidth, direct)
+    assert evaluator.total_cost == pytest.approx(
+        model.total_cost(target), rel=1e-9, abs=1e-12
+    )
+
+
+def test_noop_moves_are_free():
+    model = _MODELS["mm1"]
+    vector = np.zeros(N, dtype=np.int64)
+    evaluator = IncrementalEvaluator(model, vector)
+    before = evaluator.total_cost
+    assert evaluator.shift_delta(0, 0) == 0.0
+    assert evaluator.swap_delta(0, 1) == 0.0  # same server
+    evaluator.apply_shift(0, 0)
+    evaluator.apply_swap(0, 1)
+    assert evaluator.total_cost == before
+
+
+def test_evaluator_copies_the_start_vector():
+    model = _MODELS["mm1"]
+    vector = np.zeros(N, dtype=np.int64)
+    evaluator = IncrementalEvaluator(model, vector)
+    evaluator.apply_shift(0, 1)
+    assert vector[0] == 0

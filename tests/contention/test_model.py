@@ -1,0 +1,161 @@
+"""Tests for the flow-based contention cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contention import ContentionConfig, ContentionModel
+from repro.errors import ValidationError
+from repro.model.solution import UNASSIGNED
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = ContentionConfig()
+        assert config.mode == "mm1"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"packet_bits": 0.0},
+            {"mode": "gg1"},
+            {"utilization_cap": 0.0},
+            {"utilization_cap": 1.0},
+            {"overload_penalty_s": 0.0},
+            {"flow_scale": 0.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ContentionConfig(**kwargs)
+
+
+class TestLineTopologyOracle:
+    """Hand-computed values on the two-device single-uplink instance."""
+
+    def model(self, line_problem, **kwargs):
+        return ContentionModel(
+            line_problem, ContentionConfig(packet_bits=1000.0, **kwargs)
+        )
+
+    def test_offered_load_accumulates_on_shared_link(self, line_problem):
+        model = self.model(line_problem)
+        load, count = model.link_loads(np.array([0, 0]))
+        # each device offers rate_hz * packet_bits = 1e5 bits/s
+        backbone = model.incidence.link_index[(0, 1)]
+        assert load[backbone] == pytest.approx(2e5)
+        assert count[backbone] == 2
+        # access links carry exactly one flow each
+        assert sorted(count.tolist()).count(1) == 2
+
+    def test_mm1_wait_formula(self, line_problem):
+        model = self.model(line_problem)
+        backbone = model.incidence.link_index[(0, 1)]
+        # rho = 2e5 / 1e6 = 0.2; wait = rho/(1-rho) * packet/bw
+        load, _ = model.link_loads(np.array([0, 0]))
+        wait = model.link_wait(load)[backbone]
+        assert wait == pytest.approx(0.2 / 0.8 * (1000.0 / 1e6))
+
+    def test_total_cost_is_sum_of_effective_delays(self, line_problem):
+        model = self.model(line_problem)
+        vector = np.array([0, 0])
+        evaluation = model.evaluate(vector)
+        assert model.total_cost(vector) == pytest.approx(
+            float(np.sum(evaluation.effective_delay))
+        )
+        assert evaluation.total_cost == pytest.approx(
+            evaluation.base_total + evaluation.contention_total
+        )
+
+    def test_effective_exceeds_base_under_load(self, line_problem):
+        model = self.model(line_problem)
+        evaluation = model.evaluate(np.array([0, 0]))
+        assert np.all(
+            evaluation.effective_delay
+            > model.incidence.base_delay[:, 0] - 1e-15
+        )
+        assert evaluation.contention_total > 0.0
+
+    def test_unassigned_devices_offer_nothing(self, line_problem):
+        model = self.model(line_problem)
+        vector = np.array([0, UNASSIGNED])
+        load, count = model.link_loads(vector)
+        backbone = model.incidence.link_index[(0, 1)]
+        assert load[backbone] == pytest.approx(1e5)
+        assert count[backbone] == 1
+        evaluation = model.evaluate(vector)
+        assert evaluation.effective_delay[1] == 0.0
+
+    def test_budget_mode_free_below_capacity(self, line_problem):
+        model = self.model(line_problem, mode="budget")
+        vector = np.array([0, 0])
+        # rho = 0.2 < 1 everywhere: contention must be exactly zero
+        assert model.total_cost(vector) == pytest.approx(
+            float(np.sum(model.incidence.base_delay[:, 0]))
+        )
+
+    def test_budget_mode_charges_overload(self, line_problem):
+        model = self.model(
+            line_problem, mode="budget", flow_scale=20.0, overload_penalty_s=0.1
+        )
+        # backbone rho = 20 * 0.2 = 4.0 -> wait = 0.1 * 3.0 per traversal
+        backbone = model.incidence.link_index[(0, 1)]
+        load, _ = model.link_loads(np.array([0, 0]))
+        assert model.link_wait(load)[backbone] == pytest.approx(0.3)
+
+
+class TestWaitCurve:
+    def test_monotone_and_continuous_at_cap(self, line_problem):
+        model = ContentionModel(line_problem, ContentionConfig())
+        bandwidth = model.incidence.bandwidth
+        rhos = np.linspace(0.0, 2.0, 400)
+        waits = [
+            float(model.link_wait(np.full_like(bandwidth, rho) * bandwidth)[0])
+            for rho in rhos
+        ]
+        assert all(b >= a - 1e-15 for a, b in zip(waits, waits[1:]))
+        assert np.all(np.isfinite(waits))
+        # tangent continuation: no jump where the linearization starts
+        cap = model.config.utilization_cap
+        below = model.link_wait(bandwidth * (cap - 1e-9))[0]
+        above = model.link_wait(bandwidth * (cap + 1e-9))[0]
+        assert above == pytest.approx(below, rel=1e-5)
+
+
+class TestEvaluationStats:
+    def test_summary_properties(self, congested_model, congested_problem):
+        vector = np.zeros(congested_problem.n_devices, dtype=np.int64)
+        evaluation = congested_model.evaluate(vector)
+        assert evaluation.max_utilization == pytest.approx(
+            float(np.max(evaluation.utilization))
+        )
+        assert evaluation.saturated_links == int(
+            np.sum(evaluation.utilization >= 1.0)
+        )
+        assert evaluation.p99_effective_delay >= evaluation.mean_effective_delay
+
+    def test_bottleneck_links_sorted_and_bounded(
+        self, congested_model, congested_problem
+    ):
+        vector = np.zeros(congested_problem.n_devices, dtype=np.int64)
+        rows = congested_model.bottleneck_links(vector, top=3)
+        assert len(rows) == 3
+        utils = [row["utilization"] for row in rows]
+        assert utils == sorted(utils, reverse=True)
+        for row in rows:
+            assert row["load_bps"] == pytest.approx(
+                row["utilization"] * row["bandwidth_bps"]
+            )
+
+    def test_evaluate_records_metrics(self, congested_model, congested_problem):
+        from repro import obs
+        from repro.obs import names as obs_names
+
+        with obs.observed() as session:
+            vector = np.zeros(congested_problem.n_devices, dtype=np.int64)
+            congested_model.evaluate(vector)
+            snapshot = session.snapshot()
+        counters = snapshot["counters"]
+        assert counters[obs_names.CONTENTION_EVALUATIONS] == 1
+        assert obs_names.CONTENTION_MAX_UTILIZATION in snapshot["gauges"]

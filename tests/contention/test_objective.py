@@ -1,0 +1,66 @@
+"""Tests for the congestion objective mode on AssignmentProblem."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.contention import ContentionModel, ContentionObjective
+from repro.model.solution import Assignment
+from repro.solvers.registry import get_solver
+
+
+@pytest.fixture
+def congestion_problem(congested_problem):
+    return dataclasses.replace(congested_problem, objective="congestion")
+
+
+class TestContentionObjective:
+    def test_matches_model_total_cost(self, congested_problem):
+        objective = ContentionObjective()
+        vector = np.zeros(congested_problem.n_devices, dtype=np.int64)
+        assignment = Assignment(congested_problem, vector)
+        assert objective.evaluate(assignment) == pytest.approx(
+            ContentionModel(congested_problem).total_cost(vector)
+        )
+
+    def test_model_cached_per_problem(self, congested_problem):
+        objective = ContentionObjective()
+        vector = np.zeros(congested_problem.n_devices, dtype=np.int64)
+        objective.evaluate(Assignment(congested_problem, vector))
+        objective.evaluate(Assignment(congested_problem, vector))
+        assert len(objective._models) == 1
+
+
+class TestSolverScoring:
+    def test_congestion_mode_scores_effective_delay(
+        self, congested_problem, congestion_problem
+    ):
+        plain = get_solver("local_search", seed=0).solve(congested_problem)
+        scored = get_solver("local_search", seed=0).solve(congestion_problem)
+        # identical search, identical assignment...
+        assert np.array_equal(
+            plain.assignment.vector, scored.assignment.vector
+        )
+        # ...but the congestion-mode result is priced with contention
+        expected = ContentionModel(congested_problem).total_cost(
+            scored.assignment.vector
+        )
+        assert scored.objective_value == pytest.approx(expected)
+        assert scored.objective_value > plain.objective_value
+
+    def test_delay_mode_unchanged(self, congested_problem):
+        result = get_solver("greedy", seed=0).solve(congested_problem)
+        assert result.objective_value == pytest.approx(
+            result.assignment.total_delay()
+        )
+
+    def test_explicit_solver_objective_wins(self, congestion_problem):
+        result = get_solver(
+            "greedy", seed=0, objective="max_delay"
+        ).solve(congestion_problem)
+        assert result.objective_value == pytest.approx(
+            result.assignment.max_delay()
+        )

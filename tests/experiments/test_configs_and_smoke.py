@@ -89,6 +89,11 @@ def micro(monkeypatch):
                                        "duration_s": 4.0, "crash_frac": 0.4,
                                        "repair_frac": 0.8, "timeout_s": 0.25,
                                        "max_retries": 2, "window_s": 1.0}),
+        "x7": Scale(repeats=1, params={"family": "edge_hierarchy",
+                                       "n_routers": 10, "n_devices": 8,
+                                       "n_servers": 2, "tightness": 0.8,
+                                       "flow_scale": 500.0,
+                                       "oversubscription_factors": [1.0, 8.0]}),
     }
     monkeypatch.setattr(configs, "_CONFIGS", {
         key: {"quick": value, "full": value} for key, value in micro_configs.items()
@@ -125,6 +130,7 @@ def _micro_kwargs():
         "x4_noise",
         "x5_faults",
         "x6_chaos",
+        "x7_contention",
     ],
 )
 def test_every_experiment_runs_end_to_end(micro, module_name):

@@ -70,8 +70,8 @@ class TestRenderSection:
 
     def test_every_experiment_has_metadata(self):
         # 10 paper artifacts + X1-X6 extensions + G1 obs / G2 engine /
-        # G3 serving / G4 sharding / G5 gray-failure guards
-        assert len(EXPERIMENTS) == 21
+        # G3 serving / G4 sharding / G5 gray-failure / G6 contention guards
+        assert len(EXPERIMENTS) == 22
         for meta in EXPERIMENTS.values():
             assert meta.expected
             assert callable(meta.observe)

@@ -94,6 +94,45 @@ class TestDerivedQuantities:
         assert problem.delay_lower_bound() <= cost + 1e-12
 
 
+class TestFailedServerMasking:
+    def degraded(self):
+        return AssignmentProblem(
+            delay=[[1.0, 2.0, 9.0], [3.0, 1.0, 9.0], [5.0, 6.0, 9.0]],
+            demand=[10.0, 20.0, 30.0],
+            capacity=[90.0, 90.0, 90.0],
+            failed_servers=frozenset({0}),
+        )
+
+    def test_lower_bound_ignores_failed_columns(self):
+        # server 0 holds every row minimum; with it failed the bound
+        # must come from the healthy columns only
+        assert self.degraded().delay_lower_bound() == pytest.approx(
+            2.0 + 1.0 + 6.0
+        )
+
+    def test_lower_bound_unchanged_without_failures(self):
+        problem = simple_problem()
+        assert problem.delay_lower_bound() == pytest.approx(1.0 + 3.0 + 5.0)
+
+    def test_normalized_delay_stats_over_healthy_columns(self):
+        norm = self.degraded().normalized_delay()
+        healthy = norm[:, 1:]
+        assert healthy.min() == 0.0
+        assert healthy.max() == 1.0
+        # failed columns pin to the worst normalized value, so a solver
+        # reading the normalized matrix never prefers a dead server
+        assert np.all(norm[:, 0] == 1.0)
+
+    def test_normalized_delay_in_unit_interval_when_degraded(self):
+        norm = self.degraded().normalized_delay()
+        assert np.all(norm >= 0.0)
+        assert np.all(norm <= 1.0)
+
+    def test_healthy_mask(self):
+        mask = self.degraded().healthy_mask()
+        assert mask.tolist() == [False, True, True]
+
+
 class TestFromTopology:
     def test_matrix_matches_delay_model(self, topo_problem):
         model = TransmissionDelayModel()
@@ -131,6 +170,26 @@ class TestSerialization:
     def test_missing_field_raises(self):
         with pytest.raises(SerializationError):
             AssignmentProblem.from_dict({"delay": [[1.0]]})
+
+    def test_objective_default_not_serialized(self):
+        payload = simple_problem().to_dict()
+        assert "objective" not in payload
+
+    def test_objective_roundtrip(self):
+        problem = AssignmentProblem(
+            delay=[[1.0, 2.0]],
+            demand=[1.0],
+            capacity=[5.0, 5.0],
+            objective="congestion",
+        )
+        clone = AssignmentProblem.from_json(problem.to_json())
+        assert clone.objective == "congestion"
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValidationError):
+            AssignmentProblem(
+                delay=[[1.0]], demand=[1.0], capacity=[5.0], objective="latency"
+            )
 
     def test_invalid_json_raises(self):
         with pytest.raises(SerializationError):

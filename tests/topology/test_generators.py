@@ -14,6 +14,7 @@ from repro.topology.generators import (
     BACKBONE,
     TOPOLOGY_FAMILIES,
     LinkProfile,
+    apply_oversubscription,
     attach_iot_devices,
     barabasi_albert,
     edge_hierarchy,
@@ -22,6 +23,7 @@ from repro.topology.generators import (
     grid,
     make_topology,
     random_geometric,
+    tier_crossing_links,
     watts_strogatz,
     waxman,
 )
@@ -196,6 +198,42 @@ class TestAttachIoTDevices:
         graph = random_geometric(5, seed=8)
         with pytest.raises(ValidationError):
             attach_iot_devices(graph, 2, strategy="teleport")
+
+
+class TestOversubscription:
+    def test_hierarchy_has_tier_crossing_links(self):
+        graph = make_topology("edge_hierarchy", 25, seed=3)
+        crossing = tier_crossing_links(graph)
+        assert crossing
+        for link in crossing:
+            assert graph.node(link.u).region != graph.node(link.v).region
+
+    def test_unlabeled_graph_has_no_crossings(self):
+        graph = random_geometric(15, seed=3)
+        assert tier_crossing_links(graph) == []
+
+    def test_factor_thins_only_crossing_links(self):
+        graph = make_topology("edge_hierarchy", 25, seed=3)
+        crossing = {frozenset((l.u, l.v)) for l in tier_crossing_links(graph)}
+        before = {frozenset((l.u, l.v)): l.bandwidth_bps for l in graph.links()}
+        thinned = apply_oversubscription(graph, 4.0)
+        assert thinned == len(crossing)
+        for link in graph.links():
+            key = frozenset((link.u, link.v))
+            expected = before[key] / 4.0 if key in crossing else before[key]
+            assert link.bandwidth_bps == pytest.approx(expected)
+
+    def test_factor_one_is_exact_noop(self):
+        graph = make_topology("edge_hierarchy", 25, seed=3)
+        before = {(l.u, l.v): (l.latency_s, l.bandwidth_bps) for l in graph.links()}
+        assert apply_oversubscription(graph, 1.0) == 0
+        after = {(l.u, l.v): (l.latency_s, l.bandwidth_bps) for l in graph.links()}
+        assert before == after
+
+    def test_factor_below_one_rejected(self):
+        graph = make_topology("edge_hierarchy", 25, seed=3)
+        with pytest.raises(ValidationError):
+            apply_oversubscription(graph, 0.5)
 
 
 @settings(max_examples=15, deadline=None)

@@ -122,6 +122,33 @@ class TestLinks:
         assert set(graph.neighbors(a)) == {b, c}
 
 
+class TestLinksOnPath:
+    def test_resolves_in_order(self, triangle):
+        graph, (a, b, c) = triangle
+        links = graph.links_on_path([a, b, c])
+        assert [link.latency_s for link in links] == [1e-3, 2e-3]
+
+    def test_single_node_path_has_no_links(self, triangle):
+        graph, (a, _, _) = triangle
+        assert graph.links_on_path([a]) == []
+
+    def test_empty_path_rejected(self, triangle):
+        graph, _ = triangle
+        with pytest.raises(ValidationError):
+            graph.links_on_path([])
+
+    def test_missing_node_raises_topology_error(self, triangle):
+        graph, (a, _, _) = triangle
+        with pytest.raises(TopologyError):
+            graph.links_on_path([a, 99])
+
+    def test_missing_edge_raises_topology_error(self, triangle):
+        graph, (a, b, _) = triangle
+        d = graph.add_node(NodeKind.ROUTER)
+        with pytest.raises(TopologyError):
+            graph.links_on_path([a, b, d])
+
+
 class TestConnectivity:
     def test_triangle_is_connected(self, triangle):
         graph, _ = triangle

@@ -39,6 +39,7 @@ REQUEST_PATH_ROOTS = (
     "src/repro/shard",
     "src/repro/netem",
     "src/repro/wal",
+    "src/repro/contention",
 )
 
 #: exception names too broad to silently swallow
